@@ -1,0 +1,69 @@
+//! Wall-clock ADMM variant benchmark: generic vs +OF vs +PI vs cuADMM
+//! (Figure 4's ablation, measured on the host), plus the inner-iteration
+//! count trade-off (ablation #4 in DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cstf_core::admm::{admm_update, AdmmConfig, AdmmWorkspace};
+use cstf_core::auntf::seeded_factors;
+use cstf_device::{Device, DeviceSpec};
+use cstf_linalg::{gram, Mat};
+
+fn setup(rows: usize, rank: usize) -> (Mat, Mat, Mat) {
+    let factors = seeded_factors(&[rows, 64, 64], rank, 3);
+    let mut s = gram::gram(&factors[1]);
+    cstf_linalg::hadamard_in_place(&mut s, &gram::gram(&factors[2]));
+    let m = cstf_linalg::matmul(&factors[0], &s);
+    (m, s, factors.into_iter().next().unwrap())
+}
+
+fn bench_admm_variants(c: &mut Criterion) {
+    let (m, s, h0) = setup(40_000, 32);
+    let dev = Device::new(DeviceSpec::h100());
+
+    let mut group = c.benchmark_group("admm_variants_I40k_R32");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, fusion, pi) in [
+        ("generic", false, false),
+        ("of", true, false),
+        ("pi", false, true),
+        ("cuadmm", true, true),
+    ] {
+        let cfg = AdmmConfig {
+            operation_fusion: fusion,
+            pre_inversion: pi,
+            inner_iters: 10,
+            tol: 0.0,
+            ..AdmmConfig::cuadmm()
+        };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (h0.clone(), Mat::zeros(h0.rows(), h0.cols()), AdmmWorkspace::new(h0.rows(), h0.cols())),
+                |(mut h, mut u, mut ws)| admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("admm_inner_iters");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for inner in [1usize, 5, 10, 20] {
+        let cfg = AdmmConfig { inner_iters: inner, tol: 0.0, ..AdmmConfig::cuadmm() };
+        group.bench_function(BenchmarkId::from_parameter(inner), |b| {
+            b.iter_batched(
+                || (h0.clone(), Mat::zeros(h0.rows(), h0.cols()), AdmmWorkspace::new(h0.rows(), h0.cols())),
+                |(mut h, mut u, mut ws)| admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admm_variants);
+criterion_main!(benches);

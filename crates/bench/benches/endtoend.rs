@@ -1,0 +1,37 @@
+//! Wall-clock end-to-end factorization benchmark: one full outer iteration
+//! of the cSTF pipeline under each system preset (the measured counterpart
+//! of Figs. 5/6, on the host machine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cstf_core::presets;
+use cstf_core::Auntf;
+use cstf_data::by_name;
+use cstf_device::DeviceSpec;
+
+fn bench_endtoend(c: &mut Criterion) {
+    let x = by_name("NELL2").unwrap().generate_scaled(80_000, 9);
+
+    let mut group = c.benchmark_group("endtoend_nell2_1iter");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    for (name, preset) in [
+        ("splatt_cpu_csf", presets::splatt_cpu(32)),
+        ("cstf_gpu_blco_cuadmm", presets::cstf_gpu(32, DeviceSpec::h100())),
+        ("cstf_gpu_blco_generic", presets::cstf_gpu_generic_admm(32, DeviceSpec::h100())),
+        ("cstf_gpu_mu", presets::cstf_gpu_mu(32, DeviceSpec::h100())),
+        ("cstf_gpu_hals", presets::cstf_gpu_hals(32, DeviceSpec::h100())),
+    ] {
+        let mut cfg = preset.config.clone();
+        cfg.max_iters = 1;
+        cfg.compute_fit = false;
+        let auntf = Auntf::new(x.clone(), cfg);
+        group.bench_function(name, |b| b.iter(|| auntf.factorize(&preset.device)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

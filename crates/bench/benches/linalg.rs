@@ -1,0 +1,79 @@
+//! Wall-clock dense-kernel benchmarks: the GEMM / Gram / Cholesky / solve
+//! primitives every update scheme is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cstf_linalg::{gemm, gram, Cholesky, Mat};
+
+fn bench_linalg(c: &mut Criterion) {
+    let rank = 32;
+    let rows = 100_000;
+    let tall = Mat::from_fn(rows, rank, |i, j| ((i * 31 + j) % 17) as f64 * 0.1);
+    let small = Mat::from_fn(rank, rank, |i, j| ((i + j * 3) % 7) as f64 * 0.2);
+
+    let mut group = c.benchmark_group("linalg");
+    group.throughput(Throughput::Elements((rows * rank) as u64));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("gemm_100k_by_32x32", |b| {
+        let mut out = Mat::zeros(rows, rank);
+        b.iter(|| gemm::gemm(1.0, &tall, &small, 0.0, &mut out))
+    });
+
+    group.bench_function("gram_100k_x32", |b| b.iter(|| gram::gram(&tall)));
+
+    let spd = {
+        let mut g = gram::gram(&tall);
+        g.add_diagonal(1.0);
+        g
+    };
+    group.bench_function("cholesky_factor_32", |b| b.iter(|| Cholesky::factor(&spd).unwrap()));
+
+    let chol = Cholesky::factor(&spd).unwrap();
+    group.bench_function("cholesky_inverse_32", |b| b.iter(|| chol.inverse()));
+
+    group.bench_function("solve_rows_100k_rhs", |b| {
+        b.iter_batched(
+            || tall.clone(),
+            |mut rhs| chol.solve_rows(&mut rhs),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // PI-vs-TRSM on the host: the measured counterpart of the Fig. 4
+    // pre-inversion argument.
+    let mut group = c.benchmark_group("solve_paths_100k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let inv = chol.inverse();
+    group.bench_function("trsm_path", |b| {
+        b.iter_batched(
+            || tall.clone(),
+            |mut rhs| chol.solve_rows(&mut rhs),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("preinversion_gemm_path", |b| {
+        let mut out = Mat::zeros(rows, rank);
+        b.iter(|| gemm::gemm(1.0, &tall, &inv, 0.0, &mut out))
+    });
+    group.finish();
+
+    // Rank sweep for the Gram kernel.
+    let mut group = c.benchmark_group("gram_rank_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for rank in [16usize, 32, 64] {
+        let m = Mat::from_fn(50_000, rank, |i, j| ((i + j) % 13) as f64 * 0.1);
+        group.bench_function(BenchmarkId::from_parameter(rank), |b| b.iter(|| gram::gram(&m)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Wall-clock MTTKRP benchmark: COO vs CSF vs ALTO vs BLCO on the host.
+//!
+//! Complements the modeled-figure binaries with real measured kernel time
+//! of the Rust implementations (format ablation #3 in DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cstf_core::auntf::seeded_factors;
+use cstf_data::SynthSpec;
+use cstf_formats::{mttkrp_coo_parallel, Alto, Blco, Csf, HiCoo};
+
+fn bench_mttkrp(c: &mut Criterion) {
+    let spec = SynthSpec {
+        shape: vec![300, 250, 200],
+        nnz: 200_000,
+        rank: 8,
+        noise: 0.02,
+        factor_sparsity: 0.2,
+        seed: 17,
+    };
+    let x = cstf_data::generate(&spec);
+    let rank = 32;
+    let factors = seeded_factors(x.shape(), rank, 5);
+
+    let csf = Csf::from_coo(&x, 0);
+    let alto = Alto::from_coo(&x);
+    let blco = Blco::from_coo(&x);
+    let hicoo = HiCoo::from_coo(&x);
+
+    let mut group = c.benchmark_group("mttkrp_mode0");
+    group.throughput(Throughput::Elements(x.nnz() as u64));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    group.bench_function(BenchmarkId::new("coo_parallel", x.nnz()), |b| {
+        b.iter(|| mttkrp_coo_parallel(&x, &factors, 0))
+    });
+    group.bench_function(BenchmarkId::new("csf", x.nnz()), |b| {
+        b.iter(|| csf.mttkrp(&factors))
+    });
+    group.bench_function(BenchmarkId::new("alto", x.nnz()), |b| {
+        b.iter(|| alto.mttkrp(&factors, 0))
+    });
+    group.bench_function(BenchmarkId::new("blco_atomic", x.nnz()), |b| {
+        b.iter(|| blco.mttkrp(&factors, 0))
+    });
+    group.bench_function(BenchmarkId::new("hicoo", x.nnz()), |b| {
+        b.iter(|| hicoo.mttkrp(&factors, 0))
+    });
+    group.bench_function(BenchmarkId::new("csf_onemode_nonroot", x.nnz()), |b| {
+        b.iter(|| csf.mttkrp_any(&factors, 1))
+    });
+    group.finish();
+
+    // Rank sweep on the GPU-format kernel (the §5.1 parameter).
+    let mut group = c.benchmark_group("mttkrp_blco_rank_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for rank in [16usize, 32, 64] {
+        let f = seeded_factors(x.shape(), rank, 5);
+        group.bench_function(BenchmarkId::from_parameter(rank), |b| {
+            b.iter(|| blco.mttkrp(&f, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mttkrp);
+criterion_main!(benches);

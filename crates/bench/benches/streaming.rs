@@ -1,0 +1,65 @@
+//! Wall-clock streaming ingest benchmark: slice-at-a-time tracking
+//! throughput of the CP-stream-style extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cstf_device::{Device, DeviceSpec};
+use cstf_streaming::{SliceTensor, StreamingConfig, StreamingCstf};
+
+fn make_slice(shape: &[usize], nnz: usize, seed: u64) -> SliceTensor {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut idx = vec![Vec::new(); shape.len()];
+    let mut vals = Vec::new();
+    while vals.len() < nnz {
+        let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+        if seen.insert(c.clone()) {
+            for (m, &ci) in c.iter().enumerate() {
+                idx[m].push(ci);
+            }
+            vals.push(f64::from(next() % 32) * 0.25 + 0.25);
+        }
+    }
+    SliceTensor::new(shape.to_vec(), idx, vals)
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let shape = vec![500, 400];
+    let mut group = c.benchmark_group("streaming_ingest");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    for nnz in [1_000usize, 10_000, 50_000] {
+        let slices: Vec<SliceTensor> =
+            (0..4).map(|t| make_slice(&shape, nnz, 1000 + t)).collect();
+        group.throughput(Throughput::Elements(nnz as u64));
+        group.bench_function(BenchmarkId::from_parameter(nnz), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        Device::new(DeviceSpec::h100()),
+                        StreamingCstf::new(
+                            shape.clone(),
+                            StreamingConfig { rank: 16, ..Default::default() },
+                        ),
+                    )
+                },
+                |(dev, mut tracker)| {
+                    for s in &slices {
+                        tracker.ingest(&dev, s);
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Wall-clock comparison of the three constraint update schemes (ADMM, MU,
+//! HALS) on one subproblem — the measured counterpart of Figs. 9/10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cstf_core::admm::{admm_update, AdmmConfig, AdmmWorkspace};
+use cstf_core::auntf::seeded_factors;
+use cstf_core::hals::{hals_update, HalsConfig};
+use cstf_core::mu::{mu_update, MuConfig};
+use cstf_device::{Device, DeviceSpec};
+use cstf_linalg::{gram, Mat};
+
+fn bench_update_schemes(c: &mut Criterion) {
+    let rows = 30_000;
+    let rank = 32;
+    let factors = seeded_factors(&[rows, 64, 64], rank, 7);
+    let mut s = gram::gram(&factors[1]);
+    cstf_linalg::hadamard_in_place(&mut s, &gram::gram(&factors[2]));
+    let m = cstf_linalg::matmul(&factors[0], &s);
+    let h0 = factors[0].clone();
+    let dev = Device::new(DeviceSpec::a100());
+
+    let mut group = c.benchmark_group("update_schemes_I30k_R32");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    let admm_cfg = AdmmConfig { inner_iters: 10, tol: 0.0, ..AdmmConfig::cuadmm() };
+    group.bench_function("cuadmm_10iters", |b| {
+        b.iter_batched(
+            || (h0.clone(), Mat::zeros(rows, rank), AdmmWorkspace::new(rows, rank)),
+            |(mut h, mut u, mut ws)| admm_update(&dev, &admm_cfg, &m, &s, &mut h, &mut u, &mut ws),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("mu_1sweep", |b| {
+        b.iter_batched(
+            || h0.clone(),
+            |mut h| mu_update(&dev, &MuConfig::default(), &m, &s, &mut h),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("hals_1sweep", |b| {
+        b.iter_batched(
+            || h0.clone(),
+            |mut h| hals_update(&dev, &HalsConfig::default(), &m, &s, &mut h),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_schemes);
+criterion_main!(benches);

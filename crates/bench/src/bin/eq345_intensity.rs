@@ -1,0 +1,82 @@
+//! Verifies **Equations 3–5** — the paper's ADMM computation / data-movement
+//! analysis — against machine-counted flops and bytes.
+//!
+//! The paper derives, per ADMM inner iteration on an `I x R` factor:
+//!
+//! * W = 19*I*R + 2*I*R^2 flops            (Eq. 3)
+//! * Q = 22*I*R + R^2 words                (Eq. 4)
+//! * AI = (19 + 2R) / ((22 + R/I) * 8)     (Eq. 5, flop/byte)
+//!
+//! yielding AI ~ 0.29 / 0.47 / 0.83 for R = 16 / 32 / 64 — far below every
+//! device's ridge point, hence bandwidth-bound. This binary runs a real
+//! generic ADMM iteration, reads the profiler's exact tallies, and prints
+//! both alongside the analytic counts.
+
+use cstf_bench::print_header;
+use cstf_core::auntf::seeded_factors;
+use cstf_core::{admm_update, AdmmConfig, AdmmWorkspace};
+use cstf_device::{Device, DeviceSpec, Phase};
+use cstf_linalg::{gram, Mat};
+
+fn main() {
+    let i = 100_000usize;
+
+    print_header("Equations 3-5: ADMM per-inner-iteration cost analysis (I = 100000)");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "R", "paper flops", "counted", "paper words", "counted", "AI(eq5)", "AI(meas)"
+    );
+
+    for rank in [16usize, 32, 64] {
+        // One real generic ADMM call with a single inner iteration.
+        let factors = seeded_factors(&[i, 50, 40], rank, 3);
+        let mut s_full = gram::gram(&factors[1]);
+        cstf_linalg::hadamard_in_place(&mut s_full, &gram::gram(&factors[2]));
+
+        let m = Mat::from_fn(i, rank, |r, c| ((r * 7 + c) % 13) as f64 * 0.1);
+        let dev = Device::new(DeviceSpec::h100());
+        let mut h = factors[0].clone();
+        let mut u = Mat::zeros(i, rank);
+        let mut ws = AdmmWorkspace::new(i, rank);
+        let cfg = AdmmConfig { inner_iters: 1, tol: 0.0, ..AdmmConfig::generic() };
+        admm_update(&dev, &cfg, &m, &s_full, &mut h, &mut u, &mut ws);
+
+        let totals = dev.phase_totals(Phase::Update);
+        let (i_f, r_f) = (i as f64, rank as f64);
+        let paper_flops = 19.0 * i_f * r_f + 2.0 * i_f * r_f * r_f;
+        let paper_words = 22.0 * i_f * r_f + r_f * r_f;
+        let ai_paper = (19.0 + 2.0 * r_f) / ((22.0 + r_f / i_f) * 8.0);
+        let ai_measured = totals.flops / totals.bytes;
+
+        println!(
+            "{:<6} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>8.2} {:>8.2}",
+            rank,
+            paper_flops,
+            totals.flops,
+            paper_words,
+            totals.bytes / 8.0,
+            ai_paper,
+            ai_measured
+        );
+
+        // Shape checks: counted totals within 2x of the paper's analytic
+        // model (our kernel decomposition differs slightly — e.g. we count
+        // the residual reductions the paper folds into its 19IR/22IR
+        // constants), and arithmetic intensity below every ridge point.
+        assert!(totals.flops / paper_flops < 2.0 && paper_flops / totals.flops < 2.0);
+        assert!(totals.bytes / (paper_words * 8.0) < 2.0);
+        for spec in DeviceSpec::table1() {
+            assert!(
+                ai_measured < spec.ridge_intensity(),
+                "ADMM must be bandwidth-bound on {}",
+                spec.name
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "[shape check passed: counted cost within 2x of Eqs. 3-4; measured\n\
+         intensity below every ridge point => ADMM is bandwidth-bound]"
+    );
+}

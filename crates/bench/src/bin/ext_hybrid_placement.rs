@@ -1,0 +1,97 @@
+//! Extension experiment (paper §7 future work): the hybrid CPU/GPU
+//! placement decision model, swept over the Table 2 catalog at paper scale.
+//!
+//! For each tensor the model predicts per-phase times on the Xeon and the
+//! H100 from the workload shape alone and recommends a placement; the
+//! binary also validates the prediction against the metered execution of
+//! the scaled analogue.
+
+use cstf_bench::{arg_usize, print_header, run_preset, Workload};
+use cstf_core::auntf::TensorFormat;
+use cstf_core::hybrid::{predict_phases, recommend_placement, Placement, WorkloadShape};
+use cstf_core::presets;
+use cstf_data::table2;
+use cstf_device::DeviceSpec;
+
+fn place_str(p: Placement) -> &'static str {
+    match p {
+        Placement::Cpu => "CPU",
+        Placement::Gpu => "GPU",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let base = arg_usize(&args, "--base", 40_000);
+    let rank = arg_usize(&args, "--rank", 32);
+
+    print_header(&format!(
+        "Extension: hybrid placement decision model (paper-scale shapes, R = {rank})"
+    ));
+    println!(
+        "{:<11} {:>8} {:>8} {:>12} {:>12} {:>10}",
+        "Tensor", "MTTKRP", "UPDATE", "all-CPU (s)", "all-GPU (s)", "advantage"
+    );
+
+    let cpu = DeviceSpec::icelake_xeon();
+    let gpu = DeviceSpec::h100();
+
+    for entry in table2() {
+        let w = WorkloadShape {
+            shape: entry.paper_dims.iter().map(|&d| d as usize).collect(),
+            nnz: entry.paper_nnz as usize,
+            rank,
+            inner_iters: 10,
+            format: TensorFormat::Blco,
+        };
+        let plan = recommend_placement(&w, &cpu, &gpu);
+        println!(
+            "{:<11} {:>8} {:>8} {:>12.3e} {:>12.3e} {:>9.2}x",
+            entry.name,
+            place_str(plan.mttkrp),
+            place_str(plan.update),
+            plan.all_cpu_s,
+            plan.all_gpu_s,
+            plan.all_cpu_s.min(plan.all_gpu_s) / plan.predicted_s
+        );
+    }
+
+    // Validation: the analytic prediction must rank devices the same way
+    // the metered execution does on the scaled analogues.
+    println!();
+    println!("validation against metered execution (scaled analogues, base {base}):");
+    let mut agreements = 0;
+    let mut total = 0;
+    for entry in table2() {
+        let wl = Workload::from_entry(entry, base, 7);
+        let shape = WorkloadShape {
+            shape: wl.tensor.shape().to_vec(),
+            nnz: wl.tensor.nnz(),
+            rank,
+            inner_iters: 10,
+            format: TensorFormat::Blco,
+        };
+        let cpu_s = wl.device_spec(&cpu);
+        let gpu_s = wl.device_spec(&gpu);
+        let predicted_gpu_wins =
+            predict_phases(&shape, &gpu_s).total() < predict_phases(&shape, &cpu_s).total();
+
+        let r_cpu = run_preset(&presets::splatt_cpu_on(rank, cpu_s), &wl.tensor, 1);
+        let r_gpu = run_preset(&presets::cstf_gpu(rank, gpu_s), &wl.tensor, 1);
+        let measured_gpu_wins = r_gpu.per_iter_total() < r_cpu.per_iter_total();
+
+        total += 1;
+        if predicted_gpu_wins == measured_gpu_wins {
+            agreements += 1;
+        }
+        println!(
+            "  {:<11} predicted: {:<4} measured: {}",
+            wl.entry.name,
+            if predicted_gpu_wins { "GPU" } else { "CPU" },
+            if measured_gpu_wins { "GPU" } else { "CPU" },
+        );
+    }
+    println!("\ndecision agreement: {agreements}/{total}");
+    assert!(agreements * 10 >= total * 8, "decision model should agree on >= 80% of tensors");
+    println!("[shape check passed: decision model ranks devices like the metered runs]");
+}

@@ -1,0 +1,104 @@
+//! Regenerates **Figures 5 and 6** — end-to-end per-iteration speedup of
+//! the GPU cSTF framework over SPLATT (CPU) with the ADMM update, rank 32,
+//! across the ten Table 2 tensors, on the A100 and H100.
+//!
+//! Also runs the §5.1 rank sweep with `--ranks 16,32,64`.
+//! `--base N` sets the nnz budget base (default 40000).
+
+use serde::Serialize;
+
+use cstf_bench::{arg_usize, catalog_workloads, geometric_mean, print_header, run_preset, write_json};
+use cstf_core::presets;
+use cstf_device::DeviceSpec;
+
+#[derive(Serialize)]
+struct Row {
+    tensor: &'static str,
+    rank: usize,
+    gpu: &'static str,
+    cpu_s: f64,
+    gpu_s: f64,
+    speedup: f64,
+}
+
+/// Paper-reported speedups at R = 32 for reference printing.
+fn paper_reference(gpu: &str, tensor: &str) -> Option<f64> {
+    let a100 = [
+        ("NIPS", 1.47), ("Uber", 1.55), ("Chicago", 2.11), ("Vast", 2.60),
+        ("Enron", 3.99), ("NELL2", 2.43), ("Flickr", 24.74), ("Delicious", 12.61),
+        ("NELL1", 41.59), ("Amazon", 7.52),
+    ];
+    let h100 = [
+        ("NIPS", 1.22), ("Uber", 1.33), ("Chicago", 2.40), ("Vast", 6.10),
+        ("Enron", 16.91), ("NELL2", 2.40), ("Flickr", 34.23), ("Delicious", 37.56),
+        ("NELL1", 58.05), ("Amazon", 16.91),
+    ];
+    let table: &[(&str, f64)] = if gpu == "A100" { &a100 } else { &h100 };
+    table.iter().find(|(n, _)| *n == tensor).map(|&(_, s)| s)
+}
+
+fn parse_ranks(args: &[String]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == "--ranks")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![32])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let base = arg_usize(&args, "--base", 40_000);
+    let ranks = parse_ranks(&args);
+    let iters = 2;
+
+    let workloads = catalog_workloads(base, 7);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &rank in &ranks {
+        for (gpu_name, gpu_spec) in [("A100", DeviceSpec::a100()), ("H100", DeviceSpec::h100())] {
+            print_header(&format!(
+                "Figure {}: end-to-end per-iteration speedup vs SPLATT, R = {rank}, {gpu_name}",
+                if gpu_name == "A100" { 5 } else { 6 }
+            ));
+            println!(
+                "{:<11} {:>12} {:>12} {:>9} {:>11}",
+                "Tensor", "SPLATT (s)", "cSTF-GPU (s)", "speedup", "paper(R32)"
+            );
+
+            let mut speedups = Vec::new();
+            for w in &workloads {
+                let cpu =
+                    presets::splatt_cpu_on(rank, w.device_spec(&DeviceSpec::icelake_xeon()));
+                let gpu = presets::cstf_gpu(rank, w.device_spec(&gpu_spec));
+                let r_cpu = run_preset(&cpu, &w.tensor, iters);
+                let r_gpu = run_preset(&gpu, &w.tensor, iters);
+                let s = r_gpu.speedup_over(&r_cpu);
+                speedups.push(s);
+                let paper = paper_reference(gpu_name, w.entry.name)
+                    .map(|p| format!("{p:.2}x"))
+                    .unwrap_or_default();
+                println!(
+                    "{:<11} {:>12.3e} {:>12.3e} {:>8.2}x {:>11}",
+                    w.entry.name,
+                    r_cpu.per_iter_total(),
+                    r_gpu.per_iter_total(),
+                    s,
+                    paper
+                );
+                rows.push(Row {
+                    tensor: w.entry.name,
+                    rank,
+                    gpu: gpu_name,
+                    cpu_s: r_cpu.per_iter_total(),
+                    gpu_s: r_gpu.per_iter_total(),
+                    speedup: s,
+                });
+            }
+            let gm = geometric_mean(&speedups);
+            let paper_gm = if gpu_name == "A100" { 5.10 } else { 7.01 };
+            println!("{:<11} {:>12} {:>12} {:>8.2}x {:>10.2}x", "GeoMean", "", "", gm, paper_gm);
+        }
+    }
+
+    let _ = write_json("fig05_06_speedup", &rows);
+}

@@ -1,0 +1,90 @@
+//! Regenerates **Figures 9 and 10** — speedup of the GPU framework using
+//! the MU and HALS update schemes over the modified-PLANC CPU library,
+//! rank 32, across the ten Table 2 tensors.
+//!
+//! Paper reference: geometric means of 6.42x (MU) / 5.90x (HALS) on the
+//! A100 and 8.89x (MU) / 7.78x (HALS) on the H100 — comparable to the ADMM
+//! speedups, demonstrating framework flexibility (§5.4).
+
+use serde::Serialize;
+
+use cstf_bench::{arg_usize, catalog_workloads, geometric_mean, print_header, run_preset, write_json};
+use cstf_core::presets;
+use cstf_device::DeviceSpec;
+
+#[derive(Serialize)]
+struct Row {
+    tensor: &'static str,
+    gpu: &'static str,
+    mu_speedup: f64,
+    hals_speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let base = arg_usize(&args, "--base", 40_000);
+    let rank = arg_usize(&args, "--rank", 32);
+    let iters = 2;
+
+    let workloads = catalog_workloads(base, 7);
+    let mut rows = Vec::new();
+
+    for (gpu_name, gpu_spec, paper_mu, paper_hals) in [
+        ("A100", DeviceSpec::a100(), 6.42, 5.90),
+        ("H100", DeviceSpec::h100(), 8.89, 7.78),
+    ] {
+        print_header(&format!(
+            "Figure {}: MU / HALS speedup over PLANC-CPU, R = {rank}, {gpu_name}",
+            if gpu_name == "A100" { 9 } else { 10 }
+        ));
+        println!("{:<11} {:>10} {:>10}", "Tensor", "MU", "HALS");
+
+        let mut mu_speedups = Vec::new();
+        let mut hals_speedups = Vec::new();
+        for w in &workloads {
+            let cpu_spec = w.device_spec(&DeviceSpec::icelake_xeon());
+            let dev_spec = w.device_spec(&gpu_spec);
+
+            let mu_cpu = run_preset(
+                &presets::planc_cpu_on(
+                    rank,
+                    cstf_core::UpdateMethod::Mu(cstf_core::MuConfig::default()),
+                    cpu_spec.clone(),
+                ),
+                &w.tensor,
+                iters,
+            );
+            let mu_gpu =
+                run_preset(&presets::cstf_gpu_mu(rank, dev_spec.clone()), &w.tensor, iters);
+            let hals_cpu = run_preset(
+                &presets::planc_cpu_on(
+                    rank,
+                    cstf_core::UpdateMethod::Hals(cstf_core::HalsConfig::default()),
+                    cpu_spec,
+                ),
+                &w.tensor,
+                iters,
+            );
+            let hals_gpu = run_preset(&presets::cstf_gpu_hals(rank, dev_spec), &w.tensor, iters);
+
+            let row = Row {
+                tensor: w.entry.name,
+                gpu: gpu_name,
+                mu_speedup: mu_gpu.speedup_over(&mu_cpu),
+                hals_speedup: hals_gpu.speedup_over(&hals_cpu),
+            };
+            println!("{:<11} {:>9.2}x {:>9.2}x", row.tensor, row.mu_speedup, row.hals_speedup);
+            mu_speedups.push(row.mu_speedup);
+            hals_speedups.push(row.hals_speedup);
+            rows.push(row);
+        }
+        println!(
+            "{:<11} {:>9.2}x {:>9.2}x   [paper: {paper_mu:.2}x / {paper_hals:.2}x]",
+            "GeoMean",
+            geometric_mean(&mu_speedups),
+            geometric_mean(&hals_speedups)
+        );
+    }
+
+    let _ = write_json("fig09_10_mu_hals", &rows);
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table 1** — hardware and software setup.
+//!
+//! Prints the device-spec catalog the cost model is parameterized with,
+//! side by side with the paper's values (they are the same numbers; the
+//! table documents what the simulated devices assume).
+
+use cstf_bench::print_header;
+use cstf_device::DeviceSpec;
+
+fn main() {
+    print_header("Table 1: Hardware and software setup (simulated device specs)");
+    let devices = DeviceSpec::table1();
+
+    let row = |label: &str, f: &dyn Fn(&DeviceSpec) -> String| {
+        print!("{label:<22}");
+        for d in &devices {
+            print!(" {:>26}", f(d));
+        }
+        println!();
+    };
+
+    row("Model", &|d| d.name.to_string());
+    row("u-arch", &|d| d.uarch.to_string());
+    row("Frequency (GHz)", &|d| format!("{:.2}", d.freq_ghz));
+    row("Cores (SM)", &|d| d.cores.to_string());
+    row("CUDA cores", &|d| if d.cuda_cores > 0 { d.cuda_cores.to_string() } else { "-".into() });
+    row("Peak FP64 (GFLOP/s)", &|d| format!("{:.0}", d.peak_gflops_f64));
+    row("DRAM (GB)", &|d| format!("{:.0}", d.dram_gb));
+    row("Bandwidth (GB/s)", &|d| format!("{:.0}", d.mem_bw_gbs));
+    row("L1/near cache (MiB)", &|d| format!("{:.1}", d.l1_mib));
+    row("LLC (MiB)", &|d| format!("{:.1}", d.llc_mib));
+    row("OS / driver", &|d| d.os_driver.to_string());
+    row("Compiler", &|d| d.compiler.to_string());
+    row("Ridge (flop/byte)", &|d| format!("{:.2}", d.ridge_intensity()));
+
+    println!();
+    println!(
+        "Note: these specs parameterize the roofline cost model that replaces\n\
+         the physical A100/H100/Xeon (DESIGN.md section 1)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Table 2** — the sparse tensor datasets.
+//!
+//! Prints, for each of the ten FROSTT tensors: the paper-scale dimensions,
+//! nnz and density, and the scaled analogue actually generated for the
+//! figure runs (`--base N` overrides the base nnz budget, default 40000).
+
+use cstf_bench::{arg_usize, catalog_workloads, print_header};
+
+fn dims(v: &[usize]) -> String {
+    v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" x ")
+}
+
+fn dims_u64(v: &[u64]) -> String {
+    v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" x ")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let base = arg_usize(&args, "--base", 40_000);
+
+    print_header(&format!("Table 2: datasets (paper scale vs generated analogues, base {base})"));
+    println!(
+        "{:<11} {:>34} {:>12} {:>10} | {:>26} {:>9} {:>10}",
+        "Tensor", "paper dims", "paper nnz", "density", "scaled dims", "nnz", "density"
+    );
+
+    for w in catalog_workloads(base, 7) {
+        println!(
+            "{:<11} {:>34} {:>12} {:>10.1e} | {:>26} {:>9} {:>10.1e}",
+            w.entry.name,
+            dims_u64(w.entry.paper_dims),
+            w.entry.paper_nnz,
+            w.entry.paper_density(),
+            dims(w.tensor.shape()),
+            w.tensor.nnz(),
+            w.tensor.density(),
+        );
+    }
+
+    println!();
+    println!(
+        "Scaled analogues multiply every mode length and nnz by the same factor,\n\
+         preserving the update-vs-MTTKRP workload ratio (DESIGN.md section 1)."
+    );
+}

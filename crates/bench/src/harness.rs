@@ -1,0 +1,214 @@
+//! Run-one-system-on-one-tensor machinery.
+
+use serde::Serialize;
+
+use cstf_core::presets::SystemPreset;
+use cstf_core::Auntf;
+use cstf_device::Phase;
+use cstf_tensor::{DenseTensor, SparseTensor};
+
+/// Modeled seconds per cSTF phase, per outer iteration.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PhaseBreakdown {
+    /// GRAM phase (Gram matrices + Hadamard combination).
+    pub gram: f64,
+    /// MTTKRP phase.
+    pub mttkrp: f64,
+    /// UPDATE phase (ADMM / MU / HALS).
+    pub update: f64,
+    /// NORMALIZE phase.
+    pub normalize: f64,
+}
+
+impl PhaseBreakdown {
+    /// End-to-end per-iteration time (the paper's Figs. 5/6 metric): the
+    /// four compute phases, excluding one-time transfers.
+    pub fn total(&self) -> f64 {
+        self.gram + self.mttkrp + self.update + self.normalize
+    }
+
+    /// Fraction of the total spent in each phase, in figure order
+    /// (GRAM, MTTKRP, UPDATE, NORMALIZE).
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total().max(f64::MIN_POSITIVE);
+        [self.gram / t, self.mttkrp / t, self.update / t, self.normalize / t]
+    }
+}
+
+/// Outcome of one harness run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// System name (preset).
+    pub system: &'static str,
+    /// Device name.
+    pub device: String,
+    /// Outer iterations measured.
+    pub iters: usize,
+    /// Per-iteration phase breakdown (modeled seconds).
+    pub per_iter: PhaseBreakdown,
+    /// One-time transfer cost (modeled seconds, not per-iteration).
+    pub transfer: f64,
+    /// Wall-clock seconds the real execution took on the host (all
+    /// iterations), for the Criterion-style sanity numbers.
+    pub wall_s: f64,
+}
+
+impl RunResult {
+    /// End-to-end per-iteration modeled seconds.
+    pub fn per_iter_total(&self) -> f64 {
+        self.per_iter.total()
+    }
+
+    /// Speedup of this run over a baseline (per-iteration end-to-end).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        baseline.per_iter_total() / self.per_iter_total()
+    }
+}
+
+/// Runs a preset on a sparse tensor for `iters` outer iterations and
+/// returns per-iteration modeled phase times.
+pub fn run_preset(preset: &SystemPreset, x: &SparseTensor, iters: usize) -> RunResult {
+    let mut cfg = preset.config.clone();
+    cfg.max_iters = iters;
+    cfg.compute_fit = false;
+    let auntf = Auntf::new(x.clone(), cfg);
+
+    preset.device.reset_shared();
+    let t0 = std::time::Instant::now();
+    let out = auntf.factorize(&preset.device);
+    let wall_s = t0.elapsed().as_secs_f64();
+    debug_assert_eq!(out.iters, iters);
+
+    result_from_device(preset, iters, wall_s)
+}
+
+/// Runs a preset on a dense tensor (the Fig. 1 DenseTF arm).
+pub fn run_preset_dense(preset: &SystemPreset, x: &DenseTensor, iters: usize) -> RunResult {
+    let mut cfg = preset.config.clone();
+    cfg.max_iters = iters;
+    cfg.compute_fit = false;
+    let auntf = Auntf::new_dense(x.clone(), cfg);
+
+    preset.device.reset_shared();
+    let t0 = std::time::Instant::now();
+    auntf.factorize(&preset.device);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    result_from_device(preset, iters, wall_s)
+}
+
+fn result_from_device(preset: &SystemPreset, iters: usize, wall_s: f64) -> RunResult {
+    let dev = &preset.device;
+    let n = iters.max(1) as f64;
+    RunResult {
+        system: preset.name,
+        device: dev.spec().name.to_string(),
+        iters,
+        per_iter: PhaseBreakdown {
+            gram: dev.phase_totals(Phase::Gram).seconds / n,
+            mttkrp: dev.phase_totals(Phase::Mttkrp).seconds / n,
+            update: dev.phase_totals(Phase::Update).seconds / n,
+            normalize: dev.phase_totals(Phase::Normalize).seconds / n,
+        },
+        transfer: dev.phase_totals(Phase::Transfer).seconds,
+        wall_s,
+    }
+}
+
+/// A catalog tensor prepared for a figure run: the generated analogue plus
+/// the workload scale factor `s = scaled_nnz / paper_nnz` used to scale
+/// device specs (see `DeviceSpec::scaled`).
+pub struct Workload {
+    /// Table 2 entry this analogue was scaled from.
+    pub entry: cstf_data::CatalogEntry,
+    /// The generated tensor.
+    pub tensor: SparseTensor,
+    /// Scale factor applied to dimensions and nnz.
+    pub scale: f64,
+}
+
+impl Workload {
+    /// Builds one workload from a catalog entry at a base nnz budget.
+    ///
+    /// The device-scale factor is the *dimension* scale (`target /
+    /// paper_nnz`), not the realized nnz ratio — density-capped tensors
+    /// (Vast) keep dimensions scaled by the target factor, and the device
+    /// parameters must match the dimensions, which set kernel sizes.
+    pub fn from_entry(entry: cstf_data::CatalogEntry, base: usize, seed: u64) -> Self {
+        let target = entry.default_target_nnz(base);
+        let tensor = entry.generate_scaled(target, seed);
+        let scale = target as f64 / entry.paper_nnz as f64;
+        Self { entry, tensor, scale }
+    }
+
+    /// A device spec scaled to this workload.
+    pub fn device_spec(&self, spec: &cstf_device::DeviceSpec) -> cstf_device::DeviceSpec {
+        spec.scaled(self.scale)
+    }
+}
+
+/// Generates all ten Table 2 workloads at a base nnz budget.
+pub fn catalog_workloads(base: usize, seed: u64) -> Vec<Workload> {
+    cstf_data::table2()
+        .into_iter()
+        .map(|e| Workload::from_entry(e, base, seed))
+        .collect()
+}
+
+/// Parses a `--base N` style CLI override with a default.
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstf_core::presets;
+    use cstf_data::by_name;
+
+    fn small_tensor() -> SparseTensor {
+        by_name("NIPS").unwrap().generate_scaled(8_000, 1)
+    }
+
+    #[test]
+    fn harness_reports_nonzero_phases() {
+        let x = small_tensor();
+        let r = run_preset(&presets::splatt_cpu(16), &x, 2);
+        assert!(r.per_iter.gram > 0.0);
+        assert!(r.per_iter.mttkrp > 0.0);
+        assert!(r.per_iter.update > 0.0);
+        assert!(r.per_iter.normalize > 0.0);
+        assert!(r.per_iter_total() > 0.0);
+        assert!(r.wall_s > 0.0);
+    }
+
+    #[test]
+    fn cpu_has_no_transfer_cost_gpu_does() {
+        let x = small_tensor();
+        let cpu = run_preset(&presets::splatt_cpu(16), &x, 1);
+        assert_eq!(cpu.transfer, 0.0);
+        let gpu = run_preset(&presets::cstf_gpu(16, cstf_device::DeviceSpec::a100()), &x, 1);
+        assert!(gpu.transfer > 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let x = small_tensor();
+        let r = run_preset(&presets::cstf_gpu(16, cstf_device::DeviceSpec::h100()), &x, 1);
+        let s: f64 = r.per_iter.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_reciprocal_symmetric() {
+        let x = small_tensor();
+        let a = run_preset(&presets::splatt_cpu(16), &x, 1);
+        let b = run_preset(&presets::cstf_gpu(16, cstf_device::DeviceSpec::h100()), &x, 1);
+        let s = b.speedup_over(&a);
+        assert!((a.speedup_over(&b) - 1.0 / s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! # cstf-bench
+//!
+//! The benchmark harness: shared machinery for the figure/table binaries
+//! (one binary per paper artifact, see DESIGN.md §3) and the Criterion
+//! wall-clock benches.
+//!
+//! The harness runs a [`SystemPreset`] (device + driver configuration) on a
+//! catalog tensor, reads the device profiler's per-phase modeled times, and
+//! reports per-iteration numbers exactly the way the paper's figures do
+//! (end-to-end per-iteration, phase breakdowns, and phase-vs-phase
+//! speedups).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    arg_usize, catalog_workloads, run_preset, run_preset_dense, PhaseBreakdown, RunResult,
+    Workload,
+};
+pub use report::{geometric_mean, print_header, print_row, write_json};

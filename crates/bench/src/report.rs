@@ -1,0 +1,68 @@
+//! Table formatting and JSON result emission for the figure binaries.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Geometric mean of a slice of positive values (the paper's summary
+/// statistic for speedups); 0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints a figure header with a separator line.
+pub fn print_header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(40)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(40)));
+}
+
+/// Prints one aligned row of label + columns.
+pub fn print_row(label: &str, cols: &[String]) {
+    let mut out = std::io::stdout().lock();
+    let _ = write!(out, "{label:<14}");
+    for c in cols {
+        let _ = write!(out, " {c:>12}");
+    }
+    let _ = writeln!(out);
+}
+
+/// Writes a serializable result set as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    let body = serde_json::to_string_pretty(value).expect("serializable result");
+    f.write_all(body.as_bytes())?;
+    f.write_all(b"\n")?;
+    eprintln!("[results written to {}]", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values_is_the_value() {
+        assert!((geometric_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        // gm(2, 8) = 4.
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_empty_is_zero() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal dependency-free argument parsing for the `cstf` binary.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: BTreeMap<String, String>,
+    /// Bare `--flag` switches (no value).
+    pub flags: Vec<String>,
+}
+
+/// Errors from parsing or validating the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// `--key` given without a value where one is required.
+    MissingValue(String),
+    /// An option failed to parse into the expected type.
+    BadValue {
+        /// Which option.
+        key: String,
+        /// The offending text.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A required option is absent.
+    MissingOption(&'static str),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given; try `cstf help`"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} requires a value"),
+            ArgError::BadValue { key, value, expected } => {
+                write!(f, "option --{key}: {value:?} is not a valid {expected}")
+            }
+            ArgError::MissingOption(k) => write!(f, "required option --{k} is missing"),
+            ArgError::UnknownCommand(c) => {
+                write!(f, "unknown subcommand {c:?}; try `cstf help`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Known boolean switches (everything else expects a value).
+const SWITCHES: &[&str] = &["json", "quiet", "fit"];
+
+/// Parses `argv[1..]`.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+    let mut out = ParsedArgs::default();
+    let mut it = args.iter().peekable();
+    while let Some(tok) = it.next() {
+        if let Some(key) = tok.strip_prefix("--") {
+            if SWITCHES.contains(&key) {
+                out.flags.push(key.to_string());
+            } else {
+                let value =
+                    it.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+                out.options.insert(key.to_string(), value.clone());
+            }
+        } else if out.command.is_empty() {
+            out.command = tok.clone();
+        }
+    }
+    if out.command.is_empty() {
+        return Err(ArgError::MissingCommand);
+    }
+    Ok(out)
+}
+
+impl ParsedArgs {
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parsed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// True when `--flag` was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let p = parse(&sv(&["factorize", "--rank", "16", "--json", "--device", "h100"])).unwrap();
+        assert_eq!(p.command, "factorize");
+        assert_eq!(p.get_or("rank", "8"), "16");
+        assert_eq!(p.get_or("device", "cpu"), "h100");
+        assert!(p.has_flag("json"));
+        assert!(!p.has_flag("quiet"));
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert_eq!(parse(&sv(&["--rank", "4"])).unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn dangling_option_is_error() {
+        assert!(matches!(
+            parse(&sv(&["run", "--rank"])).unwrap_err(),
+            ArgError::MissingValue(k) if k == "rank"
+        ));
+    }
+
+    #[test]
+    fn typed_parse_with_default() {
+        let p = parse(&sv(&["x", "--rank", "32"])).unwrap();
+        assert_eq!(p.parse_or("rank", 8usize, "integer").unwrap(), 32);
+        assert_eq!(p.parse_or("iters", 10usize, "integer").unwrap(), 10);
+    }
+
+    #[test]
+    fn typed_parse_bad_value() {
+        let p = parse(&sv(&["x", "--rank", "banana"])).unwrap();
+        assert!(matches!(
+            p.parse_or("rank", 8usize, "integer").unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+    }
+}

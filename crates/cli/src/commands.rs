@@ -1,0 +1,446 @@
+//! The `cstf` subcommands.
+
+use std::io::Write;
+
+use cstf_core::admm::AdmmConfig;
+use cstf_core::auntf::TensorFormat;
+use cstf_core::hybrid::{recommend_placement, Placement, WorkloadShape};
+use cstf_core::{Auntf, AuntfConfig, Constraint, HalsConfig, MuConfig, UpdateMethod};
+use cstf_device::{Device, DeviceSpec};
+use cstf_tensor::SparseTensor;
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problem.
+    Args(ArgError),
+    /// I/O or parse problem with an input tensor.
+    Input(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Input(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Dispatches a parsed command, writing human output to `out`.
+pub fn dispatch(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    match p.command.as_str() {
+        "factorize" => cmd_factorize(p, out),
+        "info" => cmd_info(p, out),
+        "datasets" => cmd_datasets(out),
+        "devices" => cmd_devices(out),
+        "placement" => cmd_placement(p, out),
+        "help" => {
+            let _ = write!(out, "{}", help_text());
+            Ok(())
+        }
+        other => Err(ArgError::UnknownCommand(other.to_string()).into()),
+    }
+}
+
+/// Usage text.
+pub fn help_text() -> String {
+    "cstf — constrained sparse tensor factorization (cSTF-rs)\n\
+     \n\
+     USAGE: cstf <command> [options]\n\
+     \n\
+     COMMANDS:\n\
+       factorize   run a constrained CP factorization\n\
+       info        inspect a tensor (shape, nnz, density, format storage)\n\
+       datasets    list the Table 2 catalog\n\
+       devices     list the simulated device specs (Table 1)\n\
+       placement   recommend CPU/GPU placement for a workload\n\
+       help        this text\n\
+     \n\
+     COMMON OPTIONS:\n\
+       --input FILE         FROSTT .tns file\n\
+       --dataset NAME       Table 2 analogue (e.g. NELL2); with --nnz N budget\n\
+       --rank R             factorization rank        (default 16)\n\
+       --iters N            outer iterations          (default 20)\n\
+       --update METHOD      cuadmm|admm|mu|hals       (default cuadmm)\n\
+       --constraint C       nonneg|none|simplex|l1:MU|ridge:MU|box:LO:HI (default nonneg)\n\
+       --format F           coo|csf|csf1|hicoo|alto|blco (default blco)\n\
+       --device D           cpu|a100|h100             (default h100)\n\
+       --seed N             RNG seed                  (default 0)\n\
+       --json               emit a JSON report instead of text\n\
+       --trace FILE         write a chrome://tracing kernel timeline\n"
+        .to_string()
+}
+
+fn load_tensor(p: &ParsedArgs) -> Result<SparseTensor, CliError> {
+    if let Some(path) = p.options.get("input") {
+        cstf_tensor::read_tns_file(path)
+            .map_err(|e| CliError::Input(format!("failed to read {path}: {e}")))
+    } else if let Some(name) = p.options.get("dataset") {
+        let entry = cstf_data::by_name(name)
+            .ok_or_else(|| CliError::Input(format!("unknown dataset {name:?}")))?;
+        let nnz = p.parse_or("nnz", 50_000usize, "integer")?;
+        Ok(entry.generate_scaled(nnz, p.parse_or("seed", 0u64, "integer")?))
+    } else {
+        Err(ArgError::MissingOption("input (or --dataset)").into())
+    }
+}
+
+fn parse_constraint(text: &str) -> Result<Constraint, CliError> {
+    let mut parts = text.split(':');
+    let head = parts.next().unwrap_or("");
+    let bad = |expected: &'static str| {
+        CliError::Args(ArgError::BadValue {
+            key: "constraint".into(),
+            value: text.into(),
+            expected,
+        })
+    };
+    match head {
+        "nonneg" => Ok(Constraint::NonNegative),
+        "simplex" => Ok(Constraint::Simplex),
+        "none" => Ok(Constraint::Unconstrained),
+        "l1" => {
+            let mu = parts.next().ok_or_else(|| bad("l1:MU"))?;
+            Ok(Constraint::SparseL1 { mu: mu.parse().map_err(|_| bad("l1:MU"))? })
+        }
+        "ridge" => {
+            let mu = parts.next().ok_or_else(|| bad("ridge:MU"))?;
+            Ok(Constraint::Ridge { mu: mu.parse().map_err(|_| bad("ridge:MU"))? })
+        }
+        "box" => {
+            let lo = parts.next().ok_or_else(|| bad("box:LO:HI"))?;
+            let hi = parts.next().ok_or_else(|| bad("box:LO:HI"))?;
+            Ok(Constraint::Box {
+                lo: lo.parse().map_err(|_| bad("box:LO:HI"))?,
+                hi: hi.parse().map_err(|_| bad("box:LO:HI"))?,
+            })
+        }
+        _ => Err(bad("nonneg|none|simplex|l1:MU|ridge:MU|box:LO:HI")),
+    }
+}
+
+fn parse_device(text: &str) -> Result<DeviceSpec, CliError> {
+    match text {
+        "cpu" | "xeon" => Ok(DeviceSpec::icelake_xeon()),
+        "a100" => Ok(DeviceSpec::a100()),
+        "h100" => Ok(DeviceSpec::h100()),
+        _ => Err(CliError::Args(ArgError::BadValue {
+            key: "device".into(),
+            value: text.into(),
+            expected: "cpu|a100|h100",
+        })),
+    }
+}
+
+fn parse_format(text: &str) -> Result<TensorFormat, CliError> {
+    match text {
+        "coo" => Ok(TensorFormat::Coo),
+        "csf" => Ok(TensorFormat::Csf),
+        "csf1" | "csfone" => Ok(TensorFormat::CsfOne),
+        "hicoo" => Ok(TensorFormat::HiCoo),
+        "alto" => Ok(TensorFormat::Alto),
+        "blco" => Ok(TensorFormat::Blco),
+        _ => Err(CliError::Args(ArgError::BadValue {
+            key: "format".into(),
+            value: text.into(),
+            expected: "coo|csf|csf1|hicoo|alto|blco",
+        })),
+    }
+}
+
+fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let x = load_tensor(p)?;
+    let rank = p.parse_or("rank", 16usize, "integer")?;
+    let iters = p.parse_or("iters", 20usize, "integer")?;
+    let constraint = parse_constraint(p.get_or("constraint", "nonneg"))?;
+    let update = match p.get_or("update", "cuadmm") {
+        "cuadmm" => UpdateMethod::Admm(AdmmConfig { constraint, ..AdmmConfig::cuadmm() }),
+        "admm" => UpdateMethod::Admm(AdmmConfig { constraint, ..AdmmConfig::generic() }),
+        "mu" => UpdateMethod::Mu(MuConfig::default()),
+        "hals" => UpdateMethod::Hals(HalsConfig::default()),
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                key: "update".into(),
+                value: other.into(),
+                expected: "cuadmm|admm|mu|hals",
+            }))
+        }
+    };
+    let cfg = AuntfConfig {
+        rank,
+        max_iters: iters,
+        fit_tol: p.parse_or("fit-tol", 0.0f64, "number")?,
+        update,
+        seed: p.parse_or("seed", 0u64, "integer")?,
+        format: parse_format(p.get_or("format", "blco"))?,
+        ..Default::default()
+    };
+    let trace_path = p.options.get("trace").cloned();
+    let spec = parse_device(p.get_or("device", "h100"))?;
+    // Retain per-kernel records only when a trace is requested.
+    let dev = if trace_path.is_some() { Device::with_records(spec) } else { Device::new(spec) };
+
+    let shape = x.shape().to_vec();
+    let nnz = x.nnz();
+    let t0 = std::time::Instant::now();
+    let result = Auntf::new(x, cfg).factorize(&dev);
+    let wall = t0.elapsed().as_secs_f64();
+
+    if let Some(path) = &trace_path {
+        let records = dev.records();
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Input(format!("cannot create trace file {path}: {e}")))?;
+        cstf_device::write_chrome_trace(&records, std::io::BufWriter::new(file))
+            .map_err(|e| CliError::Input(format!("trace write failed: {e}")))?;
+        eprintln!("[chrome trace written to {path}; open in chrome://tracing or Perfetto]");
+    }
+
+    if p.has_flag("json") {
+        let report = serde_json::json!({
+            "shape": shape,
+            "nnz": nnz,
+            "rank": rank,
+            "iterations": result.iters,
+            "converged": result.converged,
+            "fits": result.fits,
+            "final_fit": result.fits.last(),
+            "lambda": result.model.lambda,
+            "wall_seconds": wall,
+            "modeled_seconds": dev.total_seconds(),
+            "device": dev.spec().name,
+            "phases": dev.phases().iter().map(|(ph, t)| {
+                serde_json::json!({"phase": ph.label(), "seconds": t.seconds, "launches": t.launches})
+            }).collect::<Vec<_>>(),
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&report).unwrap())
+            .map_err(|e| CliError::Input(e.to_string()))?;
+    } else {
+        writeln!(out, "tensor {shape:?}, nnz {nnz}").map_err(|e| CliError::Input(e.to_string()))?;
+        writeln!(
+            out,
+            "rank {rank}, {} iterations, converged: {}",
+            result.iters, result.converged
+        )
+        .map_err(|e| CliError::Input(e.to_string()))?;
+        if let Some(fit) = result.fits.last() {
+            writeln!(out, "final fit: {fit:.6}").map_err(|e| CliError::Input(e.to_string()))?;
+        }
+        writeln!(out, "wall time: {wall:.3}s, modeled {} time: {:.3e}s", dev.spec().name, dev.total_seconds())
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        for (ph, t) in dev.phases() {
+            writeln!(out, "  {:<10} {:>10.3e}s ({} launches)", ph.label(), t.seconds, t.launches)
+                .map_err(|e| CliError::Input(e.to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let x = load_tensor(p)?;
+    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| CliError::Input(e.to_string()));
+    w(format!("shape:    {:?}", x.shape()))?;
+    w(format!("modes:    {}", x.nmodes()))?;
+    w(format!("nnz:      {}", x.nnz()))?;
+    w(format!("density:  {:.3e}", x.density()))?;
+    w(format!("norm:     {:.6e}", x.norm_sq().sqrt()))?;
+    let coo = x.nnz() * (x.nmodes() * 4 + 8);
+    let csf = cstf_formats::Csf::from_coo(&x, 0).storage_bytes();
+    let hicoo = cstf_formats::HiCoo::from_coo(&x).storage_bytes();
+    let alto = cstf_formats::Alto::from_coo(&x).storage_bytes();
+    let blco = cstf_formats::Blco::from_coo(&x).storage_bytes();
+    w(format!("storage:  COO {coo} B, CSF {csf} B, HiCOO {hicoo} B, ALTO {alto} B, BLCO {blco} B"))?;
+    Ok(())
+}
+
+fn cmd_datasets(out: &mut dyn Write) -> Result<(), CliError> {
+    for e in cstf_data::table2() {
+        writeln!(
+            out,
+            "{:<11} dims {:?}, nnz {}, density {:.1e}",
+            e.name,
+            e.paper_dims,
+            e.paper_nnz,
+            e.paper_density()
+        )
+        .map_err(|er| CliError::Input(er.to_string()))?;
+    }
+    Ok(())
+}
+
+fn cmd_devices(out: &mut dyn Write) -> Result<(), CliError> {
+    for d in DeviceSpec::table1() {
+        writeln!(
+            out,
+            "{:<28} {:<16} {:>8.0} GFLOP/s {:>7.0} GB/s  LLC {:>6.1} MiB",
+            d.name, d.uarch, d.peak_gflops_f64, d.mem_bw_gbs, d.llc_mib
+        )
+        .map_err(|e| CliError::Input(e.to_string()))?;
+    }
+    Ok(())
+}
+
+fn cmd_placement(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let x = load_tensor(p)?;
+    let w = WorkloadShape {
+        shape: x.shape().to_vec(),
+        nnz: x.nnz(),
+        rank: p.parse_or("rank", 16usize, "integer")?,
+        inner_iters: 10,
+        format: parse_format(p.get_or("format", "blco"))?,
+    };
+    let gpu = parse_device(p.get_or("device", "h100"))?;
+    let plan = recommend_placement(&w, &DeviceSpec::icelake_xeon(), &gpu);
+    let place = |pl: Placement| match pl {
+        Placement::Cpu => "CPU",
+        Placement::Gpu => "GPU",
+    };
+    writeln!(
+        out,
+        "recommended: MTTKRP on {}, UPDATE pipeline on {} (predicted {:.3e}s/iter; all-CPU {:.3e}s, all-GPU {:.3e}s)",
+        place(plan.mttkrp),
+        place(plan.update),
+        plan.predicted_s,
+        plan.all_cpu_s,
+        plan.all_gpu_s
+    )
+    .map_err(|e| CliError::Input(e.to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let parsed = parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())?;
+        let mut buf = Vec::new();
+        dispatch(&parsed, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn datasets_lists_all_ten() {
+        let out = run(&["datasets"]).unwrap();
+        for name in ["NIPS", "Amazon", "Flickr"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert_eq!(out.lines().count(), 10);
+    }
+
+    #[test]
+    fn devices_lists_table1() {
+        let out = run(&["devices"]).unwrap();
+        assert!(out.contains("A100") && out.contains("H100") && out.contains("Xeon"));
+    }
+
+    #[test]
+    fn factorize_catalog_dataset_text_report() {
+        let out = run(&[
+            "factorize", "--dataset", "Chicago", "--nnz", "4000", "--rank", "4", "--iters", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("final fit:"), "{out}");
+        assert!(out.contains("MTTKRP"));
+        assert!(out.contains("UPDATE"));
+    }
+
+    #[test]
+    fn factorize_json_report_is_valid_json() {
+        let out = run(&[
+            "factorize", "--dataset", "NIPS", "--nnz", "3000", "--rank", "3", "--iters", "2",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["rank"], 3);
+        assert_eq!(v["iterations"], 2);
+        assert!(v["final_fit"].as_f64().unwrap().is_finite());
+    }
+
+    #[test]
+    fn info_reports_storage_for_all_formats() {
+        let out = run(&["info", "--dataset", "Uber", "--nnz", "3000"]).unwrap();
+        assert!(out.contains("COO") && out.contains("CSF") && out.contains("BLCO"));
+        assert!(out.contains("density:"));
+    }
+
+    #[test]
+    fn placement_recommends_something() {
+        let out = run(&["placement", "--dataset", "NELL2", "--nnz", "5000"]).unwrap();
+        assert!(out.contains("recommended: MTTKRP on"), "{out}");
+    }
+
+    #[test]
+    fn l1_constraint_parses_and_runs() {
+        let out = run(&[
+            "factorize", "--dataset", "Uber", "--nnz", "2000", "--rank", "3", "--iters", "2",
+            "--constraint", "l1:0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("final fit:"));
+    }
+
+    #[test]
+    fn bad_constraint_is_rejected() {
+        let err = run(&["factorize", "--dataset", "Uber", "--constraint", "magic"]).unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        assert!(matches!(
+            run(&["frobnicate"]).unwrap_err(),
+            CliError::Args(ArgError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn missing_input_is_rejected() {
+        assert!(matches!(
+            run(&["info"]).unwrap_err(),
+            CliError::Args(ArgError::MissingOption(_))
+        ));
+    }
+
+    #[test]
+    fn trace_flag_writes_valid_chrome_trace() {
+        let dir = std::env::temp_dir().join("cstf_cli_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        run(&[
+            "factorize", "--dataset", "Uber", "--nnz", "2000", "--rank", "3", "--iters", "2",
+            "--trace", path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid trace JSON");
+        let events = v.as_array().unwrap();
+        assert!(events.len() > 20, "expected many kernel events, got {}", events.len());
+        assert!(events.iter().any(|e| e["name"] == "mttkrp"));
+        assert!(events.iter().any(|e| e["cat"] == "UPDATE"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn frostt_file_roundtrip_through_cli() {
+        let dir = std::env::temp_dir().join("cstf_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.tns");
+        std::fs::write(&path, "1 1 1 2.0\n2 2 2 3.0\n3 1 2 1.5\n").unwrap();
+        let out = run(&["info", "--input", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("nnz:      3"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,15 @@
+//! # cstf-cli
+//!
+//! The `cstf` command-line front-end: factorize FROSTT `.tns` files or
+//! Table 2 catalog analogues, inspect tensors and formats, list the
+//! simulated devices, and query the hybrid placement model — all from the
+//! shell. See `cstf help` for usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, ArgError, ParsedArgs};
+pub use commands::{dispatch, help_text, CliError};

@@ -1,0 +1,858 @@
+//! ADMM update for one factor matrix — generic and cuADMM variants.
+//!
+//! This module implements Algorithm 2 (generic ADMM, cuBLAS-granularity
+//! kernels with a triangular solve in the inner loop) and Algorithm 3
+//! (cuADMM) of the paper. The two cuADMM optimizations are independently
+//! switchable so the Figure 4 ablation can measure each:
+//!
+//! * **Operation fusion** (§4.3.1): `compute_auxiliary` folds
+//!   `H_aux = M + rho * (H + U)` into one kernel (3IR reads + IR writes
+//!   instead of 4IR + 2IR), `apply_proximity_operator` fuses the
+//!   `H_aux - U` subtraction with the constraint projection, and
+//!   `dual_update` reuses the `H - H_aux` difference for both the dual
+//!   ascent and the primal-residual norm.
+//! * **Pre-inversion** (§4.3.2): `(L L^T)^{-1}` is computed once outside
+//!   the inner loop, replacing the serialized forward/backward triangular
+//!   solves with a single GEMM per iteration.
+//!
+//! All four (fusion x pre-inversion) variants compute the same mathematics;
+//! the fusion pairs are element-wise identical expressions (bitwise-equal
+//! results), while pre-inversion differs only in floating-point rounding.
+//! Property tests in `tests/` pin both equivalences.
+
+use rayon::prelude::*;
+
+use cstf_device::{Device, KernelClass, KernelCost, Phase};
+use cstf_linalg::{Cholesky, Mat};
+
+use crate::prox::Constraint;
+
+/// Rayon threshold: element-wise kernels below this run serially.
+const PAR_ELEMS: usize = 16 * 1024;
+
+/// Configuration of the ADMM update.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmmConfig {
+    /// Maximum inner iterations (the paper fixes 10 for all measurements).
+    pub inner_iters: usize,
+    /// Relative primal/dual residual tolerance for early exit; `0.0`
+    /// disables early exit (fixed-iteration mode, as in the paper's
+    /// performance runs).
+    pub tol: f64,
+    /// Enable the fused kernels (OF).
+    pub operation_fusion: bool,
+    /// Enable the explicit inverse + GEMM solve (PI).
+    pub pre_inversion: bool,
+    /// Constraint to impose.
+    pub constraint: Constraint,
+}
+
+impl AdmmConfig {
+    /// The paper's cuADMM: both optimizations on, non-negativity, 10 inner
+    /// iterations.
+    pub fn cuadmm() -> Self {
+        Self {
+            inner_iters: 10,
+            tol: 0.0,
+            operation_fusion: true,
+            pre_inversion: true,
+            constraint: Constraint::NonNegative,
+        }
+    }
+
+    /// The generic baseline ADMM (Algorithm 2): cuBLAS-style unfused
+    /// kernels, triangular solve per iteration.
+    pub fn generic() -> Self {
+        Self { operation_fusion: false, pre_inversion: false, ..Self::cuadmm() }
+    }
+
+    /// Display label for ablation tables.
+    pub fn variant_name(&self) -> &'static str {
+        match (self.operation_fusion, self.pre_inversion) {
+            (false, false) => "ADMM (generic)",
+            (true, false) => "ADMM+OF",
+            (false, true) => "ADMM+PI",
+            (true, true) => "cuADMM (OF+PI)",
+        }
+    }
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        Self::cuadmm()
+    }
+}
+
+/// Reusable buffers for the update (sized `I x R`).
+#[derive(Debug, Clone)]
+pub struct AdmmWorkspace {
+    h_aux: Mat,
+    tmp: Mat,
+    h_old: Mat,
+}
+
+impl AdmmWorkspace {
+    /// Allocates buffers for an `I x R` factor.
+    pub fn new(rows: usize, rank: usize) -> Self {
+        Self {
+            h_aux: Mat::zeros(rows, rank),
+            tmp: Mat::zeros(rows, rank),
+            h_old: Mat::zeros(rows, rank),
+        }
+    }
+}
+
+/// Outcome of one ADMM update call.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmmStats {
+    /// Inner iterations executed.
+    pub iters: usize,
+    /// Final relative primal residual `||H - H_aux||^2 / ||H||^2`.
+    pub primal_residual: f64,
+    /// Final relative dual residual `||H - H_old||^2 / ||U||^2`.
+    pub dual_residual: f64,
+    /// The penalty parameter `rho = trace(S) / R` used.
+    pub rho: f64,
+}
+
+fn stream_cost(elems: usize, reads: f64, writes: f64, flops: f64) -> KernelCost {
+    let e = elems as f64;
+    KernelCost {
+        flops: flops * e,
+        bytes_read: reads * 8.0 * e,
+        bytes_written: writes * 8.0 * e,
+        gather_traffic: 0.0,
+        parallel_work: e,
+        serial_steps: 1.0,
+        working_set: (reads + writes) * 8.0 * e,
+    }
+}
+
+fn map2(out: &mut Mat, a: &Mat, b: &Mat, f: impl Fn(f64, f64) -> f64 + Sync) {
+    let (o, x, y) = (out.as_mut_slice(), a.as_slice(), b.as_slice());
+    if o.len() >= PAR_ELEMS {
+        o.par_iter_mut().zip(x.par_iter().zip(y)).for_each(|(o, (&x, &y))| *o = f(x, y));
+    } else {
+        for (o, (&x, &y)) in o.iter_mut().zip(x.iter().zip(y)) {
+            *o = f(x, y);
+        }
+    }
+}
+
+fn map3(out: &mut Mat, a: &Mat, b: &Mat, c: &Mat, f: impl Fn(f64, f64, f64) -> f64 + Sync) {
+    let (o, x, y, z) = (out.as_mut_slice(), a.as_slice(), b.as_slice(), c.as_slice());
+    if o.len() >= PAR_ELEMS {
+        o.par_iter_mut()
+            .zip(x.par_iter().zip(y.par_iter().zip(z)))
+            .for_each(|(o, (&x, (&y, &z)))| *o = f(x, y, z));
+    } else {
+        for i in 0..o.len() {
+            o[i] = f(x[i], y[i], z[i]);
+        }
+    }
+}
+
+
+/// Row-wise proximity application for operators that couple a row's
+/// entries (`H = prox_row(H_aux - U)`).
+fn apply_rowwise(h: &mut Mat, aux: &Mat, u: &Mat, constraint: Constraint, rho: f64) {
+    let r = h.cols().max(1);
+    let body = |(i, hrow): (usize, &mut [f64])| {
+        for (o, (&a, &uv)) in hrow.iter_mut().zip(aux.row(i).iter().zip(u.row(i))) {
+            *o = a - uv;
+        }
+        constraint.prox_row(hrow, rho);
+    };
+    if h.len() >= PAR_ELEMS {
+        h.as_mut_slice().par_chunks_exact_mut(r).enumerate().for_each(body);
+    } else {
+        h.as_mut_slice().chunks_exact_mut(r).enumerate().for_each(body);
+    }
+}
+
+fn sum_sq(a: &Mat) -> f64 {
+    cstf_linalg::fro_norm_sq(a)
+}
+
+fn sum_sq_diff(a: &Mat, b: &Mat) -> f64 {
+    cstf_linalg::diff_norm_sq(a, b)
+}
+
+/// Runs the ADMM update for one mode: given the MTTKRP output `m` (`I x R`)
+/// and the Hadamard-of-Grams matrix `s` (`R x R`), updates the primal
+/// factor `h` and the dual variable `u` in place.
+///
+/// Every kernel is metered through `dev` under [`Phase::Update`].
+///
+/// # Panics
+/// Panics on shape mismatches between `m`, `h`, `u` and `s`.
+pub fn admm_update(
+    dev: &Device,
+    cfg: &AdmmConfig,
+    m: &Mat,
+    s: &Mat,
+    h: &mut Mat,
+    u: &mut Mat,
+    ws: &mut AdmmWorkspace,
+) -> AdmmStats {
+    let (rows, rank) = (m.rows(), m.cols());
+    assert_eq!((h.rows(), h.cols()), (rows, rank), "H shape mismatch");
+    assert_eq!((u.rows(), u.cols()), (rows, rank), "U shape mismatch");
+    assert_eq!((s.rows(), s.cols()), (rank, rank), "S must be R x R");
+    assert_eq!((ws.h_aux.rows(), ws.h_aux.cols()), (rows, rank), "workspace shape mismatch");
+    let elems = rows * rank;
+
+    // rho = trace(S)/R with a floor to keep S + rho*I positive definite
+    // even for degenerate (all-zero) Gram products.
+    let rho = (s.trace() / rank as f64).max(1e-12);
+
+    // Cholesky factorization of S + rho*I (Algorithm 2/3, line 3).
+    let chol = dev.launch(
+        "cholesky_factor",
+        Phase::Update,
+        KernelClass::Factor,
+        KernelCost {
+            flops: (rank * rank * rank) as f64 / 3.0,
+            bytes_read: (rank * rank) as f64 * 8.0,
+            bytes_written: (rank * rank) as f64 * 8.0,
+            gather_traffic: 0.0,
+            parallel_work: rank as f64,
+            serial_steps: rank as f64,
+            working_set: (rank * rank) as f64 * 8.0,
+        },
+        || {
+            let mut sp = s.clone();
+            sp.add_diagonal(rho);
+            Cholesky::factor(&sp).expect("S + rho*I is positive definite by construction")
+        },
+    );
+
+    // Pre-inversion (Algorithm 3, line 4): explicit (L L^T)^{-1}, once.
+    let inv = if cfg.pre_inversion {
+        Some(dev.launch(
+            "cholesky_explicit_inverse",
+            Phase::Update,
+            KernelClass::Factor,
+            KernelCost {
+                flops: 2.0 * (rank * rank * rank) as f64,
+                bytes_read: (rank * rank) as f64 * 8.0,
+                bytes_written: (rank * rank) as f64 * 8.0,
+                // One R x R inverse is launch-bound on a GPU (R columns
+                // solve in parallel against the cached triangle).
+                gather_traffic: 0.0,
+                parallel_work: (rank * rank) as f64,
+                serial_steps: 1.0,
+                working_set: 2.0 * (rank * rank) as f64 * 8.0,
+            },
+            || chol.inverse(),
+        ))
+    } else {
+        None
+    };
+
+    let mut stats =
+        AdmmStats { iters: 0, primal_residual: f64::INFINITY, dual_residual: f64::INFINITY, rho };
+
+    for it in 0..cfg.inner_iters {
+        stats.iters = it + 1;
+
+        // H_old <- H (for the dual residual; Algorithm 2 line 5).
+        dev.launch(
+            "copy_h_old",
+            Phase::Update,
+            KernelClass::Stream,
+            stream_cost(elems, 1.0, 1.0, 0.0),
+            || ws.h_old.copy_from(h),
+        );
+
+        // --- auxiliary variable H_aux = M + rho * (H + U) ---
+        if cfg.operation_fusion {
+            let (h_aux, h_ref, u_ref) = (&mut ws.h_aux, &*h, &*u);
+            dev.launch(
+                "compute_auxiliary",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 3.0, 1.0, 3.0),
+                || map3(h_aux, m, h_ref, u_ref, |m, h, u| m + rho * (h + u)),
+            );
+        } else {
+            // DGEAM tmp = H + U, then DGEAM H_aux = M + rho * tmp.
+            let (tmp, h_ref, u_ref) = (&mut ws.tmp, &*h, &*u);
+            dev.launch(
+                "dgeam_h_plus_u",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 2.0, 1.0, 1.0),
+                || map2(tmp, h_ref, u_ref, |h, u| h + u),
+            );
+            let (h_aux, tmp_ref) = (&mut ws.h_aux, &ws.tmp);
+            dev.launch(
+                "dgeam_m_plus_rho_t",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 2.0, 1.0, 2.0),
+                || map2(h_aux, m, tmp_ref, |m, t| m + rho * t),
+            );
+        }
+
+        // --- solve (S + rho I) X^T = H_aux^T ---
+        if let Some(inv) = &inv {
+            // GEMM against the precomputed inverse (Algorithm 3 line 7).
+            let (tmp, h_aux_ref) = (&mut ws.tmp, &ws.h_aux);
+            dev.launch(
+                "dgemm_apply_inverse",
+                Phase::Update,
+                KernelClass::Gemm,
+                KernelCost {
+                    flops: 2.0 * elems as f64 * rank as f64,
+                    bytes_read: (elems + rank * rank) as f64 * 8.0,
+                    bytes_written: elems as f64 * 8.0,
+                    gather_traffic: 0.0,
+                    parallel_work: elems as f64,
+                    serial_steps: 1.0,
+                    working_set: (2 * elems + rank * rank) as f64 * 8.0,
+                },
+                || cstf_linalg::gemm(1.0, h_aux_ref, inv, 0.0, tmp),
+            );
+            // The GEMM wrote into `tmp`; swap it in as the new H_aux
+            // (pointer swap — free, like cuBLAS writing to a second buffer).
+            std::mem::swap(&mut ws.h_aux, &mut ws.tmp);
+        } else {
+            // Forward + backward triangular solves (Algorithm 2 line 6).
+            // On the device each right-hand side solves independently
+            // (I-way parallel), but the per-thread dependent chains keep
+            // compute efficiency far below GEMM (the Trsm class's derate),
+            // and blocked DTRSM re-reads partially-updated columns,
+            // amplifying read traffic — the penalties pre-inversion
+            // removes (§4.3.2).
+            let h_aux = &mut ws.h_aux;
+            dev.launch(
+                "trsm_fwd_bwd",
+                Phase::Update,
+                KernelClass::Trsm,
+                KernelCost {
+                    flops: 2.0 * elems as f64 * rank as f64,
+                    bytes_read: (2.5 * elems as f64 + (rank * rank) as f64) * 8.0,
+                    bytes_written: elems as f64 * 8.0,
+                    // Column-sweep DTRSM: each of the 2R steps is
+                    // I x (remaining columns) wide — elems/2 on average.
+                    gather_traffic: 0.0,
+                    parallel_work: elems as f64 / 2.0,
+                    serial_steps: 1.0,
+                    working_set: (2 * elems + rank * rank) as f64 * 8.0,
+                },
+                || chol.solve_rows(h_aux),
+            );
+        }
+
+        // --- constraint: H = prox(H_aux - U) ---
+        if cfg.operation_fusion {
+            let constraint = cfg.constraint;
+            let (h_mut, h_aux_ref, u_ref) = (&mut *h, &ws.h_aux, &*u);
+            dev.launch(
+                "apply_proximity_operator",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 2.0, 1.0, 2.0),
+                || {
+                    if constraint.is_elementwise() {
+                        map2(h_mut, h_aux_ref, u_ref, |a, u| constraint.prox(a - u, rho));
+                    } else {
+                        // Row-coupled operator (simplex): form the row of
+                        // H_aux - U, then project it jointly.
+                        apply_rowwise(h_mut, h_aux_ref, u_ref, constraint, rho);
+                    }
+                },
+            );
+        } else {
+            // DGEAM tmp = H_aux - U, then a separate prox kernel.
+            let (tmp, h_aux_ref, u_ref) = (&mut ws.tmp, &ws.h_aux, &*u);
+            dev.launch(
+                "dgeam_aux_minus_u",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 2.0, 1.0, 1.0),
+                || map2(tmp, h_aux_ref, u_ref, |a, u| a - u),
+            );
+            let constraint = cfg.constraint;
+            let (h_mut, tmp_ref) = (&mut *h, &ws.tmp);
+            dev.launch(
+                "prox_operator",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 1.0, 1.0, 1.0),
+                || {
+                    if constraint.is_elementwise() {
+                        let (o, t) = (h_mut.as_mut_slice(), tmp_ref.as_slice());
+                        if o.len() >= PAR_ELEMS {
+                            o.par_iter_mut()
+                                .zip(t.par_iter())
+                                .for_each(|(o, &t)| *o = constraint.prox(t, rho));
+                        } else {
+                            for (o, &t) in o.iter_mut().zip(t) {
+                                *o = constraint.prox(t, rho);
+                            }
+                        }
+                    } else {
+                        h_mut.copy_from(tmp_ref);
+                        let r = h_mut.cols().max(1);
+                        h_mut
+                            .as_mut_slice()
+                            .par_chunks_exact_mut(r)
+                            .for_each(|row| constraint.prox_row(row, rho));
+                    }
+                },
+            );
+        }
+
+        // --- dual update U += H - H_aux, plus residuals ---
+        let (primal_sq, h_sq) = if cfg.operation_fusion {
+            // Fused kernel: updates U and reuses the H - H_aux difference
+            // for the primal-residual reduction.
+            let (u_mut, h_ref, h_aux_ref) = (&mut *u, &*h, &ws.h_aux);
+            dev.launch(
+                "dual_update",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 3.0, 1.0, 5.0),
+                || {
+                    let (us, hs, asx) =
+                        (u_mut.as_mut_slice(), h_ref.as_slice(), h_aux_ref.as_slice());
+                    let body = |(u, (&h, &a)): (&mut f64, (&f64, &f64))| {
+                        let d = h - a;
+                        *u += d;
+                        (d * d, h * h)
+                    };
+                    if us.len() >= PAR_ELEMS {
+                        us.par_iter_mut()
+                            .zip(hs.par_iter().zip(asx))
+                            .map(body)
+                            .reduce(|| (0.0, 0.0), |x, y| (x.0 + y.0, x.1 + y.1))
+                    } else {
+                        let mut acc = (0.0, 0.0);
+                        for z in us.iter_mut().zip(hs.iter().zip(asx)) {
+                            let (p, q) = body(z);
+                            acc.0 += p;
+                            acc.1 += q;
+                        }
+                        acc
+                    }
+                },
+            )
+        } else {
+            // Separate DGEAMs and reductions, as cuBLAS would do it.
+            let (tmp, h_ref, h_aux_ref) = (&mut ws.tmp, &*h, &ws.h_aux);
+            dev.launch(
+                "dgeam_h_minus_aux",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 2.0, 1.0, 1.0),
+                || map2(tmp, h_ref, h_aux_ref, |h, a| h - a),
+            );
+            let (u_mut, tmp_ref) = (&mut *u, &ws.tmp);
+            dev.launch(
+                "dgeam_dual_ascent",
+                Phase::Update,
+                KernelClass::Stream,
+                stream_cost(elems, 2.0, 1.0, 1.0),
+                || {
+                    let (us, ts) = (u_mut.as_mut_slice(), tmp_ref.as_slice());
+                    if us.len() >= PAR_ELEMS {
+                        us.par_iter_mut().zip(ts.par_iter()).for_each(|(u, &t)| *u += t);
+                    } else {
+                        for (u, &t) in us.iter_mut().zip(ts) {
+                            *u += t;
+                        }
+                    }
+                },
+            );
+            let primal = dev.launch(
+                "reduce_primal_residual",
+                Phase::Update,
+                KernelClass::Reduce,
+                stream_cost(elems, 1.0, 0.0, 2.0),
+                || sum_sq(&ws.tmp),
+            );
+            let h_sq = dev.launch(
+                "reduce_h_norm",
+                Phase::Update,
+                KernelClass::Reduce,
+                stream_cost(elems, 1.0, 0.0, 2.0),
+                || sum_sq(h),
+            );
+            (primal, h_sq)
+        };
+
+        // Dual residual needs ||H - H_old||^2 and ||U||^2; in the fused
+        // variant these are one extra reduction kernel, in the generic one
+        // they are two more cuBLAS calls.
+        let (dual_sq, u_sq) = dev.launch(
+            "reduce_dual_residual",
+            Phase::Update,
+            KernelClass::Reduce,
+            stream_cost(elems, 3.0, 0.0, 4.0),
+            || (sum_sq_diff(h, &ws.h_old), sum_sq(u)),
+        );
+
+        stats.primal_residual = if h_sq > 0.0 { primal_sq / h_sq } else { primal_sq };
+        stats.dual_residual = if u_sq > 0.0 { dual_sq / u_sq } else { dual_sq };
+
+        if cfg.tol > 0.0 && stats.primal_residual < cfg.tol && stats.dual_residual < cfg.tol {
+            break;
+        }
+    }
+
+    stats
+}
+
+/// Blocked ADMM (Smith et al., ICPP '17 — the paper's ref. [29] and the
+/// technique §4.2 says CPUs love and GPUs don't): rows are processed in
+/// cache-sized blocks, each running the full inner-iteration loop before
+/// moving on, so a block's `H/U/M` panels stay resident in cache.
+///
+/// With a fixed iteration count the result is bitwise identical to
+/// [`admm_update`] (rows are independent); only the kernel granularity —
+/// and therefore the modeled time — changes: smaller working sets help the
+/// CPU's caches, while the multiplied launch count and shrunken per-kernel
+/// parallelism hurt the GPU. `block_rows = 0` means unblocked.
+///
+/// # Panics
+/// Panics if `cfg.tol != 0` (per-block residuals differ from global ones)
+/// or on shape mismatches.
+pub fn blocked_admm_update(
+    dev: &Device,
+    cfg: &AdmmConfig,
+    block_rows: usize,
+    m: &Mat,
+    s: &Mat,
+    h: &mut Mat,
+    u: &mut Mat,
+) -> AdmmStats {
+    assert!(
+        cfg.tol == 0.0,
+        "blocked ADMM requires fixed iterations (tol = 0); per-block residuals \
+         are not the global convergence criterion"
+    );
+    let (rows, rank) = (m.rows(), m.cols());
+    if block_rows == 0 || block_rows >= rows {
+        let mut ws = AdmmWorkspace::new(rows, rank);
+        return admm_update(dev, cfg, m, s, h, u, &mut ws);
+    }
+
+    let mut ws = AdmmWorkspace::new(block_rows, rank);
+    let mut last = AdmmStats {
+        iters: 0,
+        primal_residual: f64::INFINITY,
+        dual_residual: f64::INFINITY,
+        rho: 0.0,
+    };
+    let mut start = 0usize;
+    while start < rows {
+        let end = (start + block_rows).min(rows);
+        let take = |src: &Mat| {
+            let mut block = Mat::zeros(end - start, rank);
+            for (bi, i) in (start..end).enumerate() {
+                block.row_mut(bi).copy_from_slice(src.row(i));
+            }
+            block
+        };
+        let m_blk = take(m);
+        let mut h_blk = take(h);
+        let mut u_blk = take(u);
+        if h_blk.rows() != ws.h_aux.rows() {
+            ws = AdmmWorkspace::new(h_blk.rows(), rank);
+        }
+        last = admm_update(dev, cfg, &m_blk, s, &mut h_blk, &mut u_blk, &mut ws);
+        for (bi, i) in (start..end).enumerate() {
+            h.row_mut(i).copy_from_slice(h_blk.row(bi));
+            u.row_mut(i).copy_from_slice(u_blk.row(bi));
+        }
+        start = end;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstf_device::DeviceSpec;
+    use cstf_linalg::gram;
+
+    /// Builds a well-conditioned random NNLS-ish problem.
+    fn problem(rows: usize, rank: usize, seed: u64) -> (Mat, Mat, Mat, Mat) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let truth = Mat::from_fn(rows, rank, |_, _| next());
+        let other = Mat::from_fn(rows + 5, rank, |_, _| next());
+        let s = gram::gram(&other);
+        // m = truth * s  => unconstrained argmin of ||H s^(1/2) - ...|| is truth.
+        let m = cstf_linalg::matmul(&truth, &s);
+        let h0 = Mat::from_fn(rows, rank, |_, _| next());
+        (m, s, h0, truth)
+    }
+
+    fn run(cfg: &AdmmConfig, m: &Mat, s: &Mat, h0: &Mat) -> (Mat, Mat, AdmmStats) {
+        let dev = Device::new(DeviceSpec::h100());
+        let mut h = h0.clone();
+        let mut u = Mat::zeros(h0.rows(), h0.cols());
+        let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
+        let stats = admm_update(&dev, cfg, m, s, &mut h, &mut u, &mut ws);
+        (h, u, stats)
+    }
+
+    #[test]
+    fn admm_recovers_nonnegative_least_squares_solution() {
+        let (m, s, h0, truth) = problem(60, 6, 1);
+        let cfg = AdmmConfig { inner_iters: 300, tol: 1e-12, ..AdmmConfig::cuadmm() };
+        let (h, _, stats) = run(&cfg, &m, &s, &h0);
+        assert!(stats.iters > 1);
+        // The unconstrained optimum (truth) is non-negative, so ADMM must
+        // converge to it.
+        for i in 0..truth.rows() {
+            for j in 0..truth.cols() {
+                assert!(
+                    (h[(i, j)] - truth[(i, j)]).abs() < 1e-3,
+                    "({i},{j}): {} vs {}",
+                    h[(i, j)],
+                    truth[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_variants_agree() {
+        let (m, s, h0, _) = problem(80, 8, 2);
+        let base = AdmmConfig { inner_iters: 10, tol: 0.0, ..AdmmConfig::cuadmm() };
+        let mut outputs = Vec::new();
+        for fusion in [false, true] {
+            for pi in [false, true] {
+                let cfg = AdmmConfig {
+                    operation_fusion: fusion,
+                    pre_inversion: pi,
+                    ..base
+                };
+                outputs.push((cfg.variant_name(), run(&cfg, &m, &s, &h0).0));
+            }
+        }
+        let reference = &outputs[0].1;
+        for (name, h) in &outputs[1..] {
+            for i in 0..h.rows() {
+                for j in 0..h.cols() {
+                    assert!(
+                        (h[(i, j)] - reference[(i, j)]).abs() < 1e-8,
+                        "{name} diverges at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_variants_are_bitwise_identical() {
+        // OF changes kernel granularity but not the element expressions.
+        let (m, s, h0, _) = problem(50, 4, 3);
+        let a = run(
+            &AdmmConfig { operation_fusion: false, pre_inversion: true, ..AdmmConfig::cuadmm() },
+            &m,
+            &s,
+            &h0,
+        );
+        let b = run(
+            &AdmmConfig { operation_fusion: true, pre_inversion: true, ..AdmmConfig::cuadmm() },
+            &m,
+            &s,
+            &h0,
+        );
+        assert_eq!(a.0, b.0, "fused/unfused primal differ");
+        assert_eq!(a.1, b.1, "fused/unfused dual differ");
+    }
+
+    #[test]
+    fn nonnegativity_is_enforced() {
+        // Force a problem whose unconstrained solution has negatives.
+        let (mut m, s, h0, _) = problem(40, 5, 4);
+        for v in m.as_mut_slice() {
+            *v = -v.abs();
+        }
+        let (h, _, _) =
+            run(&AdmmConfig { inner_iters: 50, ..AdmmConfig::cuadmm() }, &m, &s, &h0);
+        assert!(h.is_nonnegative(0.0), "ADMM violated the constraint");
+        assert!(h.all_finite());
+    }
+
+    #[test]
+    fn residuals_decrease_with_more_iterations() {
+        let (m, s, h0, _) = problem(70, 6, 5);
+        let short = run(&AdmmConfig { inner_iters: 2, tol: 0.0, ..AdmmConfig::cuadmm() }, &m, &s, &h0);
+        let long = run(&AdmmConfig { inner_iters: 40, tol: 0.0, ..AdmmConfig::cuadmm() }, &m, &s, &h0);
+        assert!(long.2.primal_residual < short.2.primal_residual);
+    }
+
+    #[test]
+    fn early_exit_honors_tolerance() {
+        let (m, s, h0, _) = problem(50, 4, 6);
+        let (_, _, stats) =
+            run(&AdmmConfig { inner_iters: 500, tol: 1e-6, ..AdmmConfig::cuadmm() }, &m, &s, &h0);
+        assert!(stats.iters < 500, "should converge before the cap");
+        assert!(stats.primal_residual < 1e-6);
+        assert!(stats.dual_residual < 1e-6);
+    }
+
+    #[test]
+    fn fused_variant_launches_fewer_kernels() {
+        let (m, s, h0, _) = problem(100, 8, 7);
+        let count = |cfg: &AdmmConfig| {
+            let dev = Device::new(DeviceSpec::h100());
+            let mut h = h0.clone();
+            let mut u = Mat::zeros(h0.rows(), h0.cols());
+            let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
+            admm_update(&dev, cfg, &m, &s, &mut h, &mut u, &mut ws);
+            dev.total_launches()
+        };
+        let generic = count(&AdmmConfig::generic());
+        let fused = count(&AdmmConfig::cuadmm());
+        assert!(fused < generic, "fused {fused} should launch fewer kernels than {generic}");
+    }
+
+    #[test]
+    fn fused_variant_moves_fewer_bytes() {
+        let (m, s, h0, _) = problem(100, 8, 8);
+        let bytes = |cfg: &AdmmConfig| {
+            let dev = Device::new(DeviceSpec::h100());
+            let mut h = h0.clone();
+            let mut u = Mat::zeros(h0.rows(), h0.cols());
+            let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
+            admm_update(&dev, cfg, &m, &s, &mut h, &mut u, &mut ws);
+            dev.phase_totals(Phase::Update).bytes
+        };
+        let of_only = AdmmConfig { operation_fusion: true, pre_inversion: false, ..AdmmConfig::cuadmm() };
+        assert!(bytes(&of_only) < bytes(&AdmmConfig::generic()));
+    }
+
+    #[test]
+    fn l1_constraint_produces_sparser_factors_than_nonneg() {
+        let (m, s, h0, _) = problem(100, 6, 9);
+        let nn = run(&AdmmConfig { inner_iters: 60, ..AdmmConfig::cuadmm() }, &m, &s, &h0).0;
+        let l1cfg = AdmmConfig {
+            inner_iters: 60,
+            constraint: Constraint::SparseL1 { mu: 5.0 },
+            ..AdmmConfig::cuadmm()
+        };
+        let l1 = run(&l1cfg, &m, &s, &h0).0;
+        let zeros = |m: &Mat| m.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros(&l1) >= zeros(&nn), "L1 should zero at least as many entries");
+        assert!(l1.is_nonnegative(0.0));
+    }
+
+    #[test]
+    fn blocked_admm_is_bitwise_identical_to_unblocked() {
+        let (m, s, h0, _) = problem(300, 6, 20);
+        let cfg = AdmmConfig { tol: 0.0, inner_iters: 10, ..AdmmConfig::cuadmm() };
+        let dev = Device::new(DeviceSpec::icelake_xeon());
+
+        let mut h_ref = h0.clone();
+        let mut u_ref = Mat::zeros(300, 6);
+        let mut ws = AdmmWorkspace::new(300, 6);
+        admm_update(&dev, &cfg, &m, &s, &mut h_ref, &mut u_ref, &mut ws);
+
+        for block in [64usize, 100, 299, 500] {
+            let mut h = h0.clone();
+            let mut u = Mat::zeros(300, 6);
+            blocked_admm_update(&dev, &cfg, block, &m, &s, &mut h, &mut u);
+            assert_eq!(h, h_ref, "block {block} changed the primal");
+            assert_eq!(u, u_ref, "block {block} changed the dual");
+        }
+    }
+
+    #[test]
+    fn blocking_helps_cpu_and_hurts_gpu() {
+        // The §4.2 claim: blockwise reformulation improves CPU temporal
+        // locality but is counterproductive on GPUs (launch multiplication,
+        // shrunken parallelism).
+        // Workload-scaled devices (paper-scale replay, DESIGN.md §6): the
+        // factor panel must exceed the LLC unblocked and fit it blocked.
+        let scale = 0.002;
+        let (m, s, h0, _) = problem(40_000, 16, 21);
+        let cfg = AdmmConfig { tol: 0.0, inner_iters: 10, ..AdmmConfig::generic() };
+        let time_on = |spec: DeviceSpec, block: usize| {
+            let dev = Device::new(spec);
+            let mut h = h0.clone();
+            let mut u = Mat::zeros(h0.rows(), h0.cols());
+            blocked_admm_update(&dev, &cfg, block, &m, &s, &mut h, &mut u);
+            dev.phase_totals(Phase::Update).seconds
+        };
+        // A block sized to the (scaled) CPU LLC (and exceeding the GPU L2).
+        let block = 500;
+        let cpu_blocked = time_on(DeviceSpec::icelake_xeon().scaled(scale), block);
+        let cpu_unblocked = time_on(DeviceSpec::icelake_xeon().scaled(scale), 0);
+        assert!(
+            cpu_blocked < cpu_unblocked,
+            "blocking should help the CPU: {cpu_blocked:.3e} vs {cpu_unblocked:.3e}"
+        );
+        // On the GPU, CPU-cache-sized blocks exceed the L2 and multiply the
+        // launch count; blocking must be far less effective than on the CPU
+        // (the paper states it is "not effective" on GPUs).
+        let gpu_blocked = time_on(DeviceSpec::h100().scaled(scale), block);
+        let gpu_unblocked = time_on(DeviceSpec::h100().scaled(scale), 0);
+        let cpu_gain = cpu_unblocked / cpu_blocked;
+        let gpu_gain = gpu_unblocked / gpu_blocked;
+        assert!(
+            cpu_gain > 2.0 * gpu_gain,
+            "blocking effectiveness should be lopsided toward the CPU: \
+             cpu {cpu_gain:.2}x vs gpu {gpu_gain:.2}x"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed iterations")]
+    fn blocked_admm_rejects_early_exit() {
+        let (m, s, h0, _) = problem(50, 4, 22);
+        let dev = Device::new(DeviceSpec::a100());
+        let mut h = h0.clone();
+        let mut u = Mat::zeros(50, 4);
+        let cfg = AdmmConfig { tol: 1e-4, ..AdmmConfig::cuadmm() };
+        blocked_admm_update(&dev, &cfg, 16, &m, &s, &mut h, &mut u);
+    }
+
+    #[test]
+    fn simplex_constraint_yields_row_stochastic_factors() {
+        let (m, s, h0, _) = problem(60, 5, 30);
+        let cfg = AdmmConfig {
+            inner_iters: 60,
+            constraint: Constraint::Simplex,
+            ..AdmmConfig::cuadmm()
+        };
+        let (h, _, _) = run(&cfg, &m, &s, &h0);
+        for i in 0..h.rows() {
+            let sum: f64 = h.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            assert!(h.row(i).iter().all(|&v| v >= 0.0), "row {i} has negatives");
+        }
+    }
+
+    #[test]
+    fn simplex_fused_and_unfused_agree() {
+        let (m, s, h0, _) = problem(40, 4, 31);
+        let mk = |fusion| AdmmConfig {
+            inner_iters: 10,
+            operation_fusion: fusion,
+            pre_inversion: true,
+            constraint: Constraint::Simplex,
+            ..AdmmConfig::cuadmm()
+        };
+        let a = run(&mk(false), &m, &s, &h0);
+        let b = run(&mk(true), &m, &s, &h0);
+        assert_eq!(a.0, b.0, "simplex fused/unfused primal differ");
+    }
+
+    #[test]
+    fn rho_matches_trace_formula() {
+        let (m, s, h0, _) = problem(30, 5, 10);
+        let (_, _, stats) = run(&AdmmConfig::cuadmm(), &m, &s, &h0);
+        assert!((stats.rho - s.trace() / 5.0).abs() < 1e-12);
+    }
+}

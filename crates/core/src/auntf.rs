@@ -1,0 +1,757 @@
+//! The Alternating-Update Non-negative Tensor Factorization driver.
+//!
+//! This is the paper's `AUNTF_GPU` class (§4): the outer AO loop of
+//! Algorithm 1, device-resident, dispatching per-mode to a pluggable update
+//! scheme (ADMM / cuADMM, MU, HALS) and a pluggable MTTKRP engine (COO,
+//! CSF, ALTO, BLCO, dense). Every phase — GRAM, MTTKRP, UPDATE, NORMALIZE —
+//! is metered on the device so the breakdown figures (Figs. 1, 3) and the
+//! end-to-end comparisons (Figs. 5–10) fall directly out of the profiler.
+
+use cstf_device::{Device, KernelClass, KernelCost, Phase};
+use cstf_formats::{Alto, Blco, Csf, HiCoo, TrafficEstimate};
+use cstf_linalg::{gram, normalize_columns, Mat, NormKind};
+use cstf_tensor::{DenseTensor, Ktensor, SparseTensor};
+
+use crate::admm::{admm_update, AdmmConfig, AdmmWorkspace};
+use crate::hals::{hals_update, HalsConfig};
+use crate::mu::{mu_update, MuConfig};
+
+/// Which compressed format backs the MTTKRP phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TensorFormat {
+    /// Plain coordinates, privatized parallel accumulation (naive baseline).
+    Coo,
+    /// SPLATT's CSF, one tree per mode (the CPU state of the art, §5.3).
+    Csf,
+    /// SPLATT's ONEMODE configuration: a single CSF tree serves every
+    /// target mode (1/N the memory, scatter conflicts on non-root modes).
+    CsfOne,
+    /// HiCOO blocked coordinates (Li et al., SC '18 lineage).
+    HiCoo,
+    /// ALTO linearized format (the modified-PLANC CPU path, §4).
+    Alto,
+    /// BLCO blocked linearized format (the GPU state of the art, §2.3).
+    Blco,
+}
+
+/// The per-mode update scheme (Algorithm 1, line 10).
+#[derive(Debug, Clone, Copy)]
+pub enum UpdateMethod {
+    /// AO-ADMM (generic or cuADMM depending on the config's OF/PI flags).
+    Admm(AdmmConfig),
+    /// Multiplicative updates.
+    Mu(MuConfig),
+    /// Hierarchical ALS.
+    Hals(HalsConfig),
+}
+
+impl UpdateMethod {
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UpdateMethod::Admm(c) => c.variant_name(),
+            UpdateMethod::Mu(_) => "MU",
+            UpdateMethod::Hals(_) => "HALS",
+        }
+    }
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct AuntfConfig {
+    /// Factorization rank `R`.
+    pub rank: usize,
+    /// Outer AO iterations.
+    pub max_iters: usize,
+    /// Stop when the fit improves by less than this between outer
+    /// iterations (`0.0` disables early stopping; requires `compute_fit`).
+    pub fit_tol: f64,
+    /// Update scheme.
+    pub update: UpdateMethod,
+    /// Column norm used by the NORMALIZE phase.
+    pub norm: NormKind,
+    /// Seed for the random factor initialization.
+    pub seed: u64,
+    /// Track the CP fit each outer iteration (adds an `Other`-phase cost).
+    pub compute_fit: bool,
+    /// MTTKRP engine format.
+    pub format: TensorFormat,
+}
+
+impl Default for AuntfConfig {
+    fn default() -> Self {
+        Self {
+            rank: 16,
+            max_iters: 10,
+            fit_tol: 0.0,
+            update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+            norm: NormKind::Two,
+            seed: 0,
+            compute_fit: true,
+            format: TensorFormat::Blco,
+        }
+    }
+}
+
+/// Result of a factorization run.
+#[derive(Debug, Clone)]
+pub struct FactorizeOutput {
+    /// The fitted CP model.
+    pub model: Ktensor,
+    /// Outer iterations executed.
+    pub iters: usize,
+    /// Fit after each outer iteration (empty if `compute_fit` was off).
+    pub fits: Vec<f64>,
+    /// True when the fit-tolerance stop fired before `max_iters`.
+    pub converged: bool,
+}
+
+enum Source {
+    Sparse(SparseTensor),
+    Dense(DenseTensor),
+}
+
+enum Engine {
+    /// Use the COO in `Source` directly.
+    Coo,
+    Csf(Vec<Csf>),
+    CsfOne(Csf),
+    HiCoo(HiCoo),
+    Alto(Alto),
+    Blco(Blco),
+    /// Use the dense tensor in `Source` directly.
+    Dense,
+}
+
+/// The alternating-update driver, holding the tensor and its compiled
+/// MTTKRP engine.
+pub struct Auntf {
+    source: Source,
+    engine: Engine,
+    cfg: AuntfConfig,
+}
+
+impl Auntf {
+    /// Builds a driver for a sparse tensor, compiling the configured format.
+    pub fn new(x: SparseTensor, cfg: AuntfConfig) -> Self {
+        let engine = match cfg.format {
+            TensorFormat::Coo => Engine::Coo,
+            TensorFormat::Csf => {
+                Engine::Csf((0..x.nmodes()).map(|m| Csf::from_coo(&x, m)).collect())
+            }
+            TensorFormat::CsfOne => Engine::CsfOne(Csf::from_coo(&x, 0)),
+            TensorFormat::HiCoo => Engine::HiCoo(HiCoo::from_coo(&x)),
+            TensorFormat::Alto => Engine::Alto(Alto::from_coo(&x)),
+            TensorFormat::Blco => Engine::Blco(Blco::from_coo(&x)),
+        };
+        Self { source: Source::Sparse(x), engine, cfg }
+    }
+
+    /// Builds a driver for a dense tensor (the Fig. 1 DenseTF study).
+    pub fn new_dense(x: DenseTensor, cfg: AuntfConfig) -> Self {
+        Self { source: Source::Dense(x), engine: Engine::Dense, cfg }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> Vec<usize> {
+        match &self.source {
+            Source::Sparse(x) => x.shape().to_vec(),
+            Source::Dense(x) => x.shape().to_vec(),
+        }
+    }
+
+    /// Stored nonzeros (cell count for dense tensors).
+    pub fn nnz(&self) -> usize {
+        match &self.source {
+            Source::Sparse(x) => x.nnz(),
+            Source::Dense(x) => x.len(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AuntfConfig {
+        &self.cfg
+    }
+
+    /// Bytes the tensor occupies in device memory (drives the one-time
+    /// host-to-device transfer cost).
+    fn tensor_bytes(&self) -> f64 {
+        match (&self.engine, &self.source) {
+            (Engine::Coo, Source::Sparse(x)) => (x.nnz() * (x.nmodes() * 4 + 8)) as f64,
+            (Engine::Csf(ts), _) => ts.iter().map(|t| t.storage_bytes()).sum::<usize>() as f64,
+            (Engine::CsfOne(t), _) => t.storage_bytes() as f64,
+            (Engine::HiCoo(h), _) => h.storage_bytes() as f64,
+            (Engine::Alto(a), _) => a.storage_bytes() as f64,
+            (Engine::Blco(b), _) => b.storage_bytes() as f64,
+            (Engine::Dense, Source::Dense(x)) => (x.len() * 8) as f64,
+            _ => 0.0,
+        }
+    }
+
+    fn mttkrp(&self, dev: &Device, factors: &[Mat], mode: usize) -> Mat {
+        let rank = self.cfg.rank;
+        let (traffic, class): (TrafficEstimate, KernelClass) = match (&self.engine, &self.source) {
+            (Engine::Coo, Source::Sparse(x)) => (
+                cstf_formats::coordinate_mttkrp_traffic(
+                    x.nnz(),
+                    x.shape(),
+                    mode,
+                    rank,
+                    (x.nmodes() * 4) as f64,
+                ),
+                KernelClass::SparseGather,
+            ),
+            (Engine::Csf(ts), _) => (ts[mode].mttkrp_traffic(rank), KernelClass::SparseGather),
+            (Engine::CsfOne(t), _) => (t.mttkrp_any_traffic(mode, rank), KernelClass::SparseGather),
+            (Engine::HiCoo(h), _) => (h.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+            (Engine::Alto(a), _) => (a.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+            (Engine::Blco(b), _) => (b.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+            (Engine::Dense, Source::Dense(x)) => {
+                let cells: f64 = x.shape().iter().map(|&d| d as f64).product();
+                let n = x.nmodes() as f64;
+                (
+                    TrafficEstimate {
+                        flops: cells * (n + 1.0) * rank as f64,
+                        bytes_read: cells * 8.0,
+                        bytes_written: (x.shape()[mode] * rank) as f64 * 8.0,
+                        gather_bytes: 0.0, // dense walks factors with full reuse
+                        parallel_work: cells,
+                        working_set: x
+                            .shape()
+                            .iter()
+                            .enumerate()
+                            .filter(|&(m, _)| m != mode)
+                            .map(|(_, &d)| (d * rank * 8) as f64)
+                            .sum(),
+                    },
+                    KernelClass::Gemm, // dense MTTKRP streams with full reuse
+                )
+            }
+            _ => unreachable!("engine/source mismatch"),
+        };
+        let cost = KernelCost {
+            flops: traffic.flops,
+            bytes_read: traffic.bytes_read,
+            bytes_written: traffic.bytes_written,
+            gather_traffic: traffic.gather_bytes,
+            parallel_work: traffic.parallel_work,
+            serial_steps: 1.0,
+            working_set: traffic.working_set,
+        };
+        dev.launch("mttkrp", Phase::Mttkrp, class, cost, || match (&self.engine, &self.source) {
+            (Engine::Coo, Source::Sparse(x)) => cstf_formats::mttkrp_coo_parallel(x, factors, mode),
+            (Engine::Csf(ts), _) => ts[mode].mttkrp(factors),
+            (Engine::CsfOne(t), _) => t.mttkrp_any(factors, mode),
+            (Engine::HiCoo(h), _) => h.mttkrp(factors, mode),
+            (Engine::Alto(a), _) => a.mttkrp(factors, mode),
+            (Engine::Blco(b), _) => b.mttkrp(factors, mode),
+            (Engine::Dense, Source::Dense(x)) => x.mttkrp(factors, mode),
+            _ => unreachable!("engine/source mismatch"),
+        })
+    }
+
+    fn compute_gram(&self, dev: &Device, h: &Mat) -> Mat {
+        let (rows, rank) = (h.rows(), h.cols());
+        dev.launch(
+            "gram_syrk",
+            Phase::Gram,
+            KernelClass::Gemm,
+            KernelCost {
+                flops: (rows * rank * rank) as f64,
+                bytes_read: (rows * rank) as f64 * 8.0,
+                bytes_written: (rank * rank) as f64 * 8.0,
+                gather_traffic: 0.0,
+                parallel_work: (rows * rank) as f64,
+                serial_steps: 1.0,
+                working_set: (rows * rank) as f64 * 8.0,
+            },
+            || gram::gram(h),
+        )
+    }
+
+    fn hadamard_grams(&self, dev: &Device, grams: &[Mat], skip: usize) -> Mat {
+        let rank = self.cfg.rank;
+        let n = grams.len() as f64;
+        dev.launch(
+            "hadamard_of_grams",
+            Phase::Gram,
+            KernelClass::Stream,
+            KernelCost {
+                flops: (n - 1.0) * (rank * rank) as f64,
+                bytes_read: n * (rank * rank) as f64 * 8.0,
+                bytes_written: (rank * rank) as f64 * 8.0,
+                gather_traffic: 0.0,
+                parallel_work: (rank * rank) as f64,
+                serial_steps: 1.0,
+                working_set: n * (rank * rank) as f64 * 8.0,
+            },
+            || gram::hadamard_of_grams(grams, skip),
+        )
+    }
+
+    fn normalize(&self, dev: &Device, h: &mut Mat, lambda: &mut [f64]) {
+        let elems = (h.rows() * h.cols()) as f64;
+        let norm = self.cfg.norm;
+        dev.launch(
+            "normalize_columns",
+            Phase::Normalize,
+            KernelClass::Stream,
+            KernelCost {
+                flops: 3.0 * elems,
+                bytes_read: 2.0 * elems * 8.0,
+                bytes_written: elems * 8.0,
+                gather_traffic: 0.0,
+                parallel_work: elems,
+                serial_steps: 1.0,
+                working_set: elems * 8.0,
+            },
+            || {
+                lambda.fill(1.0);
+                normalize_columns(h, lambda, norm);
+            },
+        )
+    }
+
+    /// CP fit `1 - ||X - model|| / ||X||` for the current factors, using
+    /// the already-available Grams for the model norm.
+    ///
+    /// `last_m` is the MTTKRP output of the most recently updated mode
+    /// (`last_mode`), computed against the *current* other factors. When
+    /// available it enables SPLATT's fit shortcut:
+    /// `<X, model> = sum_{i,r} lambda_r * H[i,r] * M[i,r]` — an `O(I R)`
+    /// reduction instead of an `O(nnz R)` sparse traversal.
+    fn fit(
+        &self,
+        dev: &Device,
+        factors: &[Mat],
+        lambda: &[f64],
+        grams: &[Mat],
+        last_m: Option<(&Mat, usize)>,
+    ) -> f64 {
+        let rank = self.cfg.rank;
+        // ||model||^2 = lambda^T (hadamard of all Grams) lambda.
+        let mut had = Mat::full(rank, rank, 1.0);
+        for g in grams {
+            gram::hadamard_in_place(&mut had, g);
+        }
+        let mut model_sq = 0.0;
+        for i in 0..rank {
+            for j in 0..rank {
+                model_sq += lambda[i] * had[(i, j)] * lambda[j];
+            }
+        }
+
+        match &self.source {
+            Source::Sparse(x) => {
+                let inner = if let Some((m, last_mode)) = last_m {
+                    // Fast path: reuse the last MTTKRP. Valid because the
+                    // other modes' factors have not changed since `m` was
+                    // computed, and mode `last_mode`'s factor was
+                    // normalized afterwards with the scale moved into
+                    // lambda — the triple product recovers <X, model>.
+                    let h = &factors[last_mode];
+                    let elems = (h.rows() * rank) as f64;
+                    dev.launch(
+                        "fit_inner_from_mttkrp",
+                        Phase::Other,
+                        KernelClass::Reduce,
+                        KernelCost {
+                            flops: 3.0 * elems,
+                            bytes_read: 2.0 * elems * 8.0,
+                            bytes_written: 8.0,
+                            gather_traffic: 0.0,
+                            parallel_work: elems,
+                            serial_steps: 1.0,
+                            working_set: 2.0 * elems * 8.0,
+                        },
+                        || {
+                            let mut acc = 0.0;
+                            for i in 0..h.rows() {
+                                let (hr, mr) = (h.row(i), m.row(i));
+                                for r in 0..rank {
+                                    acc += lambda[r] * hr[r] * mr[r];
+                                }
+                            }
+                            acc
+                        },
+                    )
+                } else {
+                    let nnz = x.nnz() as f64;
+                    dev.launch(
+                        "fit_inner_product",
+                        Phase::Other,
+                        KernelClass::SparseGather,
+                        KernelCost {
+                            flops: nnz * (x.nmodes() + 1) as f64 * rank as f64,
+                            bytes_read: nnz * ((x.nmodes() * 4) as f64 + 8.0),
+                            bytes_written: 8.0,
+                            gather_traffic: nnz * (x.nmodes() - 1) as f64 * rank as f64 * 8.0,
+                            parallel_work: nnz,
+                            serial_steps: 1.0,
+                            working_set: factors.iter().map(|f| f.len() as f64 * 8.0).sum(),
+                        },
+                        || {
+                            let model = Ktensor::new(factors.to_vec(), lambda.to_vec());
+                            model.inner_with(x)
+                        },
+                    )
+                };
+                let x_sq = x.norm_sq();
+                let res = (x_sq - 2.0 * inner + model_sq).max(0.0);
+                if x_sq > 0.0 {
+                    1.0 - (res / x_sq).sqrt()
+                } else {
+                    1.0
+                }
+            }
+            Source::Dense(x) => {
+                // Direct residual over all cells (small tensors only).
+                let model = Ktensor::new(factors.to_vec(), lambda.to_vec());
+                let mut res = 0.0;
+                let shape = x.shape().to_vec();
+                let mut coord = vec![0usize; shape.len()];
+                let c32: &mut Vec<u32> = &mut vec![0u32; shape.len()];
+                for _ in 0..x.len() {
+                    for (a, &b) in c32.iter_mut().zip(&coord) {
+                        *a = b as u32;
+                    }
+                    let d = x.get(&coord) - model.value_at(c32);
+                    res += d * d;
+                    for m in (0..shape.len()).rev() {
+                        coord[m] += 1;
+                        if coord[m] < shape[m] {
+                            break;
+                        }
+                        coord[m] = 0;
+                    }
+                }
+                let x_sq = x.norm_sq();
+                if x_sq > 0.0 {
+                    1.0 - (res / x_sq).sqrt()
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Runs the factorization on a device.
+    ///
+    /// Performs the one-time host-to-device transfers (tensor + factors),
+    /// then iterates Algorithm 1 until `max_iters` or the fit tolerance.
+    pub fn factorize(&self, dev: &Device) -> FactorizeOutput {
+        let shape = self.shape();
+        let rank = self.cfg.rank;
+        let nmodes = shape.len();
+
+        let mut factors = seeded_factors(&shape, rank, self.cfg.seed);
+        let mut lambda = vec![1.0f64; rank];
+
+        // One-time transfers: the paper's framework is fully GPU-resident,
+        // paying these once instead of per-iteration.
+        dev.transfer("h2d_tensor", self.tensor_bytes());
+        dev.transfer(
+            "h2d_factors",
+            factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>(),
+        );
+
+        // Initial Grams for all modes.
+        let mut grams: Vec<Mat> = factors.iter().map(|h| self.compute_gram(dev, h)).collect();
+
+        // Per-mode ADMM state (dual variables persist across outer
+        // iterations, as in SPLATT's AO-ADMM).
+        let mut duals: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
+        let mut workspaces: Vec<AdmmWorkspace> =
+            shape.iter().map(|&d| AdmmWorkspace::new(d, rank)).collect();
+
+        let mut fits = Vec::new();
+        let mut converged = false;
+        let mut iters = 0;
+
+        for _outer in 0..self.cfg.max_iters {
+            iters += 1;
+            let mut last_m: Option<(Mat, usize)> = None;
+            for mode in 0..nmodes {
+                let s = self.hadamard_grams(dev, &grams, mode);
+                let m = self.mttkrp(dev, &factors, mode);
+
+                match &self.cfg.update {
+                    UpdateMethod::Admm(cfg) => {
+                        admm_update(
+                            dev,
+                            cfg,
+                            &m,
+                            &s,
+                            &mut factors[mode],
+                            &mut duals[mode],
+                            &mut workspaces[mode],
+                        );
+                    }
+                    UpdateMethod::Mu(cfg) => mu_update(dev, cfg, &m, &s, &mut factors[mode]),
+                    UpdateMethod::Hals(cfg) => hals_update(dev, cfg, &m, &s, &mut factors[mode]),
+                }
+
+                self.normalize(dev, &mut factors[mode], &mut lambda);
+                grams[mode] = self.compute_gram(dev, &factors[mode]);
+                if mode == nmodes - 1 {
+                    last_m = Some((m, mode));
+                }
+            }
+
+            if self.cfg.compute_fit {
+                let fit = self.fit(
+                    dev,
+                    &factors,
+                    &lambda,
+                    &grams,
+                    last_m.as_ref().map(|(m, mode)| (m, *mode)),
+                );
+                let improved = fits.last().map_or(f64::INFINITY, |&p| fit - p);
+                fits.push(fit);
+                if self.cfg.fit_tol > 0.0 && improved.abs() < self.cfg.fit_tol {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        // Result back to the host.
+        dev.transfer(
+            "d2h_factors",
+            factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>(),
+        );
+
+        FactorizeOutput { model: Ktensor::new(factors, lambda), iters, fits, converged }
+    }
+}
+
+/// Deterministic strictly-positive random factors (SplitMix64-based, so the
+/// core crate needs no RNG dependency).
+pub fn seeded_factors(shape: &[usize], rank: usize, seed: u64) -> Vec<Mat> {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    shape.iter().map(|&d| Mat::from_fn(d, rank, |_, _| 0.05 + 0.95 * next())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstf_device::DeviceSpec;
+
+    /// A fully-observed planted non-negative tensor: every cell of the
+    /// rank-`rank` model is stored, so an exact fit of ~1.0 is achievable —
+    /// the strongest correctness check for the driver.
+    fn planted_full(shape: &[usize], rank: usize, seed: u64) -> SparseTensor {
+        let truth = seeded_factors(shape, rank, seed ^ 0xABCD);
+        let model = Ktensor::from_factors(truth);
+        let mut idx = vec![Vec::new(); shape.len()];
+        let mut vals = Vec::new();
+        let mut coord = vec![0u32; shape.len()];
+        let cells: usize = shape.iter().product();
+        for _ in 0..cells {
+            vals.push(model.value_at(&coord).max(1e-9));
+            for (m, &c) in coord.iter().enumerate() {
+                idx[m].push(c);
+            }
+            for m in (0..shape.len()).rev() {
+                coord[m] += 1;
+                if (coord[m] as usize) < shape[m] {
+                    break;
+                }
+                coord[m] = 0;
+            }
+        }
+        SparseTensor::new(shape.to_vec(), idx, vals)
+    }
+
+    /// A sparsely-observed planted tensor (realistic STF input; the exact
+    /// model is not recoverable, but the fit must still improve).
+    fn planted(shape: &[usize], nnz: usize, rank: usize, seed: u64) -> SparseTensor {
+        let truth = seeded_factors(shape, rank, seed ^ 0xABCD);
+        let model = Ktensor::from_factors(truth);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = vec![Vec::new(); shape.len()];
+        let mut vals = Vec::new();
+        while vals.len() < nnz {
+            let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+            if !seen.insert(c.clone()) {
+                continue;
+            }
+            vals.push(model.value_at(&c).max(1e-6));
+            for (m, &ci) in c.iter().enumerate() {
+                idx[m].push(ci);
+            }
+        }
+        SparseTensor::new(shape.to_vec(), idx, vals)
+    }
+
+    fn base_cfg() -> AuntfConfig {
+        AuntfConfig { rank: 4, max_iters: 15, seed: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn fit_improves_over_iterations_admm() {
+        let x = planted(&[20, 18, 16], 1200, 4, 1);
+        let auntf = Auntf::new(x, base_cfg());
+        let dev = Device::new(DeviceSpec::h100());
+        let out = auntf.factorize(&dev);
+        assert_eq!(out.iters, 15);
+        let first = out.fits[0];
+        let last = *out.fits.last().unwrap();
+        assert!(last > first, "fit did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn admm_recovers_fully_observed_planted_model() {
+        let x = planted_full(&[12, 10, 8], 3, 21);
+        let cfg = AuntfConfig { rank: 3, max_iters: 60, seed: 5, ..Default::default() };
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let last = *out.fits.last().unwrap();
+        assert!(last > 0.95, "fully-observed planted model should fit ~1, got {last}");
+    }
+
+    #[test]
+    fn factors_are_nonnegative_with_admm() {
+        let x = planted(&[15, 12, 10], 600, 3, 2);
+        let auntf = Auntf::new(x, AuntfConfig { rank: 3, ..base_cfg() });
+        let out = auntf.factorize(&Device::new(DeviceSpec::a100()));
+        for f in &out.model.factors {
+            assert!(f.is_nonnegative(1e-12));
+        }
+        assert!(out.model.lambda.iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn all_formats_give_equivalent_fits() {
+        let x = planted(&[18, 14, 12], 900, 4, 3);
+        let mut fits = Vec::new();
+        for format in [
+            TensorFormat::Coo,
+            TensorFormat::Csf,
+            TensorFormat::CsfOne,
+            TensorFormat::HiCoo,
+            TensorFormat::Alto,
+            TensorFormat::Blco,
+        ] {
+            let cfg = AuntfConfig { format, max_iters: 8, ..base_cfg() };
+            let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()));
+            fits.push((format, *out.fits.last().unwrap()));
+        }
+        let reference = fits[0].1;
+        for (format, fit) in &fits[1..] {
+            assert!(
+                (fit - reference).abs() < 1e-6,
+                "{format:?} fit {fit} differs from COO fit {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn mu_and_hals_also_improve_fit() {
+        let x = planted_full(&[10, 9, 8], 3, 4);
+        for update in [
+            UpdateMethod::Mu(MuConfig::default()),
+            UpdateMethod::Hals(HalsConfig::default()),
+        ] {
+            let cfg = AuntfConfig { rank: 3, update, max_iters: 40, ..base_cfg() };
+            let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100()));
+            let first = out.fits[0];
+            let last = *out.fits.last().unwrap();
+            assert!(last >= first - 1e-9, "{} regressed: {first} -> {last}", out.iters);
+            assert!(last > 0.8, "fit too low: {last}");
+            for f in &out.model.factors {
+                assert!(f.is_nonnegative(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn phases_are_all_metered() {
+        let x = planted(&[12, 10, 8], 300, 3, 5);
+        let auntf = Auntf::new(x, AuntfConfig { rank: 3, max_iters: 2, ..base_cfg() });
+        let dev = Device::new(DeviceSpec::h100());
+        auntf.factorize(&dev);
+        for phase in [Phase::Gram, Phase::Mttkrp, Phase::Update, Phase::Normalize, Phase::Transfer]
+        {
+            assert!(
+                dev.phase_totals(phase).launches > 0,
+                "phase {phase:?} was never exercised"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_fit_shortcut_matches_exact_fit() {
+        // The driver computes fit via the MTTKRP-reuse shortcut; the
+        // Ktensor computes it directly in O(nnz R). They must agree.
+        let x = planted(&[18, 15, 12], 700, 4, 31);
+        let out = Auntf::new(x.clone(), base_cfg()).factorize(&Device::new(DeviceSpec::h100()));
+        let exact = out.model.fit(&x);
+        let reported = *out.fits.last().unwrap();
+        assert!(
+            (exact - reported).abs() < 1e-9,
+            "shortcut fit {reported} != exact fit {exact}"
+        );
+    }
+
+    #[test]
+    fn fit_tolerance_stops_early() {
+        let x = planted(&[14, 12, 10], 500, 3, 6);
+        let cfg = AuntfConfig { rank: 3, max_iters: 200, fit_tol: 1e-7, ..base_cfg() };
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100()));
+        assert!(out.converged);
+        assert!(out.iters < 200);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = planted(&[10, 10, 10], 300, 3, 7);
+        let cfg = AuntfConfig { rank: 3, max_iters: 5, format: TensorFormat::Csf, ..base_cfg() };
+        let a = Auntf::new(x.clone(), cfg.clone()).factorize(&Device::new(DeviceSpec::h100()));
+        let b = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        assert_eq!(a.fits, b.fits);
+    }
+
+    #[test]
+    fn dense_driver_runs_and_improves() {
+        let shape = vec![8, 6, 5, 4];
+        let truth = Ktensor::from_factors(seeded_factors(&shape, 2, 99));
+        let x = DenseTensor::from_fn(shape.clone(), |c| {
+            let c32: Vec<u32> = c.iter().map(|&v| v as u32).collect();
+            truth.value_at(&c32)
+        });
+        let cfg = AuntfConfig { rank: 2, max_iters: 10, ..base_cfg() };
+        let auntf = Auntf::new_dense(x, cfg);
+        let out = auntf.factorize(&Device::new(DeviceSpec::icelake_xeon()));
+        let last = *out.fits.last().unwrap();
+        assert!(last > 0.8, "dense fit too low: {last}");
+    }
+
+    #[test]
+    fn unconstrained_beats_or_matches_constrained_fit() {
+        // Removing the constraint can only widen the feasible set.
+        let x = planted(&[15, 12, 10], 600, 4, 8);
+        let nn = Auntf::new(x.clone(), base_cfg()).factorize(&Device::new(DeviceSpec::h100()));
+        let mut ucfg = base_cfg();
+        ucfg.update = UpdateMethod::Admm(AdmmConfig {
+            constraint: crate::prox::Constraint::Unconstrained,
+            ..AdmmConfig::cuadmm()
+        });
+        let un = Auntf::new(x, ucfg).factorize(&Device::new(DeviceSpec::h100()));
+        let f_nn = *nn.fits.last().unwrap();
+        let f_un = *un.fits.last().unwrap();
+        assert!(f_un > f_nn - 0.05, "unconstrained fit {f_un} far below constrained {f_nn}");
+    }
+}

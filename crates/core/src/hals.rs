@@ -1,0 +1,228 @@
+//! HALS — Hierarchical Alternating Least Squares (Cichocki & Phan).
+//!
+//! HALS solves the non-negative AO subproblem one *column* (rank-one
+//! component) at a time, each column having a closed-form non-negative
+//! update:
+//!
+//! `h_r <- max(eps, h_r + (M[:, r] - H S[:, r]) / S[r, r])`
+//!
+//! Each column update is a skinny GEMV plus a fused AXPY/clamp kernel; the
+//! column loop is short (R iterations) while each kernel is `I`-wide, which
+//! is why HALS also accelerates well on GPUs (§5.4).
+
+use rayon::prelude::*;
+
+use cstf_device::{Device, KernelClass, KernelCost, Phase};
+use cstf_linalg::Mat;
+
+/// Configuration for the HALS update.
+#[derive(Debug, Clone, Copy)]
+pub struct HalsConfig {
+    /// Full column sweeps per mode visit (PLANC uses 1).
+    pub inner_iters: usize,
+    /// Floor applied to updated entries (keeps columns from collapsing to
+    /// exactly zero, as in PLANC's implementation).
+    pub epsilon: f64,
+}
+
+impl Default for HalsConfig {
+    fn default() -> Self {
+        Self { inner_iters: 1, epsilon: 1e-16 }
+    }
+}
+
+/// Runs HALS sweeps on one mode's factor `h`, metered under
+/// [`Phase::Update`].
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn hals_update(dev: &Device, cfg: &HalsConfig, m: &Mat, s: &Mat, h: &mut Mat) {
+    let (rows, rank) = (m.rows(), m.cols());
+    assert_eq!((h.rows(), h.cols()), (rows, rank), "H shape mismatch");
+    assert_eq!((s.rows(), s.cols()), (rank, rank), "S must be R x R");
+
+    let mut hs_col = vec![0.0f64; rows];
+
+    for _ in 0..cfg.inner_iters {
+        for r in 0..rank {
+            let s_rr = s[(r, r)];
+            if s_rr <= 0.0 {
+                // Degenerate component: other factors' Grams vanished for
+                // this column; leave it untouched.
+                continue;
+            }
+
+            // GEMV: hs_col = H * S[:, r].
+            {
+                let (h_ref, hs_mut) = (&*h, &mut hs_col);
+                dev.launch(
+                    "hals_gemv_h_s_col",
+                    Phase::Update,
+                    KernelClass::Gemm,
+                    KernelCost {
+                        flops: 2.0 * (rows * rank) as f64,
+                        bytes_read: ((rows * rank) + rank) as f64 * 8.0,
+                        bytes_written: rows as f64 * 8.0,
+                        gather_traffic: 0.0,
+                        parallel_work: rows as f64,
+                        serial_steps: 1.0,
+                        working_set: (rows * rank) as f64 * 8.0,
+                    },
+                    || {
+                        let body = |(out, row): (&mut f64, &[f64])| {
+                            let mut acc = 0.0;
+                            for (q, &hv) in row.iter().enumerate() {
+                                acc += hv * s[(q, r)];
+                            }
+                            *out = acc;
+                        };
+                        if rows * rank >= 32 * 1024 {
+                            hs_mut
+                                .par_iter_mut()
+                                .zip(h_ref.as_slice().par_chunks_exact(rank))
+                                .for_each(body);
+                        } else {
+                            hs_mut
+                                .iter_mut()
+                                .zip(h_ref.as_slice().chunks_exact(rank))
+                                .for_each(body);
+                        }
+                    },
+                );
+            }
+
+            // Fused update: h_r = max(eps, h_r + (m_r - hs_col) / s_rr).
+            let eps = cfg.epsilon;
+            let (h_mut, hs_ref) = (&mut *h, &hs_col);
+            dev.launch(
+                "hals_column_update",
+                Phase::Update,
+                KernelClass::Stream,
+                KernelCost {
+                    flops: 3.0 * rows as f64,
+                    bytes_read: 3.0 * rows as f64 * 8.0,
+                    bytes_written: rows as f64 * 8.0,
+                    gather_traffic: 0.0,
+                    parallel_work: rows as f64,
+                    serial_steps: 1.0,
+                    working_set: 3.0 * rows as f64 * 8.0,
+                },
+                || {
+                    let h_data = h_mut.as_mut_slice();
+                    let body = |(i, hv): (usize, &mut f64)| {
+                        let delta = (m[(i / rank, r)] - hs_ref[i / rank]) / s_rr;
+                        *hv = (*hv + delta).max(eps);
+                    };
+                    // Strided column access: iterate rows, touch column r.
+                    if rows >= 32 * 1024 {
+                        h_data
+                            .par_iter_mut()
+                            .enumerate()
+                            .filter(|(i, _)| i % rank == r)
+                            .for_each(body);
+                    } else {
+                        for i in 0..rows {
+                            let idx = i * rank + r;
+                            let delta = (m[(i, r)] - hs_ref[i]) / s_rr;
+                            h_data[idx] = (h_data[idx] + delta).max(eps);
+                        }
+                    }
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mu::nnls_objective;
+    use cstf_device::DeviceSpec;
+    use cstf_linalg::gram;
+
+    fn problem(rows: usize, rank: usize, seed: u64) -> (Mat, Mat, Mat) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let truth = Mat::from_fn(rows, rank, |_, _| next());
+        let other = Mat::from_fn(rows + 9, rank, |_, _| next());
+        let s = gram::gram(&other);
+        let m = cstf_linalg::matmul(&truth, &s);
+        let h0 = Mat::from_fn(rows, rank, |_, _| next() + 0.05);
+        (m, s, h0)
+    }
+
+    #[test]
+    fn hals_preserves_positivity_floor() {
+        let (m, s, mut h) = problem(40, 5, 1);
+        let dev = Device::new(DeviceSpec::a100());
+        hals_update(&dev, &HalsConfig { inner_iters: 10, ..Default::default() }, &m, &s, &mut h);
+        assert!(h.as_slice().iter().all(|&v| v >= 1e-16));
+        assert!(h.all_finite());
+    }
+
+    #[test]
+    fn hals_monotonically_decreases_objective() {
+        let (m, s, mut h) = problem(60, 6, 2);
+        let dev = Device::new(DeviceSpec::a100());
+        let mut prev = nnls_objective(&h, &s, &m);
+        for _ in 0..20 {
+            hals_update(&dev, &HalsConfig::default(), &m, &s, &mut h);
+            let obj = nnls_objective(&h, &s, &m);
+            assert!(obj <= prev + 1e-9, "objective rose: {prev} -> {obj}");
+            prev = obj;
+        }
+    }
+
+    #[test]
+    fn hals_converges_to_exact_solution_on_consistent_problem() {
+        let (m, s, mut h) = problem(30, 4, 3);
+        let dev = Device::new(DeviceSpec::a100());
+        hals_update(&dev, &HalsConfig { inner_iters: 300, ..Default::default() }, &m, &s, &mut h);
+        // The consistent problem's optimum is truth = M S^{-1} (positive).
+        let chol = cstf_linalg::Cholesky::factor(&{
+            let mut sp = s.clone();
+            sp.add_diagonal(1e-12);
+            sp
+        })
+        .unwrap();
+        let mut want = m.clone();
+        chol.solve_rows(&mut want);
+        for i in 0..h.rows() {
+            for j in 0..h.cols() {
+                assert!(
+                    (h[(i, j)] - want[(i, j)]).abs() < 1e-4,
+                    "({i},{j}): {} vs {}",
+                    h[(i, j)],
+                    want[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_diagonal_is_skipped() {
+        let (m, _, mut h) = problem(20, 3, 4);
+        let s = Mat::zeros(3, 3); // all Grams vanished
+        let before = h.clone();
+        let dev = Device::new(DeviceSpec::a100());
+        hals_update(&dev, &HalsConfig::default(), &m, &s, &mut h);
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    fn rank_one_hals_is_exact_in_one_sweep() {
+        // With R = 1 the single column update is the exact closed-form NNLS
+        // solution, so one sweep must land on the optimum.
+        let (m, s, mut h) = problem(40, 1, 5);
+        let dev = Device::new(DeviceSpec::a100());
+        hals_update(&dev, &HalsConfig::default(), &m, &s, &mut h);
+        let s00 = s[(0, 0)];
+        for i in 0..h.rows() {
+            let want = (m[(i, 0)] / s00).max(1e-16);
+            assert!((h[(i, 0)] - want).abs() < 1e-10, "row {i}: {} vs {want}", h[(i, 0)]);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # cstf-core
+//!
+//! Constrained sparse tensor factorization — the primary contribution of
+//! *"Accelerating Constrained Sparse Tensor Factorization on Massively
+//! Parallel Architectures"* (ICPP '24), reproduced in Rust.
+//!
+//! The crate provides:
+//!
+//! * [`auntf::Auntf`] — the Alternating-Update NTF driver (Algorithm 1),
+//!   device-resident with per-phase metering;
+//! * [`admm`] — generic ADMM (Algorithm 2) and cuADMM (Algorithm 3) with
+//!   independently switchable *operation fusion* and *pre-inversion*;
+//! * [`mu`] / [`hals`] — the two additional non-negativity schemes of §5.4;
+//! * [`prox`] — element-wise proximity operators (non-negativity, L1,
+//!   ridge, box);
+//! * [`presets`] — the systems compared in the paper's figures (SPLATT-CPU,
+//!   modified PLANC, cSTF-GPU).
+//!
+//! ```
+//! use cstf_core::{Auntf, AuntfConfig};
+//! use cstf_core::auntf::seeded_factors;
+//! use cstf_device::{Device, DeviceSpec};
+//! use cstf_tensor::{Ktensor, SparseTensor};
+//!
+//! // A tiny planted non-negative tensor.
+//! let truth = Ktensor::from_factors(seeded_factors(&[12, 10, 8], 3, 7));
+//! let mut idx = vec![Vec::new(); 3];
+//! let mut vals = Vec::new();
+//! for i in 0..12u32 {
+//!     for j in 0..10u32 {
+//!         for k in 0..8u32 {
+//!             idx[0].push(i); idx[1].push(j); idx[2].push(k);
+//!             vals.push(truth.value_at(&[i, j, k]).max(1e-6));
+//!         }
+//!     }
+//! }
+//! let x = SparseTensor::new(vec![12, 10, 8], idx, vals);
+//!
+//! let cfg = AuntfConfig { rank: 3, max_iters: 40, ..Default::default() };
+//! let dev = Device::new(DeviceSpec::h100());
+//! let out = Auntf::new(x, cfg).factorize(&dev);
+//! assert!(*out.fits.last().unwrap() > 0.9);
+//! assert!(out.model.factors.iter().all(|f| f.is_nonnegative(1e-12)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admm;
+pub mod auntf;
+pub mod hals;
+pub mod mu;
+pub mod presets;
+pub mod hybrid;
+pub mod multi_gpu;
+pub mod prox;
+
+pub use admm::{admm_update, blocked_admm_update, AdmmConfig, AdmmStats, AdmmWorkspace};
+pub use auntf::{Auntf, AuntfConfig, FactorizeOutput, TensorFormat, UpdateMethod};
+pub use hals::{hals_update, HalsConfig};
+pub use mu::{mu_update, MuConfig};
+pub use presets::SystemPreset;
+pub use prox::Constraint;

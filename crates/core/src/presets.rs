@@ -1,0 +1,174 @@
+//! Framework presets matching the systems compared in the paper's
+//! evaluation (§5).
+//!
+//! Each preset pairs a device spec with the format/update configuration the
+//! corresponding system uses, so the figure harnesses in `cstf-bench` can
+//! say "SPLATT on the Xeon" or "cSTF-GPU on the H100" in one call.
+
+use cstf_device::{Device, DeviceSpec};
+use cstf_linalg::NormKind;
+
+use crate::admm::AdmmConfig;
+use crate::auntf::{AuntfConfig, TensorFormat, UpdateMethod};
+use crate::hals::HalsConfig;
+use crate::mu::MuConfig;
+use crate::prox::Constraint;
+
+/// A named system: device + driver configuration.
+pub struct SystemPreset {
+    /// Display name as used in the figures.
+    pub name: &'static str,
+    /// The device the system runs on.
+    pub device: Device,
+    /// The driver configuration.
+    pub config: AuntfConfig,
+}
+
+fn base_config(rank: usize, update: UpdateMethod, format: TensorFormat) -> AuntfConfig {
+    AuntfConfig {
+        rank,
+        max_iters: 1, // figure harnesses measure per-iteration time
+        fit_tol: 0.0,
+        update,
+        norm: NormKind::Two,
+        seed: 0,
+        compute_fit: false,
+        format,
+    }
+}
+
+/// SPLATT (Smith et al.): CPU-only AO-ADMM over CSF — the paper's primary
+/// baseline (Figs. 5–8). SPLATT's ADMM is the *generic* unfused variant
+/// with triangular solves.
+pub fn splatt_cpu(rank: usize) -> SystemPreset {
+    splatt_cpu_on(rank, DeviceSpec::icelake_xeon())
+}
+
+/// SPLATT on an explicit (e.g. workload-scaled) CPU spec.
+pub fn splatt_cpu_on(rank: usize, spec: DeviceSpec) -> SystemPreset {
+    SystemPreset {
+        name: "SPLATT (CPU)",
+        device: Device::new(spec),
+        config: base_config(
+            rank,
+            UpdateMethod::Admm(AdmmConfig {
+                constraint: Constraint::NonNegative,
+                ..AdmmConfig::generic()
+            }),
+            TensorFormat::Csf,
+        ),
+    }
+}
+
+/// Modified PLANC (§4): CPU AO over the ALTO format with the requested
+/// update scheme — the baseline for the MU/HALS comparisons (Figs. 9–10).
+pub fn planc_cpu(rank: usize, update: UpdateMethod) -> SystemPreset {
+    planc_cpu_on(rank, update, DeviceSpec::icelake_xeon())
+}
+
+/// Modified PLANC on an explicit (e.g. workload-scaled) CPU spec.
+pub fn planc_cpu_on(rank: usize, update: UpdateMethod, spec: DeviceSpec) -> SystemPreset {
+    SystemPreset {
+        name: "PLANC (CPU, modified)",
+        device: Device::new(spec),
+        config: base_config(rank, update, TensorFormat::Alto),
+    }
+}
+
+/// The paper's framework: fully GPU-resident cSTF over BLCO with cuADMM
+/// (operation fusion + pre-inversion).
+pub fn cstf_gpu(rank: usize, spec: DeviceSpec) -> SystemPreset {
+    SystemPreset {
+        name: "cSTF-GPU (cuADMM)",
+        device: Device::new(spec),
+        config: base_config(
+            rank,
+            UpdateMethod::Admm(AdmmConfig::cuadmm()),
+            TensorFormat::Blco,
+        ),
+    }
+}
+
+/// The GPU framework with the *generic* (unfused, triangular-solve) ADMM —
+/// the baseline of the Figure 4 ablation.
+pub fn cstf_gpu_generic_admm(rank: usize, spec: DeviceSpec) -> SystemPreset {
+    SystemPreset {
+        name: "cSTF-GPU (generic ADMM)",
+        device: Device::new(spec),
+        config: base_config(
+            rank,
+            UpdateMethod::Admm(AdmmConfig::generic()),
+            TensorFormat::Blco,
+        ),
+    }
+}
+
+/// GPU framework with MU (Fig. 9/10).
+pub fn cstf_gpu_mu(rank: usize, spec: DeviceSpec) -> SystemPreset {
+    SystemPreset {
+        name: "cSTF-GPU (MU)",
+        device: Device::new(spec),
+        config: base_config(rank, UpdateMethod::Mu(MuConfig::default()), TensorFormat::Blco),
+    }
+}
+
+/// GPU framework with HALS (Fig. 9/10).
+pub fn cstf_gpu_hals(rank: usize, spec: DeviceSpec) -> SystemPreset {
+    SystemPreset {
+        name: "cSTF-GPU (HALS)",
+        device: Device::new(spec),
+        config: base_config(rank, UpdateMethod::Hals(HalsConfig::default()), TensorFormat::Blco),
+    }
+}
+
+/// CPU PLANC with MU, for the Fig. 9/10 baselines.
+pub fn planc_cpu_mu(rank: usize) -> SystemPreset {
+    planc_cpu(rank, UpdateMethod::Mu(MuConfig::default()))
+}
+
+/// CPU PLANC with HALS, for the Fig. 9/10 baselines.
+pub fn planc_cpu_hals(rank: usize) -> SystemPreset {
+    planc_cpu(rank, UpdateMethod::Hals(HalsConfig::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstf_device::DeviceKind;
+
+    #[test]
+    fn splatt_runs_on_cpu_with_csf_and_generic_admm() {
+        let p = splatt_cpu(32);
+        assert_eq!(p.device.spec().kind, DeviceKind::Cpu);
+        assert_eq!(p.config.format, TensorFormat::Csf);
+        match p.config.update {
+            UpdateMethod::Admm(c) => {
+                assert!(!c.operation_fusion);
+                assert!(!c.pre_inversion);
+            }
+            _ => panic!("SPLATT preset must use ADMM"),
+        }
+    }
+
+    #[test]
+    fn cstf_gpu_uses_blco_and_cuadmm() {
+        let p = cstf_gpu(32, DeviceSpec::h100());
+        assert_eq!(p.device.spec().kind, DeviceKind::Gpu);
+        assert_eq!(p.config.format, TensorFormat::Blco);
+        match p.config.update {
+            UpdateMethod::Admm(c) => {
+                assert!(c.operation_fusion);
+                assert!(c.pre_inversion);
+            }
+            _ => panic!("cSTF preset must use ADMM"),
+        }
+    }
+
+    #[test]
+    fn ranks_are_propagated() {
+        for r in [16, 32, 64] {
+            assert_eq!(cstf_gpu(r, DeviceSpec::a100()).config.rank, r);
+            assert_eq!(splatt_cpu(r).config.rank, r);
+        }
+    }
+}

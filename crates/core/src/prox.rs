@@ -1,0 +1,293 @@
+//! Proximity operators for constrained factorization.
+//!
+//! ADMM's constraint step (Algorithm 2 line 7 / Algorithm 3 line 8) applies
+//! the proximity operator of the regularizer `r` to `H_aux - U`. The paper
+//! exploits that the operators for all constraints it considers are
+//! *element-wise* (§4.3.1), which is what allows fusing the operator with
+//! the primal update into one kernel. Every operator here is an element-wise
+//! `f64 -> f64` map plus the regularizer value needed for objective
+//! tracking.
+
+/// A constraint / regularizer with an element-wise proximity operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constraint {
+    /// No constraint: `prox` is the identity (plain CP-ALS least squares).
+    Unconstrained,
+    /// Non-negativity `H >= 0`: `prox(v) = max(0, v)` — the indicator
+    /// function over the non-negative orthant used throughout the paper.
+    NonNegative,
+    /// L1 sparsity `mu * ||H||_1` combined with non-negativity:
+    /// soft-thresholding `prox(v) = max(0, v - mu/rho)`.
+    SparseL1 {
+        /// Regularization weight `mu`.
+        mu: f64,
+    },
+    /// L2 ridge `mu/2 * ||H||_F^2` (shrinkage): `prox(v) = v / (1 + mu/rho)`.
+    Ridge {
+        /// Regularization weight `mu`.
+        mu: f64,
+    },
+    /// Box constraint `lo <= H <= hi` (clamping).
+    Box {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Probability-simplex constraint: every **row** of `H` lies on
+    /// `{x : x >= 0, sum x = 1}` (row-stochastic factors, as in the
+    /// AO-ADMM framework of Huang et al. — the paper's ref. [9]). Unlike
+    /// the other operators this projection is *not* element-wise: it
+    /// couples the entries of a row (sort + threshold), so the fused
+    /// proximity kernel falls back to a row-wise path.
+    Simplex,
+}
+
+/// Projects a vector onto the probability simplex in place
+/// (Held et al. / Duchi et al.: sort, find the threshold `tau`, clip).
+pub fn project_simplex(row: &mut [f64]) {
+    if row.is_empty() {
+        return;
+    }
+    let mut sorted: Vec<f64> = row.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite entries"));
+    let mut cumsum = 0.0;
+    let mut tau = 0.0;
+    for (j, &u) in sorted.iter().enumerate() {
+        cumsum += u;
+        let candidate = (cumsum - 1.0) / (j + 1) as f64;
+        if u - candidate > 0.0 {
+            tau = candidate;
+        } else {
+            break;
+        }
+    }
+    for v in row.iter_mut() {
+        *v = (*v - tau).max(0.0);
+    }
+}
+
+impl Constraint {
+    /// Applies the proximity operator to one element. `rho` is the ADMM
+    /// penalty parameter, which scales the regularizer inside the operator
+    /// (`prox_{r/rho}`).
+    #[inline]
+    pub fn prox(&self, v: f64, rho: f64) -> f64 {
+        match *self {
+            Constraint::Unconstrained => v,
+            Constraint::NonNegative => v.max(0.0),
+            Constraint::SparseL1 { mu } => (v - mu / rho).max(0.0),
+            Constraint::Ridge { mu } => v / (1.0 + mu / rho),
+            Constraint::Box { lo, hi } => v.clamp(lo, hi),
+            Constraint::Simplex => {
+                unreachable!("Simplex is not element-wise; use prox_row")
+            }
+        }
+    }
+
+    /// True when the operator acts independently on each element — the
+    /// property the paper's fused kernels exploit (§4.3.1).
+    pub fn is_elementwise(&self) -> bool {
+        !matches!(self, Constraint::Simplex)
+    }
+
+    /// Applies the proximity operator to one factor row in place.
+    /// Element-wise operators map each entry; the simplex projects the
+    /// whole row jointly.
+    pub fn prox_row(&self, row: &mut [f64], rho: f64) {
+        if self.is_elementwise() {
+            for v in row.iter_mut() {
+                *v = self.prox(*v, rho);
+            }
+        } else {
+            project_simplex(row);
+        }
+    }
+
+    /// The regularizer value `r(H)` contributed by one element (for
+    /// objective tracking; the indicator parts are 0 on feasible points).
+    #[inline]
+    pub fn penalty(&self, v: f64) -> f64 {
+        match *self {
+            Constraint::Unconstrained
+            | Constraint::NonNegative
+            | Constraint::Box { .. }
+            | Constraint::Simplex => 0.0,
+            Constraint::SparseL1 { mu } => mu * v.abs(),
+            Constraint::Ridge { mu } => 0.5 * mu * v * v,
+        }
+    }
+
+    /// True when every value produced by this operator is non-negative
+    /// (used by invariant checks in the drivers).
+    pub fn yields_nonnegative(&self) -> bool {
+        match *self {
+            Constraint::NonNegative | Constraint::SparseL1 { .. } | Constraint::Simplex => true,
+            Constraint::Box { lo, .. } => lo >= 0.0,
+            Constraint::Unconstrained | Constraint::Ridge { .. } => false,
+        }
+    }
+
+    /// Short display name (figure labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Constraint::Unconstrained => "none",
+            Constraint::NonNegative => "nonneg",
+            Constraint::SparseL1 { .. } => "l1",
+            Constraint::Ridge { .. } => "ridge",
+            Constraint::Box { .. } => "box",
+            Constraint::Simplex => "simplex",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonnegative_zeroes_negatives() {
+        let c = Constraint::NonNegative;
+        assert_eq!(c.prox(-3.0, 1.0), 0.0);
+        assert_eq!(c.prox(2.5, 1.0), 2.5);
+        assert_eq!(c.prox(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn unconstrained_is_identity() {
+        let c = Constraint::Unconstrained;
+        for v in [-2.0, 0.0, 3.5] {
+            assert_eq!(c.prox(v, 7.0), v);
+        }
+    }
+
+    #[test]
+    fn l1_soft_thresholds_by_mu_over_rho() {
+        let c = Constraint::SparseL1 { mu: 2.0 };
+        assert_eq!(c.prox(5.0, 2.0), 4.0); // 5 - 2/2
+        assert_eq!(c.prox(0.5, 2.0), 0.0); // below threshold
+        assert_eq!(c.prox(-1.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn ridge_shrinks_proportionally() {
+        let c = Constraint::Ridge { mu: 1.0 };
+        assert!((c.prox(3.0, 1.0) - 1.5).abs() < 1e-15);
+        assert!((c.prox(-3.0, 1.0) + 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn box_clamps_both_sides() {
+        let c = Constraint::Box { lo: 0.0, hi: 1.0 };
+        assert_eq!(c.prox(-5.0, 1.0), 0.0);
+        assert_eq!(c.prox(0.5, 1.0), 0.5);
+        assert_eq!(c.prox(9.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn prox_is_idempotent_on_feasible_points() {
+        // prox of an indicator function is a projection: applying twice
+        // equals applying once.
+        for c in [
+            Constraint::NonNegative,
+            Constraint::Box { lo: -1.0, hi: 2.0 },
+            Constraint::Unconstrained,
+        ] {
+            for v in [-3.0, -0.5, 0.0, 1.0, 5.0] {
+                let once = c.prox(v, 1.0);
+                assert_eq!(c.prox(once, 1.0), once, "{c:?} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn penalties_match_regularizers() {
+        assert_eq!(Constraint::NonNegative.penalty(3.0), 0.0);
+        assert_eq!(Constraint::SparseL1 { mu: 2.0 }.penalty(-3.0), 6.0);
+        assert_eq!(Constraint::Ridge { mu: 4.0 }.penalty(3.0), 18.0);
+    }
+
+    #[test]
+    fn simplex_projection_satisfies_kkt() {
+        // Projection onto the simplex: nonneg, sums to 1, and every
+        // positive entry sits at a constant offset tau below its input.
+        for input in [
+            vec![0.4, 0.3, 0.2, 0.5],
+            vec![-1.0, 2.0, 0.1],
+            vec![5.0, 5.0],
+            vec![-3.0, -4.0, -5.0],
+            vec![0.25, 0.25, 0.25, 0.25],
+        ] {
+            let mut row = input.clone();
+            project_simplex(&mut row);
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{input:?} -> {row:?} sums to {sum}");
+            assert!(row.iter().all(|&v| v >= 0.0), "{row:?}");
+            let taus: Vec<f64> = input
+                .iter()
+                .zip(&row)
+                .filter(|(_, &x)| x > 0.0)
+                .map(|(&v, &x)| v - x)
+                .collect();
+            for w in taus.windows(2) {
+                assert!((w[0] - w[1]).abs() < 1e-10, "non-constant tau for {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simplex_projection_is_idempotent() {
+        let mut row = vec![0.1, -2.0, 3.0, 0.4];
+        project_simplex(&mut row);
+        let once = row.clone();
+        project_simplex(&mut row);
+        for (a, b) in once.iter().zip(&row) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn simplex_leaves_feasible_points_unchanged() {
+        let mut row = vec![0.2, 0.3, 0.5];
+        project_simplex(&mut row);
+        assert!((row[0] - 0.2).abs() < 1e-12);
+        assert!((row[1] - 0.3).abs() < 1e-12);
+        assert!((row[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_is_not_elementwise_but_others_are() {
+        assert!(!Constraint::Simplex.is_elementwise());
+        for c in [
+            Constraint::Unconstrained,
+            Constraint::NonNegative,
+            Constraint::SparseL1 { mu: 1.0 },
+            Constraint::Ridge { mu: 1.0 },
+            Constraint::Box { lo: 0.0, hi: 1.0 },
+        ] {
+            assert!(c.is_elementwise());
+        }
+    }
+
+    #[test]
+    fn prox_row_matches_elementwise_prox() {
+        let c = Constraint::SparseL1 { mu: 2.0 };
+        let input = [3.0, -1.0, 0.5, 7.0];
+        let mut row = input;
+        c.prox_row(&mut row, 2.0);
+        for (out, &v) in row.iter().zip(&input) {
+            assert_eq!(*out, c.prox(v, 2.0));
+        }
+    }
+
+    #[test]
+    fn nonnegativity_flags() {
+        assert!(Constraint::NonNegative.yields_nonnegative());
+        assert!(Constraint::SparseL1 { mu: 0.1 }.yields_nonnegative());
+        assert!(!Constraint::Unconstrained.yields_nonnegative());
+        assert!(!Constraint::Ridge { mu: 0.1 }.yields_nonnegative());
+        assert!(Constraint::Simplex.yields_nonnegative());
+        assert!(Constraint::Box { lo: 0.0, hi: 1.0 }.yields_nonnegative());
+        assert!(!Constraint::Box { lo: -1.0, hi: 1.0 }.yields_nonnegative());
+    }
+}

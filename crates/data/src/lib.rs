@@ -1,0 +1,14 @@
+//! # cstf-data
+//!
+//! Workload generation for cSTF-rs: planted non-negative low-rank synthetic
+//! tensors ([`synth`]) and the scaled Table 2 FROSTT catalog ([`catalog`]).
+//! All generation is deterministic given a seed (ChaCha8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod synth;
+
+pub use catalog::{by_name, dense_tf_shape, figure4_subset, table2, CatalogEntry, FactorSizeClass};
+pub use synth::{generate, generate_with_truth, random_init, random_nonneg_factors, SynthSpec};

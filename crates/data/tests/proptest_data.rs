@@ -1,0 +1,67 @@
+//! Property-based tests for the workload generators.
+
+use cstf_data::{by_name, table2, SynthSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation always respects the spec's shape, produces distinct,
+    /// in-range coordinates, strictly positive values, and is seed-stable.
+    #[test]
+    fn generator_invariants(
+        d0 in 3usize..20,
+        d1 in 3usize..20,
+        d2 in 3usize..20,
+        nnz in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let spec = SynthSpec::new(vec![d0, d1, d2], nnz, seed);
+        let t = cstf_data::generate(&spec);
+        prop_assert_eq!(t.shape(), &[d0, d1, d2][..]);
+        prop_assert!(t.nnz() <= nnz);
+        prop_assert!(t.values().iter().all(|&v| v > 0.0 && v.is_finite()));
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..t.nnz() {
+            let c = t.coord(k);
+            for (m, &ci) in c.iter().enumerate() {
+                prop_assert!((ci as usize) < t.shape()[m]);
+            }
+            prop_assert!(seen.insert(c), "duplicate coordinate");
+        }
+        // Seed-stable.
+        let t2 = cstf_data::generate(&spec);
+        prop_assert_eq!(t.values(), t2.values());
+    }
+
+    /// Catalog scaling: any positive target yields a valid spec whose
+    /// nnz is feasible for its shape.
+    #[test]
+    fn catalog_scaling_is_always_feasible(idx in 0usize..10, target in 100usize..500_000) {
+        let entry = &table2()[idx];
+        let spec = entry.scaled_spec(target, 1);
+        let cells: f64 = spec.shape.iter().map(|&d| d as f64).product();
+        prop_assert!(spec.nnz as f64 <= cells, "{}: infeasible nnz", entry.name);
+        prop_assert!(spec.shape.iter().all(|&d| d >= 2));
+        prop_assert_eq!(spec.shape.len(), entry.paper_dims.len());
+    }
+
+    /// Bigger targets never shrink the scaled dimensions.
+    #[test]
+    fn scaling_is_monotone_in_target(idx in 0usize..10, t1 in 1_000usize..100_000, grow in 2usize..10) {
+        let entry = &table2()[idx];
+        let small = entry.scaled_spec(t1, 0);
+        let large = entry.scaled_spec(t1 * grow, 0);
+        for (a, b) in small.shape.iter().zip(&large.shape) {
+            prop_assert!(b >= a, "{}: dim shrank {a} -> {b}", entry.name);
+        }
+        prop_assert!(large.nnz >= small.nnz);
+    }
+}
+
+#[test]
+fn catalog_lookup_is_case_insensitive() {
+    assert!(by_name("flickr").is_some());
+    assert!(by_name("FLICKR").is_some());
+    assert!(by_name("Flickr").is_some());
+}

@@ -1,0 +1,303 @@
+//! Roofline cost model.
+//!
+//! The paper's performance argument (§3.3, Eqs. 3–5) is a classic roofline
+//! story: a kernel's time is bounded below by both its compute time
+//! (`flops / peak`) and its memory time (`bytes / bandwidth`), and ADMM's
+//! arithmetic intensity (≈ `(19 + 2R) / (22 + R/I) / 8` flop/byte) pins it to
+//! the bandwidth roof. This module turns exact, machine-counted operation
+//! tallies into modeled kernel times, with three refinements the paper's
+//! results hinge on:
+//!
+//! 1. **Occupancy ramp** — a GPU only reaches peak throughput once enough
+//!    parallel work is resident; small factor matrices (NIPS, Uber) leave it
+//!    underutilized, which is why the paper sees only 1.2–1.5x there.
+//! 2. **Cache residency** — working sets that fit in the LLC are served at
+//!    `cache_bw_mult x` DRAM bandwidth; the H100's larger caches are the
+//!    paper's explanation for H100 > A100 at equal HBM bandwidth.
+//! 3. **Serialization** — triangular solves advance one dependent step per
+//!    column; each step costs `serial_step_us`, which is the penalty
+//!    cuADMM's pre-inversion removes.
+
+use serde::Serialize;
+
+use crate::spec::{DeviceKind, DeviceSpec};
+
+/// Kernel classes with distinct efficiency characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum KernelClass {
+    /// Element-wise streaming (DGEAM-like, proximity ops): bandwidth-bound,
+    /// near-perfect coalescing.
+    Stream,
+    /// Dense matrix multiply (DGEMM): compute-efficient, high data reuse.
+    Gemm,
+    /// Triangular solve (TRSM): serialized across columns.
+    Trsm,
+    /// Small-matrix factorization (Cholesky of an R x R system).
+    Factor,
+    /// Reductions (norms, convergence checks).
+    Reduce,
+    /// Sparse gather/scatter (MTTKRP): irregular access, atomics.
+    SparseGather,
+}
+
+impl KernelClass {
+    /// Fraction of peak FLOP rate this class typically sustains on a given
+    /// device kind. Triangular solves' dependent chains devastate GPU SIMT
+    /// throughput but are bread-and-butter for out-of-order CPU cores.
+    fn compute_efficiency(self, kind: DeviceKind) -> f64 {
+        match (self, kind) {
+            (KernelClass::Stream, _) => 0.9,
+            (KernelClass::Gemm, _) => 0.75,
+            (KernelClass::Trsm, DeviceKind::Gpu) => 0.06,
+            (KernelClass::Trsm, DeviceKind::Cpu) => 0.30,
+            (KernelClass::Factor, _) => 0.05,
+            (KernelClass::Reduce, _) => 0.6,
+            (KernelClass::SparseGather, _) => 0.5,
+        }
+    }
+
+    /// Fraction of peak bandwidth this class typically sustains on a given
+    /// device kind.
+    ///
+    /// CPUs pay read-for-ownership on streaming writes (no non-temporal
+    /// stores in the OpenMP baselines) and lose more to irregular gathers'
+    /// cache-line waste than GPUs lose on coalesced row gathers; GPUs lose
+    /// more than CPUs on fully random access (latency-bound warps).
+    fn memory_efficiency(self, kind: DeviceKind) -> f64 {
+        match (self, kind) {
+            (KernelClass::Stream, DeviceKind::Gpu) => 0.85,
+            (KernelClass::Stream, DeviceKind::Cpu) => 0.55,
+            (KernelClass::Gemm, _) => 0.80,
+            (KernelClass::Trsm, _) => 0.50,
+            (KernelClass::Factor, _) => 0.50,
+            (KernelClass::Reduce, DeviceKind::Gpu) => 0.80,
+            (KernelClass::Reduce, DeviceKind::Cpu) => 0.60,
+            (KernelClass::SparseGather, DeviceKind::Gpu) => 0.35,
+            (KernelClass::SparseGather, DeviceKind::Cpu) => 0.45,
+        }
+    }
+}
+
+/// Exact operation tally for one kernel launch.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct KernelCost {
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes read from memory (logical traffic before cache discounts).
+    pub bytes_read: f64,
+    /// Bytes written to memory.
+    pub bytes_written: f64,
+    /// Gather traffic in bytes, counted *per access* (e.g. MTTKRP's
+    /// factor-row loads: `nnz * (N-1) * R * 8`). Unlike `bytes_read`, this
+    /// traffic collapses toward the `working_set` footprint when the
+    /// gathered data is cache-resident — each row is then loaded once and
+    /// re-hit from cache, the reuse effect that makes CPU MTTKRP cheap on
+    /// small tensors (§5.3).
+    pub gather_traffic: f64,
+    /// Width of the parallel iteration space (threads' worth of independent
+    /// work), used by the occupancy ramp.
+    pub parallel_work: f64,
+    /// Number of *dependent* sequential steps inside the kernel (1 for fully
+    /// parallel kernels; `2R` for a forward+backward triangular solve).
+    pub serial_steps: f64,
+    /// Bytes of the data the kernel re-touches across calls (its resident
+    /// working set) — drives the cache-residency bandwidth boost.
+    pub working_set: f64,
+}
+
+impl KernelCost {
+    /// Total logical bytes moved (before cache discounts), including the
+    /// full per-access gather traffic.
+    pub fn bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written + self.gather_traffic
+    }
+
+    /// Arithmetic intensity in flop/byte.
+    pub fn intensity(&self) -> f64 {
+        let b = self.bytes();
+        if b == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / b
+        }
+    }
+}
+
+/// Modeled execution time of one kernel launch on a device, in seconds.
+///
+/// `t = launch + serial_latency + max(compute, memory)` with occupancy and
+/// cache-residency adjustments described at the module level.
+pub fn kernel_time(spec: &DeviceSpec, class: KernelClass, cost: &KernelCost) -> f64 {
+    let launch = spec.kernel_launch_us * 1e-6;
+
+    // Occupancy: linear ramp until `saturation_elems` independent work items.
+    let occupancy = if cost.parallel_work <= 0.0 {
+        1.0 / spec.saturation_elems
+    } else {
+        (cost.parallel_work / spec.saturation_elems).min(1.0)
+    };
+    // Even one warp makes progress, and tiny kernels are launch-latency
+    // bound rather than throughput bound — floor the ramp so under-occupied
+    // kernel time stays comparable to the launch cost instead of inflating
+    // small workloads' compute time.
+    let occupancy = occupancy.max(0.10);
+
+    // Cache residency: fraction of traffic served from the LLC. Working
+    // sets that fit are fully resident; oversubscribed working sets thrash
+    // under LRU streaming re-reads, retaining only a small random-reuse
+    // residue — a cliff, not a linear blend (this is also why CPU-cache-
+    // sized ADMM blocks do nothing for a GPU whose L2 they exceed, §4.2).
+    // The residency pool is the full on-chip capacity (L1 aggregate + LLC):
+    // Enron's ~66 MB factor set at paper scale fits the H100's 78.5 MB but
+    // not the A100's 60 MB — the cache cliff behind the paper's Enron jump
+    // from 4x (A100) to 17x (H100).
+    let pool_bytes = (spec.llc_mib + spec.l1_mib) * 1024.0 * 1024.0;
+    let resident = if cost.working_set <= 0.0 {
+        0.0
+    } else if cost.working_set <= pool_bytes {
+        1.0
+    } else {
+        0.35 * pool_bytes / cost.working_set
+    };
+    // Only a portion of cache-resident traffic actually re-hits (cold
+    // misses, conflict misses); 0.8 is a conventional residency yield.
+    let hit_fraction = 0.8 * resident;
+    // The class's DRAM derate (coalescing waste, read-for-ownership on CPU
+    // streaming writes) applies to the uncached portion only; cache-served
+    // traffic runs near the cache's native bandwidth (0.9 derate).
+    let eff_bw_gbs = spec.mem_bw_gbs
+        * ((1.0 - hit_fraction) * class.memory_efficiency(spec.kind)
+            + hit_fraction * spec.cache_bw_mult * 0.9);
+
+    // Gather traffic collapses toward one pass over the working set when
+    // the gathered structures are cache-resident (each row loaded once and
+    // re-hit), instead of one load per access.
+    let effective_gather = if cost.gather_traffic > 0.0 {
+        let one_pass = cost.working_set.min(cost.gather_traffic);
+        cost.gather_traffic * (1.0 - hit_fraction) + one_pass * hit_fraction
+    } else {
+        0.0
+    };
+    let effective_bytes = cost.bytes_read + cost.bytes_written + effective_gather;
+
+    let compute_s =
+        cost.flops / (spec.peak_gflops_f64 * 1e9 * class.compute_efficiency(spec.kind) * occupancy);
+    let memory_s = effective_bytes / (eff_bw_gbs * 1e9 * occupancy.max(0.25));
+
+    let serial_s = if cost.serial_steps > 1.0 {
+        (cost.serial_steps - 1.0) * spec.serial_step_us * 1e-6
+    } else {
+        0.0
+    };
+
+    launch + serial_s + compute_s.max(memory_s)
+}
+
+/// Modeled host-device transfer time for `bytes` over PCIe/NVLink; zero for
+/// CPUs (data is already in host memory).
+pub fn transfer_time(spec: &DeviceSpec, bytes: f64) -> f64 {
+    match spec.kind {
+        DeviceKind::Cpu => 0.0,
+        DeviceKind::Gpu => {
+            let latency = 10e-6; // one-way PCIe transaction latency
+            latency + bytes / (spec.host_link_gbs * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_cost(elems: f64) -> KernelCost {
+        KernelCost {
+            flops: elems,
+            bytes_read: 2.0 * 8.0 * elems,
+            bytes_written: 8.0 * elems,
+            gather_traffic: 0.0,
+            parallel_work: elems,
+            serial_steps: 1.0,
+            working_set: 3.0 * 8.0 * elems,
+        }
+    }
+
+    #[test]
+    fn bigger_kernels_take_longer() {
+        let spec = DeviceSpec::a100();
+        let small = kernel_time(&spec, KernelClass::Stream, &stream_cost(1e4));
+        let large = kernel_time(&spec, KernelClass::Stream, &stream_cost(1e8));
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn launch_latency_dominates_tiny_kernels() {
+        let spec = DeviceSpec::a100();
+        let t = kernel_time(&spec, KernelClass::Stream, &stream_cost(64.0));
+        // A 64-element kernel should cost roughly the 4 us launch latency.
+        assert!(t < 10.0 * spec.kernel_launch_us * 1e-6);
+        assert!(t >= spec.kernel_launch_us * 1e-6);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_large_streaming_work() {
+        let cost = stream_cost(1e8);
+        let gpu = kernel_time(&DeviceSpec::a100(), KernelClass::Stream, &cost);
+        let cpu = kernel_time(&DeviceSpec::icelake_xeon(), KernelClass::Stream, &cost);
+        // Bandwidth-bound: speedup should be near the ~10x bandwidth ratio.
+        let speedup = cpu / gpu;
+        assert!(speedup > 4.0 && speedup < 20.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn cpu_beats_gpu_on_tiny_work() {
+        // Launch latency + under-occupancy make tiny kernels a CPU win.
+        let cost = stream_cost(256.0);
+        let gpu = kernel_time(&DeviceSpec::a100(), KernelClass::Stream, &cost);
+        let cpu = kernel_time(&DeviceSpec::icelake_xeon(), KernelClass::Stream, &cost);
+        assert!(cpu < gpu);
+    }
+
+    #[test]
+    fn trsm_serialization_penalty_on_gpu() {
+        // A 2R-step triangular solve vs an equivalent-flop GEMM.
+        let r = 32.0;
+        let i = 1e6;
+        let trsm = KernelCost {
+            flops: 2.0 * i * r * r,
+            bytes_read: 8.0 * (i * r + r * r),
+            bytes_written: 8.0 * i * r,
+            gather_traffic: 0.0,
+            parallel_work: i,
+            serial_steps: 2.0 * r,
+            working_set: 8.0 * i * r,
+        };
+        let gemm = KernelCost { serial_steps: 1.0, ..trsm };
+        let spec = DeviceSpec::h100();
+        let t_trsm = kernel_time(&spec, KernelClass::Trsm, &trsm);
+        let t_gemm = kernel_time(&spec, KernelClass::Gemm, &gemm);
+        assert!(t_trsm > t_gemm, "trsm {t_trsm} must exceed gemm {t_gemm}");
+    }
+
+    #[test]
+    fn h100_faster_than_a100_when_working_set_fits_h100_cache() {
+        // 45 MiB working set: inside H100's 50 MiB L2, outside A100's 40 MiB.
+        let elems = 45.0 * 1024.0 * 1024.0 / (3.0 * 8.0);
+        let cost = stream_cost(elems);
+        let a = kernel_time(&DeviceSpec::a100(), KernelClass::Stream, &cost);
+        let h = kernel_time(&DeviceSpec::h100(), KernelClass::Stream, &cost);
+        assert!(h < a, "H100 ({h}) should beat A100 ({a}) via cache residency");
+    }
+
+    #[test]
+    fn transfer_time_zero_on_cpu_positive_on_gpu() {
+        assert_eq!(transfer_time(&DeviceSpec::icelake_xeon(), 1e9), 0.0);
+        let t = transfer_time(&DeviceSpec::a100(), 1e9);
+        assert!(t > 1e9 / (64.0 * 1e9));
+    }
+
+    #[test]
+    fn intensity_matches_definition() {
+        let c = KernelCost { flops: 100.0, bytes_read: 30.0, bytes_written: 20.0, ..Default::default() };
+        assert_eq!(c.intensity(), 2.0);
+    }
+}

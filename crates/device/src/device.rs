@@ -1,0 +1,195 @@
+//! The simulated accelerator.
+//!
+//! [`Device`] is the execution context every cSTF kernel runs through. A
+//! kernel launch:
+//!
+//! 1. executes its Rust closure **for real** (Rayon-parallel on the host),
+//!    so all numerics are exact and testable;
+//! 2. converts the caller-supplied exact [`KernelCost`] tally into a modeled
+//!    time via the roofline model of [`crate::cost`], using this device's
+//!    [`DeviceSpec`];
+//! 3. attributes the launch to a cSTF [`Phase`] in the device profiler.
+//!
+//! This is the substitution documented in DESIGN.md §1: the machine we
+//! cannot have (A100/H100) is replaced by a spec-parameterized timing model
+//! fed by machine-counted operation tallies of real executions.
+
+use parking_lot::Mutex;
+
+use crate::cost::{kernel_time, transfer_time, KernelClass, KernelCost};
+use crate::profiler::{KernelRecord, Phase, PhaseTotals, Profiler};
+use crate::spec::DeviceSpec;
+
+/// A simulated compute device (GPU or CPU) with an attached profiler.
+pub struct Device {
+    spec: DeviceSpec,
+    profiler: Mutex<Profiler>,
+}
+
+impl Device {
+    /// Creates a device from a spec, keeping aggregate totals only.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self { spec, profiler: Mutex::new(Profiler::new()) }
+    }
+
+    /// Creates a device that retains every kernel record (for kernel-level
+    /// inspection in tests and the ablation benches).
+    pub fn with_records(spec: DeviceSpec) -> Self {
+        Self { spec, profiler: Mutex::new(Profiler::with_records()) }
+    }
+
+    /// The device's architectural parameters.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Launches a kernel: runs `body` immediately, meters it with `cost`,
+    /// and returns the body's result.
+    pub fn launch<T>(
+        &self,
+        name: &'static str,
+        phase: Phase,
+        class: KernelClass,
+        cost: KernelCost,
+        body: impl FnOnce() -> T,
+    ) -> T {
+        let out = body();
+        let modeled_s = kernel_time(&self.spec, class, &cost);
+        self.profiler.lock().record(KernelRecord { name, phase, class, cost, modeled_s });
+        out
+    }
+
+    /// Records a host→device or device→host transfer of `bytes`.
+    pub fn transfer(&self, name: &'static str, bytes: f64) {
+        let modeled_s = transfer_time(&self.spec, bytes);
+        self.profiler.lock().record(KernelRecord {
+            name,
+            phase: Phase::Transfer,
+            class: KernelClass::Stream,
+            cost: KernelCost { bytes_read: bytes, ..Default::default() },
+            modeled_s,
+        });
+    }
+
+    /// Totals for one phase.
+    pub fn phase_totals(&self, phase: Phase) -> PhaseTotals {
+        self.profiler.lock().phase(phase)
+    }
+
+    /// All non-empty phases in display order.
+    pub fn phases(&self) -> Vec<(Phase, PhaseTotals)> {
+        self.profiler.lock().phases()
+    }
+
+    /// Total modeled seconds since the last reset.
+    pub fn total_seconds(&self) -> f64 {
+        self.profiler.lock().total_seconds()
+    }
+
+    /// Total kernel launches since the last reset.
+    pub fn total_launches(&self) -> usize {
+        self.profiler.lock().total_launches()
+    }
+
+    /// Snapshot of retained kernel records.
+    pub fn records(&self) -> Vec<KernelRecord> {
+        self.profiler.lock().records().to_vec()
+    }
+
+    /// Clears the profiler.
+    pub fn reset(&mut self) {
+        self.profiler.lock().reset();
+    }
+
+    /// Clears the profiler through a shared reference (the drivers hold
+    /// `&Device` while timing separate stages).
+    pub fn reset_shared(&self) {
+        self.profiler.lock().reset();
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Device({}, {:.3e}s modeled)", self.spec.name, self.total_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DeviceSpec;
+
+    fn cost(elems: f64) -> KernelCost {
+        KernelCost {
+            flops: elems,
+            bytes_read: 16.0 * elems,
+            bytes_written: 8.0 * elems,
+            gather_traffic: 0.0,
+            parallel_work: elems,
+            serial_steps: 1.0,
+            working_set: 24.0 * elems,
+        }
+    }
+
+    #[test]
+    fn launch_executes_body_and_returns_value() {
+        let dev = Device::new(DeviceSpec::a100());
+        let v = dev.launch("axpy", Phase::Update, KernelClass::Stream, cost(100.0), || 42);
+        assert_eq!(v, 42);
+        assert_eq!(dev.total_launches(), 1);
+        assert!(dev.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn phases_are_attributed() {
+        let dev = Device::new(DeviceSpec::h100());
+        dev.launch("gram", Phase::Gram, KernelClass::Gemm, cost(10.0), || ());
+        dev.launch("prox", Phase::Update, KernelClass::Stream, cost(10.0), || ());
+        dev.launch("prox2", Phase::Update, KernelClass::Stream, cost(10.0), || ());
+        assert_eq!(dev.phase_totals(Phase::Gram).launches, 1);
+        assert_eq!(dev.phase_totals(Phase::Update).launches, 2);
+        assert_eq!(dev.phase_totals(Phase::Mttkrp).launches, 0);
+    }
+
+    #[test]
+    fn transfers_are_metered_on_gpu_only() {
+        let gpu = Device::new(DeviceSpec::a100());
+        gpu.transfer("h2d_factors", 1e6);
+        assert!(gpu.phase_totals(Phase::Transfer).seconds > 0.0);
+
+        let cpu = Device::new(DeviceSpec::icelake_xeon());
+        cpu.transfer("noop", 1e6);
+        assert_eq!(cpu.phase_totals(Phase::Transfer).seconds, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_totals() {
+        let mut dev = Device::new(DeviceSpec::a100());
+        dev.launch("k", Phase::Other, KernelClass::Reduce, cost(5.0), || ());
+        dev.reset();
+        assert_eq!(dev.total_seconds(), 0.0);
+        assert_eq!(dev.total_launches(), 0);
+    }
+
+    #[test]
+    fn records_snapshot_when_enabled() {
+        let dev = Device::with_records(DeviceSpec::h100());
+        dev.launch("named_kernel", Phase::Update, KernelClass::Gemm, cost(7.0), || ());
+        let recs = dev.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "named_kernel");
+    }
+
+    #[test]
+    fn device_is_sync_shareable_across_threads() {
+        let dev = Device::new(DeviceSpec::a100());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    dev.launch("par", Phase::Update, KernelClass::Stream, cost(10.0), || ());
+                });
+            }
+        });
+        assert_eq!(dev.total_launches(), 4);
+    }
+}

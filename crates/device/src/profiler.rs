@@ -1,0 +1,210 @@
+//! Per-phase kernel profiler.
+//!
+//! Reproducing the paper's breakdown figures (Figs. 1 and 3) requires
+//! attributing every kernel to one of the four cSTF phases — GRAM, MTTKRP,
+//! UPDATE, NORMALIZE — and summing modeled time per phase. The profiler also
+//! keeps raw flop/byte tallies so the arithmetic-intensity analysis
+//! (Eqs. 3–5) can be checked against the machine-counted numbers.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::cost::{KernelClass, KernelCost};
+
+/// The cSTF phases of Algorithm 1, plus host-device transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Phase {
+    /// Gram-matrix computation and Hadamard combination (lines 8, 12).
+    Gram,
+    /// The matricized tensor times Khatri-Rao product (line 9).
+    Mttkrp,
+    /// The constrained update — ADMM / MU / HALS (line 10).
+    Update,
+    /// Column normalization and lambda extraction (line 11).
+    Normalize,
+    /// Host-device data movement.
+    Transfer,
+    /// Anything else (initialization, fit checks).
+    Other,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub fn all() -> [Phase; 6] {
+        [Phase::Gram, Phase::Mttkrp, Phase::Update, Phase::Normalize, Phase::Transfer, Phase::Other]
+    }
+
+    /// Uppercase label as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Gram => "GRAM",
+            Phase::Mttkrp => "MTTKRP",
+            Phase::Update => "UPDATE",
+            Phase::Normalize => "NORMALIZE",
+            Phase::Transfer => "TRANSFER",
+            Phase::Other => "OTHER",
+        }
+    }
+}
+
+/// One recorded kernel launch.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelRecord {
+    /// Kernel name (e.g. `"compute_auxiliary"`).
+    pub name: &'static str,
+    /// Phase attribution.
+    pub phase: Phase,
+    /// Kernel class used by the cost model.
+    pub class: KernelClass,
+    /// Exact operation tally.
+    pub cost: KernelCost,
+    /// Modeled execution time in seconds.
+    pub modeled_s: f64,
+}
+
+/// Aggregated totals for one phase.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PhaseTotals {
+    /// Modeled seconds.
+    pub seconds: f64,
+    /// Kernel launches.
+    pub launches: usize,
+    /// Total flops.
+    pub flops: f64,
+    /// Total bytes (read + written).
+    pub bytes: f64,
+}
+
+/// Accumulates kernel records and per-phase totals.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    records: Vec<KernelRecord>,
+    keep_records: bool,
+    totals: BTreeMap<Phase, PhaseTotals>,
+}
+
+impl Profiler {
+    /// A profiler that keeps only aggregate totals (cheap; default).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A profiler that additionally retains every [`KernelRecord`].
+    pub fn with_records() -> Self {
+        Self { keep_records: true, ..Self::default() }
+    }
+
+    /// Records one kernel launch.
+    pub fn record(&mut self, rec: KernelRecord) {
+        let t = self.totals.entry(rec.phase).or_default();
+        t.seconds += rec.modeled_s;
+        t.launches += 1;
+        t.flops += rec.cost.flops;
+        t.bytes += rec.cost.bytes();
+        if self.keep_records {
+            self.records.push(rec);
+        }
+    }
+
+    /// Totals for one phase (zeros if nothing ran).
+    pub fn phase(&self, phase: Phase) -> PhaseTotals {
+        self.totals.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// Per-phase totals in display order, skipping empty phases.
+    pub fn phases(&self) -> Vec<(Phase, PhaseTotals)> {
+        Phase::all()
+            .into_iter()
+            .filter_map(|p| self.totals.get(&p).map(|t| (p, *t)))
+            .collect()
+    }
+
+    /// Total modeled time across all phases, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.totals.values().map(|t| t.seconds).sum()
+    }
+
+    /// Total kernel launches.
+    pub fn total_launches(&self) -> usize {
+        self.totals.values().map(|t| t.launches).sum()
+    }
+
+    /// Retained records (empty unless constructed with
+    /// [`Profiler::with_records`]).
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Clears all records and totals.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.totals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(phase: Phase, secs: f64, flops: f64) -> KernelRecord {
+        KernelRecord {
+            name: "k",
+            phase,
+            class: KernelClass::Stream,
+            cost: KernelCost { flops, bytes_read: 10.0, bytes_written: 5.0, ..Default::default() },
+            modeled_s: secs,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate_per_phase() {
+        let mut p = Profiler::new();
+        p.record(rec(Phase::Update, 1.0, 100.0));
+        p.record(rec(Phase::Update, 2.0, 50.0));
+        p.record(rec(Phase::Gram, 0.5, 10.0));
+        let u = p.phase(Phase::Update);
+        assert_eq!(u.seconds, 3.0);
+        assert_eq!(u.launches, 2);
+        assert_eq!(u.flops, 150.0);
+        assert_eq!(u.bytes, 30.0);
+        assert_eq!(p.total_seconds(), 3.5);
+        assert_eq!(p.total_launches(), 3);
+    }
+
+    #[test]
+    fn records_kept_only_when_requested() {
+        let mut lean = Profiler::new();
+        lean.record(rec(Phase::Gram, 0.1, 1.0));
+        assert!(lean.records().is_empty());
+
+        let mut full = Profiler::with_records();
+        full.record(rec(Phase::Gram, 0.1, 1.0));
+        assert_eq!(full.records().len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = Profiler::with_records();
+        p.record(rec(Phase::Mttkrp, 1.0, 1.0));
+        p.reset();
+        assert_eq!(p.total_seconds(), 0.0);
+        assert!(p.records().is_empty());
+        assert!(p.phases().is_empty());
+    }
+
+    #[test]
+    fn phases_in_display_order() {
+        let mut p = Profiler::new();
+        p.record(rec(Phase::Normalize, 1.0, 0.0));
+        p.record(rec(Phase::Gram, 1.0, 0.0));
+        let order: Vec<Phase> = p.phases().into_iter().map(|(ph, _)| ph).collect();
+        assert_eq!(order, vec![Phase::Gram, Phase::Normalize]);
+    }
+
+    #[test]
+    fn labels_match_paper_figures() {
+        assert_eq!(Phase::Update.label(), "UPDATE");
+        assert_eq!(Phase::Mttkrp.label(), "MTTKRP");
+    }
+}

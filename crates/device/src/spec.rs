@@ -1,0 +1,265 @@
+//! Device specifications (paper Table 1).
+//!
+//! A [`DeviceSpec`] captures the handful of architectural parameters the
+//! paper's own performance analysis (§3.3) reasons with: peak FP64 rate,
+//! memory bandwidth, cache capacity, parallel width, and kernel launch cost.
+//! Three concrete specs reproduce Table 1: NVIDIA A100, NVIDIA H100, and the
+//! 26-core Intel Ice Lake Xeon Platinum 8367HC the CPU baselines ran on.
+
+use serde::Serialize;
+
+/// Whether a device is a latency-oriented CPU or a throughput-oriented GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DeviceKind {
+    /// Multicore CPU: negligible launch cost, modest bandwidth, deep caches.
+    Cpu,
+    /// Massively parallel GPU: high bandwidth, kernel-launch latency, needs
+    /// enough parallel work to reach full occupancy.
+    Gpu,
+}
+
+/// Architectural parameters driving the roofline cost model.
+///
+/// All throughputs are *peak*; per-kernel-class efficiency factors in
+/// [`crate::cost`] derate them.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeviceSpec {
+    /// Marketing name, printed in Table 1.
+    pub name: &'static str,
+    /// Microarchitecture, printed in Table 1.
+    pub uarch: &'static str,
+    /// CPU or GPU.
+    pub kind: DeviceKind,
+    /// Core clock in GHz (Table 1 row "Frequency").
+    pub freq_ghz: f64,
+    /// CPU cores, or GPU streaming multiprocessors.
+    pub cores: usize,
+    /// GPU CUDA cores (0 for CPUs).
+    pub cuda_cores: usize,
+    /// Peak FP64 rate in GFLOP/s.
+    pub peak_gflops_f64: f64,
+    /// DRAM/HBM bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Capacity of the largest cache level in MiB (L2 for the GPUs, L3 for
+    /// the CPU) — the quantity the paper credits for H100 > A100 at equal
+    /// HBM bandwidth.
+    pub llc_mib: f64,
+    /// Aggregate L1/near cache in MiB (Table 1 row "Caches").
+    pub l1_mib: f64,
+    /// DRAM capacity in GB (Table 1 row "DRAM").
+    pub dram_gb: f64,
+    /// Bandwidth multiplier when a working set is cache-resident
+    /// (LLC bandwidth / DRAM bandwidth).
+    pub cache_bw_mult: f64,
+    /// Per-kernel launch latency in microseconds (host API + scheduling for
+    /// GPUs; parallel-region fork/join for the CPU).
+    pub kernel_launch_us: f64,
+    /// Number of concurrently resident work items needed to reach full
+    /// throughput; below this, effective throughput ramps linearly
+    /// (occupancy). GPUs need hundreds of thousands of threads, CPUs dozens.
+    pub saturation_elems: f64,
+    /// Latency of one dependent step inside a serialized kernel (triangular
+    /// solve), in microseconds.
+    pub serial_step_us: f64,
+    /// Host link (PCIe/NVLink) bandwidth in GB/s; `f64::INFINITY` for the
+    /// CPU (no transfer needed).
+    pub host_link_gbs: f64,
+    /// OS / driver string, printed in Table 1.
+    pub os_driver: &'static str,
+    /// Compiler string, printed in Table 1.
+    pub compiler: &'static str,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100 80 GB (Ampere), as in Table 1.
+    pub fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100",
+            uarch: "Ampere",
+            kind: DeviceKind::Gpu,
+            freq_ghz: 1.41,
+            cores: 108,
+            cuda_cores: 6912,
+            peak_gflops_f64: 9_700.0,
+            mem_bw_gbs: 2_039.0,
+            llc_mib: 40.0,
+            l1_mib: 20.3,
+            dram_gb: 80.0,
+            cache_bw_mult: 2.0,
+            kernel_launch_us: 4.0,
+            saturation_elems: 4.0e5,
+            serial_step_us: 1.5,
+            host_link_gbs: 64.0, // PCIe 4.0 x16
+            os_driver: "525.85.12",
+            compiler: "nvcc 11.7",
+        }
+    }
+
+    /// NVIDIA H100 80 GB (Hopper), as in Table 1. Same HBM bandwidth as the
+    /// A100 but ~25 % larger L1/L2 — the cache advantage §5.3 credits for the
+    /// higher end-to-end speedup.
+    pub fn h100() -> Self {
+        Self {
+            name: "NVIDIA H100",
+            uarch: "Hopper",
+            kind: DeviceKind::Gpu,
+            freq_ghz: 1.98,
+            cores: 114,
+            cuda_cores: 14592,
+            peak_gflops_f64: 25_600.0,
+            mem_bw_gbs: 2_039.0,
+            llc_mib: 50.0,
+            l1_mib: 28.5,
+            dram_gb: 80.0,
+            cache_bw_mult: 2.5,
+            kernel_launch_us: 3.0,
+            saturation_elems: 4.5e5,
+            serial_step_us: 1.2,
+            host_link_gbs: 64.0,
+            os_driver: "535.54.03",
+            compiler: "nvcc 12.3",
+        }
+    }
+
+    /// Intel Xeon Platinum 8367HC, 26-core Ice Lake (Table 1 CPU column).
+    ///
+    /// Peak FP64 = 26 cores x 3.2 GHz x 2 FMA ports x 8-wide AVX-512 x 2
+    /// flops ≈ 2.66 TFLOP/s; sustained DRAM bandwidth ≈ 205 GB/s
+    /// (8-channel DDR4-3200).
+    pub fn icelake_xeon() -> Self {
+        Self {
+            name: "Intel Xeon Platinum 8367HC",
+            uarch: "Ice Lake (ICX)",
+            kind: DeviceKind::Cpu,
+            freq_ghz: 3.2,
+            cores: 26,
+            cuda_cores: 0,
+            peak_gflops_f64: 2_662.0,
+            mem_bw_gbs: 205.0,
+            llc_mib: 143.0,
+            l1_mib: 3.3,
+            dram_gb: 400.0,
+            cache_bw_mult: 5.0,
+            kernel_launch_us: 0.5,
+            saturation_elems: 2.0e3,
+            serial_step_us: 0.05,
+            host_link_gbs: f64::INFINITY,
+            os_driver: "Ubuntu 20.04",
+            compiler: "gcc 9.3.0",
+        }
+    }
+
+    /// All Table 1 devices, CPU first.
+    pub fn table1() -> Vec<Self> {
+        vec![Self::icelake_xeon(), Self::a100(), Self::h100()]
+    }
+
+    /// Machine balance in flop/byte: the arithmetic intensity at the
+    /// roofline ridge point. Kernels below this are bandwidth-bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gflops_f64 / self.mem_bw_gbs
+    }
+
+    /// A workload-scaled copy of this spec for replaying a paper-scale
+    /// experiment on data shrunk by factor `s` (DESIGN.md §1).
+    ///
+    /// The catalog shrinks every mode length and the nnz by `s`; shrinking
+    /// the device's *latency, occupancy and capacity* parameters by the
+    /// same factor preserves every dimensionless ratio the roofline model
+    /// depends on — work-per-kernel vs. launch latency, parallel work vs.
+    /// saturation occupancy, working set vs. cache capacity, serial TRSM
+    /// steps vs. streaming time. Throughputs (FLOP/s, GB/s) are *not*
+    /// scaled: absolute kernel times simply come out `s` times smaller,
+    /// leaving all speedup ratios those of the paper-scale run.
+    pub fn scaled(&self, s: f64) -> Self {
+        assert!(s > 0.0 && s.is_finite(), "scale must be positive");
+        Self {
+            llc_mib: self.llc_mib * s,
+            l1_mib: self.l1_mib * s,
+            kernel_launch_us: self.kernel_launch_us * s,
+            saturation_elems: self.saturation_elems * s,
+            serial_step_us: self.serial_step_us * s,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_headline_numbers() {
+        let a100 = DeviceSpec::a100();
+        let h100 = DeviceSpec::h100();
+        let cpu = DeviceSpec::icelake_xeon();
+        assert_eq!(a100.cores, 108);
+        assert_eq!(h100.cores, 114);
+        assert_eq!(cpu.cores, 26);
+        assert_eq!(a100.mem_bw_gbs, h100.mem_bw_gbs); // equal HBM bandwidth
+        assert!(h100.llc_mib > a100.llc_mib); // H100 cache advantage
+        assert!(h100.l1_mib > a100.l1_mib);
+        assert_eq!(a100.freq_ghz, 1.41);
+        assert_eq!(h100.freq_ghz, 1.98);
+        assert_eq!(cpu.freq_ghz, 3.2);
+    }
+
+    #[test]
+    fn gpus_have_big_bandwidth_advantage_over_cpu() {
+        let cpu = DeviceSpec::icelake_xeon();
+        let a100 = DeviceSpec::a100();
+        let ratio = a100.mem_bw_gbs / cpu.mem_bw_gbs;
+        // The ~10x bandwidth gap is what makes bandwidth-bound ADMM a GPU win.
+        assert!(ratio > 8.0 && ratio < 12.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn ridge_point_classifies_admm_as_bandwidth_bound() {
+        // Paper §3.3: ADMM arithmetic intensity is 0.29-0.83 flop/byte for
+        // R in {16, 32, 64} — far below every device's ridge point.
+        for spec in DeviceSpec::table1() {
+            assert!(spec.ridge_intensity() > 1.0, "{} ridge too low", spec.name);
+        }
+    }
+
+    #[test]
+    fn scaled_spec_preserves_speedup_ratios() {
+        // Replaying at scale s must leave kernel-time *ratios* unchanged:
+        // a workload shrunk by s on a spec scaled by s gives times exactly
+        // s times smaller.
+        use crate::cost::{kernel_time, KernelClass, KernelCost};
+        let s = 1e-3;
+        let full = DeviceSpec::a100();
+        let scaled = full.scaled(s);
+        let cost_at = |scale: f64| KernelCost {
+            flops: 1e9 * scale,
+            bytes_read: 1.6e10 * scale,
+            bytes_written: 8e9 * scale,
+            gather_traffic: 0.0,
+            parallel_work: 1e6 * scale,
+            serial_steps: 64.0,
+            working_set: 45.0 * 1024.0 * 1024.0 * scale,
+        };
+        let t_full = kernel_time(&full, KernelClass::Stream, &cost_at(1.0));
+        let t_scaled = kernel_time(&scaled, KernelClass::Stream, &cost_at(s));
+        let ratio = t_scaled / t_full;
+        assert!((ratio / s - 1.0).abs() < 0.05, "ratio {ratio} vs expected {s}");
+    }
+
+    #[test]
+    fn scaling_keeps_throughputs() {
+        let s = 0.01;
+        let a = DeviceSpec::h100();
+        let b = a.scaled(s);
+        assert_eq!(a.peak_gflops_f64, b.peak_gflops_f64);
+        assert_eq!(a.mem_bw_gbs, b.mem_bw_gbs);
+        assert_eq!(b.llc_mib, a.llc_mib * s);
+        assert_eq!(b.saturation_elems, a.saturation_elems * s);
+    }
+
+    #[test]
+    fn kinds_are_correct() {
+        assert_eq!(DeviceSpec::a100().kind, DeviceKind::Gpu);
+        assert_eq!(DeviceSpec::icelake_xeon().kind, DeviceKind::Cpu);
+    }
+}

@@ -1,0 +1,100 @@
+//! Chrome-trace export of kernel records.
+//!
+//! Serializes retained [`KernelRecord`]s into the Chrome Trace Event
+//! format (the `chrome://tracing` / Perfetto JSON array form), laying the
+//! modeled kernels out on one timeline track per phase. Useful for eyeball
+//! inspection of where a factorization's modeled time goes.
+
+use std::io::Write;
+
+use crate::profiler::{KernelRecord, Phase};
+
+/// Serializes records as a Chrome Trace Event JSON array.
+///
+/// Events are complete-events (`"ph": "X"`) with microsecond timestamps;
+/// kernels are laid end-to-end per phase track in record order (the model
+/// has no concurrency between kernels — the device is one stream, like the
+/// paper's implementation).
+pub fn write_chrome_trace<W: Write>(records: &[KernelRecord], mut w: W) -> std::io::Result<()> {
+    writeln!(w, "[")?;
+    let mut cursor_us: f64 = 0.0;
+    for (i, rec) in records.iter().enumerate() {
+        let dur_us = rec.modeled_s * 1e6;
+        let tid = phase_track(rec.phase);
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        writeln!(
+            w,
+            "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+             \"pid\": 1, \"tid\": {}, \"args\": {{\"flops\": {:.3e}, \"bytes\": {:.3e}}}}}{}",
+            rec.name,
+            rec.phase.label(),
+            cursor_us,
+            dur_us,
+            tid,
+            rec.cost.flops,
+            rec.cost.bytes(),
+            comma
+        )?;
+        cursor_us += dur_us;
+    }
+    writeln!(w, "]")
+}
+
+fn phase_track(phase: Phase) -> u32 {
+    match phase {
+        Phase::Gram => 1,
+        Phase::Mttkrp => 2,
+        Phase::Update => 3,
+        Phase::Normalize => 4,
+        Phase::Transfer => 5,
+        Phase::Other => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{KernelClass, KernelCost};
+
+    fn rec(name: &'static str, phase: Phase, secs: f64) -> KernelRecord {
+        KernelRecord {
+            name,
+            phase,
+            class: KernelClass::Stream,
+            cost: KernelCost { flops: 100.0, bytes_read: 800.0, ..Default::default() },
+            modeled_s: secs,
+        }
+    }
+
+    #[test]
+    fn trace_is_valid_json_array() {
+        let records =
+            vec![rec("mttkrp", Phase::Mttkrp, 1e-3), rec("compute_auxiliary", Phase::Update, 2e-3)];
+        let mut buf = Vec::new();
+        write_chrome_trace(&records, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["name"], "mttkrp");
+        assert_eq!(arr[1]["cat"], "UPDATE");
+        assert_eq!(arr[1]["ts"].as_f64().unwrap(), 1000.0); // after the first ms
+        assert_eq!(arr[1]["dur"].as_f64().unwrap(), 2000.0);
+    }
+
+    #[test]
+    fn empty_records_still_valid() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&[], &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn phases_map_to_distinct_tracks() {
+        let tracks: Vec<u32> = Phase::all().iter().map(|&p| phase_track(p)).collect();
+        let unique: std::collections::HashSet<_> = tracks.iter().collect();
+        assert_eq!(unique.len(), tracks.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests on the roofline cost model: basic sanity laws the
+//! figure reproductions implicitly rely on.
+
+use cstf_device::{kernel_time, transfer_time, DeviceSpec, KernelClass, KernelCost};
+use proptest::prelude::*;
+
+fn cost_strategy() -> impl Strategy<Value = KernelCost> {
+    (
+        1.0f64..1e12,   // flops
+        0.0f64..1e12,   // bytes_read
+        0.0f64..1e11,   // bytes_written
+        0.0f64..1e11,   // gather
+        1.0f64..1e9,    // parallel work
+        1.0f64..128.0,  // serial steps
+        0.0f64..1e10,   // working set
+    )
+        .prop_map(|(flops, br, bw, ga, pw, ss, ws)| KernelCost {
+            flops,
+            bytes_read: br,
+            bytes_written: bw,
+            gather_traffic: ga,
+            parallel_work: pw,
+            serial_steps: ss,
+            working_set: ws,
+        })
+}
+
+fn class_strategy() -> impl Strategy<Value = KernelClass> {
+    prop_oneof![
+        Just(KernelClass::Stream),
+        Just(KernelClass::Gemm),
+        Just(KernelClass::Trsm),
+        Just(KernelClass::Factor),
+        Just(KernelClass::Reduce),
+        Just(KernelClass::SparseGather),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Kernel time is positive, finite, and at least the launch latency.
+    #[test]
+    fn time_is_positive_and_bounded_below(cost in cost_strategy(), class in class_strategy()) {
+        for spec in DeviceSpec::table1() {
+            let t = kernel_time(&spec, class, &cost);
+            prop_assert!(t.is_finite());
+            prop_assert!(t >= spec.kernel_launch_us * 1e-6);
+        }
+    }
+
+    /// More flops never makes a kernel faster (monotonicity).
+    #[test]
+    fn monotone_in_flops(cost in cost_strategy(), class in class_strategy(), extra in 1.0f64..1e10) {
+        let spec = DeviceSpec::a100();
+        let t1 = kernel_time(&spec, class, &cost);
+        let more = KernelCost { flops: cost.flops + extra, ..cost };
+        prop_assert!(kernel_time(&spec, class, &more) >= t1 - 1e-15);
+    }
+
+    /// More bytes never makes a kernel faster.
+    #[test]
+    fn monotone_in_bytes(cost in cost_strategy(), class in class_strategy(), extra in 1.0f64..1e10) {
+        let spec = DeviceSpec::h100();
+        let t1 = kernel_time(&spec, class, &cost);
+        let more = KernelCost { bytes_read: cost.bytes_read + extra, ..cost };
+        prop_assert!(kernel_time(&spec, class, &more) >= t1 - 1e-15);
+    }
+
+    /// Growing the working set (less cache residency) never speeds things up.
+    #[test]
+    fn monotone_in_working_set(cost in cost_strategy(), grow in 1.0f64..100.0) {
+        let spec = DeviceSpec::h100();
+        let t1 = kernel_time(&spec, KernelClass::Stream, &cost);
+        let bigger = KernelCost { working_set: cost.working_set * grow, ..cost };
+        prop_assert!(kernel_time(&spec, KernelClass::Stream, &bigger) >= t1 - 1e-15);
+    }
+
+    /// More parallel work (at fixed totals) never slows a kernel down —
+    /// occupancy can only improve.
+    #[test]
+    fn monotone_in_parallelism(cost in cost_strategy(), class in class_strategy(), grow in 1.0f64..1000.0) {
+        let spec = DeviceSpec::a100();
+        let t1 = kernel_time(&spec, class, &cost);
+        let wider = KernelCost { parallel_work: cost.parallel_work * grow, ..cost };
+        prop_assert!(kernel_time(&spec, class, &wider) <= t1 + 1e-15);
+    }
+
+    /// Scale replay: a workload shrunk by s on a spec scaled by s runs
+    /// exactly s times faster — for any cost whose every extensive
+    /// quantity scales with s.
+    #[test]
+    fn scale_replay_invariance(cost in cost_strategy(), s in 1e-4f64..1.0) {
+        for spec in [DeviceSpec::a100(), DeviceSpec::icelake_xeon()] {
+            let t_full = kernel_time(&spec, KernelClass::Stream, &cost);
+            let scaled_cost = KernelCost {
+                flops: cost.flops * s,
+                bytes_read: cost.bytes_read * s,
+                bytes_written: cost.bytes_written * s,
+                gather_traffic: cost.gather_traffic * s,
+                parallel_work: cost.parallel_work * s,
+                serial_steps: cost.serial_steps,
+                working_set: cost.working_set * s,
+            };
+            let t_scaled = kernel_time(&spec.scaled(s), KernelClass::Stream, &scaled_cost);
+            // Serial steps scale via serial_step_us, everything else via the
+            // extensive quantities; allow 1% slack for the fixed floors.
+            prop_assert!(
+                (t_scaled / (t_full * s) - 1.0).abs() < 0.01,
+                "ratio {} at s={s}", t_scaled / (t_full * s)
+            );
+        }
+    }
+
+    /// Transfers: zero-cost on CPU, monotone in bytes on GPU.
+    #[test]
+    fn transfer_laws(bytes in 0.0f64..1e12, extra in 1.0f64..1e10) {
+        prop_assert_eq!(transfer_time(&DeviceSpec::icelake_xeon(), bytes), 0.0);
+        let gpu = DeviceSpec::a100();
+        prop_assert!(transfer_time(&gpu, bytes + extra) >= transfer_time(&gpu, bytes));
+    }
+}

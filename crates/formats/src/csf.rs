@@ -1,0 +1,553 @@
+//! Compressed Sparse Fiber (CSF) — SPLATT's tensor format.
+//!
+//! CSF generalizes CSR to N modes: nonzeros are sorted lexicographically by
+//! a mode order and folded into a tree whose level-`l` nodes are the
+//! distinct index prefixes of length `l+1`. SPLATT's CPU MTTKRP walks this
+//! tree once per target mode; as in SPLATT's `ALLMODE` configuration, we
+//! build one CSF per mode so the target mode is always the root level —
+//! making the outer loop over root nodes conflict-free and perfectly
+//! parallel.
+
+use rayon::prelude::*;
+
+use cstf_linalg::Mat;
+use cstf_tensor::SparseTensor;
+
+use crate::traffic::TrafficEstimate;
+
+/// One level of the CSF tree.
+#[derive(Debug, Clone)]
+struct CsfLevel {
+    /// Index (in the level's tensor mode) of each node.
+    fids: Vec<u32>,
+    /// `ptr[k]..ptr[k+1]` spans node `k`'s children in the next level
+    /// (absent on the leaf level).
+    ptr: Vec<usize>,
+}
+
+/// A CSF tensor rooted at one mode.
+#[derive(Debug, Clone)]
+pub struct Csf {
+    /// `mode_order[0]` is the root (target) mode.
+    mode_order: Vec<usize>,
+    shape: Vec<usize>,
+    levels: Vec<CsfLevel>,
+    /// Nonzero values, aligned with the leaf level's `fids`.
+    values: Vec<f64>,
+}
+
+impl Csf {
+    /// Compiles a COO tensor into a CSF rooted at `root_mode`.
+    pub fn from_coo(x: &SparseTensor, root_mode: usize) -> Self {
+        assert!(root_mode < x.nmodes(), "root mode out of range");
+        let nmodes = x.nmodes();
+        let mode_order: Vec<usize> =
+            std::iter::once(root_mode).chain((0..nmodes).filter(|&m| m != root_mode)).collect();
+
+        let mut sorted = x.clone();
+        sorted.sort_by_mode(root_mode);
+        let nnz = sorted.nnz();
+
+        let mut levels: Vec<CsfLevel> = Vec::with_capacity(nmodes);
+        // `starts[j]` = first nonzero of the j-th node at the previous level.
+        let mut prev_starts: Vec<usize> = vec![0];
+        let mut prev_count = 1usize; // virtual super-root
+
+        for (l, &mode) in mode_order.iter().enumerate() {
+            let idx = sorted.mode_indices(mode);
+            let mut fids: Vec<u32> = Vec::new();
+            let mut starts: Vec<usize> = Vec::new();
+            let mut ptr: Vec<usize> = vec![0; prev_count + 1];
+
+            for parent in 0..prev_count {
+                let lo = prev_starts[parent];
+                let hi = if parent + 1 < prev_starts.len() { prev_starts[parent + 1] } else { nnz };
+                let mut k = lo;
+                while k < hi {
+                    // A new node begins where the index at this level changes
+                    // within the parent's span.
+                    if l == nmodes - 1 {
+                        // Leaf level: one node per nonzero.
+                        fids.push(idx[k]);
+                        starts.push(k);
+                        k += 1;
+                    } else {
+                        let fid = idx[k];
+                        fids.push(fid);
+                        starts.push(k);
+                        while k < hi && idx[k] == fid {
+                            k += 1;
+                        }
+                    }
+                }
+                ptr[parent + 1] = fids.len();
+            }
+
+            // Attach child pointers to the *previous* level (or discard the
+            // super-root's pointer array since level 0's nodes are its
+            // children trivially).
+            if l > 0 {
+                levels[l - 1].ptr = ptr;
+            }
+            prev_count = fids.len();
+            prev_starts = starts;
+            levels.push(CsfLevel { fids, ptr: Vec::new() });
+        }
+
+        Self { mode_order, shape: x.shape().to_vec(), levels, values: sorted.values().to_vec() }
+    }
+
+    /// The root (target) mode of this CSF.
+    pub fn root_mode(&self) -> usize {
+        self.mode_order[0]
+    }
+
+    /// Number of modes.
+    pub fn nmodes(&self) -> usize {
+        self.mode_order.len()
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of nodes at a tree level (level 0 = root).
+    pub fn level_size(&self, level: usize) -> usize {
+        self.levels[level].fids.len()
+    }
+
+    /// Storage footprint in bytes (fids + ptrs + values): CSF's compression
+    /// win over COO comes from sharing index prefixes.
+    pub fn storage_bytes(&self) -> usize {
+        let idx: usize =
+            self.levels.iter().map(|l| l.fids.len() * 4 + l.ptr.len() * 8).sum();
+        idx + self.values.len() * 8
+    }
+
+    /// MTTKRP for this CSF's root mode.
+    ///
+    /// Parallel over root nodes: each root node owns a distinct output row,
+    /// so no synchronization is needed. Within a subtree the kernel runs
+    /// the classic CSF upward accumulation — leaf rows are scaled by values,
+    /// then Hadamard-multiplied by each level's factor row on the way up.
+    ///
+    /// # Panics
+    /// Panics if `factors` does not match the tensor's modes.
+    pub fn mttkrp(&self, factors: &[Mat]) -> Mat {
+        assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
+        let rank = factors[self.root_mode()].cols();
+        let rows = self.shape[self.root_mode()];
+        let nroot = self.level_size(0);
+        let mut out = Mat::zeros(rows, rank);
+
+        // Compute each root node's row independently, then scatter. Root
+        // fids are unique (sorted, deduplicated by construction), so scatter
+        // is conflict-free.
+        let rows_out: Vec<(u32, Vec<f64>)> = if self.nnz() >= 4096 {
+            (0..nroot)
+                .into_par_iter()
+                .map(|n| {
+                    let mut acc = vec![0.0f64; rank];
+                    let mut scratch = vec![0.0f64; rank];
+                    self.accumulate_subtree(0, n, factors, &mut acc, &mut scratch);
+                    (self.levels[0].fids[n], acc)
+                })
+                .collect()
+        } else {
+            (0..nroot)
+                .map(|n| {
+                    let mut acc = vec![0.0f64; rank];
+                    let mut scratch = vec![0.0f64; rank];
+                    self.accumulate_subtree(0, n, factors, &mut acc, &mut scratch);
+                    (self.levels[0].fids[n], acc)
+                })
+                .collect()
+        };
+        for (fid, row) in rows_out {
+            let target = out.row_mut(fid as usize);
+            for (t, v) in target.iter_mut().zip(row) {
+                *t += v;
+            }
+        }
+        out
+    }
+
+    /// Adds the accumulated vector of node `node` at `level` into `acc`.
+    /// For the root level the result excludes the root factor (that is the
+    /// matrix being solved for).
+    fn accumulate_subtree(
+        &self,
+        level: usize,
+        node: usize,
+        factors: &[Mat],
+        acc: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let nmodes = self.nmodes();
+        let rank = acc.len();
+        if level == nmodes - 1 {
+            // Leaf: value times the leaf mode's factor row.
+            let mode = self.mode_order[level];
+            let frow = factors[mode].row(self.levels[level].fids[node] as usize);
+            let v = self.values[node];
+            for (a, &f) in acc.iter_mut().zip(frow) {
+                *a += v * f;
+            }
+            return;
+        }
+
+        let lo = self.levels[level].ptr[node];
+        let hi = self.levels[level].ptr[node + 1];
+        if level + 1 == nmodes - 1 {
+            // Children are leaves; accumulate them directly.
+            let mode = self.mode_order[level + 1];
+            for child in lo..hi {
+                let frow = factors[mode].row(self.levels[level + 1].fids[child] as usize);
+                let v = self.values[child];
+                for (a, &f) in acc.iter_mut().zip(frow) {
+                    *a += v * f;
+                }
+            }
+        } else {
+            let mode = self.mode_order[level + 1];
+            for child in lo..hi {
+                scratch[..rank].fill(0.0);
+                let mut inner = vec![0.0f64; rank];
+                self.accumulate_subtree(level + 1, child, factors, scratch, &mut inner);
+                let frow = factors[mode].row(self.levels[level + 1].fids[child] as usize);
+                for ((a, &s), &f) in acc.iter_mut().zip(scratch.iter()).zip(frow) {
+                    *a += s * f;
+                }
+            }
+        }
+    }
+
+    /// MTTKRP for an **arbitrary** target mode from this single tree —
+    /// SPLATT's `ONEMODE` configuration, which trades the `N x` memory of
+    /// one-tree-per-mode for scatter conflicts on non-root targets.
+    ///
+    /// For a target node at level `l`, the contribution to its output row
+    /// is `above x below`: the Hadamard product of its ancestors' factor
+    /// rows (levels above `l`, including the root's factor) times the
+    /// upward-accumulated sum of its subtree (levels below `l`). Non-root
+    /// targets can collide on output rows across subtrees, so parallel
+    /// chunks accumulate into private buffers that are reduced at the end
+    /// (the CPU strategy; the GPU equivalent uses atomics).
+    ///
+    /// # Panics
+    /// Panics if `factors` does not match the tensor's modes.
+    pub fn mttkrp_any(&self, factors: &[Mat], target_mode: usize) -> Mat {
+        assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
+        assert!(target_mode < self.nmodes(), "target mode out of range");
+        if target_mode == self.root_mode() {
+            return self.mttkrp(factors);
+        }
+        let target_level = self
+            .mode_order
+            .iter()
+            .position(|&m| m == target_mode)
+            .expect("mode present in order");
+        let rank = factors[target_mode].cols();
+        let rows = self.shape[target_mode];
+        let nroot = self.level_size(0);
+
+        let process = |range: std::ops::Range<usize>| -> Vec<f64> {
+            let mut local = vec![0.0f64; rows * rank];
+            let mut above = vec![0.0f64; rank];
+            for root in range {
+                above.fill(1.0);
+                // The root's own factor row is an "ancestor" for any deeper
+                // target level.
+                let root_row =
+                    factors[self.root_mode()].row(self.levels[0].fids[root] as usize);
+                for (a, &f) in above.iter_mut().zip(root_row) {
+                    *a *= f;
+                }
+                self.scatter_target(0, root, target_level, factors, &above, &mut local);
+            }
+            local
+        };
+
+        let data = if nroot >= 64 && self.nnz() >= 4096 {
+            let nchunks = rayon::current_num_threads().max(1);
+            let chunk = nroot.div_ceil(nchunks).max(1);
+            (0..nchunks)
+                .into_par_iter()
+                .map(|t| process((t * chunk).min(nroot)..((t + 1) * chunk).min(nroot)))
+                .reduce(
+                    || vec![0.0f64; rows * rank],
+                    |mut x, y| {
+                        for (a, b) in x.iter_mut().zip(y) {
+                            *a += b;
+                        }
+                        x
+                    },
+                )
+        } else {
+            process(0..nroot)
+        };
+        Mat::from_vec(rows, rank, data)
+    }
+
+    /// Recursive helper for [`Csf::mttkrp_any`]: walks from `level`/`node`
+    /// toward `target_level`, carrying the Hadamard product of ancestor
+    /// factor rows in `above`; at the target level it computes the
+    /// upward-accumulated `below` sum of each child subtree and scatters
+    /// `above * below` into the output.
+    fn scatter_target(
+        &self,
+        level: usize,
+        node: usize,
+        target_level: usize,
+        factors: &[Mat],
+        above: &[f64],
+        out: &mut [f64],
+    ) {
+        let rank = above.len();
+        let lo = self.levels[level].ptr[node];
+        let hi = self.levels[level].ptr[node + 1];
+        if level + 1 == target_level {
+            // Children are target-level nodes: compute each child's below
+            // sum and scatter.
+            let mut below = vec![0.0f64; rank];
+            let mut scratch = vec![0.0f64; rank];
+            for child in lo..hi {
+                below.fill(0.0);
+                if target_level == self.nmodes() - 1 {
+                    // Target nodes are leaves: below = value.
+                    below.iter_mut().for_each(|b| *b = self.values[child]);
+                } else {
+                    self.accumulate_subtree(target_level, child, factors, &mut below, &mut scratch);
+                }
+                let i = self.levels[target_level].fids[child] as usize;
+                let target = &mut out[i * rank..(i + 1) * rank];
+                for ((t, &a), &b) in target.iter_mut().zip(above).zip(&below) {
+                    *t += a * b;
+                }
+            }
+        } else {
+            // Descend, multiplying this child level's factor rows into
+            // `above`.
+            let mode = self.mode_order[level + 1];
+            let mut next_above = vec![0.0f64; rank];
+            for child in lo..hi {
+                let frow = factors[mode].row(self.levels[level + 1].fids[child] as usize);
+                for ((n, &a), &f) in next_above.iter_mut().zip(above).zip(frow) {
+                    *n = a * f;
+                }
+                self.scatter_target(level + 1, child, target_level, factors, &next_above, out);
+            }
+        }
+    }
+
+    /// Traffic estimate for a [`Csf::mttkrp_any`] call targeting
+    /// `target_mode`: root targets cost [`Csf::mttkrp_traffic`]; non-root
+    /// targets additionally pay scatter conflicts on the output
+    /// (read-modify-write, like BLCO's atomics) and re-walk the tree with
+    /// the `above` products.
+    pub fn mttkrp_any_traffic(&self, target_mode: usize, rank: usize) -> TrafficEstimate {
+        let mut t = self.mttkrp_traffic(rank);
+        if target_mode != self.root_mode() {
+            let out_elems = (self.shape[target_mode] * rank) as f64;
+            t.bytes_written = 2.0 * out_elems * 8.0; // conflicting accumulation
+            t.bytes_read += out_elems * 8.0;
+        }
+        t
+    }
+
+    /// Traffic estimate for one MTTKRP at `rank`.
+    ///
+    /// CSF's fiber reuse is what makes it the CPU state of the art: each
+    /// tree node's factor row is gathered **once** and its partial Hadamard
+    /// product is shared by the whole subtree, so gather traffic is
+    /// proportional to the node count per level, not `nnz x (N-1)`.
+    pub fn mttkrp_traffic(&self, rank: usize) -> TrafficEstimate {
+        let r = rank as f64;
+        let idx_entries: usize = self.levels.iter().map(|l| l.fids.len()).sum();
+        let ptr_entries: usize = self.levels.iter().map(|l| l.ptr.len()).sum();
+        // Factor-row gathers: one row per non-root tree node.
+        let gather_rows: usize = self.levels[1..].iter().map(|l| l.fids.len()).sum();
+        // Flops: R multiply + R accumulate per non-root node.
+        let node_total: usize = self.levels.iter().map(|l| l.fids.len()).sum();
+        let out_elems = (self.shape[self.root_mode()] * rank) as f64;
+
+        let gather_bytes: f64 = self
+            .shape
+            .iter()
+            .enumerate()
+            .filter(|&(m, _)| m != self.root_mode())
+            .map(|(_, &d)| (d * rank * 8) as f64)
+            .sum();
+
+        TrafficEstimate {
+            flops: 2.0 * node_total as f64 * r,
+            bytes_read: (idx_entries * 4 + ptr_entries * 8) as f64
+                + self.nnz() as f64 * 8.0
+                + out_elems * 8.0,
+            bytes_written: out_elems * 8.0,
+            gather_bytes: gather_rows as f64 * r * 8.0,
+            parallel_work: self.level_size(0) as f64,
+            working_set: gather_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttkrp::{assert_mttkrp_close, mttkrp_ref};
+
+    fn toy() -> SparseTensor {
+        SparseTensor::new(
+            vec![3, 4, 2],
+            vec![vec![0, 0, 1, 2, 2], vec![1, 1, 0, 3, 3], vec![0, 1, 1, 0, 1]],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+    }
+
+    fn factors_for(shape: &[usize], rank: usize) -> Vec<Mat> {
+        shape
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Mat::from_fn(d, rank, |i, j| ((i * 5 + j * 2 + m) % 7) as f64 * 0.3 - 0.9))
+            .collect()
+    }
+
+    fn random_tensor(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut idx = vec![Vec::with_capacity(nnz); shape.len()];
+        let mut vals = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            for (m, &d) in shape.iter().enumerate() {
+                idx[m].push(next() % d as u32);
+            }
+            vals.push(f64::from(next() % 200) / 50.0 - 2.0);
+        }
+        let mut t = SparseTensor::new(shape.to_vec(), idx, vals);
+        t.sum_duplicates();
+        t
+    }
+
+    #[test]
+    fn tree_structure_compresses_prefixes() {
+        let csf = Csf::from_coo(&toy(), 0);
+        // Root level: distinct mode-0 indices {0, 1, 2} -> 3 nodes.
+        assert_eq!(csf.level_size(0), 3);
+        // Level 1: distinct (i0, i1) pairs: (0,1), (1,0), (2,3) -> 3 nodes.
+        assert_eq!(csf.level_size(1), 3);
+        // Leaves: one per nonzero.
+        assert_eq!(csf.level_size(2), 5);
+        assert_eq!(csf.nnz(), 5);
+    }
+
+    #[test]
+    fn csf_storage_is_smaller_than_coo_for_clustered_tensors() {
+        let x = toy();
+        let coo_bytes = x.nnz() * (3 * 4 + 8);
+        let csf = Csf::from_coo(&x, 0);
+        assert!(csf.storage_bytes() < coo_bytes + 64); // small example; allow ptr overhead
+    }
+
+    #[test]
+    fn mttkrp_matches_reference_toy_all_roots() {
+        let x = toy();
+        let f = factors_for(x.shape(), 3);
+        for mode in 0..3 {
+            let csf = Csf::from_coo(&x, mode);
+            assert_mttkrp_close(&csf.mttkrp(&f), &mttkrp_ref(&x, &f, mode), 1e-12);
+        }
+    }
+
+    #[test]
+    fn mttkrp_matches_reference_random_3mode() {
+        let x = random_tensor(&[30, 40, 20], 9_000, 3);
+        let f = factors_for(x.shape(), 8);
+        for mode in 0..3 {
+            let csf = Csf::from_coo(&x, mode);
+            assert_mttkrp_close(&csf.mttkrp(&f), &mttkrp_ref(&x, &f, mode), 1e-10);
+        }
+    }
+
+    #[test]
+    fn mttkrp_matches_reference_random_4mode() {
+        let x = random_tensor(&[15, 10, 12, 8], 12_000, 11);
+        let f = factors_for(x.shape(), 4);
+        for mode in 0..4 {
+            let csf = Csf::from_coo(&x, mode);
+            assert_mttkrp_close(&csf.mttkrp(&f), &mttkrp_ref(&x, &f, mode), 1e-10);
+        }
+    }
+
+    #[test]
+    fn onemode_mttkrp_matches_reference_for_every_target() {
+        // SPLATT ONEMODE: one tree, any target mode.
+        let x = random_tensor(&[25, 30, 20], 8_000, 21);
+        let f = factors_for(x.shape(), 6);
+        let csf = Csf::from_coo(&x, 0); // single tree rooted at mode 0
+        for target in 0..3 {
+            assert_mttkrp_close(
+                &csf.mttkrp_any(&f, target),
+                &mttkrp_ref(&x, &f, target),
+                1e-9,
+            );
+        }
+    }
+
+    #[test]
+    fn onemode_mttkrp_4mode_all_targets_all_roots() {
+        let x = random_tensor(&[12, 10, 8, 6], 4_000, 22);
+        let f = factors_for(x.shape(), 3);
+        for root in 0..4 {
+            let csf = Csf::from_coo(&x, root);
+            for target in 0..4 {
+                assert_mttkrp_close(
+                    &csf.mttkrp_any(&f, target),
+                    &mttkrp_ref(&x, &f, target),
+                    1e-9,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn onemode_storage_is_a_fraction_of_allmode() {
+        let x = random_tensor(&[40, 40, 40], 20_000, 23);
+        let one = Csf::from_coo(&x, 0).storage_bytes();
+        let all: usize = (0..3).map(|m| Csf::from_coo(&x, m).storage_bytes()).sum();
+        assert!(
+            (one as f64) < 0.5 * all as f64,
+            "one tree ({one} B) should cost well under all trees ({all} B)"
+        );
+    }
+
+    #[test]
+    fn duplicate_root_rows_accumulate() {
+        // Two fibers under one root index must sum into one output row.
+        let x = SparseTensor::new(
+            vec![1, 2, 2],
+            vec![vec![0, 0], vec![0, 1], vec![1, 0]],
+            vec![2.0, 3.0],
+        );
+        let f = factors_for(&[1, 2, 2], 2);
+        let csf = Csf::from_coo(&x, 0);
+        assert_mttkrp_close(&csf.mttkrp(&f), &mttkrp_ref(&x, &f, 0), 1e-13);
+    }
+
+    #[test]
+    fn traffic_reflects_index_compression() {
+        let x = random_tensor(&[10, 10, 10], 5_000, 5);
+        let csf = Csf::from_coo(&x, 0);
+        let t = csf.mttkrp_traffic(16);
+        // COO would read 12 index bytes/nnz; CSF reads fewer than 3 modes'
+        // worth because upper levels are compressed.
+        let coo = coordinate_mttkrp_traffic(csf.nnz(), &[10, 10, 10], 0, 16, 12.0);
+        assert!(t.bytes_read <= coo.bytes_read);
+    }
+
+    use crate::traffic::coordinate_mttkrp_traffic;
+}

@@ -1,0 +1,37 @@
+//! # cstf-formats
+//!
+//! Compressed sparse tensor formats and their parallel MTTKRP kernels:
+//!
+//! * [`csf::Csf`] — SPLATT's Compressed Sparse Fiber (the paper's CPU
+//!   baseline, §5.3), one tree per target mode, conflict-free root-parallel
+//!   MTTKRP;
+//! * [`alto::Alto`] — Adaptive Linearized Tensor Order (the modified-PLANC
+//!   CPU path, §4), bit-interleaved indices, privatized accumulation;
+//! * [`blco::Blco`] — Blocked Linearized COOrdinates (the GPU path, §2.3),
+//!   mode-major 64-bit blocked indices, atomic accumulation mirroring
+//!   CUDA `atomicAdd`;
+//! * [`hicoo::HiCoo`] — Hierarchical COO (Li et al., SC '18 lineage),
+//!   Z-blocked bases with `u8` in-block offsets;
+//! * [`mttkrp`] — serial reference and parallel COO baselines all formats
+//!   are verified against.
+//!
+//! Every format also reports an exact traffic estimate
+//! ([`traffic::TrafficEstimate`]) that the `cstf-device` roofline converts
+//! into modeled kernel time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alto;
+pub mod blco;
+pub mod csf;
+pub mod hicoo;
+pub mod mttkrp;
+pub mod traffic;
+
+pub use alto::Alto;
+pub use blco::Blco;
+pub use csf::Csf;
+pub use hicoo::HiCoo;
+pub use mttkrp::{mttkrp_coo_parallel, mttkrp_ref};
+pub use traffic::{coordinate_mttkrp_traffic, TrafficEstimate};

@@ -1,0 +1,202 @@
+//! Reference and COO MTTKRP kernels.
+//!
+//! [`mttkrp_ref`] is the gold standard every compressed format is tested
+//! against: a direct, serial transcription of the sparse MTTKRP definition
+//! (paper Fig. 2). [`mttkrp_coo_parallel`] is the naive parallel baseline —
+//! nonzeros are chunked across threads and per-thread partial outputs are
+//! reduced, mirroring the privatization strategy CPU MTTKRP codes use.
+
+use rayon::prelude::*;
+
+use cstf_linalg::Mat;
+use cstf_tensor::SparseTensor;
+
+/// Scratch-free serial reference MTTKRP.
+///
+/// `M[i_mode, r] += x * prod_{m != mode} H^(m)[i_m, r]` for every nonzero.
+pub fn mttkrp_ref(x: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
+    assert_eq!(factors.len(), x.nmodes(), "one factor per mode");
+    assert!(mode < x.nmodes(), "mode out of range");
+    let rank = factors[mode].cols();
+    let mut out = Mat::zeros(x.dim(mode), rank);
+    let mut row = vec![0.0f64; rank];
+
+    for k in 0..x.nnz() {
+        row.fill(x.values()[k]);
+        for (m, f) in factors.iter().enumerate() {
+            if m == mode {
+                continue;
+            }
+            let frow = f.row(x.mode_indices(m)[k] as usize);
+            for (r, &fv) in row.iter_mut().zip(frow) {
+                *r *= fv;
+            }
+        }
+        let target = out.row_mut(x.mode_indices(mode)[k] as usize);
+        for (t, &r) in target.iter_mut().zip(&row) {
+            *t += r;
+        }
+    }
+    out
+}
+
+/// Parallel COO MTTKRP with per-thread output privatization.
+///
+/// Each Rayon task accumulates into its own `I x R` buffer; buffers are
+/// summed pairwise at the end. This trades memory (`threads x I x R`) for
+/// atomic-free accumulation — the standard CPU strategy and the baseline
+/// the compressed formats improve on.
+pub fn mttkrp_coo_parallel(x: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
+    assert_eq!(factors.len(), x.nmodes(), "one factor per mode");
+    let rank = factors[mode].cols();
+    let rows = x.dim(mode);
+    let nnz = x.nnz();
+    if nnz < 8192 {
+        return mttkrp_ref(x, factors, mode);
+    }
+
+    let nchunks = rayon::current_num_threads().max(1);
+    let chunk = nnz.div_ceil(nchunks).max(1);
+    let partials: Vec<Vec<f64>> = (0..nchunks)
+        .into_par_iter()
+        .map(|t| {
+            let start = (t * chunk).min(nnz);
+            let end = ((t + 1) * chunk).min(nnz);
+            let mut local = vec![0.0f64; rows * rank];
+            let mut row = vec![0.0f64; rank];
+            for k in start..end {
+                row.fill(x.values()[k]);
+                for (m, f) in factors.iter().enumerate() {
+                    if m == mode {
+                        continue;
+                    }
+                    let frow = f.row(x.mode_indices(m)[k] as usize);
+                    for (r, &fv) in row.iter_mut().zip(frow) {
+                        *r *= fv;
+                    }
+                }
+                let i = x.mode_indices(mode)[k] as usize;
+                let target = &mut local[i * rank..(i + 1) * rank];
+                for (t_, &r) in target.iter_mut().zip(&row) {
+                    *t_ += r;
+                }
+            }
+            local
+        })
+        .collect();
+
+    let mut total = vec![0.0f64; rows * rank];
+    for p in partials {
+        for (t, v) in total.iter_mut().zip(p) {
+            *t += v;
+        }
+    }
+    Mat::from_vec(rows, rank, total)
+}
+
+/// Asserts two MTTKRP outputs agree to a relative tolerance (test helper,
+/// shared by the format equivalence tests).
+pub fn assert_mttkrp_close(a: &Mat, b: &Mat, tol: f64) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "output shape mismatch");
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            let (x, y) = (a[(i, j)], b[(i, j)]);
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "mismatch at ({i},{j}): {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_tensor(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+        // Simple deterministic LCG so the formats crate needs no rand dep in unit tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut idx = vec![Vec::with_capacity(nnz); shape.len()];
+        let mut vals = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            for (m, &d) in shape.iter().enumerate() {
+                idx[m].push(next() % d as u32);
+            }
+            vals.push(f64::from(next() % 100) / 25.0 - 2.0);
+        }
+        SparseTensor::new(shape.to_vec(), idx, vals)
+    }
+
+    fn factors_for(shape: &[usize], rank: usize) -> Vec<Mat> {
+        shape
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Mat::from_fn(d, rank, |i, j| ((i * 7 + j * 3 + m) % 11) as f64 * 0.2 - 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn reference_matches_definition_single_nnz() {
+        let x = SparseTensor::new(vec![3, 4, 5], vec![vec![1], vec![2], vec![3]], vec![2.0]);
+        let f = factors_for(&[3, 4, 5], 2);
+        let m = mttkrp_ref(&x, &f, 0);
+        for r in 0..2 {
+            let want = 2.0 * f[1][(2, r)] * f[2][(3, r)];
+            assert!((m[(1, r)] - want).abs() < 1e-14);
+        }
+        // Other rows stay zero.
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reference_accumulates_shared_rows() {
+        let x = SparseTensor::new(
+            vec![2, 2, 2],
+            vec![vec![0, 0], vec![0, 1], vec![0, 1]],
+            vec![1.0, 3.0],
+        );
+        let f = factors_for(&[2, 2, 2], 1);
+        let m = mttkrp_ref(&x, &f, 0);
+        let want = 1.0 * f[1][(0, 0)] * f[2][(0, 0)] + 3.0 * f[1][(1, 0)] * f[2][(1, 0)];
+        assert!((m[(0, 0)] - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn parallel_matches_reference_all_modes() {
+        let shape = [40, 25, 30];
+        let x = random_tensor(&shape, 20_000, 7);
+        let f = factors_for(&shape, 8);
+        for mode in 0..3 {
+            let a = mttkrp_ref(&x, &f, mode);
+            let b = mttkrp_coo_parallel(&x, &f, mode);
+            assert_mttkrp_close(&a, &b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_reference_4mode() {
+        let shape = [12, 9, 14, 7];
+        let x = random_tensor(&shape, 30_000, 13);
+        let f = factors_for(&shape, 4);
+        for mode in 0..4 {
+            assert_mttkrp_close(
+                &mttkrp_ref(&x, &f, mode),
+                &mttkrp_coo_parallel(&x, &f, mode),
+                1e-10,
+            );
+        }
+    }
+
+    #[test]
+    fn empty_tensor_gives_zero_output() {
+        let x = SparseTensor::empty(vec![5, 6, 7]);
+        let f = factors_for(&[5, 6, 7], 3);
+        let m = mttkrp_ref(&x, &f, 1);
+        assert_eq!((m.rows(), m.cols()), (6, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

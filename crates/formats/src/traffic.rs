@@ -1,0 +1,90 @@
+//! Format-specific MTTKRP traffic estimates.
+//!
+//! Each compressed format knows how much work and memory traffic its MTTKRP
+//! kernel generates; the `cstf-core` drivers convert these plain numbers
+//! into `cstf-device` kernel costs. Keeping the estimate here (instead of in
+//! the drivers) pins the model to the kernel it describes.
+
+/// Exact flop count and logical memory traffic of one MTTKRP invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrafficEstimate {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Streaming bytes read (indices, values, output read) — no reuse.
+    pub bytes_read: f64,
+    /// Bytes written (output).
+    pub bytes_written: f64,
+    /// Factor-row gather bytes counted per access; collapses toward
+    /// `working_set` when cache-resident (the device model applies the
+    /// reuse discount).
+    pub gather_bytes: f64,
+    /// Independent parallel work items (for the occupancy model).
+    pub parallel_work: f64,
+    /// Hot working set in bytes (the gathered factor rows — their cache
+    /// residency determines MTTKRP's data reuse, §5.3).
+    pub working_set: f64,
+}
+
+/// Common sparse-MTTKRP traffic for an `nnz`-element `N`-mode tensor at rank
+/// `R`, shared by all coordinate-ish formats:
+///
+/// * flops: per nonzero, `(N-1)` Hadamard multiplies of length `R`, one
+///   scale by the value and one accumulate — `(N+1) * R` flops;
+/// * reads: per nonzero, `index_bytes` of coordinates + 8 bytes of value +
+///   `(N-1) * R * 8` bytes of gathered factor rows;
+/// * writes: the `I_mode x R` output (plus a read of it for accumulation).
+pub fn coordinate_mttkrp_traffic(
+    nnz: usize,
+    shape: &[usize],
+    mode: usize,
+    rank: usize,
+    index_bytes_per_nnz: f64,
+) -> TrafficEstimate {
+    let n = shape.len() as f64;
+    let nnz_f = nnz as f64;
+    let r = rank as f64;
+    let out_elems = (shape[mode] * rank) as f64;
+    // Working set: the factor rows being gathered (all modes but the target).
+    let gather_bytes: f64 = shape
+        .iter()
+        .enumerate()
+        .filter(|&(m, _)| m != mode)
+        .map(|(_, &d)| (d * rank * 8) as f64)
+        .sum();
+    TrafficEstimate {
+        flops: nnz_f * (n + 1.0) * r,
+        bytes_read: nnz_f * (index_bytes_per_nnz + 8.0) + out_elems * 8.0,
+        bytes_written: out_elems * 8.0,
+        gather_bytes: nnz_f * (n - 1.0) * r * 8.0,
+        parallel_work: nnz_f,
+        working_set: gather_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_scales_with_nnz_and_rank() {
+        let a = coordinate_mttkrp_traffic(1000, &[10, 20, 30], 0, 16, 12.0);
+        let b = coordinate_mttkrp_traffic(2000, &[10, 20, 30], 0, 16, 12.0);
+        let c = coordinate_mttkrp_traffic(1000, &[10, 20, 30], 0, 32, 12.0);
+        assert!((b.flops / a.flops - 2.0).abs() < 1e-12);
+        assert!((c.flops / a.flops - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_excludes_target_mode() {
+        let t = coordinate_mttkrp_traffic(100, &[1000, 10, 10], 0, 8, 12.0);
+        // Only modes 1 and 2 are gathered: (10 + 10) * 8 * 8 bytes.
+        assert_eq!(t.working_set, 20.0 * 8.0 * 8.0);
+    }
+
+    #[test]
+    fn flop_count_matches_hand_formula_3mode() {
+        // 3-mode: 2 hadamard mults + scale + accumulate = 4R per nnz.
+        let t = coordinate_mttkrp_traffic(7, &[4, 4, 4], 1, 5, 12.0);
+        assert_eq!(t.flops, 7.0 * 4.0 * 5.0);
+    }
+}

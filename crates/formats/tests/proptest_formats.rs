@@ -1,0 +1,131 @@
+//! Property-based tests on the compressed formats: structural invariants
+//! and MTTKRP equivalence under arbitrary sparse tensors.
+
+use cstf_formats::{mttkrp_coo_parallel, mttkrp_ref, Alto, Blco, Csf};
+use cstf_linalg::Mat;
+use cstf_tensor::SparseTensor;
+use proptest::prelude::*;
+
+/// Arbitrary small sparse tensor (3 or 4 modes, distinct coordinates).
+fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
+    (2usize..4, 1usize..100, any::<u64>()).prop_flat_map(|(extra_modes, nnz, seed)| {
+        proptest::collection::vec(2usize..16, 2 + extra_modes).prop_map(move |shape| {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u32
+            };
+            let mut seen = std::collections::HashSet::new();
+            let mut idx = vec![Vec::new(); shape.len()];
+            let mut vals = Vec::new();
+            for _ in 0..nnz {
+                let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+                if seen.insert(c.clone()) {
+                    for (m, &ci) in c.iter().enumerate() {
+                        idx[m].push(ci);
+                    }
+                    vals.push(f64::from(next() % 64) * 0.25 + 0.125);
+                }
+            }
+            SparseTensor::new(shape, idx, vals)
+        })
+    })
+}
+
+fn factors(shape: &[usize], rank: usize, seed: u64) -> Vec<Mat> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / u32::MAX as f64) - 0.3
+    };
+    shape.iter().map(|&d| Mat::from_fn(d, rank, |_, _| next())).collect()
+}
+
+fn close(a: &Mat, b: &Mat) -> bool {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(&x, &y)| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every format's MTTKRP equals the serial reference on every mode.
+    #[test]
+    fn all_formats_match_reference(x in tensor_strategy(), seed in any::<u64>()) {
+        let f = factors(x.shape(), 3, seed);
+        let alto = Alto::from_coo(&x);
+        let blco = Blco::from_coo(&x);
+        for mode in 0..x.nmodes() {
+            let reference = mttkrp_ref(&x, &f, mode);
+            prop_assert!(close(&Csf::from_coo(&x, mode).mttkrp(&f), &reference), "csf mode {mode}");
+            prop_assert!(close(&alto.mttkrp(&f, mode), &reference), "alto mode {mode}");
+            prop_assert!(close(&blco.mttkrp(&f, mode), &reference), "blco mode {mode}");
+            prop_assert!(close(&mttkrp_coo_parallel(&x, &f, mode), &reference), "coo mode {mode}");
+        }
+    }
+
+    /// ALTO linearization is a bijection on the stored coordinates.
+    #[test]
+    fn alto_roundtrips_all_coordinates(x in tensor_strategy()) {
+        let alto = Alto::from_coo(&x);
+        prop_assert_eq!(alto.nnz(), x.nnz());
+        let mut value_sum = 0.0;
+        for k in 0..alto.nnz() {
+            let c = alto.coord(k);
+            for (m, &ci) in c.iter().enumerate() {
+                prop_assert!((ci as usize) < x.shape()[m]);
+            }
+            value_sum += alto.value(k);
+        }
+        let want: f64 = x.values().iter().sum();
+        prop_assert!((value_sum - want).abs() < 1e-9 * (1.0 + want.abs()));
+    }
+
+    /// BLCO preserves the nonzero count and decodes in-range coordinates.
+    #[test]
+    fn blco_structure_is_sound(x in tensor_strategy()) {
+        let blco = Blco::from_coo(&x);
+        prop_assert_eq!(blco.nnz(), x.nnz());
+        prop_assert!(blco.nblocks() >= 1);
+        for k in 0..blco.nnz() {
+            let c = blco.coord(k);
+            for (m, &ci) in c.iter().enumerate() {
+                prop_assert!((ci as usize) < x.shape()[m]);
+            }
+        }
+    }
+
+    /// CSF's leaf level always has exactly nnz nodes and level sizes are
+    /// non-increasing going up the tree.
+    #[test]
+    fn csf_level_sizes_are_monotone(x in tensor_strategy(), root in 0usize..3) {
+        let root = root % x.nmodes();
+        let csf = Csf::from_coo(&x, root);
+        let n = x.nmodes();
+        prop_assert_eq!(csf.level_size(n - 1), x.nnz());
+        for l in 1..n {
+            prop_assert!(csf.level_size(l - 1) <= csf.level_size(l),
+                "level {l} shrank going down");
+        }
+    }
+
+    /// MTTKRP is linear in the tensor values: scaling X scales the output.
+    #[test]
+    fn mttkrp_is_linear_in_values(x in tensor_strategy(), alpha in 0.25f64..4.0, seed in any::<u64>()) {
+        let f = factors(x.shape(), 2, seed);
+        let base = mttkrp_ref(&x, &f, 0);
+        let mut scaled = x.clone();
+        for v in scaled.values_mut() {
+            *v *= alpha;
+        }
+        let out = mttkrp_ref(&scaled, &f, 0);
+        for i in 0..base.rows() {
+            for j in 0..base.cols() {
+                prop_assert!((out[(i, j)] - alpha * base[(i, j)]).abs() < 1e-9 * (1.0 + base[(i, j)].abs()));
+            }
+        }
+    }
+}

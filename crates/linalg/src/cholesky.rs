@@ -1,0 +1,305 @@
+//! Cholesky factorization and solves.
+//!
+//! The ADMM subproblem matrix `S + rho*I` is a small (`R x R`) symmetric
+//! positive-definite matrix — the Hadamard product of Gram matrices of
+//! tall-and-skinny factors plus diagonal loading — so a dense right-looking
+//! Cholesky is both adequate and numerically comfortable (the paper makes the
+//! same well-conditioning observation in §4.3.2).
+//!
+//! Two solve paths mirror the paper's two ADMM variants:
+//!
+//! * [`Cholesky::solve_rows`] — forward + backward substitution per
+//!   right-hand side (the *triangular-solve* path of generic ADMM,
+//!   Algorithm 2 line 6);
+//! * [`Cholesky::inverse`] — the explicit `(L L^T)^{-1}` used by cuADMM's
+//!   *pre-inversion* (Algorithm 3 line 4), after which the inner loop only
+//!   needs a GEMM.
+
+use rayon::prelude::*;
+
+use crate::matrix::Mat;
+
+/// Errors surfaced by the dense factorizations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The matrix is not positive definite: a non-positive pivot appeared at
+    /// the given elimination step.
+    NotPositiveDefinite {
+        /// Elimination step at which the pivot failed.
+        pivot_index: usize,
+        /// The offending (non-positive) pivot value.
+        pivot_value: f64,
+    },
+    /// A non-finite value (NaN/inf) appeared during factorization.
+    NonFinite,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot_index, pivot_value } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot_index} = {pivot_value:.3e})"
+            ),
+            LinalgError::NonFinite => write!(f, "non-finite value during factorization"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A lower-triangular Cholesky factor `L` with `A = L * L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// `n x n` matrix whose lower triangle (incl. diagonal) holds `L`; the
+    /// strict upper triangle is zeroed.
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    pub fn factor(a: &Mat) -> Result<Self, LinalgError> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let mut l = Mat::zeros(n, n);
+
+        for j in 0..n {
+            // Diagonal pivot: a_jj - sum_k l_jk^2.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let v = l[(j, k)];
+                d -= v * v;
+            }
+            if !d.is_finite() {
+                return Err(LinalgError::NonFinite);
+            }
+            if d <= 0.0 {
+                return Err(LinalgError::NotPositiveDefinite { pivot_index: j, pivot_value: d });
+            }
+            let ljj = d.sqrt();
+            l[(j, j)] = ljj;
+
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` in place for a single right-hand side of length `n`.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.dim();
+        debug_assert_eq!(b.len(), n);
+        let l = &self.l;
+        // Forward: L y = b.
+        for i in 0..n {
+            let mut s = b[i];
+            let row = l.row(i);
+            for (k, bk) in b.iter().enumerate().take(i) {
+                s -= row[k] * bk;
+            }
+            b[i] = s / row[i];
+        }
+        // Backward: L^T x = y.
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in (i + 1)..n {
+                s -= l[(k, i)] * b[k];
+            }
+            b[i] = s / l[(i, i)];
+        }
+    }
+
+    /// Solves `A X^T = B^T` where each **row** of `B` (`m x n`) is an
+    /// independent right-hand side; the solution overwrites `B` row-wise.
+    ///
+    /// This is the layout the ADMM update needs: the auxiliary matrix is
+    /// `I x R` row-major, and each of its `I` rows is solved against the
+    /// `R x R` system. Rows are independent, so they are solved in parallel.
+    pub fn solve_rows(&self, b: &mut Mat) {
+        assert_eq!(b.cols(), self.dim(), "solve_rows: RHS width must equal system size");
+        let n = self.dim().max(1);
+        if b.rows() * self.dim() >= 8192 {
+            b.as_mut_slice()
+                .par_chunks_exact_mut(n)
+                .for_each(|row| self.solve_in_place(row));
+        } else {
+            b.as_mut_slice()
+                .chunks_exact_mut(n)
+                .for_each(|row| self.solve_in_place(row));
+        }
+    }
+
+    /// Explicit inverse `A^{-1} = (L L^T)^{-1}`, computed by solving against
+    /// the identity column by column (the cuADMM pre-inversion step).
+    ///
+    /// The result is symmetric; symmetry is enforced exactly by averaging to
+    /// keep downstream GEMMs deterministic.
+    pub fn inverse(&self) -> Mat {
+        let n = self.dim();
+        let mut inv = Mat::identity(n);
+        for i in 0..n {
+            // Row i of the identity is the i-th unit vector; solve_in_place
+            // works row-wise on the row-major buffer, and since A^{-1} is
+            // symmetric, solving rows of I yields A^{-1} directly.
+            self.solve_in_place(inv.row_mut(i));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (inv[(i, j)] + inv[(j, i)]);
+                inv[(i, j)] = avg;
+                inv[(j, i)] = avg;
+            }
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    /// An SPD matrix built as G = B^T B + n*I.
+    fn spd(n: usize) -> Mat {
+        let b = Mat::from_fn(n + 3, n, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.1 - 0.3);
+        let mut g = crate::gram::gram(&b);
+        g.add_diagonal(n as f64);
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(6);
+        let ch = Cholesky::factor(&a).unwrap();
+        let rebuilt = matmul(ch.l(), &ch.l().transpose());
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((rebuilt[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let ch = Cholesky::factor(&spd(5)).unwrap();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_eq!(ch.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(4);
+        let x_true = [1.0, -2.0, 0.5, 3.0];
+        let mut b = [0.0; 4];
+        for i in 0..4 {
+            b[i] = (0..4).map(|j| a[(i, j)] * x_true[j]).sum();
+        }
+        let ch = Cholesky::factor(&a).unwrap();
+        ch.solve_in_place(&mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_rows_matches_single_solves() {
+        let a = spd(5);
+        let ch = Cholesky::factor(&a).unwrap();
+        let rhs = Mat::from_fn(9, 5, |i, j| ((i * 5 + j) % 7) as f64 - 3.0);
+        let mut batch = rhs.clone();
+        ch.solve_rows(&mut batch);
+        for i in 0..9 {
+            let mut single: Vec<f64> = rhs.row(i).to_vec();
+            ch.solve_in_place(&mut single);
+            for j in 0..5 {
+                assert!((batch[(i, j)] - single[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_rows_parallel_path_matches() {
+        let a = spd(8);
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut big = Mat::from_fn(4000, 8, |i, j| ((i + j * 13) % 19) as f64 * 0.05);
+        let reference = {
+            let mut r = big.clone();
+            for i in 0..r.rows() {
+                ch.solve_in_place(r.row_mut(i));
+            }
+            r
+        };
+        ch.solve_rows(&mut big);
+        assert_eq!(big, reference);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd(7);
+        let ch = Cholesky::factor(&a).unwrap();
+        let inv = ch.inverse();
+        let prod = matmul(&a, &inv);
+        for i in 0..7 {
+            for j in 0..7 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-9, "entry ({i},{j}) = {}", prod[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_symmetric() {
+        let inv = Cholesky::factor(&spd(6)).unwrap().inverse();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(inv[(i, j)], inv[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let mut a = Mat::identity(3);
+        a[(2, 2)] = -1.0;
+        match Cholesky::factor(&a) {
+            Err(LinalgError::NotPositiveDefinite { pivot_index: 2, .. }) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_inversion_equals_triangular_solve_path() {
+        // The algebraic equivalence cuADMM relies on: X * A^{-1} == solve(A, X).
+        let a = spd(6);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = Mat::from_fn(20, 6, |i, j| ((i * 3 + j) % 5) as f64 - 2.0);
+        let via_inverse = matmul(&x, &ch.inverse());
+        let mut via_solve = x.clone();
+        ch.solve_rows(&mut via_solve);
+        for i in 0..20 {
+            for j in 0..6 {
+                assert!((via_inverse[(i, j)] - via_solve[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Dense matrix multiplication kernels.
+//!
+//! cSTF needs exactly three GEMM shapes:
+//!
+//! * `C = A * B` with `A` tall-and-skinny (`I x R`) and `B` small (`R x R`) —
+//!   the pre-inversion path of cuADMM (`H_aux * (S + rho I)^{-1}`);
+//! * `C = A^T * A` (Gram/SYRK) — see [`crate::gram`];
+//! * small square products for tests and the normalization bookkeeping.
+//!
+//! The `I x R * R x R` case is embarrassingly parallel over the rows of `A`,
+//! so the kernel parallelizes with Rayon across row blocks and keeps the
+//! small `B` operand resident in cache.
+
+use rayon::prelude::*;
+
+use crate::matrix::Mat;
+
+/// Minimum number of output elements before a GEMM goes parallel; below this
+/// the Rayon fork/join overhead dominates.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// `C = alpha * A * B + beta * C`.
+///
+/// # Panics
+/// Panics on inner/outer dimension mismatches.
+pub fn gemm(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
+    assert_eq!(a.cols(), b.rows(), "gemm: inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "gemm: output rows must match A rows");
+    assert_eq!(c.cols(), b.cols(), "gemm: output cols must match B cols");
+
+    let k = a.cols();
+    let n = b.cols();
+    let b_data = b.as_slice();
+
+    let body = |(a_row, c_row): (&[f64], &mut [f64])| {
+        if beta == 0.0 {
+            c_row.fill(0.0);
+        } else if beta != 1.0 {
+            for v in c_row.iter_mut() {
+                *v *= beta;
+            }
+        }
+        // Row-major accumulation: walk A's row once, stream B's rows.
+        for (l, &a_il) in a_row.iter().enumerate().take(k) {
+            let scaled = alpha * a_il;
+            if scaled == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[l * n..(l + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += scaled * bv;
+            }
+        }
+    };
+
+    if a.rows() * n >= PAR_THRESHOLD {
+        let cols_a = a.cols().max(1);
+        a.as_slice()
+            .par_chunks_exact(cols_a)
+            .zip(c.as_mut_slice().par_chunks_exact_mut(n.max(1)))
+            .for_each(body);
+    } else {
+        let cols_a = a.cols().max(1);
+        a.as_slice()
+            .chunks_exact(cols_a)
+            .zip(c.as_mut_slice().chunks_exact_mut(n.max(1)))
+            .for_each(body);
+    }
+}
+
+/// Convenience wrapper returning a fresh `A * B`.
+pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// `C = A^T * B` where `A` is `I x R1` and `B` is `I x R2`, producing `R1 x R2`.
+///
+/// Used for the cross-Gram terms of HALS and for fit computation
+/// (`H^T * M`). Parallelized by splitting the row range of `A`/`B` and
+/// reducing per-thread partial `R1 x R2` accumulators.
+pub fn gemm_tn(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.rows(), b.rows(), "gemm_tn: row counts must agree");
+    let (rows, r1, r2) = (a.rows(), a.cols(), b.cols());
+    if rows == 0 {
+        return Mat::zeros(r1, r2);
+    }
+
+    let accumulate = |range: std::ops::Range<usize>| -> Vec<f64> {
+        let mut acc = vec![0.0f64; r1 * r2];
+        for i in range {
+            let ar = a.row(i);
+            let br = b.row(i);
+            for (p, &av) in ar.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out = &mut acc[p * r2..(p + 1) * r2];
+                for (o, &bv) in out.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+        acc
+    };
+
+    let data = if rows * r1 * r2 >= PAR_THRESHOLD {
+        let nchunks = rayon::current_num_threads().max(1);
+        let chunk = rows.div_ceil(nchunks);
+        let partials: Vec<Vec<f64>> = (0..rows)
+            .into_par_iter()
+            .step_by(chunk)
+            .map(|start| accumulate(start..(start + chunk).min(rows)))
+            .collect();
+        let mut total = vec![0.0f64; r1 * r2];
+        for p in partials {
+            for (t, v) in total.iter_mut().zip(p) {
+                *t += v;
+            }
+        }
+        total
+    } else {
+        accumulate(0..rows)
+    };
+
+    Mat::from_vec(r1, r2, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for l in 0..a.cols() {
+                    s += a[(i, l)] * b[(l, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn approx_eq(a: &Mat, b: &Mat, tol: f64) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Mat::from_fn(4, 3, |i, j| (i as f64) - (j as f64) * 0.5);
+        let b = Mat::from_fn(3, 5, |i, j| (i * j) as f64 + 1.0);
+        assert!(approx_eq(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn matmul_matches_naive_parallel_path() {
+        // Big enough to cross PAR_THRESHOLD.
+        let a = Mat::from_fn(700, 32, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = Mat::from_fn(32, 32, |i, j| ((i + 2 * j) % 7) as f64 * 0.25);
+        assert!(approx_eq(&matmul(&a, &b), &naive_matmul(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn gemm_respects_alpha_beta() {
+        let a = Mat::identity(3);
+        let b = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let mut c = Mat::full(3, 3, 1.0);
+        gemm(2.0, &a, &b, 3.0, &mut c);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c[(i, j)], 2.0 * (i + j) as f64 + 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Mat::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        let e = Mat::identity(5);
+        assert!(approx_eq(&matmul(&a, &e), &a, 0.0));
+        assert!(approx_eq(&matmul(&e, &a), &a, 0.0));
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = Mat::from_fn(40, 6, |i, j| ((i * j) % 5) as f64 - 2.0);
+        let b = Mat::from_fn(40, 4, |i, j| ((i + j) % 3) as f64);
+        let expected = naive_matmul(&a.transpose(), &b);
+        assert!(approx_eq(&gemm_tn(&a, &b), &expected, 1e-12));
+    }
+
+    #[test]
+    fn gemm_tn_parallel_matches_serial() {
+        let a = Mat::from_fn(5000, 8, |i, j| ((i * 31 + j) % 17) as f64 * 0.1);
+        let b = Mat::from_fn(5000, 8, |i, j| ((i + j * 13) % 11) as f64 * 0.2);
+        let expected = naive_matmul(&a.transpose(), &b);
+        assert!(approx_eq(&gemm_tn(&a, &b), &expected, 1e-9));
+    }
+
+    #[test]
+    fn empty_matrices_do_not_panic() {
+        let a = Mat::zeros(0, 3);
+        let b = Mat::zeros(3, 0);
+        let c = matmul(&a, &b);
+        assert_eq!((c.rows(), c.cols()), (0, 0));
+        let g = gemm_tn(&Mat::zeros(0, 4), &Mat::zeros(0, 2));
+        assert_eq!((g.rows(), g.cols()), (4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn gemm_panics_on_dim_mismatch() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(4, 2);
+        let mut c = Mat::zeros(2, 2);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+    }
+}

@@ -1,0 +1,175 @@
+//! Gram matrix (SYRK) computation: `G = A^T A` for tall-and-skinny `A`.
+//!
+//! Every outer iteration of AO-ADMM recomputes the Gram matrix of the factor
+//! it just updated (Algorithm 1, line 12), and the ADMM subproblem matrix is
+//! the Hadamard product of the other modes' Grams (line 8), so this kernel is
+//! on the critical path of the GRAM phase.
+
+use rayon::prelude::*;
+
+use crate::matrix::Mat;
+
+/// Computes `G = A^T A` (`R x R`, symmetric) for an `I x R` matrix.
+///
+/// Parallelized by reducing per-thread partial Grams over row blocks; the
+/// upper triangle is computed and mirrored.
+pub fn gram(a: &Mat) -> Mat {
+    let (rows, r) = (a.rows(), a.cols());
+    if r == 0 {
+        return Mat::zeros(0, 0);
+    }
+
+    let accumulate = |range: std::ops::Range<usize>| -> Vec<f64> {
+        let mut acc = vec![0.0f64; r * r];
+        for i in range {
+            let row = a.row(i);
+            for (p, &ap) in row.iter().enumerate() {
+                if ap == 0.0 {
+                    continue;
+                }
+                let out = &mut acc[p * r + p..(p + 1) * r];
+                for (o, &aq) in out.iter_mut().zip(&row[p..]) {
+                    *o += ap * aq;
+                }
+            }
+        }
+        acc
+    };
+
+    let upper = if rows * r >= 32 * 1024 {
+        let nchunks = rayon::current_num_threads().max(1);
+        let chunk = rows.div_ceil(nchunks).max(1);
+        (0..nchunks)
+            .into_par_iter()
+            .map(|t| {
+                let start = (t * chunk).min(rows);
+                let end = ((t + 1) * chunk).min(rows);
+                accumulate(start..end)
+            })
+            .reduce(
+                || vec![0.0f64; r * r],
+                |mut x, y| {
+                    for (a, b) in x.iter_mut().zip(y) {
+                        *a += b;
+                    }
+                    x
+                },
+            )
+    } else {
+        accumulate(0..rows)
+    };
+
+    let mut g = Mat::from_vec(r, r, upper);
+    // Mirror the upper triangle into the lower.
+    for i in 0..r {
+        for j in 0..i {
+            g[(i, j)] = g[(j, i)];
+        }
+    }
+    g
+}
+
+/// Element-wise (Hadamard) product of two square matrices, in place on `out`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn hadamard_in_place(out: &mut Mat, rhs: &Mat) {
+    assert_eq!((out.rows(), out.cols()), (rhs.rows(), rhs.cols()), "hadamard: shape mismatch");
+    for (o, &r) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+        *o *= r;
+    }
+}
+
+/// The ADMM subproblem matrix: Hadamard product of all Gram matrices except
+/// the one for `skip_mode` (Algorithm 1, line 8).
+///
+/// Returns the all-ones matrix convention when only one mode exists.
+pub fn hadamard_of_grams(grams: &[Mat], skip_mode: usize) -> Mat {
+    assert!(skip_mode < grams.len(), "skip_mode out of range");
+    let r = grams[skip_mode].rows();
+    let mut s = Mat::full(r, r, 1.0);
+    for (n, g) in grams.iter().enumerate() {
+        if n != skip_mode {
+            hadamard_in_place(&mut s, g);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let a = Mat::from_fn(23, 5, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
+        let g = gram(&a);
+        let expected = matmul(&a.transpose(), &a);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((g[(i, j)] - expected[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Mat::from_fn(50, 8, |i, j| ((i * 13 + j) % 9) as f64 * 0.3);
+        let g = gram(&a);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_parallel_matches_serial() {
+        let a = Mat::from_fn(20_000, 16, |i, j| ((i * 31 + j * 17) % 23) as f64 * 0.01);
+        let g = gram(&a);
+        let expected = matmul(&a.transpose(), &a);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!(
+                    (g[(i, j)] - expected[(i, j)]).abs() < 1e-7 * (1.0 + expected[(i, j)].abs())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gram_diagonal_is_column_norms_squared() {
+        let a = Mat::from_fn(10, 3, |i, j| (i + j) as f64);
+        let g = gram(&a);
+        for j in 0..3 {
+            let want: f64 = (0..10).map(|i| a[(i, j)] * a[(i, j)]).sum();
+            assert!((g[(j, j)] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hadamard_of_grams_skips_target_mode() {
+        let g0 = Mat::full(2, 2, 2.0);
+        let g1 = Mat::full(2, 2, 3.0);
+        let g2 = Mat::full(2, 2, 5.0);
+        let s = hadamard_of_grams(&[g0, g1, g2], 1);
+        assert!(s.as_slice().iter().all(|&v| v == 10.0));
+    }
+
+    #[test]
+    fn hadamard_in_place_multiplies_elementwise() {
+        let mut a = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let b = Mat::full(3, 3, 2.0);
+        hadamard_in_place(&mut a, &b);
+        assert_eq!(a[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn gram_of_empty_rows_is_zero() {
+        let a = Mat::zeros(0, 4);
+        let g = gram(&a);
+        assert_eq!((g.rows(), g.cols()), (4, 4));
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,39 @@
+//! # cstf-linalg
+//!
+//! Dense linear-algebra substrate for the cSTF-rs reproduction of
+//! *"Accelerating Constrained Sparse Tensor Factorization on Massively
+//! Parallel Architectures"* (ICPP '24).
+//!
+//! The paper's update kernels reduce to a handful of dense operations on
+//! tall-and-skinny factor matrices — GEMM, SYRK/Gram, Cholesky
+//! factor/solve/inverse, Frobenius norms and column normalization — which
+//! cuBLAS/cuSOLVER provide on the GPU. This crate implements the same
+//! operations in pure Rust, Rayon-parallel, with operation counts identical
+//! to their BLAS equivalents so the `cstf-device` cost model can meter
+//! them faithfully.
+//!
+//! ```
+//! use cstf_linalg::{Mat, Cholesky, gram};
+//!
+//! let a = Mat::from_fn(100, 8, |i, j| ((i + j) % 5) as f64 + 1.0);
+//! let mut g = gram::gram(&a); // A^T A
+//! g.add_diagonal(1.0);        // diagonal loading, as in ADMM
+//! let chol = Cholesky::factor(&g).expect("SPD by construction");
+//! let inv = chol.inverse();   // cuADMM pre-inversion path
+//! assert_eq!(inv.rows(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod gemm;
+pub mod gram;
+pub mod matrix;
+pub mod norms;
+
+pub use cholesky::{Cholesky, LinalgError};
+pub use gemm::{gemm, gemm_tn, matmul};
+pub use gram::{gram, hadamard_in_place, hadamard_of_grams};
+pub use matrix::Mat;
+pub use norms::{diff_norm_sq, fro_norm, fro_norm_sq, normalize_columns, NormKind};

@@ -1,0 +1,319 @@
+//! Row-major dense matrix type used throughout cSTF-rs.
+//!
+//! Factor matrices in tensor factorization are tall-and-skinny (`I x R` with
+//! `I >> R`), and every hot kernel walks them row by row, so a row-major
+//! contiguous layout keeps the per-nonzero gathers of MTTKRP and the
+//! element-wise ADMM kernels on contiguous cache lines.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major, `f64` matrix.
+///
+/// The storage is a single contiguous `Vec<f64>` of length `rows * cols`;
+/// entry `(i, j)` lives at `data[i * cols + j]`.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix with every entry equal to `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of entries (`rows * cols`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl ExactSizeIterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Sets every entry to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Copies the contents of `other` into `self` without reallocating.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Returns the transposed matrix (allocates).
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                t.data[j * self.rows + i] = v;
+            }
+        }
+        t
+    }
+
+    /// Sum of the diagonal entries.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        (0..self.rows).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Adds `alpha` to each diagonal entry (diagonal loading, the `+ rho*I`
+    /// of the ADMM subproblem).
+    pub fn add_diagonal(&mut self, alpha: f64) {
+        assert_eq!(self.rows, self.cols, "diagonal loading requires a square matrix");
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += alpha;
+        }
+    }
+
+    /// Scales every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Maximum absolute entry (`max |a_ij|`); 0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// True when all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// True when all entries are `>= -tol`.
+    pub fn is_nonnegative(&self, tol: f64) -> bool {
+        self.data.iter().all(|&v| v >= -tol)
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            write!(f, "  ")?;
+            let cols = self.cols.min(8);
+            for j in 0..cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Mat::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal_ones() {
+        let m = Mat::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+        assert_eq!(m.trace(), 4.0);
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Mat::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m[(1, 2)], 12.0);
+    }
+
+    #[test]
+    fn row_access_matches_indexing() {
+        let m = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
+        assert_eq!(m.row(1), &[1.0, 2.0]);
+        assert_eq!(m.rows_iter().count(), 3);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Mat::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.transpose(), m);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert_eq!(m[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_diagonal_loads_diagonal_only() {
+        let mut m = Mat::zeros(3, 3);
+        m.add_diagonal(2.5);
+        assert_eq!(m.trace(), 7.5);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn copy_from_replaces_contents() {
+        let mut a = Mat::zeros(2, 2);
+        let b = Mat::from_fn(2, 2, |i, j| (i + j) as f64 + 1.0);
+        a.copy_from(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_from_panics_on_shape_mismatch() {
+        let mut a = Mat::zeros(2, 2);
+        let b = Mat::zeros(2, 3);
+        a.copy_from(&b);
+    }
+
+    #[test]
+    fn max_abs_and_nonnegativity() {
+        let m = Mat::from_vec(1, 3, vec![-2.0, 1.0, 0.5]);
+        assert_eq!(m.max_abs(), 2.0);
+        assert!(!m.is_nonnegative(1e-12));
+        assert!(m.is_nonnegative(2.5));
+    }
+
+    #[test]
+    fn scale_multiplies_all_entries() {
+        let mut m = Mat::full(2, 2, 3.0);
+        m.scale(2.0);
+        assert!(m.as_slice().iter().all(|&v| v == 6.0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Norms and the factor-normalization kernel (Algorithm 1, line 11).
+//!
+//! AO-ADMM normalizes each factor's columns after the update and folds the
+//! scales into the weight vector `lambda`; convergence checks use relative
+//! Frobenius norms of iterate differences (Algorithm 2, line 9).
+
+use rayon::prelude::*;
+
+use crate::matrix::Mat;
+
+/// Squared Frobenius norm `sum a_ij^2`.
+pub fn fro_norm_sq(a: &Mat) -> f64 {
+    if a.len() >= 64 * 1024 {
+        a.as_slice().par_iter().map(|&v| v * v).sum()
+    } else {
+        a.as_slice().iter().map(|&v| v * v).sum()
+    }
+}
+
+/// Frobenius norm.
+pub fn fro_norm(a: &Mat) -> f64 {
+    fro_norm_sq(a).sqrt()
+}
+
+/// Squared Frobenius norm of the difference `a - b`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn diff_norm_sq(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "diff_norm_sq: shape mismatch");
+    let body = |(x, y): (&f64, &f64)| {
+        let d = x - y;
+        d * d
+    };
+    if a.len() >= 64 * 1024 {
+        a.as_slice().par_iter().zip(b.as_slice()).map(body).sum()
+    } else {
+        a.as_slice().iter().zip(b.as_slice()).map(body).sum()
+    }
+}
+
+/// Which column norm the normalization uses.
+///
+/// SPLATT/PLANC use the 2-norm while converging and the max-norm on the final
+/// iteration (it keeps all factor entries `<= 1` so that `lambda` carries all
+/// the magnitude); both are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// Euclidean column norm.
+    Two,
+    /// `max(1, max_i |a_ij|)` — never shrinks columns that are already small.
+    Max,
+}
+
+/// Normalizes each column of `a` by its norm, multiplying the scale into
+/// `lambda` (`lambda_j *= norm_j`). Columns with zero norm are left in place
+/// and contribute a factor of 1 so `lambda` stays finite.
+///
+/// # Panics
+/// Panics if `lambda.len() != a.cols()`.
+pub fn normalize_columns(a: &mut Mat, lambda: &mut [f64], kind: NormKind) {
+    let r = a.cols();
+    assert_eq!(lambda.len(), r, "lambda length must equal column count");
+    if r == 0 || a.rows() == 0 {
+        return;
+    }
+
+    // Column norms via one pass over the row-major buffer.
+    let mut norms = vec![0.0f64; r];
+    match kind {
+        NormKind::Two => {
+            for row in a.rows_iter() {
+                for (n, &v) in norms.iter_mut().zip(row) {
+                    *n += v * v;
+                }
+            }
+            for n in &mut norms {
+                *n = n.sqrt();
+            }
+        }
+        NormKind::Max => {
+            for row in a.rows_iter() {
+                for (n, &v) in norms.iter_mut().zip(row) {
+                    *n = n.max(v.abs());
+                }
+            }
+            for n in &mut norms {
+                *n = n.max(1.0);
+            }
+        }
+    }
+
+    let inv: Vec<f64> = norms.iter().map(|&n| if n > 0.0 { 1.0 / n } else { 1.0 }).collect();
+    let apply = |row: &mut [f64]| {
+        for (v, &s) in row.iter_mut().zip(&inv) {
+            *v *= s;
+        }
+    };
+    if a.len() >= 64 * 1024 {
+        a.as_mut_slice().par_chunks_exact_mut(r).for_each(apply);
+    } else {
+        a.as_mut_slice().chunks_exact_mut(r).for_each(apply);
+    }
+
+    for (l, &n) in lambda.iter_mut().zip(&norms) {
+        if n > 0.0 {
+            *l *= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fro_norm_of_known_matrix() {
+        let a = Mat::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert_eq!(fro_norm_sq(&a), 25.0);
+        assert_eq!(fro_norm(&a), 5.0);
+    }
+
+    #[test]
+    fn diff_norm_is_zero_for_identical() {
+        let a = Mat::from_fn(5, 5, |i, j| (i * j) as f64);
+        assert_eq!(diff_norm_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn diff_norm_matches_manual() {
+        let a = Mat::full(2, 2, 2.0);
+        let b = Mat::full(2, 2, -1.0);
+        assert_eq!(diff_norm_sq(&a, &b), 4.0 * 9.0);
+    }
+
+    #[test]
+    fn normalize_two_norm_gives_unit_columns() {
+        let mut a = Mat::from_fn(4, 3, |i, j| (i + j + 1) as f64);
+        let mut lambda = vec![1.0; 3];
+        normalize_columns(&mut a, &mut lambda, NormKind::Two);
+        for j in 0..3 {
+            let norm: f64 = (0..4).map(|i| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-12);
+            assert!(lambda[j] > 1.0);
+        }
+    }
+
+    #[test]
+    fn normalize_preserves_column_products() {
+        // lambda_j * normalized column == original column.
+        let orig = Mat::from_fn(5, 2, |i, j| ((i * 2 + j) % 4) as f64 + 0.5);
+        let mut a = orig.clone();
+        let mut lambda = vec![1.0; 2];
+        normalize_columns(&mut a, &mut lambda, NormKind::Two);
+        for i in 0..5 {
+            for j in 0..2 {
+                assert!((a[(i, j)] * lambda[j] - orig[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_max_norm_bounds_entries() {
+        let mut a = Mat::from_fn(6, 2, |i, j| (i as f64 - 2.0) * (j as f64 + 1.0));
+        let mut lambda = vec![1.0; 2];
+        normalize_columns(&mut a, &mut lambda, NormKind::Max);
+        assert!(a.max_abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn normalize_max_norm_leaves_small_columns() {
+        // Columns already <= 1 are untouched (the max(1, .) clamp).
+        let mut a = Mat::full(3, 1, 0.25);
+        let mut lambda = vec![1.0];
+        normalize_columns(&mut a, &mut lambda, NormKind::Max);
+        assert_eq!(a[(0, 0)], 0.25);
+        assert_eq!(lambda[0], 1.0);
+    }
+
+    #[test]
+    fn zero_column_does_not_produce_nan() {
+        let mut a = Mat::zeros(4, 2);
+        a[(0, 1)] = 2.0;
+        let mut lambda = vec![1.0; 2];
+        normalize_columns(&mut a, &mut lambda, NormKind::Two);
+        assert!(a.all_finite());
+        assert_eq!(lambda[0], 1.0);
+        assert_eq!(lambda[1], 2.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the dense linear-algebra substrate.
+
+use cstf_linalg::{gemm_tn, gram, matmul, normalize_columns, Cholesky, Mat, NormKind};
+use proptest::prelude::*;
+
+/// Strategy: a rows x cols matrix with bounded entries.
+fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Mat::from_vec(rows, cols, v))
+}
+
+fn approx(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A B) C == A (B C) — associativity of matmul.
+    #[test]
+    fn matmul_associative(a in mat_strategy(4, 3), b in mat_strategy(3, 5), c in mat_strategy(5, 2)) {
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        for i in 0..4 {
+            for j in 0..2 {
+                prop_assert!(approx(left[(i, j)], right[(i, j)], 1e-9));
+            }
+        }
+    }
+
+    /// gram(A) == A^T A computed via transpose + matmul.
+    #[test]
+    fn gram_equals_transpose_product(a in mat_strategy(17, 6)) {
+        let g = gram::gram(&a);
+        let e = matmul(&a.transpose(), &a);
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert!(approx(g[(i, j)], e[(i, j)], 1e-10));
+            }
+        }
+    }
+
+    /// gemm_tn(A, B) == A^T B.
+    #[test]
+    fn gemm_tn_equals_transpose_product(a in mat_strategy(11, 4), b in mat_strategy(11, 3)) {
+        let g = gemm_tn(&a, &b);
+        let e = matmul(&a.transpose(), &b);
+        for i in 0..4 {
+            for j in 0..3 {
+                prop_assert!(approx(g[(i, j)], e[(i, j)], 1e-10));
+            }
+        }
+    }
+
+    /// Cholesky solve inverts multiplication: solve(A, A x) == x for SPD A.
+    #[test]
+    fn cholesky_solve_roundtrip(b in mat_strategy(9, 5), x in proptest::collection::vec(-5.0f64..5.0, 5)) {
+        let mut a = gram::gram(&b);
+        a.add_diagonal(5.0 + 1e-3); // guarantee SPD
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut rhs = vec![0.0; 5];
+        for i in 0..5 {
+            rhs[i] = (0..5).map(|j| a[(i, j)] * x[j]).sum();
+        }
+        ch.solve_in_place(&mut rhs);
+        for (got, want) in rhs.iter().zip(&x) {
+            prop_assert!(approx(*got, *want, 1e-7));
+        }
+    }
+
+    /// Explicit inverse agrees with row solves (the PI == TRSM equivalence
+    /// that cuADMM's pre-inversion depends on).
+    #[test]
+    fn preinversion_matches_solve(b in mat_strategy(8, 4), rhs in mat_strategy(6, 4)) {
+        let mut a = gram::gram(&b);
+        a.add_diagonal(4.0 + 1e-3);
+        let ch = Cholesky::factor(&a).unwrap();
+        let via_inv = matmul(&rhs, &ch.inverse());
+        let mut via_solve = rhs.clone();
+        ch.solve_rows(&mut via_solve);
+        for i in 0..6 {
+            for j in 0..4 {
+                prop_assert!(approx(via_inv[(i, j)], via_solve[(i, j)], 1e-7));
+            }
+        }
+    }
+
+    /// Normalization is lossless: lambda_j * column_j reconstructs A.
+    #[test]
+    fn normalization_is_lossless(a in mat_strategy(12, 4)) {
+        let orig = a.clone();
+        let mut m = a;
+        let mut lambda = vec![1.0; 4];
+        normalize_columns(&mut m, &mut lambda, NormKind::Two);
+        prop_assert!(m.all_finite());
+        for i in 0..12 {
+            for j in 0..4 {
+                prop_assert!(approx(m[(i, j)] * lambda[j], orig[(i, j)], 1e-10));
+            }
+        }
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(a in mat_strategy(7, 9)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+}

@@ -1,0 +1,46 @@
+//! # cstf-streaming
+//!
+//! Streaming constrained sparse tensor factorization — the CP-stream-style
+//! algorithm of Soh et al. (IPDPS '21), the paper's reference [33] and the
+//! lineage of cuADMM's operation-fusion ideas. The paper's framework is
+//! batch; this crate extends it to the streaming setting on the same
+//! metered device substrate.
+//!
+//! The model: an `N`-mode tensor whose last mode is *time*. Slices arrive
+//! one time step at a time as `(N-1)`-mode sparse tensors. The tracker
+//! maintains the non-temporal factors and, per step:
+//!
+//! 1. solves a small non-negative least-squares problem for the new time
+//!    row `s_t`;
+//! 2. folds the slice into exponentially-forgotten history sufficient
+//!    statistics (`U_n`, `W_n` — the streaming normal equations);
+//! 3. refreshes each non-temporal factor with a constrained ADMM update on
+//!    those statistics.
+//!
+//! ```
+//! use cstf_streaming::{StreamingConfig, StreamingCstf, SliceTensor};
+//! use cstf_device::{Device, DeviceSpec};
+//!
+//! let dev = Device::new(DeviceSpec::h100());
+//! let mut tracker = StreamingCstf::new(vec![30, 20], StreamingConfig { rank: 4, ..Default::default() });
+//! // Two sparse slices (30 x 20 each).
+//! for t in 0..2u32 {
+//!     let slice = SliceTensor::new(
+//!         vec![30, 20],
+//!         vec![vec![t, 5], vec![3, t]],
+//!         vec![1.0, 2.0],
+//!     );
+//!     tracker.ingest(&dev, &slice);
+//! }
+//! assert_eq!(tracker.time_steps(), 2);
+//! assert_eq!(tracker.temporal_factor().rows(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod slice;
+pub mod tracker;
+
+pub use slice::SliceTensor;
+pub use tracker::{StreamingConfig, StreamingCstf};

@@ -1,0 +1,175 @@
+//! One time-step slice of a streaming tensor: an `(N-1)`-mode sparse
+//! coordinate tensor.
+
+use cstf_linalg::Mat;
+
+/// A sparse slice (the tensor restricted to one index of the temporal
+/// mode), in COO form over the non-temporal modes.
+#[derive(Clone, Debug)]
+pub struct SliceTensor {
+    shape: Vec<usize>,
+    indices: Vec<Vec<u32>>,
+    values: Vec<f64>,
+}
+
+impl SliceTensor {
+    /// Builds a slice; panics on inconsistent lengths or out-of-range
+    /// coordinates (same invariants as `cstf_tensor::SparseTensor`).
+    pub fn new(shape: Vec<usize>, indices: Vec<Vec<u32>>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), shape.len(), "one index vector per mode");
+        for (m, idx) in indices.iter().enumerate() {
+            assert_eq!(idx.len(), values.len(), "mode {m} index count must equal nnz");
+            assert!(
+                idx.iter().all(|&i| (i as usize) < shape[m]),
+                "mode {m} index out of range"
+            );
+        }
+        Self { shape, indices, values }
+    }
+
+    /// Non-temporal mode dimensions.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of non-temporal modes.
+    pub fn nmodes(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mode-`m` coordinates.
+    pub fn mode_indices(&self, mode: usize) -> &[u32] {
+        &self.indices[mode]
+    }
+
+    /// Values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Squared Frobenius norm of the slice.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// `m_t[r] = sum_k x_k * prod_n H_n[i_n(k), r]` — the length-`R`
+    /// "MTTKRP vector" for the temporal row solve.
+    pub fn temporal_mttkrp(&self, factors: &[Mat], rank: usize) -> Vec<f64> {
+        debug_assert_eq!(factors.len(), self.nmodes());
+        let mut out = vec![0.0f64; rank];
+        let mut row = vec![0.0f64; rank];
+        for k in 0..self.nnz() {
+            row.fill(self.values[k]);
+            for (m, f) in factors.iter().enumerate() {
+                let frow = f.row(self.indices[m][k] as usize);
+                for (r, &fv) in row.iter_mut().zip(frow) {
+                    *r *= fv;
+                }
+            }
+            for (o, &r) in out.iter_mut().zip(&row) {
+                *o += r;
+            }
+        }
+        out
+    }
+
+    /// Mode-`mode` MTTKRP of the slice against the other non-temporal
+    /// factors and the temporal row `s_t`:
+    /// `M[i, r] = s_t[r] * sum_{k: i_mode(k)=i} x_k * prod_{m != mode} H_m[i_m(k), r]`.
+    pub fn mode_mttkrp(&self, factors: &[Mat], s_t: &[f64], mode: usize) -> Mat {
+        let rank = s_t.len();
+        let mut out = Mat::zeros(self.shape[mode], rank);
+        let mut row = vec![0.0f64; rank];
+        for k in 0..self.nnz() {
+            row.copy_from_slice(s_t);
+            let x = self.values[k];
+            for r in row.iter_mut() {
+                *r *= x;
+            }
+            for (m, f) in factors.iter().enumerate() {
+                if m == mode {
+                    continue;
+                }
+                let frow = f.row(self.indices[m][k] as usize);
+                for (r, &fv) in row.iter_mut().zip(frow) {
+                    *r *= fv;
+                }
+            }
+            let target = out.row_mut(self.indices[mode][k] as usize);
+            for (t, &r) in target.iter_mut().zip(&row) {
+                *t += r;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_slice() -> SliceTensor {
+        SliceTensor::new(
+            vec![3, 2],
+            vec![vec![0, 2, 1], vec![1, 0, 1]],
+            vec![2.0, 3.0, -1.0],
+        )
+    }
+
+    fn toy_factors() -> Vec<Mat> {
+        vec![
+            Mat::from_fn(3, 2, |i, j| (i + j + 1) as f64),
+            Mat::from_fn(2, 2, |i, j| (2 * i + j + 1) as f64 * 0.5),
+        ]
+    }
+
+    #[test]
+    fn temporal_mttkrp_matches_manual() {
+        let s = toy_slice();
+        let f = toy_factors();
+        let m = s.temporal_mttkrp(&f, 2);
+        for r in 0..2 {
+            let want = 2.0 * f[0][(0, r)] * f[1][(1, r)]
+                + 3.0 * f[0][(2, r)] * f[1][(0, r)]
+                + (-1.0) * f[0][(1, r)] * f[1][(1, r)];
+            assert!((m[r] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mode_mttkrp_matches_manual() {
+        let s = toy_slice();
+        let f = toy_factors();
+        let s_t = [0.5, 2.0];
+        let m = s.mode_mttkrp(&f, &s_t, 0);
+        for i in 0..3 {
+            for r in 0..2 {
+                let mut want = 0.0;
+                for k in 0..s.nnz() {
+                    if s.mode_indices(0)[k] as usize == i {
+                        want += s.values()[k]
+                            * s_t[r]
+                            * f[1][(s.mode_indices(1)[k] as usize, r)];
+                    }
+                }
+                assert!((m[(i, r)] - want).abs() < 1e-12, "({i},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn norm_sq_sums_squares() {
+        assert_eq!(toy_slice().norm_sq(), 4.0 + 9.0 + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_coordinates() {
+        SliceTensor::new(vec![2, 2], vec![vec![2], vec![0]], vec![1.0]);
+    }
+}

@@ -1,0 +1,466 @@
+//! The streaming tracker: CP-stream-style constrained factorization.
+//!
+//! State per non-temporal mode `n`:
+//!
+//! * the factor `H_n` (`I_n x R`, constrained);
+//! * the history statistics `U_n = sum_t gamma^{T-t} MTTKRP_n(X_t, s_t)`
+//!   (`I_n x R`) and `W_n = sum_t gamma^{T-t} (hadamard_{m != n} H_m^T H_m)
+//!   * (s_t s_t^T)` (`R x R`) — the streaming normal equations with
+//!   exponential forgetting `gamma`.
+//!
+//! Per arriving slice: solve the temporal row (small constrained NNLS via
+//! ADMM), fold the slice into `U_n`/`W_n`, and refresh each `H_n` with a
+//! constrained ADMM update on `(U_n, W_n)` — the same cuADMM kernels the
+//! batch framework uses, metered on the same device substrate.
+
+use cstf_core::admm::{admm_update, AdmmConfig, AdmmWorkspace};
+use cstf_core::auntf::seeded_factors;
+use cstf_device::{Device, KernelClass, KernelCost, Phase};
+use cstf_linalg::{gram, hadamard_in_place, Mat};
+
+use crate::slice::SliceTensor;
+
+/// Streaming configuration.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Decomposition rank.
+    pub rank: usize,
+    /// Exponential forgetting factor in `(0, 1]`; 1 = infinite memory.
+    pub forgetting: f64,
+    /// ADMM configuration for the non-temporal refreshes and the temporal
+    /// row solve.
+    pub admm: AdmmConfig,
+    /// Non-temporal factor refresh passes per slice.
+    pub refresh_passes: usize,
+    /// Seed for factor initialization.
+    pub seed: u64,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        Self {
+            rank: 8,
+            forgetting: 0.95,
+            admm: AdmmConfig::cuadmm(),
+            refresh_passes: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// The streaming cSTF tracker.
+pub struct StreamingCstf {
+    cfg: StreamingConfig,
+    shape: Vec<usize>,
+    /// Non-temporal factors.
+    factors: Vec<Mat>,
+    /// Temporal factor: one row per ingested time step.
+    temporal: Vec<Vec<f64>>,
+    /// History statistics.
+    u: Vec<Mat>,
+    w: Vec<Mat>,
+    /// ADMM dual state per mode (persists across slices, as in the batch
+    /// driver).
+    duals: Vec<Mat>,
+    workspaces: Vec<AdmmWorkspace>,
+}
+
+impl StreamingCstf {
+    /// Creates a tracker for slices of the given non-temporal shape.
+    ///
+    /// # Panics
+    /// Panics if `forgetting` is outside `(0, 1]` or the shape is empty.
+    pub fn new(shape: Vec<usize>, cfg: StreamingConfig) -> Self {
+        assert!(!shape.is_empty(), "at least one non-temporal mode required");
+        assert!(
+            cfg.forgetting > 0.0 && cfg.forgetting <= 1.0,
+            "forgetting factor must be in (0, 1]"
+        );
+        let rank = cfg.rank;
+        let factors = seeded_factors(&shape, rank, cfg.seed);
+        let u = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
+        let w = vec![Mat::zeros(rank, rank); shape.len()];
+        let duals = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
+        let workspaces = shape.iter().map(|&d| AdmmWorkspace::new(d, rank)).collect();
+        Self { cfg, shape, factors, temporal: Vec::new(), u, w, duals, workspaces }
+    }
+
+    /// Non-temporal factors.
+    pub fn factors(&self) -> &[Mat] {
+        &self.factors
+    }
+
+    /// The temporal factor assembled as a `T x R` matrix.
+    pub fn temporal_factor(&self) -> Mat {
+        let rank = self.cfg.rank;
+        let mut m = Mat::zeros(self.temporal.len(), rank);
+        for (i, row) in self.temporal.iter().enumerate() {
+            m.row_mut(i).copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Time steps ingested so far.
+    pub fn time_steps(&self) -> usize {
+        self.temporal.len()
+    }
+
+    /// Model value at a slice coordinate for time step `t`.
+    pub fn value_at(&self, t: usize, coord: &[u32]) -> f64 {
+        let s_t = &self.temporal[t];
+        let mut acc = 0.0;
+        for (r, &sr) in s_t.iter().enumerate() {
+            let mut p = sr;
+            for (m, &c) in coord.iter().enumerate() {
+                p *= self.factors[m][(c as usize, r)];
+            }
+            acc += p;
+        }
+        acc
+    }
+
+    /// Relative reconstruction fit of one slice at time `t`
+    /// (`1 - ||X_t - model_t|| / ||X_t||`, over the slice's nonzeros only).
+    pub fn slice_fit(&self, t: usize, slice: &SliceTensor) -> f64 {
+        let mut res = 0.0;
+        let mut coord = vec![0u32; slice.nmodes()];
+        for k in 0..slice.nnz() {
+            for (m, c) in coord.iter_mut().enumerate() {
+                *c = slice.mode_indices(m)[k];
+            }
+            let d = slice.values()[k] - self.value_at(t, &coord);
+            res += d * d;
+        }
+        let norm = slice.norm_sq();
+        if norm > 0.0 {
+            1.0 - (res / norm).sqrt()
+        } else {
+            1.0
+        }
+    }
+
+    /// Ingests one time-step slice: solves its temporal row, folds it into
+    /// the history statistics, and refreshes the non-temporal factors.
+    /// Returns the new temporal row.
+    pub fn ingest(&mut self, dev: &Device, slice: &SliceTensor) -> Vec<f64> {
+        assert_eq!(slice.shape(), self.shape.as_slice(), "slice shape mismatch");
+        let rank = self.cfg.rank;
+        let gamma = self.cfg.forgetting;
+
+        // --- temporal row solve: (hadamard of Grams) s = m_t, nonneg ---
+        let grams: Vec<Mat> = self.factors.iter().map(gram::gram).collect();
+        let mut g_all = Mat::full(rank, rank, 1.0);
+        for g in &grams {
+            hadamard_in_place(&mut g_all, g);
+        }
+        let nnz = slice.nnz() as f64;
+        let m_t = dev.launch(
+            "stream_temporal_mttkrp",
+            Phase::Mttkrp,
+            KernelClass::SparseGather,
+            KernelCost {
+                flops: nnz * (slice.nmodes() + 1) as f64 * rank as f64,
+                bytes_read: nnz * ((slice.nmodes() * 4) as f64 + 8.0),
+                bytes_written: rank as f64 * 8.0,
+                gather_traffic: nnz * slice.nmodes() as f64 * rank as f64 * 8.0,
+                parallel_work: nnz,
+                serial_steps: 1.0,
+                working_set: self.factors.iter().map(|f| f.len() as f64 * 8.0).sum(),
+            },
+            || slice.temporal_mttkrp(&self.factors, rank),
+        );
+        // Solve the 1 x R constrained system with the same ADMM machinery.
+        let m_row = Mat::from_vec(1, rank, m_t);
+        let mut s_row = Mat::full(1, rank, 0.1);
+        let mut s_dual = Mat::zeros(1, rank);
+        let mut s_ws = AdmmWorkspace::new(1, rank);
+        let row_cfg = AdmmConfig { inner_iters: 25, tol: 1e-10, ..self.cfg.admm };
+        admm_update(dev, &row_cfg, &m_row, &g_all, &mut s_row, &mut s_dual, &mut s_ws);
+        let s_t: Vec<f64> = s_row.row(0).to_vec();
+
+        // --- fold the slice into history statistics ---
+        let s_outer = {
+            let mut o = Mat::zeros(rank, rank);
+            for i in 0..rank {
+                for j in 0..rank {
+                    o[(i, j)] = s_t[i] * s_t[j];
+                }
+            }
+            o
+        };
+        for mode in 0..self.shape.len() {
+            // W_n <- gamma W_n + (hadamard_{m != n} gram) * (s s^T).
+            let mut w_inc = Mat::full(rank, rank, 1.0);
+            for (m, g) in grams.iter().enumerate() {
+                if m != mode {
+                    hadamard_in_place(&mut w_inc, g);
+                }
+            }
+            hadamard_in_place(&mut w_inc, &s_outer);
+            let w_n = &mut self.w[mode];
+            w_n.scale(gamma);
+            for (a, &b) in w_n.as_mut_slice().iter_mut().zip(w_inc.as_slice()) {
+                *a += b;
+            }
+
+            // U_n <- gamma U_n + MTTKRP_n(X_t, s_t).
+            let elems = (self.shape[mode] * rank) as f64;
+            let m_inc = dev.launch(
+                "stream_mode_mttkrp",
+                Phase::Mttkrp,
+                KernelClass::SparseGather,
+                KernelCost {
+                    flops: nnz * (slice.nmodes() + 1) as f64 * rank as f64,
+                    bytes_read: nnz * ((slice.nmodes() * 4) as f64 + 8.0) + elems * 8.0,
+                    bytes_written: elems * 8.0,
+                    gather_traffic: nnz * (slice.nmodes() - 1) as f64 * rank as f64 * 8.0,
+                    parallel_work: nnz,
+                    serial_steps: 1.0,
+                    working_set: self.factors.iter().map(|f| f.len() as f64 * 8.0).sum(),
+                },
+                || slice.mode_mttkrp(&self.factors, &s_t, mode),
+            );
+            let u_n = &mut self.u[mode];
+            dev.launch(
+                "stream_history_fold",
+                Phase::Update,
+                KernelClass::Stream,
+                KernelCost {
+                    flops: 2.0 * elems,
+                    bytes_read: 2.0 * elems * 8.0,
+                    bytes_written: elems * 8.0,
+                    gather_traffic: 0.0,
+                    parallel_work: elems,
+                    serial_steps: 1.0,
+                    working_set: 2.0 * elems * 8.0,
+                },
+                || {
+                    u_n.scale(gamma);
+                    for (a, &b) in u_n.as_mut_slice().iter_mut().zip(m_inc.as_slice()) {
+                        *a += b;
+                    }
+                },
+            );
+        }
+
+        // --- refresh non-temporal factors on the history statistics ---
+        for _ in 0..self.cfg.refresh_passes {
+            for mode in 0..self.shape.len() {
+                // Guard: W may be near-singular before enough slices arrive;
+                // the ADMM's rho-loading handles conditioning.
+                let (u_n, w_n) = (&self.u[mode], &self.w[mode]);
+                admm_update(
+                    dev,
+                    &self.cfg.admm,
+                    u_n,
+                    w_n,
+                    &mut self.factors[mode],
+                    &mut self.duals[mode],
+                    &mut self.workspaces[mode],
+                );
+            }
+        }
+
+        // --- re-solve the temporal row against the refreshed factors ---
+        // (one extra alternation; markedly improves per-slice fit, as in
+        // CP-stream's inner refinement loop).
+        let grams: Vec<Mat> = self.factors.iter().map(gram::gram).collect();
+        let mut g_all = Mat::full(rank, rank, 1.0);
+        for g in &grams {
+            hadamard_in_place(&mut g_all, g);
+        }
+        let m_t2 = slice.temporal_mttkrp(&self.factors, rank);
+        let m_row = Mat::from_vec(1, rank, m_t2);
+        admm_update(dev, &row_cfg, &m_row, &g_all, &mut s_row, &mut s_dual, &mut s_ws);
+        let s_t: Vec<f64> = s_row.row(0).to_vec();
+
+        self.temporal.push(s_t.clone());
+        s_t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstf_device::DeviceSpec;
+
+    /// Generates a stream of slices from planted non-temporal factors and
+    /// per-step temporal rows; returns (slices, planted temporal rows).
+    fn planted_stream(
+        shape: &[usize],
+        rank: usize,
+        steps: usize,
+        nnz_per_slice: usize,
+        seed: u64,
+    ) -> (Vec<SliceTensor>, Vec<Mat>) {
+        let truth = seeded_factors(shape, rank, seed ^ 0x5EED);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut slices = Vec::new();
+        for t in 0..steps {
+            // Temporal row: smooth positive pattern.
+            let s_t: Vec<f64> =
+                (0..rank).map(|r| 0.5 + 0.5 * (((t + r) % 5) as f64) / 4.0).collect();
+            let mut idx = vec![Vec::new(); shape.len()];
+            let mut vals = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            while vals.len() < nnz_per_slice {
+                let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+                if !seen.insert(c.clone()) {
+                    continue;
+                }
+                let mut v = 0.0;
+                for (r, &sr) in s_t.iter().enumerate() {
+                    let mut p = sr;
+                    for (m, &ci) in c.iter().enumerate() {
+                        p *= truth[m][(ci as usize, r)];
+                    }
+                    v += p;
+                }
+                for (m, &ci) in c.iter().enumerate() {
+                    idx[m].push(ci);
+                }
+                vals.push(v.max(1e-9));
+            }
+            slices.push(SliceTensor::new(shape.to_vec(), idx, vals));
+        }
+        (slices, truth)
+    }
+
+    #[test]
+    fn tracker_ingests_and_grows_temporal_factor() {
+        let (slices, _) = planted_stream(&[20, 15], 3, 5, 150, 1);
+        let dev = Device::new(DeviceSpec::h100());
+        let mut tracker =
+            StreamingCstf::new(vec![20, 15], StreamingConfig { rank: 3, ..Default::default() });
+        for s in &slices {
+            let row = tracker.ingest(&dev, s);
+            assert_eq!(row.len(), 3);
+            assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+        assert_eq!(tracker.time_steps(), 5);
+        assert_eq!(tracker.temporal_factor().rows(), 5);
+    }
+
+    #[test]
+    fn fit_improves_as_stream_progresses() {
+        // Fully-observed slices: a support-masked low-rank tensor is not
+        // low-rank, so only full observation admits fit -> 1 (same ceiling
+        // the batch driver tests document).
+        let (slices, _) = planted_stream(&[25, 20], 3, 48, 500, 2);
+        let dev = Device::new(DeviceSpec::h100());
+        let mut tracker = StreamingCstf::new(
+            vec![25, 20],
+            StreamingConfig { rank: 4, refresh_passes: 3, forgetting: 0.85, ..Default::default() },
+        );
+        let mut early = Vec::new();
+        let mut late = Vec::new();
+        for (t, s) in slices.iter().enumerate() {
+            tracker.ingest(&dev, s);
+            let fit = tracker.slice_fit(t, s);
+            if t < 6 {
+                early.push(fit);
+            } else if t >= 42 {
+                late.push(fit);
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&late) > avg(&early),
+            "late fits {:?} should beat early fits {:?}",
+            late,
+            early
+        );
+        assert!(
+            avg(&late) > 0.5,
+            "tracker should reconstruct the planted stream: early {:?} late {:?}",
+            early,
+            late
+        );
+    }
+
+    #[test]
+    fn factors_stay_nonnegative_under_streaming() {
+        let (slices, _) = planted_stream(&[15, 12], 2, 8, 100, 3);
+        let dev = Device::new(DeviceSpec::a100());
+        let mut tracker =
+            StreamingCstf::new(vec![15, 12], StreamingConfig { rank: 2, ..Default::default() });
+        for s in &slices {
+            tracker.ingest(&dev, s);
+            for f in tracker.factors() {
+                assert!(f.is_nonnegative(0.0));
+                assert!(f.all_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn forgetting_tracks_drift_better_than_infinite_memory() {
+        // A stream whose generating factors switch halfway.
+        let shape = [20usize, 16];
+        let rank = 3;
+        let (first, _) = planted_stream(&shape, rank, 12, 180, 4);
+        let (second, _) = planted_stream(&shape, rank, 12, 180, 99);
+        let run = |gamma: f64| {
+            let dev = Device::new(DeviceSpec::h100());
+            let mut tracker = StreamingCstf::new(
+                shape.to_vec(),
+                StreamingConfig {
+                    rank,
+                    forgetting: gamma,
+                    refresh_passes: 2,
+                    ..Default::default()
+                },
+            );
+            let mut t = 0usize;
+            for s in first.iter().chain(&second) {
+                tracker.ingest(&dev, s);
+                t += 1;
+            }
+            // Fit on the final (post-drift) slice.
+            tracker.slice_fit(t - 1, second.last().unwrap())
+        };
+        let forgetful = run(0.7);
+        let elephant = run(1.0);
+        assert!(
+            forgetful > elephant - 0.05,
+            "forgetting (fit {forgetful}) should track drift at least as well as \
+             infinite memory (fit {elephant})"
+        );
+    }
+
+    #[test]
+    fn device_meters_streaming_kernels() {
+        let (slices, _) = planted_stream(&[10, 10], 2, 3, 60, 5);
+        let dev = Device::new(DeviceSpec::h100());
+        let mut tracker =
+            StreamingCstf::new(vec![10, 10], StreamingConfig { rank: 2, ..Default::default() });
+        for s in &slices {
+            tracker.ingest(&dev, s);
+        }
+        assert!(dev.phase_totals(Phase::Mttkrp).launches >= 9); // temporal + 2 modes x 3 slices
+        assert!(dev.phase_totals(Phase::Update).seconds > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice shape mismatch")]
+    fn mismatched_slice_is_rejected() {
+        let dev = Device::new(DeviceSpec::a100());
+        let mut tracker =
+            StreamingCstf::new(vec![10, 10], StreamingConfig { rank: 2, ..Default::default() });
+        let bad = SliceTensor::new(vec![5, 5], vec![vec![0], vec![0]], vec![1.0]);
+        tracker.ingest(&dev, &bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "forgetting factor")]
+    fn invalid_forgetting_rejected() {
+        StreamingCstf::new(
+            vec![5, 5],
+            StreamingConfig { forgetting: 1.5, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Dense N-mode tensor.
+//!
+//! Used for the paper's *DenseTF* preliminary study (Figure 1): a synthetic
+//! `400 x 200 x 100 x 50` dense tensor whose MTTKRP cost is proportional to
+//! the product of all mode lengths, in contrast to the nnz-bound sparse case.
+
+use rayon::prelude::*;
+
+use cstf_linalg::Mat;
+
+/// A dense tensor stored contiguously with the **last mode fastest**
+/// (row-major over the mode tuple).
+#[derive(Clone, Debug)]
+pub struct DenseTensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// A zero tensor of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Self { shape, data: vec![0.0; len] }
+    }
+
+    /// Builds a tensor from a function of the coordinate.
+    pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let len: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(len);
+        let mut coord = vec![0usize; shape.len()];
+        for _ in 0..len {
+            data.push(f(&coord));
+            // Odometer increment, last mode fastest.
+            for m in (0..shape.len()).rev() {
+                coord[m] += 1;
+                if coord[m] < shape[m] {
+                    break;
+                }
+                coord[m] = 0;
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Mode dimensions.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of modes.
+    pub fn nmodes(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-cell tensor.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying buffer (last mode fastest).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable buffer access.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Linear offset of a coordinate.
+    #[inline]
+    pub fn offset(&self, coord: &[usize]) -> usize {
+        debug_assert_eq!(coord.len(), self.shape.len());
+        let mut off = 0usize;
+        for (c, d) in coord.iter().zip(&self.shape) {
+            debug_assert!(c < d);
+            off = off * d + c;
+        }
+        off
+    }
+
+    /// Value at a coordinate.
+    pub fn get(&self, coord: &[usize]) -> f64 {
+        self.data[self.offset(coord)]
+    }
+
+    /// Sets the value at a coordinate.
+    pub fn set(&mut self, coord: &[usize], v: f64) {
+        let off = self.offset(coord);
+        self.data[off] = v;
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f64 {
+        if self.data.len() >= 64 * 1024 {
+            self.data.par_iter().map(|&v| v * v).sum()
+        } else {
+            self.data.iter().map(|&v| v * v).sum()
+        }
+    }
+
+    /// Dense mode-`n` MTTKRP: `M = X_(n) * khatri_rao(all factors except n)`.
+    ///
+    /// Implemented coordinate-wise (equivalent to the unfolded GEMM but
+    /// without materializing the Khatri-Rao product): for every cell `x`,
+    /// accumulate `x * hadamard(rows of other factors)` into row
+    /// `coord[n]` of the output. Parallelized over slabs of the target mode.
+    pub fn mttkrp(&self, factors: &[Mat], mode: usize) -> Mat {
+        assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
+        let rank = factors[mode].cols();
+        let nmodes = self.nmodes();
+        let mut out = Mat::zeros(self.shape[mode], rank);
+
+        let out_rows: Vec<(usize, Vec<f64>)> = (0..self.shape[mode])
+            .into_par_iter()
+            .map(|i| {
+                let mut row = vec![0.0f64; rank];
+                let mut scratch = vec![0.0f64; rank];
+                let mut c = vec![0usize; nmodes];
+                c[mode] = i;
+                // Iterate all combinations of the other modes.
+                let others: Vec<usize> = (0..nmodes).filter(|&m| m != mode).collect();
+                let total: usize = others.iter().map(|&m| self.shape[m]).product();
+                for _ in 0..total {
+                    let x = self.get(&c);
+                    if x != 0.0 {
+                        scratch.fill(x);
+                        for &m in &others {
+                            let frow = factors[m].row(c[m]);
+                            for (s, &f) in scratch.iter_mut().zip(frow) {
+                                *s *= f;
+                            }
+                        }
+                        for (r, &s) in row.iter_mut().zip(&scratch) {
+                            *r += s;
+                        }
+                    }
+                    // Odometer over the other modes, last fastest.
+                    for &m in others.iter().rev() {
+                        c[m] += 1;
+                        if c[m] < self.shape[m] {
+                            break;
+                        }
+                        c[m] = 0;
+                    }
+                }
+                (i, row)
+            })
+            .collect();
+        for (i, row) in out_rows {
+            out.row_mut(i).copy_from_slice(&row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_last_mode_fastest() {
+        let t = DenseTensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.offset(&[0, 0, 0]), 0);
+        assert_eq!(t.offset(&[0, 0, 1]), 1);
+        assert_eq!(t.offset(&[0, 1, 0]), 4);
+        assert_eq!(t.offset(&[1, 0, 0]), 12);
+    }
+
+    #[test]
+    fn from_fn_visits_every_cell_once() {
+        let t = DenseTensor::from_fn(vec![2, 2], |c| (c[0] * 2 + c[1]) as f64);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = DenseTensor::zeros(vec![3, 3]);
+        t.set(&[1, 2], 7.5);
+        assert_eq!(t.get(&[1, 2]), 7.5);
+        assert_eq!(t.get(&[2, 1]), 0.0);
+    }
+
+    #[test]
+    fn norm_sq_counts_all_cells() {
+        let t = DenseTensor::from_fn(vec![2, 2], |_| 2.0);
+        assert_eq!(t.norm_sq(), 16.0);
+    }
+
+    #[test]
+    fn dense_mttkrp_matches_manual_3mode() {
+        // X[i,j,k], factors B (J x R), C (K x R):
+        // M[i,r] = sum_{j,k} X[i,j,k] * B[j,r] * C[k,r].
+        let shape = vec![2, 3, 2];
+        let t = DenseTensor::from_fn(shape.clone(), |c| (c[0] + 2 * c[1] + 3 * c[2] + 1) as f64);
+        let r = 2;
+        let factors: Vec<Mat> = shape
+            .iter()
+            .map(|&d| Mat::from_fn(d, r, |i, j| (i + j + 1) as f64 * 0.5))
+            .collect();
+        let m = t.mttkrp(&factors, 0);
+        for i in 0..2 {
+            for rr in 0..r {
+                let mut want = 0.0;
+                for j in 0..3 {
+                    for k in 0..2 {
+                        want += t.get(&[i, j, k]) * factors[1][(j, rr)] * factors[2][(k, rr)];
+                    }
+                }
+                assert!((m[(i, rr)] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_mttkrp_mode1_matches_manual() {
+        let shape = vec![3, 2, 2];
+        let t = DenseTensor::from_fn(shape.clone(), |c| (c[0] * 4 + c[1] * 2 + c[2]) as f64);
+        let factors: Vec<Mat> =
+            shape.iter().map(|&d| Mat::from_fn(d, 3, |i, j| ((i * 3 + j) % 5) as f64)).collect();
+        let m = t.mttkrp(&factors, 1);
+        for j in 0..2 {
+            for rr in 0..3 {
+                let mut want = 0.0;
+                for i in 0..3 {
+                    for k in 0..2 {
+                        want += t.get(&[i, j, k]) * factors[0][(i, rr)] * factors[2][(k, rr)];
+                    }
+                }
+                assert!((m[(j, rr)] - want).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! FROSTT `.tns` text I/O.
+//!
+//! The FROSTT repository (Smith et al., the paper's data source, Table 2)
+//! distributes sparse tensors as whitespace-separated text: one nonzero per
+//! line, `N` 1-based coordinates followed by the value. Comment lines start
+//! with `#`. This module reads and writes that format so real FROSTT dumps
+//! can replace the synthetic catalog.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::sparse::SparseTensor;
+
+/// Errors from `.tns` parsing.
+#[derive(Debug)]
+pub enum TnsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The file contained no nonzeros.
+    Empty,
+}
+
+impl std::fmt::Display for TnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TnsError::Io(e) => write!(f, "I/O error: {e}"),
+            TnsError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            TnsError::Empty => write!(f, "tensor file contains no nonzeros"),
+        }
+    }
+}
+
+impl std::error::Error for TnsError {}
+
+impl From<std::io::Error> for TnsError {
+    fn from(e: std::io::Error) -> Self {
+        TnsError::Io(e)
+    }
+}
+
+/// Reads a `.tns` tensor from any reader. The shape is inferred as the
+/// per-mode maximum coordinate.
+pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, TnsError> {
+    let mut indices: Vec<Vec<u32>> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut line_buf = String::new();
+    let mut br = BufReader::new(reader);
+    let mut lineno = 0usize;
+
+    loop {
+        line_buf.clear();
+        if br.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let toks: Vec<&str> = fields.by_ref().collect();
+        if toks.len() < 2 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: "expected at least one coordinate and a value".into(),
+            });
+        }
+        let nmodes = toks.len() - 1;
+        if indices.is_empty() {
+            indices = vec![Vec::new(); nmodes];
+        } else if indices.len() != nmodes {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("expected {} coordinates, found {nmodes}", indices.len()),
+            });
+        }
+        for (m, tok) in toks[..nmodes].iter().enumerate() {
+            let c: u64 = tok.parse().map_err(|_| TnsError::Parse {
+                line: lineno,
+                message: format!("bad coordinate {tok:?}"),
+            })?;
+            if c == 0 {
+                return Err(TnsError::Parse {
+                    line: lineno,
+                    message: "coordinates are 1-based; found 0".into(),
+                });
+            }
+            indices[m].push((c - 1) as u32);
+        }
+        let v: f64 = toks[nmodes].parse().map_err(|_| TnsError::Parse {
+            line: lineno,
+            message: format!("bad value {:?}", toks[nmodes]),
+        })?;
+        values.push(v);
+    }
+
+    if values.is_empty() {
+        return Err(TnsError::Empty);
+    }
+    let shape: Vec<usize> =
+        indices.iter().map(|idx| idx.iter().copied().max().unwrap_or(0) as usize + 1).collect();
+    Ok(SparseTensor::new(shape, indices, values))
+}
+
+/// Reads a `.tns` tensor from a file path.
+pub fn read_tns_file(path: impl AsRef<Path>) -> Result<SparseTensor, TnsError> {
+    read_tns(std::fs::File::open(path)?)
+}
+
+/// Writes a tensor in `.tns` format (1-based coordinates).
+pub fn write_tns<W: Write>(tensor: &SparseTensor, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for k in 0..tensor.nnz() {
+        for m in 0..tensor.nmodes() {
+            write!(w, "{} ", tensor.mode_indices(m)[k] + 1)?;
+        }
+        writeln!(w, "{}", tensor.values()[k])?;
+    }
+    w.flush()
+}
+
+/// Writes a tensor to a `.tns` file.
+pub fn write_tns_file(tensor: &SparseTensor, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_tns(tensor, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_file() {
+        let text = "# comment\n1 1 1 2.5\n3 2 1 -1.0\n\n2 4 2 0.5\n";
+        let t = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(t.shape(), &[3, 4, 2]);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.get(&[0, 0, 0]), 2.5);
+        assert_eq!(t.get(&[2, 1, 0]), -1.0);
+        assert_eq!(t.get(&[1, 3, 1]), 0.5);
+    }
+
+    #[test]
+    fn roundtrip_preserves_tensor() {
+        let t = SparseTensor::new(
+            vec![4, 2, 3],
+            vec![vec![0, 3, 1], vec![1, 0, 1], vec![2, 2, 0]],
+            vec![1.5, 2.0, -0.25],
+        );
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice()).unwrap();
+        assert_eq!(back.nnz(), t.nnz());
+        for k in 0..t.nnz() {
+            assert_eq!(back.get(&t.coord(k)), t.values()[k]);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_based_coordinate() {
+        let err = read_tns("0 1 3.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_ragged_lines() {
+        let err = read_tns("1 1 1 2.0\n1 1 3.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(read_tns("# only comments\n".as_bytes()), Err(TnsError::Empty)));
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let err = read_tns("1 1 abc\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { .. }));
+    }
+
+    #[test]
+    fn scientific_notation_values_accepted() {
+        let t = read_tns("2 2 1.5e-3\n".as_bytes()).unwrap();
+        assert!((t.get(&[1, 1]) - 1.5e-3).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,244 @@
+//! The Kruskal (CP) model: a rank-`R` sum of outer products.
+//!
+//! `X ≈ [lambda; H^(1), ..., H^(N)]` where each `H^(n)` is an `I_n x R`
+//! factor matrix and `lambda` carries the per-component weights produced by
+//! the normalization step (Algorithm 1, line 11).
+
+use rayon::prelude::*;
+
+use cstf_linalg::{gram, hadamard_in_place, Mat};
+
+use crate::sparse::SparseTensor;
+
+/// A CP decomposition: per-mode factor matrices plus component weights.
+#[derive(Clone, Debug)]
+pub struct Ktensor {
+    /// One `I_n x R` factor matrix per mode.
+    pub factors: Vec<Mat>,
+    /// Per-component weights, length `R`.
+    pub lambda: Vec<f64>,
+}
+
+impl Ktensor {
+    /// Builds a model, checking that all factors share one rank.
+    ///
+    /// # Panics
+    /// Panics if ranks disagree or `lambda` has the wrong length.
+    pub fn new(factors: Vec<Mat>, lambda: Vec<f64>) -> Self {
+        assert!(!factors.is_empty(), "at least one factor required");
+        let r = factors[0].cols();
+        assert!(factors.iter().all(|f| f.cols() == r), "all factors must share one rank");
+        assert_eq!(lambda.len(), r, "lambda length must equal rank");
+        Self { factors, lambda }
+    }
+
+    /// A model with unit weights.
+    pub fn from_factors(factors: Vec<Mat>) -> Self {
+        let r = factors[0].cols();
+        Self::new(factors, vec![1.0; r])
+    }
+
+    /// Decomposition rank.
+    pub fn rank(&self) -> usize {
+        self.factors[0].cols()
+    }
+
+    /// Number of modes.
+    pub fn nmodes(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Shape of the reconstructed tensor.
+    pub fn shape(&self) -> Vec<usize> {
+        self.factors.iter().map(|f| f.rows()).collect()
+    }
+
+    /// Model value at one coordinate:
+    /// `sum_r lambda_r * prod_n H^(n)[i_n, r]`.
+    pub fn value_at(&self, coord: &[u32]) -> f64 {
+        debug_assert_eq!(coord.len(), self.nmodes());
+        let r = self.rank();
+        let mut acc = 0.0;
+        for rr in 0..r {
+            let mut p = self.lambda[rr];
+            for (m, &c) in coord.iter().enumerate() {
+                p *= self.factors[m][(c as usize, rr)];
+            }
+            acc += p;
+        }
+        acc
+    }
+
+    /// Squared Frobenius norm of the reconstructed tensor, computed in
+    /// `O(sum_n I_n R^2)` via `lambda^T (hadamard of all Grams) lambda` —
+    /// no reconstruction needed.
+    pub fn norm_sq(&self) -> f64 {
+        let r = self.rank();
+        let mut had = Mat::full(r, r, 1.0);
+        for f in &self.factors {
+            let g = gram::gram(f);
+            hadamard_in_place(&mut had, &g);
+        }
+        let mut acc = 0.0;
+        for i in 0..r {
+            for j in 0..r {
+                acc += self.lambda[i] * had[(i, j)] * self.lambda[j];
+            }
+        }
+        acc
+    }
+
+    /// Inner product `<X, model>` against a sparse tensor, in `O(nnz * R)`.
+    pub fn inner_with(&self, x: &SparseTensor) -> f64 {
+        assert_eq!(x.shape(), self.shape().as_slice(), "tensor/model shape mismatch");
+        let nnz = x.nnz();
+        let nmodes = self.nmodes();
+        let r = self.rank();
+        let body = |k: usize| -> f64 {
+            let mut acc = 0.0;
+            for rr in 0..r {
+                let mut p = self.lambda[rr];
+                for m in 0..nmodes {
+                    p *= self.factors[m][(x.mode_indices(m)[k] as usize, rr)];
+                }
+                acc += p;
+            }
+            acc * x.values()[k]
+        };
+        if nnz >= 16 * 1024 {
+            (0..nnz).into_par_iter().map(body).sum()
+        } else {
+            (0..nnz).map(body).sum()
+        }
+    }
+
+    /// Squared residual `||X - model||_F^2` against a sparse tensor, using
+    /// the expansion `||X||^2 - 2 <X, model> + ||model||^2`.
+    ///
+    /// The returned value is clamped at zero to absorb floating-point
+    /// cancellation when the fit is nearly exact.
+    pub fn residual_sq(&self, x: &SparseTensor) -> f64 {
+        let res = x.norm_sq() - 2.0 * self.inner_with(x) + self.norm_sq();
+        res.max(0.0)
+    }
+
+    /// The standard CP *fit* score: `1 - ||X - model|| / ||X||`.
+    /// A fit of 1 is a perfect reconstruction.
+    pub fn fit(&self, x: &SparseTensor) -> f64 {
+        let xnorm = x.norm_sq().sqrt();
+        if xnorm == 0.0 {
+            return if self.norm_sq() == 0.0 { 1.0 } else { 0.0 };
+        }
+        1.0 - self.residual_sq(x).sqrt() / xnorm
+    }
+
+    /// Folds `lambda` back into one mode's factor (used before comparing
+    /// factors against ground truth, or when handing factors to algorithms
+    /// that assume unit weights).
+    pub fn absorb_lambda_into(&mut self, mode: usize) {
+        let r = self.rank();
+        let f = &mut self.factors[mode];
+        for i in 0..f.rows() {
+            let row = f.row_mut(i);
+            for (v, &l) in row.iter_mut().zip(&self.lambda) {
+                *v *= l;
+            }
+        }
+        self.lambda = vec![1.0; r];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rank-1 3-mode model with known closed forms.
+    fn rank1() -> Ktensor {
+        let a = Mat::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Mat::from_vec(3, 1, vec![1.0, 0.0, 3.0]);
+        let c = Mat::from_vec(2, 1, vec![2.0, 1.0]);
+        Ktensor::from_factors(vec![a, b, c])
+    }
+
+    #[test]
+    fn value_at_is_outer_product() {
+        let m = rank1();
+        assert_eq!(m.value_at(&[1, 2, 0]), 2.0 * 3.0 * 2.0);
+        assert_eq!(m.value_at(&[0, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn norm_sq_matches_explicit_enumeration() {
+        let m = rank1();
+        let mut explicit = 0.0;
+        for i in 0..2u32 {
+            for j in 0..3u32 {
+                for k in 0..2u32 {
+                    let v = m.value_at(&[i, j, k]);
+                    explicit += v * v;
+                }
+            }
+        }
+        assert!((m.norm_sq() - explicit).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lambda_scales_quadratically_in_norm() {
+        let mut m = rank1();
+        let base = m.norm_sq();
+        m.lambda = vec![3.0];
+        assert!((m.norm_sq() - 9.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inner_with_matches_pointwise() {
+        let m = rank1();
+        let x = SparseTensor::new(
+            vec![2, 3, 2],
+            vec![vec![0, 1], vec![0, 2], vec![0, 1]],
+            vec![2.0, -1.0],
+        );
+        let want = 2.0 * m.value_at(&[0, 0, 0]) + (-1.0) * m.value_at(&[1, 2, 1]);
+        assert!((m.inner_with(&x) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_model_has_fit_one() {
+        // Build X exactly from the model's nonzero pattern.
+        let m = rank1();
+        let mut idx = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut vals = Vec::new();
+        for i in 0..2u32 {
+            for j in 0..3u32 {
+                for k in 0..2u32 {
+                    let v = m.value_at(&[i, j, k]);
+                    if v != 0.0 {
+                        idx[0].push(i);
+                        idx[1].push(j);
+                        idx[2].push(k);
+                        vals.push(v);
+                    }
+                }
+            }
+        }
+        let x = SparseTensor::new(vec![2, 3, 2], idx, vals);
+        assert!((m.fit(&x) - 1.0).abs() < 1e-7);
+        assert!(m.residual_sq(&x) < 1e-9);
+    }
+
+    #[test]
+    fn absorb_lambda_preserves_model_values() {
+        let mut m = rank1();
+        m.lambda = vec![4.0];
+        let before = m.value_at(&[1, 2, 1]);
+        m.absorb_lambda_into(0);
+        assert_eq!(m.lambda, vec![1.0]);
+        assert!((m.value_at(&[1, 2, 1]) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one rank")]
+    fn mismatched_ranks_rejected() {
+        Ktensor::from_factors(vec![Mat::zeros(2, 2), Mat::zeros(2, 3)]);
+    }
+}

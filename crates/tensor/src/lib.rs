@@ -1,0 +1,43 @@
+//! # cstf-tensor
+//!
+//! Tensor types for cSTF-rs: an N-mode sparse coordinate tensor (the
+//! interchange format all compressed formats compile from), a dense tensor
+//! (for the paper's DenseTF preliminary study, Fig. 1), the Kruskal/CP model
+//! with efficient fit computation, and FROSTT `.tns` I/O.
+//!
+//! ```
+//! use cstf_tensor::{SparseTensor, Ktensor};
+//! use cstf_linalg::Mat;
+//!
+//! // X is the full rank-1 tensor [1,2] o [1,2] o [1,2]: X[i,j,k] = 2^(i+j+k).
+//! let mut idx = vec![Vec::new(), Vec::new(), Vec::new()];
+//! let mut vals = Vec::new();
+//! for i in 0..2u32 {
+//!     for j in 0..2u32 {
+//!         for k in 0..2u32 {
+//!             idx[0].push(i); idx[1].push(j); idx[2].push(k);
+//!             vals.push(f64::from(1 << (i + j + k)));
+//!         }
+//!     }
+//! }
+//! let x = SparseTensor::new(vec![2, 2, 2], idx, vals);
+//! let model = Ktensor::from_factors(vec![
+//!     Mat::from_vec(2, 1, vec![1.0, 2.0]),
+//!     Mat::from_vec(2, 1, vec![1.0, 2.0]),
+//!     Mat::from_vec(2, 1, vec![1.0, 2.0]),
+//! ]);
+//! assert!((model.fit(&x) - 1.0).abs() < 1e-8); // exact rank-1 reconstruction
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod io;
+pub mod kruskal;
+pub mod sparse;
+
+pub use dense::DenseTensor;
+pub use io::{read_tns, read_tns_file, write_tns, write_tns_file, TnsError};
+pub use kruskal::Ktensor;
+pub use sparse::SparseTensor;

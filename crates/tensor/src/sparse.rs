@@ -1,0 +1,311 @@
+//! N-mode sparse tensor in coordinate (COO) form.
+//!
+//! COO is the interchange format of the framework: datasets are generated or
+//! loaded into COO and then compiled into the compressed formats (CSF, ALTO,
+//! BLCO) by `cstf-formats`. Indices are stored structure-of-arrays — one
+//! `Vec<u32>` per mode — which is the layout every compiler and the reference
+//! MTTKRP want to stream.
+
+use rayon::prelude::*;
+
+/// An N-mode sparse tensor holding `nnz` explicit (coordinate, value) pairs.
+///
+/// Invariants (checked by [`SparseTensor::new`] and preserved by all
+/// methods): every mode's index vector has length `nnz`, and every index is
+/// strictly less than the mode's dimension.
+#[derive(Clone, Debug)]
+pub struct SparseTensor {
+    shape: Vec<usize>,
+    /// `indices[m][k]` is the mode-`m` coordinate of nonzero `k`.
+    indices: Vec<Vec<u32>>,
+    values: Vec<f64>,
+}
+
+impl SparseTensor {
+    /// Builds a tensor from per-mode coordinate vectors and values.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or any coordinate is out of bounds.
+    pub fn new(shape: Vec<usize>, indices: Vec<Vec<u32>>, values: Vec<f64>) -> Self {
+        assert_eq!(indices.len(), shape.len(), "one index vector per mode required");
+        for (m, idx) in indices.iter().enumerate() {
+            assert_eq!(idx.len(), values.len(), "mode {m} index count must equal nnz");
+            let dim = shape[m];
+            assert!(
+                idx.iter().all(|&i| (i as usize) < dim),
+                "mode {m} has an index out of bounds (dim {dim})"
+            );
+        }
+        Self { shape, indices, values }
+    }
+
+    /// An empty tensor of the given shape.
+    pub fn empty(shape: Vec<usize>) -> Self {
+        let nmodes = shape.len();
+        Self { shape, indices: vec![Vec::new(); nmodes], values: Vec::new() }
+    }
+
+    /// Number of modes (tensor order).
+    #[inline]
+    pub fn nmodes(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Mode dimensions.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Dimension of one mode.
+    #[inline]
+    pub fn dim(&self, mode: usize) -> usize {
+        self.shape[mode]
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mode-`m` coordinates of all nonzeros.
+    #[inline]
+    pub fn mode_indices(&self, mode: usize) -> &[u32] {
+        &self.indices[mode]
+    }
+
+    /// The nonzero values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the nonzero values (coordinates fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Fraction of occupied cells: `nnz / prod(shape)` (computed in `f64` to
+    /// survive the paper's 10^13-cell tensors).
+    pub fn density(&self) -> f64 {
+        let cells: f64 = self.shape.iter().map(|&d| d as f64).product();
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells
+        }
+    }
+
+    /// Squared Frobenius norm `sum x_k^2`.
+    pub fn norm_sq(&self) -> f64 {
+        if self.nnz() >= 64 * 1024 {
+            self.values.par_iter().map(|&v| v * v).sum()
+        } else {
+            self.values.iter().map(|&v| v * v).sum()
+        }
+    }
+
+    /// The full coordinate of nonzero `k` as a small vector.
+    pub fn coord(&self, k: usize) -> Vec<u32> {
+        self.indices.iter().map(|idx| idx[k]).collect()
+    }
+
+    /// Sorts nonzeros lexicographically with `mode` as the major key and the
+    /// remaining modes in ascending order as tie-breakers. Compressed-format
+    /// compilers (CSF in particular) require this ordering.
+    pub fn sort_by_mode(&mut self, mode: usize) {
+        assert!(mode < self.nmodes(), "sort mode out of range");
+        let nmodes = self.nmodes();
+        let order: Vec<usize> =
+            std::iter::once(mode).chain((0..nmodes).filter(|&m| m != mode)).collect();
+
+        let mut perm: Vec<u32> = (0..self.nnz() as u32).collect();
+        let indices = &self.indices;
+        perm.par_sort_unstable_by(|&a, &b| {
+            for &m in &order {
+                match indices[m][a as usize].cmp(&indices[m][b as usize]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.apply_permutation(&perm);
+    }
+
+    /// Reorders nonzeros by the given permutation (`new[k] = old[perm[k]]`).
+    pub(crate) fn apply_permutation(&mut self, perm: &[u32]) {
+        debug_assert_eq!(perm.len(), self.nnz());
+        for idx in &mut self.indices {
+            let src = std::mem::take(idx);
+            *idx = perm.iter().map(|&p| src[p as usize]).collect();
+        }
+        let src = std::mem::take(&mut self.values);
+        self.values = perm.iter().map(|&p| src[p as usize]).collect();
+    }
+
+    /// Merges duplicate coordinates by summing their values. The result is
+    /// sorted by mode 0.
+    pub fn sum_duplicates(&mut self) {
+        if self.nnz() <= 1 {
+            return;
+        }
+        self.sort_by_mode(0);
+        let nmodes = self.nmodes();
+        fn same(indices: &[Vec<u32>], a: usize, b: usize) -> bool {
+            indices.iter().all(|idx| idx[a] == idx[b])
+        }
+
+        let mut write = 0usize;
+        for read in 1..self.nnz() {
+            if same(&self.indices, write, read) {
+                self.values[write] += self.values[read];
+            } else {
+                write += 1;
+                for m in 0..nmodes {
+                    self.indices[m][write] = self.indices[m][read];
+                }
+                self.values[write] = self.values[read];
+            }
+        }
+        let keep = write + 1;
+        for idx in &mut self.indices {
+            idx.truncate(keep);
+        }
+        self.values.truncate(keep);
+    }
+
+    /// Drops explicitly stored zeros (|value| <= tol).
+    pub fn prune_zeros(&mut self, tol: f64) {
+        let keep: Vec<usize> =
+            (0..self.nnz()).filter(|&k| self.values[k].abs() > tol).collect();
+        if keep.len() == self.nnz() {
+            return;
+        }
+        for idx in &mut self.indices {
+            let src = std::mem::take(idx);
+            *idx = keep.iter().map(|&k| src[k]).collect();
+        }
+        let src = std::mem::take(&mut self.values);
+        self.values = keep.iter().map(|&k| src[k]).collect();
+    }
+
+    /// Looks up the value at a coordinate by linear scan (test/debug helper —
+    /// O(nnz)).
+    pub fn get(&self, coord: &[u32]) -> f64 {
+        assert_eq!(coord.len(), self.nmodes());
+        'outer: for k in 0..self.nnz() {
+            for (m, &c) in coord.iter().enumerate() {
+                if self.indices[m][k] != c {
+                    continue 'outer;
+                }
+            }
+            return self.values[k];
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> SparseTensor {
+        // 3x4x2 tensor with 4 nonzeros.
+        SparseTensor::new(
+            vec![3, 4, 2],
+            vec![vec![0, 2, 1, 0], vec![3, 0, 1, 3], vec![1, 0, 1, 0]],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let t = toy();
+        assert_eq!(t.nmodes(), 3);
+        assert_eq!(t.shape(), &[3, 4, 2]);
+        assert_eq!(t.nnz(), 4);
+        assert_eq!(t.dim(1), 4);
+    }
+
+    #[test]
+    fn density_of_toy() {
+        let t = toy();
+        assert!((t.density() - 4.0 / 24.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm_sq_sums_squares() {
+        assert_eq!(toy().norm_sq(), 1.0 + 4.0 + 9.0 + 16.0);
+    }
+
+    #[test]
+    fn get_finds_values_and_zeros() {
+        let t = toy();
+        assert_eq!(t.get(&[2, 0, 0]), 2.0);
+        assert_eq!(t.get(&[1, 1, 1]), 3.0);
+        assert_eq!(t.get(&[2, 2, 1]), 0.0);
+    }
+
+    #[test]
+    fn sort_by_mode_orders_major_key() {
+        let mut t = toy();
+        t.sort_by_mode(1);
+        let m1 = t.mode_indices(1);
+        assert!(m1.windows(2).all(|w| w[0] <= w[1]));
+        // Values stay attached to their coordinates.
+        assert_eq!(t.get(&[2, 0, 0]), 2.0);
+        assert_eq!(t.get(&[0, 3, 1]), 1.0);
+    }
+
+    #[test]
+    fn sort_tiebreaks_on_remaining_modes() {
+        let mut t = toy();
+        t.sort_by_mode(0);
+        // Nonzeros 0 and 3 share mode-0 index 0; tie-break is mode 1 then 2:
+        // (0,3,0) must precede (0,3,1).
+        assert_eq!(t.coord(0), vec![0, 3, 0]);
+        assert_eq!(t.coord(1), vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn sum_duplicates_merges() {
+        let mut t = SparseTensor::new(
+            vec![2, 2],
+            vec![vec![0, 1, 0], vec![1, 0, 1]],
+            vec![2.0, 5.0, 3.0],
+        );
+        t.sum_duplicates();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(&[0, 1]), 5.0);
+        assert_eq!(t.get(&[1, 0]), 5.0);
+    }
+
+    #[test]
+    fn prune_zeros_removes_small_entries() {
+        let mut t = SparseTensor::new(
+            vec![2, 2],
+            vec![vec![0, 1], vec![0, 1]],
+            vec![1e-16, 7.0],
+        );
+        t.prune_zeros(1e-12);
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.get(&[1, 1]), 7.0);
+    }
+
+    #[test]
+    fn empty_tensor_is_well_formed() {
+        let t = SparseTensor::empty(vec![5, 6, 7]);
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.norm_sq(), 0.0);
+        assert_eq!(t.density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_rejected() {
+        SparseTensor::new(vec![2, 2], vec![vec![0], vec![2]], vec![1.0]);
+    }
+}

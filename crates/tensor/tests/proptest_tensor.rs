@@ -1,0 +1,133 @@
+//! Property-based tests for the tensor types.
+
+use cstf_linalg::Mat;
+use cstf_tensor::{read_tns, write_tns, Ktensor, SparseTensor};
+use proptest::prelude::*;
+
+fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
+    (2usize..5, 1usize..60, any::<u64>()).prop_flat_map(|(nmodes, nnz, seed)| {
+        proptest::collection::vec(1usize..12, nmodes).prop_map(move |shape| {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u32
+            };
+            let mut seen = std::collections::HashSet::new();
+            let mut idx = vec![Vec::new(); shape.len()];
+            let mut vals = Vec::new();
+            for _ in 0..nnz {
+                let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+                if seen.insert(c.clone()) {
+                    for (m, &ci) in c.iter().enumerate() {
+                        idx[m].push(ci);
+                    }
+                    // Values on a grid so text round-trips are exact.
+                    vals.push(f64::from(next() % 512) * 0.125 - 32.0);
+                }
+            }
+            SparseTensor::new(shape, idx, vals)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sorting by any mode preserves the (coordinate -> value) mapping.
+    #[test]
+    fn sorting_is_a_permutation(x in tensor_strategy(), mode_pick in any::<usize>()) {
+        if x.nnz() == 0 { return Ok(()); }
+        let mode = mode_pick % x.nmodes();
+        let mut sorted = x.clone();
+        sorted.sort_by_mode(mode);
+        prop_assert_eq!(sorted.nnz(), x.nnz());
+        prop_assert!(sorted.mode_indices(mode).windows(2).all(|w| w[0] <= w[1]));
+        for k in 0..x.nnz() {
+            let c = x.coord(k);
+            prop_assert_eq!(sorted.get(&c), x.get(&c));
+        }
+    }
+
+    /// norm_sq is invariant under sorting and round-trips through .tns.
+    #[test]
+    fn norm_is_representation_invariant(x in tensor_strategy(), mode_pick in any::<usize>()) {
+        if x.nnz() == 0 { return Ok(()); }
+        let mode = mode_pick % x.nmodes();
+        let mut sorted = x.clone();
+        sorted.sort_by_mode(mode);
+        prop_assert!((sorted.norm_sq() - x.norm_sq()).abs() < 1e-9 * (1.0 + x.norm_sq()));
+
+        let mut buf = Vec::new();
+        write_tns(&x, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice()).unwrap();
+        prop_assert!((back.norm_sq() - x.norm_sq()).abs() < 1e-9 * (1.0 + x.norm_sq()));
+    }
+
+    /// sum_duplicates is idempotent and preserves value totals.
+    #[test]
+    fn dedup_is_idempotent(x in tensor_strategy()) {
+        if x.nnz() == 0 { return Ok(()); }
+        let total: f64 = x.values().iter().sum();
+        let mut once = x.clone();
+        once.sum_duplicates();
+        let mut twice = once.clone();
+        twice.sum_duplicates();
+        prop_assert_eq!(once.nnz(), twice.nnz());
+        let total_once: f64 = once.values().iter().sum();
+        prop_assert!((total_once - total).abs() < 1e-9 * (1.0 + total.abs()));
+    }
+
+    /// Ktensor fit of the tensor against a random model is always <= 1 and
+    /// exactly 1 when the tensor IS the model's dense evaluation.
+    #[test]
+    fn fit_bounds(x in tensor_strategy(), seed in any::<u64>()) {
+        if x.nnz() == 0 { return Ok(()); }
+        let rank = 2;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / u32::MAX as f64) + 0.05
+        };
+        let model = Ktensor::from_factors(
+            x.shape().iter().map(|&d| Mat::from_fn(d, rank, |_, _| next())).collect(),
+        );
+        let fit = model.fit(&x);
+        prop_assert!(fit <= 1.0 + 1e-12, "fit {fit} > 1");
+        prop_assert!(fit.is_finite());
+        // residual_sq is consistent with fit.
+        let res = model.residual_sq(&x);
+        prop_assert!(res >= 0.0);
+    }
+
+    /// value_at is multilinear: scaling one factor's row scales exactly the
+    /// model values with that index.
+    #[test]
+    fn model_is_multilinear(seed in any::<u64>(), alpha in 0.5f64..3.0) {
+        let shape = [4usize, 3, 3];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / u32::MAX as f64) + 0.1
+        };
+        let factors: Vec<Mat> =
+            shape.iter().map(|&d| Mat::from_fn(d, 2, |_, _| next())).collect();
+        let base = Ktensor::from_factors(factors.clone());
+        let mut scaled_factors = factors;
+        for j in 0..2 {
+            scaled_factors[0][(1, j)] *= alpha;
+        }
+        let scaled = Ktensor::from_factors(scaled_factors);
+        // Coordinates with i0 == 1 scale by alpha; others are unchanged.
+        for i1 in 0..3u32 {
+            for i2 in 0..3u32 {
+                let v_hit = scaled.value_at(&[1, i1, i2]);
+                let b_hit = base.value_at(&[1, i1, i2]);
+                prop_assert!((v_hit - alpha * b_hit).abs() < 1e-9 * (1.0 + b_hit.abs()));
+                let v_miss = scaled.value_at(&[0, i1, i2]);
+                let b_miss = base.value_at(&[0, i1, i2]);
+                prop_assert!((v_miss - b_miss).abs() < 1e-12 * (1.0 + b_miss.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the cSTF-rs stack for examples and integration tests.
+pub use cstf_core as core;
+pub use cstf_data as data;
+pub use cstf_device as device;
+pub use cstf_formats as formats;
+pub use cstf_linalg as linalg;
+pub use cstf_streaming as streaming;
+pub use cstf_tensor as tensor;

@@ -1,0 +1,252 @@
+//! Edge-case integration tests: degenerate shapes, extreme values, and
+//! corner configurations across the full stack.
+
+use cstf_core::admm::AdmmConfig;
+use cstf_core::{Auntf, AuntfConfig, TensorFormat, UpdateMethod};
+use cstf_device::{Device, DeviceSpec};
+use cstf_formats::{mttkrp_ref, Alto, Blco, Csf};
+use cstf_linalg::Mat;
+use cstf_tensor::SparseTensor;
+
+fn factors_for(shape: &[usize], rank: usize) -> Vec<Mat> {
+    cstf_core::auntf::seeded_factors(shape, rank, 13)
+}
+
+fn run_all_formats(x: &SparseTensor, rank: usize) -> Vec<f64> {
+    [TensorFormat::Coo, TensorFormat::Csf, TensorFormat::Alto, TensorFormat::Blco]
+        .into_iter()
+        .map(|format| {
+            let cfg = AuntfConfig {
+                rank,
+                max_iters: 4,
+                update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+                format,
+                seed: 1,
+                ..Default::default()
+            };
+            let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()));
+            *out.fits.last().unwrap()
+        })
+        .collect()
+}
+
+/// Two-mode tensors are just sparse matrices: the whole cSTF stack must
+/// degrade gracefully to constrained NMF.
+#[test]
+fn two_mode_tensor_is_constrained_nmf() {
+    let x = SparseTensor::new(
+        vec![30, 25],
+        vec![
+            (0..200u32).map(|k| k % 30).collect(),
+            (0..200u32).map(|k| (k * 7) % 25).collect(),
+        ],
+        (0..200).map(|k| 1.0 + (k % 5) as f64).collect(),
+    );
+    let fits = run_all_formats(&x, 4);
+    for w in fits.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-6, "formats disagree on 2-mode: {fits:?}");
+    }
+    assert!(fits[0].is_finite());
+}
+
+/// Five-mode tensors exercise the general-N paths everywhere.
+#[test]
+fn five_mode_tensor_works_end_to_end() {
+    let shape = vec![8, 7, 6, 5, 4];
+    let mut idx = vec![Vec::new(); 5];
+    let mut vals = Vec::new();
+    let mut state = 77u64;
+    let mut seen = std::collections::HashSet::new();
+    while vals.len() < 500 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let c: Vec<u32> =
+            shape.iter().enumerate().map(|(m, &d)| ((state >> (8 * m)) % d as u64) as u32).collect();
+        if seen.insert(c.clone()) {
+            for (m, &ci) in c.iter().enumerate() {
+                idx[m].push(ci);
+            }
+            vals.push(0.5 + (state % 7) as f64 * 0.25);
+        }
+    }
+    let x = SparseTensor::new(shape.clone(), idx, vals);
+
+    // MTTKRP equivalence on all 5 modes.
+    let f = factors_for(&shape, 3);
+    let csf: Vec<Csf> = (0..5).map(|m| Csf::from_coo(&x, m)).collect();
+    let alto = Alto::from_coo(&x);
+    let blco = Blco::from_coo(&x);
+    for mode in 0..5 {
+        let reference = mttkrp_ref(&x, &f, mode);
+        for (name, out) in [
+            ("csf", csf[mode].mttkrp(&f)),
+            ("alto", alto.mttkrp(&f, mode)),
+            ("blco", blco.mttkrp(&f, mode)),
+        ] {
+            for i in 0..reference.rows() {
+                for j in 0..reference.cols() {
+                    assert!(
+                        (reference[(i, j)] - out[(i, j)]).abs() < 1e-9,
+                        "{name} mode {mode} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    // Full driver.
+    let fits = run_all_formats(&x, 3);
+    assert!(fits.iter().all(|f| f.is_finite()));
+}
+
+/// Rank exceeding the smallest mode length: the Gram matrices are rank
+/// deficient, but rho-loading must keep the factorization stable.
+#[test]
+fn rank_exceeding_smallest_mode_stays_stable() {
+    let x = SparseTensor::new(
+        vec![40, 3, 35],
+        vec![
+            (0..300u32).map(|k| k % 40).collect(),
+            (0..300u32).map(|k| k % 3).collect(),
+            (0..300u32).map(|k| (k * 11) % 35).collect(),
+        ],
+        (0..300).map(|k| 1.0 + (k % 4) as f64 * 0.5).collect(),
+    );
+    let cfg = AuntfConfig {
+        rank: 8, // > mode-1 length of 3
+        max_iters: 6,
+        update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+        format: TensorFormat::Blco,
+        seed: 2,
+        ..Default::default()
+    };
+    let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100()));
+    for f in &out.model.factors {
+        assert!(f.all_finite(), "rank-deficient run produced non-finite factors");
+        assert!(f.is_nonnegative(1e-12));
+    }
+    assert!(out.fits.iter().all(|f| f.is_finite()));
+}
+
+/// A single nonzero is the sparsest possible tensor.
+#[test]
+fn single_nonzero_tensor() {
+    let x = SparseTensor::new(vec![10, 10, 10], vec![vec![3], vec![4], vec![5]], vec![7.0]);
+    let f = factors_for(&[10, 10, 10], 2);
+    for mode in 0..3 {
+        let reference = mttkrp_ref(&x, &f, mode);
+        let blco = Blco::from_coo(&x).mttkrp(&f, mode);
+        for i in 0..10 {
+            for j in 0..2 {
+                assert!((reference[(i, j)] - blco[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+    let fits = run_all_formats(&x, 1);
+    // A rank-1 nonneg model can capture one positive entry nearly exactly.
+    assert!(fits[0] > 0.5, "single-nonzero fit {fits:?}");
+}
+
+/// All nonzeros in one fiber: maximal CSF compression, degenerate ALTO
+/// partitioning.
+#[test]
+fn single_fiber_tensor() {
+    let nnz = 50usize;
+    let x = SparseTensor::new(
+        vec![4, 4, 64],
+        vec![vec![2; nnz], vec![1; nnz], (0..nnz as u32).collect()],
+        (0..nnz).map(|k| 1.0 + k as f64 * 0.1).collect(),
+    );
+    let csf = Csf::from_coo(&x, 0);
+    assert_eq!(csf.level_size(0), 1, "one root node");
+    assert_eq!(csf.level_size(1), 1, "one fiber");
+    let f = factors_for(&[4, 4, 64], 3);
+    let reference = mttkrp_ref(&x, &f, 0);
+    let got = csf.mttkrp(&f);
+    for j in 0..3 {
+        assert!((reference[(2, j)] - got[(2, j)]).abs() < 1e-10);
+    }
+}
+
+/// Extreme value magnitudes must not produce NaN/Inf anywhere.
+#[test]
+fn extreme_value_magnitudes_stay_finite() {
+    for scale in [1e-12, 1e12] {
+        let x = SparseTensor::new(
+            vec![15, 12, 10],
+            vec![
+                (0..150u32).map(|k| k % 15).collect(),
+                (0..150u32).map(|k| (k * 5) % 12).collect(),
+                (0..150u32).map(|k| (k * 3) % 10).collect(),
+            ],
+            (0..150).map(|k| scale * (1.0 + (k % 9) as f64)).collect(),
+        );
+        let cfg = AuntfConfig {
+            rank: 3,
+            max_iters: 5,
+            update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+            format: TensorFormat::Csf,
+            seed: 3,
+            ..Default::default()
+        };
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        for f in &out.model.factors {
+            assert!(f.all_finite(), "scale {scale} produced non-finite factors");
+        }
+        assert!(out.model.lambda.iter().all(|l| l.is_finite()), "scale {scale} broke lambda");
+        assert!(out.fits.iter().all(|f| f.is_finite()));
+    }
+}
+
+/// Duplicate coordinates must be merged before factorization, and the
+/// merged tensor must behave identically to a pre-merged one.
+#[test]
+fn duplicate_coordinates_sum_consistently() {
+    let mut with_dups = SparseTensor::new(
+        vec![5, 5],
+        vec![vec![1, 1, 2, 3], vec![2, 2, 3, 4]],
+        vec![1.0, 2.0, 5.0, 7.0],
+    );
+    with_dups.sum_duplicates();
+    let merged = SparseTensor::new(
+        vec![5, 5],
+        vec![vec![1, 2, 3], vec![2, 3, 4]],
+        vec![3.0, 5.0, 7.0],
+    );
+    assert_eq!(with_dups.nnz(), 3);
+    let f = factors_for(&[5, 5], 2);
+    let a = mttkrp_ref(&with_dups, &f, 0);
+    let b = mttkrp_ref(&merged, &f, 0);
+    assert_eq!(a.as_slice(), b.as_slice());
+}
+
+/// A tensor with a fully-empty mode slice (some indices never appear):
+/// the corresponding factor rows should survive (ADMM keeps them finite).
+#[test]
+fn unused_indices_keep_finite_rows() {
+    // Mode-0 indices only use 0..5 of 20.
+    let x = SparseTensor::new(
+        vec![20, 8, 8],
+        vec![
+            (0..100u32).map(|k| k % 5).collect(),
+            (0..100u32).map(|k| k % 8).collect(),
+            (0..100u32).map(|k| (k * 3) % 8).collect(),
+        ],
+        (0..100).map(|k| 1.0 + (k % 3) as f64).collect(),
+    );
+    let cfg = AuntfConfig {
+        rank: 3,
+        max_iters: 5,
+        update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+        format: TensorFormat::Alto,
+        seed: 4,
+        ..Default::default()
+    };
+    let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100()));
+    let h0 = &out.model.factors[0];
+    for i in 0..20 {
+        for j in 0..3 {
+            assert!(h0[(i, j)].is_finite(), "row {i} went non-finite");
+            assert!(h0[(i, j)] >= 0.0);
+        }
+    }
+}

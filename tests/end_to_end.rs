@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: data generation -> format compilation ->
+//! factorization -> model quality, across the full stack.
+
+use cstf_core::admm::AdmmConfig;
+use cstf_core::{Auntf, AuntfConfig, Constraint, HalsConfig, MuConfig, TensorFormat, UpdateMethod};
+use cstf_data::{by_name, SynthSpec};
+use cstf_device::{Device, DeviceSpec, Phase};
+
+fn workload(seed: u64) -> cstf_tensor::SparseTensor {
+    cstf_data::generate(&SynthSpec {
+        shape: vec![60, 50, 40],
+        nnz: 25_000,
+        rank: 5,
+        noise: 0.02,
+        factor_sparsity: 0.3,
+        seed,
+    })
+}
+
+#[test]
+fn full_pipeline_produces_nonnegative_improving_model() {
+    let x = workload(1);
+    let cfg = AuntfConfig {
+        rank: 8,
+        max_iters: 12,
+        update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+        format: TensorFormat::Blco,
+        seed: 2,
+        ..Default::default()
+    };
+    let dev = Device::new(DeviceSpec::h100());
+    let out = Auntf::new(x, cfg).factorize(&dev);
+
+    assert!(out.fits.windows(2).filter(|w| w[1] < w[0] - 1e-6).count() <= 1,
+        "fit should be (almost) monotone: {:?}", out.fits);
+    assert!(out.fits.last().unwrap() > &out.fits[0]);
+    for f in &out.model.factors {
+        assert!(f.is_nonnegative(1e-12));
+        assert!(f.all_finite());
+    }
+}
+
+#[test]
+fn all_formats_and_updates_cross_product_agree_on_quality() {
+    let x = workload(2);
+    let mut fits = Vec::new();
+    for format in [TensorFormat::Coo, TensorFormat::Csf, TensorFormat::Alto, TensorFormat::Blco] {
+        let cfg = AuntfConfig {
+            rank: 6,
+            max_iters: 8,
+            update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+            format,
+            seed: 3,
+            ..Default::default()
+        };
+        let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100()));
+        fits.push(*out.fits.last().unwrap());
+    }
+    for f in &fits[1..] {
+        assert!((f - fits[0]).abs() < 1e-5, "format fits diverge: {fits:?}");
+    }
+}
+
+#[test]
+fn catalog_tensors_factorize_on_every_device() {
+    let x = by_name("Chicago").unwrap().generate_scaled(15_000, 4);
+    for spec in DeviceSpec::table1() {
+        let cfg = AuntfConfig {
+            rank: 4,
+            max_iters: 3,
+            update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+            format: TensorFormat::Blco,
+            seed: 1,
+            ..Default::default()
+        };
+        let dev = Device::new(spec);
+        let out = Auntf::new(x.clone(), cfg).factorize(&dev);
+        assert_eq!(out.iters, 3);
+        assert!(dev.total_seconds() > 0.0);
+    }
+}
+
+#[test]
+fn update_schemes_all_reach_comparable_fits() {
+    let x = workload(5);
+    let mut results = Vec::new();
+    for (name, update) in [
+        ("admm", UpdateMethod::Admm(AdmmConfig::cuadmm())),
+        ("mu", UpdateMethod::Mu(MuConfig::default())),
+        ("hals", UpdateMethod::Hals(HalsConfig::default())),
+    ] {
+        let cfg = AuntfConfig {
+            rank: 6,
+            max_iters: 25,
+            update,
+            format: TensorFormat::Csf,
+            seed: 7,
+            ..Default::default()
+        };
+        let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()));
+        results.push((name, *out.fits.last().unwrap()));
+    }
+    let best = results.iter().map(|&(_, f)| f).fold(f64::NEG_INFINITY, f64::max);
+    for (name, fit) in &results {
+        assert!(
+            best - fit < 0.25,
+            "{name} fit {fit} far from best {best}: {results:?}"
+        );
+    }
+}
+
+#[test]
+fn l1_constraint_yields_sparser_model_than_nonneg() {
+    let x = workload(6);
+    let run = |constraint| {
+        let cfg = AuntfConfig {
+            rank: 6,
+            max_iters: 15,
+            update: UpdateMethod::Admm(AdmmConfig {
+                constraint,
+                inner_iters: 10,
+                ..AdmmConfig::cuadmm()
+            }),
+            format: TensorFormat::Blco,
+            seed: 9,
+            ..Default::default()
+        };
+        Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()))
+    };
+    let zeros = |out: &cstf_core::auntf::FactorizeOutput| {
+        out.model
+            .factors
+            .iter()
+            .flat_map(|f| f.as_slice())
+            .filter(|&&v| v.abs() < 1e-12)
+            .count()
+    };
+    let nn = run(Constraint::NonNegative);
+    let l1 = run(Constraint::SparseL1 { mu: 1.0 });
+    assert!(zeros(&l1) > zeros(&nn), "L1: {} zeros vs NN: {}", zeros(&l1), zeros(&nn));
+}
+
+#[test]
+fn device_profile_accounts_every_phase_once_per_run() {
+    let x = workload(7);
+    let cfg = AuntfConfig {
+        rank: 4,
+        max_iters: 2,
+        compute_fit: false,
+        update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+        format: TensorFormat::Blco,
+        seed: 1,
+        ..Default::default()
+    };
+    let dev = Device::new(DeviceSpec::a100());
+    Auntf::new(x.clone(), cfg).factorize(&dev);
+
+    // 2 outer iters x 3 modes = 6 MTTKRP launches.
+    assert_eq!(dev.phase_totals(Phase::Mttkrp).launches, 6);
+    // Normalize: once per mode visit.
+    assert_eq!(dev.phase_totals(Phase::Normalize).launches, 6);
+    // Gram: initial (3) + per mode visit hadamard (6) + post-update gram (6).
+    assert_eq!(dev.phase_totals(Phase::Gram).launches, 15);
+    // Transfers: tensor in, factors in, factors out.
+    assert_eq!(dev.phase_totals(Phase::Transfer).launches, 3);
+}
+
+#[test]
+fn frostt_roundtrip_preserves_factorization_input() {
+    let x = workload(8);
+    let mut buf = Vec::new();
+    cstf_tensor::write_tns(&x, &mut buf).unwrap();
+    let back = cstf_tensor::read_tns(buf.as_slice()).unwrap();
+    assert_eq!(back.nnz(), x.nnz());
+
+    let cfg = AuntfConfig {
+        rank: 4,
+        max_iters: 4,
+        update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+        format: TensorFormat::Csf,
+        seed: 5,
+        ..Default::default()
+    };
+    let a = Auntf::new(x, cfg.clone()).factorize(&Device::new(DeviceSpec::h100()));
+    let b = Auntf::new(back, cfg).factorize(&Device::new(DeviceSpec::h100()));
+    for (fa, fb) in a.fits.iter().zip(&b.fits) {
+        assert!((fa - fb).abs() < 1e-9, "roundtrip changed the factorization");
+    }
+}

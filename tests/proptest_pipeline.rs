@@ -1,0 +1,128 @@
+//! Property-based tests on the cross-crate pipeline invariants.
+
+use cstf_core::admm::AdmmConfig;
+use cstf_core::{Auntf, AuntfConfig, TensorFormat, UpdateMethod};
+use cstf_device::{Device, DeviceSpec};
+use cstf_formats::{mttkrp_ref, Alto, Blco, Csf};
+use cstf_linalg::Mat;
+use cstf_tensor::SparseTensor;
+use proptest::prelude::*;
+
+/// Strategy: a random small sparse tensor with distinct coordinates.
+fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
+    (2usize..12, 2usize..12, 2usize..12, 1usize..80, any::<u64>()).prop_map(
+        |(d0, d1, d2, nnz, seed)| {
+            let shape = vec![d0, d1, d2];
+            let mut state = seed | 1;
+            let mut next = move || {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u32
+            };
+            let mut seen = std::collections::HashSet::new();
+            let mut idx = vec![Vec::new(); 3];
+            let mut vals = Vec::new();
+            for _ in 0..nnz {
+                let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+                if seen.insert(c.clone()) {
+                    for (m, &ci) in c.iter().enumerate() {
+                        idx[m].push(ci);
+                    }
+                    vals.push(f64::from(next() % 100) / 25.0 + 0.04);
+                }
+            }
+            SparseTensor::new(shape, idx, vals)
+        },
+    )
+}
+
+fn factors_for(shape: &[usize], rank: usize, seed: u64) -> Vec<Mat> {
+    cstf_core::auntf::seeded_factors(shape, rank, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All four formats compute the same MTTKRP on arbitrary tensors.
+    #[test]
+    fn formats_agree_on_mttkrp(x in tensor_strategy(), mode in 0usize..3, seed in any::<u64>()) {
+        let f = factors_for(x.shape(), 4, seed);
+        let reference = mttkrp_ref(&x, &f, mode);
+        let csf = Csf::from_coo(&x, mode).mttkrp(&f);
+        let alto = Alto::from_coo(&x).mttkrp(&f, mode);
+        let blco = Blco::from_coo(&x).mttkrp(&f, mode);
+        for (name, out) in [("csf", csf), ("alto", alto), ("blco", blco)] {
+            for i in 0..reference.rows() {
+                for j in 0..reference.cols() {
+                    let (a, b) = (reference[(i, j)], out[(i, j)]);
+                    prop_assert!(
+                        (a - b).abs() < 1e-9 * (1.0 + a.abs()),
+                        "{name} differs at ({i},{j}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fit never exceeds 1, and the returned factors are always finite and
+    /// non-negative under the non-negativity constraint.
+    #[test]
+    fn factorization_invariants(x in tensor_strategy(), seed in any::<u64>()) {
+        let cfg = AuntfConfig {
+            rank: 3,
+            max_iters: 4,
+            update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+            format: TensorFormat::Blco,
+            seed,
+            ..Default::default()
+        };
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        for fit in &out.fits {
+            prop_assert!(*fit <= 1.0 + 1e-9, "fit {fit} exceeds 1");
+            prop_assert!(fit.is_finite());
+        }
+        for f in &out.model.factors {
+            prop_assert!(f.all_finite());
+            prop_assert!(f.is_nonnegative(1e-12));
+        }
+        prop_assert!(out.model.lambda.iter().all(|l| l.is_finite() && *l >= 0.0));
+    }
+
+    /// FROSTT round-trip: write + read preserves every nonzero.
+    #[test]
+    fn tns_roundtrip(x in tensor_strategy()) {
+        let mut buf = Vec::new();
+        cstf_tensor::write_tns(&x, &mut buf).unwrap();
+        let back = cstf_tensor::read_tns(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.nnz(), x.nnz());
+        for k in 0..x.nnz() {
+            prop_assert_eq!(back.get(&x.coord(k)), x.values()[k]);
+        }
+    }
+
+    /// The ADMM update is invariant to kernel granularity: fused and
+    /// unfused paths produce bitwise-identical factors on arbitrary inputs.
+    #[test]
+    fn fusion_is_bitwise_neutral(x in tensor_strategy(), seed in any::<u64>()) {
+        let run = |fusion: bool| {
+            let cfg = AuntfConfig {
+                rank: 3,
+                max_iters: 3,
+                update: UpdateMethod::Admm(AdmmConfig {
+                    operation_fusion: fusion,
+                    pre_inversion: true,
+                    ..AdmmConfig::cuadmm()
+                }),
+                format: TensorFormat::Csf,
+                seed,
+                ..Default::default()
+            };
+            Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100()))
+        };
+        let a = run(false);
+        let b = run(true);
+        for (fa, fb) in a.model.factors.iter().zip(&b.model.factors) {
+            prop_assert_eq!(fa.as_slice(), fb.as_slice());
+        }
+    }
+}
