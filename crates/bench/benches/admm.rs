@@ -40,7 +40,13 @@ fn bench_admm_variants(c: &mut Criterion) {
         };
         group.bench_function(name, |b| {
             b.iter_batched(
-                || (h0.clone(), Mat::zeros(h0.rows(), h0.cols()), AdmmWorkspace::new(h0.rows(), h0.cols())),
+                || {
+                    (
+                        h0.clone(),
+                        Mat::zeros(h0.rows(), h0.cols()),
+                        AdmmWorkspace::new(h0.rows(), h0.cols()),
+                    )
+                },
                 |(mut h, mut u, mut ws)| admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws),
                 criterion::BatchSize::LargeInput,
             )
@@ -56,7 +62,13 @@ fn bench_admm_variants(c: &mut Criterion) {
         let cfg = AdmmConfig { inner_iters: inner, tol: 0.0, ..AdmmConfig::cuadmm() };
         group.bench_function(BenchmarkId::from_parameter(inner), |b| {
             b.iter_batched(
-                || (h0.clone(), Mat::zeros(h0.rows(), h0.cols()), AdmmWorkspace::new(h0.rows(), h0.cols())),
+                || {
+                    (
+                        h0.clone(),
+                        Mat::zeros(h0.rows(), h0.cols()),
+                        AdmmWorkspace::new(h0.rows(), h0.cols()),
+                    )
+                },
                 |(mut h, mut u, mut ws)| admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws),
                 criterion::BatchSize::LargeInput,
             )
@@ -65,5 +77,32 @@ fn bench_admm_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_admm_variants);
+/// Fused multi-kernel vs single-sweep inner iteration (the ISSUE's
+/// acceptance benchmark: the sweep should win by >= 1.3x at R = 32 thanks
+/// to ~6 -> ~2 full-matrix traversals and 4 -> 1 fork/joins per iteration).
+fn bench_admm_fused(c: &mut Criterion) {
+    let (m, s, h0) = setup(40_000, 32);
+    let dev = Device::new(DeviceSpec::h100());
+
+    let mut group = c.benchmark_group("admm_fused_I40k_R32");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, sweep) in [("multi_kernel", false), ("single_sweep", true)] {
+        let cfg = AdmmConfig { single_sweep: sweep, ..AdmmConfig::cuadmm() };
+        // Reuse one workspace across samples so steady-state (zero-alloc)
+        // behavior is what gets measured.
+        let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (h0.clone(), Mat::zeros(h0.rows(), h0.cols())),
+                |(mut h, mut u)| admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admm_variants, bench_admm_fused);
 criterion_main!(benches);

@@ -36,12 +36,9 @@ fn bench_mttkrp(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("coo_parallel", x.nnz()), |b| {
         b.iter(|| mttkrp_coo_parallel(&x, &factors, 0))
     });
-    group.bench_function(BenchmarkId::new("csf", x.nnz()), |b| {
-        b.iter(|| csf.mttkrp(&factors))
-    });
-    group.bench_function(BenchmarkId::new("alto", x.nnz()), |b| {
-        b.iter(|| alto.mttkrp(&factors, 0))
-    });
+    group.bench_function(BenchmarkId::new("csf", x.nnz()), |b| b.iter(|| csf.mttkrp(&factors)));
+    group
+        .bench_function(BenchmarkId::new("alto", x.nnz()), |b| b.iter(|| alto.mttkrp(&factors, 0)));
     group.bench_function(BenchmarkId::new("blco_atomic", x.nnz()), |b| {
         b.iter(|| blco.mttkrp(&factors, 0))
     });
@@ -60,9 +57,7 @@ fn bench_mttkrp(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for rank in [16usize, 32, 64] {
         let f = seeded_factors(x.shape(), rank, 5);
-        group.bench_function(BenchmarkId::from_parameter(rank), |b| {
-            b.iter(|| blco.mttkrp(&f, 0))
-        });
+        group.bench_function(BenchmarkId::from_parameter(rank), |b| b.iter(|| blco.mttkrp(&f, 0)));
     }
     group.finish();
 }

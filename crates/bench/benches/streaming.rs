@@ -35,8 +35,7 @@ fn bench_streaming(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
 
     for nnz in [1_000usize, 10_000, 50_000] {
-        let slices: Vec<SliceTensor> =
-            (0..4).map(|t| make_slice(&shape, nnz, 1000 + t)).collect();
+        let slices: Vec<SliceTensor> = (0..4).map(|t| make_slice(&shape, nnz, 1000 + t)).collect();
         group.throughput(Throughput::Elements(nnz as u64));
         group.bench_function(BenchmarkId::from_parameter(nnz), |b| {
             b.iter_batched(

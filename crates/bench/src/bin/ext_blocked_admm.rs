@@ -34,10 +34,16 @@ fn main() {
         dev.phase_totals(Phase::Update).seconds
     };
 
-    println!("{:<12} {:>14} {:>14} {:>12} {:>12}", "block rows", "Xeon (s)", "H100 (s)", "Xeon gain", "H100 gain");
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12}",
+        "block rows", "Xeon (s)", "H100 (s)", "Xeon gain", "H100 gain"
+    );
     let cpu_base = time_on(DeviceSpec::icelake_xeon().scaled(scale), 0);
     let gpu_base = time_on(DeviceSpec::h100().scaled(scale), 0);
-    println!("{:<12} {:>14.3e} {:>14.3e} {:>12} {:>12}", "unblocked", cpu_base, gpu_base, "1.00x", "1.00x");
+    println!(
+        "{:<12} {:>14.3e} {:>14.3e} {:>12} {:>12}",
+        "unblocked", cpu_base, gpu_base, "1.00x", "1.00x"
+    );
 
     let mut best_cpu_gain: f64 = 0.0;
     let mut best_gpu_gain: f64 = 0.0;
@@ -60,9 +66,6 @@ fn main() {
          [paper section 4.2: blockwise reformulation helps shared-memory CPUs but is\n\
          not effective on GPUs]"
     );
-    assert!(
-        best_cpu_gain > 1.5 * best_gpu_gain,
-        "blocking should be lopsided toward the CPU"
-    );
+    assert!(best_cpu_gain > 1.5 * best_gpu_gain, "blocking should be lopsided toward the CPU");
     println!("[shape check passed: blocking is a CPU technique]");
 }

@@ -20,10 +20,7 @@ use cstf_device::DeviceSpec;
 use cstf_tensor::DenseTensor;
 
 fn percent_row(label: &str, fr: [f64; 4]) {
-    print_row(
-        label,
-        &fr.iter().map(|f| format!("{:.1}%", 100.0 * f)).collect::<Vec<_>>(),
-    );
+    print_row(label, &fr.iter().map(|f| format!("{:.1}%", 100.0 * f)).collect::<Vec<_>>());
 }
 
 fn main() {
@@ -81,10 +78,7 @@ fn main() {
         w.tensor.nnz()
     );
 
-    assert!(
-        r_dense.per_iter.mttkrp > r_dense.per_iter.update,
-        "DenseTF must be MTTKRP-dominated"
-    );
+    assert!(r_dense.per_iter.mttkrp > r_dense.per_iter.update, "DenseTF must be MTTKRP-dominated");
     assert!(
         r_sparse.per_iter.update > r_sparse.per_iter.mttkrp,
         "SparseTF must be UPDATE-dominated"

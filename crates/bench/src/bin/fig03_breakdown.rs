@@ -43,10 +43,7 @@ fn main() {
         );
         let r = run_preset(&preset, &w.tensor, 1);
         let fr = r.per_iter.fractions();
-        print_row(
-            name,
-            &fr.iter().map(|f| format!("{:.1}%", 100.0 * f)).collect::<Vec<_>>(),
-        );
+        print_row(name, &fr.iter().map(|f| format!("{:.1}%", 100.0 * f)).collect::<Vec<_>>());
         assert!(
             r.per_iter.update > r.per_iter.mttkrp,
             "{name}: UPDATE must dominate MTTKRP on the CPU baseline"

@@ -7,7 +7,9 @@
 
 use serde::Serialize;
 
-use cstf_bench::{arg_usize, catalog_workloads, geometric_mean, print_header, run_preset, write_json};
+use cstf_bench::{
+    arg_usize, catalog_workloads, geometric_mean, print_header, run_preset, write_json,
+};
 use cstf_core::presets;
 use cstf_device::DeviceSpec;
 
@@ -24,14 +26,28 @@ struct Row {
 /// Paper-reported speedups at R = 32 for reference printing.
 fn paper_reference(gpu: &str, tensor: &str) -> Option<f64> {
     let a100 = [
-        ("NIPS", 1.47), ("Uber", 1.55), ("Chicago", 2.11), ("Vast", 2.60),
-        ("Enron", 3.99), ("NELL2", 2.43), ("Flickr", 24.74), ("Delicious", 12.61),
-        ("NELL1", 41.59), ("Amazon", 7.52),
+        ("NIPS", 1.47),
+        ("Uber", 1.55),
+        ("Chicago", 2.11),
+        ("Vast", 2.60),
+        ("Enron", 3.99),
+        ("NELL2", 2.43),
+        ("Flickr", 24.74),
+        ("Delicious", 12.61),
+        ("NELL1", 41.59),
+        ("Amazon", 7.52),
     ];
     let h100 = [
-        ("NIPS", 1.22), ("Uber", 1.33), ("Chicago", 2.40), ("Vast", 6.10),
-        ("Enron", 16.91), ("NELL2", 2.40), ("Flickr", 34.23), ("Delicious", 37.56),
-        ("NELL1", 58.05), ("Amazon", 16.91),
+        ("NIPS", 1.22),
+        ("Uber", 1.33),
+        ("Chicago", 2.40),
+        ("Vast", 6.10),
+        ("Enron", 16.91),
+        ("NELL2", 2.40),
+        ("Flickr", 34.23),
+        ("Delicious", 37.56),
+        ("NELL1", 58.05),
+        ("Amazon", 16.91),
     ];
     let table: &[(&str, f64)] = if gpu == "A100" { &a100 } else { &h100 };
     table.iter().find(|(n, _)| *n == tensor).map(|&(_, s)| s)
@@ -67,8 +83,7 @@ fn main() {
 
             let mut speedups = Vec::new();
             for w in &workloads {
-                let cpu =
-                    presets::splatt_cpu_on(rank, w.device_spec(&DeviceSpec::icelake_xeon()));
+                let cpu = presets::splatt_cpu_on(rank, w.device_spec(&DeviceSpec::icelake_xeon()));
                 let gpu = presets::cstf_gpu(rank, w.device_spec(&gpu_spec));
                 let r_cpu = run_preset(&cpu, &w.tensor, iters);
                 let r_gpu = run_preset(&gpu, &w.tensor, iters);

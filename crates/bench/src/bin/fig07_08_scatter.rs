@@ -55,7 +55,10 @@ fn main() {
             };
             println!(
                 "{:<11} {:>9.2}x {:>9.2}x {:>9.2}x {:>9.2}x",
-                row.tensor, row.mttkrp_speedup, row.admm_speedup, row.gram_speedup,
+                row.tensor,
+                row.mttkrp_speedup,
+                row.admm_speedup,
+                row.gram_speedup,
                 row.normalize_speedup
             );
             rows.push(row);

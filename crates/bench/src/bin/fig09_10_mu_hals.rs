@@ -8,7 +8,9 @@
 
 use serde::Serialize;
 
-use cstf_bench::{arg_usize, catalog_workloads, geometric_mean, print_header, run_preset, write_json};
+use cstf_bench::{
+    arg_usize, catalog_workloads, geometric_mean, print_header, run_preset, write_json,
+};
 use cstf_core::presets;
 use cstf_device::DeviceSpec;
 
@@ -29,10 +31,9 @@ fn main() {
     let workloads = catalog_workloads(base, 7);
     let mut rows = Vec::new();
 
-    for (gpu_name, gpu_spec, paper_mu, paper_hals) in [
-        ("A100", DeviceSpec::a100(), 6.42, 5.90),
-        ("H100", DeviceSpec::h100(), 8.89, 7.78),
-    ] {
+    for (gpu_name, gpu_spec, paper_mu, paper_hals) in
+        [("A100", DeviceSpec::a100(), 6.42, 5.90), ("H100", DeviceSpec::h100(), 8.89, 7.78)]
+    {
         print_header(&format!(
             "Figure {}: MU / HALS speedup over PLANC-CPU, R = {rank}, {gpu_name}",
             if gpu_name == "A100" { 9 } else { 10 }

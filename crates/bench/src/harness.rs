@@ -46,6 +46,9 @@ pub struct RunResult {
     pub iters: usize,
     /// Per-iteration phase breakdown (modeled seconds).
     pub per_iter: PhaseBreakdown,
+    /// Per-iteration phase breakdown (measured host wall-clock seconds of
+    /// the kernel bodies), reported next to the model for reality checks.
+    pub per_iter_measured: PhaseBreakdown,
     /// One-time transfer cost (modeled seconds, not per-iteration).
     pub transfer: f64,
     /// Wall-clock seconds the real execution took on the host (all
@@ -110,6 +113,12 @@ fn result_from_device(preset: &SystemPreset, iters: usize, wall_s: f64) -> RunRe
             update: dev.phase_totals(Phase::Update).seconds / n,
             normalize: dev.phase_totals(Phase::Normalize).seconds / n,
         },
+        per_iter_measured: PhaseBreakdown {
+            gram: dev.phase_totals(Phase::Gram).measured_s / n,
+            mttkrp: dev.phase_totals(Phase::Mttkrp).measured_s / n,
+            update: dev.phase_totals(Phase::Update).measured_s / n,
+            normalize: dev.phase_totals(Phase::Normalize).measured_s / n,
+        },
         transfer: dev.phase_totals(Phase::Transfer).seconds,
         wall_s,
     }
@@ -149,10 +158,7 @@ impl Workload {
 
 /// Generates all ten Table 2 workloads at a base nnz budget.
 pub fn catalog_workloads(base: usize, seed: u64) -> Vec<Workload> {
-    cstf_data::table2()
-        .into_iter()
-        .map(|e| Workload::from_entry(e, base, seed))
-        .collect()
+    cstf_data::table2().into_iter().map(|e| Workload::from_entry(e, base, seed)).collect()
 }
 
 /// Parses a `--base N` style CLI override with a default.

@@ -17,7 +17,6 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    arg_usize, catalog_workloads, run_preset, run_preset_dense, PhaseBreakdown, RunResult,
-    Workload,
+    arg_usize, catalog_workloads, run_preset, run_preset_dense, PhaseBreakdown, RunResult, Workload,
 };
 pub use report::{geometric_mean, print_header, print_row, write_json};

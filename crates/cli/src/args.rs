@@ -65,8 +65,7 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
             if SWITCHES.contains(&key) {
                 out.flags.push(key.to_string());
             } else {
-                let value =
-                    it.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+                let value = it.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
                 out.options.insert(key.to_string(), value.clone());
             }
         } else if out.command.is_empty() {

@@ -72,7 +72,7 @@ pub fn help_text() -> String {
        --dataset NAME       Table 2 analogue (e.g. NELL2); with --nnz N budget\n\
        --rank R             factorization rank        (default 16)\n\
        --iters N            outer iterations          (default 20)\n\
-       --update METHOD      cuadmm|admm|mu|hals       (default cuadmm)\n\
+       --update METHOD      cuadmm|cuadmm-fused|admm|mu|hals (default cuadmm)\n\
        --constraint C       nonneg|none|simplex|l1:MU|ridge:MU|box:LO:HI (default nonneg)\n\
        --format F           coo|csf|csf1|hicoo|alto|blco (default blco)\n\
        --device D           cpu|a100|h100             (default h100)\n\
@@ -166,6 +166,9 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let constraint = parse_constraint(p.get_or("constraint", "nonneg"))?;
     let update = match p.get_or("update", "cuadmm") {
         "cuadmm" => UpdateMethod::Admm(AdmmConfig { constraint, ..AdmmConfig::cuadmm() }),
+        "cuadmm-fused" => {
+            UpdateMethod::Admm(AdmmConfig { constraint, ..AdmmConfig::cuadmm_fused() })
+        }
         "admm" => UpdateMethod::Admm(AdmmConfig { constraint, ..AdmmConfig::generic() }),
         "mu" => UpdateMethod::Mu(MuConfig::default()),
         "hals" => UpdateMethod::Hals(HalsConfig::default()),
@@ -173,7 +176,7 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             return Err(CliError::Args(ArgError::BadValue {
                 key: "update".into(),
                 value: other.into(),
-                expected: "cuadmm|admm|mu|hals",
+                expected: "cuadmm|cuadmm-fused|admm|mu|hals",
             }))
         }
     };
@@ -218,26 +221,28 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             "lambda": result.model.lambda,
             "wall_seconds": wall,
             "modeled_seconds": dev.total_seconds(),
+            "measured_seconds": dev.total_measured_seconds(),
             "device": dev.spec().name,
             "phases": dev.phases().iter().map(|(ph, t)| {
-                serde_json::json!({"phase": ph.label(), "seconds": t.seconds, "launches": t.launches})
+                serde_json::json!({"phase": ph.label(), "seconds": t.seconds, "measured_seconds": t.measured_s, "launches": t.launches})
             }).collect::<Vec<_>>(),
         });
         writeln!(out, "{}", serde_json::to_string_pretty(&report).unwrap())
             .map_err(|e| CliError::Input(e.to_string()))?;
     } else {
         writeln!(out, "tensor {shape:?}, nnz {nnz}").map_err(|e| CliError::Input(e.to_string()))?;
-        writeln!(
-            out,
-            "rank {rank}, {} iterations, converged: {}",
-            result.iters, result.converged
-        )
-        .map_err(|e| CliError::Input(e.to_string()))?;
+        writeln!(out, "rank {rank}, {} iterations, converged: {}", result.iters, result.converged)
+            .map_err(|e| CliError::Input(e.to_string()))?;
         if let Some(fit) = result.fits.last() {
             writeln!(out, "final fit: {fit:.6}").map_err(|e| CliError::Input(e.to_string()))?;
         }
-        writeln!(out, "wall time: {wall:.3}s, modeled {} time: {:.3e}s", dev.spec().name, dev.total_seconds())
-            .map_err(|e| CliError::Input(e.to_string()))?;
+        writeln!(
+            out,
+            "wall time: {wall:.3}s, modeled {} time: {:.3e}s",
+            dev.spec().name,
+            dev.total_seconds()
+        )
+        .map_err(|e| CliError::Input(e.to_string()))?;
         for (ph, t) in dev.phases() {
             writeln!(out, "  {:<10} {:>10.3e}s ({} launches)", ph.label(), t.seconds, t.launches)
                 .map_err(|e| CliError::Input(e.to_string()))?;
@@ -259,7 +264,9 @@ fn cmd_info(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let hicoo = cstf_formats::HiCoo::from_coo(&x).storage_bytes();
     let alto = cstf_formats::Alto::from_coo(&x).storage_bytes();
     let blco = cstf_formats::Blco::from_coo(&x).storage_bytes();
-    w(format!("storage:  COO {coo} B, CSF {csf} B, HiCOO {hicoo} B, ALTO {alto} B, BLCO {blco} B"))?;
+    w(format!(
+        "storage:  COO {coo} B, CSF {csf} B, HiCOO {hicoo} B, ALTO {alto} B, BLCO {blco} B"
+    ))?;
     Ok(())
 }
 
@@ -348,7 +355,15 @@ mod tests {
     #[test]
     fn factorize_catalog_dataset_text_report() {
         let out = run(&[
-            "factorize", "--dataset", "Chicago", "--nnz", "4000", "--rank", "4", "--iters", "3",
+            "factorize",
+            "--dataset",
+            "Chicago",
+            "--nnz",
+            "4000",
+            "--rank",
+            "4",
+            "--iters",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("final fit:"), "{out}");
@@ -359,7 +374,15 @@ mod tests {
     #[test]
     fn factorize_json_report_is_valid_json() {
         let out = run(&[
-            "factorize", "--dataset", "NIPS", "--nnz", "3000", "--rank", "3", "--iters", "2",
+            "factorize",
+            "--dataset",
+            "NIPS",
+            "--nnz",
+            "3000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
             "--json",
         ])
         .unwrap();
@@ -385,8 +408,17 @@ mod tests {
     #[test]
     fn l1_constraint_parses_and_runs() {
         let out = run(&[
-            "factorize", "--dataset", "Uber", "--nnz", "2000", "--rank", "3", "--iters", "2",
-            "--constraint", "l1:0.5",
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--constraint",
+            "l1:0.5",
         ])
         .unwrap();
         assert!(out.contains("final fit:"));
@@ -408,10 +440,7 @@ mod tests {
 
     #[test]
     fn missing_input_is_rejected() {
-        assert!(matches!(
-            run(&["info"]).unwrap_err(),
-            CliError::Args(ArgError::MissingOption(_))
-        ));
+        assert!(matches!(run(&["info"]).unwrap_err(), CliError::Args(ArgError::MissingOption(_))));
     }
 
     #[test]
@@ -420,8 +449,17 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.json");
         run(&[
-            "factorize", "--dataset", "Uber", "--nnz", "2000", "--rank", "3", "--iters", "2",
-            "--trace", path.to_str().unwrap(),
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--trace",
+            path.to_str().unwrap(),
         ])
         .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

@@ -8,8 +8,8 @@
 //! end-to-end comparisons (Figs. 5–10) fall directly out of the profiler.
 
 use cstf_device::{Device, KernelClass, KernelCost, Phase};
-use cstf_formats::{Alto, Blco, Csf, HiCoo, TrafficEstimate};
-use cstf_linalg::{gram, normalize_columns, Mat, NormKind};
+use cstf_formats::{Alto, Blco, Csf, HiCoo, MttkrpWorkspace, TrafficEstimate};
+use cstf_linalg::{gram, normalize_columns_scratch, Mat, NormKind, PartialBuffers};
 use cstf_tensor::{DenseTensor, Ktensor, SparseTensor};
 
 use crate::admm::{admm_update, AdmmConfig, AdmmWorkspace};
@@ -188,7 +188,14 @@ impl Auntf {
         }
     }
 
-    fn mttkrp(&self, dev: &Device, factors: &[Mat], mode: usize) -> Mat {
+    fn mttkrp_into(
+        &self,
+        dev: &Device,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+        ws: &mut MttkrpWorkspace,
+    ) {
         let rank = self.cfg.rank;
         let (traffic, class): (TrafficEstimate, KernelClass) = match (&self.engine, &self.source) {
             (Engine::Coo, Source::Sparse(x)) => (
@@ -239,18 +246,26 @@ impl Auntf {
             working_set: traffic.working_set,
         };
         dev.launch("mttkrp", Phase::Mttkrp, class, cost, || match (&self.engine, &self.source) {
-            (Engine::Coo, Source::Sparse(x)) => cstf_formats::mttkrp_coo_parallel(x, factors, mode),
-            (Engine::Csf(ts), _) => ts[mode].mttkrp(factors),
-            (Engine::CsfOne(t), _) => t.mttkrp_any(factors, mode),
-            (Engine::HiCoo(h), _) => h.mttkrp(factors, mode),
-            (Engine::Alto(a), _) => a.mttkrp(factors, mode),
-            (Engine::Blco(b), _) => b.mttkrp(factors, mode),
-            (Engine::Dense, Source::Dense(x)) => x.mttkrp(factors, mode),
+            (Engine::Coo, Source::Sparse(x)) => {
+                cstf_formats::mttkrp_coo_parallel_into(x, factors, mode, out, ws)
+            }
+            (Engine::Csf(ts), _) => ts[mode].mttkrp_into(factors, out, ws),
+            (Engine::CsfOne(t), _) => t.mttkrp_any_into(factors, mode, out, ws),
+            (Engine::HiCoo(h), _) => h.mttkrp_into(factors, mode, out, ws),
+            (Engine::Alto(a), _) => a.mttkrp_into(factors, mode, out, ws),
+            (Engine::Blco(b), _) => b.mttkrp_into(factors, mode, out, ws),
+            (Engine::Dense, Source::Dense(x)) => *out = x.mttkrp(factors, mode),
             _ => unreachable!("engine/source mismatch"),
         })
     }
 
-    fn compute_gram(&self, dev: &Device, h: &Mat) -> Mat {
+    fn compute_gram_into(
+        &self,
+        dev: &Device,
+        h: &Mat,
+        out: &mut Mat,
+        partials: &mut PartialBuffers,
+    ) {
         let (rows, rank) = (h.rows(), h.cols());
         dev.launch(
             "gram_syrk",
@@ -265,11 +280,11 @@ impl Auntf {
                 serial_steps: 1.0,
                 working_set: (rows * rank) as f64 * 8.0,
             },
-            || gram::gram(h),
+            || gram::gram_into(h, out, partials),
         )
     }
 
-    fn hadamard_grams(&self, dev: &Device, grams: &[Mat], skip: usize) -> Mat {
+    fn hadamard_grams_into(&self, dev: &Device, grams: &[Mat], skip: usize, out: &mut Mat) {
         let rank = self.cfg.rank;
         let n = grams.len() as f64;
         dev.launch(
@@ -285,11 +300,11 @@ impl Auntf {
                 serial_steps: 1.0,
                 working_set: n * (rank * rank) as f64 * 8.0,
             },
-            || gram::hadamard_of_grams(grams, skip),
+            || gram::hadamard_of_grams_into(grams, skip, out),
         )
     }
 
-    fn normalize(&self, dev: &Device, h: &mut Mat, lambda: &mut [f64]) {
+    fn normalize(&self, dev: &Device, h: &mut Mat, lambda: &mut [f64], scratch: &mut Vec<f64>) {
         let elems = (h.rows() * h.cols()) as f64;
         let norm = self.cfg.norm;
         dev.launch(
@@ -307,7 +322,7 @@ impl Auntf {
             },
             || {
                 lambda.fill(1.0);
-                normalize_columns(h, lambda, norm);
+                normalize_columns_scratch(h, lambda, norm, scratch);
             },
         )
     }
@@ -327,12 +342,14 @@ impl Auntf {
         lambda: &[f64],
         grams: &[Mat],
         last_m: Option<(&Mat, usize)>,
+        had: &mut Mat,
     ) -> f64 {
         let rank = self.cfg.rank;
-        // ||model||^2 = lambda^T (hadamard of all Grams) lambda.
-        let mut had = Mat::full(rank, rank, 1.0);
+        // ||model||^2 = lambda^T (hadamard of all Grams) lambda, built in
+        // the caller-owned scratch matrix.
+        had.as_mut_slice().fill(1.0);
         for g in grams {
-            gram::hadamard_in_place(&mut had, g);
+            gram::hadamard_in_place(had, g);
         }
         let mut model_sq = 0.0;
         for i in 0..rank {
@@ -450,13 +467,20 @@ impl Auntf {
         // One-time transfers: the paper's framework is fully GPU-resident,
         // paying these once instead of per-iteration.
         dev.transfer("h2d_tensor", self.tensor_bytes());
-        dev.transfer(
-            "h2d_factors",
-            factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>(),
-        );
+        dev.transfer("h2d_factors", factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>());
 
-        // Initial Grams for all modes.
-        let mut grams: Vec<Mat> = factors.iter().map(|h| self.compute_gram(dev, h)).collect();
+        // Persistent workspaces: everything the outer loop touches is
+        // allocated here (or grown during the first warm-up iteration), so
+        // steady-state iterations perform zero heap allocation.
+        let mut gram_partials = PartialBuffers::new();
+        let mut grams: Vec<Mat> = factors
+            .iter()
+            .map(|h| {
+                let mut g = Mat::zeros(rank, rank);
+                self.compute_gram_into(dev, h, &mut g, &mut gram_partials);
+                g
+            })
+            .collect();
 
         // Per-mode ADMM state (dual variables persist across outer
         // iterations, as in SPLATT's AO-ADMM).
@@ -464,37 +488,47 @@ impl Auntf {
         let mut workspaces: Vec<AdmmWorkspace> =
             shape.iter().map(|&d| AdmmWorkspace::new(d, rank)).collect();
 
-        let mut fits = Vec::new();
+        // Per-mode MTTKRP outputs (kept so the fit shortcut can reuse the
+        // last one without moving or reallocating it), one shared MTTKRP
+        // scratch workspace, and the small reusable matrices.
+        let mut m_bufs: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
+        let mut mtt_ws = MttkrpWorkspace::new();
+        let mut s = Mat::zeros(rank, rank);
+        let mut had = Mat::zeros(rank, rank);
+        let mut norm_scratch: Vec<f64> = Vec::new();
+
+        let mut fits = Vec::with_capacity(self.cfg.max_iters);
         let mut converged = false;
         let mut iters = 0;
 
         for _outer in 0..self.cfg.max_iters {
             iters += 1;
-            let mut last_m: Option<(Mat, usize)> = None;
+            let mut last_m: Option<usize> = None;
             for mode in 0..nmodes {
-                let s = self.hadamard_grams(dev, &grams, mode);
-                let m = self.mttkrp(dev, &factors, mode);
+                self.hadamard_grams_into(dev, &grams, mode, &mut s);
+                self.mttkrp_into(dev, &factors, mode, &mut m_bufs[mode], &mut mtt_ws);
+                let m = &m_bufs[mode];
 
                 match &self.cfg.update {
                     UpdateMethod::Admm(cfg) => {
                         admm_update(
                             dev,
                             cfg,
-                            &m,
+                            m,
                             &s,
                             &mut factors[mode],
                             &mut duals[mode],
                             &mut workspaces[mode],
                         );
                     }
-                    UpdateMethod::Mu(cfg) => mu_update(dev, cfg, &m, &s, &mut factors[mode]),
-                    UpdateMethod::Hals(cfg) => hals_update(dev, cfg, &m, &s, &mut factors[mode]),
+                    UpdateMethod::Mu(cfg) => mu_update(dev, cfg, m, &s, &mut factors[mode]),
+                    UpdateMethod::Hals(cfg) => hals_update(dev, cfg, m, &s, &mut factors[mode]),
                 }
 
-                self.normalize(dev, &mut factors[mode], &mut lambda);
-                grams[mode] = self.compute_gram(dev, &factors[mode]);
+                self.normalize(dev, &mut factors[mode], &mut lambda, &mut norm_scratch);
+                self.compute_gram_into(dev, &factors[mode], &mut grams[mode], &mut gram_partials);
                 if mode == nmodes - 1 {
-                    last_m = Some((m, mode));
+                    last_m = Some(mode);
                 }
             }
 
@@ -504,7 +538,8 @@ impl Auntf {
                     &factors,
                     &lambda,
                     &grams,
-                    last_m.as_ref().map(|(m, mode)| (m, *mode)),
+                    last_m.map(|mode| (&m_bufs[mode], mode)),
+                    &mut had,
                 );
                 let improved = fits.last().map_or(f64::INFINITY, |&p| fit - p);
                 fits.push(fit);
@@ -516,10 +551,7 @@ impl Auntf {
         }
 
         // Result back to the host.
-        dev.transfer(
-            "d2h_factors",
-            factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>(),
-        );
+        dev.transfer("d2h_factors", factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>());
 
         FactorizeOutput { model: Ktensor::new(factors, lambda), iters, fits, converged }
     }
@@ -661,10 +693,9 @@ mod tests {
     #[test]
     fn mu_and_hals_also_improve_fit() {
         let x = planted_full(&[10, 9, 8], 3, 4);
-        for update in [
-            UpdateMethod::Mu(MuConfig::default()),
-            UpdateMethod::Hals(HalsConfig::default()),
-        ] {
+        for update in
+            [UpdateMethod::Mu(MuConfig::default()), UpdateMethod::Hals(HalsConfig::default())]
+        {
             let cfg = AuntfConfig { rank: 3, update, max_iters: 40, ..base_cfg() };
             let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100()));
             let first = out.fits[0];
@@ -685,10 +716,7 @@ mod tests {
         auntf.factorize(&dev);
         for phase in [Phase::Gram, Phase::Mttkrp, Phase::Update, Phase::Normalize, Phase::Transfer]
         {
-            assert!(
-                dev.phase_totals(phase).launches > 0,
-                "phase {phase:?} was never exercised"
-            );
+            assert!(dev.phase_totals(phase).launches > 0, "phase {phase:?} was never exercised");
         }
     }
 
@@ -700,10 +728,7 @@ mod tests {
         let out = Auntf::new(x.clone(), base_cfg()).factorize(&Device::new(DeviceSpec::h100()));
         let exact = out.model.fit(&x);
         let reported = *out.fits.last().unwrap();
-        assert!(
-            (exact - reported).abs() < 1e-9,
-            "shortcut fit {reported} != exact fit {exact}"
-        );
+        assert!((exact - reported).abs() < 1e-9, "shortcut fit {reported} != exact fit {exact}");
     }
 
     #[test]

@@ -100,7 +100,7 @@ pub fn predict_phases(w: &WorkloadShape, spec: &DeviceSpec) -> PhasePrediction {
     // format's index footprint.
     let idx_bytes = match w.format {
         TensorFormat::Coo => n * 4.0,
-        TensorFormat::HiCoo => n, // u8 offsets
+        TensorFormat::HiCoo => n,                            // u8 offsets
         TensorFormat::Csf | TensorFormat::CsfOne => n * 2.0, // prefix compression
         TensorFormat::Alto | TensorFormat::Blco => 8.0,
     };
@@ -227,11 +227,7 @@ pub fn predict_phases(w: &WorkloadShape, spec: &DeviceSpec) -> PhasePrediction {
 /// Considers four plans — all-CPU, all-GPU, and the two splits — charging
 /// split plans the per-iteration transfer of the MTTKRP outputs and the
 /// updated factors across the host link.
-pub fn recommend_placement(
-    w: &WorkloadShape,
-    cpu: &DeviceSpec,
-    gpu: &DeviceSpec,
-) -> PlacementPlan {
+pub fn recommend_placement(w: &WorkloadShape, cpu: &DeviceSpec, gpu: &DeviceSpec) -> PlacementPlan {
     let p_cpu = predict_phases(w, cpu);
     let p_gpu = predict_phases(w, gpu);
 
@@ -278,8 +274,7 @@ mod tests {
     fn large_long_mode_workload_goes_all_gpu() {
         // Flickr-like: long modes, many nonzeros — the paper's best GPU case.
         let w = shape(&[320_000, 28_000_000, 1_600_000, 731], 112_000_000);
-        let plan =
-            recommend_placement(&w, &DeviceSpec::icelake_xeon(), &DeviceSpec::h100());
+        let plan = recommend_placement(&w, &DeviceSpec::icelake_xeon(), &DeviceSpec::h100());
         assert_eq!(plan.mttkrp, Placement::Gpu);
         assert_eq!(plan.update, Placement::Gpu);
         assert!(plan.all_gpu_s < plan.all_cpu_s);
@@ -290,8 +285,7 @@ mod tests {
     fn tiny_workload_prefers_cpu() {
         // A toy tensor: launch latency dominates on the GPU.
         let w = shape(&[50, 40, 30], 2_000);
-        let plan =
-            recommend_placement(&w, &DeviceSpec::icelake_xeon(), &DeviceSpec::h100());
+        let plan = recommend_placement(&w, &DeviceSpec::icelake_xeon(), &DeviceSpec::h100());
         assert_eq!(plan.update, Placement::Cpu, "tiny updates belong on the CPU: {plan:?}");
         assert!(plan.predicted_s <= plan.all_gpu_s);
     }
@@ -340,8 +334,10 @@ mod tests {
     #[test]
     fn update_prediction_tracks_mode_sum() {
         let small = predict_phases(&shape(&[1_000, 1_000, 1_000], 1_000_000), &DeviceSpec::a100());
-        let large =
-            predict_phases(&shape(&[1_000_000, 1_000_000, 1_000_000], 1_000_000), &DeviceSpec::a100());
+        let large = predict_phases(
+            &shape(&[1_000_000, 1_000_000, 1_000_000], 1_000_000),
+            &DeviceSpec::a100(),
+        );
         assert!(large.update > 50.0 * small.update);
     }
 }

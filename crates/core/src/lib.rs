@@ -49,10 +49,10 @@
 pub mod admm;
 pub mod auntf;
 pub mod hals;
-pub mod mu;
-pub mod presets;
 pub mod hybrid;
+pub mod mu;
 pub mod multi_gpu;
+pub mod presets;
 pub mod prox;
 
 pub use admm::{admm_update, blocked_admm_update, AdmmConfig, AdmmStats, AdmmWorkspace};

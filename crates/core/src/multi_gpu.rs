@@ -261,7 +261,8 @@ mod tests {
 
     #[test]
     fn single_gpu_has_no_communication() {
-        let est = multi_gpu_iteration_time(&big_workload(), &DeviceSpec::a100(), &MultiGpuConfig::dgx(1));
+        let est =
+            multi_gpu_iteration_time(&big_workload(), &DeviceSpec::a100(), &MultiGpuConfig::dgx(1));
         assert_eq!(est.comm_s, 0.0);
         assert!((est.speedup - 1.0).abs() < 1e-9);
     }

@@ -81,11 +81,7 @@ pub fn cstf_gpu(rank: usize, spec: DeviceSpec) -> SystemPreset {
     SystemPreset {
         name: "cSTF-GPU (cuADMM)",
         device: Device::new(spec),
-        config: base_config(
-            rank,
-            UpdateMethod::Admm(AdmmConfig::cuadmm()),
-            TensorFormat::Blco,
-        ),
+        config: base_config(rank, UpdateMethod::Admm(AdmmConfig::cuadmm()), TensorFormat::Blco),
     }
 }
 
@@ -95,11 +91,7 @@ pub fn cstf_gpu_generic_admm(rank: usize, spec: DeviceSpec) -> SystemPreset {
     SystemPreset {
         name: "cSTF-GPU (generic ADMM)",
         device: Device::new(spec),
-        config: base_config(
-            rank,
-            UpdateMethod::Admm(AdmmConfig::generic()),
-            TensorFormat::Blco,
-        ),
+        config: base_config(rank, UpdateMethod::Admm(AdmmConfig::generic()), TensorFormat::Blco),
     }
 }
 

@@ -223,12 +223,8 @@ mod tests {
             let sum: f64 = row.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12, "{input:?} -> {row:?} sums to {sum}");
             assert!(row.iter().all(|&v| v >= 0.0), "{row:?}");
-            let taus: Vec<f64> = input
-                .iter()
-                .zip(&row)
-                .filter(|(_, &x)| x > 0.0)
-                .map(|(&v, &x)| v - x)
-                .collect();
+            let taus: Vec<f64> =
+                input.iter().zip(&row).filter(|(_, &x)| x > 0.0).map(|(&v, &x)| v - x).collect();
             for w in taus.windows(2) {
                 assert!((w[0] - w[1]).abs() < 1e-10, "non-constant tau for {input:?}");
             }

@@ -101,16 +101,66 @@ impl CatalogEntry {
 pub fn table2() -> Vec<CatalogEntry> {
     use FactorSizeClass::*;
     vec![
-        CatalogEntry { name: "NIPS", paper_dims: &[2_482, 2_862, 14_036, 17], paper_nnz: 3_101_609, class: Small },
-        CatalogEntry { name: "Uber", paper_dims: &[183, 24, 1_140, 1_717], paper_nnz: 3_309_490, class: Small },
-        CatalogEntry { name: "Chicago", paper_dims: &[6_186, 24, 77, 32], paper_nnz: 5_330_673, class: Small },
-        CatalogEntry { name: "Vast", paper_dims: &[165_427, 11_374, 2], paper_nnz: 26_021_945, class: Small },
-        CatalogEntry { name: "Enron", paper_dims: &[6_066, 5_699, 244_268, 1_176], paper_nnz: 54_202_099, class: Medium },
-        CatalogEntry { name: "NELL2", paper_dims: &[12_092, 9_184, 28_818], paper_nnz: 76_879_419, class: Medium },
-        CatalogEntry { name: "Flickr", paper_dims: &[319_686, 28_153_045, 1_607_191, 731], paper_nnz: 112_890_310, class: Large },
-        CatalogEntry { name: "Delicious", paper_dims: &[532_924, 17_262_471, 2_480_308, 1_443], paper_nnz: 140_126_181, class: Large },
-        CatalogEntry { name: "NELL1", paper_dims: &[2_902_330, 2_143_368, 25_495_389], paper_nnz: 143_599_552, class: Large },
-        CatalogEntry { name: "Amazon", paper_dims: &[4_821_207, 1_774_269, 1_805_187], paper_nnz: 1_741_809_018, class: Large },
+        CatalogEntry {
+            name: "NIPS",
+            paper_dims: &[2_482, 2_862, 14_036, 17],
+            paper_nnz: 3_101_609,
+            class: Small,
+        },
+        CatalogEntry {
+            name: "Uber",
+            paper_dims: &[183, 24, 1_140, 1_717],
+            paper_nnz: 3_309_490,
+            class: Small,
+        },
+        CatalogEntry {
+            name: "Chicago",
+            paper_dims: &[6_186, 24, 77, 32],
+            paper_nnz: 5_330_673,
+            class: Small,
+        },
+        CatalogEntry {
+            name: "Vast",
+            paper_dims: &[165_427, 11_374, 2],
+            paper_nnz: 26_021_945,
+            class: Small,
+        },
+        CatalogEntry {
+            name: "Enron",
+            paper_dims: &[6_066, 5_699, 244_268, 1_176],
+            paper_nnz: 54_202_099,
+            class: Medium,
+        },
+        CatalogEntry {
+            name: "NELL2",
+            paper_dims: &[12_092, 9_184, 28_818],
+            paper_nnz: 76_879_419,
+            class: Medium,
+        },
+        CatalogEntry {
+            name: "Flickr",
+            paper_dims: &[319_686, 28_153_045, 1_607_191, 731],
+            paper_nnz: 112_890_310,
+            class: Large,
+        },
+        CatalogEntry {
+            name: "Delicious",
+            paper_dims: &[532_924, 17_262_471, 2_480_308, 1_443],
+            paper_nnz: 140_126_181,
+            class: Large,
+        },
+        CatalogEntry {
+            name: "NELL1",
+            paper_dims: &[2_902_330, 2_143_368, 25_495_389],
+            paper_nnz: 143_599_552,
+            class: Large,
+        },
+        CatalogEntry {
+            name: "Amazon",
+            paper_dims: &[4_821_207, 1_774_269, 1_805_187],
+            paper_nnz: 1_741_809_018,
+            class: Large,
+        },
     ]
 }
 
@@ -133,10 +183,7 @@ pub fn figure4_subset() -> Vec<CatalogEntry> {
 /// The paper uses `400 x 200 x 100 x 50`; `scale = 1.0` reproduces that,
 /// smaller scales shrink every mode proportionally for quick runs.
 pub fn dense_tf_shape(scale: f64) -> Vec<usize> {
-    [400usize, 200, 100, 50]
-        .iter()
-        .map(|&d| ((d as f64 * scale).round() as usize).max(2))
-        .collect()
+    [400usize, 200, 100, 50].iter().map(|&d| ((d as f64 * scale).round() as usize).max(2)).collect()
 }
 
 #[cfg(test)]
@@ -215,7 +262,7 @@ mod tests {
         let targets: Vec<usize> = t.iter().map(|e| e.default_target_nnz(60_000)).collect();
         assert!(targets.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(targets[0], 60_000); // NIPS is the base
-        // Amazon compresses from 560x NIPS to ~24x.
+                                        // Amazon compresses from 560x NIPS to ~24x.
         assert!(targets[9] < 30 * targets[0]);
     }
 

@@ -60,8 +60,7 @@ pub fn generate_with_truth(spec: &SynthSpec) -> (SparseTensor, Ktensor) {
     let max_attempts = nnz.saturating_mul(50).max(1024);
     while values.len() < nnz && attempts < max_attempts {
         attempts += 1;
-        let coord: Vec<u32> =
-            spec.shape.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
+        let coord: Vec<u32> = spec.shape.iter().map(|&d| rng.gen_range(0..d as u32)).collect();
         if !seen.insert(coord.clone()) {
             continue;
         }

@@ -297,7 +297,12 @@ mod tests {
 
     #[test]
     fn intensity_matches_definition() {
-        let c = KernelCost { flops: 100.0, bytes_read: 30.0, bytes_written: 20.0, ..Default::default() };
+        let c = KernelCost {
+            flops: 100.0,
+            bytes_read: 30.0,
+            bytes_written: 20.0,
+            ..Default::default()
+        };
         assert_eq!(c.intensity(), 2.0);
     }
 }

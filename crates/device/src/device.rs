@@ -45,6 +45,10 @@ impl Device {
 
     /// Launches a kernel: runs `body` immediately, meters it with `cost`,
     /// and returns the body's result.
+    ///
+    /// Each launch records both the roofline-modeled time and the measured
+    /// host wall-clock of the body, so fusion gains can be reported as
+    /// model-vs-reality pairs.
     pub fn launch<T>(
         &self,
         name: &'static str,
@@ -53,9 +57,18 @@ impl Device {
         cost: KernelCost,
         body: impl FnOnce() -> T,
     ) -> T {
+        let start = std::time::Instant::now();
         let out = body();
+        let measured_s = start.elapsed().as_secs_f64();
         let modeled_s = kernel_time(&self.spec, class, &cost);
-        self.profiler.lock().record(KernelRecord { name, phase, class, cost, modeled_s });
+        self.profiler.lock().record(KernelRecord {
+            name,
+            phase,
+            class,
+            cost,
+            modeled_s,
+            measured_s,
+        });
         out
     }
 
@@ -68,6 +81,7 @@ impl Device {
             class: KernelClass::Stream,
             cost: KernelCost { bytes_read: bytes, ..Default::default() },
             modeled_s,
+            measured_s: 0.0,
         });
     }
 
@@ -84,6 +98,11 @@ impl Device {
     /// Total modeled seconds since the last reset.
     pub fn total_seconds(&self) -> f64 {
         self.profiler.lock().total_seconds()
+    }
+
+    /// Total measured host wall-clock seconds since the last reset.
+    pub fn total_measured_seconds(&self) -> f64 {
+        self.profiler.lock().total_measured_seconds()
     }
 
     /// Total kernel launches since the last reset.

@@ -61,6 +61,9 @@ pub struct KernelRecord {
     pub cost: KernelCost,
     /// Modeled execution time in seconds.
     pub modeled_s: f64,
+    /// Measured host wall-clock of the launch body in seconds (`0.0` for
+    /// transfers, which execute no host code).
+    pub measured_s: f64,
 }
 
 /// Aggregated totals for one phase.
@@ -68,6 +71,8 @@ pub struct KernelRecord {
 pub struct PhaseTotals {
     /// Modeled seconds.
     pub seconds: f64,
+    /// Measured host wall-clock seconds.
+    pub measured_s: f64,
     /// Kernel launches.
     pub launches: usize,
     /// Total flops.
@@ -99,6 +104,7 @@ impl Profiler {
     pub fn record(&mut self, rec: KernelRecord) {
         let t = self.totals.entry(rec.phase).or_default();
         t.seconds += rec.modeled_s;
+        t.measured_s += rec.measured_s;
         t.launches += 1;
         t.flops += rec.cost.flops;
         t.bytes += rec.cost.bytes();
@@ -114,15 +120,17 @@ impl Profiler {
 
     /// Per-phase totals in display order, skipping empty phases.
     pub fn phases(&self) -> Vec<(Phase, PhaseTotals)> {
-        Phase::all()
-            .into_iter()
-            .filter_map(|p| self.totals.get(&p).map(|t| (p, *t)))
-            .collect()
+        Phase::all().into_iter().filter_map(|p| self.totals.get(&p).map(|t| (p, *t))).collect()
     }
 
     /// Total modeled time across all phases, in seconds.
     pub fn total_seconds(&self) -> f64 {
         self.totals.values().map(|t| t.seconds).sum()
+    }
+
+    /// Total measured host wall-clock across all phases, in seconds.
+    pub fn total_measured_seconds(&self) -> f64 {
+        self.totals.values().map(|t| t.measured_s).sum()
     }
 
     /// Total kernel launches.
@@ -154,7 +162,17 @@ mod tests {
             class: KernelClass::Stream,
             cost: KernelCost { flops, bytes_read: 10.0, bytes_written: 5.0, ..Default::default() },
             modeled_s: secs,
+            measured_s: secs * 0.5,
         }
+    }
+
+    #[test]
+    fn measured_time_accumulates_alongside_modeled() {
+        let mut p = Profiler::new();
+        p.record(rec(Phase::Update, 2.0, 1.0));
+        p.record(rec(Phase::Gram, 1.0, 1.0));
+        assert_eq!(p.phase(Phase::Update).measured_s, 1.0);
+        assert_eq!(p.total_measured_seconds(), 1.5);
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod tests {
             class: KernelClass::Stream,
             cost: KernelCost { flops: 100.0, bytes_read: 800.0, ..Default::default() },
             modeled_s: secs,
+            measured_s: 0.0,
         }
     }
 

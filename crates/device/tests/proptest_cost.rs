@@ -6,13 +6,13 @@ use proptest::prelude::*;
 
 fn cost_strategy() -> impl Strategy<Value = KernelCost> {
     (
-        1.0f64..1e12,   // flops
-        0.0f64..1e12,   // bytes_read
-        0.0f64..1e11,   // bytes_written
-        0.0f64..1e11,   // gather
-        1.0f64..1e9,    // parallel work
-        1.0f64..128.0,  // serial steps
-        0.0f64..1e10,   // working set
+        1.0f64..1e12,  // flops
+        0.0f64..1e12,  // bytes_read
+        0.0f64..1e11,  // bytes_written
+        0.0f64..1e11,  // gather
+        1.0f64..1e9,   // parallel work
+        1.0f64..128.0, // serial steps
+        0.0f64..1e10,  // working set
     )
         .prop_map(|(flops, br, bw, ga, pw, ss, ws)| KernelCost {
             flops,

@@ -17,6 +17,7 @@ use cstf_linalg::Mat;
 use cstf_tensor::SparseTensor;
 
 use crate::traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
+use crate::workspace::{prepare_buffer, MttkrpWorkspace};
 
 /// Bit-interleaving schedule: for each output bit position of the linearized
 /// index, which mode it came from and which bit of that mode's index.
@@ -185,59 +186,100 @@ impl Alto {
 
     /// MTTKRP for `mode`, with per-partition privatized accumulation over
     /// the partition's target-mode interval, merged serially per row range.
+    ///
+    /// Allocating wrapper over [`Alto::mttkrp_into`].
     pub fn mttkrp(&self, factors: &[Mat], mode: usize) -> Mat {
+        let mut out = Mat::zeros(self.shape[mode], factors[mode].cols());
+        let mut ws = MttkrpWorkspace::new();
+        self.mttkrp_into(factors, mode, &mut out, &mut ws);
+        out
+    }
+
+    /// [`Alto::mttkrp`] into a caller-owned output. The per-partition
+    /// interval buffers and Hadamard scratch rows come from the workspace
+    /// (grown on first use, reused after), so steady-state calls perform no
+    /// heap allocation. Partition intervals may overlap on the target mode,
+    /// so the merge stays serial — ALTO's conflict-resolution strategy.
+    ///
+    /// # Panics
+    /// Panics if `factors`/`mode`/`out` shapes disagree with the tensor.
+    pub fn mttkrp_into(
+        &self,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+        ws: &mut MttkrpWorkspace,
+    ) {
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         assert!(mode < self.nmodes(), "mode out of range");
         let rank = factors[mode].cols();
         let rows = self.shape[mode];
+        assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_mode x R");
         let nmodes = self.nmodes();
+        let nparts = self.partitions.len();
+        out.as_mut_slice().fill(0.0);
 
         // Each partition accumulates into a dense buffer covering its
-        // [min,max] interval of the target mode.
-        let partials: Vec<(u32, Vec<f64>)> = self
-            .partitions
-            .par_iter()
-            .zip(&self.intervals)
-            .map(|(range, iv)| {
-                let (lo, hi) = iv[mode];
-                if range.is_empty() {
-                    return (0, Vec::new());
-                }
-                let width = (hi - lo + 1) as usize;
-                let mut local = vec![0.0f64; width * rank];
-                let mut row = vec![0.0f64; rank];
-                for k in range.clone() {
-                    let l = self.lin[k];
-                    row.fill(self.values[k]);
-                    for (m, f) in factors.iter().enumerate().take(nmodes) {
-                        if m == mode {
-                            continue;
-                        }
-                        let c = self.schedule.delinearize_mode(l, m) as usize;
-                        for (r, &fv) in row.iter_mut().zip(f.row(c)) {
-                            *r *= fv;
-                        }
+        // [min,max] interval of the target mode. With a single partition
+        // (or one nonzero span) the loop below runs serially via Rayon's
+        // single-chunk path.
+        let bufs = ws.alto_buffers(nparts);
+        let kernel = |range: &std::ops::Range<usize>, iv: &Vec<(u32, u32)>, buf: &mut Vec<f64>| {
+            let (lo, hi) = iv[mode];
+            if range.is_empty() {
+                prepare_buffer(buf, 0);
+                return;
+            }
+            let width = (hi - lo + 1) as usize;
+            let (local, row) = prepare_buffer(buf, width * rank + rank).split_at_mut(width * rank);
+            for k in range.clone() {
+                let l = self.lin[k];
+                row.fill(self.values[k]);
+                for (m, f) in factors.iter().enumerate().take(nmodes) {
+                    if m == mode {
+                        continue;
                     }
-                    let i = (self.schedule.delinearize_mode(l, mode) - lo) as usize;
-                    let target = &mut local[i * rank..(i + 1) * rank];
-                    for (t, &r) in target.iter_mut().zip(&row) {
-                        *t += r;
+                    let c = self.schedule.delinearize_mode(l, m) as usize;
+                    for (r, &fv) in row.iter_mut().zip(f.row(c)) {
+                        *r *= fv;
                     }
                 }
-                (lo, local)
-            })
-            .collect();
+                let i = (self.schedule.delinearize_mode(l, mode) - lo) as usize;
+                let target = &mut local[i * rank..(i + 1) * rank];
+                for (t, &r) in target.iter_mut().zip(row.iter()) {
+                    *t += r;
+                }
+            }
+        };
+        if nparts > 1 {
+            self.partitions
+                .par_iter()
+                .zip(self.intervals.par_iter())
+                .zip(bufs.par_iter_mut())
+                .for_each(|((range, iv), buf)| kernel(range, iv, buf));
+        } else {
+            for ((range, iv), buf) in
+                self.partitions.iter().zip(&self.intervals).zip(bufs.iter_mut())
+            {
+                kernel(range, iv, buf);
+            }
+        }
 
-        let mut out = Mat::zeros(rows, rank);
-        for (lo, local) in partials {
-            for (off, chunk) in local.chunks_exact(rank.max(1)).enumerate() {
+        for ((range, iv), buf) in
+            self.partitions.iter().zip(&self.intervals).zip(ws.alto_buffers(nparts).iter())
+        {
+            if range.is_empty() {
+                continue;
+            }
+            let lo = iv[mode].0;
+            let width = (iv[mode].1 - lo + 1) as usize;
+            for (off, chunk) in buf[..width * rank].chunks_exact(rank.max(1)).enumerate() {
                 let target = out.row_mut(lo as usize + off);
                 for (t, &v) in target.iter_mut().zip(chunk) {
                     *t += v;
                 }
             }
         }
-        out
     }
 
     /// Traffic estimate: compact linearized indices instead of N coordinate

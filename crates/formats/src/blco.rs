@@ -16,10 +16,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
-use cstf_linalg::Mat;
+use cstf_linalg::{tuning, Mat};
 use cstf_tensor::SparseTensor;
 
 use crate::traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
+use crate::workspace::MttkrpWorkspace;
 
 /// Per-mode bit field inside the linearized index.
 #[derive(Debug, Clone, Copy)]
@@ -163,49 +164,86 @@ impl Blco {
 
     /// MTTKRP for `mode` with atomic accumulation (the GPU strategy).
     ///
-    /// The output matrix is a flat array of `AtomicU64`-encoded `f64`s;
-    /// every thread chunk walks its nonzeros and CAS-adds each contribution,
-    /// exactly as the CUDA kernel uses `atomicAdd` on global memory.
+    /// Allocating wrapper over [`Blco::mttkrp_into`].
     pub fn mttkrp(&self, factors: &[Mat], mode: usize) -> Mat {
+        let mut out = Mat::zeros(self.shape[mode], factors[mode].cols());
+        let mut ws = MttkrpWorkspace::new();
+        self.mttkrp_into(factors, mode, &mut out, &mut ws);
+        out
+    }
+
+    /// [`Blco::mttkrp`] into a caller-owned output.
+    ///
+    /// The accumulation image is a flat array of `AtomicU64`-encoded `f64`s
+    /// owned by the workspace; every thread chunk walks its nonzeros and
+    /// CAS-adds each contribution, exactly as the CUDA kernel uses
+    /// `atomicAdd` on global memory. Hadamard scratch rows also come from
+    /// the workspace, so steady-state calls perform no heap allocation;
+    /// blocks below the parallel chunk floor run serially without touching
+    /// Rayon.
+    ///
+    /// # Panics
+    /// Panics if `factors`/`mode`/`out` shapes disagree with the tensor.
+    pub fn mttkrp_into(
+        &self,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+        ws: &mut MttkrpWorkspace,
+    ) {
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         assert!(mode < self.nmodes(), "mode out of range");
         let rank = factors[mode].cols();
         let rows = self.shape[mode];
-        let out: Vec<AtomicU64> =
-            (0..rows * rank).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+        assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_mode x R");
+
+        // One scratch row per concurrent chunk, across the widest block.
+        let max_chunks = self
+            .blocks
+            .iter()
+            .map(|b| b.len().div_ceil(par_chunk_len(b.len()).max(1)).max(1))
+            .max()
+            .unwrap_or(1);
+        let (image, rows_scratch) = ws.atomics_and_rows(rows * rank, max_chunks, rank);
 
         for block in &self.blocks {
             let base = block.base;
-            let chunk = 4096.max(block.len().div_ceil(4 * rayon::current_num_threads().max(1)));
-            block
-                .idx
-                .par_chunks(chunk)
-                .zip(block.vals.par_chunks(chunk))
-                .for_each(|(idx, vals)| {
-                    let mut row = vec![0.0f64; rank];
-                    for (&low, &v) in idx.iter().zip(vals) {
-                        row.fill(v);
-                        for (m, f) in factors.iter().enumerate() {
-                            if m == mode {
-                                continue;
-                            }
-                            let c = self.extract(base, low, m);
-                            for (r, &fv) in row.iter_mut().zip(f.row(c)) {
-                                *r *= fv;
-                            }
+            let kernel = |idx: &[u64], vals: &[f64], row: &mut [f64]| {
+                for (&low, &v) in idx.iter().zip(vals) {
+                    row.fill(v);
+                    for (m, f) in factors.iter().enumerate() {
+                        if m == mode {
+                            continue;
                         }
-                        let i = self.extract(base, low, mode);
-                        let target = &out[i * rank..(i + 1) * rank];
-                        for (slot, &r) in target.iter().zip(&row) {
-                            atomic_add_f64(slot, r);
+                        let c = self.extract(base, low, m);
+                        for (r, &fv) in row.iter_mut().zip(f.row(c)) {
+                            *r *= fv;
                         }
                     }
-                });
+                    let i = self.extract(base, low, mode);
+                    let target = &image[i * rank..(i + 1) * rank];
+                    for (slot, &r) in target.iter().zip(row.iter()) {
+                        atomic_add_f64(slot, r);
+                    }
+                }
+            };
+            let chunk = par_chunk_len(block.len());
+            if block.len() <= chunk {
+                // Serial path: one chunk, no Rayon involvement.
+                kernel(&block.idx, &block.vals, &mut rows_scratch[..rank]);
+            } else {
+                block
+                    .idx
+                    .par_chunks(chunk)
+                    .zip(block.vals.par_chunks(chunk))
+                    .zip(rows_scratch.par_chunks_mut(rank.max(1)))
+                    .for_each(|((idx, vals), row)| kernel(idx, vals, row));
+            }
         }
 
-        let data: Vec<f64> =
-            out.into_iter().map(|a| f64::from_bits(a.into_inner())).collect();
-        Mat::from_vec(rows, rank, data)
+        for (o, a) in out.as_mut_slice().iter_mut().zip(image) {
+            *o = f64::from_bits(a.load(Ordering::Relaxed));
+        }
     }
 
     /// Traffic estimate: 8 index bytes per nonzero (the single `u64`), plus
@@ -216,6 +254,12 @@ impl Blco {
         t.bytes_written *= 2.0;
         t
     }
+}
+
+/// Parallel chunk length for a block of `len` nonzeros: at least the tuned
+/// chunk floor, targeting ~4 chunks per thread above it.
+fn par_chunk_len(len: usize) -> usize {
+    tuning::blco_chunk_floor().max(len.div_ceil(4 * rayon::current_num_threads().max(1)))
 }
 
 /// Lock-free `f64` add via CAS on the bit pattern — the host-side analogue
@@ -262,7 +306,9 @@ mod tests {
         shape
             .iter()
             .enumerate()
-            .map(|(m, &d)| Mat::from_fn(d, rank, |i, j| ((i + j * 5 + m * 2) % 9) as f64 * 0.2 - 0.8))
+            .map(|(m, &d)| {
+                Mat::from_fn(d, rank, |i, j| ((i + j * 5 + m * 2) % 9) as f64 * 0.2 - 0.8)
+            })
             .collect()
     }
 

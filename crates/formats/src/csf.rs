@@ -10,10 +10,11 @@
 
 use rayon::prelude::*;
 
-use cstf_linalg::Mat;
+use cstf_linalg::{tuning, Mat};
 use cstf_tensor::SparseTensor;
 
 use crate::traffic::TrafficEstimate;
+use crate::workspace::MttkrpWorkspace;
 
 /// One level of the CSF tree.
 #[derive(Debug, Clone)]
@@ -120,69 +121,100 @@ impl Csf {
     /// Storage footprint in bytes (fids + ptrs + values): CSF's compression
     /// win over COO comes from sharing index prefixes.
     pub fn storage_bytes(&self) -> usize {
-        let idx: usize =
-            self.levels.iter().map(|l| l.fids.len() * 4 + l.ptr.len() * 8).sum();
+        let idx: usize = self.levels.iter().map(|l| l.fids.len() * 4 + l.ptr.len() * 8).sum();
         idx + self.values.len() * 8
     }
 
     /// MTTKRP for this CSF's root mode.
     ///
-    /// Parallel over root nodes: each root node owns a distinct output row,
-    /// so no synchronization is needed. Within a subtree the kernel runs
-    /// the classic CSF upward accumulation — leaf rows are scaled by values,
-    /// then Hadamard-multiplied by each level's factor row on the way up.
+    /// Allocating wrapper over [`Csf::mttkrp_into`].
+    pub fn mttkrp(&self, factors: &[Mat]) -> Mat {
+        let mut out = Mat::zeros(self.shape[self.root_mode()], factors[self.root_mode()].cols());
+        let mut ws = MttkrpWorkspace::new();
+        self.mttkrp_into(factors, &mut out, &mut ws);
+        out
+    }
+
+    /// MTTKRP for this CSF's root mode into a caller-owned output.
+    ///
+    /// Parallel over root-node chunks: each root node owns a distinct output
+    /// row, so the scatter is conflict-free. Each chunk accumulates its
+    /// nodes' rows into a compact workspace buffer (`chunk x R`, not
+    /// `I x R`), and subtree recursion draws its per-level scratch from a
+    /// preallocated stack — steady-state calls perform no heap allocation.
+    /// Within a subtree the kernel runs the classic CSF upward accumulation:
+    /// leaf rows are scaled by values, then Hadamard-multiplied by each
+    /// level's factor row on the way up.
     ///
     /// # Panics
-    /// Panics if `factors` does not match the tensor's modes.
-    pub fn mttkrp(&self, factors: &[Mat]) -> Mat {
+    /// Panics if `factors` or `out` do not match the tensor's modes.
+    pub fn mttkrp_into(&self, factors: &[Mat], out: &mut Mat, ws: &mut MttkrpWorkspace) {
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         let rank = factors[self.root_mode()].cols();
         let rows = self.shape[self.root_mode()];
+        assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_root x R");
         let nroot = self.level_size(0);
-        let mut out = Mat::zeros(rows, rank);
+        let nmodes = self.nmodes();
+        out.as_mut_slice().fill(0.0);
 
-        // Compute each root node's row independently, then scatter. Root
-        // fids are unique (sorted, deduplicated by construction), so scatter
-        // is conflict-free.
-        let rows_out: Vec<(u32, Vec<f64>)> = if self.nnz() >= 4096 {
-            (0..nroot)
-                .into_par_iter()
-                .map(|n| {
-                    let mut acc = vec![0.0f64; rank];
-                    let mut scratch = vec![0.0f64; rank];
-                    self.accumulate_subtree(0, n, factors, &mut acc, &mut scratch);
-                    (self.levels[0].fids[n], acc)
-                })
-                .collect()
+        let nchunks = if self.nnz() >= tuning::csf_nnz_cutoff() {
+            rayon::current_num_threads().max(1).min(nroot.max(1))
         } else {
-            (0..nroot)
-                .map(|n| {
-                    let mut acc = vec![0.0f64; rank];
-                    let mut scratch = vec![0.0f64; rank];
-                    self.accumulate_subtree(0, n, factors, &mut acc, &mut scratch);
-                    (self.levels[0].fids[n], acc)
-                })
-                .collect()
+            1
         };
-        for (fid, row) in rows_out {
-            let target = out.row_mut(fid as usize);
-            for (t, v) in target.iter_mut().zip(row) {
-                *t += v;
+
+        if nchunks == 1 {
+            let (bufs, _, stack) = ws.chunk_scratch(1, rank, nmodes, rank);
+            let acc_buf = &mut bufs[0];
+            for n in 0..nroot {
+                let acc = &mut acc_buf[..rank];
+                acc.fill(0.0);
+                self.accumulate_subtree(0, n, factors, acc, stack);
+                let target = out.row_mut(self.levels[0].fids[n] as usize);
+                for (t, &v) in target.iter_mut().zip(acc.iter()) {
+                    *t += v;
+                }
+            }
+            return;
+        }
+
+        let chunk = nroot.div_ceil(nchunks).max(1);
+        let (bufs, _, stacks) = ws.chunk_scratch(nchunks, chunk * rank, nmodes, rank);
+        bufs.par_iter_mut()
+            .zip(stacks.par_chunks_mut((nmodes * rank).max(1)))
+            .enumerate()
+            .for_each(|(t, (buf, stack))| {
+                let start = (t * chunk).min(nroot);
+                let end = ((t + 1) * chunk).min(nroot);
+                for (local, n) in (start..end).enumerate() {
+                    // Buffer rows start zeroed (`ensure` zeroes them).
+                    let acc = &mut buf[local * rank..(local + 1) * rank];
+                    self.accumulate_subtree(0, n, factors, acc, stack);
+                }
+            });
+        for (t, buf) in ws.partials.chunks_mut(nchunks).iter().enumerate() {
+            let start = (t * chunk).min(nroot);
+            let end = ((t + 1) * chunk).min(nroot);
+            for (local, n) in (start..end).enumerate() {
+                let target = out.row_mut(self.levels[0].fids[n] as usize);
+                for (tv, &v) in target.iter_mut().zip(&buf[local * rank..(local + 1) * rank]) {
+                    *tv += v;
+                }
             }
         }
-        out
     }
 
     /// Adds the accumulated vector of node `node` at `level` into `acc`.
     /// For the root level the result excludes the root factor (that is the
-    /// matrix being solved for).
+    /// matrix being solved for). `stack` supplies one `R`-vector of scratch
+    /// per tree level below `level`.
     fn accumulate_subtree(
         &self,
         level: usize,
         node: usize,
         factors: &[Mat],
         acc: &mut [f64],
-        scratch: &mut [f64],
+        stack: &mut [f64],
     ) {
         let nmodes = self.nmodes();
         let rank = acc.len();
@@ -211,10 +243,10 @@ impl Csf {
             }
         } else {
             let mode = self.mode_order[level + 1];
+            let (scratch, rest) = stack.split_at_mut(rank);
             for child in lo..hi {
-                scratch[..rank].fill(0.0);
-                let mut inner = vec![0.0f64; rank];
-                self.accumulate_subtree(level + 1, child, factors, scratch, &mut inner);
+                scratch.fill(0.0);
+                self.accumulate_subtree(level + 1, child, factors, scratch, rest);
                 let frow = factors[mode].row(self.levels[level + 1].fids[child] as usize);
                 for ((a, &s), &f) in acc.iter_mut().zip(scratch.iter()).zip(frow) {
                     *a += s * f;
@@ -238,63 +270,86 @@ impl Csf {
     /// # Panics
     /// Panics if `factors` does not match the tensor's modes.
     pub fn mttkrp_any(&self, factors: &[Mat], target_mode: usize) -> Mat {
+        let mut out = Mat::zeros(self.shape[target_mode], factors[target_mode].cols());
+        let mut ws = MttkrpWorkspace::new();
+        self.mttkrp_any_into(factors, target_mode, &mut out, &mut ws);
+        out
+    }
+
+    /// [`Csf::mttkrp_any`] into a caller-owned output: per-chunk privatized
+    /// `I x R` buffers from the workspace are combined with a pairwise
+    /// parallel tree reduction, and all recursion scratch (`above`/`below`
+    /// chains) comes from a preallocated per-chunk stack, so steady-state
+    /// calls perform no heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `factors`, `target_mode`, or `out` do not match the tensor.
+    pub fn mttkrp_any_into(
+        &self,
+        factors: &[Mat],
+        target_mode: usize,
+        out: &mut Mat,
+        ws: &mut MttkrpWorkspace,
+    ) {
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         assert!(target_mode < self.nmodes(), "target mode out of range");
         if target_mode == self.root_mode() {
-            return self.mttkrp(factors);
+            return self.mttkrp_into(factors, out, ws);
         }
-        let target_level = self
-            .mode_order
-            .iter()
-            .position(|&m| m == target_mode)
-            .expect("mode present in order");
+        let target_level =
+            self.mode_order.iter().position(|&m| m == target_mode).expect("mode present in order");
         let rank = factors[target_mode].cols();
         let rows = self.shape[target_mode];
+        assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_target x R");
         let nroot = self.level_size(0);
+        // Stack budget per chunk: an `above` chain down to the target level,
+        // plus `below` and the subtree recursion beneath it.
+        let depth = 2 * self.nmodes() + 2;
+        out.as_mut_slice().fill(0.0);
 
-        let process = |range: std::ops::Range<usize>| -> Vec<f64> {
-            let mut local = vec![0.0f64; rows * rank];
-            let mut above = vec![0.0f64; rank];
+        let process = |local: &mut [f64],
+                       above: &mut [f64],
+                       stack: &mut [f64],
+                       range: std::ops::Range<usize>| {
             for root in range {
                 above.fill(1.0);
                 // The root's own factor row is an "ancestor" for any deeper
                 // target level.
-                let root_row =
-                    factors[self.root_mode()].row(self.levels[0].fids[root] as usize);
+                let root_row = factors[self.root_mode()].row(self.levels[0].fids[root] as usize);
                 for (a, &f) in above.iter_mut().zip(root_row) {
                     *a *= f;
                 }
-                self.scatter_target(0, root, target_level, factors, &above, &mut local);
+                self.scatter_target(0, root, target_level, factors, above, local, stack);
             }
-            local
         };
 
-        let data = if nroot >= 64 && self.nnz() >= 4096 {
+        if nroot >= 64 && self.nnz() >= tuning::csf_nnz_cutoff() {
             let nchunks = rayon::current_num_threads().max(1);
             let chunk = nroot.div_ceil(nchunks).max(1);
-            (0..nchunks)
-                .into_par_iter()
-                .map(|t| process((t * chunk).min(nroot)..((t + 1) * chunk).min(nroot)))
-                .reduce(
-                    || vec![0.0f64; rows * rank],
-                    |mut x, y| {
-                        for (a, b) in x.iter_mut().zip(y) {
-                            *a += b;
-                        }
-                        x
-                    },
-                )
+            let (bufs, above_rows, stacks) = ws.chunk_scratch(nchunks, rows * rank, depth, rank);
+            bufs.par_iter_mut()
+                .zip(above_rows.par_chunks_mut(rank.max(1)))
+                .zip(stacks.par_chunks_mut((depth * rank).max(1)))
+                .enumerate()
+                .for_each(|(t, ((local, above), stack))| {
+                    let start = (t * chunk).min(nroot);
+                    let end = ((t + 1) * chunk).min(nroot);
+                    process(&mut local[..rows * rank], above, stack, start..end);
+                });
+            ws.partials.reduce_into(nchunks, rows * rank, out.as_mut_slice());
         } else {
-            process(0..nroot)
-        };
-        Mat::from_vec(rows, rank, data)
+            let (_, above, stack) = ws.chunk_scratch(1, 0, depth, rank);
+            process(out.as_mut_slice(), above, stack, 0..nroot);
+        }
     }
 
     /// Recursive helper for [`Csf::mttkrp_any`]: walks from `level`/`node`
     /// toward `target_level`, carrying the Hadamard product of ancestor
     /// factor rows in `above`; at the target level it computes the
     /// upward-accumulated `below` sum of each child subtree and scatters
-    /// `above * below` into the output.
+    /// `above * below` into the output. `stack` supplies one `R`-vector of
+    /// scratch per recursion level.
+    #[allow(clippy::too_many_arguments)]
     fn scatter_target(
         &self,
         level: usize,
@@ -303,6 +358,7 @@ impl Csf {
         factors: &[Mat],
         above: &[f64],
         out: &mut [f64],
+        stack: &mut [f64],
     ) {
         let rank = above.len();
         let lo = self.levels[level].ptr[node];
@@ -310,19 +366,18 @@ impl Csf {
         if level + 1 == target_level {
             // Children are target-level nodes: compute each child's below
             // sum and scatter.
-            let mut below = vec![0.0f64; rank];
-            let mut scratch = vec![0.0f64; rank];
+            let (below, rest) = stack.split_at_mut(rank);
             for child in lo..hi {
                 below.fill(0.0);
                 if target_level == self.nmodes() - 1 {
                     // Target nodes are leaves: below = value.
                     below.iter_mut().for_each(|b| *b = self.values[child]);
                 } else {
-                    self.accumulate_subtree(target_level, child, factors, &mut below, &mut scratch);
+                    self.accumulate_subtree(target_level, child, factors, below, rest);
                 }
                 let i = self.levels[target_level].fids[child] as usize;
                 let target = &mut out[i * rank..(i + 1) * rank];
-                for ((t, &a), &b) in target.iter_mut().zip(above).zip(&below) {
+                for ((t, &a), &b) in target.iter_mut().zip(above).zip(below.iter()) {
                     *t += a * b;
                 }
             }
@@ -330,13 +385,13 @@ impl Csf {
             // Descend, multiplying this child level's factor rows into
             // `above`.
             let mode = self.mode_order[level + 1];
-            let mut next_above = vec![0.0f64; rank];
+            let (next_above, rest) = stack.split_at_mut(rank);
             for child in lo..hi {
                 let frow = factors[mode].row(self.levels[level + 1].fids[child] as usize);
                 for ((n, &a), &f) in next_above.iter_mut().zip(above).zip(frow) {
                     *n = a * f;
                 }
-                self.scatter_target(level + 1, child, target_level, factors, &next_above, out);
+                self.scatter_target(level + 1, child, target_level, factors, next_above, out, rest);
             }
         }
     }
@@ -410,7 +465,9 @@ mod tests {
         shape
             .iter()
             .enumerate()
-            .map(|(m, &d)| Mat::from_fn(d, rank, |i, j| ((i * 5 + j * 2 + m) % 7) as f64 * 0.3 - 0.9))
+            .map(|(m, &d)| {
+                Mat::from_fn(d, rank, |i, j| ((i * 5 + j * 2 + m) % 7) as f64 * 0.3 - 0.9)
+            })
             .collect()
     }
 
@@ -490,11 +547,7 @@ mod tests {
         let f = factors_for(x.shape(), 6);
         let csf = Csf::from_coo(&x, 0); // single tree rooted at mode 0
         for target in 0..3 {
-            assert_mttkrp_close(
-                &csf.mttkrp_any(&f, target),
-                &mttkrp_ref(&x, &f, target),
-                1e-9,
-            );
+            assert_mttkrp_close(&csf.mttkrp_any(&f, target), &mttkrp_ref(&x, &f, target), 1e-9);
         }
     }
 
@@ -505,11 +558,7 @@ mod tests {
         for root in 0..4 {
             let csf = Csf::from_coo(&x, root);
             for target in 0..4 {
-                assert_mttkrp_close(
-                    &csf.mttkrp_any(&f, target),
-                    &mttkrp_ref(&x, &f, target),
-                    1e-9,
-                );
+                assert_mttkrp_close(&csf.mttkrp_any(&f, target), &mttkrp_ref(&x, &f, target), 1e-9);
             }
         }
     }

@@ -11,10 +11,11 @@
 
 use rayon::prelude::*;
 
-use cstf_linalg::Mat;
+use cstf_linalg::{tuning, Mat};
 use cstf_tensor::SparseTensor;
 
 use crate::traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
+use crate::workspace::MttkrpWorkspace;
 
 /// One HiCOO block: base coordinates plus the span of its nonzeros.
 #[derive(Debug, Clone)]
@@ -128,11 +129,8 @@ impl HiCoo {
 
     /// Decodes element `k` (in storage order) to its full coordinate.
     pub fn coord(&self, k: usize) -> Vec<u32> {
-        let block = self
-            .blocks
-            .iter()
-            .find(|b| k >= b.start && k < b.end)
-            .expect("element index in range");
+        let block =
+            self.blocks.iter().find(|b| k >= b.start && k < b.end).expect("element index in range");
         (0..self.nmodes()).map(|m| block.base[m] + self.offsets[m][k] as u32).collect()
     }
 
@@ -144,16 +142,38 @@ impl HiCoo {
     /// MTTKRP for `mode`, parallel over block chunks with per-chunk output
     /// privatization (blocks cluster output rows, so partial buffers stay
     /// cache-friendly).
+    ///
+    /// Allocating wrapper over [`HiCoo::mttkrp_into`].
     pub fn mttkrp(&self, factors: &[Mat], mode: usize) -> Mat {
+        let mut out = Mat::zeros(self.shape[mode], factors[mode].cols());
+        let mut ws = MttkrpWorkspace::new();
+        self.mttkrp_into(factors, mode, &mut out, &mut ws);
+        out
+    }
+
+    /// [`HiCoo::mttkrp`] into a caller-owned output. Per-chunk privatized
+    /// buffers and Hadamard scratch rows come from the workspace and are
+    /// combined with a pairwise parallel tree reduction; steady-state calls
+    /// perform no heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `factors`/`mode`/`out` shapes disagree with the tensor.
+    pub fn mttkrp_into(
+        &self,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+        ws: &mut MttkrpWorkspace,
+    ) {
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         assert!(mode < self.nmodes(), "mode out of range");
         let rank = factors[mode].cols();
         let rows = self.shape[mode];
+        assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_mode x R");
         let nmodes = self.nmodes();
+        out.as_mut_slice().fill(0.0);
 
-        let process = |block_range: std::ops::Range<usize>| -> Vec<f64> {
-            let mut local = vec![0.0f64; rows * rank];
-            let mut row = vec![0.0f64; rank];
+        let process = |local: &mut [f64], row: &mut [f64], block_range: std::ops::Range<usize>| {
             for b in &self.blocks[block_range] {
                 for k in b.start..b.end {
                     row.fill(self.values[k]);
@@ -168,34 +188,30 @@ impl HiCoo {
                     }
                     let i = (b.base[mode] + self.offsets[mode][k] as u32) as usize;
                     let target = &mut local[i * rank..(i + 1) * rank];
-                    for (t, &r) in target.iter_mut().zip(&row) {
+                    for (t, &r) in target.iter_mut().zip(row.iter()) {
                         *t += r;
                     }
                 }
             }
-            local
         };
 
         let nblocks = self.nblocks();
-        let data = if self.nnz() >= 8192 && nblocks > 1 {
+        if self.nnz() >= tuning::hicoo_nnz_cutoff() && nblocks > 1 {
             let nchunks = rayon::current_num_threads().max(1).min(nblocks);
             let chunk = nblocks.div_ceil(nchunks).max(1);
-            (0..nchunks)
-                .into_par_iter()
-                .map(|t| process((t * chunk).min(nblocks)..((t + 1) * chunk).min(nblocks)))
-                .reduce(
-                    || vec![0.0f64; rows * rank],
-                    |mut x, y| {
-                        for (a, b) in x.iter_mut().zip(y) {
-                            *a += b;
-                        }
-                        x
-                    },
-                )
+            let (bufs, rows_scratch, _) = ws.chunk_scratch(nchunks, rows * rank, 0, rank);
+            bufs.par_iter_mut().zip(rows_scratch.par_chunks_mut(rank.max(1))).enumerate().for_each(
+                |(t, (local, row))| {
+                    let start = (t * chunk).min(nblocks);
+                    let end = ((t + 1) * chunk).min(nblocks);
+                    process(&mut local[..rows * rank], row, start..end);
+                },
+            );
+            ws.partials.reduce_into(nchunks, rows * rank, out.as_mut_slice());
         } else {
-            process(0..nblocks)
-        };
-        Mat::from_vec(rows, rank, data)
+            let (_, row, _) = ws.chunk_scratch(1, 0, 0, rank);
+            process(out.as_mut_slice(), row, 0..nblocks);
+        }
     }
 
     /// Traffic estimate: `u8` offsets per mode per nonzero plus `u32` bases
@@ -235,7 +251,9 @@ mod tests {
         shape
             .iter()
             .enumerate()
-            .map(|(m, &d)| Mat::from_fn(d, rank, |i, j| ((i * 3 + j * 5 + m) % 11) as f64 * 0.2 - 1.0))
+            .map(|(m, &d)| {
+                Mat::from_fn(d, rank, |i, j| ((i * 3 + j * 5 + m) % 11) as f64 * 0.2 - 1.0)
+            })
             .collect()
     }
 

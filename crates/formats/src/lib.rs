@@ -28,10 +28,12 @@ pub mod csf;
 pub mod hicoo;
 pub mod mttkrp;
 pub mod traffic;
+pub mod workspace;
 
 pub use alto::Alto;
 pub use blco::Blco;
 pub use csf::Csf;
 pub use hicoo::HiCoo;
-pub use mttkrp::{mttkrp_coo_parallel, mttkrp_ref};
+pub use mttkrp::{mttkrp_coo_parallel, mttkrp_coo_parallel_into, mttkrp_ref, mttkrp_ref_into};
 pub use traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
+pub use workspace::MttkrpWorkspace;

@@ -8,18 +8,41 @@
 
 use rayon::prelude::*;
 
-use cstf_linalg::Mat;
+use cstf_linalg::{tuning, Mat};
 use cstf_tensor::SparseTensor;
+
+use crate::workspace::MttkrpWorkspace;
 
 /// Scratch-free serial reference MTTKRP.
 ///
 /// `M[i_mode, r] += x * prod_{m != mode} H^(m)[i_m, r]` for every nonzero.
+/// Allocating wrapper over [`mttkrp_ref_into`].
 pub fn mttkrp_ref(x: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
+    let mut out = Mat::zeros(x.dim(mode), factors[mode].cols());
+    let mut ws = MttkrpWorkspace::new();
+    mttkrp_ref_into(x, factors, mode, &mut out, &mut ws);
+    out
+}
+
+/// Serial reference MTTKRP into a caller-owned output.
+///
+/// `out` is overwritten; `ws` provides the Hadamard scratch row.
+///
+/// # Panics
+/// Panics if `factors`/`mode`/`out` shapes disagree with the tensor.
+pub fn mttkrp_ref_into(
+    x: &SparseTensor,
+    factors: &[Mat],
+    mode: usize,
+    out: &mut Mat,
+    ws: &mut MttkrpWorkspace,
+) {
     assert_eq!(factors.len(), x.nmodes(), "one factor per mode");
     assert!(mode < x.nmodes(), "mode out of range");
     let rank = factors[mode].cols();
-    let mut out = Mat::zeros(x.dim(mode), rank);
-    let mut row = vec![0.0f64; rank];
+    assert_eq!((out.rows(), out.cols()), (x.dim(mode), rank), "output must be I_mode x R");
+    out.as_mut_slice().fill(0.0);
+    let row = ws.rows(1, rank);
 
     for k in 0..x.nnz() {
         row.fill(x.values()[k]);
@@ -33,65 +56,83 @@ pub fn mttkrp_ref(x: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
             }
         }
         let target = out.row_mut(x.mode_indices(mode)[k] as usize);
-        for (t, &r) in target.iter_mut().zip(&row) {
+        for (t, &r) in target.iter_mut().zip(row.iter()) {
             *t += r;
         }
     }
-    out
 }
 
 /// Parallel COO MTTKRP with per-thread output privatization.
 ///
-/// Each Rayon task accumulates into its own `I x R` buffer; buffers are
-/// summed pairwise at the end. This trades memory (`threads x I x R`) for
-/// atomic-free accumulation — the standard CPU strategy and the baseline
-/// the compressed formats improve on.
+/// Allocating wrapper over [`mttkrp_coo_parallel_into`].
 pub fn mttkrp_coo_parallel(x: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
+    let mut out = Mat::zeros(x.dim(mode), factors[mode].cols());
+    let mut ws = MttkrpWorkspace::new();
+    mttkrp_coo_parallel_into(x, factors, mode, &mut out, &mut ws);
+    out
+}
+
+/// Parallel COO MTTKRP into a caller-owned output.
+///
+/// Each Rayon task accumulates into its own `I x R` buffer from the
+/// workspace; buffers are combined with a pairwise parallel tree reduction
+/// (`O(log chunks)` depth instead of the serial `O(chunks x I x R)` sweep).
+/// This trades memory (`threads x I x R`) for atomic-free accumulation —
+/// the standard CPU strategy and the baseline the compressed formats
+/// improve on. Steady-state calls with stable shapes do not allocate.
+///
+/// # Panics
+/// Panics if `factors`/`mode`/`out` shapes disagree with the tensor.
+pub fn mttkrp_coo_parallel_into(
+    x: &SparseTensor,
+    factors: &[Mat],
+    mode: usize,
+    out: &mut Mat,
+    ws: &mut MttkrpWorkspace,
+) {
     assert_eq!(factors.len(), x.nmodes(), "one factor per mode");
+    assert!(mode < x.nmodes(), "mode out of range");
     let rank = factors[mode].cols();
     let rows = x.dim(mode);
+    assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_mode x R");
     let nnz = x.nnz();
-    if nnz < 8192 {
-        return mttkrp_ref(x, factors, mode);
+    if nnz < tuning::coo_nnz_cutoff() {
+        mttkrp_ref_into(x, factors, mode, out, ws);
+        return;
     }
 
     let nchunks = rayon::current_num_threads().max(1);
     let chunk = nnz.div_ceil(nchunks).max(1);
-    let partials: Vec<Vec<f64>> = (0..nchunks)
-        .into_par_iter()
-        .map(|t| {
-            let start = (t * chunk).min(nnz);
-            let end = ((t + 1) * chunk).min(nnz);
-            let mut local = vec![0.0f64; rows * rank];
-            let mut row = vec![0.0f64; rank];
-            for k in start..end {
-                row.fill(x.values()[k]);
-                for (m, f) in factors.iter().enumerate() {
-                    if m == mode {
-                        continue;
-                    }
-                    let frow = f.row(x.mode_indices(m)[k] as usize);
-                    for (r, &fv) in row.iter_mut().zip(frow) {
-                        *r *= fv;
-                    }
+    let kernel = |local: &mut [f64], row: &mut [f64], start: usize, end: usize| {
+        for k in start..end {
+            row.fill(x.values()[k]);
+            for (m, f) in factors.iter().enumerate() {
+                if m == mode {
+                    continue;
                 }
-                let i = x.mode_indices(mode)[k] as usize;
-                let target = &mut local[i * rank..(i + 1) * rank];
-                for (t_, &r) in target.iter_mut().zip(&row) {
-                    *t_ += r;
+                let frow = f.row(x.mode_indices(m)[k] as usize);
+                for (r, &fv) in row.iter_mut().zip(frow) {
+                    *r *= fv;
                 }
             }
-            local
-        })
-        .collect();
-
-    let mut total = vec![0.0f64; rows * rank];
-    for p in partials {
-        for (t, v) in total.iter_mut().zip(p) {
-            *t += v;
+            let i = x.mode_indices(mode)[k] as usize;
+            let target = &mut local[i * rank..(i + 1) * rank];
+            for (t_, &r) in target.iter_mut().zip(row.iter()) {
+                *t_ += r;
+            }
         }
-    }
-    Mat::from_vec(rows, rank, total)
+    };
+
+    out.as_mut_slice().fill(0.0);
+    let (bufs, rows_scratch, _) = ws.chunk_scratch(nchunks, rows * rank, 0, rank);
+    bufs.par_iter_mut().zip(rows_scratch.par_chunks_mut(rank.max(1))).enumerate().for_each(
+        |(t, (local, row))| {
+            let start = (t * chunk).min(nnz);
+            let end = ((t + 1) * chunk).min(nnz);
+            kernel(&mut local[..rows * rank], row, start, end);
+        },
+    );
+    ws.partials.reduce_into(nchunks, rows * rank, out.as_mut_slice());
 }
 
 /// Asserts two MTTKRP outputs agree to a relative tolerance (test helper,
@@ -135,7 +176,9 @@ mod tests {
         shape
             .iter()
             .enumerate()
-            .map(|(m, &d)| Mat::from_fn(d, rank, |i, j| ((i * 7 + j * 3 + m) % 11) as f64 * 0.2 - 1.0))
+            .map(|(m, &d)| {
+                Mat::from_fn(d, rank, |i, j| ((i * 7 + j * 3 + m) % 11) as f64 * 0.2 - 1.0)
+            })
             .collect()
     }
 

@@ -1,0 +1,181 @@
+//! Reusable MTTKRP workspaces.
+//!
+//! Every format's MTTKRP needs transient storage — privatized output
+//! buffers, per-chunk Hadamard scratch rows, CSF recursion scratch, BLCO's
+//! atomic output image. The allocating kernels create these per call, which
+//! puts `O(threads x I x R)` of allocation on the hot path of every outer
+//! iteration. [`MttkrpWorkspace`] owns all of them grow-only, so a
+//! steady-state factorization performs zero heap allocation in its MTTKRP
+//! phase regardless of format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cstf_linalg::PartialBuffers;
+
+/// Grow-only scratch shared by all formats' `mttkrp_into` kernels.
+///
+/// One workspace serves any number of formats, modes, and shapes: buffers
+/// are sized on first use and reused (never shrunk) afterwards. A workspace
+/// is not thread-safe itself — each concurrent MTTKRP caller needs its own.
+#[derive(Debug, Default)]
+pub struct MttkrpWorkspace {
+    /// Per-chunk privatized output buffers (COO, CSF, HiCOO) reduced with a
+    /// pairwise parallel tree.
+    pub partials: PartialBuffers,
+    /// Per-chunk Hadamard scratch rows (`nchunks x rank`, contiguous).
+    rows: Vec<f64>,
+    /// Per-chunk CSF recursion scratch (`nchunks x depth x rank`).
+    stack: Vec<f64>,
+    /// BLCO's atomic output image (`I x R` bit-encoded `f64`s).
+    atomics: Vec<AtomicU64>,
+    /// ALTO per-partition interval buffers (`width x rank` each).
+    alto: Vec<Vec<f64>>,
+}
+
+impl MttkrpWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zeroed scratch of `nchunks` rows of `rank` elements, contiguous, for
+    /// `par_chunks_mut(rank)` distribution across chunks.
+    pub fn rows(&mut self, nchunks: usize, rank: usize) -> &mut [f64] {
+        let need = nchunks * rank;
+        if self.rows.len() < need {
+            self.rows.resize(need, 0.0);
+        }
+        let s = &mut self.rows[..need];
+        s.fill(0.0);
+        s
+    }
+
+    /// Zeroed recursion scratch of `nchunks` stacks of `depth * rank`
+    /// elements, contiguous, for `par_chunks_mut(depth * rank)`.
+    pub fn stacks(&mut self, nchunks: usize, depth: usize, rank: usize) -> &mut [f64] {
+        let need = nchunks * depth * rank;
+        if self.stack.len() < need {
+            self.stack.resize(need, 0.0);
+        }
+        let s = &mut self.stack[..need];
+        s.fill(0.0);
+        s
+    }
+
+    /// Per-chunk privatized buffers plus row and recursion scratch in one
+    /// call (one borrow covering the disjoint fields): `nchunks` zeroed
+    /// partial buffers of `buf_len`, `nchunks x rank` scratch rows, and
+    /// `nchunks x depth x rank` recursion stacks.
+    pub fn chunk_scratch(
+        &mut self,
+        nchunks: usize,
+        buf_len: usize,
+        depth: usize,
+        rank: usize,
+    ) -> (&mut [Vec<f64>], &mut [f64], &mut [f64]) {
+        let bufs = self.partials.ensure(nchunks, buf_len);
+        let rneed = nchunks * rank;
+        if self.rows.len() < rneed {
+            self.rows.resize(rneed, 0.0);
+        }
+        let sneed = nchunks * depth * rank;
+        if self.stack.len() < sneed {
+            self.stack.resize(sneed, 0.0);
+        }
+        let r = &mut self.rows[..rneed];
+        r.fill(0.0);
+        let s = &mut self.stack[..sneed];
+        s.fill(0.0);
+        (bufs, r, s)
+    }
+
+    /// A zeroed atomic `f64` accumulation image of `len` slots (each slot
+    /// stores `f64::to_bits`), for BLCO's CAS-add output.
+    pub fn atomics(&mut self, len: usize) -> &[AtomicU64] {
+        if self.atomics.len() < len {
+            self.atomics.resize_with(len, || AtomicU64::new(0));
+        }
+        let zero = 0f64.to_bits();
+        for a in &self.atomics[..len] {
+            a.store(zero, Ordering::Relaxed);
+        }
+        &self.atomics[..len]
+    }
+
+    /// Both the atomic image and the per-chunk scratch rows in one call
+    /// (one borrow covering the disjoint fields): a zeroed `len`-slot
+    /// atomic `f64` image plus `nchunks x rank` zeroed scratch rows.
+    pub fn atomics_and_rows(
+        &mut self,
+        len: usize,
+        nchunks: usize,
+        rank: usize,
+    ) -> (&[AtomicU64], &mut [f64]) {
+        if self.atomics.len() < len {
+            self.atomics.resize_with(len, || AtomicU64::new(0));
+        }
+        let zero = 0f64.to_bits();
+        for a in &self.atomics[..len] {
+            a.store(zero, Ordering::Relaxed);
+        }
+        let rneed = nchunks * rank;
+        if self.rows.len() < rneed {
+            self.rows.resize(rneed, 0.0);
+        }
+        let r = &mut self.rows[..rneed];
+        r.fill(0.0);
+        (&self.atomics[..len], r)
+    }
+
+    /// ALTO's per-partition buffers. Each partition grows and zeroes its own
+    /// buffer to the width it needs (done inside the parallel region, where
+    /// each task owns exactly one buffer).
+    pub fn alto_buffers(&mut self, nparts: usize) -> &mut [Vec<f64>] {
+        if self.alto.len() < nparts {
+            self.alto.resize_with(nparts, Vec::new);
+        }
+        &mut self.alto[..nparts]
+    }
+}
+
+/// Grows `buf` to at least `len` and zeroes its first `len` elements —
+/// helper for per-task owned buffers inside parallel regions.
+pub(crate) fn prepare_buffer(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let s = &mut buf[..len];
+    s.fill(0.0);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_zeroed_on_reuse() {
+        let mut ws = MttkrpWorkspace::new();
+        ws.rows(2, 4)[0] = 5.0;
+        assert!(ws.rows(2, 4).iter().all(|&v| v == 0.0));
+        ws.stacks(1, 3, 4)[2] = 1.0;
+        assert!(ws.stacks(1, 3, 4).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn atomics_reset_between_calls() {
+        let mut ws = MttkrpWorkspace::new();
+        ws.atomics(8)[3].store(7.5f64.to_bits(), Ordering::Relaxed);
+        let slots = ws.atomics(8);
+        assert_eq!(f64::from_bits(slots[3].load(Ordering::Relaxed)), 0.0);
+    }
+
+    #[test]
+    fn prepare_buffer_grows_and_zeroes() {
+        let mut b = Vec::new();
+        prepare_buffer(&mut b, 4)[1] = 2.0;
+        let s = prepare_buffer(&mut b, 2);
+        assert_eq!(s, &[0.0, 0.0]);
+        assert_eq!(b.len(), 4, "grow-only; never shrinks");
+    }
+}

@@ -1,7 +1,10 @@
 //! Property-based tests on the compressed formats: structural invariants
 //! and MTTKRP equivalence under arbitrary sparse tensors.
 
-use cstf_formats::{mttkrp_coo_parallel, mttkrp_ref, Alto, Blco, Csf};
+use cstf_formats::{
+    mttkrp_coo_parallel, mttkrp_coo_parallel_into, mttkrp_ref, mttkrp_ref_into, Alto, Blco, Csf,
+    HiCoo, MttkrpWorkspace,
+};
 use cstf_linalg::Mat;
 use cstf_tensor::SparseTensor;
 use proptest::prelude::*;
@@ -12,8 +15,33 @@ fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
         proptest::collection::vec(2usize..16, 2 + extra_modes).prop_map(move |shape| {
             let mut state = seed | 1;
             let mut next = move || {
-                state =
-                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u32
+            };
+            let mut seen = std::collections::HashSet::new();
+            let mut idx = vec![Vec::new(); shape.len()];
+            let mut vals = Vec::new();
+            for _ in 0..nnz {
+                let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+                if seen.insert(c.clone()) {
+                    for (m, &ci) in c.iter().enumerate() {
+                        idx[m].push(ci);
+                    }
+                    vals.push(f64::from(next() % 64) * 0.25 + 0.125);
+                }
+            }
+            SparseTensor::new(shape, idx, vals)
+        })
+    })
+}
+
+/// Arbitrary small sparse tensor with exactly 3 or 4 modes.
+fn tensor_strategy_34() -> impl Strategy<Value = SparseTensor> {
+    (3usize..5, 1usize..100, any::<u64>()).prop_flat_map(|(nmodes, nnz, seed)| {
+        proptest::collection::vec(2usize..16, nmodes).prop_map(move |shape| {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 (state >> 33) as u32
             };
             let mut seen = std::collections::HashSet::new();
@@ -109,6 +137,56 @@ proptest! {
         for l in 1..n {
             prop_assert!(csf.level_size(l - 1) <= csf.level_size(l),
                 "level {l} shrank going down");
+        }
+    }
+
+    /// The workspace-based `*_into` kernels match the serial reference for
+    /// every format on random 3- and 4-mode tensors, with ONE shared
+    /// workspace reused across all formats and modes (the `Auntf` usage
+    /// pattern: grow-only scratch, no per-call state).
+    #[test]
+    fn mttkrp_into_matches_reference_for_all_formats(
+        x in tensor_strategy_34(),
+        seed in any::<u64>(),
+    ) {
+        let rank = 3;
+        let f = factors(x.shape(), rank, seed);
+        let alto = Alto::from_coo(&x);
+        let blco = Blco::from_coo(&x);
+        let hicoo = HiCoo::from_coo(&x);
+        let csf0 = Csf::from_coo(&x, 0);
+        let mut ws = MttkrpWorkspace::new();
+        for mode in 0..x.nmodes() {
+            let reference = mttkrp_ref(&x, &f, mode);
+            let mut out = Mat::zeros(x.dim(mode), rank);
+
+            mttkrp_ref_into(&x, &f, mode, &mut out, &mut ws);
+            prop_assert_eq!(out.as_slice(), reference.as_slice(), "ref_into mode {}", mode);
+
+            mttkrp_coo_parallel_into(&x, &f, mode, &mut out, &mut ws);
+            prop_assert!(close(&out, &reference), "coo_into mode {mode}");
+
+            Csf::from_coo(&x, mode).mttkrp_into(&f, &mut out, &mut ws);
+            prop_assert!(close(&out, &reference), "csf root-mode into mode {mode}");
+
+            csf0.mttkrp_any_into(&f, mode, &mut out, &mut ws);
+            prop_assert!(close(&out, &reference), "csf any-mode into mode {mode}");
+
+            alto.mttkrp_into(&f, mode, &mut out, &mut ws);
+            prop_assert!(close(&out, &reference), "alto_into mode {mode}");
+            let wrapper = alto.mttkrp(&f, mode);
+            prop_assert_eq!(
+                out.as_slice(),
+                wrapper.as_slice(),
+                "alto wrapper vs into mode {}",
+                mode
+            );
+
+            blco.mttkrp_into(&f, mode, &mut out, &mut ws);
+            prop_assert!(close(&out, &reference), "blco_into mode {mode}");
+
+            hicoo.mttkrp_into(&f, mode, &mut out, &mut ws);
+            prop_assert!(close(&out, &reference), "hicoo_into mode {mode}");
         }
     }
 

@@ -57,13 +57,36 @@ pub struct Cholesky {
 }
 
 impl Cholesky {
+    /// A factorization of the `n x n` identity (`L = I`). Placeholder with
+    /// the right dimensions so a persistent workspace can allocate its
+    /// factor up front and [`refactor`](Self::refactor) it each iteration.
+    pub fn identity(n: usize) -> Self {
+        Self { l: Mat::identity(n) }
+    }
+
     /// Factors a symmetric positive-definite matrix.
     ///
     /// Only the lower triangle of `a` is read.
     pub fn factor(a: &Mat) -> Result<Self, LinalgError> {
         assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
+        let mut ch = Self { l: Mat::zeros(a.rows(), a.rows()) };
+        ch.refactor(a)?;
+        Ok(ch)
+    }
+
+    /// Re-factors `a` into this existing factorization without allocating.
+    ///
+    /// `a` must match the current dimension. On error the factor is left in
+    /// an unspecified state and must be refactored before use.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square or disagrees with the current dimension.
+    pub fn refactor(&mut self, a: &Mat) -> Result<(), LinalgError> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
+        assert_eq!(a.rows(), self.l.rows(), "refactor: dimension must match");
         let n = a.rows();
-        let mut l = Mat::zeros(n, n);
+        let l = &mut self.l;
+        l.as_mut_slice().fill(0.0);
 
         for j in 0..n {
             // Diagonal pivot: a_jj - sum_k l_jk^2.
@@ -89,7 +112,7 @@ impl Cholesky {
                 l[(i, j)] = s / ljj;
             }
         }
-        Ok(Self { l })
+        Ok(())
     }
 
     /// The lower-triangular factor.
@@ -135,14 +158,10 @@ impl Cholesky {
     pub fn solve_rows(&self, b: &mut Mat) {
         assert_eq!(b.cols(), self.dim(), "solve_rows: RHS width must equal system size");
         let n = self.dim().max(1);
-        if b.rows() * self.dim() >= 8192 {
-            b.as_mut_slice()
-                .par_chunks_exact_mut(n)
-                .for_each(|row| self.solve_in_place(row));
+        if b.rows() * self.dim() >= crate::tuning::solve_rows_cutoff() {
+            b.as_mut_slice().par_chunks_exact_mut(n).for_each(|row| self.solve_in_place(row));
         } else {
-            b.as_mut_slice()
-                .chunks_exact_mut(n)
-                .for_each(|row| self.solve_in_place(row));
+            b.as_mut_slice().chunks_exact_mut(n).for_each(|row| self.solve_in_place(row));
         }
     }
 
@@ -152,8 +171,22 @@ impl Cholesky {
     /// The result is symmetric; symmetry is enforced exactly by averaging to
     /// keep downstream GEMMs deterministic.
     pub fn inverse(&self) -> Mat {
+        let mut inv = Mat::zeros(self.dim(), self.dim());
+        self.inverse_into(&mut inv);
+        inv
+    }
+
+    /// Writes the explicit inverse into `inv` without allocating.
+    ///
+    /// # Panics
+    /// Panics if `inv` is not `n x n`.
+    pub fn inverse_into(&self, inv: &mut Mat) {
         let n = self.dim();
-        let mut inv = Mat::identity(n);
+        assert_eq!((inv.rows(), inv.cols()), (n, n), "inverse_into: output must be n x n");
+        inv.as_mut_slice().fill(0.0);
+        for i in 0..n {
+            inv[(i, i)] = 1.0;
+        }
         for i in 0..n {
             // Row i of the identity is the i-th unit vector; solve_in_place
             // works row-wise on the row-major buffer, and since A^{-1} is
@@ -167,7 +200,6 @@ impl Cholesky {
                 inv[(j, i)] = avg;
             }
         }
-        inv
     }
 }
 

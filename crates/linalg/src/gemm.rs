@@ -14,10 +14,36 @@
 use rayon::prelude::*;
 
 use crate::matrix::Mat;
+use crate::scratch::PartialBuffers;
+use crate::tuning;
 
-/// Minimum number of output elements before a GEMM goes parallel; below this
-/// the Rayon fork/join overhead dominates.
-const PAR_THRESHOLD: usize = 16 * 1024;
+/// Single-row GEMM kernel: `c_row = alpha * a_row * B + beta * c_row`.
+///
+/// This is the exact per-row body of [`gemm`], exported so callers that
+/// already iterate rows (the fused ADMM sweep applying the pre-inverted
+/// `(S + rho I)^{-1}`) produce bitwise-identical results to a full
+/// [`gemm`] call over the same data. `b_data` is row-major `K x n`.
+#[inline]
+pub fn gemm_row(alpha: f64, a_row: &[f64], b_data: &[f64], n: usize, beta: f64, c_row: &mut [f64]) {
+    if beta == 0.0 {
+        c_row.fill(0.0);
+    } else if beta != 1.0 {
+        for v in c_row.iter_mut() {
+            *v *= beta;
+        }
+    }
+    // Row-major accumulation: walk A's row once, stream B's rows.
+    for (l, &a_il) in a_row.iter().enumerate() {
+        let scaled = alpha * a_il;
+        if scaled == 0.0 {
+            continue;
+        }
+        let b_row = &b_data[l * n..(l + 1) * n];
+        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+            *cv += scaled * bv;
+        }
+    }
+}
 
 /// `C = alpha * A * B + beta * C`.
 ///
@@ -28,32 +54,13 @@ pub fn gemm(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
     assert_eq!(c.rows(), a.rows(), "gemm: output rows must match A rows");
     assert_eq!(c.cols(), b.cols(), "gemm: output cols must match B cols");
 
-    let k = a.cols();
     let n = b.cols();
     let b_data = b.as_slice();
 
-    let body = |(a_row, c_row): (&[f64], &mut [f64])| {
-        if beta == 0.0 {
-            c_row.fill(0.0);
-        } else if beta != 1.0 {
-            for v in c_row.iter_mut() {
-                *v *= beta;
-            }
-        }
-        // Row-major accumulation: walk A's row once, stream B's rows.
-        for (l, &a_il) in a_row.iter().enumerate().take(k) {
-            let scaled = alpha * a_il;
-            if scaled == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[l * n..(l + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += scaled * bv;
-            }
-        }
-    };
+    let body =
+        |(a_row, c_row): (&[f64], &mut [f64])| gemm_row(alpha, a_row, b_data, n, beta, c_row);
 
-    if a.rows() * n >= PAR_THRESHOLD {
+    if a.rows() * n >= tuning::par_threshold() {
         let cols_a = a.cols().max(1);
         a.as_slice()
             .par_chunks_exact(cols_a)
@@ -78,17 +85,33 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
 /// `C = A^T * B` where `A` is `I x R1` and `B` is `I x R2`, producing `R1 x R2`.
 ///
 /// Used for the cross-Gram terms of HALS and for fit computation
-/// (`H^T * M`). Parallelized by splitting the row range of `A`/`B` and
-/// reducing per-thread partial `R1 x R2` accumulators.
+/// (`H^T * M`). Allocating wrapper over [`gemm_tn_into`].
 pub fn gemm_tn(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(a.cols(), b.cols());
+    let mut partials = PartialBuffers::new();
+    gemm_tn_into(a, b, &mut out, &mut partials);
+    out
+}
+
+/// `out = A^T * B`, reusing `partials` for the per-chunk privatized
+/// accumulators. `out` is overwritten. Steady-state calls with stable
+/// shapes perform no heap allocation; partial accumulators are combined
+/// with a pairwise parallel tree instead of a serial per-chunk sweep.
+///
+/// # Panics
+/// Panics if `a` and `b` disagree on row count or `out` is not
+/// `a.cols() x b.cols()`.
+pub fn gemm_tn_into(a: &Mat, b: &Mat, out: &mut Mat, partials: &mut PartialBuffers) {
     assert_eq!(a.rows(), b.rows(), "gemm_tn: row counts must agree");
+    assert_eq!(out.rows(), a.cols(), "gemm_tn: output rows must match A cols");
+    assert_eq!(out.cols(), b.cols(), "gemm_tn: output cols must match B cols");
     let (rows, r1, r2) = (a.rows(), a.cols(), b.cols());
-    if rows == 0 {
-        return Mat::zeros(r1, r2);
+    out.as_mut_slice().fill(0.0);
+    if rows == 0 || r1 == 0 || r2 == 0 {
+        return;
     }
 
-    let accumulate = |range: std::ops::Range<usize>| -> Vec<f64> {
-        let mut acc = vec![0.0f64; r1 * r2];
+    let accumulate = |acc: &mut [f64], range: std::ops::Range<usize>| {
         for i in range {
             let ar = a.row(i);
             let br = b.row(i);
@@ -96,35 +119,32 @@ pub fn gemm_tn(a: &Mat, b: &Mat) -> Mat {
                 if av == 0.0 {
                     continue;
                 }
-                let out = &mut acc[p * r2..(p + 1) * r2];
-                for (o, &bv) in out.iter_mut().zip(br) {
-                    *o += av * bv;
+                let o = &mut acc[p * r2..(p + 1) * r2];
+                for (ov, &bv) in o.iter_mut().zip(br) {
+                    *ov += av * bv;
                 }
             }
         }
-        acc
     };
 
-    let data = if rows * r1 * r2 >= PAR_THRESHOLD {
-        let nchunks = rayon::current_num_threads().max(1);
-        let chunk = rows.div_ceil(nchunks);
-        let partials: Vec<Vec<f64>> = (0..rows)
-            .into_par_iter()
-            .step_by(chunk)
-            .map(|start| accumulate(start..(start + chunk).min(rows)))
-            .collect();
-        let mut total = vec![0.0f64; r1 * r2];
-        for p in partials {
-            for (t, v) in total.iter_mut().zip(p) {
-                *t += v;
-            }
-        }
-        total
+    let nchunks = if rows * r1 * r2 >= tuning::par_threshold() {
+        rayon::current_num_threads().max(1)
     } else {
-        accumulate(0..rows)
+        1
     };
-
-    Mat::from_vec(r1, r2, data)
+    if nchunks == 1 {
+        accumulate(out.as_mut_slice(), 0..rows);
+        return;
+    }
+    let chunk = rows.div_ceil(nchunks);
+    let bufs = partials.ensure(nchunks, r1 * r2);
+    bufs.par_iter_mut().enumerate().for_each(|(ci, buf)| {
+        let start = ci * chunk;
+        if start < rows {
+            accumulate(&mut buf[..r1 * r2], start..(start + chunk).min(rows));
+        }
+    });
+    partials.reduce_into(nchunks, r1 * r2, out.as_mut_slice());
 }
 
 #[cfg(test)]

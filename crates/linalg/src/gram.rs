@@ -8,65 +8,72 @@
 use rayon::prelude::*;
 
 use crate::matrix::Mat;
+use crate::scratch::PartialBuffers;
+use crate::tuning;
 
 /// Computes `G = A^T A` (`R x R`, symmetric) for an `I x R` matrix.
 ///
-/// Parallelized by reducing per-thread partial Grams over row blocks; the
-/// upper triangle is computed and mirrored.
+/// Allocating wrapper over [`gram_into`].
 pub fn gram(a: &Mat) -> Mat {
+    let r = a.cols();
+    let mut g = Mat::zeros(r, r);
+    let mut partials = PartialBuffers::new();
+    gram_into(a, &mut g, &mut partials);
+    g
+}
+
+/// `out = A^T A`, reusing `partials` for per-chunk privatized accumulators.
+///
+/// Parallelized by reducing per-chunk partial Grams over row blocks with a
+/// pairwise tree; the upper triangle is computed and mirrored. Steady-state
+/// calls with stable shapes perform no heap allocation.
+///
+/// # Panics
+/// Panics if `out` is not `A.cols() x A.cols()`.
+pub fn gram_into(a: &Mat, out: &mut Mat, partials: &mut PartialBuffers) {
     let (rows, r) = (a.rows(), a.cols());
+    assert_eq!((out.rows(), out.cols()), (r, r), "gram: output must be R x R");
+    out.as_mut_slice().fill(0.0);
     if r == 0 {
-        return Mat::zeros(0, 0);
+        return;
     }
 
-    let accumulate = |range: std::ops::Range<usize>| -> Vec<f64> {
-        let mut acc = vec![0.0f64; r * r];
+    let accumulate = |acc: &mut [f64], range: std::ops::Range<usize>| {
         for i in range {
             let row = a.row(i);
             for (p, &ap) in row.iter().enumerate() {
                 if ap == 0.0 {
                     continue;
                 }
-                let out = &mut acc[p * r + p..(p + 1) * r];
-                for (o, &aq) in out.iter_mut().zip(&row[p..]) {
-                    *o += ap * aq;
+                let o = &mut acc[p * r + p..(p + 1) * r];
+                for (ov, &aq) in o.iter_mut().zip(&row[p..]) {
+                    *ov += ap * aq;
                 }
             }
         }
-        acc
     };
 
-    let upper = if rows * r >= 32 * 1024 {
-        let nchunks = rayon::current_num_threads().max(1);
-        let chunk = rows.div_ceil(nchunks).max(1);
-        (0..nchunks)
-            .into_par_iter()
-            .map(|t| {
-                let start = (t * chunk).min(rows);
-                let end = ((t + 1) * chunk).min(rows);
-                accumulate(start..end)
-            })
-            .reduce(
-                || vec![0.0f64; r * r],
-                |mut x, y| {
-                    for (a, b) in x.iter_mut().zip(y) {
-                        *a += b;
-                    }
-                    x
-                },
-            )
+    let nchunks =
+        if rows * r >= tuning::gram_cutoff() { rayon::current_num_threads().max(1) } else { 1 };
+    if nchunks == 1 {
+        accumulate(out.as_mut_slice(), 0..rows);
     } else {
-        accumulate(0..rows)
-    };
+        let chunk = rows.div_ceil(nchunks).max(1);
+        let bufs = partials.ensure(nchunks, r * r);
+        bufs.par_iter_mut().enumerate().for_each(|(t, buf)| {
+            let start = (t * chunk).min(rows);
+            let end = ((t + 1) * chunk).min(rows);
+            accumulate(&mut buf[..r * r], start..end);
+        });
+        partials.reduce_into(nchunks, r * r, out.as_mut_slice());
+    }
 
-    let mut g = Mat::from_vec(r, r, upper);
     // Mirror the upper triangle into the lower.
     for i in 0..r {
         for j in 0..i {
-            g[(i, j)] = g[(j, i)];
+            out[(i, j)] = out[(j, i)];
         }
     }
-    g
 }
 
 /// Element-wise (Hadamard) product of two square matrices, in place on `out`.
@@ -87,13 +94,26 @@ pub fn hadamard_in_place(out: &mut Mat, rhs: &Mat) {
 pub fn hadamard_of_grams(grams: &[Mat], skip_mode: usize) -> Mat {
     assert!(skip_mode < grams.len(), "skip_mode out of range");
     let r = grams[skip_mode].rows();
-    let mut s = Mat::full(r, r, 1.0);
+    let mut s = Mat::zeros(r, r);
+    hadamard_of_grams_into(grams, skip_mode, &mut s);
+    s
+}
+
+/// Non-allocating form of [`hadamard_of_grams`]: `out` is overwritten with
+/// the Hadamard product of all Grams except `skip_mode`'s.
+///
+/// # Panics
+/// Panics if `skip_mode` is out of range or `out` has the wrong shape.
+pub fn hadamard_of_grams_into(grams: &[Mat], skip_mode: usize, out: &mut Mat) {
+    assert!(skip_mode < grams.len(), "skip_mode out of range");
+    let r = grams[skip_mode].rows();
+    assert_eq!((out.rows(), out.cols()), (r, r), "hadamard_of_grams: output must be R x R");
+    out.as_mut_slice().fill(1.0);
     for (n, g) in grams.iter().enumerate() {
         if n != skip_mode {
-            hadamard_in_place(&mut s, g);
+            hadamard_in_place(out, g);
         }
     }
-    s
 }
 
 #[cfg(test)]

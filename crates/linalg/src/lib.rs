@@ -31,9 +31,14 @@ pub mod gemm;
 pub mod gram;
 pub mod matrix;
 pub mod norms;
+pub mod scratch;
+pub mod tuning;
 
 pub use cholesky::{Cholesky, LinalgError};
-pub use gemm::{gemm, gemm_tn, matmul};
-pub use gram::{gram, hadamard_in_place, hadamard_of_grams};
+pub use gemm::{gemm, gemm_row, gemm_tn, gemm_tn_into, matmul};
+pub use gram::{gram, gram_into, hadamard_in_place, hadamard_of_grams, hadamard_of_grams_into};
 pub use matrix::Mat;
-pub use norms::{diff_norm_sq, fro_norm, fro_norm_sq, normalize_columns, NormKind};
+pub use norms::{
+    diff_norm_sq, fro_norm, fro_norm_sq, normalize_columns, normalize_columns_scratch, NormKind,
+};
+pub use scratch::PartialBuffers;

@@ -7,10 +7,11 @@
 use rayon::prelude::*;
 
 use crate::matrix::Mat;
+use crate::tuning;
 
 /// Squared Frobenius norm `sum a_ij^2`.
 pub fn fro_norm_sq(a: &Mat) -> f64 {
-    if a.len() >= 64 * 1024 {
+    if a.len() >= tuning::norms_cutoff() {
         a.as_slice().par_iter().map(|&v| v * v).sum()
     } else {
         a.as_slice().iter().map(|&v| v * v).sum()
@@ -32,7 +33,7 @@ pub fn diff_norm_sq(a: &Mat, b: &Mat) -> f64 {
         let d = x - y;
         d * d
     };
-    if a.len() >= 64 * 1024 {
+    if a.len() >= tuning::norms_cutoff() {
         a.as_slice().par_iter().zip(b.as_slice()).map(body).sum()
     } else {
         a.as_slice().iter().zip(b.as_slice()).map(body).sum()
@@ -56,17 +57,40 @@ pub enum NormKind {
 /// `lambda` (`lambda_j *= norm_j`). Columns with zero norm are left in place
 /// and contribute a factor of 1 so `lambda` stays finite.
 ///
+/// Allocating wrapper over [`normalize_columns_scratch`].
+///
 /// # Panics
 /// Panics if `lambda.len() != a.cols()`.
 pub fn normalize_columns(a: &mut Mat, lambda: &mut [f64], kind: NormKind) {
+    let mut scratch = Vec::new();
+    normalize_columns_scratch(a, lambda, kind, &mut scratch);
+}
+
+/// [`normalize_columns`] with caller-provided scratch (grown to `2 * R`
+/// and reused; steady-state calls perform no heap allocation).
+///
+/// # Panics
+/// Panics if `lambda.len() != a.cols()`.
+pub fn normalize_columns_scratch(
+    a: &mut Mat,
+    lambda: &mut [f64],
+    kind: NormKind,
+    scratch: &mut Vec<f64>,
+) {
     let r = a.cols();
     assert_eq!(lambda.len(), r, "lambda length must equal column count");
     if r == 0 || a.rows() == 0 {
         return;
     }
+    if scratch.len() < 2 * r {
+        scratch.resize(2 * r, 0.0);
+    }
+    let (norms, inv) = scratch.split_at_mut(r);
+    let norms = &mut norms[..r];
+    let inv = &mut inv[..r];
 
     // Column norms via one pass over the row-major buffer.
-    let mut norms = vec![0.0f64; r];
+    norms.fill(0.0);
     match kind {
         NormKind::Two => {
             for row in a.rows_iter() {
@@ -74,7 +98,7 @@ pub fn normalize_columns(a: &mut Mat, lambda: &mut [f64], kind: NormKind) {
                     *n += v * v;
                 }
             }
-            for n in &mut norms {
+            for n in norms.iter_mut() {
                 *n = n.sqrt();
             }
         }
@@ -84,25 +108,28 @@ pub fn normalize_columns(a: &mut Mat, lambda: &mut [f64], kind: NormKind) {
                     *n = n.max(v.abs());
                 }
             }
-            for n in &mut norms {
+            for n in norms.iter_mut() {
                 *n = n.max(1.0);
             }
         }
     }
 
-    let inv: Vec<f64> = norms.iter().map(|&n| if n > 0.0 { 1.0 / n } else { 1.0 }).collect();
+    for (s, &n) in inv.iter_mut().zip(norms.iter()) {
+        *s = if n > 0.0 { 1.0 / n } else { 1.0 };
+    }
+    let inv = &*inv;
     let apply = |row: &mut [f64]| {
-        for (v, &s) in row.iter_mut().zip(&inv) {
+        for (v, &s) in row.iter_mut().zip(inv) {
             *v *= s;
         }
     };
-    if a.len() >= 64 * 1024 {
+    if a.len() >= tuning::norms_cutoff() {
         a.as_mut_slice().par_chunks_exact_mut(r).for_each(apply);
     } else {
         a.as_mut_slice().chunks_exact_mut(r).for_each(apply);
     }
 
-    for (l, &n) in lambda.iter_mut().zip(&norms) {
+    for (l, &n) in lambda.iter_mut().zip(norms.iter()) {
         if n > 0.0 {
             *l *= n;
         }

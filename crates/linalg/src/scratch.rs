@@ -1,0 +1,164 @@
+//! Reusable privatization buffers for parallel reductions.
+//!
+//! The MTTKRP and Gram kernels privatize their accumulation: each Rayon
+//! chunk owns a dense buffer, and the buffers are combined afterwards.
+//! Allocating those buffers per call (and reducing them serially) is
+//! exactly the per-iteration overhead the paper's fused update removes on
+//! the GPU side, so [`PartialBuffers`] keeps them alive across calls —
+//! grow-only, like a device scratch arena — and reduces them with a
+//! parallel pairwise tree instead of a serial `O(chunks x len)` sweep.
+
+use rayon::prelude::*;
+
+use crate::tuning;
+
+/// A grow-only set of per-chunk accumulation buffers.
+///
+/// `ensure(nchunks, len)` hands out `nchunks` zeroed buffers of `len`
+/// elements, reusing prior capacity; `reduce_into` combines them into an
+/// output slice with a parallel pairwise tree.
+#[derive(Debug, Default)]
+pub struct PartialBuffers {
+    bufs: Vec<Vec<f64>>,
+}
+
+impl PartialBuffers {
+    /// An empty buffer set (no allocation until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares `nchunks` buffers of `len` zeroed elements and returns
+    /// them. Only grows storage; steady-state calls with stable sizes do
+    /// not allocate.
+    pub fn ensure(&mut self, nchunks: usize, len: usize) -> &mut [Vec<f64>] {
+        if self.bufs.len() < nchunks {
+            self.bufs.resize_with(nchunks, Vec::new);
+        }
+        for buf in &mut self.bufs[..nchunks] {
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            buf[..len].fill(0.0);
+        }
+        &mut self.bufs[..nchunks]
+    }
+
+    /// The first `nchunks` buffers, for a second pass over already-ensured
+    /// storage.
+    pub fn chunks_mut(&mut self, nchunks: usize) -> &mut [Vec<f64>] {
+        &mut self.bufs[..nchunks]
+    }
+
+    /// Adds the first `nchunks` buffers (first `len` elements each) into
+    /// `out` via [`reduce_partials_into`]. `out` is accumulated into, not
+    /// overwritten.
+    pub fn reduce_into(&mut self, nchunks: usize, len: usize, out: &mut [f64]) {
+        reduce_partials_into(&mut self.bufs[..nchunks], len, out);
+    }
+}
+
+/// Pairwise-parallel tree reduction of privatized buffers into `out`.
+///
+/// Halves the buffer set repeatedly — each surviving buffer absorbs a
+/// partner, all pairs in parallel — then adds the single survivor into
+/// `out`. `O(log chunks)` parallel depth instead of the serial
+/// `O(chunks x len)` sweep. Buffers are left dirty.
+///
+/// # Panics
+/// Panics if any buffer or `out` is shorter than `len`.
+pub fn reduce_partials_into(bufs: &mut [Vec<f64>], len: usize, out: &mut [f64]) {
+    assert!(out.len() >= len, "reduce: output shorter than reduction length");
+    if bufs.is_empty() || len == 0 {
+        return;
+    }
+    let parallel = bufs.len() * len >= tuning::par_threshold();
+    let mut live = bufs.len();
+    while live > 1 {
+        let half = live / 2;
+        let keep_len = live - half;
+        let (keep, fold) = bufs[..live].split_at_mut(keep_len);
+        let dsts = &mut keep[keep_len - half..];
+        if parallel {
+            dsts.par_iter_mut()
+                .zip(fold.par_iter())
+                .for_each(|(dst, src)| add_assign(&mut dst[..len], &src[..len]));
+        } else {
+            for (dst, src) in dsts.iter_mut().zip(fold.iter()) {
+                add_assign(&mut dst[..len], &src[..len]);
+            }
+        }
+        live -= half;
+    }
+    let src = &bufs[0][..len];
+    if parallel {
+        out[..len].par_iter_mut().zip(src.par_iter()).for_each(|(o, &v)| *o += v);
+    } else {
+        add_assign(&mut out[..len], src);
+    }
+}
+
+fn add_assign(dst: &mut [f64], src: &[f64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_matches_serial_sum() {
+        for nchunks in [1usize, 2, 3, 5, 8, 13] {
+            let mut bufs: Vec<Vec<f64>> = (0..nchunks)
+                .map(|c| (0..17).map(|i| (c * 31 + i) as f64 * 0.5).collect())
+                .collect();
+            let mut expected = vec![0.0f64; 17];
+            for b in &bufs {
+                for (e, &v) in expected.iter_mut().zip(b) {
+                    *e += v;
+                }
+            }
+            let mut out = vec![0.0f64; 17];
+            reduce_partials_into(&mut bufs, 17, &mut out);
+            for (o, e) in out.iter().zip(&expected) {
+                assert!((o - e).abs() < 1e-12, "{nchunks} chunks: {o} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_accumulates_into_out() {
+        let mut bufs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let mut out = vec![10.0, 20.0];
+        reduce_partials_into(&mut bufs, 2, &mut out);
+        assert_eq!(out, vec![14.0, 26.0]);
+    }
+
+    #[test]
+    fn ensure_zeroes_and_reuses() {
+        let mut pb = PartialBuffers::new();
+        {
+            let bufs = pb.ensure(3, 4);
+            assert_eq!(bufs.len(), 3);
+            bufs[0][0] = 7.0;
+        }
+        let bufs = pb.ensure(2, 4);
+        assert_eq!(bufs.len(), 2);
+        assert_eq!(bufs[0][0], 0.0, "ensure must re-zero");
+    }
+
+    #[test]
+    fn reduce_respects_len_under_capacity() {
+        let mut pb = PartialBuffers::new();
+        pb.ensure(2, 8);
+        // Shrink the active length; stale capacity beyond `len` must not leak.
+        let bufs = pb.ensure(2, 3);
+        bufs[0][..3].copy_from_slice(&[1.0, 2.0, 3.0]);
+        bufs[1][..3].copy_from_slice(&[4.0, 5.0, 6.0]);
+        let mut out = vec![0.0; 3];
+        pb.reduce_into(2, 3, &mut out);
+        assert_eq!(out, vec![5.0, 7.0, 9.0]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Centralized parallelism thresholds.
+//!
+//! Every hot kernel in the workspace used to carry its own ad-hoc "go
+//! parallel above N elements" constant (`PAR_THRESHOLD` in `gemm`,
+//! `PAR_ELEMS` in the ADMM kernels, chunk floors in the BLCO/HiCOO
+//! MTTKRPs). They were all tuned relative to the same quantity — the
+//! element count below which a Rayon fork/join costs more than it saves —
+//! so they now derive from a single base threshold here.
+//!
+//! The base can be overridden with the `CSTF_PAR_THRESHOLD` environment
+//! variable for bench tuning (read once per process; the first call wins).
+
+use std::sync::OnceLock;
+
+/// Default base threshold: minimum number of output elements before an
+/// element-wise kernel goes parallel.
+pub const DEFAULT_PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Base parallelism threshold in elements.
+///
+/// Reads `CSTF_PAR_THRESHOLD` on first use; invalid or missing values fall
+/// back to [`DEFAULT_PAR_THRESHOLD`]. Cached for the process lifetime.
+pub fn par_threshold() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("CSTF_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+    })
+}
+
+/// Threshold for element-wise map/reduce kernels over factor matrices
+/// (the ADMM inner-iteration kernels). Same scale as the base.
+pub fn par_elems() -> usize {
+    par_threshold()
+}
+
+/// Nonzero count below which the COO MTTKRP runs the serial reference
+/// kernel instead of privatized parallel accumulation.
+pub fn coo_nnz_cutoff() -> usize {
+    par_threshold() / 2
+}
+
+/// Nonzero count below which a CSF MTTKRP traverses its tree serially.
+pub fn csf_nnz_cutoff() -> usize {
+    par_threshold() / 4
+}
+
+/// Nonzero count below which the HiCOO MTTKRP processes blocks serially.
+pub fn hicoo_nnz_cutoff() -> usize {
+    par_threshold() / 2
+}
+
+/// Minimum nonzeros per parallel chunk of a BLCO block (below this the
+/// per-chunk scratch row and CAS traffic dominate).
+pub fn blco_chunk_floor() -> usize {
+    par_threshold() / 4
+}
+
+/// Element threshold for parallel Gram (SYRK) accumulation.
+pub fn gram_cutoff() -> usize {
+    par_threshold() * 2
+}
+
+/// Element threshold for parallel norm reductions and column scaling.
+pub fn norms_cutoff() -> usize {
+    par_threshold() * 4
+}
+
+/// Element threshold (`rows x rank`) for solving triangular systems with
+/// one Rayon task per right-hand-side row.
+pub fn solve_rows_cutoff() -> usize {
+    par_threshold() / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_historical_constants() {
+        // The derived cutoffs must reproduce the constants the kernels
+        // shipped with, so centralizing them changes no default behavior.
+        assert_eq!(DEFAULT_PAR_THRESHOLD, 16 * 1024);
+        assert_eq!(DEFAULT_PAR_THRESHOLD / 2, 8192); // COO / HiCOO / solve_rows
+        assert_eq!(DEFAULT_PAR_THRESHOLD / 4, 4096); // CSF / BLCO chunk floor
+        assert_eq!(DEFAULT_PAR_THRESHOLD * 2, 32 * 1024); // Gram
+        assert_eq!(DEFAULT_PAR_THRESHOLD * 4, 64 * 1024); // norms
+    }
+
+    #[test]
+    fn threshold_is_positive_and_stable() {
+        let a = par_threshold();
+        let b = par_threshold();
+        assert!(a > 0);
+        assert_eq!(a, b, "cached value must not change within a process");
+    }
+}

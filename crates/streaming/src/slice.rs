@@ -19,10 +19,7 @@ impl SliceTensor {
         assert_eq!(indices.len(), shape.len(), "one index vector per mode");
         for (m, idx) in indices.iter().enumerate() {
             assert_eq!(idx.len(), values.len(), "mode {m} index count must equal nnz");
-            assert!(
-                idx.iter().all(|&i| (i as usize) < shape[m]),
-                "mode {m} index out of range"
-            );
+            assert!(idx.iter().all(|&i| (i as usize) < shape[m]), "mode {m} index out of range");
         }
         Self { shape, indices, values }
     }
@@ -114,11 +111,7 @@ mod tests {
     use super::*;
 
     fn toy_slice() -> SliceTensor {
-        SliceTensor::new(
-            vec![3, 2],
-            vec![vec![0, 2, 1], vec![1, 0, 1]],
-            vec![2.0, 3.0, -1.0],
-        )
+        SliceTensor::new(vec![3, 2], vec![vec![0, 2, 1], vec![1, 0, 1]], vec![2.0, 3.0, -1.0])
     }
 
     fn toy_factors() -> Vec<Mat> {
@@ -134,9 +127,8 @@ mod tests {
         let f = toy_factors();
         let m = s.temporal_mttkrp(&f, 2);
         for r in 0..2 {
-            let want = 2.0 * f[0][(0, r)] * f[1][(1, r)]
-                + 3.0 * f[0][(2, r)] * f[1][(0, r)]
-                + (-1.0) * f[0][(1, r)] * f[1][(1, r)];
+            let want = 2.0 * f[0][(0, r)] * f[1][(1, r)] + 3.0 * f[0][(2, r)] * f[1][(0, r)]
+                - f[0][(1, r)] * f[1][(1, r)];
             assert!((m[r] - want).abs() < 1e-12);
         }
     }
@@ -152,9 +144,7 @@ mod tests {
                 let mut want = 0.0;
                 for k in 0..s.nnz() {
                     if s.mode_indices(0)[k] as usize == i {
-                        want += s.values()[k]
-                            * s_t[r]
-                            * f[1][(s.mode_indices(1)[k] as usize, r)];
+                        want += s.values()[k] * s_t[r] * f[1][(s.mode_indices(1)[k] as usize, r)];
                     }
                 }
                 assert!((m[(i, r)] - want).abs() < 1e-12, "({i},{r})");

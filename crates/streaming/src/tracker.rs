@@ -38,13 +38,7 @@ pub struct StreamingConfig {
 
 impl Default for StreamingConfig {
     fn default() -> Self {
-        Self {
-            rank: 8,
-            forgetting: 0.95,
-            admm: AdmmConfig::cuadmm(),
-            refresh_passes: 1,
-            seed: 0,
-        }
+        Self { rank: 8, forgetting: 0.95, admm: AdmmConfig::cuadmm(), refresh_passes: 1, seed: 0 }
     }
 }
 
@@ -458,9 +452,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "forgetting factor")]
     fn invalid_forgetting_rejected() {
-        StreamingCstf::new(
-            vec![5, 5],
-            StreamingConfig { forgetting: 1.5, ..Default::default() },
-        );
+        StreamingCstf::new(vec![5, 5], StreamingConfig { forgetting: 1.5, ..Default::default() });
     }
 }

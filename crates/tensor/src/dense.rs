@@ -199,10 +199,8 @@ mod tests {
         let shape = vec![2, 3, 2];
         let t = DenseTensor::from_fn(shape.clone(), |c| (c[0] + 2 * c[1] + 3 * c[2] + 1) as f64);
         let r = 2;
-        let factors: Vec<Mat> = shape
-            .iter()
-            .map(|&d| Mat::from_fn(d, r, |i, j| (i + j + 1) as f64 * 0.5))
-            .collect();
+        let factors: Vec<Mat> =
+            shape.iter().map(|&d| Mat::from_fn(d, r, |i, j| (i + j + 1) as f64 * 0.5)).collect();
         let m = t.mttkrp(&factors, 0);
         for i in 0..2 {
             for rr in 0..r {

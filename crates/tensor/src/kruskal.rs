@@ -198,7 +198,7 @@ mod tests {
             vec![vec![0, 1], vec![0, 2], vec![0, 1]],
             vec![2.0, -1.0],
         );
-        let want = 2.0 * m.value_at(&[0, 0, 0]) + (-1.0) * m.value_at(&[1, 2, 1]);
+        let want = 2.0 * m.value_at(&[0, 0, 0]) - m.value_at(&[1, 2, 1]);
         assert!((m.inner_with(&x) - want).abs() < 1e-12);
     }
 

@@ -179,8 +179,7 @@ impl SparseTensor {
 
     /// Drops explicitly stored zeros (|value| <= tol).
     pub fn prune_zeros(&mut self, tol: f64) {
-        let keep: Vec<usize> =
-            (0..self.nnz()).filter(|&k| self.values[k].abs() > tol).collect();
+        let keep: Vec<usize> = (0..self.nnz()).filter(|&k| self.values[k].abs() > tol).collect();
         if keep.len() == self.nnz() {
             return;
         }
@@ -272,11 +271,8 @@ mod tests {
 
     #[test]
     fn sum_duplicates_merges() {
-        let mut t = SparseTensor::new(
-            vec![2, 2],
-            vec![vec![0, 1, 0], vec![1, 0, 1]],
-            vec![2.0, 5.0, 3.0],
-        );
+        let mut t =
+            SparseTensor::new(vec![2, 2], vec![vec![0, 1, 0], vec![1, 0, 1]], vec![2.0, 5.0, 3.0]);
         t.sum_duplicates();
         assert_eq!(t.nnz(), 2);
         assert_eq!(t.get(&[0, 1]), 5.0);
@@ -285,11 +281,7 @@ mod tests {
 
     #[test]
     fn prune_zeros_removes_small_entries() {
-        let mut t = SparseTensor::new(
-            vec![2, 2],
-            vec![vec![0, 1], vec![0, 1]],
-            vec![1e-16, 7.0],
-        );
+        let mut t = SparseTensor::new(vec![2, 2], vec![vec![0, 1], vec![0, 1]], vec![1e-16, 7.0]);
         t.prune_zeros(1e-12);
         assert_eq!(t.nnz(), 1);
         assert_eq!(t.get(&[1, 1]), 7.0);

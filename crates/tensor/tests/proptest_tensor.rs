@@ -9,8 +9,7 @@ fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
         proptest::collection::vec(1usize..12, nmodes).prop_map(move |shape| {
             let mut state = seed | 1;
             let mut next = move || {
-                state =
-                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 (state >> 33) as u32
             };
             let mut seen = std::collections::HashSet::new();

@@ -14,8 +14,8 @@
 //! cargo run --release --example anomaly_detection
 //! ```
 
-use cstf_suite::core::{Auntf, AuntfConfig, TensorFormat, UpdateMethod};
 use cstf_suite::core::admm::AdmmConfig;
+use cstf_suite::core::{Auntf, AuntfConfig, TensorFormat, UpdateMethod};
 use cstf_suite::data::SynthSpec;
 use cstf_suite::device::{Device, DeviceSpec};
 use cstf_suite::tensor::SparseTensor;
@@ -51,8 +51,7 @@ fn main() {
     // destinations in a narrow time window.
     let incoming_normal = cstf_suite::data::generate(&SynthSpec { seed: 8, nnz: 4_000, ..spec });
     let n_anomalies = 40;
-    let mut idx: Vec<Vec<u32>> =
-        (0..3).map(|m| incoming_normal.mode_indices(m).to_vec()).collect();
+    let mut idx: Vec<Vec<u32>> = (0..3).map(|m| incoming_normal.mode_indices(m).to_vec()).collect();
     let mut vals = incoming_normal.values().to_vec();
     let mut planted = Vec::new();
     for k in 0..n_anomalies {
@@ -64,11 +63,7 @@ fn main() {
         planted.push(coord);
     }
     let x = SparseTensor::new(vec![120, 120, 60], idx, vals);
-    println!(
-        "scoring {} incoming events ({} anomalous)",
-        x.nnz(),
-        n_anomalies
-    );
+    println!("scoring {} incoming events ({} anomalous)", x.nnz(), n_anomalies);
 
     // Rank incoming events by residual against the baseline.
     let mut scored: Vec<(f64, Vec<u32>)> = (0..x.nnz())
@@ -82,19 +77,13 @@ fn main() {
 
     // Precision@K: how many of the top-n_anomalies residuals are planted?
     let top: Vec<&Vec<u32>> = scored.iter().take(n_anomalies).map(|(_, c)| c).collect();
-    let hits = top
-        .iter()
-        .filter(|c| planted.iter().any(|p| p.as_slice() == c.as_slice()))
-        .count();
+    let hits = top.iter().filter(|c| planted.iter().any(|p| p.as_slice() == c.as_slice())).count();
     let precision = hits as f64 / n_anomalies as f64;
 
     println!("\ntop-5 residuals:");
     for (r, c) in scored.iter().take(5) {
-        let mark = if planted.iter().any(|p| p.as_slice() == c.as_slice()) {
-            "ANOMALY"
-        } else {
-            "normal"
-        };
+        let mark =
+            if planted.iter().any(|p| p.as_slice() == c.as_slice()) { "ANOMALY" } else { "normal" };
         println!("  residual {r:>8.3} at {c:?}  [{mark}]");
     }
     println!("\nprecision@{n_anomalies} = {precision:.2}");

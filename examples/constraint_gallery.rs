@@ -75,8 +75,8 @@ fn main() {
             .iter()
             .flat_map(|f| f.as_slice())
             .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let zeros: f64 = out.model.factors.iter().map(sparsity).sum::<f64>()
-            / out.model.factors.len() as f64;
+        let zeros: f64 =
+            out.model.factors.iter().map(sparsity).sum::<f64>() / out.model.factors.len() as f64;
 
         println!(
             "{:<28} {:>8.4} {:>12.4} {:>12.4} {:>9.1}%",

@@ -26,22 +26,14 @@ fn cost_of(t: &TrafficEstimate) -> KernelCost {
 }
 
 fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
+    a.as_slice().iter().zip(b.as_slice()).fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
 }
 
 fn main() {
     let rank = 32;
     let entry = by_name("NELL2").expect("catalog entry");
     let x = entry.generate_scaled(entry.default_target_nnz(60_000), 3);
-    println!(
-        "NELL2 analogue: {:?}, nnz = {}, density = {:.2e}\n",
-        x.shape(),
-        x.nnz(),
-        x.density()
-    );
+    println!("NELL2 analogue: {:?}, nnz = {}, density = {:.2e}\n", x.shape(), x.nnz(), x.density());
 
     let factors = seeded_factors(x.shape(), rank, 9);
     let reference = mttkrp_ref(&x, &factors, 0);
@@ -78,12 +70,13 @@ fn main() {
     println!("\nstorage (bytes):");
     println!("  COO   {coo_bytes:>12}");
     println!("  CSF   {:>12}   (x{} trees for ALLMODE)", csf.storage_bytes(), x.nmodes());
-    println!("  HiCOO {:>12}   ({} blocks, side {})", hicoo.storage_bytes(), hicoo.nblocks(), hicoo.block_side());
     println!(
-        "  ALTO  {:>12}   ({} index bits)",
-        alto.storage_bytes(),
-        alto.index_bits()
+        "  HiCOO {:>12}   ({} blocks, side {})",
+        hicoo.storage_bytes(),
+        hicoo.nblocks(),
+        hicoo.block_side()
     );
+    println!("  ALTO  {:>12}   ({} index bits)", alto.storage_bytes(), alto.index_bits());
     println!(
         "  BLCO  {:>12}   ({} blocks, {} index bits)",
         blco.storage_bytes(),

@@ -6,8 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cstf_suite::core::{Auntf, AuntfConfig, TensorFormat, UpdateMethod};
 use cstf_suite::core::admm::AdmmConfig;
+use cstf_suite::core::{Auntf, AuntfConfig, TensorFormat, UpdateMethod};
 use cstf_suite::data::SynthSpec;
 use cstf_suite::device::{Device, DeviceSpec};
 
@@ -23,12 +23,7 @@ fn main() {
         seed: 42,
     };
     let x = cstf_suite::data::generate(&spec);
-    println!(
-        "tensor: {:?}, nnz = {}, density = {:.2e}",
-        x.shape(),
-        x.nnz(),
-        x.density()
-    );
+    println!("tensor: {:?}, nnz = {}, density = {:.2e}", x.shape(), x.nnz(), x.density());
 
     // 2. Configure the factorization: rank 16, cuADMM (operation fusion +
     //    pre-inversion), BLCO format — the paper's GPU configuration.

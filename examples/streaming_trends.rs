@@ -8,9 +8,9 @@
 //! cargo run --release --example streaming_trends
 //! ```
 
+use cstf_streaming::{SliceTensor, StreamingConfig, StreamingCstf};
 use cstf_suite::device::{Device, DeviceSpec};
 use cstf_suite::linalg::Mat;
-use cstf_streaming::{SliceTensor, StreamingConfig, StreamingCstf};
 
 /// Builds one time step of synthetic activity: a stable community plus an
 /// emerging trend whose intensity ramps with `t`.
@@ -74,11 +74,8 @@ fn main() {
             late - early
         })
         .collect();
-    let (trend_r, &trend_growth) = growth
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap();
+    let (trend_r, &trend_growth) =
+        growth.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
 
     println!("\ncomponent {trend_r} is the emerging trend (loading growth {trend_growth:+.3})");
 

@@ -36,10 +36,7 @@ fn run_all_formats(x: &SparseTensor, rank: usize) -> Vec<f64> {
 fn two_mode_tensor_is_constrained_nmf() {
     let x = SparseTensor::new(
         vec![30, 25],
-        vec![
-            (0..200u32).map(|k| k % 30).collect(),
-            (0..200u32).map(|k| (k * 7) % 25).collect(),
-        ],
+        vec![(0..200u32).map(|k| k % 30).collect(), (0..200u32).map(|k| (k * 7) % 25).collect()],
         (0..200).map(|k| 1.0 + (k % 5) as f64).collect(),
     );
     let fits = run_all_formats(&x, 4);
@@ -59,8 +56,11 @@ fn five_mode_tensor_works_end_to_end() {
     let mut seen = std::collections::HashSet::new();
     while vals.len() < 500 {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let c: Vec<u32> =
-            shape.iter().enumerate().map(|(m, &d)| ((state >> (8 * m)) % d as u64) as u32).collect();
+        let c: Vec<u32> = shape
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| ((state >> (8 * m)) % d as u64) as u32)
+            .collect();
         if seen.insert(c.clone()) {
             for (m, &ci) in c.iter().enumerate() {
                 idx[m].push(ci);
@@ -75,10 +75,10 @@ fn five_mode_tensor_works_end_to_end() {
     let csf: Vec<Csf> = (0..5).map(|m| Csf::from_coo(&x, m)).collect();
     let alto = Alto::from_coo(&x);
     let blco = Blco::from_coo(&x);
-    for mode in 0..5 {
+    for (mode, csf_tree) in csf.iter().enumerate() {
         let reference = mttkrp_ref(&x, &f, mode);
         for (name, out) in [
-            ("csf", csf[mode].mttkrp(&f)),
+            ("csf", csf_tree.mttkrp(&f)),
             ("alto", alto.mttkrp(&f, mode)),
             ("blco", blco.mttkrp(&f, mode)),
         ] {
@@ -207,11 +207,8 @@ fn duplicate_coordinates_sum_consistently() {
         vec![1.0, 2.0, 5.0, 7.0],
     );
     with_dups.sum_duplicates();
-    let merged = SparseTensor::new(
-        vec![5, 5],
-        vec![vec![1, 2, 3], vec![2, 3, 4]],
-        vec![3.0, 5.0, 7.0],
-    );
+    let merged =
+        SparseTensor::new(vec![5, 5], vec![vec![1, 2, 3], vec![2, 3, 4]], vec![3.0, 5.0, 7.0]);
     assert_eq!(with_dups.nnz(), 3);
     let f = factors_for(&[5, 5], 2);
     let a = mttkrp_ref(&with_dups, &f, 0);

@@ -31,8 +31,11 @@ fn full_pipeline_produces_nonnegative_improving_model() {
     let dev = Device::new(DeviceSpec::h100());
     let out = Auntf::new(x, cfg).factorize(&dev);
 
-    assert!(out.fits.windows(2).filter(|w| w[1] < w[0] - 1e-6).count() <= 1,
-        "fit should be (almost) monotone: {:?}", out.fits);
+    assert!(
+        out.fits.windows(2).filter(|w| w[1] < w[0] - 1e-6).count() <= 1,
+        "fit should be (almost) monotone: {:?}",
+        out.fits
+    );
     assert!(out.fits.last().unwrap() > &out.fits[0]);
     for f in &out.model.factors {
         assert!(f.is_nonnegative(1e-12));
@@ -102,10 +105,7 @@ fn update_schemes_all_reach_comparable_fits() {
     }
     let best = results.iter().map(|&(_, f)| f).fold(f64::NEG_INFINITY, f64::max);
     for (name, fit) in &results {
-        assert!(
-            best - fit < 0.25,
-            "{name} fit {fit} far from best {best}: {results:?}"
-        );
+        assert!(best - fit < 0.25, "{name} fit {fit} far from best {best}: {results:?}");
     }
 }
 
@@ -128,12 +128,7 @@ fn l1_constraint_yields_sparser_model_than_nonneg() {
         Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()))
     };
     let zeros = |out: &cstf_core::auntf::FactorizeOutput| {
-        out.model
-            .factors
-            .iter()
-            .flat_map(|f| f.as_slice())
-            .filter(|&&v| v.abs() < 1e-12)
-            .count()
+        out.model.factors.iter().flat_map(|f| f.as_slice()).filter(|&&v| v.abs() < 1e-12).count()
     };
     let nn = run(Constraint::NonNegative);
     let l1 = run(Constraint::SparseL1 { mu: 1.0 });

@@ -59,8 +59,10 @@ fn claim_gpu_end_to_end_beats_splatt() {
 fn claim_h100_beats_a100() {
     for name in ["NIPS", "Enron", "Delicious"] {
         let w = wl(name);
-        let a = run_preset(&presets::cstf_gpu(32, w.device_spec(&DeviceSpec::a100())), &w.tensor, 1);
-        let h = run_preset(&presets::cstf_gpu(32, w.device_spec(&DeviceSpec::h100())), &w.tensor, 1);
+        let a =
+            run_preset(&presets::cstf_gpu(32, w.device_spec(&DeviceSpec::a100())), &w.tensor, 1);
+        let h =
+            run_preset(&presets::cstf_gpu(32, w.device_spec(&DeviceSpec::h100())), &w.tensor, 1);
         assert!(
             h.per_iter_total() < a.per_iter_total(),
             "{name}: H100 {:.3e}s should beat A100 {:.3e}s",
@@ -92,8 +94,10 @@ fn claim_cuadmm_beats_generic_admm() {
     };
 
     let generic = time(&AdmmConfig::generic());
-    let of = time(&AdmmConfig { operation_fusion: true, pre_inversion: false, ..AdmmConfig::generic() });
-    let pi = time(&AdmmConfig { operation_fusion: false, pre_inversion: true, ..AdmmConfig::generic() });
+    let of =
+        time(&AdmmConfig { operation_fusion: true, pre_inversion: false, ..AdmmConfig::generic() });
+    let pi =
+        time(&AdmmConfig { operation_fusion: false, pre_inversion: true, ..AdmmConfig::generic() });
     let both = time(&AdmmConfig::cuadmm());
 
     assert!(of < generic, "OF should beat generic: {of:.3e} vs {generic:.3e}");
@@ -148,7 +152,11 @@ fn claim_mu_hals_gpu_speedups() {
     let gpu_spec = w.device_spec(&DeviceSpec::a100());
 
     let mu_cpu = run_preset(
-        &presets::planc_cpu_on(32, cstf_core::UpdateMethod::Mu(Default::default()), cpu_spec.clone()),
+        &presets::planc_cpu_on(
+            32,
+            cstf_core::UpdateMethod::Mu(Default::default()),
+            cpu_spec.clone(),
+        ),
         &w.tensor,
         1,
     );

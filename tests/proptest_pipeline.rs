@@ -1,7 +1,9 @@
 //! Property-based tests on the cross-crate pipeline invariants.
 
 use cstf_core::admm::AdmmConfig;
-use cstf_core::{Auntf, AuntfConfig, TensorFormat, UpdateMethod};
+use cstf_core::{
+    admm_update, AdmmWorkspace, Auntf, AuntfConfig, Constraint, TensorFormat, UpdateMethod,
+};
 use cstf_device::{Device, DeviceSpec};
 use cstf_formats::{mttkrp_ref, Alto, Blco, Csf};
 use cstf_linalg::Mat;
@@ -15,8 +17,7 @@ fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
             let shape = vec![d0, d1, d2];
             let mut state = seed | 1;
             let mut next = move || {
-                state =
-                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 (state >> 33) as u32
             };
             let mut seen = std::collections::HashSet::new();
@@ -98,6 +99,49 @@ proptest! {
         for k in 0..x.nnz() {
             prop_assert_eq!(back.get(&x.coord(k)), x.values()[k]);
         }
+    }
+
+    /// The single-sweep fused inner iteration is bitwise-identical to the
+    /// multi-kernel path — H, U, and the iteration count all match exactly
+    /// — for every OF x PI variant and every constraint kind.
+    #[test]
+    fn single_sweep_is_bitwise_neutral(
+        x in tensor_strategy(),
+        of in any::<bool>(),
+        pi in any::<bool>(),
+        which in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let f = factors_for(x.shape(), 3, seed);
+        let grams: Vec<Mat> = f.iter().map(cstf_linalg::gram::gram).collect();
+        let s = cstf_linalg::hadamard_of_grams(&grams, 0);
+        let m = mttkrp_ref(&x, &f, 0);
+        let constraint = [
+            Constraint::NonNegative,
+            Constraint::SparseL1 { mu: 0.25 },
+            Constraint::Simplex,
+        ][which];
+        let dev = Device::new(DeviceSpec::h100());
+        let run = |sweep: bool| {
+            let cfg = AdmmConfig {
+                operation_fusion: of,
+                pre_inversion: pi,
+                single_sweep: sweep,
+                constraint,
+                tol: 0.0, // fixed iteration count: residual sums are order-sensitive
+                ..AdmmConfig::cuadmm()
+            };
+            let mut h = f[0].clone();
+            let mut u = Mat::zeros(h.rows(), h.cols());
+            let mut ws = AdmmWorkspace::new(h.rows(), h.cols());
+            let stats = admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws);
+            (h, u, stats.iters)
+        };
+        let (ha, ua, ia) = run(false);
+        let (hb, ub, ib) = run(true);
+        prop_assert_eq!(ha.as_slice(), hb.as_slice(), "H differs (of={} pi={})", of, pi);
+        prop_assert_eq!(ua.as_slice(), ub.as_slice(), "U differs (of={} pi={})", of, pi);
+        prop_assert_eq!(ia, ib);
     }
 
     /// The ADMM update is invariant to kernel granularity: fused and

@@ -1,0 +1,125 @@
+//! Proves the zero-allocation hot path end to end: once workspaces are
+//! grown (first outer iteration), a steady-state AUNTF outer iteration
+//! performs **zero** heap allocations.
+//!
+//! Method: a counting `#[global_allocator]` wraps the system allocator;
+//! we run `factorize` with `max_iters = 1` and `max_iters = 2` on fresh
+//! but identically configured instances and assert the allocation *counts*
+//! are equal — i.e. the second outer iteration allocated nothing. (Counts,
+//! not bytes: `Vec::with_capacity(max_iters)` sizes differ by design.)
+//!
+//! The tensor is small enough that every kernel stays below the
+//! parallelism thresholds in `cstf_linalg::tuning`, so no Rayon jobs are
+//! spawned during the measured window; a warm-up run first absorbs
+//! one-time global state (Rayon registry, lazy statics).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use cstf_core::admm::AdmmConfig;
+use cstf_core::{Auntf, AuntfConfig, TensorFormat, UpdateMethod};
+use cstf_device::{Device, DeviceSpec};
+use cstf_tensor::SparseTensor;
+
+/// Small deterministic tensor: every kernel stays on its serial path.
+fn small_tensor() -> SparseTensor {
+    let shape = vec![12, 10, 8];
+    let mut state: u64 = 0x5eed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut idx = vec![Vec::new(); 3];
+    let mut vals = Vec::new();
+    for _ in 0..300 {
+        let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+        if seen.insert(c.clone()) {
+            for (m, &ci) in c.iter().enumerate() {
+                idx[m].push(ci);
+            }
+            vals.push(f64::from(next() % 100) / 50.0 + 0.02);
+        }
+    }
+    SparseTensor::new(shape, idx, vals)
+}
+
+fn config(max_iters: usize, format: TensorFormat, admm: AdmmConfig) -> AuntfConfig {
+    AuntfConfig {
+        rank: 4,
+        max_iters,
+        update: UpdateMethod::Admm(admm),
+        format,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+/// Allocation count of one full `factorize` call (setup + iterations).
+fn allocs_for(max_iters: usize, format: TensorFormat, admm: AdmmConfig) -> usize {
+    let x = small_tensor();
+    let auntf = Auntf::new(x, config(max_iters, format, admm));
+    let dev = Device::new(DeviceSpec::h100());
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let out = auntf.factorize(&dev);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(out.iters, max_iters, "run must not stop early");
+    after - before
+}
+
+#[test]
+fn steady_state_outer_iteration_allocates_nothing() {
+    for format in [
+        TensorFormat::Coo,
+        TensorFormat::Csf,
+        TensorFormat::CsfOne,
+        TensorFormat::HiCoo,
+        TensorFormat::Alto,
+        TensorFormat::Blco,
+    ] {
+        // Both ADMM execution modes must be allocation-free: the paper's
+        // multi-kernel cuADMM and the single-sweep extension.
+        for admm in [AdmmConfig::cuadmm(), AdmmConfig::cuadmm_fused()] {
+            // Warm-up: Rayon's global registry and any lazy statics
+            // initialize on the first factorize so they don't skew the
+            // measured runs.
+            let _ = allocs_for(1, format, admm);
+
+            let one = allocs_for(1, format, admm);
+            let two = allocs_for(2, format, admm);
+            assert_eq!(
+                two,
+                one,
+                "{format:?} sweep={}: the second (steady-state) outer iteration made {} heap \
+                 allocation(s); the hot path must not allocate",
+                admm.single_sweep,
+                two - one
+            );
+        }
+    }
+}
