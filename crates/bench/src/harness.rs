@@ -1,10 +1,17 @@
 //! Run-one-system-on-one-tensor machinery.
+//!
+//! Results come from [`cstf_device::RunCapture`] — the device's atomic
+//! capture-and-clear — so back-to-back repetitions on a shared preset
+//! device can never double-count: each run takes exactly the records it
+//! produced, and the next run starts from a clean profiler regardless of
+//! who read the device in between.
 
 use serde::Serialize;
 
 use cstf_core::presets::SystemPreset;
 use cstf_core::Auntf;
-use cstf_device::Phase;
+use cstf_device::{Phase, RunCapture};
+use cstf_telemetry::RunSummary;
 use cstf_tensor::{DenseTensor, SparseTensor};
 
 /// Modeled seconds per cSTF phase, per outer iteration.
@@ -54,6 +61,10 @@ pub struct RunResult {
     /// Wall-clock seconds the real execution took on the host (all
     /// iterations), for the Criterion-style sanity numbers.
     pub wall_s: f64,
+    /// The shared `run.json` data model for this run — what a CLI
+    /// `--telemetry` run would have written, derived from the same
+    /// [`RunCapture`] the breakdowns above come from.
+    pub summary: RunSummary,
 }
 
 impl RunResult {
@@ -74,15 +85,19 @@ pub fn run_preset(preset: &SystemPreset, x: &SparseTensor, iters: usize) -> RunR
     let mut cfg = preset.config.clone();
     cfg.max_iters = iters;
     cfg.compute_fit = false;
+    let rank = cfg.rank;
     let auntf = Auntf::new(x.clone(), cfg);
 
+    // Clear anything a previous (non-harness) consumer left on the shared
+    // device; the run's own records are taken atomically below.
     preset.device.reset_shared();
     let t0 = std::time::Instant::now();
     let out = auntf.factorize(&preset.device);
     let wall_s = t0.elapsed().as_secs_f64();
     debug_assert_eq!(out.iters, iters);
 
-    result_from_device(preset, iters, wall_s)
+    let capture = preset.device.take_run();
+    result_from_capture(preset, iters, wall_s, &capture, x.shape().to_vec(), x.nnz() as u64, rank)
 }
 
 /// Runs a preset on a dense tensor (the Fig. 1 DenseTF arm).
@@ -90,6 +105,9 @@ pub fn run_preset_dense(preset: &SystemPreset, x: &DenseTensor, iters: usize) ->
     let mut cfg = preset.config.clone();
     cfg.max_iters = iters;
     cfg.compute_fit = false;
+    let rank = cfg.rank;
+    let shape = x.shape().to_vec();
+    let nnz = shape.iter().product::<usize>() as u64;
     let auntf = Auntf::new_dense(x.clone(), cfg);
 
     preset.device.reset_shared();
@@ -97,30 +115,56 @@ pub fn run_preset_dense(preset: &SystemPreset, x: &DenseTensor, iters: usize) ->
     auntf.factorize(&preset.device);
     let wall_s = t0.elapsed().as_secs_f64();
 
-    result_from_device(preset, iters, wall_s)
+    let capture = preset.device.take_run();
+    result_from_capture(preset, iters, wall_s, &capture, shape, nnz, rank)
 }
 
-fn result_from_device(preset: &SystemPreset, iters: usize, wall_s: f64) -> RunResult {
-    let dev = &preset.device;
+fn result_from_capture(
+    preset: &SystemPreset,
+    iters: usize,
+    wall_s: f64,
+    capture: &RunCapture,
+    shape: Vec<usize>,
+    nnz: u64,
+    rank: usize,
+) -> RunResult {
     let n = iters.max(1) as f64;
+    let summary = RunSummary {
+        schema_version: cstf_telemetry::summary::SCHEMA_VERSION,
+        system: preset.name.to_string(),
+        device: preset.device.spec().name.to_string(),
+        shape,
+        nnz,
+        rank: rank as u32,
+        iterations: iters as u32,
+        converged: false,
+        fits: Vec::new(),
+        final_fit: None,
+        wall_s,
+        modeled_s: capture.total_seconds(),
+        measured_s: capture.total_measured_seconds(),
+        transfer_s: capture.phase(Phase::Transfer).seconds,
+        phases: cstf_device::phase_summaries(capture),
+    };
     RunResult {
         system: preset.name,
-        device: dev.spec().name.to_string(),
+        device: preset.device.spec().name.to_string(),
         iters,
         per_iter: PhaseBreakdown {
-            gram: dev.phase_totals(Phase::Gram).seconds / n,
-            mttkrp: dev.phase_totals(Phase::Mttkrp).seconds / n,
-            update: dev.phase_totals(Phase::Update).seconds / n,
-            normalize: dev.phase_totals(Phase::Normalize).seconds / n,
+            gram: capture.phase(Phase::Gram).seconds / n,
+            mttkrp: capture.phase(Phase::Mttkrp).seconds / n,
+            update: capture.phase(Phase::Update).seconds / n,
+            normalize: capture.phase(Phase::Normalize).seconds / n,
         },
         per_iter_measured: PhaseBreakdown {
-            gram: dev.phase_totals(Phase::Gram).measured_s / n,
-            mttkrp: dev.phase_totals(Phase::Mttkrp).measured_s / n,
-            update: dev.phase_totals(Phase::Update).measured_s / n,
-            normalize: dev.phase_totals(Phase::Normalize).measured_s / n,
+            gram: capture.phase(Phase::Gram).measured_s / n,
+            mttkrp: capture.phase(Phase::Mttkrp).measured_s / n,
+            update: capture.phase(Phase::Update).measured_s / n,
+            normalize: capture.phase(Phase::Normalize).measured_s / n,
         },
-        transfer: dev.phase_totals(Phase::Transfer).seconds,
+        transfer: capture.phase(Phase::Transfer).seconds,
         wall_s,
+        summary,
     }
 }
 
@@ -207,6 +251,35 @@ mod tests {
         let r = run_preset(&presets::cstf_gpu(16, cstf_device::DeviceSpec::h100()), &x, 1);
         let s: f64 = r.per_iter.fractions().iter().sum();
         assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repetitions_on_a_shared_device_do_not_double_count() {
+        // The modeled cost is deterministic, so two identical repetitions
+        // must report identical per-iteration times — any residue from the
+        // first run leaking into the second would show up here.
+        let x = small_tensor();
+        let preset = presets::cstf_gpu(16, cstf_device::DeviceSpec::h100());
+        let a = run_preset(&preset, &x, 2);
+        let b = run_preset(&preset, &x, 2);
+        assert_eq!(a.per_iter_total(), b.per_iter_total());
+        assert_eq!(a.transfer, b.transfer);
+        // And the capture really was cleared: the device holds nothing now.
+        assert_eq!(preset.device.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn run_summary_mirrors_the_breakdown() {
+        let x = small_tensor();
+        let r = run_preset(&presets::cstf_gpu(8, cstf_device::DeviceSpec::a100()), &x, 2);
+        assert_eq!(r.summary.iterations, 2);
+        assert_eq!(r.summary.nnz, x.nnz() as u64);
+        assert_eq!(r.summary.rank, 8);
+        assert!((r.summary.per_iter_modeled_s() - r.per_iter_total()).abs() < 1e-15);
+        assert!((r.summary.transfer_s - r.transfer).abs() < 1e-18);
+        // And it round-trips through the run.json body.
+        let back = cstf_telemetry::RunSummary::from_json(&r.summary.to_json_pretty()).unwrap();
+        assert_eq!(back, r.summary);
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub struct ParsedArgs {
     pub options: BTreeMap<String, String>,
     /// Bare `--flag` switches (no value).
     pub flags: Vec<String>,
+    /// Non-flag tokens after the subcommand (e.g. `cstf report DIR`).
+    pub positionals: Vec<String>,
 }
 
 /// Errors from parsing or validating the command line.
@@ -70,6 +72,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
             }
         } else if out.command.is_empty() {
             out.command = tok.clone();
+        } else {
+            out.positionals.push(tok.clone());
         }
     }
     if out.command.is_empty() {
@@ -123,6 +127,14 @@ mod tests {
         assert_eq!(p.get_or("device", "cpu"), "h100");
         assert!(p.has_flag("json"));
         assert!(!p.has_flag("quiet"));
+    }
+
+    #[test]
+    fn positionals_follow_the_command() {
+        let p = parse(&sv(&["report", "out/telemetry", "--json"])).unwrap();
+        assert_eq!(p.command, "report");
+        assert_eq!(p.positionals, vec!["out/telemetry".to_string()]);
+        assert!(p.has_flag("json"));
     }
 
     #[test]

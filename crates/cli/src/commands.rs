@@ -6,7 +6,8 @@ use cstf_core::admm::AdmmConfig;
 use cstf_core::auntf::TensorFormat;
 use cstf_core::hybrid::{recommend_placement, Placement, WorkloadShape};
 use cstf_core::{Auntf, AuntfConfig, Constraint, HalsConfig, MuConfig, UpdateMethod};
-use cstf_device::{Device, DeviceSpec};
+use cstf_device::{Device, DeviceSpec, Phase, RunCapture};
+use cstf_telemetry::{convergence, spans, IterationRecord, RunSummary};
 use cstf_tensor::SparseTensor;
 
 use crate::args::{ArgError, ParsedArgs};
@@ -41,6 +42,7 @@ impl From<ArgError> for CliError {
 pub fn dispatch(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     match p.command.as_str() {
         "factorize" => cmd_factorize(p, out),
+        "report" => cmd_report(p, out),
         "info" => cmd_info(p, out),
         "datasets" => cmd_datasets(out),
         "devices" => cmd_devices(out),
@@ -61,6 +63,7 @@ pub fn help_text() -> String {
      \n\
      COMMANDS:\n\
        factorize   run a constrained CP factorization\n\
+       report      render the artifacts of a --telemetry run (DIR positional)\n\
        info        inspect a tensor (shape, nnz, density, format storage)\n\
        datasets    list the Table 2 catalog\n\
        devices     list the simulated device specs (Table 1)\n\
@@ -78,7 +81,9 @@ pub fn help_text() -> String {
        --device D           cpu|a100|h100             (default h100)\n\
        --seed N             RNG seed                  (default 0)\n\
        --json               emit a JSON report instead of text\n\
-       --trace FILE         write a chrome://tracing kernel timeline\n"
+       --trace FILE         write a chrome://tracing kernel timeline\n\
+       --telemetry DIR      write run.json, events.jsonl, trace.json and\n\
+                            metrics.prom into DIR (then: cstf report DIR)\n"
         .to_string()
 }
 
@@ -190,9 +195,18 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         ..Default::default()
     };
     let trace_path = p.options.get("trace").cloned();
+    let telemetry_dir = p.options.get("telemetry").cloned();
     let spec = parse_device(p.get_or("device", "h100"))?;
-    // Retain per-kernel records only when a trace is requested.
-    let dev = if trace_path.is_some() { Device::with_records(spec) } else { Device::new(spec) };
+    // Retain per-kernel records only when an artifact consumer needs them.
+    let dev = if trace_path.is_some() || telemetry_dir.is_some() {
+        Device::with_records(spec.clone())
+    } else {
+        Device::new(spec.clone())
+    };
+    if telemetry_dir.is_some() {
+        spans::clear();
+        cstf_telemetry::set_spans_enabled(true);
+    }
 
     let shape = x.shape().to_vec();
     let nnz = x.nnz();
@@ -211,14 +225,14 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
     if p.has_flag("json") {
         let report = serde_json::json!({
-            "shape": shape,
+            "shape": shape.clone(),
             "nnz": nnz,
             "rank": rank,
             "iterations": result.iters,
             "converged": result.converged,
             "fits": result.fits,
             "final_fit": result.fits.last(),
-            "lambda": result.model.lambda,
+            "lambda": result.model.lambda.clone(),
             "wall_seconds": wall,
             "modeled_seconds": dev.total_seconds(),
             "measured_seconds": dev.total_measured_seconds(),
@@ -247,6 +261,108 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             writeln!(out, "  {:<10} {:>10.3e}s ({} launches)", ph.label(), t.seconds, t.launches)
                 .map_err(|e| CliError::Input(e.to_string()))?;
         }
+    }
+
+    // Last: `take_run` empties the device, so every consumer above must
+    // already have read what it needs.
+    if let Some(dir) = &telemetry_dir {
+        cstf_telemetry::set_spans_enabled(false);
+        let span_records = spans::drain();
+        let capture = dev.take_run();
+        let summary = RunSummary {
+            schema_version: cstf_telemetry::summary::SCHEMA_VERSION,
+            system: "cstf-cli".to_string(),
+            device: spec.name.to_string(),
+            shape,
+            nnz: nnz as u64,
+            rank: rank as u32,
+            iterations: result.iters as u32,
+            converged: result.converged,
+            fits: result.fits.clone(),
+            final_fit: result.fits.last().copied(),
+            wall_s: wall,
+            modeled_s: capture.total_seconds(),
+            measured_s: capture.total_measured_seconds(),
+            transfer_s: capture.phase(Phase::Transfer).seconds,
+            phases: cstf_device::phase_summaries(&capture),
+        };
+        let iterations = result.convergence.records();
+        write_telemetry_artifacts(dir, &summary, &iterations, &capture, &span_records, &spec)?;
+        eprintln!("[telemetry artifacts written to {dir}; render with `cstf report {dir}`]");
+    }
+    Ok(())
+}
+
+/// Writes the four telemetry artifacts into `dir` (created if absent):
+/// `run.json` (the [`RunSummary`]), `events.jsonl` (per-iteration
+/// convergence records), `trace.json` (Perfetto timeline with counter
+/// tracks, iteration instants, MTTKRP→UPDATE flows and host spans) and
+/// `metrics.prom` (Prometheus text exposition).
+fn write_telemetry_artifacts(
+    dir: &str,
+    summary: &RunSummary,
+    iterations: &[IterationRecord],
+    capture: &RunCapture,
+    span_records: &[cstf_telemetry::SpanRecord],
+    spec: &DeviceSpec,
+) -> Result<(), CliError> {
+    let root = std::path::Path::new(dir);
+    std::fs::create_dir_all(root)
+        .map_err(|e| CliError::Input(format!("cannot create telemetry dir {dir}: {e}")))?;
+    let io_err = |name: &str| {
+        let name = name.to_string();
+        move |e: std::io::Error| CliError::Input(format!("telemetry artifact {name}: {e}"))
+    };
+
+    std::fs::write(root.join("run.json"), summary.to_json_pretty()).map_err(io_err("run.json"))?;
+
+    let events =
+        std::fs::File::create(root.join("events.jsonl")).map_err(io_err("events.jsonl"))?;
+    convergence::write_jsonl(iterations, std::io::BufWriter::new(events))
+        .map_err(io_err("events.jsonl"))?;
+
+    let trace = std::fs::File::create(root.join("trace.json")).map_err(io_err("trace.json"))?;
+    cstf_device::write_full_trace(
+        &capture.records,
+        &capture.marks,
+        span_records,
+        std::io::BufWriter::new(trace),
+    )
+    .map_err(io_err("trace.json"))?;
+
+    let prom = cstf_device::registry_from_capture(capture, spec).to_prometheus();
+    std::fs::write(root.join("metrics.prom"), prom).map_err(io_err("metrics.prom"))?;
+    Ok(())
+}
+
+/// `cstf report DIR`: renders the artifacts a `--telemetry` run wrote.
+fn cmd_report(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = p
+        .positionals
+        .first()
+        .map(String::as_str)
+        .or_else(|| p.options.get("dir").map(String::as_str))
+        .ok_or(ArgError::MissingOption("dir (or a DIR positional)"))?;
+    let root = std::path::Path::new(dir);
+
+    let run_text = std::fs::read_to_string(root.join("run.json"))
+        .map_err(|e| CliError::Input(format!("{dir}/run.json: {e}")))?;
+    let summary = RunSummary::from_json(&run_text).map_err(CliError::Input)?;
+
+    // events.jsonl is optional — a run without convergence tracking still
+    // gets the phase table.
+    let iterations = match std::fs::read_to_string(root.join("events.jsonl")) {
+        Ok(text) => convergence::read_jsonl(&text)
+            .map_err(|e| CliError::Input(format!("{dir}/events.jsonl: {e}")))?,
+        Err(_) => Vec::new(),
+    };
+
+    if p.has_flag("json") {
+        writeln!(out, "{}", summary.report_json_line())
+            .map_err(|e| CliError::Input(e.to_string()))?;
+    } else {
+        write!(out, "{}", summary.render_report(&iterations))
+            .map_err(|e| CliError::Input(e.to_string()))?;
     }
     Ok(())
 }
@@ -469,6 +585,50 @@ mod tests {
         assert!(events.iter().any(|e| e["name"] == "mttkrp"));
         assert!(events.iter().any(|e| e["cat"] == "UPDATE"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn telemetry_dir_then_report_round_trip() {
+        let dir = std::env::temp_dir().join("cstf_cli_telemetry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap().to_string();
+        run(&[
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--telemetry",
+            &d,
+        ])
+        .unwrap();
+        for name in ["run.json", "events.jsonl", "trace.json", "metrics.prom"] {
+            assert!(dir.join(name).exists(), "missing artifact {name}");
+        }
+
+        let text = run(&["report", &d]).unwrap();
+        assert!(text.contains("final fit"), "{text}");
+        assert!(text.contains("MTTKRP"), "{text}");
+
+        let line = run(&["report", &d, "--json"]).unwrap();
+        assert_eq!(line.trim().lines().count(), 1);
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["iterations"], 2);
+        assert_eq!(v["rank"], 3);
+        assert!(v["phases"]["mttkrp"].as_f64().unwrap() > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_without_dir_is_rejected() {
+        assert!(matches!(
+            run(&["report"]).unwrap_err(),
+            CliError::Args(ArgError::MissingOption(_))
+        ));
     }
 
     #[test]

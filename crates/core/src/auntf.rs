@@ -10,6 +10,7 @@
 use cstf_device::{Device, KernelClass, KernelCost, Phase};
 use cstf_formats::{Alto, Blco, Csf, HiCoo, MttkrpWorkspace, TrafficEstimate};
 use cstf_linalg::{gram, normalize_columns_scratch, Mat, NormKind, PartialBuffers};
+use cstf_telemetry::{ConvergenceLog, Span};
 use cstf_tensor::{DenseTensor, Ktensor, SparseTensor};
 
 use crate::admm::{admm_update, AdmmConfig, AdmmWorkspace};
@@ -104,6 +105,9 @@ pub struct FactorizeOutput {
     pub fits: Vec<f64>,
     /// True when the fit-tolerance stop fired before `max_iters`.
     pub converged: bool,
+    /// Per-iteration convergence telemetry: fit, relative error, and the
+    /// ADMM inner-iteration counts / residuals / rho of every mode visit.
+    pub convergence: ConvergenceLog,
 }
 
 enum Source {
@@ -498,20 +502,23 @@ impl Auntf {
         let mut norm_scratch: Vec<f64> = Vec::new();
 
         let mut fits = Vec::with_capacity(self.cfg.max_iters);
+        let mut convergence = ConvergenceLog::with_capacity(self.cfg.max_iters, nmodes);
         let mut converged = false;
         let mut iters = 0;
 
         for _outer in 0..self.cfg.max_iters {
+            let _iter_span = Span::enter("outer_iteration");
             iters += 1;
             let mut last_m: Option<usize> = None;
             for mode in 0..nmodes {
+                let _mode_span = Span::enter_mode("mode_update", mode);
                 self.hadamard_grams_into(dev, &grams, mode, &mut s);
                 self.mttkrp_into(dev, &factors, mode, &mut m_bufs[mode], &mut mtt_ws);
                 let m = &m_bufs[mode];
 
                 match &self.cfg.update {
                     UpdateMethod::Admm(cfg) => {
-                        admm_update(
+                        let stats = admm_update(
                             dev,
                             cfg,
                             m,
@@ -520,9 +527,22 @@ impl Auntf {
                             &mut duals[mode],
                             &mut workspaces[mode],
                         );
+                        convergence.log_mode(
+                            mode,
+                            stats.iters,
+                            Some(stats.primal_residual),
+                            Some(stats.dual_residual),
+                            Some(stats.rho),
+                        );
                     }
-                    UpdateMethod::Mu(cfg) => mu_update(dev, cfg, m, &s, &mut factors[mode]),
-                    UpdateMethod::Hals(cfg) => hals_update(dev, cfg, m, &s, &mut factors[mode]),
+                    UpdateMethod::Mu(cfg) => {
+                        mu_update(dev, cfg, m, &s, &mut factors[mode]);
+                        convergence.log_mode(mode, cfg.inner_iters, None, None, None);
+                    }
+                    UpdateMethod::Hals(cfg) => {
+                        hals_update(dev, cfg, m, &s, &mut factors[mode]);
+                        convergence.log_mode(mode, cfg.inner_iters, None, None, None);
+                    }
                 }
 
                 self.normalize(dev, &mut factors[mode], &mut lambda, &mut norm_scratch);
@@ -532,6 +552,7 @@ impl Auntf {
                 }
             }
 
+            let mut iter_fit = None;
             if self.cfg.compute_fit {
                 let fit = self.fit(
                     dev,
@@ -541,19 +562,31 @@ impl Auntf {
                     last_m.map(|mode| (&m_bufs[mode], mode)),
                     &mut had,
                 );
+                iter_fit = Some(fit);
                 let improved = fits.last().map_or(f64::INFINITY, |&p| fit - p);
                 fits.push(fit);
+                convergence.end_iteration(iter_fit);
+                dev.mark("outer_iteration");
                 if self.cfg.fit_tol > 0.0 && improved.abs() < self.cfg.fit_tol {
                     converged = true;
                     break;
                 }
+            } else {
+                convergence.end_iteration(iter_fit);
+                dev.mark("outer_iteration");
             }
         }
 
         // Result back to the host.
         dev.transfer("d2h_factors", factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>());
 
-        FactorizeOutput { model: Ktensor::new(factors, lambda), iters, fits, converged }
+        FactorizeOutput {
+            model: Ktensor::new(factors, lambda),
+            iters,
+            fits,
+            converged,
+            convergence,
+        }
     }
 }
 
@@ -747,6 +780,53 @@ mod tests {
         let a = Auntf::new(x.clone(), cfg.clone()).factorize(&Device::new(DeviceSpec::h100()));
         let b = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
         assert_eq!(a.fits, b.fits);
+    }
+
+    #[test]
+    fn convergence_log_matches_solver() {
+        let x = planted(&[14, 12, 10], 500, 3, 9);
+        let cfg = AuntfConfig { rank: 3, max_iters: 6, ..base_cfg() };
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let records = out.convergence.records();
+        assert_eq!(records.len(), out.iters);
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.iter as usize, i);
+            assert_eq!(rec.fit, Some(out.fits[i]), "iteration {i} fit mismatch");
+            assert_eq!(rec.rel_error, Some(1.0 - out.fits[i]));
+            assert_eq!(rec.modes.len(), 3, "one mode row per mode visit");
+            for (m, row) in rec.modes.iter().enumerate() {
+                assert_eq!(row.mode as usize, m);
+                assert!(row.inner_iters >= 1, "ADMM ran at least one inner iteration");
+                assert!(row.primal_residual.unwrap() >= 0.0);
+                assert!(row.dual_residual.unwrap() >= 0.0);
+                assert!(row.rho.unwrap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_log_mu_reports_configured_inner_iters() {
+        let x = planted_full(&[10, 9, 8], 3, 10);
+        let update = UpdateMethod::Mu(MuConfig { inner_iters: 4, ..Default::default() });
+        let cfg = AuntfConfig { rank: 3, update, max_iters: 3, ..base_cfg() };
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100()));
+        for rec in out.convergence.records() {
+            for row in &rec.modes {
+                assert_eq!(row.inner_iters, 4);
+                assert_eq!(row.primal_residual, None, "MU has no ADMM residuals");
+                assert_eq!(row.dual_residual, None);
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_log_without_fit_still_records_iterations() {
+        let x = planted(&[10, 10, 10], 300, 3, 11);
+        let cfg = AuntfConfig { rank: 3, max_iters: 4, compute_fit: false, ..base_cfg() };
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let records = out.convergence.records();
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.fit.is_none() && r.rel_error.is_none()));
     }
 
     #[test]

@@ -14,10 +14,11 @@
 //! cannot have (A100/H100) is replaced by a spec-parameterized timing model
 //! fed by machine-counted operation tallies of real executions.
 
+use cstf_telemetry::Span;
 use parking_lot::Mutex;
 
 use crate::cost::{kernel_time, transfer_time, KernelClass, KernelCost};
-use crate::profiler::{KernelRecord, Phase, PhaseTotals, Profiler};
+use crate::profiler::{KernelRecord, MarkRecord, Phase, PhaseTotals, Profiler, RunCapture};
 use crate::spec::DeviceSpec;
 
 /// A simulated compute device (GPU or CPU) with an attached profiler.
@@ -57,6 +58,7 @@ impl Device {
         cost: KernelCost,
         body: impl FnOnce() -> T,
     ) -> T {
+        let _span = Span::enter(name);
         let start = std::time::Instant::now();
         let out = body();
         let measured_s = start.elapsed().as_secs_f64();
@@ -83,6 +85,24 @@ impl Device {
             modeled_s,
             measured_s: 0.0,
         });
+    }
+
+    /// Records a labeled position (e.g. an outer-iteration boundary) in
+    /// the kernel stream. Retained only on record-keeping devices.
+    pub fn mark(&self, label: &'static str) {
+        self.profiler.lock().mark(label);
+    }
+
+    /// Snapshot of recorded marks.
+    pub fn marks(&self) -> Vec<MarkRecord> {
+        self.profiler.lock().marks().to_vec()
+    }
+
+    /// Captures records, marks and phase totals and clears the profiler in
+    /// one lock acquisition, so concurrent launches can never straddle a
+    /// read-then-reset pair (see [`RunCapture`]).
+    pub fn take_run(&self) -> RunCapture {
+        self.profiler.lock().take()
     }
 
     /// Totals for one phase.
@@ -197,6 +217,27 @@ mod tests {
         let recs = dev.records();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].name, "named_kernel");
+    }
+
+    #[test]
+    fn take_run_captures_then_leaves_device_clean() {
+        let dev = Device::with_records(DeviceSpec::a100());
+        dev.launch("warm", Phase::Update, KernelClass::Stream, cost(10.0), || ());
+        dev.mark("outer_iteration");
+        let capture = dev.take_run();
+        assert_eq!(capture.records.len(), 1);
+        assert_eq!(capture.marks.len(), 1);
+        assert!(capture.total_seconds() > 0.0);
+        assert_eq!(dev.total_launches(), 0);
+        assert!(dev.records().is_empty());
+        assert!(dev.marks().is_empty());
+    }
+
+    #[test]
+    fn marks_not_retained_on_lean_devices() {
+        let dev = Device::new(DeviceSpec::a100());
+        dev.mark("outer_iteration");
+        assert!(dev.marks().is_empty());
     }
 
     #[test]

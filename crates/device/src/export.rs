@@ -1,0 +1,167 @@
+//! Bridges one captured run ([`RunCapture`]) into the shared telemetry
+//! data model: a metrics [`Registry`] (counters, gauges, per-launch time
+//! histograms) and the per-phase [`PhaseSummary`] rows of `run.json`.
+//!
+//! Export happens once, after the run, from data the profiler already
+//! collected — the hot path pays nothing for it.
+
+use cstf_telemetry::metrics::NS_BUCKETS;
+use cstf_telemetry::{alloc, PhaseSummary, Registry};
+
+use crate::profiler::RunCapture;
+use crate::spec::DeviceSpec;
+
+/// Builds the metrics registry for one captured run.
+///
+/// Counters: total launches, flops, logical bytes, and process heap
+/// allocations (meaningful when the binary installs
+/// [`cstf_telemetry::alloc::CountingAlloc`]). Gauges: heap high-water
+/// bytes and the mean occupancy proxy
+/// `min(parallel_work / saturation_elems, 1)` over retained records.
+/// Histograms: per-launch modeled and measured nanoseconds in the shared
+/// log-spaced buckets.
+pub fn registry_from_capture(capture: &RunCapture, spec: &DeviceSpec) -> Registry {
+    let registry = Registry::new();
+
+    registry.counter_add(
+        "cstf_launches_total",
+        "Kernel launches recorded in this run",
+        capture.total_launches() as f64,
+    );
+    let (flops, bytes) =
+        capture.phases.iter().fold((0.0, 0.0), |(f, b), (_, t)| (f + t.flops, b + t.bytes));
+    registry.counter_add("cstf_flops_total", "Floating-point operations tallied", flops);
+    registry.counter_add("cstf_bytes_total", "Logical bytes moved by kernels", bytes);
+    registry.counter_add(
+        "cstf_allocations_total",
+        "Heap allocations since process start (counting allocator)",
+        alloc::allocation_count() as f64,
+    );
+
+    registry.gauge_set(
+        "cstf_heap_high_water_bytes",
+        "Peak live heap bytes (counting allocator)",
+        alloc::peak_bytes() as f64,
+    );
+    for (phase, totals) in &capture.phases {
+        registry.gauge_set(
+            &format!("cstf_phase_modeled_seconds_{}", phase.label().to_lowercase()),
+            "Modeled seconds attributed to this phase",
+            totals.seconds,
+        );
+    }
+    if !capture.records.is_empty() {
+        let occupancy_sum: f64 = capture
+            .records
+            .iter()
+            .map(|r| (r.cost.parallel_work / spec.saturation_elems).min(1.0))
+            .sum();
+        registry.gauge_set(
+            "cstf_occupancy_mean",
+            "Mean occupancy proxy min(parallel_work / saturation_elems, 1) over launches",
+            occupancy_sum / capture.records.len() as f64,
+        );
+    }
+
+    for rec in &capture.records {
+        registry.histogram_observe(
+            "cstf_kernel_modeled_ns",
+            "Per-launch modeled time in nanoseconds",
+            &NS_BUCKETS,
+            rec.modeled_s * 1e9,
+        );
+        registry.histogram_observe(
+            "cstf_kernel_measured_ns",
+            "Per-launch measured host wall-clock in nanoseconds",
+            &NS_BUCKETS,
+            rec.measured_s * 1e9,
+        );
+    }
+
+    registry
+}
+
+/// The per-phase rows of `run.json`, in display order.
+pub fn phase_summaries(capture: &RunCapture) -> Vec<PhaseSummary> {
+    capture
+        .phases
+        .iter()
+        .map(|(phase, t)| PhaseSummary {
+            phase: phase.label().to_string(),
+            modeled_s: t.seconds,
+            measured_s: t.measured_s,
+            launches: t.launches as u64,
+            flops: t.flops,
+            bytes: t.bytes,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{KernelClass, KernelCost};
+    use crate::device::Device;
+    use crate::profiler::Phase;
+
+    fn capture_with_launches() -> (RunCapture, DeviceSpec) {
+        let spec = DeviceSpec::a100();
+        let dev = Device::with_records(spec.clone());
+        for _ in 0..3 {
+            dev.launch(
+                "mttkrp",
+                Phase::Mttkrp,
+                KernelClass::SparseGather,
+                KernelCost {
+                    flops: 1e6,
+                    bytes_read: 8e6,
+                    bytes_written: 4e6,
+                    parallel_work: 1e6,
+                    serial_steps: 1.0,
+                    working_set: 1.2e7,
+                    ..Default::default()
+                },
+                || (),
+            );
+        }
+        (dev.take_run(), spec)
+    }
+
+    #[test]
+    fn registry_counts_launches_flops_and_bytes() {
+        let (capture, spec) = capture_with_launches();
+        let json = registry_from_capture(&capture, &spec).to_json();
+        assert_eq!(json["cstf_launches_total"]["value"], 3.0);
+        assert_eq!(json["cstf_flops_total"]["value"], 3e6);
+        assert_eq!(json["cstf_bytes_total"]["value"], 3.0 * 12e6);
+        assert_eq!(json["cstf_kernel_modeled_ns"]["count"], 3);
+    }
+
+    #[test]
+    fn occupancy_gauge_is_a_bounded_proxy() {
+        let (capture, spec) = capture_with_launches();
+        let json = registry_from_capture(&capture, &spec).to_json();
+        let occ = json["cstf_occupancy_mean"]["value"].as_f64().unwrap();
+        let expected = (1e6 / spec.saturation_elems).min(1.0);
+        assert!((occ - expected).abs() < 1e-12, "{occ} vs {expected}");
+    }
+
+    #[test]
+    fn prometheus_export_of_a_real_capture_parses() {
+        let (capture, spec) = capture_with_launches();
+        let text = registry_from_capture(&capture, &spec).to_prometheus();
+        let samples = cstf_telemetry::parse_prometheus(&text).expect("valid exposition format");
+        assert!(samples.iter().any(|s| s.name == "cstf_phase_modeled_seconds_mttkrp"));
+        assert!(samples.iter().any(|s| s.name == "cstf_kernel_measured_ns_bucket"));
+    }
+
+    #[test]
+    fn phase_summaries_mirror_capture_totals() {
+        let (capture, _) = capture_with_launches();
+        let phases = phase_summaries(&capture);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].phase, "MTTKRP");
+        assert_eq!(phases[0].launches, 3);
+        assert!((phases[0].modeled_s - capture.total_seconds()).abs() < 1e-15);
+    }
+}

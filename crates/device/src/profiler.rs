@@ -66,6 +66,56 @@ pub struct KernelRecord {
     pub measured_s: f64,
 }
 
+/// A labeled position in the kernel stream — e.g. an outer-iteration
+/// boundary. Marks cost two words to record and let the trace writer emit
+/// instant events without widening [`KernelRecord`].
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MarkRecord {
+    /// Mark label (e.g. `"outer_iteration"`).
+    pub label: &'static str,
+    /// Number of launches recorded before this mark.
+    pub seq: usize,
+    /// Cumulative modeled seconds at the mark.
+    pub modeled_s_at: f64,
+}
+
+/// Everything one run produced, captured atomically by
+/// [`Profiler::take`]: the retained kernel records, the marks, and the
+/// per-phase totals. Capturing clears the profiler in the same lock
+/// acquisition, so repetition harnesses cannot leak warm-up launches into
+/// the next measurement (the double-reset hazard).
+#[derive(Debug, Default)]
+pub struct RunCapture {
+    /// Retained kernel records (empty unless the profiler keeps records).
+    pub records: Vec<KernelRecord>,
+    /// Marks in record order.
+    pub marks: Vec<MarkRecord>,
+    /// Per-phase totals in display order, skipping empty phases.
+    pub phases: Vec<(Phase, PhaseTotals)>,
+}
+
+impl RunCapture {
+    /// Total modeled seconds across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|(_, t)| t.seconds).sum()
+    }
+
+    /// Total measured host wall-clock seconds across all phases.
+    pub fn total_measured_seconds(&self) -> f64 {
+        self.phases.iter().map(|(_, t)| t.measured_s).sum()
+    }
+
+    /// Total kernel launches across all phases.
+    pub fn total_launches(&self) -> usize {
+        self.phases.iter().map(|(_, t)| t.launches).sum()
+    }
+
+    /// Totals for one phase (zeros if nothing ran).
+    pub fn phase(&self, phase: Phase) -> PhaseTotals {
+        self.phases.iter().find(|(p, _)| *p == phase).map(|(_, t)| *t).unwrap_or_default()
+    }
+}
+
 /// Aggregated totals for one phase.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct PhaseTotals {
@@ -85,8 +135,10 @@ pub struct PhaseTotals {
 #[derive(Debug, Default)]
 pub struct Profiler {
     records: Vec<KernelRecord>,
+    marks: Vec<MarkRecord>,
     keep_records: bool,
     totals: BTreeMap<Phase, PhaseTotals>,
+    launches_seen: usize,
 }
 
 impl Profiler {
@@ -108,9 +160,27 @@ impl Profiler {
         t.launches += 1;
         t.flops += rec.cost.flops;
         t.bytes += rec.cost.bytes();
+        self.launches_seen += 1;
         if self.keep_records {
             self.records.push(rec);
         }
+    }
+
+    /// Records a labeled position in the kernel stream (retained only
+    /// when the profiler keeps records, like the records themselves).
+    pub fn mark(&mut self, label: &'static str) {
+        if self.keep_records {
+            self.marks.push(MarkRecord {
+                label,
+                seq: self.launches_seen,
+                modeled_s_at: self.total_seconds(),
+            });
+        }
+    }
+
+    /// Marks recorded so far.
+    pub fn marks(&self) -> &[MarkRecord] {
+        &self.marks
     }
 
     /// Totals for one phase (zeros if nothing ran).
@@ -144,10 +214,25 @@ impl Profiler {
         &self.records
     }
 
-    /// Clears all records and totals.
+    /// Clears all records, marks and totals.
     pub fn reset(&mut self) {
         self.records.clear();
+        self.marks.clear();
         self.totals.clear();
+        self.launches_seen = 0;
+    }
+
+    /// Captures everything recorded so far and clears the profiler in the
+    /// same operation (see [`RunCapture`]).
+    pub fn take(&mut self) -> RunCapture {
+        let capture = RunCapture {
+            records: std::mem::take(&mut self.records),
+            marks: std::mem::take(&mut self.marks),
+            phases: self.phases(),
+        };
+        self.totals.clear();
+        self.launches_seen = 0;
+        capture
     }
 }
 
@@ -224,5 +309,40 @@ mod tests {
     fn labels_match_paper_figures() {
         assert_eq!(Phase::Update.label(), "UPDATE");
         assert_eq!(Phase::Mttkrp.label(), "MTTKRP");
+    }
+
+    #[test]
+    fn marks_carry_sequence_and_cumulative_time() {
+        let mut p = Profiler::with_records();
+        p.record(rec(Phase::Mttkrp, 1.0, 1.0));
+        p.mark("outer_iteration");
+        p.record(rec(Phase::Update, 2.0, 1.0));
+        p.mark("outer_iteration");
+        let marks = p.marks();
+        assert_eq!(marks.len(), 2);
+        assert_eq!(marks[0].seq, 1);
+        assert_eq!(marks[0].modeled_s_at, 1.0);
+        assert_eq!(marks[1].seq, 2);
+        assert_eq!(marks[1].modeled_s_at, 3.0);
+    }
+
+    #[test]
+    fn take_captures_and_clears_atomically() {
+        let mut p = Profiler::with_records();
+        p.record(rec(Phase::Mttkrp, 1.0, 1.0));
+        p.mark("outer_iteration");
+        let capture = p.take();
+        assert_eq!(capture.records.len(), 1);
+        assert_eq!(capture.marks.len(), 1);
+        assert_eq!(capture.total_seconds(), 1.0);
+        assert_eq!(capture.phase(Phase::Mttkrp).launches, 1);
+        // The profiler is empty again: nothing from the first run can
+        // leak into the next capture.
+        assert_eq!(p.total_seconds(), 0.0);
+        assert!(p.records().is_empty());
+        assert!(p.marks().is_empty());
+        let second = p.take();
+        assert_eq!(second.total_launches(), 0);
+        assert!(second.marks.is_empty());
     }
 }

@@ -1,13 +1,29 @@
-//! Chrome-trace export of kernel records.
+//! Chrome-trace / Perfetto export of kernel records.
 //!
 //! Serializes retained [`KernelRecord`]s into the Chrome Trace Event
 //! format (the `chrome://tracing` / Perfetto JSON array form), laying the
 //! modeled kernels out on one timeline track per phase. Useful for eyeball
 //! inspection of where a factorization's modeled time goes.
+//!
+//! Two writers share the event builder:
+//!
+//! * [`write_chrome_trace`] — complete events only (the original surface);
+//! * [`write_trace_events`] — complete events plus counter tracks for the
+//!   modeled byte and flop rates (`"ph": "C"`), instant events at profiler
+//!   marks such as outer-iteration boundaries (`"ph": "i"`), and flow
+//!   arrows (`"ph": "s"`/`"f"`) linking each MTTKRP kernel to the UPDATE
+//!   kernel that consumes its output.
+//!
+//! All JSON is built through `serde_json` values, so kernel names and
+//! labels are escaped correctly and non-finite rates are clamped to zero
+//! instead of producing invalid tokens like `inf`.
 
 use std::io::Write;
 
-use crate::profiler::{KernelRecord, Phase};
+use cstf_telemetry::SpanRecord;
+use serde_json::{json, Value};
+
+use crate::profiler::{KernelRecord, MarkRecord, Phase};
 
 /// Serializes records as a Chrome Trace Event JSON array.
 ///
@@ -16,28 +32,194 @@ use crate::profiler::{KernelRecord, Phase};
 /// has no concurrency between kernels — the device is one stream, like the
 /// paper's implementation).
 pub fn write_chrome_trace<W: Write>(records: &[KernelRecord], mut w: W) -> std::io::Result<()> {
-    writeln!(w, "[")?;
-    let mut cursor_us: f64 = 0.0;
-    for (i, rec) in records.iter().enumerate() {
-        let dur_us = rec.modeled_s * 1e6;
-        let tid = phase_track(rec.phase);
-        let comma = if i + 1 == records.len() { "" } else { "," };
-        writeln!(
-            w,
-            "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
-             \"pid\": 1, \"tid\": {}, \"args\": {{\"flops\": {:.3e}, \"bytes\": {:.3e}}}}}{}",
-            rec.name,
-            rec.phase.label(),
-            cursor_us,
-            dur_us,
-            tid,
-            rec.cost.flops,
-            rec.cost.bytes(),
-            comma
-        )?;
-        cursor_us += dur_us;
+    let events = complete_events(records);
+    let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
+    writeln!(w, "{text}")
+}
+
+/// Serializes records and marks as a full trace: complete events, byte/flop
+/// rate counter tracks, instant events at marks, and MTTKRP→UPDATE flow
+/// arrows.
+pub fn write_trace_events<W: Write>(
+    records: &[KernelRecord],
+    marks: &[MarkRecord],
+    mut w: W,
+) -> std::io::Result<()> {
+    let mut events = complete_events(records);
+    events.extend(counter_events(records));
+    events.extend(instant_events(marks));
+    events.extend(flow_events(records));
+    let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
+    writeln!(w, "{text}")
+}
+
+/// Serializes the complete picture of one run: everything
+/// [`write_trace_events`] emits, plus host-side telemetry spans laid out on
+/// their own per-thread tracks under a second process (`pid` 2). Span
+/// timestamps are wall-clock (relative to the first span), while kernel
+/// tracks use modeled time — Perfetto renders the two processes
+/// side-by-side without conflating the clocks.
+pub fn write_full_trace<W: Write>(
+    records: &[KernelRecord],
+    marks: &[MarkRecord],
+    spans: &[SpanRecord],
+    mut w: W,
+) -> std::io::Result<()> {
+    let mut events = complete_events(records);
+    events.extend(counter_events(records));
+    events.extend(instant_events(marks));
+    events.extend(flow_events(records));
+    events.extend(span_events(spans));
+    let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
+    writeln!(w, "{text}")
+}
+
+/// Complete events for host-side spans, one track per recording thread,
+/// timestamped relative to the earliest span.
+fn span_events(spans: &[SpanRecord]) -> Vec<Value> {
+    let t0 = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    spans
+        .iter()
+        .map(|s| {
+            let args = match s.mode {
+                Some(m) => json!({ "mode": m, "depth": s.depth }),
+                None => json!({ "depth": s.depth }),
+            };
+            json!({
+                "name": s.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": (s.start_ns - t0) as f64 / 1e3,
+                "dur": s.dur_ns as f64 / 1e3,
+                "pid": 2,
+                "tid": s.thread,
+                "args": args,
+            })
+        })
+        .collect()
+}
+
+/// Start timestamps (µs) of each record laid end-to-end in record order.
+fn start_times_us(records: &[KernelRecord]) -> Vec<f64> {
+    let mut starts = Vec::with_capacity(records.len());
+    let mut cursor_us = 0.0;
+    for rec in records {
+        starts.push(cursor_us);
+        cursor_us += finite(rec.modeled_s) * 1e6;
     }
-    writeln!(w, "]")
+    starts
+}
+
+fn complete_events(records: &[KernelRecord]) -> Vec<Value> {
+    let starts = start_times_us(records);
+    records
+        .iter()
+        .zip(&starts)
+        .map(|(rec, &ts)| {
+            let args = json!({
+                "flops": finite(rec.cost.flops),
+                "bytes": finite(rec.cost.bytes()),
+                "measured_s": finite(rec.measured_s),
+            });
+            json!({
+                "name": rec.name,
+                "cat": rec.phase.label(),
+                "ph": "X",
+                "ts": ts,
+                "dur": finite(rec.modeled_s) * 1e6,
+                "pid": 1,
+                "tid": phase_track(rec.phase),
+                "args": args,
+            })
+        })
+        .collect()
+}
+
+/// One counter sample per kernel on the `flop/s` and `bytes/s` tracks: the
+/// kernel's modeled rate, stamped at its start time.
+fn counter_events(records: &[KernelRecord]) -> Vec<Value> {
+    let starts = start_times_us(records);
+    let mut events = Vec::with_capacity(records.len() * 2);
+    for (rec, &ts) in records.iter().zip(&starts) {
+        let flops_per_s = finite(rec.cost.flops / rec.modeled_s);
+        let bytes_per_s = finite(rec.cost.bytes() / rec.modeled_s);
+        let flop_args = json!({ "value": flops_per_s });
+        let byte_args = json!({ "value": bytes_per_s });
+        events.push(json!({
+            "name": "flop/s", "ph": "C", "ts": ts, "pid": 1, "args": flop_args,
+        }));
+        events.push(json!({
+            "name": "bytes/s", "ph": "C", "ts": ts, "pid": 1, "args": byte_args,
+        }));
+    }
+    events
+}
+
+/// Instant events (`"ph": "i"`, process scope) at each profiler mark.
+fn instant_events(marks: &[MarkRecord]) -> Vec<Value> {
+    marks
+        .iter()
+        .map(|m| {
+            json!({
+                "name": m.label,
+                "ph": "i",
+                "ts": finite(m.modeled_s_at) * 1e6,
+                "pid": 1,
+                "tid": 0,
+                "s": "p",
+            })
+        })
+        .collect()
+}
+
+/// Flow arrows from each MTTKRP kernel to the next UPDATE-phase kernel:
+/// the dataflow the paper's Algorithm 1 pairs per mode (the MTTKRP result
+/// feeds that mode's constrained update).
+fn flow_events(records: &[KernelRecord]) -> Vec<Value> {
+    let starts = start_times_us(records);
+    let mut events = Vec::new();
+    let mut flow_id: u64 = 0;
+    for (i, rec) in records.iter().enumerate() {
+        if rec.phase != Phase::Mttkrp {
+            continue;
+        }
+        let Some(j) = (i + 1..records.len()).find(|&j| records[j].phase == Phase::Update) else {
+            continue;
+        };
+        flow_id += 1;
+        let end_of_mttkrp = starts[i] + finite(rec.modeled_s) * 1e6;
+        events.push(json!({
+            "name": "mttkrp_to_update",
+            "cat": "dataflow",
+            "ph": "s",
+            "id": flow_id,
+            "ts": end_of_mttkrp,
+            "pid": 1,
+            "tid": phase_track(Phase::Mttkrp),
+        }));
+        events.push(json!({
+            "name": "mttkrp_to_update",
+            "cat": "dataflow",
+            "ph": "f",
+            "bp": "e",
+            "id": flow_id,
+            "ts": starts[j],
+            "pid": 1,
+            "tid": phase_track(Phase::Update),
+        }));
+    }
+    events
+}
+
+/// Replaces non-finite values with `0.0`: trace consumers reject `inf` /
+/// `NaN` tokens, and a zero-length or zero-rate event is the honest
+/// rendering of an unmodeled quantity.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
 }
 
 fn phase_track(phase: Phase) -> u32 {
@@ -97,5 +279,110 @@ mod tests {
         let tracks: Vec<u32> = Phase::all().iter().map(|&p| phase_track(p)).collect();
         let unique: std::collections::HashSet<_> = tracks.iter().collect();
         assert_eq!(unique.len(), tracks.len());
+    }
+
+    #[test]
+    fn names_needing_escapes_still_produce_valid_json() {
+        let records = vec![rec("weird\"name\\with\ttokens", Phase::Other, 1e-3)];
+        let mut buf = Vec::new();
+        write_chrome_trace(&records, &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).expect("escaped JSON");
+        assert_eq!(parsed[0]["name"], "weird\"name\\with\ttokens");
+    }
+
+    #[test]
+    fn non_finite_costs_are_clamped_not_emitted() {
+        let mut bad = rec("divergent", Phase::Update, 1e-3);
+        bad.cost.flops = f64::INFINITY;
+        bad.modeled_s = f64::NAN;
+        let mut buf = Vec::new();
+        write_trace_events(&[bad], &[], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("inf") && !text.contains("NaN"), "no raw non-finite tokens");
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(parsed[0]["dur"].as_f64().unwrap(), 0.0);
+        assert_eq!(parsed[0]["args"]["flops"].as_f64().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn full_trace_has_counters_instants_and_flows() {
+        let records =
+            vec![rec("mttkrp_blco", Phase::Mttkrp, 1e-3), rec("admm_iterate", Phase::Update, 2e-3)];
+        let marks = vec![crate::profiler::MarkRecord {
+            label: "outer_iteration",
+            seq: 2,
+            modeled_s_at: 3e-3,
+        }];
+        let mut buf = Vec::new();
+        write_trace_events(&records, &marks, &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_array().unwrap();
+
+        let phases: Vec<&str> = arr.iter().filter_map(|e| e["ph"].as_str()).collect();
+        assert!(phases.contains(&"X"), "complete events present");
+        assert!(phases.contains(&"C"), "counter events present");
+        assert!(phases.contains(&"i"), "instant events present");
+        assert!(phases.contains(&"s") && phases.contains(&"f"), "flow pair present");
+
+        let counter = arr.iter().find(|e| e["ph"] == "C" && e["name"] == "flop/s").unwrap();
+        assert_eq!(counter["args"]["value"].as_f64().unwrap(), 100.0 / 1e-3);
+
+        let instant = arr.iter().find(|e| e["ph"] == "i").unwrap();
+        assert_eq!(instant["name"], "outer_iteration");
+        assert_eq!(instant["ts"].as_f64().unwrap(), 3000.0);
+
+        let start = arr.iter().find(|e| e["ph"] == "s").unwrap();
+        let finish = arr.iter().find(|e| e["ph"] == "f").unwrap();
+        assert_eq!(start["id"], finish["id"]);
+        assert_eq!(finish["bp"], "e");
+        assert_eq!(start["ts"].as_f64().unwrap(), 1000.0); // end of the MTTKRP kernel
+        assert_eq!(finish["ts"].as_f64().unwrap(), 1000.0); // start of the UPDATE kernel
+    }
+
+    #[test]
+    fn spans_render_as_second_process_with_relative_timestamps() {
+        let spans = vec![
+            SpanRecord {
+                name: "outer_iteration",
+                mode: None,
+                depth: 0,
+                thread: 7,
+                start_ns: 5_000,
+                dur_ns: 9_000,
+            },
+            SpanRecord {
+                name: "mode_update",
+                mode: Some(1),
+                depth: 1,
+                thread: 7,
+                start_ns: 6_000,
+                dur_ns: 2_000,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_full_trace(&[], &[], &spans, &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert!(arr.iter().all(|e| e["pid"] == 2 && e["tid"] == 7));
+        let outer = arr.iter().find(|e| e["name"] == "outer_iteration").unwrap();
+        assert_eq!(outer["ts"].as_f64().unwrap(), 0.0); // relative to first span
+        assert_eq!(outer["dur"].as_f64().unwrap(), 9.0);
+        let inner = arr.iter().find(|e| e["name"] == "mode_update").unwrap();
+        assert_eq!(inner["args"]["mode"], 1);
+        assert_eq!(inner["args"]["depth"], 1);
+    }
+
+    #[test]
+    fn mttkrp_without_downstream_update_emits_no_dangling_flow() {
+        let records = vec![rec("mttkrp_tail", Phase::Mttkrp, 1e-3)];
+        let mut buf = Vec::new();
+        write_trace_events(&records, &[], &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert!(parsed.as_array().unwrap().iter().all(|e| e["ph"] != "s" && e["ph"] != "f"));
     }
 }

@@ -14,6 +14,7 @@
 use rayon::prelude::*;
 
 use cstf_linalg::Mat;
+use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
 use crate::traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
@@ -210,6 +211,7 @@ impl Alto {
         out: &mut Mat,
         ws: &mut MttkrpWorkspace,
     ) {
+        let _span = Span::enter_mode("mttkrp_alto", mode);
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         assert!(mode < self.nmodes(), "mode out of range");
         let rank = factors[mode].cols();

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rayon::prelude::*;
 
 use cstf_linalg::{tuning, Mat};
+use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
 use crate::traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
@@ -191,6 +192,7 @@ impl Blco {
         out: &mut Mat,
         ws: &mut MttkrpWorkspace,
     ) {
+        let _span = Span::enter_mode("mttkrp_blco", mode);
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         assert!(mode < self.nmodes(), "mode out of range");
         let rank = factors[mode].cols();

@@ -11,6 +11,7 @@
 use rayon::prelude::*;
 
 use cstf_linalg::{tuning, Mat};
+use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
 use crate::traffic::TrafficEstimate;
@@ -149,6 +150,7 @@ impl Csf {
     /// # Panics
     /// Panics if `factors` or `out` do not match the tensor's modes.
     pub fn mttkrp_into(&self, factors: &[Mat], out: &mut Mat, ws: &mut MttkrpWorkspace) {
+        let _span = Span::enter_mode("mttkrp_csf", self.root_mode());
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         let rank = factors[self.root_mode()].cols();
         let rows = self.shape[self.root_mode()];
@@ -291,6 +293,7 @@ impl Csf {
         out: &mut Mat,
         ws: &mut MttkrpWorkspace,
     ) {
+        let _span = Span::enter_mode("mttkrp_csf_any", target_mode);
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         assert!(target_mode < self.nmodes(), "target mode out of range");
         if target_mode == self.root_mode() {

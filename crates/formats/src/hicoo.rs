@@ -12,6 +12,7 @@
 use rayon::prelude::*;
 
 use cstf_linalg::{tuning, Mat};
+use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
 use crate::traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
@@ -165,6 +166,7 @@ impl HiCoo {
         out: &mut Mat,
         ws: &mut MttkrpWorkspace,
     ) {
+        let _span = Span::enter_mode("mttkrp_hicoo", mode);
         assert_eq!(factors.len(), self.nmodes(), "one factor per mode");
         assert!(mode < self.nmodes(), "mode out of range");
         let rank = factors[mode].cols();

@@ -9,6 +9,7 @@
 use rayon::prelude::*;
 
 use cstf_linalg::{tuning, Mat};
+use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
 use crate::workspace::MttkrpWorkspace;
@@ -90,6 +91,7 @@ pub fn mttkrp_coo_parallel_into(
     out: &mut Mat,
     ws: &mut MttkrpWorkspace,
 ) {
+    let _span = Span::enter_mode("mttkrp_coo", mode);
     assert_eq!(factors.len(), x.nmodes(), "one factor per mode");
     assert!(mode < x.nmodes(), "mode out of range");
     let rank = factors[mode].cols();

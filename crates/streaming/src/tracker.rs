@@ -17,6 +17,7 @@ use cstf_core::admm::{admm_update, AdmmConfig, AdmmWorkspace};
 use cstf_core::auntf::seeded_factors;
 use cstf_device::{Device, KernelClass, KernelCost, Phase};
 use cstf_linalg::{gram, hadamard_in_place, Mat};
+use cstf_telemetry::Span;
 
 use crate::slice::SliceTensor;
 
@@ -137,6 +138,7 @@ impl StreamingCstf {
     /// the history statistics, and refreshes the non-temporal factors.
     /// Returns the new temporal row.
     pub fn ingest(&mut self, dev: &Device, slice: &SliceTensor) -> Vec<f64> {
+        let _span = Span::enter("stream_ingest");
         assert_eq!(slice.shape(), self.shape.as_slice(), "slice shape mismatch");
         let rank = self.cfg.rank;
         let gamma = self.cfg.forgetting;

@@ -1,0 +1,113 @@
+//! A counting global allocator.
+//!
+//! Wraps [`std::alloc::System`] and keeps three process-wide tallies:
+//! total allocation count (the `cstf_allocations_total` counter), live
+//! heap bytes, and the high-water mark of live bytes (the
+//! `cstf_heap_high_water_bytes` gauge). Binaries opt in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: cstf_telemetry::alloc::CountingAlloc = cstf_telemetry::alloc::CountingAlloc;
+//! ```
+//!
+//! The counters are meaningful (non-zero) only in binaries that install
+//! the allocator; elsewhere the readers simply return zero.
+
+// GlobalAlloc is an unsafe trait; this module is the one sanctioned
+// exception to the crate-wide `deny(unsafe_code)`.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that forwards to [`System`] while counting
+/// allocations and tracking live/peak heap bytes.
+pub struct CountingAlloc;
+
+fn on_alloc(size: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(size: usize) {
+    // Saturate rather than wrap: frees of memory allocated before the
+    // allocator was installed must not underflow the gauge.
+    let _ = LIVE_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(size as u64))
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Total heap allocations since process start (includes reallocs).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Currently live heap bytes.
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes.
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Installing the allocator in the unit-test binary exercises the real
+    // alloc/dealloc/realloc paths under every other test in this crate.
+    #[global_allocator]
+    static ALLOC: CountingAlloc = CountingAlloc;
+
+    #[test]
+    fn allocations_are_counted_and_peak_tracks_live() {
+        let before = allocation_count();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        assert!(allocation_count() > before, "Vec::with_capacity must count");
+        assert!(peak_bytes() >= 4096);
+        assert!(peak_bytes() >= live_bytes() || live_bytes() == 0);
+        drop(v);
+    }
+
+    #[test]
+    fn realloc_keeps_counts_consistent() {
+        let before = allocation_count();
+        let mut v: Vec<u8> = Vec::with_capacity(16);
+        for i in 0..10_000u32 {
+            v.push((i % 251) as u8);
+        }
+        assert!(allocation_count() > before + 1, "growth reallocs must count");
+        assert!(peak_bytes() >= 10_000);
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-outer-iteration convergence telemetry.
+//!
+//! Liavas & Sidiropoulos (2015) and Huang et al. (2016) both stress that
+//! AO-ADMM behavior is only interpretable through per-iteration residual
+//! and fit traces. [`ConvergenceLog`] collects exactly that — one
+//! [`ModeUpdateRecord`] per mode visit (ADMM inner-iteration count,
+//! primal/dual residuals, rho) and one [`IterationRecord`] per outer
+//! iteration (fit, relative error) — into two flat, pre-allocated vectors
+//! so the solver's steady-state loop stays allocation-free (the invariant
+//! `tests/zero_alloc.rs` enforces).
+
+use std::io::Write;
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// Telemetry for one mode visit (Algorithm 1, line 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ModeUpdateRecord {
+    /// Outer iteration index (0-based).
+    pub iter: u32,
+    /// Mode updated.
+    pub mode: u32,
+    /// Inner iterations the update scheme executed.
+    pub inner_iters: u32,
+    /// Final relative primal residual (`None` for MU/HALS, which have no
+    /// ADMM residuals).
+    pub primal_residual: Option<f64>,
+    /// Final relative dual residual (`None` for MU/HALS).
+    pub dual_residual: Option<f64>,
+    /// ADMM penalty parameter `rho = trace(S)/R` (`None` for MU/HALS).
+    pub rho: Option<f64>,
+}
+
+/// Telemetry for one outer AO iteration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IterationRecord {
+    /// Outer iteration index (0-based).
+    pub iter: u32,
+    /// CP fit `1 - ||X - model|| / ||X||` (`None` when fit tracking is
+    /// off).
+    pub fit: Option<f64>,
+    /// Relative error `||X - model|| / ||X|| = 1 - fit`.
+    pub rel_error: Option<f64>,
+    /// Per-mode update telemetry, in update order.
+    pub modes: Vec<ModeUpdateRecord>,
+}
+
+/// Flat row for one outer iteration (kept `Copy` so the hot loop pushes
+/// into pre-allocated storage without touching the heap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct IterRow {
+    iter: u32,
+    fit: Option<f64>,
+    rel_error: Option<f64>,
+}
+
+/// Allocation-free collector for convergence telemetry.
+///
+/// Capacity is reserved up front ([`ConvergenceLog::with_capacity`]); the
+/// per-iteration [`log_mode`](Self::log_mode) and
+/// [`end_iteration`](Self::end_iteration) calls push `Copy` rows into that
+/// storage. [`records`](Self::records) assembles the nested
+/// [`IterationRecord`] view after the run.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceLog {
+    iter_rows: Vec<IterRow>,
+    mode_rows: Vec<ModeUpdateRecord>,
+    cur_iter: u32,
+}
+
+impl ConvergenceLog {
+    /// A log with room for `max_iters` outer iterations of `nmodes` mode
+    /// visits each; within that budget no later call allocates.
+    pub fn with_capacity(max_iters: usize, nmodes: usize) -> Self {
+        Self {
+            iter_rows: Vec::with_capacity(max_iters),
+            mode_rows: Vec::with_capacity(max_iters * nmodes),
+            cur_iter: 0,
+        }
+    }
+
+    /// Records one mode visit in the current outer iteration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn log_mode(
+        &mut self,
+        mode: usize,
+        inner_iters: usize,
+        primal_residual: Option<f64>,
+        dual_residual: Option<f64>,
+        rho: Option<f64>,
+    ) {
+        self.mode_rows.push(ModeUpdateRecord {
+            iter: self.cur_iter,
+            mode: mode as u32,
+            inner_iters: inner_iters as u32,
+            primal_residual,
+            dual_residual,
+            rho,
+        });
+    }
+
+    /// Closes the current outer iteration with its fit (if tracked);
+    /// `rel_error` is derived as `1 - fit`.
+    pub fn end_iteration(&mut self, fit: Option<f64>) {
+        self.iter_rows.push(IterRow { iter: self.cur_iter, fit, rel_error: fit.map(|f| 1.0 - f) });
+        self.cur_iter += 1;
+    }
+
+    /// Outer iterations recorded so far.
+    pub fn len(&self) -> usize {
+        self.iter_rows.len()
+    }
+
+    /// True when no iteration has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.iter_rows.is_empty()
+    }
+
+    /// Assembles the nested per-iteration view (allocates; call after the
+    /// run, not inside the hot loop).
+    pub fn records(&self) -> Vec<IterationRecord> {
+        self.iter_rows
+            .iter()
+            .map(|row| IterationRecord {
+                iter: row.iter,
+                fit: row.fit,
+                rel_error: row.rel_error,
+                modes: self.mode_rows.iter().filter(|m| m.iter == row.iter).copied().collect(),
+            })
+            .collect()
+    }
+}
+
+/// Writes iteration records as JSON Lines: one compact JSON object per
+/// line.
+pub fn write_jsonl<W: Write>(records: &[IterationRecord], mut w: W) -> std::io::Result<()> {
+    for rec in records {
+        let line = serde_json::to_string(rec).expect("IterationRecord serializes");
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Parses JSON Lines back into iteration records, rejecting any malformed
+/// line.
+pub fn read_jsonl(text: &str) -> Result<Vec<IterationRecord>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, line)| {
+            serde_json::from_str::<Value>(line)
+                .map_err(|e| format!("events.jsonl line {}: {e}", i + 1))
+                .and_then(|v| {
+                    iteration_from_value(&v)
+                        .map_err(|e| format!("events.jsonl line {}: {e}", i + 1))
+                })
+        })
+        .collect()
+}
+
+fn get_u32(v: &Value, key: &str) -> Result<u32, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(|n| n as u32)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn get_opt_f64(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn mode_from_value(v: &Value) -> Result<ModeUpdateRecord, String> {
+    Ok(ModeUpdateRecord {
+        iter: get_u32(v, "iter")?,
+        mode: get_u32(v, "mode")?,
+        inner_iters: get_u32(v, "inner_iters")?,
+        primal_residual: get_opt_f64(v, "primal_residual"),
+        dual_residual: get_opt_f64(v, "dual_residual"),
+        rho: get_opt_f64(v, "rho"),
+    })
+}
+
+fn iteration_from_value(v: &Value) -> Result<IterationRecord, String> {
+    let modes = v
+        .get("modes")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing modes array".to_string())?
+        .iter()
+        .map(mode_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(IterationRecord {
+        iter: get_u32(v, "iter")?,
+        fit: get_opt_f64(v, "fit"),
+        rel_error: get_opt_f64(v, "rel_error"),
+        modes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ConvergenceLog {
+        let mut log = ConvergenceLog::with_capacity(2, 3);
+        for iter in 0..2u32 {
+            for mode in 0..3usize {
+                log.log_mode(mode, 10, Some(1e-3 / (iter + 1) as f64), Some(2e-3), Some(0.5));
+            }
+            log.end_iteration(Some(0.8 + 0.05 * iter as f64));
+        }
+        log
+    }
+
+    #[test]
+    fn records_group_modes_by_iteration() {
+        let recs = sample_log().records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].modes.len(), 3);
+        assert_eq!(recs[1].modes.len(), 3);
+        assert_eq!(recs[1].modes[2].mode, 2);
+        assert_eq!(recs[0].fit, Some(0.8));
+        assert!((recs[0].rel_error.unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_path_does_not_allocate_within_capacity() {
+        let mut log = ConvergenceLog::with_capacity(4, 2);
+        let (ic, mc) = (log.iter_rows.capacity(), log.mode_rows.capacity());
+        for _ in 0..4 {
+            log.log_mode(0, 5, None, None, None);
+            log.log_mode(1, 5, None, None, None);
+            log.end_iteration(None);
+        }
+        assert_eq!(log.iter_rows.capacity(), ic, "iter rows must not regrow");
+        assert_eq!(log.mode_rows.capacity(), mc, "mode rows must not regrow");
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let recs = sample_log().records();
+        let mut buf = Vec::new();
+        write_jsonl(&recs, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2, "one line per iteration");
+        let back = read_jsonl(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        assert!(read_jsonl("{\"iter\":0").is_err());
+        assert!(read_jsonl("not json at all").is_err());
+    }
+
+    #[test]
+    fn untracked_fit_serializes_without_nan() {
+        let mut log = ConvergenceLog::with_capacity(1, 1);
+        log.log_mode(0, 1, None, None, None);
+        log.end_iteration(None);
+        let mut buf = Vec::new();
+        write_jsonl(&log.records(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("NaN"));
+        let back = read_jsonl(&text).unwrap();
+        assert_eq!(back[0].fit, None);
+    }
+}

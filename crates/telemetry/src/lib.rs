@@ -1,0 +1,38 @@
+//! # cstf-telemetry
+//!
+//! The always-on observability layer for cSTF-rs (DESIGN.md §Observability).
+//!
+//! The paper's whole argument (§3.3, Figs. 1, 3–8) is an *attribution*
+//! argument — which phase dominates, how many bytes operation fusion
+//! removes, what pre-inversion does to the UPDATE roofline. This crate
+//! turns that attribution from per-figure one-offs into one shared data
+//! model with four pieces:
+//!
+//! * [`spans`] — a lightweight structured span system
+//!   ([`Span::enter`](spans::Span::enter)) with nesting, wall-clock
+//!   attribution and a per-thread buffer, disabled by default and costing
+//!   one relaxed atomic load when off;
+//! * [`metrics`] — a registry of counters, gauges and fixed-bucket
+//!   histograms, exportable as Prometheus text format and JSON;
+//! * [`convergence`] — per-outer-iteration records of fit, relative error,
+//!   ADMM primal/dual residuals, inner-iteration counts and rho, collected
+//!   allocation-free in the solver hot loop and emitted as JSONL;
+//! * [`summary`] — the `run.json` data model ([`RunSummary`]) that the CLI
+//!   artifacts, the `cstf report` renderer and the bench harness all share.
+//!
+//! [`alloc`] additionally provides the counting global allocator used by
+//! the zero-allocation tests and the `cstf_allocations_total` metric.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod alloc;
+pub mod convergence;
+pub mod metrics;
+pub mod spans;
+pub mod summary;
+
+pub use convergence::{ConvergenceLog, IterationRecord, ModeUpdateRecord};
+pub use metrics::{parse_prometheus, PromSample, Registry};
+pub use spans::{set_spans_enabled, spans_enabled, Span, SpanRecord};
+pub use summary::{PhaseSummary, RunSummary};

@@ -1,0 +1,309 @@
+//! Metrics registry: counters, gauges and fixed-bucket histograms with
+//! Prometheus text-format and JSON export.
+//!
+//! The registry is deliberately small: metric names map to one of three
+//! metric kinds, values are `f64`, and histograms use fixed bucket
+//! boundaries chosen at registration. Export produces the Prometheus text
+//! exposition format (`# HELP` / `# TYPE` / samples, histograms with
+//! cumulative `_bucket{le=...}` plus `_sum` and `_count`) and an
+//! equivalent JSON object. [`parse_prometheus`] is the minimal parser the
+//! artifact round-trip tests (and CI smoke validation) use.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// The default log-spaced nanosecond buckets used for per-launch kernel
+/// time histograms (100 ns … 10 s).
+pub const NS_BUCKETS: [f64; 9] = [1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the +Inf overflow bucket at the end.
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bucket bounds must be increasing");
+        Self { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0, total: 0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let slot = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += v;
+        self.total += 1;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(f64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: BTreeMap<String, (String, Metric)>,
+}
+
+/// A registry of named metrics.
+///
+/// Metric kinds are fixed at first registration; re-registering a name
+/// with a different kind panics (a programming error, not a runtime
+/// condition).
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter `name`, creating it at zero on first use.
+    pub fn counter_add(&self, name: &str, help: &str, v: f64) {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Counter(0.0)));
+        match &mut entry.1 {
+            Metric::Counter(c) => *c += v.max(0.0),
+            other => panic!("{name} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, help: &str, v: f64) {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Gauge(0.0)));
+        match &mut entry.1 {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("{name} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// Records one observation in the fixed-bucket histogram `name`,
+    /// creating it with `bounds` on first use.
+    pub fn histogram_observe(&self, name: &str, help: &str, bounds: &[f64], v: f64) {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Histogram(Histogram::new(bounds))));
+        match &mut entry.1 {
+            Metric::Histogram(h) => h.observe(v),
+            other => panic!("{name} is a {}, not a histogram", other.type_name()),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, (help, metric)) in &inner.metrics {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} {}\n", metric.type_name()));
+            match metric {
+                Metric::Counter(v) | Metric::Gauge(v) => {
+                    out.push_str(&format!("{name} {}\n", fmt_value(*v)));
+                }
+                Metric::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                        cum += count;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            fmt_value(*bound)
+                        ));
+                    }
+                    cum += h.counts.last().copied().unwrap_or(0);
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                    out.push_str(&format!("{name}_sum {}\n", fmt_value(h.sum)));
+                    out.push_str(&format!("{name}_count {}\n", h.total));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> serde_json::Value {
+        let inner = self.inner.lock();
+        let mut map = BTreeMap::new();
+        for (name, (help, metric)) in &inner.metrics {
+            let help = help.clone();
+            let body = match metric {
+                Metric::Counter(v) | Metric::Gauge(v) => serde_json::json!({
+                    "type": metric.type_name(),
+                    "help": help,
+                    "value": finite(*v),
+                }),
+                Metric::Histogram(h) => serde_json::json!({
+                    "type": "histogram",
+                    "help": help,
+                    "bounds": h.bounds.iter().map(|&b| finite(b)).collect::<Vec<_>>(),
+                    "counts": h.counts.clone(),
+                    "sum": finite(h.sum),
+                    "count": h.total,
+                }),
+            };
+            map.insert(name.clone(), body);
+        }
+        serde_json::json!(map)
+    }
+}
+
+/// Replaces non-finite values with `0.0` so JSON artifacts never contain
+/// `null`-ified floats.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// One sample parsed from Prometheus text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric (or series) name, including `_bucket`/`_sum`/`_count`
+    /// suffixes for histogram series.
+    pub name: String,
+    /// Raw label block without braces (empty when the sample has none).
+    pub labels: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Minimal Prometheus text-format parser: returns every sample line and
+/// rejects structurally invalid lines. Comment (`#`) and blank lines are
+/// skipped; each sample must be `name[{labels}] value`.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(char::is_whitespace)
+            .ok_or_else(|| format!("line {}: no value in {line:?}", lineno + 1))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse().map_err(|_| format!("line {}: bad value {v:?}", lineno + 1))?,
+        };
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
+                (n, labels.to_string())
+            }
+            None => (series, String::new()),
+        };
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: invalid metric name {name:?}", lineno + 1));
+        }
+        out.push(PromSample { name: name.to_string(), labels, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Registry::new();
+        r.counter_add("launches_total", "kernel launches", 3.0);
+        r.counter_add("launches_total", "kernel launches", 2.0);
+        r.gauge_set("high_water_bytes", "peak bytes", 10.0);
+        r.gauge_set("high_water_bytes", "peak bytes", 7.0);
+        let json = r.to_json();
+        assert_eq!(json["launches_total"]["value"], 5.0);
+        assert_eq!(json["high_water_bytes"]["value"], 7.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_prometheus() {
+        let r = Registry::new();
+        for v in [0.5, 1.5, 2.5, 100.0] {
+            r.histogram_observe("lat", "latency", &[1.0, 2.0, 3.0], v);
+        }
+        let text = r.to_prometheus();
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"2\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_count 4"));
+    }
+
+    #[test]
+    fn prometheus_output_parses_back() {
+        let r = Registry::new();
+        r.counter_add("flops_total", "total flops", 1.5e9);
+        r.gauge_set("occupancy", "mean occupancy", 0.375);
+        r.histogram_observe("t_ns", "launch ns", &NS_BUCKETS, 4.2e3);
+        let samples = parse_prometheus(&r.to_prometheus()).expect("round-trip");
+        assert!(samples.iter().any(|s| s.name == "flops_total" && s.value == 1.5e9));
+        assert!(samples.iter().any(|s| s.name == "occupancy" && s.value == 0.375));
+        assert!(samples.iter().any(|s| s.name == "t_ns_bucket" && s.labels.contains("le=")));
+        assert!(samples.iter().any(|s| s.name == "t_ns_count" && s.value == 1.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("no_value_here").is_err());
+        assert!(parse_prometheus("bad name 1.0 2.0 extra{").is_err());
+        assert!(parse_prometheus("unterminated{le=\"1\" 3").is_err());
+    }
+
+    #[test]
+    fn non_finite_values_are_clamped_in_json() {
+        let r = Registry::new();
+        r.gauge_set("weird", "a non-finite gauge", f64::INFINITY);
+        assert_eq!(r.to_json()["weird"]["value"], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge_set("x", "", 1.0);
+        r.counter_add("x", "", 1.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The `run.json` data model: one serializable summary per factorization
+//! run, shared by the CLI artifact writer, `cstf report`, and the bench
+//! harness (which derives its figure rows from this struct instead of
+//! hand-rolled ones).
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::convergence::IterationRecord;
+
+/// Schema version stamped into `run.json` so downstream consumers can
+/// detect incompatible layouts.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Aggregated totals for one profiled phase.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseSummary {
+    /// Phase label as in the paper's figures (`"GRAM"`, `"MTTKRP"`, …).
+    pub phase: String,
+    /// Modeled seconds.
+    pub modeled_s: f64,
+    /// Measured host wall-clock seconds of the kernel bodies.
+    pub measured_s: f64,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Total floating-point operations.
+    pub flops: f64,
+    /// Total logical bytes moved.
+    pub bytes: f64,
+}
+
+/// One factorization run, as serialized to `run.json`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunSummary {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Producing system (a preset name or `"cstf-cli"`).
+    pub system: String,
+    /// Simulated device name.
+    pub device: String,
+    /// Tensor mode dimensions.
+    pub shape: Vec<usize>,
+    /// Stored nonzeros.
+    pub nnz: u64,
+    /// Factorization rank.
+    pub rank: u32,
+    /// Outer iterations executed.
+    pub iterations: u32,
+    /// Whether the fit-tolerance stop fired.
+    pub converged: bool,
+    /// Fit after each outer iteration (empty when fit tracking is off).
+    pub fits: Vec<f64>,
+    /// Final fit, when tracked.
+    pub final_fit: Option<f64>,
+    /// Host wall-clock seconds of the whole run.
+    pub wall_s: f64,
+    /// Total modeled seconds (all phases, including transfers).
+    pub modeled_s: f64,
+    /// Total measured kernel-body seconds.
+    pub measured_s: f64,
+    /// One-time transfer cost in modeled seconds.
+    pub transfer_s: f64,
+    /// Per-phase totals in display order.
+    pub phases: Vec<PhaseSummary>,
+}
+
+impl RunSummary {
+    /// Modeled seconds of one phase by label (0 when absent).
+    pub fn phase_modeled_s(&self, label: &str) -> f64 {
+        self.phases.iter().find(|p| p.phase == label).map_or(0.0, |p| p.modeled_s)
+    }
+
+    /// Measured kernel-body seconds of one phase by label (0 when absent).
+    pub fn phase_measured_s(&self, label: &str) -> f64 {
+        self.phases.iter().find(|p| p.phase == label).map_or(0.0, |p| p.measured_s)
+    }
+
+    /// Modeled compute seconds per outer iteration: the four compute
+    /// phases, excluding one-time transfers (the paper's Figs. 5/6
+    /// metric).
+    pub fn per_iter_modeled_s(&self) -> f64 {
+        let compute: f64 =
+            ["GRAM", "MTTKRP", "UPDATE", "NORMALIZE"].iter().map(|l| self.phase_modeled_s(l)).sum();
+        compute / (self.iterations.max(1) as f64)
+    }
+
+    /// Serializes as pretty JSON (the `run.json` artifact body).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunSummary serializes")
+    }
+
+    /// Parses a `run.json` body.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("run.json: {e}"))?;
+        let parsed = Self::from_value(&v).map_err(|e| format!("run.json: {e}"))?;
+        if parsed.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "run.json: schema version {} unsupported (expected {SCHEMA_VERSION})",
+                parsed.schema_version
+            ));
+        }
+        Ok(parsed)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let phases = v
+            .get("phases")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "missing phases array".to_string())?
+            .iter()
+            .map(|p| {
+                Ok(PhaseSummary {
+                    phase: get_str(p, "phase")?,
+                    modeled_s: get_f64(p, "modeled_s")?,
+                    measured_s: get_f64(p, "measured_s")?,
+                    launches: get_u64(p, "launches")?,
+                    flops: get_f64(p, "flops")?,
+                    bytes: get_f64(p, "bytes")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunSummary {
+            schema_version: get_u64(v, "schema_version")? as u32,
+            system: get_str(v, "system")?,
+            device: get_str(v, "device")?,
+            shape: v
+                .get("shape")
+                .and_then(Value::as_array)
+                .ok_or_else(|| "missing shape array".to_string())?
+                .iter()
+                .map(|d| {
+                    d.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| "non-integer shape entry".to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            nnz: get_u64(v, "nnz")?,
+            rank: get_u64(v, "rank")? as u32,
+            iterations: get_u64(v, "iterations")? as u32,
+            converged: v
+                .get("converged")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| "missing boolean field \"converged\"".to_string())?,
+            fits: v
+                .get("fits")
+                .and_then(Value::as_array)
+                .ok_or_else(|| "missing fits array".to_string())?
+                .iter()
+                .map(|f| f.as_f64().ok_or_else(|| "non-numeric fit".to_string()))
+                .collect::<Result<Vec<_>, String>>()?,
+            final_fit: v.get("final_fit").and_then(Value::as_f64),
+            wall_s: get_f64(v, "wall_s")?,
+            modeled_s: get_f64(v, "modeled_s")?,
+            measured_s: get_f64(v, "measured_s")?,
+            transfer_s: get_f64(v, "transfer_s")?,
+            phases,
+        })
+    }
+
+    /// The regression-friendly single-line JSON `cstf report --json`
+    /// emits: one flat object, stable keys, no nesting below `phases`.
+    pub fn report_json_line(&self) -> String {
+        let phases: BTreeMap<String, f64> =
+            self.phases.iter().map(|p| (p.phase.to_lowercase(), p.modeled_s)).collect();
+        let line = serde_json::json!({
+            "schema_version": self.schema_version,
+            "system": self.system.clone(),
+            "device": self.device.clone(),
+            "nnz": self.nnz,
+            "rank": self.rank,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "final_fit": self.final_fit,
+            "wall_s": self.wall_s,
+            "modeled_s": self.modeled_s,
+            "measured_s": self.measured_s,
+            "per_iter_modeled_s": self.per_iter_modeled_s(),
+            "phases": phases,
+        });
+        serde_json::to_string(&line).expect("report line serializes")
+    }
+
+    /// Renders the human-readable `cstf report` view: run header, phase
+    /// breakdown table, and a per-iteration convergence table when
+    /// `iterations` records are available.
+    pub fn render_report(&self, iterations: &[IterationRecord]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run: {} on {} | tensor {:?} nnz {} rank {}\n",
+            self.system, self.device, self.shape, self.nnz, self.rank
+        ));
+        out.push_str(&format!(
+            "{} outer iterations, converged: {}, final fit: {}\n",
+            self.iterations,
+            self.converged,
+            self.final_fit.map_or("n/a".to_string(), |f| format!("{f:.6}")),
+        ));
+        out.push_str(&format!(
+            "wall {:.3}s | modeled {:.3e}s ({:.3e}s/iter) | measured kernel bodies {:.3e}s\n\n",
+            self.wall_s,
+            self.modeled_s,
+            self.per_iter_modeled_s(),
+            self.measured_s,
+        ));
+
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>9} {:>12} {:>12}\n",
+            "phase", "modeled s", "measured s", "launches", "flops", "bytes"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<10} {:>12.3e} {:>12.3e} {:>9} {:>12.3e} {:>12.3e}\n",
+                p.phase, p.modeled_s, p.measured_s, p.launches, p.flops, p.bytes
+            ));
+        }
+
+        if !iterations.is_empty() {
+            out.push_str(&format!(
+                "\n{:>5} {:>10} {:>10} {:>9} {:>11} {:>11}\n",
+                "iter", "fit", "rel err", "inner it", "primal", "dual"
+            ));
+            for it in iterations {
+                let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3e}"));
+                let inner: u32 = it.modes.iter().map(|m| m.inner_iters).sum();
+                // Worst (largest) residual across this iteration's modes is
+                // the conservative convergence indicator.
+                let worst = |f: fn(&crate::ModeUpdateRecord) -> Option<f64>| {
+                    it.modes
+                        .iter()
+                        .filter_map(f)
+                        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+                };
+                out.push_str(&format!(
+                    "{:>5} {:>10} {:>10} {:>9} {:>11} {:>11}\n",
+                    it.iter,
+                    it.fit.map_or("-".to_string(), |f| format!("{f:.6}")),
+                    fmt_opt(it.rel_error),
+                    inner,
+                    fmt_opt(worst(|m| m.primal_residual)),
+                    fmt_opt(worst(|m| m.dual_residual)),
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        RunSummary {
+            schema_version: SCHEMA_VERSION,
+            system: "cstf-cli".into(),
+            device: "NVIDIA H100 (PCIe 80GB)".into(),
+            shape: vec![30, 20, 10],
+            nnz: 5000,
+            rank: 8,
+            iterations: 4,
+            converged: false,
+            fits: vec![0.5, 0.6, 0.65, 0.66],
+            final_fit: Some(0.66),
+            wall_s: 0.12,
+            modeled_s: 3.4e-3,
+            measured_s: 2.2e-3,
+            transfer_s: 1e-4,
+            phases: vec![
+                PhaseSummary {
+                    phase: "MTTKRP".into(),
+                    modeled_s: 2e-3,
+                    measured_s: 1e-3,
+                    launches: 12,
+                    flops: 1e9,
+                    bytes: 2e9,
+                },
+                PhaseSummary {
+                    phase: "UPDATE".into(),
+                    modeled_s: 1e-3,
+                    measured_s: 1e-3,
+                    launches: 48,
+                    flops: 5e8,
+                    bytes: 1e9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = sample();
+        let back = RunSummary::from_json(&s.to_json_pretty()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut s = sample();
+        s.schema_version = 999;
+        let err = RunSummary::from_json(&s.to_json_pretty()).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn per_iter_excludes_transfers() {
+        let s = sample();
+        assert!((s.per_iter_modeled_s() - 3e-3 / 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn report_line_is_single_line_valid_json() {
+        let line = sample().report_json_line();
+        assert_eq!(line.lines().count(), 1);
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["rank"], 8);
+        assert_eq!(v["phases"]["mttkrp"], 2e-3);
+    }
+
+    #[test]
+    fn rendered_report_contains_phases_and_iterations() {
+        let iterations = vec![IterationRecord {
+            iter: 0,
+            fit: Some(0.5),
+            rel_error: Some(0.5),
+            modes: vec![crate::ModeUpdateRecord {
+                iter: 0,
+                mode: 0,
+                inner_iters: 10,
+                primal_residual: Some(1e-4),
+                dual_residual: Some(2e-4),
+                rho: Some(0.3),
+            }],
+        }];
+        let text = sample().render_report(&iterations);
+        assert!(text.contains("MTTKRP"));
+        assert!(text.contains("0.500000"));
+        assert!(text.contains("1.000e-4") || text.contains("1e-4") || text.contains("1.000e-04"));
+    }
+}

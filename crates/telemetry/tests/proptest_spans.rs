@@ -1,0 +1,64 @@
+//! Property-based tests of span nesting: for arbitrary balanced
+//! enter/exit trees, every span is recorded, children sit exactly one
+//! level below their parent, and a child's interval never escapes its
+//! parent's.
+
+use cstf_telemetry::{spans, Span, SpanRecord};
+use proptest::prelude::*;
+
+/// Executes a uniform span tree of the given depth and breadth on the
+/// current thread, returning the number of spans entered.
+fn run_tree(depth: usize, breadth: usize) -> usize {
+    let _node = Span::enter("node");
+    let mut count = 1;
+    if depth > 1 {
+        for _ in 0..breadth {
+            count += run_tree(depth - 1, breadth);
+        }
+    }
+    count
+}
+
+/// Records from one isolated tree execution (the span system is
+/// process-global, so each case fences itself off).
+fn records_for_tree(depth: usize, breadth: usize) -> (usize, Vec<SpanRecord>) {
+    spans::clear();
+    cstf_telemetry::set_spans_enabled(true);
+    let entered = run_tree(depth, breadth);
+    cstf_telemetry::set_spans_enabled(false);
+    let records = spans::drain();
+    (entered, records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn balanced_trees_record_every_span_with_correct_nesting(
+        depth in 1usize..5,
+        breadth in 1usize..4,
+    ) {
+        let (entered, records) = records_for_tree(depth, breadth);
+
+        // Balanced enter/exit: one record per span entered, none lost.
+        prop_assert_eq!(records.len(), entered);
+
+        // Depths span exactly 0..depth-1 on a uniform tree.
+        let max_depth = records.iter().map(|r| r.depth).max().unwrap();
+        prop_assert_eq!(max_depth as usize, depth - 1);
+
+        // Every non-root record has a parent one level up that encloses
+        // it: child intervals never escape their parent (child <= parent).
+        for child in records.iter().filter(|r| r.depth > 0) {
+            prop_assert!(
+                records.iter().any(|p| p.encloses(child)),
+                "span at depth {} start {} has no enclosing parent",
+                child.depth,
+                child.start_ns
+            );
+        }
+
+        // Roots are balanced too: depth-0 spans equal the single tree root.
+        prop_assert_eq!(records.iter().filter(|r| r.depth == 0).count(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end validation of the telemetry artifact pipeline: a CLI
+//! `factorize --telemetry DIR` run must produce four well-formed
+//! artifacts, the per-iteration records must match what the solver
+//! actually computed, and `cstf report` must render them.
+
+use cstf_cli::{dispatch, parse};
+use cstf_core::admm::AdmmConfig;
+use cstf_device::{Device, DeviceSpec};
+use cstf_telemetry::{convergence, parse_prometheus, RunSummary};
+
+/// Runs the CLI in-process and returns captured stdout.
+fn cli(args: &[&str]) -> String {
+    let parsed = parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
+    let mut buf = Vec::new();
+    dispatch(&parsed, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn telemetry_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cstf_artifact_test_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The exact solver configuration the CLI run below uses, re-run directly
+/// so artifact contents can be compared against ground truth.
+fn reference_run() -> cstf_core::auntf::FactorizeOutput {
+    let x = cstf_data::by_name("Uber").unwrap().generate_scaled(3000, 0);
+    let cfg = cstf_core::AuntfConfig {
+        rank: 4,
+        max_iters: 3,
+        fit_tol: 0.0,
+        update: cstf_core::UpdateMethod::Admm(AdmmConfig::cuadmm()),
+        seed: 0,
+        format: cstf_core::TensorFormat::Blco,
+        ..Default::default()
+    };
+    cstf_core::Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()))
+}
+
+#[test]
+fn four_artifacts_round_trip_and_match_the_solver() {
+    let dir = telemetry_dir("roundtrip");
+    let d = dir.to_str().unwrap().to_string();
+    cli(&[
+        "factorize",
+        "--dataset",
+        "Uber",
+        "--nnz",
+        "3000",
+        "--rank",
+        "4",
+        "--iters",
+        "3",
+        "--seed",
+        "0",
+        "--telemetry",
+        &d,
+    ]);
+
+    // --- run.json: parses into the shared data model ---
+    let run_text = std::fs::read_to_string(dir.join("run.json")).expect("run.json written");
+    let summary = RunSummary::from_json(&run_text).expect("run.json parses");
+    assert_eq!(summary.system, "cstf-cli");
+    assert_eq!(summary.rank, 4);
+    assert_eq!(summary.iterations, 3);
+    assert_eq!(summary.nnz, 3000);
+    assert!(summary.modeled_s > 0.0);
+    assert!(summary.phases.iter().any(|p| p.phase == "MTTKRP"));
+
+    // --- events.jsonl: per-iteration records match the solver exactly ---
+    let reference = reference_run();
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events.jsonl written");
+    let records = convergence::read_jsonl(&events).expect("events.jsonl parses");
+    assert_eq!(records.len(), reference.iters);
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs());
+    for (rec, (i, &fit)) in records.iter().zip(reference.fits.iter().enumerate()) {
+        assert_eq!(rec.iter as usize, i);
+        assert!(
+            close(rec.fit.expect("fit recorded"), fit),
+            "iteration {i}: artifact fit {:?} vs solver fit {fit}",
+            rec.fit
+        );
+        let truth = &reference.convergence.records()[i];
+        assert_eq!(rec.modes.len(), truth.modes.len());
+        for (got, want) in rec.modes.iter().zip(&truth.modes) {
+            assert_eq!(got.mode, want.mode);
+            assert_eq!(got.inner_iters, want.inner_iters);
+            assert!(close(got.primal_residual.unwrap(), want.primal_residual.unwrap()));
+            assert!(close(got.dual_residual.unwrap(), want.dual_residual.unwrap()));
+            assert!(close(got.rho.unwrap(), want.rho.unwrap()));
+        }
+    }
+    // And run.json's fits agree with the solver too.
+    assert_eq!(summary.fits.len(), reference.fits.len());
+    for (a, b) in summary.fits.iter().zip(&reference.fits) {
+        assert!(close(*a, *b));
+    }
+
+    // --- trace.json: valid Chrome Trace JSON with all event kinds ---
+    let trace = std::fs::read_to_string(dir.join("trace.json")).expect("trace.json written");
+    let parsed: serde_json::Value = serde_json::from_str(&trace).expect("trace is valid JSON");
+    let events = parsed.as_array().expect("trace is an array");
+    let has_ph = |ph: &str| events.iter().any(|e| e["ph"] == ph);
+    assert!(has_ph("X"), "complete events");
+    assert!(has_ph("C"), "counter tracks");
+    assert!(has_ph("i"), "iteration-boundary instants");
+    assert!(has_ph("s") && has_ph("f"), "MTTKRP->UPDATE flow arrows");
+    assert_eq!(
+        events.iter().filter(|e| e["ph"] == "i" && e["name"] == "outer_iteration").count(),
+        3,
+        "one instant per outer iteration"
+    );
+    assert!(
+        events.iter().any(|e| e["pid"] == 2 && e["cat"] == "span"),
+        "host spans present on the second process"
+    );
+
+    // --- metrics.prom: valid Prometheus exposition ---
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom written");
+    let samples = parse_prometheus(&prom).expect("exposition format parses");
+    let value = |name: &str| {
+        samples.iter().find(|s| s.name == name).map(|s| s.value).expect("metric present")
+    };
+    assert!(value("cstf_launches_total") > 0.0);
+    assert!(value("cstf_flops_total") > 0.0);
+    assert!(value("cstf_bytes_total") > 0.0);
+    assert_eq!(value("cstf_kernel_modeled_ns_count"), value("cstf_launches_total"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_renders_and_emits_regression_line() {
+    let dir = telemetry_dir("report");
+    let d = dir.to_str().unwrap().to_string();
+    cli(&[
+        "factorize",
+        "--dataset",
+        "NIPS",
+        "--nnz",
+        "2000",
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--telemetry",
+        &d,
+    ]);
+
+    let text = cli(&["report", &d]);
+    assert!(text.contains("cstf-cli"), "{text}");
+    assert!(text.contains("MTTKRP"), "{text}");
+    assert!(text.lines().any(|l| l.trim_start().starts_with('0')), "iteration rows:\n{text}");
+
+    let line = cli(&["report", &d, "--json"]);
+    assert_eq!(line.trim().lines().count(), 1, "single-line JSON");
+    let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+    assert_eq!(v["schema_version"], 1);
+    assert_eq!(v["iterations"], 2);
+    assert!(v["per_iter_modeled_s"].as_f64().unwrap() > 0.0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
