@@ -50,7 +50,7 @@ fn bench_streaming(c: &mut Criterion) {
                 },
                 |(dev, mut tracker)| {
                     for s in &slices {
-                        tracker.ingest(&dev, s);
+                        tracker.ingest(&dev, s).expect("fault-free ingest");
                     }
                 },
                 criterion::BatchSize::LargeInput,

@@ -39,7 +39,7 @@ fn main() {
         let mut u = Mat::zeros(i, rank);
         let mut ws = AdmmWorkspace::new(i, rank);
         let cfg = AdmmConfig { inner_iters: 1, tol: 0.0, ..AdmmConfig::generic() };
-        admm_update(&dev, &cfg, &m, &s_full, &mut h, &mut u, &mut ws);
+        admm_update(&dev, &cfg, &m, &s_full, &mut h, &mut u, &mut ws).expect("fault-free update");
 
         let totals = dev.phase_totals(Phase::Update);
         let (i_f, r_f) = (i as f64, rank as f64);

@@ -30,7 +30,7 @@ fn main() {
         let dev = Device::new(spec);
         let mut h = h0.clone();
         let mut u = Mat::zeros(rows, rank);
-        blocked_admm_update(&dev, &cfg, block, &m, &s, &mut h, &mut u);
+        blocked_admm_update(&dev, &cfg, block, &m, &s, &mut h, &mut u).expect("fault-free update");
         dev.phase_totals(Phase::Update).seconds
     };
 

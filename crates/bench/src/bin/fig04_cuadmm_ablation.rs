@@ -40,11 +40,11 @@ fn time_variant(spec: &DeviceSpec, cfg: &AdmmConfig, m: &Mat, s: &Mat, h0: &Mat)
     let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
     // Warm-up so measured numbers reflect the steady state (buffers grown,
     // caches warm), then a metered run on a fresh profiler.
-    admm_update(&dev, cfg, m, s, &mut h, &mut u, &mut ws);
+    admm_update(&dev, cfg, m, s, &mut h, &mut u, &mut ws).expect("fault-free update");
     dev.reset_shared();
     let mut h = h0.clone();
     let mut u = Mat::zeros(h0.rows(), h0.cols());
-    admm_update(&dev, cfg, m, s, &mut h, &mut u, &mut ws);
+    admm_update(&dev, cfg, m, s, &mut h, &mut u, &mut ws).expect("fault-free update");
     let totals = dev.phase_totals(Phase::Update);
     (totals.seconds, totals.measured_s)
 }

@@ -92,7 +92,7 @@ pub fn run_preset(preset: &SystemPreset, x: &SparseTensor, iters: usize) -> RunR
     // device; the run's own records are taken atomically below.
     preset.device.reset_shared();
     let t0 = std::time::Instant::now();
-    let out = auntf.factorize(&preset.device);
+    let out = auntf.factorize(&preset.device).expect("fault-free benchmark run");
     let wall_s = t0.elapsed().as_secs_f64();
     debug_assert_eq!(out.iters, iters);
 
@@ -112,7 +112,7 @@ pub fn run_preset_dense(preset: &SystemPreset, x: &DenseTensor, iters: usize) ->
 
     preset.device.reset_shared();
     let t0 = std::time::Instant::now();
-    auntf.factorize(&preset.device);
+    auntf.factorize(&preset.device).expect("fault-free benchmark run");
     let wall_s = t0.elapsed().as_secs_f64();
 
     let capture = preset.device.take_run();

@@ -56,7 +56,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Known boolean switches (everything else expects a value).
-const SWITCHES: &[&str] = &["json", "quiet", "fit"];
+const SWITCHES: &[&str] = &["json", "quiet", "fit", "resume"];
 
 /// Parses `argv[1..]`.
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {

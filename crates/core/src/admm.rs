@@ -37,6 +37,7 @@ use cstf_device::{Device, KernelClass, KernelCost, Phase};
 use cstf_linalg::{tuning, Cholesky, Mat};
 
 use crate::prox::Constraint;
+use crate::recovery::{AdmmError, CholeskyError};
 
 /// Configuration of the ADMM update.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +57,11 @@ pub struct AdmmConfig {
     /// when [`operation_fusion`](Self::operation_fusion) is on; results are
     /// bitwise-identical to the fused multi-kernel path.
     pub single_sweep: bool,
+    /// Multiplier on the trace-derived penalty `rho = trace(S)/R`. The
+    /// default `1.0` leaves the paper's formula bitwise-unchanged; the
+    /// recovery policy boosts it when `S + rho*I` fails to factor (a
+    /// genuinely indefinite `S`).
+    pub rho_scale: f64,
     /// Constraint to impose.
     pub constraint: Constraint,
 }
@@ -72,6 +78,7 @@ impl AdmmConfig {
             operation_fusion: true,
             pre_inversion: true,
             single_sweep: false,
+            rho_scale: 1.0,
             constraint: Constraint::NonNegative,
         }
     }
@@ -222,6 +229,13 @@ fn sum_sq_diff(a: &Mat, b: &Mat) -> f64 {
 ///
 /// Every kernel is metered through `dev` under [`Phase::Update`].
 ///
+/// # Errors
+/// Returns [`AdmmError::Cholesky`] when `S + rho*I` fails to factor (an
+/// indefinite or corrupted `S` — `h` and `u` are untouched in that case),
+/// [`AdmmError::Fault`] when a kernel launch draws an injected device
+/// fault (caller restores state and retries), and [`AdmmError::NonFinite`]
+/// when the per-sweep residual sentinel catches NaN/Inf contamination.
+///
 /// # Panics
 /// Panics on shape mismatches between `m`, `h`, `u` and `s`.
 pub fn admm_update(
@@ -232,7 +246,7 @@ pub fn admm_update(
     h: &mut Mat,
     u: &mut Mat,
     ws: &mut AdmmWorkspace,
-) -> AdmmStats {
+) -> Result<AdmmStats, AdmmError> {
     let (rows, rank) = (m.rows(), m.cols());
     assert_eq!((h.rows(), h.cols()), (rows, rank), "H shape mismatch");
     assert_eq!((u.rows(), u.cols()), (rows, rank), "U shape mismatch");
@@ -241,14 +255,18 @@ pub fn admm_update(
     let elems = rows * rank;
 
     // rho = trace(S)/R with a floor to keep S + rho*I positive definite
-    // even for degenerate (all-zero) Gram products.
-    let rho = (s.trace() / rank as f64).max(1e-12);
+    // even for degenerate (all-zero) Gram products. rho_scale = 1.0 leaves
+    // the value bitwise-unchanged.
+    let rho = cfg.rho_scale * (s.trace() / rank as f64).max(1e-12);
 
     // Cholesky factorization of S + rho*I (Algorithm 2/3, line 3), rebuilt
     // in place inside the workspace so no allocation hits the hot path.
+    // A well-formed S is PSD, so S + rho*I is positive definite; failure
+    // means corruption or rank deficiency and surfaces as a typed error
+    // (h and u are untouched at this point).
     {
         let (sp, chol) = (&mut ws.sp, &mut ws.chol);
-        dev.launch(
+        dev.try_launch(
             "cholesky_factor",
             Phase::Update,
             KernelClass::Factor,
@@ -264,15 +282,16 @@ pub fn admm_update(
             || {
                 sp.copy_from(s);
                 sp.add_diagonal(rho);
-                chol.refactor(sp).expect("S + rho*I is positive definite by construction")
+                chol.refactor(sp)
             },
-        );
+        )?
+        .map_err(|source| AdmmError::Cholesky(CholeskyError { source, rho }))?;
     }
 
     // Pre-inversion (Algorithm 3, line 4): explicit (L L^T)^{-1}, once.
     if cfg.pre_inversion {
         let (chol, inv) = (&ws.chol, &mut ws.inv);
-        dev.launch(
+        dev.try_launch(
             "cholesky_explicit_inverse",
             Phase::Update,
             KernelClass::Factor,
@@ -288,7 +307,7 @@ pub fn admm_update(
                 working_set: 2.0 * (rank * rank) as f64 * 8.0,
             },
             || chol.inverse_into(inv),
-        );
+        )?;
     }
 
     let mut stats =
@@ -318,65 +337,70 @@ pub fn admm_update(
             let constraint = cfg.constraint;
             let (h_mut, u_mut) = (&mut *h, &mut *u);
             let (primal_sq, h_sq, dual_sq, u_sq) =
-                dev.launch("fused_inner_sweep", Phase::Update, class, sweep_cost, || {
+                dev.try_launch("fused_inner_sweep", Phase::Update, class, sweep_cost, || {
                     fused_inner_sweep(constraint, rho, m, chol, inv, h_mut, u_mut, scratch)
-                });
+                })?;
+            // NaN sentinel: the four residual sums already touch every
+            // element of H and U, so this finiteness check is free.
+            if !(primal_sq + h_sq + dual_sq + u_sq).is_finite() {
+                return Err(AdmmError::NonFinite { inner_iter: it });
+            }
             stats.primal_residual = if h_sq > 0.0 { primal_sq / h_sq } else { primal_sq };
             stats.dual_residual = if u_sq > 0.0 { dual_sq / u_sq } else { dual_sq };
             if cfg.tol > 0.0 && stats.primal_residual < cfg.tol && stats.dual_residual < cfg.tol {
                 break;
             }
         }
-        return stats;
+        return Ok(stats);
     }
 
     for it in 0..cfg.inner_iters {
         stats.iters = it + 1;
 
         // H_old <- H (for the dual residual; Algorithm 2 line 5).
-        dev.launch(
+        dev.try_launch(
             "copy_h_old",
             Phase::Update,
             KernelClass::Stream,
             stream_cost(elems, 1.0, 1.0, 0.0),
             || ws.h_old.copy_from(h),
-        );
+        )?;
 
         // --- auxiliary variable H_aux = M + rho * (H + U) ---
         if cfg.operation_fusion {
             let (h_aux, h_ref, u_ref) = (&mut ws.h_aux, &*h, &*u);
-            dev.launch(
+            dev.try_launch(
                 "compute_auxiliary",
                 Phase::Update,
                 KernelClass::Stream,
                 stream_cost(elems, 3.0, 1.0, 3.0),
                 || map3(h_aux, m, h_ref, u_ref, |m, h, u| m + rho * (h + u)),
-            );
+            )?;
         } else {
             // DGEAM tmp = H + U, then DGEAM H_aux = M + rho * tmp.
             let (tmp, h_ref, u_ref) = (&mut ws.tmp, &*h, &*u);
-            dev.launch(
+            dev.try_launch(
                 "dgeam_h_plus_u",
                 Phase::Update,
                 KernelClass::Stream,
                 stream_cost(elems, 2.0, 1.0, 1.0),
                 || map2(tmp, h_ref, u_ref, |h, u| h + u),
-            );
+            )?;
             let (h_aux, tmp_ref) = (&mut ws.h_aux, &ws.tmp);
-            dev.launch(
+            dev.try_launch(
                 "dgeam_m_plus_rho_t",
                 Phase::Update,
                 KernelClass::Stream,
                 stream_cost(elems, 2.0, 1.0, 2.0),
                 || map2(h_aux, m, tmp_ref, |m, t| m + rho * t),
-            );
+            )?;
         }
 
         // --- solve (S + rho I) X^T = H_aux^T ---
         if cfg.pre_inversion {
             // GEMM against the precomputed inverse (Algorithm 3 line 7).
             let (tmp, h_aux_ref, inv) = (&mut ws.tmp, &ws.h_aux, &ws.inv);
-            dev.launch(
+            dev.try_launch(
                 "dgemm_apply_inverse",
                 Phase::Update,
                 KernelClass::Gemm,
@@ -390,7 +414,7 @@ pub fn admm_update(
                     working_set: (2 * elems + rank * rank) as f64 * 8.0,
                 },
                 || cstf_linalg::gemm(1.0, h_aux_ref, inv, 0.0, tmp),
-            );
+            )?;
             // The GEMM wrote into `tmp`; swap it in as the new H_aux
             // (pointer swap — free, like cuBLAS writing to a second buffer).
             std::mem::swap(&mut ws.h_aux, &mut ws.tmp);
@@ -403,7 +427,7 @@ pub fn admm_update(
             // amplifying read traffic — the penalties pre-inversion
             // removes (§4.3.2).
             let (h_aux, chol) = (&mut ws.h_aux, &ws.chol);
-            dev.launch(
+            dev.try_launch(
                 "trsm_fwd_bwd",
                 Phase::Update,
                 KernelClass::Trsm,
@@ -419,14 +443,14 @@ pub fn admm_update(
                     working_set: (2 * elems + rank * rank) as f64 * 8.0,
                 },
                 || chol.solve_rows(h_aux),
-            );
+            )?;
         }
 
         // --- constraint: H = prox(H_aux - U) ---
         if cfg.operation_fusion {
             let constraint = cfg.constraint;
             let (h_mut, h_aux_ref, u_ref) = (&mut *h, &ws.h_aux, &*u);
-            dev.launch(
+            dev.try_launch(
                 "apply_proximity_operator",
                 Phase::Update,
                 KernelClass::Stream,
@@ -440,20 +464,20 @@ pub fn admm_update(
                         apply_rowwise(h_mut, h_aux_ref, u_ref, constraint, rho);
                     }
                 },
-            );
+            )?;
         } else {
             // DGEAM tmp = H_aux - U, then a separate prox kernel.
             let (tmp, h_aux_ref, u_ref) = (&mut ws.tmp, &ws.h_aux, &*u);
-            dev.launch(
+            dev.try_launch(
                 "dgeam_aux_minus_u",
                 Phase::Update,
                 KernelClass::Stream,
                 stream_cost(elems, 2.0, 1.0, 1.0),
                 || map2(tmp, h_aux_ref, u_ref, |a, u| a - u),
-            );
+            )?;
             let constraint = cfg.constraint;
             let (h_mut, tmp_ref) = (&mut *h, &ws.tmp);
-            dev.launch(
+            dev.try_launch(
                 "prox_operator",
                 Phase::Update,
                 KernelClass::Stream,
@@ -479,7 +503,7 @@ pub fn admm_update(
                             .for_each(|row| constraint.prox_row(row, rho));
                     }
                 },
-            );
+            )?;
         }
 
         // --- dual update U += H - H_aux, plus residuals ---
@@ -487,7 +511,7 @@ pub fn admm_update(
             // Fused kernel: updates U and reuses the H - H_aux difference
             // for the primal-residual reduction.
             let (u_mut, h_ref, h_aux_ref) = (&mut *u, &*h, &ws.h_aux);
-            dev.launch(
+            dev.try_launch(
                 "dual_update",
                 Phase::Update,
                 KernelClass::Stream,
@@ -515,19 +539,19 @@ pub fn admm_update(
                         acc
                     }
                 },
-            )
+            )?
         } else {
             // Separate DGEAMs and reductions, as cuBLAS would do it.
             let (tmp, h_ref, h_aux_ref) = (&mut ws.tmp, &*h, &ws.h_aux);
-            dev.launch(
+            dev.try_launch(
                 "dgeam_h_minus_aux",
                 Phase::Update,
                 KernelClass::Stream,
                 stream_cost(elems, 2.0, 1.0, 1.0),
                 || map2(tmp, h_ref, h_aux_ref, |h, a| h - a),
-            );
+            )?;
             let (u_mut, tmp_ref) = (&mut *u, &ws.tmp);
-            dev.launch(
+            dev.try_launch(
                 "dgeam_dual_ascent",
                 Phase::Update,
                 KernelClass::Stream,
@@ -542,34 +566,40 @@ pub fn admm_update(
                         }
                     }
                 },
-            );
-            let primal = dev.launch(
+            )?;
+            let primal = dev.try_launch(
                 "reduce_primal_residual",
                 Phase::Update,
                 KernelClass::Reduce,
                 stream_cost(elems, 1.0, 0.0, 2.0),
                 || sum_sq(&ws.tmp),
-            );
-            let h_sq = dev.launch(
+            )?;
+            let h_sq = dev.try_launch(
                 "reduce_h_norm",
                 Phase::Update,
                 KernelClass::Reduce,
                 stream_cost(elems, 1.0, 0.0, 2.0),
                 || sum_sq(h),
-            );
+            )?;
             (primal, h_sq)
         };
 
         // Dual residual needs ||H - H_old||^2 and ||U||^2; in the fused
         // variant these are one extra reduction kernel, in the generic one
         // they are two more cuBLAS calls.
-        let (dual_sq, u_sq) = dev.launch(
+        let (dual_sq, u_sq) = dev.try_launch(
             "reduce_dual_residual",
             Phase::Update,
             KernelClass::Reduce,
             stream_cost(elems, 3.0, 0.0, 4.0),
             || (sum_sq_diff(h, &ws.h_old), sum_sq(u)),
-        );
+        )?;
+
+        // NaN sentinel: the residual sums already cover every element of H
+        // and U, so this finiteness check costs one add and one branch.
+        if !(primal_sq + h_sq + dual_sq + u_sq).is_finite() {
+            return Err(AdmmError::NonFinite { inner_iter: it });
+        }
 
         stats.primal_residual = if h_sq > 0.0 { primal_sq / h_sq } else { primal_sq };
         stats.dual_residual = if u_sq > 0.0 { dual_sq / u_sq } else { dual_sq };
@@ -579,7 +609,7 @@ pub fn admm_update(
         }
     }
 
-    stats
+    Ok(stats)
 }
 
 /// One fully-fused ADMM inner iteration as a single row-blocked pass:
@@ -697,6 +727,9 @@ fn fused_inner_sweep(
 /// CPU's caches, while the multiplied launch count and shrunken per-kernel
 /// parallelism hurt the GPU. `block_rows = 0` means unblocked.
 ///
+/// # Errors
+/// Propagates any [`AdmmError`] from the per-block updates.
+///
 /// # Panics
 /// Panics if `cfg.tol != 0` (per-block residuals differ from global ones)
 /// or on shape mismatches.
@@ -708,7 +741,7 @@ pub fn blocked_admm_update(
     s: &Mat,
     h: &mut Mat,
     u: &mut Mat,
-) -> AdmmStats {
+) -> Result<AdmmStats, AdmmError> {
     assert!(
         cfg.tol == 0.0,
         "blocked ADMM requires fixed iterations (tol = 0); per-block residuals \
@@ -743,14 +776,14 @@ pub fn blocked_admm_update(
         if h_blk.rows() != ws.h_aux.rows() {
             ws = AdmmWorkspace::new(h_blk.rows(), rank);
         }
-        last = admm_update(dev, cfg, &m_blk, s, &mut h_blk, &mut u_blk, &mut ws);
+        last = admm_update(dev, cfg, &m_blk, s, &mut h_blk, &mut u_blk, &mut ws)?;
         for (bi, i) in (start..end).enumerate() {
             h.row_mut(i).copy_from_slice(h_blk.row(bi));
             u.row_mut(i).copy_from_slice(u_blk.row(bi));
         }
         start = end;
     }
-    last
+    Ok(last)
 }
 
 #[cfg(test)]
@@ -780,7 +813,7 @@ mod tests {
         let mut h = h0.clone();
         let mut u = Mat::zeros(h0.rows(), h0.cols());
         let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
-        let stats = admm_update(&dev, cfg, m, s, &mut h, &mut u, &mut ws);
+        let stats = admm_update(&dev, cfg, m, s, &mut h, &mut u, &mut ws).unwrap();
         (h, u, stats)
     }
 
@@ -888,7 +921,7 @@ mod tests {
             let mut h = h0.clone();
             let mut u = Mat::zeros(h0.rows(), h0.cols());
             let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
-            admm_update(&dev, cfg, &m, &s, &mut h, &mut u, &mut ws);
+            admm_update(&dev, cfg, &m, &s, &mut h, &mut u, &mut ws).unwrap();
             dev.total_launches()
         };
         let generic = count(&AdmmConfig::generic());
@@ -904,7 +937,7 @@ mod tests {
             let mut h = h0.clone();
             let mut u = Mat::zeros(h0.rows(), h0.cols());
             let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
-            admm_update(&dev, cfg, &m, &s, &mut h, &mut u, &mut ws);
+            admm_update(&dev, cfg, &m, &s, &mut h, &mut u, &mut ws).unwrap();
             dev.phase_totals(Phase::Update).bytes
         };
         let of_only =
@@ -936,12 +969,12 @@ mod tests {
         let mut h_ref = h0.clone();
         let mut u_ref = Mat::zeros(300, 6);
         let mut ws = AdmmWorkspace::new(300, 6);
-        admm_update(&dev, &cfg, &m, &s, &mut h_ref, &mut u_ref, &mut ws);
+        admm_update(&dev, &cfg, &m, &s, &mut h_ref, &mut u_ref, &mut ws).unwrap();
 
         for block in [64usize, 100, 299, 500] {
             let mut h = h0.clone();
             let mut u = Mat::zeros(300, 6);
-            blocked_admm_update(&dev, &cfg, block, &m, &s, &mut h, &mut u);
+            blocked_admm_update(&dev, &cfg, block, &m, &s, &mut h, &mut u).unwrap();
             assert_eq!(h, h_ref, "block {block} changed the primal");
             assert_eq!(u, u_ref, "block {block} changed the dual");
         }
@@ -961,7 +994,7 @@ mod tests {
             let dev = Device::new(spec);
             let mut h = h0.clone();
             let mut u = Mat::zeros(h0.rows(), h0.cols());
-            blocked_admm_update(&dev, &cfg, block, &m, &s, &mut h, &mut u);
+            blocked_admm_update(&dev, &cfg, block, &m, &s, &mut h, &mut u).unwrap();
             dev.phase_totals(Phase::Update).seconds
         };
         // A block sized to the (scaled) CPU LLC (and exceeding the GPU L2).
@@ -994,7 +1027,7 @@ mod tests {
         let mut h = h0.clone();
         let mut u = Mat::zeros(50, 4);
         let cfg = AdmmConfig { tol: 1e-4, ..AdmmConfig::cuadmm() };
-        blocked_admm_update(&dev, &cfg, 16, &m, &s, &mut h, &mut u);
+        let _ = blocked_admm_update(&dev, &cfg, 16, &m, &s, &mut h, &mut u);
     }
 
     #[test]
@@ -1071,7 +1104,7 @@ mod tests {
         let mut u = Mat::zeros(h0.rows(), h0.cols());
         let mut ws = AdmmWorkspace::new(h0.rows(), h0.cols());
         let cfg = AdmmConfig::cuadmm_fused();
-        admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws);
+        admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws).unwrap();
         // Factor + explicit inverse + one sweep per inner iteration.
         assert_eq!(dev.total_launches(), 2 + cfg.inner_iters);
     }
@@ -1095,5 +1128,82 @@ mod tests {
         let (m, s, h0, _) = problem(30, 5, 10);
         let (_, _, stats) = run(&AdmmConfig::cuadmm(), &m, &s, &h0);
         assert!((stats.rho - s.trace() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_scale_multiplies_the_trace_formula() {
+        let (m, s, h0, _) = problem(30, 5, 11);
+        let cfg = AdmmConfig { rho_scale: 10.0, ..AdmmConfig::cuadmm() };
+        let (_, _, stats) = run(&cfg, &m, &s, &h0);
+        assert!((stats.rho - 10.0 * (s.trace() / 5.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_gram_yields_typed_cholesky_error_and_leaves_state_untouched() {
+        // S = [[1,3],[3,1]] has trace 2, so rho = 1 and S + rho*I =
+        // [[2,3],[3,2]] (determinant -5) is decisively indefinite: the
+        // second Cholesky pivot is 2 - (3/sqrt(2))^2 = -2.5.
+        let s = Mat::from_fn(2, 2, |i, j| if i == j { 1.0 } else { 3.0 });
+        let m = Mat::from_fn(4, 2, |i, j| (i + j) as f64 + 1.0);
+        let h0 = Mat::from_fn(4, 2, |i, j| (2 * i + j) as f64);
+        let dev = Device::new(DeviceSpec::h100());
+        let mut h = h0.clone();
+        let mut u = Mat::from_fn(4, 2, |i, _| i as f64);
+        let u0 = u.clone();
+        let mut ws = AdmmWorkspace::new(4, 2);
+        let err =
+            admm_update(&dev, &AdmmConfig::cuadmm(), &m, &s, &mut h, &mut u, &mut ws).unwrap_err();
+        match err {
+            AdmmError::Cholesky(CholeskyError {
+                source: cstf_linalg::LinalgError::NotPositiveDefinite { pivot_value, .. },
+                rho,
+            }) => {
+                assert!((rho - 1.0).abs() < 1e-12, "rho should be trace/R = 1, got {rho}");
+                assert!(pivot_value < 0.0, "pivot should be negative, got {pivot_value}");
+            }
+            other => panic!("expected NotPositiveDefinite Cholesky error, got {other:?}"),
+        }
+        // The factorization is the first kernel: H and U must be untouched,
+        // so the caller can retry with a boosted rho without snapshotting.
+        assert_eq!(h, h0, "H was modified by a failed update");
+        assert_eq!(u, u0, "U was modified by a failed update");
+    }
+
+    #[test]
+    fn nan_in_mttkrp_output_trips_the_sentinel_on_every_variant() {
+        let (mut m, s, h0, _) = problem(40, 4, 12);
+        m[(3, 2)] = f64::NAN;
+        for cfg in [AdmmConfig::generic(), AdmmConfig::cuadmm(), AdmmConfig::cuadmm_fused()] {
+            let dev = Device::new(DeviceSpec::h100());
+            let mut h = h0.clone();
+            let mut u = Mat::zeros(40, 4);
+            let mut ws = AdmmWorkspace::new(40, 4);
+            let err = admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws).unwrap_err();
+            assert_eq!(
+                err,
+                AdmmError::NonFinite { inner_iter: 0 },
+                "{} should catch the NaN in the first sweep",
+                cfg.variant_name()
+            );
+        }
+    }
+
+    #[test]
+    fn injected_launch_fault_surfaces_as_typed_error() {
+        let (m, s, h0, _) = problem(30, 4, 13);
+        let plan =
+            cstf_device::FaultPlan { launch_fault_rate: 1.0, ..cstf_device::FaultPlan::quiet(7) };
+        let dev = Device::new(DeviceSpec::h100()).with_fault_plan(plan);
+        let mut h = h0.clone();
+        let mut u = Mat::zeros(30, 4);
+        let mut ws = AdmmWorkspace::new(30, 4);
+        let err =
+            admm_update(&dev, &AdmmConfig::cuadmm(), &m, &s, &mut h, &mut u, &mut ws).unwrap_err();
+        match err {
+            AdmmError::Fault(fault) => {
+                assert_eq!(fault.kernel, "cholesky_factor", "first kernel should draw the fault");
+            }
+            other => panic!("expected a device fault, got {other:?}"),
+        }
     }
 }

@@ -7,15 +7,17 @@
 //! is metered on the device so the breakdown figures (Figs. 1, 3) and the
 //! end-to-end comparisons (Figs. 5–10) fall directly out of the profiler.
 
-use cstf_device::{Device, KernelClass, KernelCost, Phase};
+use cstf_device::{Device, DeviceFault, KernelClass, KernelCost, Phase};
 use cstf_formats::{Alto, Blco, Csf, HiCoo, MttkrpWorkspace, TrafficEstimate};
-use cstf_linalg::{gram, normalize_columns_scratch, Mat, NormKind, PartialBuffers};
+use cstf_linalg::{gram, normalize_columns_scratch, LinalgError, Mat, NormKind, PartialBuffers};
 use cstf_telemetry::{ConvergenceLog, Span};
 use cstf_tensor::{DenseTensor, Ktensor, SparseTensor};
 
 use crate::admm::{admm_update, AdmmConfig, AdmmWorkspace};
+use crate::checkpoint::{self, BatchState, BatchView, CheckpointConfig};
 use crate::hals::{hals_update, HalsConfig};
 use crate::mu::{mu_update, MuConfig};
+use crate::recovery::{AdmmError, FactorizeError, RecoveryPolicy, RecoveryReport};
 
 /// Which compressed format backs the MTTKRP phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +79,8 @@ pub struct AuntfConfig {
     pub compute_fit: bool,
     /// MTTKRP engine format.
     pub format: TensorFormat,
+    /// How the driver responds to device faults and numerical breakdowns.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for AuntfConfig {
@@ -90,6 +94,7 @@ impl Default for AuntfConfig {
             seed: 0,
             compute_fit: true,
             format: TensorFormat::Blco,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -108,6 +113,8 @@ pub struct FactorizeOutput {
     /// Per-iteration convergence telemetry: fit, relative error, and the
     /// ADMM inner-iteration counts / residuals / rho of every mode visit.
     pub convergence: ConvergenceLog,
+    /// What the recovery machinery did (all-zero for a fault-free run).
+    pub recovery: RecoveryReport,
 }
 
 enum Source {
@@ -199,7 +206,7 @@ impl Auntf {
         mode: usize,
         out: &mut Mat,
         ws: &mut MttkrpWorkspace,
-    ) {
+    ) -> Result<(), DeviceFault> {
         let rank = self.cfg.rank;
         let (traffic, class): (TrafficEstimate, KernelClass) = match (&self.engine, &self.source) {
             (Engine::Coo, Source::Sparse(x)) => (
@@ -249,7 +256,12 @@ impl Auntf {
             serial_steps: 1.0,
             working_set: traffic.working_set,
         };
-        dev.launch("mttkrp", Phase::Mttkrp, class, cost, || match (&self.engine, &self.source) {
+        // launch_into exposes the output panel to silent NaN-corruption
+        // faults, so the driver's nan_guard has something real to catch.
+        dev.launch_into("mttkrp", Phase::Mttkrp, class, cost, out, Mat::as_mut_slice, |out| match (
+            &self.engine,
+            &self.source,
+        ) {
             (Engine::Coo, Source::Sparse(x)) => {
                 cstf_formats::mttkrp_coo_parallel_into(x, factors, mode, out, ws)
             }
@@ -269,9 +281,9 @@ impl Auntf {
         h: &Mat,
         out: &mut Mat,
         partials: &mut PartialBuffers,
-    ) {
+    ) -> Result<(), DeviceFault> {
         let (rows, rank) = (h.rows(), h.cols());
-        dev.launch(
+        dev.launch_into(
             "gram_syrk",
             Phase::Gram,
             KernelClass::Gemm,
@@ -284,14 +296,25 @@ impl Auntf {
                 serial_steps: 1.0,
                 working_set: (rows * rank) as f64 * 8.0,
             },
-            || gram::gram_into(h, out, partials),
+            out,
+            Mat::as_mut_slice,
+            |out| gram::gram_into(h, out, partials),
         )
     }
 
-    fn hadamard_grams_into(&self, dev: &Device, grams: &[Mat], skip: usize, out: &mut Mat) {
+    fn hadamard_grams_into(
+        &self,
+        dev: &Device,
+        grams: &[Mat],
+        skip: usize,
+        out: &mut Mat,
+    ) -> Result<(), DeviceFault> {
         let rank = self.cfg.rank;
         let n = grams.len() as f64;
-        dev.launch(
+        // Corruption of S is deliberately left to the Cholesky factorization
+        // downstream, which reports NaN as a typed error — exercising the
+        // recompute arm of the recovery ladder.
+        dev.launch_into(
             "hadamard_of_grams",
             Phase::Gram,
             KernelClass::Stream,
@@ -304,7 +327,9 @@ impl Auntf {
                 serial_steps: 1.0,
                 working_set: n * (rank * rank) as f64 * 8.0,
             },
-            || gram::hadamard_of_grams_into(grams, skip, out),
+            out,
+            Mat::as_mut_slice,
+            |out| gram::hadamard_of_grams_into(grams, skip, out),
         )
     }
 
@@ -456,39 +481,135 @@ impl Auntf {
         }
     }
 
+    /// A stable description of everything that determines the iteration
+    /// trajectory, recorded in checkpoints so a resume with a different
+    /// tensor/rank/seed/scheme is rejected instead of silently corrupting
+    /// results. Deliberately excludes `max_iters`, so a resumed run may
+    /// extend the iteration budget.
+    fn fingerprint(&self) -> String {
+        let dims: Vec<String> = self.shape().iter().map(|d| d.to_string()).collect();
+        format!(
+            "shape={} nnz={} rank={} seed={} update={} format={:?}",
+            dims.join("x"),
+            self.nnz(),
+            self.cfg.rank,
+            self.cfg.seed,
+            self.cfg.update.name(),
+            self.cfg.format
+        )
+    }
+
     /// Runs the factorization on a device.
     ///
     /// Performs the one-time host-to-device transfers (tensor + factors),
     /// then iterates Algorithm 1 until `max_iters` or the fit tolerance.
-    pub fn factorize(&self, dev: &Device) -> FactorizeOutput {
+    /// Device faults and numerical breakdowns are healed according to
+    /// [`AuntfConfig::recovery`]; because every retry replays the same
+    /// deterministic computation from restored state, a recovered run
+    /// produces **bitwise-identical** factors to a fault-free one (only a
+    /// genuine non-positive-definite Gram, which boosts rho, changes the
+    /// numerics).
+    ///
+    /// # Errors
+    /// [`FactorizeError::InvalidConfig`] for zero rank / empty tensors;
+    /// the other variants when the recovery budget is exhausted.
+    pub fn factorize(&self, dev: &Device) -> Result<FactorizeOutput, FactorizeError> {
+        self.run(dev, None)
+    }
+
+    /// Like [`factorize`](Self::factorize), but snapshots the loop state
+    /// into `ckpt.dir` every `ckpt.every` outer iterations. With `resume`,
+    /// restarts from the newest valid snapshot (corrupt snapshots fall
+    /// back to older ones); the resumed trajectory is bitwise-identical to
+    /// an uninterrupted run.
+    ///
+    /// # Errors
+    /// As [`factorize`](Self::factorize), plus
+    /// [`FactorizeError::Checkpoint`] for snapshot I/O failures or a
+    /// fingerprint mismatch on resume.
+    pub fn factorize_checkpointed(
+        &self,
+        dev: &Device,
+        ckpt: &CheckpointConfig,
+        resume: bool,
+    ) -> Result<FactorizeOutput, FactorizeError> {
+        self.run(dev, Some((ckpt, resume)))
+    }
+
+    fn run(
+        &self,
+        dev: &Device,
+        ckpt: Option<(&CheckpointConfig, bool)>,
+    ) -> Result<FactorizeOutput, FactorizeError> {
         let shape = self.shape();
         let rank = self.cfg.rank;
         let nmodes = shape.len();
+        let policy = self.cfg.recovery;
+        let mut report = RecoveryReport::default();
 
-        let mut factors = seeded_factors(&shape, rank, self.cfg.seed);
-        let mut lambda = vec![1.0f64; rank];
+        if rank == 0 {
+            return Err(FactorizeError::InvalidConfig("rank must be at least 1".into()));
+        }
+        if nmodes == 0 {
+            return Err(FactorizeError::InvalidConfig("tensor must have at least one mode".into()));
+        }
+        if self.nnz() == 0 {
+            return Err(FactorizeError::InvalidConfig(
+                "tensor has no stored values (empty tensor)".into(),
+            ));
+        }
+
+        // Restore from the newest valid snapshot, if asked to.
+        let fingerprint = self.fingerprint();
+        let restored: Option<BatchState> = match ckpt {
+            Some((cc, true)) => checkpoint::load_latest_batch(&cc.dir, &fingerprint)
+                .map_err(|e| FactorizeError::Checkpoint(e.to_string()))?,
+            _ => None,
+        };
+
+        let (mut factors, mut lambda, mut fits, mut duals, start_iter) = match restored {
+            Some(st) => {
+                if st.factors.len() != nmodes || st.lambda.len() != rank {
+                    return Err(FactorizeError::Checkpoint(format!(
+                        "snapshot shape mismatch: {} factor(s), lambda of {}",
+                        st.factors.len(),
+                        st.lambda.len()
+                    )));
+                }
+                (st.factors, st.lambda, st.fits, st.duals, st.completed_iters)
+            }
+            None => (
+                seeded_factors(&shape, rank, self.cfg.seed),
+                vec![1.0f64; rank],
+                Vec::with_capacity(self.cfg.max_iters),
+                shape.iter().map(|&d| Mat::zeros(d, rank)).collect(),
+                0,
+            ),
+        };
 
         // One-time transfers: the paper's framework is fully GPU-resident,
-        // paying these once instead of per-iteration.
-        dev.transfer("h2d_tensor", self.tensor_bytes());
-        dev.transfer("h2d_factors", factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>());
+        // paying these once instead of per-iteration. Link faults retry
+        // with modeled backoff.
+        transfer_with_retry(dev, "h2d_tensor", self.tensor_bytes(), &policy, &mut report)?;
+        transfer_with_retry(
+            dev,
+            "h2d_factors",
+            factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>(),
+            &policy,
+            &mut report,
+        )?;
 
         // Persistent workspaces: everything the outer loop touches is
         // allocated here (or grown during the first warm-up iteration), so
         // steady-state iterations perform zero heap allocation.
         let mut gram_partials = PartialBuffers::new();
-        let mut grams: Vec<Mat> = factors
-            .iter()
-            .map(|h| {
-                let mut g = Mat::zeros(rank, rank);
-                self.compute_gram_into(dev, h, &mut g, &mut gram_partials);
-                g
-            })
-            .collect();
+        let mut grams: Vec<Mat> = vec![Mat::zeros(rank, rank); nmodes];
+        for (g, h) in grams.iter_mut().zip(&factors) {
+            self.gram_guarded(dev, h, g, &mut gram_partials, &policy, &mut report, 0)?;
+        }
 
         // Per-mode ADMM state (dual variables persist across outer
-        // iterations, as in SPLATT's AO-ADMM).
-        let mut duals: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
+        // iterations, as in SPLATT's AO-ADMM). Restored duals carry over.
         let mut workspaces: Vec<AdmmWorkspace> =
             shape.iter().map(|&d| AdmmWorkspace::new(d, rank)).collect();
 
@@ -501,32 +622,140 @@ impl Auntf {
         let mut had = Mat::zeros(rank, rank);
         let mut norm_scratch: Vec<f64> = Vec::new();
 
-        let mut fits = Vec::with_capacity(self.cfg.max_iters);
+        // Pre-fault snapshots of the factor/dual pair being updated, so a
+        // faulted ADMM call can be retried from clean state. Allocated only
+        // when a fault plan is attached — a fault-free run pays nothing.
+        let mut snaps: Option<Vec<(Mat, Mat)>> = dev
+            .fault_plan()
+            .map(|_| shape.iter().map(|&d| (Mat::zeros(d, rank), Mat::zeros(d, rank))).collect());
+
         let mut convergence = ConvergenceLog::with_capacity(self.cfg.max_iters, nmodes);
         let mut converged = false;
-        let mut iters = 0;
+        let mut iters = start_iter;
+        // Sticky fused-kernel degradation (graceful fallback to the
+        // bitwise-identical multi-kernel path when the fused sweep keeps
+        // faulting).
+        let mut degraded = false;
+        let mut fused_faults_in_a_row = 0u32;
 
-        for _outer in 0..self.cfg.max_iters {
+        for outer in start_iter..self.cfg.max_iters {
             let _iter_span = Span::enter("outer_iteration");
-            iters += 1;
+            iters = outer + 1;
             let mut last_m: Option<usize> = None;
             for mode in 0..nmodes {
                 let _mode_span = Span::enter_mode("mode_update", mode);
-                self.hadamard_grams_into(dev, &grams, mode, &mut s);
-                self.mttkrp_into(dev, &factors, mode, &mut m_bufs[mode], &mut mtt_ws);
+                self.hadamard_guarded(dev, &grams, mode, &mut s, &policy, &mut report)?;
+                self.mttkrp_guarded(
+                    dev,
+                    &factors,
+                    mode,
+                    &mut m_bufs[mode],
+                    &mut mtt_ws,
+                    &policy,
+                    &mut report,
+                    outer,
+                )?;
                 let m = &m_bufs[mode];
 
                 match &self.cfg.update {
                     UpdateMethod::Admm(cfg) => {
-                        let stats = admm_update(
-                            dev,
-                            cfg,
-                            m,
-                            &s,
-                            &mut factors[mode],
-                            &mut duals[mode],
-                            &mut workspaces[mode],
-                        );
+                        let mut cfg_now = *cfg;
+                        if degraded {
+                            cfg_now.single_sweep = false;
+                        }
+                        let mut attempts = 0u32;
+                        let mut rescales = 0u32;
+                        let stats = loop {
+                            if let Some(snaps) = snaps.as_mut() {
+                                let (snap_h, snap_u) = &mut snaps[mode];
+                                snap_h.copy_from(&factors[mode]);
+                                snap_u.copy_from(&duals[mode]);
+                            }
+                            match admm_update(
+                                dev,
+                                &cfg_now,
+                                m,
+                                &s,
+                                &mut factors[mode],
+                                &mut duals[mode],
+                                &mut workspaces[mode],
+                            ) {
+                                Ok(stats) => {
+                                    fused_faults_in_a_row = 0;
+                                    break stats;
+                                }
+                                Err(AdmmError::Fault(fault)) => {
+                                    if let Some(snaps) = snaps.as_ref() {
+                                        let (snap_h, snap_u) = &snaps[mode];
+                                        factors[mode].copy_from(snap_h);
+                                        duals[mode].copy_from(snap_u);
+                                    }
+                                    if cfg_now.single_sweep && fault.kernel == "fused_inner_sweep" {
+                                        fused_faults_in_a_row += 1;
+                                        if fused_faults_in_a_row >= policy.fused_fault_threshold {
+                                            // Permanently fall back to the
+                                            // unfused path: bitwise-identical
+                                            // numerics, more launches.
+                                            degraded = true;
+                                            cfg_now.single_sweep = false;
+                                            report.degraded_to_unfused = true;
+                                        }
+                                    }
+                                    attempts += 1;
+                                    if attempts > policy.max_retries {
+                                        return Err(FactorizeError::Fault { fault, attempts });
+                                    }
+                                    report.transient_retries += 1;
+                                    report.total_backoff_s += backoff_s(&policy, attempts);
+                                }
+                                Err(AdmmError::Cholesky(error)) => {
+                                    // The factorization is the first kernel,
+                                    // so H and U are untouched — no restore.
+                                    rescales += 1;
+                                    report.cholesky_retries += 1;
+                                    if rescales > policy.max_rho_rescales {
+                                        return Err(FactorizeError::Cholesky {
+                                            error,
+                                            mode,
+                                            rescales: rescales - 1,
+                                        });
+                                    }
+                                    match error.source {
+                                        LinalgError::NonFinite => {
+                                            // Corrupted S: recompute it from
+                                            // the (guarded, finite) Grams.
+                                            // Deterministic, so no numerical
+                                            // drift.
+                                            report.nan_events += 1;
+                                            self.hadamard_guarded(
+                                                dev,
+                                                &grams,
+                                                mode,
+                                                &mut s,
+                                                &policy,
+                                                &mut report,
+                                            )?;
+                                        }
+                                        LinalgError::NotPositiveDefinite { .. } => {
+                                            // Genuinely indefinite S: boost
+                                            // rho and refactor.
+                                            cfg_now.rho_scale *= policy.rho_rescale;
+                                        }
+                                    }
+                                }
+                                Err(AdmmError::NonFinite { .. }) => {
+                                    // The inputs were finite (guards) and
+                                    // injected corruption is caught above,
+                                    // so this is a genuine numerical
+                                    // breakdown — not recoverable by replay.
+                                    return Err(FactorizeError::NonFinite {
+                                        stage: "admm_update",
+                                        mode,
+                                        outer_iter: outer,
+                                    });
+                                }
+                            }
+                        };
                         convergence.log_mode(
                             mode,
                             stats.iters,
@@ -546,13 +775,22 @@ impl Auntf {
                 }
 
                 self.normalize(dev, &mut factors[mode], &mut lambda, &mut norm_scratch);
-                self.compute_gram_into(dev, &factors[mode], &mut grams[mode], &mut gram_partials);
+                self.gram_guarded(
+                    dev,
+                    &factors[mode],
+                    &mut grams[mode],
+                    &mut gram_partials,
+                    &policy,
+                    &mut report,
+                    outer,
+                )?;
                 if mode == nmodes - 1 {
                     last_m = Some(mode);
                 }
             }
 
             let mut iter_fit = None;
+            let mut stop = false;
             if self.cfg.compute_fit {
                 let fit = self.fit(
                     dev,
@@ -565,27 +803,197 @@ impl Auntf {
                 iter_fit = Some(fit);
                 let improved = fits.last().map_or(f64::INFINITY, |&p| fit - p);
                 fits.push(fit);
-                convergence.end_iteration(iter_fit);
-                dev.mark("outer_iteration");
                 if self.cfg.fit_tol > 0.0 && improved.abs() < self.cfg.fit_tol {
                     converged = true;
-                    break;
+                    stop = true;
                 }
-            } else {
-                convergence.end_iteration(iter_fit);
-                dev.mark("outer_iteration");
+            }
+            convergence.end_iteration(iter_fit);
+            dev.mark("outer_iteration");
+
+            if let Some((cc, _)) = ckpt {
+                if (outer + 1) % cc.every == 0 || stop || outer + 1 == self.cfg.max_iters {
+                    checkpoint::save_batch(
+                        &cc.dir,
+                        &BatchView {
+                            fingerprint: &fingerprint,
+                            completed_iters: outer + 1,
+                            lambda: &lambda,
+                            fits: &fits,
+                            factors: &factors,
+                            duals: &duals,
+                        },
+                    )
+                    .map_err(|e| FactorizeError::Checkpoint(e.to_string()))?;
+                }
+            }
+            if stop {
+                break;
             }
         }
 
         // Result back to the host.
-        dev.transfer("d2h_factors", factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>());
+        transfer_with_retry(
+            dev,
+            "d2h_factors",
+            factors.iter().map(|f| f.len() as f64 * 8.0).sum::<f64>(),
+            &policy,
+            &mut report,
+        )?;
 
-        FactorizeOutput {
+        Ok(FactorizeOutput {
             model: Ktensor::new(factors, lambda),
             iters,
             fits,
             converged,
             convergence,
+            recovery: report,
+        })
+    }
+
+    /// MTTKRP with the recovery policy applied: transient launch faults
+    /// retry with modeled backoff, and (when `nan_guard` is on) a
+    /// non-finite output panel is recomputed — the kernel is deterministic,
+    /// so the recompute is exact.
+    #[allow(clippy::too_many_arguments)]
+    fn mttkrp_guarded(
+        &self,
+        dev: &Device,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+        ws: &mut MttkrpWorkspace,
+        policy: &RecoveryPolicy,
+        report: &mut RecoveryReport,
+        outer: usize,
+    ) -> Result<(), FactorizeError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.mttkrp_into(dev, factors, mode, out, ws) {
+                Ok(()) => {
+                    if policy.nan_guard && !out.all_finite() {
+                        report.nan_events += 1;
+                        attempts += 1;
+                        if attempts > policy.max_retries {
+                            return Err(FactorizeError::NonFinite {
+                                stage: "mttkrp",
+                                mode,
+                                outer_iter: outer,
+                            });
+                        }
+                        continue;
+                    }
+                    return Ok(());
+                }
+                Err(fault) => {
+                    attempts += 1;
+                    if attempts > policy.max_retries {
+                        return Err(FactorizeError::Fault { fault, attempts });
+                    }
+                    report.transient_retries += 1;
+                    report.total_backoff_s += backoff_s(policy, attempts);
+                }
+            }
+        }
+    }
+
+    /// Gram computation with the same guard as
+    /// [`mttkrp_guarded`](Self::mttkrp_guarded).
+    #[allow(clippy::too_many_arguments)]
+    fn gram_guarded(
+        &self,
+        dev: &Device,
+        h: &Mat,
+        out: &mut Mat,
+        partials: &mut PartialBuffers,
+        policy: &RecoveryPolicy,
+        report: &mut RecoveryReport,
+        outer: usize,
+    ) -> Result<(), FactorizeError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.compute_gram_into(dev, h, out, partials) {
+                Ok(()) => {
+                    if policy.nan_guard && !out.all_finite() {
+                        report.nan_events += 1;
+                        attempts += 1;
+                        if attempts > policy.max_retries {
+                            return Err(FactorizeError::NonFinite {
+                                stage: "gram_syrk",
+                                mode: 0,
+                                outer_iter: outer,
+                            });
+                        }
+                        continue;
+                    }
+                    return Ok(());
+                }
+                Err(fault) => {
+                    attempts += 1;
+                    if attempts > policy.max_retries {
+                        return Err(FactorizeError::Fault { fault, attempts });
+                    }
+                    report.transient_retries += 1;
+                    report.total_backoff_s += backoff_s(policy, attempts);
+                }
+            }
+        }
+    }
+
+    /// Hadamard-of-Grams with launch-fault retry only: output corruption
+    /// deliberately flows into the Cholesky factorization, whose typed
+    /// error drives the recompute/rescale arm of the recovery ladder.
+    fn hadamard_guarded(
+        &self,
+        dev: &Device,
+        grams: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+        policy: &RecoveryPolicy,
+        report: &mut RecoveryReport,
+    ) -> Result<(), FactorizeError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.hadamard_grams_into(dev, grams, mode, out) {
+                Ok(()) => return Ok(()),
+                Err(fault) => {
+                    attempts += 1;
+                    if attempts > policy.max_retries {
+                        return Err(FactorizeError::Fault { fault, attempts });
+                    }
+                    report.transient_retries += 1;
+                    report.total_backoff_s += backoff_s(policy, attempts);
+                }
+            }
+        }
+    }
+}
+
+/// Modeled exponential backoff for the `attempt`-th retry (1-based).
+/// Simulated time only — never slept.
+fn backoff_s(policy: &RecoveryPolicy, attempt: u32) -> f64 {
+    policy.backoff_base_s * f64::powi(2.0, attempt.min(20) as i32 - 1)
+}
+
+fn transfer_with_retry(
+    dev: &Device,
+    name: &'static str,
+    bytes: f64,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+) -> Result<(), FactorizeError> {
+    let mut attempts = 0u32;
+    loop {
+        match dev.try_transfer(name, bytes) {
+            Ok(()) => return Ok(()),
+            Err(fault) => {
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(FactorizeError::Fault { fault, attempts });
+                }
+                report.transfer_retries += 1;
+                report.total_backoff_s += backoff_s(policy, attempts);
+            }
         }
     }
 }
@@ -671,8 +1079,9 @@ mod tests {
         let x = planted(&[20, 18, 16], 1200, 4, 1);
         let auntf = Auntf::new(x, base_cfg());
         let dev = Device::new(DeviceSpec::h100());
-        let out = auntf.factorize(&dev);
+        let out = auntf.factorize(&dev).unwrap();
         assert_eq!(out.iters, 15);
+        assert!(out.recovery.is_clean(), "fault-free run took recovery actions");
         let first = out.fits[0];
         let last = *out.fits.last().unwrap();
         assert!(last > first, "fit did not improve: {first} -> {last}");
@@ -682,7 +1091,7 @@ mod tests {
     fn admm_recovers_fully_observed_planted_model() {
         let x = planted_full(&[12, 10, 8], 3, 21);
         let cfg = AuntfConfig { rank: 3, max_iters: 60, seed: 5, ..Default::default() };
-        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         let last = *out.fits.last().unwrap();
         assert!(last > 0.95, "fully-observed planted model should fit ~1, got {last}");
     }
@@ -691,7 +1100,7 @@ mod tests {
     fn factors_are_nonnegative_with_admm() {
         let x = planted(&[15, 12, 10], 600, 3, 2);
         let auntf = Auntf::new(x, AuntfConfig { rank: 3, ..base_cfg() });
-        let out = auntf.factorize(&Device::new(DeviceSpec::a100()));
+        let out = auntf.factorize(&Device::new(DeviceSpec::a100())).unwrap();
         for f in &out.model.factors {
             assert!(f.is_nonnegative(1e-12));
         }
@@ -711,7 +1120,8 @@ mod tests {
             TensorFormat::Blco,
         ] {
             let cfg = AuntfConfig { format, max_iters: 8, ..base_cfg() };
-            let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()));
+            let out =
+                Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
             fits.push((format, *out.fits.last().unwrap()));
         }
         let reference = fits[0].1;
@@ -730,7 +1140,8 @@ mod tests {
             [UpdateMethod::Mu(MuConfig::default()), UpdateMethod::Hals(HalsConfig::default())]
         {
             let cfg = AuntfConfig { rank: 3, update, max_iters: 40, ..base_cfg() };
-            let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100()));
+            let out =
+                Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100())).unwrap();
             let first = out.fits[0];
             let last = *out.fits.last().unwrap();
             assert!(last >= first - 1e-9, "{} regressed: {first} -> {last}", out.iters);
@@ -746,7 +1157,7 @@ mod tests {
         let x = planted(&[12, 10, 8], 300, 3, 5);
         let auntf = Auntf::new(x, AuntfConfig { rank: 3, max_iters: 2, ..base_cfg() });
         let dev = Device::new(DeviceSpec::h100());
-        auntf.factorize(&dev);
+        auntf.factorize(&dev).unwrap();
         for phase in [Phase::Gram, Phase::Mttkrp, Phase::Update, Phase::Normalize, Phase::Transfer]
         {
             assert!(dev.phase_totals(phase).launches > 0, "phase {phase:?} was never exercised");
@@ -758,7 +1169,8 @@ mod tests {
         // The driver computes fit via the MTTKRP-reuse shortcut; the
         // Ktensor computes it directly in O(nnz R). They must agree.
         let x = planted(&[18, 15, 12], 700, 4, 31);
-        let out = Auntf::new(x.clone(), base_cfg()).factorize(&Device::new(DeviceSpec::h100()));
+        let out =
+            Auntf::new(x.clone(), base_cfg()).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         let exact = out.model.fit(&x);
         let reported = *out.fits.last().unwrap();
         assert!((exact - reported).abs() < 1e-9, "shortcut fit {reported} != exact fit {exact}");
@@ -768,7 +1180,7 @@ mod tests {
     fn fit_tolerance_stops_early() {
         let x = planted(&[14, 12, 10], 500, 3, 6);
         let cfg = AuntfConfig { rank: 3, max_iters: 200, fit_tol: 1e-7, ..base_cfg() };
-        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100()));
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100())).unwrap();
         assert!(out.converged);
         assert!(out.iters < 200);
     }
@@ -777,8 +1189,9 @@ mod tests {
     fn deterministic_given_seed() {
         let x = planted(&[10, 10, 10], 300, 3, 7);
         let cfg = AuntfConfig { rank: 3, max_iters: 5, format: TensorFormat::Csf, ..base_cfg() };
-        let a = Auntf::new(x.clone(), cfg.clone()).factorize(&Device::new(DeviceSpec::h100()));
-        let b = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let a =
+            Auntf::new(x.clone(), cfg.clone()).factorize(&Device::new(DeviceSpec::h100())).unwrap();
+        let b = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         assert_eq!(a.fits, b.fits);
     }
 
@@ -786,7 +1199,7 @@ mod tests {
     fn convergence_log_matches_solver() {
         let x = planted(&[14, 12, 10], 500, 3, 9);
         let cfg = AuntfConfig { rank: 3, max_iters: 6, ..base_cfg() };
-        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         let records = out.convergence.records();
         assert_eq!(records.len(), out.iters);
         for (i, rec) in records.iter().enumerate() {
@@ -809,7 +1222,7 @@ mod tests {
         let x = planted_full(&[10, 9, 8], 3, 10);
         let update = UpdateMethod::Mu(MuConfig { inner_iters: 4, ..Default::default() });
         let cfg = AuntfConfig { rank: 3, update, max_iters: 3, ..base_cfg() };
-        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100()));
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100())).unwrap();
         for rec in out.convergence.records() {
             for row in &rec.modes {
                 assert_eq!(row.inner_iters, 4);
@@ -823,7 +1236,7 @@ mod tests {
     fn convergence_log_without_fit_still_records_iterations() {
         let x = planted(&[10, 10, 10], 300, 3, 11);
         let cfg = AuntfConfig { rank: 3, max_iters: 4, compute_fit: false, ..base_cfg() };
-        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         let records = out.convergence.records();
         assert_eq!(records.len(), 4);
         assert!(records.iter().all(|r| r.fit.is_none() && r.rel_error.is_none()));
@@ -839,7 +1252,7 @@ mod tests {
         });
         let cfg = AuntfConfig { rank: 2, max_iters: 10, ..base_cfg() };
         let auntf = Auntf::new_dense(x, cfg);
-        let out = auntf.factorize(&Device::new(DeviceSpec::icelake_xeon()));
+        let out = auntf.factorize(&Device::new(DeviceSpec::icelake_xeon())).unwrap();
         let last = *out.fits.last().unwrap();
         assert!(last > 0.8, "dense fit too low: {last}");
     }
@@ -848,13 +1261,14 @@ mod tests {
     fn unconstrained_beats_or_matches_constrained_fit() {
         // Removing the constraint can only widen the feasible set.
         let x = planted(&[15, 12, 10], 600, 4, 8);
-        let nn = Auntf::new(x.clone(), base_cfg()).factorize(&Device::new(DeviceSpec::h100()));
+        let nn =
+            Auntf::new(x.clone(), base_cfg()).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         let mut ucfg = base_cfg();
         ucfg.update = UpdateMethod::Admm(AdmmConfig {
             constraint: crate::prox::Constraint::Unconstrained,
             ..AdmmConfig::cuadmm()
         });
-        let un = Auntf::new(x, ucfg).factorize(&Device::new(DeviceSpec::h100()));
+        let un = Auntf::new(x, ucfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         let f_nn = *nn.fits.last().unwrap();
         let f_un = *un.fits.last().unwrap();
         assert!(f_un > f_nn - 0.05, "unconstrained fit {f_un} far below constrained {f_nn}");

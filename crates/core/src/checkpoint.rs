@@ -1,0 +1,480 @@
+//! Versioned, checksummed checkpoint/restart snapshots.
+//!
+//! A checkpoint captures everything the AUNTF outer loop needs to resume
+//! **bitwise-identically**: the factor matrices, ADMM dual variables, the
+//! column-norm vector `lambda`, the fit history, and the completed outer
+//! iteration count (DESIGN.md §10.3). Because every remaining quantity
+//! (Gram matrices, workspaces, rho) is recomputed deterministically from
+//! those, a resumed run replays the exact arithmetic of an uninterrupted
+//! one.
+//!
+//! Format: a line-oriented text file, one snapshot per file.
+//!
+//! ```text
+//! cstf-checkpoint v1 batch
+//! fingerprint shape=20x18x16 rank=4 seed=42 update=admm format=Coo
+//! iters 6
+//! lambda 3ff0000000000000 ...
+//! fits 3fe??????????????? ...
+//! factor 20 4 <20*4 hex words>
+//! dual 20 4 <...>
+//! factor 18 4 <...>
+//! ...
+//! checksum 1a2b3c4d5e6f7081
+//! ```
+//!
+//! Every `f64` is serialized as the 16-hex-digit big-endian image of its
+//! IEEE-754 bits, so round-trips are exact (no decimal parsing). The final
+//! line is an FNV-1a 64 checksum of all preceding lines; a snapshot that
+//! fails the checksum (torn write, bit rot) is *skipped*, falling back to
+//! the previous one, while a fingerprint mismatch (resuming with a
+//! different tensor/rank/seed/scheme) is a hard error. Writes go through a
+//! temp file + rename so a crash mid-write can never corrupt an existing
+//! snapshot.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use cstf_linalg::Mat;
+
+/// The on-disk format version accepted by this build.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &str = "cstf-checkpoint";
+const FILE_PREFIX: &str = "ckpt-";
+const FILE_SUFFIX: &str = ".cstf";
+
+/// Checkpoint write/read failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem error (directory missing, permission, torn rename).
+    Io(String),
+    /// The snapshot file is malformed or failed its checksum.
+    Format(String),
+    /// The snapshot belongs to a different run configuration.
+    Fingerprint {
+        /// Fingerprint of the run trying to resume.
+        expected: String,
+        /// Fingerprint recorded in the snapshot.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::Format(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::Fingerprint { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different run: expected `{expected}`, found `{found}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Where and how often to snapshot.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding the snapshot files (created if missing).
+    pub dir: PathBuf,
+    /// Snapshot every this many outer iterations (streaming: slices).
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// A config snapshotting into `dir` every `every` outer iterations.
+    pub fn new(dir: impl Into<PathBuf>, every: usize) -> Self {
+        Self { dir: dir.into(), every: every.max(1) }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn unhex(s: &str) -> Result<f64, CheckpointError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError::Format(format!("bad f64 hex word `{s}`")))
+}
+
+/// Accumulates one snapshot's payload lines and writes them atomically
+/// with a trailing checksum. Shared by the batch (AUNTF) and streaming
+/// snapshot encoders.
+#[derive(Debug)]
+pub struct ArchiveWriter {
+    lines: Vec<String>,
+}
+
+impl ArchiveWriter {
+    /// Starts an archive of the given kind (`"batch"` or `"stream"`).
+    pub fn new(kind: &str) -> Self {
+        Self { lines: vec![format!("{MAGIC} v{FORMAT_VERSION} {kind}")] }
+    }
+
+    /// Appends a `key value` line (value must not contain newlines).
+    pub fn field(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.lines.push(format!("{key} {value}"));
+    }
+
+    /// Appends a `key <hex>*` line of exact f64 bit images.
+    pub fn floats(&mut self, key: &str, vals: &[f64]) {
+        let mut line = String::with_capacity(key.len() + 17 * vals.len());
+        line.push_str(key);
+        for &v in vals {
+            let _ = write!(line, " {}", hex(v));
+        }
+        self.lines.push(line);
+    }
+
+    /// Appends a `key rows cols <hex>*` line for a matrix.
+    pub fn mat(&mut self, key: &str, m: &Mat) {
+        let mut line = String::with_capacity(key.len() + 24 + 17 * m.len());
+        let _ = write!(line, "{key} {} {}", m.rows(), m.cols());
+        for &v in m.as_slice() {
+            let _ = write!(line, " {}", hex(v));
+        }
+        self.lines.push(line);
+    }
+
+    /// Writes the archive to `path` (temp file + rename), appending the
+    /// FNV-1a checksum line.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let payload = self.lines.join("\n");
+        let text = format!("{payload}\nchecksum {:016x}\n", fnv1a(payload.as_bytes()));
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text)
+            .map_err(|e| CheckpointError::Io(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| CheckpointError::Io(format!("renaming into {}: {e}", path.display())))
+    }
+}
+
+/// Sequential reader over a verified snapshot's payload lines.
+#[derive(Debug)]
+pub struct ArchiveReader {
+    lines: Vec<String>,
+    pos: usize,
+}
+
+impl ArchiveReader {
+    /// Reads `path`, verifies the checksum and the `kind` header, and
+    /// positions the cursor at the first payload line.
+    pub fn read(path: &Path, kind: &str) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CheckpointError::Io(format!("reading {}: {e}", path.display())))?;
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let last = lines.pop().ok_or_else(|| CheckpointError::Format("empty file".into()))?;
+        let sum = last
+            .strip_prefix("checksum ")
+            .ok_or_else(|| CheckpointError::Format("missing checksum line".into()))?;
+        let payload = lines.join("\n");
+        let expect = format!("{:016x}", fnv1a(payload.as_bytes()));
+        if sum != expect {
+            return Err(CheckpointError::Format(format!(
+                "checksum mismatch (recorded {sum}, computed {expect})"
+            )));
+        }
+        let header = format!("{MAGIC} v{FORMAT_VERSION} {kind}");
+        if lines.first().map(String::as_str) != Some(header.as_str()) {
+            return Err(CheckpointError::Format(format!(
+                "bad header `{}` (want `{header}`)",
+                lines.first().map(String::as_str).unwrap_or("")
+            )));
+        }
+        Ok(Self { lines, pos: 1 })
+    }
+
+    fn next_line(&mut self, key: &str) -> Result<&str, CheckpointError> {
+        let line = self
+            .lines
+            .get(self.pos)
+            .ok_or_else(|| CheckpointError::Format(format!("missing `{key}` line")))?;
+        self.pos += 1;
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' ').or(Some(rest).filter(|r| r.is_empty())))
+            .ok_or_else(|| CheckpointError::Format(format!("expected `{key}`, found `{line}`")))
+    }
+
+    /// Reads a `key value` line, returning the value.
+    pub fn field(&mut self, key: &str) -> Result<String, CheckpointError> {
+        self.next_line(key).map(str::to_owned)
+    }
+
+    /// Reads a `key <hex>*` line back into f64s.
+    pub fn floats(&mut self, key: &str) -> Result<Vec<f64>, CheckpointError> {
+        self.next_line(key)?.to_owned().split_whitespace().map(unhex).collect()
+    }
+
+    /// Reads a `key rows cols <hex>*` matrix line.
+    pub fn mat(&mut self, key: &str) -> Result<Mat, CheckpointError> {
+        let rest = self.next_line(key)?.to_owned();
+        let mut words = rest.split_whitespace();
+        let dim = |w: Option<&str>| -> Result<usize, CheckpointError> {
+            w.and_then(|s| s.parse().ok())
+                .ok_or_else(|| CheckpointError::Format(format!("bad `{key}` dimensions")))
+        };
+        let rows = dim(words.next())?;
+        let cols = dim(words.next())?;
+        let vals: Vec<f64> = words.map(unhex).collect::<Result<_, _>>()?;
+        if vals.len() != rows * cols {
+            return Err(CheckpointError::Format(format!(
+                "`{key}` has {} values for a {rows}x{cols} matrix",
+                vals.len()
+            )));
+        }
+        let mut m = Mat::zeros(rows, cols);
+        m.as_mut_slice().copy_from_slice(&vals);
+        Ok(m)
+    }
+}
+
+/// Borrowed view of the AUNTF loop state to snapshot (no clones on the
+/// write path beyond the text encoding itself).
+#[derive(Debug)]
+pub struct BatchView<'a> {
+    /// Run fingerprint (shape/rank/seed/update/format).
+    pub fingerprint: &'a str,
+    /// Completed outer iterations.
+    pub completed_iters: usize,
+    /// Column-norm vector.
+    pub lambda: &'a [f64],
+    /// Fit history (one entry per completed outer iteration, when
+    /// fit computation is enabled).
+    pub fits: &'a [f64],
+    /// Factor matrices, one per mode.
+    pub factors: &'a [Mat],
+    /// ADMM dual variables, one per mode (empty for MU/HALS).
+    pub duals: &'a [Mat],
+}
+
+/// Owned state restored from a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchState {
+    /// Completed outer iterations.
+    pub completed_iters: usize,
+    /// Column-norm vector.
+    pub lambda: Vec<f64>,
+    /// Fit history.
+    pub fits: Vec<f64>,
+    /// Factor matrices, one per mode.
+    pub factors: Vec<Mat>,
+    /// ADMM dual variables, one per mode.
+    pub duals: Vec<Mat>,
+}
+
+fn snapshot_path(dir: &Path, iters: usize) -> PathBuf {
+    dir.join(format!("{FILE_PREFIX}{iters:08}{FILE_SUFFIX}"))
+}
+
+/// Writes one batch snapshot into `dir`, named by its iteration count.
+pub fn save_batch(dir: &Path, view: &BatchView<'_>) -> Result<PathBuf, CheckpointError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CheckpointError::Io(format!("creating {}: {e}", dir.display())))?;
+    let mut w = ArchiveWriter::new("batch");
+    w.field("fingerprint", view.fingerprint);
+    w.field("iters", view.completed_iters);
+    w.floats("lambda", view.lambda);
+    w.floats("fits", view.fits);
+    w.field("modes", view.factors.len());
+    for (i, f) in view.factors.iter().enumerate() {
+        w.mat("factor", f);
+        match view.duals.get(i) {
+            Some(d) => w.mat("dual", d),
+            None => w.mat("dual", &Mat::zeros(0, 0)),
+        }
+    }
+    let path = snapshot_path(dir, view.completed_iters);
+    w.write_atomic(&path)?;
+    Ok(path)
+}
+
+/// Loads the newest valid batch snapshot from `dir`.
+///
+/// Snapshots that fail to parse or fail their checksum are skipped (the
+/// loader falls back to the previous one); a snapshot whose fingerprint
+/// does not match is a hard error, because silently restarting a
+/// *different* factorization from it would corrupt results. `Ok(None)`
+/// means no usable snapshot exists — start fresh.
+pub fn load_latest_batch(
+    dir: &Path,
+    fingerprint: &str,
+) -> Result<Option<BatchState>, CheckpointError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(None), // no directory yet: nothing to resume
+    };
+    let mut candidates: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(FILE_PREFIX) && n.ends_with(FILE_SUFFIX))
+        })
+        .collect();
+    candidates.sort();
+    for path in candidates.iter().rev() {
+        match read_batch(path) {
+            Ok((found, state)) => {
+                if found != fingerprint {
+                    return Err(CheckpointError::Fingerprint {
+                        expected: fingerprint.to_owned(),
+                        found,
+                    });
+                }
+                return Ok(Some(state));
+            }
+            Err(CheckpointError::Fingerprint { .. }) => unreachable!(),
+            Err(_) => continue, // corrupt or torn snapshot: fall back
+        }
+    }
+    Ok(None)
+}
+
+fn read_batch(path: &Path) -> Result<(String, BatchState), CheckpointError> {
+    let mut r = ArchiveReader::read(path, "batch")?;
+    let fingerprint = r.field("fingerprint")?;
+    let completed_iters: usize = r
+        .field("iters")?
+        .parse()
+        .map_err(|_| CheckpointError::Format("bad `iters` value".into()))?;
+    let lambda = r.floats("lambda")?;
+    let fits = r.floats("fits")?;
+    let modes: usize =
+        r.field("modes")?.parse().map_err(|_| CheckpointError::Format("bad `modes`".into()))?;
+    let mut factors = Vec::with_capacity(modes);
+    let mut duals = Vec::with_capacity(modes);
+    for _ in 0..modes {
+        factors.push(r.mat("factor")?);
+        duals.push(r.mat("dual")?);
+    }
+    Ok((fingerprint, BatchState { completed_iters, lambda, fits, factors, duals }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cstf-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_state(iters: usize) -> BatchState {
+        let factors = vec![
+            Mat::from_fn(3, 2, |i, j| (i as f64 + 0.25) * (j as f64 - 0.75)),
+            Mat::from_fn(4, 2, |i, j| 1.0 / (1.0 + i as f64 + j as f64)),
+        ];
+        let duals = vec![
+            Mat::from_fn(3, 2, |i, j| -0.125 * (i * 2 + j) as f64),
+            Mat::from_fn(4, 2, |_, _| -0.0),
+        ];
+        BatchState {
+            completed_iters: iters,
+            lambda: vec![1.5e-300, -0.0, 3.75, f64::MIN_POSITIVE],
+            fits: vec![0.1, 0.2, std::f64::consts::PI],
+            factors,
+            duals,
+        }
+    }
+
+    fn save(dir: &Path, fp: &str, st: &BatchState) -> PathBuf {
+        save_batch(
+            dir,
+            &BatchView {
+                fingerprint: fp,
+                completed_iters: st.completed_iters,
+                lambda: &st.lambda,
+                fits: &st.fits,
+                factors: &st.factors,
+                duals: &st.duals,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bitwise_exact() {
+        let dir = tmpdir("roundtrip");
+        let st = sample_state(4);
+        save(&dir, "fp-a", &st);
+        let back = load_latest_batch(&dir, "fp-a").unwrap().expect("snapshot present");
+        assert_eq!(back, st);
+        // Bitwise, not just PartialEq: -0.0 and subnormals survive.
+        assert_eq!(back.lambda[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.duals[1][(0, 0)].to_bits(), (-0.0f64).to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_snapshot_wins() {
+        let dir = tmpdir("latest");
+        save(&dir, "fp", &sample_state(2));
+        save(&dir, "fp", &sample_state(10));
+        save(&dir, "fp", &sample_state(6));
+        let back = load_latest_batch(&dir, "fp").unwrap().unwrap();
+        assert_eq!(back.completed_iters, 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_previous() {
+        let dir = tmpdir("corrupt");
+        save(&dir, "fp", &sample_state(2));
+        let newest = save(&dir, "fp", &sample_state(5));
+        // Flip payload bytes without touching the checksum line.
+        let text = std::fs::read_to_string(&newest).unwrap();
+        std::fs::write(&newest, text.replacen("factor", "factoR", 1)).unwrap();
+        let back = load_latest_batch(&dir, "fp").unwrap().unwrap();
+        assert_eq!(back.completed_iters, 2, "loader should skip the corrupt newest snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_hard_error() {
+        let dir = tmpdir("fingerprint");
+        save(&dir, "fp-original", &sample_state(3));
+        match load_latest_batch(&dir, "fp-other") {
+            Err(CheckpointError::Fingerprint { expected, found }) => {
+                assert_eq!(expected, "fp-other");
+                assert_eq!(found, "fp-original");
+            }
+            other => panic!("expected fingerprint error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_means_fresh_start() {
+        let dir = std::env::temp_dir().join("cstf-ckpt-test-definitely-missing");
+        assert_eq!(load_latest_batch(&dir, "fp").unwrap(), None);
+    }
+
+    #[test]
+    fn no_stray_tmp_file_after_write() {
+        let dir = tmpdir("atomic");
+        save(&dir, "fp", &sample_state(1));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file left behind: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

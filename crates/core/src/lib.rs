@@ -38,7 +38,7 @@
 //!
 //! let cfg = AuntfConfig { rank: 3, max_iters: 40, ..Default::default() };
 //! let dev = Device::new(DeviceSpec::h100());
-//! let out = Auntf::new(x, cfg).factorize(&dev);
+//! let out = Auntf::new(x, cfg).factorize(&dev).expect("fault-free run");
 //! assert!(*out.fits.last().unwrap() > 0.9);
 //! assert!(out.model.factors.iter().all(|f| f.is_nonnegative(1e-12)));
 //! ```
@@ -48,16 +48,20 @@
 
 pub mod admm;
 pub mod auntf;
+pub mod checkpoint;
 pub mod hals;
 pub mod hybrid;
 pub mod mu;
 pub mod multi_gpu;
 pub mod presets;
 pub mod prox;
+pub mod recovery;
 
 pub use admm::{admm_update, blocked_admm_update, AdmmConfig, AdmmStats, AdmmWorkspace};
 pub use auntf::{Auntf, AuntfConfig, FactorizeOutput, TensorFormat, UpdateMethod};
+pub use checkpoint::{CheckpointConfig, CheckpointError};
 pub use hals::{hals_update, HalsConfig};
 pub use mu::{mu_update, MuConfig};
 pub use presets::SystemPreset;
 pub use prox::Constraint;
+pub use recovery::{AdmmError, CholeskyError, FactorizeError, RecoveryPolicy, RecoveryReport};

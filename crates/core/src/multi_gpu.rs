@@ -83,6 +83,10 @@ pub fn row_partitions(rows: usize, parts: usize) -> Vec<std::ops::Range<usize>> 
 /// must be disabled — `tol = 0` — since per-partition residuals differ from
 /// the global one; the paper-style fixed-iteration configuration satisfies
 /// this).
+///
+/// # Errors
+/// Propagates the first [`AdmmError`](crate::recovery::AdmmError) from any
+/// partition; rows owned by later partitions are then left unmodified.
 pub fn partitioned_admm_update(
     devices: &[Device],
     cfg: &AdmmConfig,
@@ -90,7 +94,7 @@ pub fn partitioned_admm_update(
     s: &Mat,
     h: &mut Mat,
     u: &mut Mat,
-) -> Vec<AdmmStats> {
+) -> Result<Vec<AdmmStats>, crate::recovery::AdmmError> {
     assert!(!devices.is_empty(), "at least one device required");
     assert!(
         cfg.tol == 0.0,
@@ -113,13 +117,13 @@ pub fn partitioned_admm_update(
         let mut h_blk = take(h);
         let mut u_blk = take(u);
         let mut ws = AdmmWorkspace::new(range.len(), rank);
-        stats.push(admm_update(dev, cfg, &m_blk, s, &mut h_blk, &mut u_blk, &mut ws));
+        stats.push(admm_update(dev, cfg, &m_blk, s, &mut h_blk, &mut u_blk, &mut ws)?);
         for (bi, i) in range.clone().enumerate() {
             h.row_mut(i).copy_from_slice(h_blk.row(bi));
             u.row_mut(i).copy_from_slice(u_blk.row(bi));
         }
     }
-    stats
+    Ok(stats)
 }
 
 /// Predicts one outer iteration's time on `mg.n_gpus` GPUs of type `spec`.
@@ -201,13 +205,14 @@ mod tests {
         let mut h_single = h0.clone();
         let mut u_single = Mat::zeros(500, 8);
         let mut ws = AdmmWorkspace::new(500, 8);
-        admm_update(&dev, &cfg, &m, &s, &mut h_single, &mut u_single, &mut ws);
+        admm_update(&dev, &cfg, &m, &s, &mut h_single, &mut u_single, &mut ws).unwrap();
 
         // Four simulated GPUs.
         let devices: Vec<Device> = (0..4).map(|_| Device::new(DeviceSpec::h100())).collect();
         let mut h_multi = h0.clone();
         let mut u_multi = Mat::zeros(500, 8);
-        let stats = partitioned_admm_update(&devices, &cfg, &m, &s, &mut h_multi, &mut u_multi);
+        let stats =
+            partitioned_admm_update(&devices, &cfg, &m, &s, &mut h_multi, &mut u_multi).unwrap();
 
         assert_eq!(stats.len(), 4);
         assert_eq!(h_single, h_multi, "partitioned primal must be bitwise identical");
@@ -226,7 +231,7 @@ mod tests {
         let mut h = h0.clone();
         let mut u = Mat::zeros(50, 4);
         let cfg = AdmmConfig { tol: 1e-4, ..AdmmConfig::cuadmm() };
-        partitioned_admm_update(&devices, &cfg, &m, &s, &mut h, &mut u);
+        let _ = partitioned_admm_update(&devices, &cfg, &m, &s, &mut h, &mut u);
     }
 
     fn big_workload() -> WorkloadShape {

@@ -34,6 +34,7 @@ fn base_config(rank: usize, update: UpdateMethod, format: TensorFormat) -> Auntf
         seed: 0,
         compute_fit: false,
         format,
+        recovery: crate::recovery::RecoveryPolicy::default(),
     }
 }
 

@@ -1,0 +1,250 @@
+//! Typed failure taxonomy and recovery policy for fault-tolerant
+//! factorization.
+//!
+//! Three layers of errors compose here (DESIGN.md §10):
+//!
+//! 1. [`cstf_device::DeviceFault`] — an injected (or, on real hardware, an
+//!    actual) device-level failure surfaced by a fallible launch/transfer;
+//! 2. [`AdmmError`] — what one ADMM mode update can report: a device fault,
+//!    a Cholesky factorization failure ([`CholeskyError`]), or a non-finite
+//!    residual caught by the in-loop NaN sentinel;
+//! 3. [`FactorizeError`] — the terminal error of
+//!    [`Auntf::factorize`](crate::Auntf::factorize) after the
+//!    [`RecoveryPolicy`] has exhausted its retry/rescale/degrade budget.
+//!
+//! The [`RecoveryReport`] in a successful
+//! [`FactorizeOutput`](crate::FactorizeOutput) records every recovery
+//! action taken, so chaos tests can assert that faults were actually hit
+//! *and* healed.
+
+use cstf_device::DeviceFault;
+use cstf_linalg::LinalgError;
+
+/// A Cholesky factorization of `S + rho*I` failed.
+///
+/// With a well-formed Gram matrix this cannot happen (`S` is PSD by
+/// construction, so `S + rho*I` is positive definite); it arises from
+/// silent corruption of `S` (NaN) or from genuinely rank-deficient /
+/// indefinite input, and is recoverable by recomputing `S` or boosting
+/// `rho` (see [`RecoveryPolicy::rho_rescale`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CholeskyError {
+    /// The underlying linear-algebra failure.
+    pub source: LinalgError,
+    /// The penalty parameter in effect when the factorization failed.
+    pub rho: f64,
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Cholesky factorization of S + rho*I failed (rho = {}): {}",
+            self.rho, self.source
+        )
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// An error from one ADMM mode update
+/// ([`admm_update`](crate::admm::admm_update)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmmError {
+    /// The Cholesky factorization of `S + rho*I` failed.
+    Cholesky(CholeskyError),
+    /// A kernel launch drew a device fault. The factor and dual buffers
+    /// may hold partial results; restore them from a snapshot before
+    /// retrying.
+    Fault(DeviceFault),
+    /// The inner-iteration residuals became non-finite (NaN/Inf), caught
+    /// by the per-sweep sentinel.
+    NonFinite {
+        /// The inner iteration at which the sentinel fired.
+        inner_iter: usize,
+    },
+}
+
+impl std::fmt::Display for AdmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmmError::Cholesky(e) => write!(f, "{e}"),
+            AdmmError::Fault(fault) => write!(f, "device fault during ADMM update: {fault}"),
+            AdmmError::NonFinite { inner_iter } => {
+                write!(f, "non-finite ADMM residual at inner iteration {inner_iter}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmmError {}
+
+impl From<DeviceFault> for AdmmError {
+    fn from(fault: DeviceFault) -> Self {
+        AdmmError::Fault(fault)
+    }
+}
+
+/// Terminal failure of [`Auntf::factorize`](crate::Auntf::factorize):
+/// the recovery policy's budget was exhausted, or the inputs were invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactorizeError {
+    /// The configuration or tensor is unusable (zero rank, empty tensor,
+    /// no modes). Detected before any kernel launches.
+    InvalidConfig(String),
+    /// Cholesky kept failing after the policy's rho-rescale budget.
+    Cholesky {
+        /// The last factorization failure.
+        error: CholeskyError,
+        /// The mode whose update failed.
+        mode: usize,
+        /// How many rho rescales were attempted before giving up.
+        rescales: u32,
+    },
+    /// Non-finite values survived every guard (a genuine numerical
+    /// breakdown, not an injected fault).
+    NonFinite {
+        /// The pipeline stage that produced the non-finite values.
+        stage: &'static str,
+        /// The mode being updated.
+        mode: usize,
+        /// The outer iteration during which the breakdown occurred.
+        outer_iter: usize,
+    },
+    /// A device fault persisted past the policy's retry budget.
+    Fault {
+        /// The last fault drawn.
+        fault: DeviceFault,
+        /// How many attempts were made (initial try + retries).
+        attempts: u32,
+    },
+    /// Checkpoint write or restore failed.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for FactorizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorizeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FactorizeError::Cholesky { error, mode, rescales } => {
+                write!(f, "mode-{mode} ADMM update failed after {rescales} rho rescale(s): {error}")
+            }
+            FactorizeError::NonFinite { stage, mode, outer_iter } => write!(
+                f,
+                "non-finite values in `{stage}` (mode {mode}, outer iteration {outer_iter}) \
+                 not attributable to an injected fault"
+            ),
+            FactorizeError::Fault { fault, attempts } => {
+                write!(f, "device fault persisted after {attempts} attempt(s): {fault}")
+            }
+            FactorizeError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FactorizeError {}
+
+/// How [`Auntf::factorize`](crate::Auntf::factorize) responds to device
+/// faults and numerical breakdowns.
+///
+/// All bounds are per-incident, not global: each mode visit gets a fresh
+/// retry budget, so a long run with sporadic transient faults converges
+/// instead of exhausting a shared counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retries per faulted operation before giving up (initial attempt
+    /// excluded).
+    pub max_retries: u32,
+    /// Base of the simulated exponential backoff, in seconds. Backoff is
+    /// *modeled* (accumulated in the report), never slept.
+    pub backoff_base_s: f64,
+    /// Check MTTKRP and Gram outputs for non-finite values and recompute
+    /// on corruption. The in-sweep ADMM residual sentinel is always on
+    /// (it is free).
+    pub nan_guard: bool,
+    /// How many times to boost rho and refactor when Cholesky reports a
+    /// non-positive-definite matrix.
+    pub max_rho_rescales: u32,
+    /// Multiplier applied to the ADMM penalty rho on each
+    /// non-positive-definite Cholesky failure.
+    pub rho_rescale: f64,
+    /// After this many consecutive faulted launches of the fused inner
+    /// sweep, degrade permanently to the unfused multi-kernel path
+    /// (bitwise-identical numerics, more launches).
+    pub fused_fault_threshold: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_s: 0.01,
+            nan_guard: true,
+            max_rho_rescales: 3,
+            rho_rescale: 10.0,
+            fused_fault_threshold: 2,
+        }
+    }
+}
+
+/// What the recovery machinery actually did during one factorization.
+///
+/// All-zero (the `Default`) means the run was fault-free.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Launch retries after transient launch / OOM faults.
+    pub transient_retries: u32,
+    /// Non-finite values caught by guards (MTTKRP/Gram recomputes plus
+    /// ADMM sentinel trips healed by state restore).
+    pub nan_events: u32,
+    /// Cholesky refactor attempts (rho rescales + corruption recomputes).
+    pub cholesky_retries: u32,
+    /// Transfer retries after link faults.
+    pub transfer_retries: u32,
+    /// Whether the fused cuADMM sweep was degraded to the unfused path.
+    pub degraded_to_unfused: bool,
+    /// Total simulated backoff accumulated across retries, in seconds.
+    pub total_backoff_s: f64,
+}
+
+impl RecoveryReport {
+    /// True if no recovery action was taken (fault-free run).
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_bounded() {
+        let p = RecoveryPolicy::default();
+        assert!(p.max_retries > 0);
+        assert!(p.max_rho_rescales > 0);
+        assert!(p.rho_rescale > 1.0);
+        assert!(p.nan_guard);
+    }
+
+    #[test]
+    fn clean_report_detects_any_action() {
+        let mut r = RecoveryReport::default();
+        assert!(r.is_clean());
+        r.nan_events = 1;
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = CholeskyError {
+            source: LinalgError::NotPositiveDefinite { pivot_index: 1, pivot_value: -2.5 },
+            rho: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rho = 1.5"), "{msg}");
+        let fe = FactorizeError::Cholesky { error: e, mode: 2, rescales: 3 };
+        let msg = fe.to_string();
+        assert!(msg.contains("mode-2") && msg.contains("3 rho rescale"), "{msg}");
+    }
+}

@@ -18,30 +18,52 @@ use cstf_telemetry::Span;
 use parking_lot::Mutex;
 
 use crate::cost::{kernel_time, transfer_time, KernelClass, KernelCost};
-use crate::profiler::{KernelRecord, MarkRecord, Phase, PhaseTotals, Profiler, RunCapture};
+use crate::fault::{DeviceFault, FaultPlan, FaultState};
+use crate::profiler::{
+    FaultRecord, KernelRecord, MarkRecord, Phase, PhaseTotals, Profiler, RunCapture,
+};
 use crate::spec::DeviceSpec;
 
-/// A simulated compute device (GPU or CPU) with an attached profiler.
+/// A simulated compute device (GPU or CPU) with an attached profiler and
+/// an optional fault-injection plan.
 pub struct Device {
     spec: DeviceSpec,
     profiler: Mutex<Profiler>,
+    faults: Option<FaultState>,
 }
 
 impl Device {
     /// Creates a device from a spec, keeping aggregate totals only.
     pub fn new(spec: DeviceSpec) -> Self {
-        Self { spec, profiler: Mutex::new(Profiler::new()) }
+        Self { spec, profiler: Mutex::new(Profiler::new()), faults: None }
     }
 
     /// Creates a device that retains every kernel record (for kernel-level
     /// inspection in tests and the ablation benches).
     pub fn with_records(spec: DeviceSpec) -> Self {
-        Self { spec, profiler: Mutex::new(Profiler::with_records()) }
+        Self { spec, profiler: Mutex::new(Profiler::with_records()), faults: None }
+    }
+
+    /// Attaches a seeded fault-injection plan (builder style; the schedule
+    /// restarts from fallible-operation zero).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultState::new(plan));
+        self
     }
 
     /// The device's architectural parameters.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|s| &s.plan)
+    }
+
+    /// Snapshot of injected-fault records.
+    pub fn faults(&self) -> Vec<FaultRecord> {
+        self.profiler.lock().faults().to_vec()
     }
 
     /// Launches a kernel: runs `body` immediately, meters it with `cost`,
@@ -74,6 +96,67 @@ impl Device {
         out
     }
 
+    /// Launches a kernel that may draw an injected fault from the device's
+    /// [`FaultPlan`]: a one-shot device OOM or a transient launch failure
+    /// aborts the launch *before* the body runs (output buffers untouched,
+    /// nothing metered) and returns the fault for the caller's retry
+    /// policy. Without a plan this is [`Device::launch`] plus one branch.
+    pub fn try_launch<T>(
+        &self,
+        name: &'static str,
+        phase: Phase,
+        class: KernelClass,
+        cost: KernelCost,
+        body: impl FnOnce() -> T,
+    ) -> Result<T, DeviceFault> {
+        if let Some(state) = &self.faults {
+            let op = state.next_op();
+            if let Some(fault) = state.launch_fault(name, op) {
+                self.profiler.lock().record_fault(fault.kind, name, op);
+                return Err(fault);
+            }
+        }
+        Ok(self.launch(name, phase, class, cost, body))
+    }
+
+    /// Launches a fallible kernel whose output lives in a caller-owned
+    /// buffer, exposing that output to silent corruption faults: after the
+    /// body runs, a [`FaultKind::NanCorruption`](crate::fault::FaultKind)
+    /// roll may poison one element of the output to NaN *without* reporting
+    /// an error — only the profiler's fault record and whatever numerical
+    /// sentinel runs downstream can see it.
+    ///
+    /// `out` is the buffer the body writes into (passed through to the
+    /// body); `slice_of` projects its raw `f64` payload so the device can
+    /// poison it without knowing the buffer type.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_into<B: ?Sized, T>(
+        &self,
+        name: &'static str,
+        phase: Phase,
+        class: KernelClass,
+        cost: KernelCost,
+        out: &mut B,
+        slice_of: impl FnOnce(&mut B) -> &mut [f64],
+        body: impl FnOnce(&mut B) -> T,
+    ) -> Result<T, DeviceFault> {
+        let Some(state) = &self.faults else {
+            return Ok(self.launch(name, phase, class, cost, || body(out)));
+        };
+        let op = state.next_op();
+        if let Some(fault) = state.launch_fault(name, op) {
+            self.profiler.lock().record_fault(fault.kind, name, op);
+            return Err(fault);
+        }
+        let result = self.launch(name, phase, class, cost, || body(out));
+        let payload = slice_of(out);
+        if let Some(idx) = state.corruption_index(op, payload.len()) {
+            payload[idx] = f64::NAN;
+            self.profiler.lock().record_fault(crate::fault::FaultKind::NanCorruption, name, op);
+        }
+        Ok(result)
+    }
+
     /// Records a host→device or device→host transfer of `bytes`.
     pub fn transfer(&self, name: &'static str, bytes: f64) {
         let modeled_s = transfer_time(&self.spec, bytes);
@@ -85,6 +168,21 @@ impl Device {
             modeled_s,
             measured_s: 0.0,
         });
+    }
+
+    /// A transfer that may draw an injected link failure: on a fault the
+    /// transfer is not metered and the error is returned for the caller's
+    /// retry policy (simulating a failed NVLink/PCIe copy).
+    pub fn try_transfer(&self, name: &'static str, bytes: f64) -> Result<(), DeviceFault> {
+        if let Some(state) = &self.faults {
+            let op = state.next_op();
+            if let Some(fault) = state.transfer_fault(name, op) {
+                self.profiler.lock().record_fault(fault.kind, name, op);
+                return Err(fault);
+            }
+        }
+        self.transfer(name, bytes);
+        Ok(())
     }
 
     /// Records a labeled position (e.g. an outer-iteration boundary) in
@@ -238,6 +336,99 @@ mod tests {
         let dev = Device::new(DeviceSpec::a100());
         dev.mark("outer_iteration");
         assert!(dev.marks().is_empty());
+    }
+
+    #[test]
+    fn try_launch_without_a_plan_behaves_like_launch() {
+        let dev = Device::new(DeviceSpec::a100());
+        let v = dev
+            .try_launch("axpy", Phase::Update, KernelClass::Stream, cost(100.0), || 42)
+            .expect("no plan, no fault");
+        assert_eq!(v, 42);
+        assert_eq!(dev.total_launches(), 1);
+        assert!(dev.faults().is_empty());
+    }
+
+    #[test]
+    fn transient_fault_skips_body_and_is_recorded() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let dev = Device::new(DeviceSpec::a100())
+            .with_fault_plan(FaultPlan { launch_fault_rate: 1.0, ..FaultPlan::quiet(1) });
+        let mut ran = false;
+        let err = dev
+            .try_launch("k", Phase::Update, KernelClass::Stream, cost(10.0), || ran = true)
+            .expect_err("rate 1.0 must fault");
+        assert_eq!(err.kind, FaultKind::TransientLaunch);
+        assert_eq!(err.kernel, "k");
+        assert!(!ran, "the body must not run on a launch fault");
+        assert_eq!(dev.total_launches(), 0, "faulted launches are not metered");
+        assert_eq!(dev.faults().len(), 1);
+    }
+
+    #[test]
+    fn oom_fires_once_then_retry_succeeds() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let dev = Device::new(DeviceSpec::h100())
+            .with_fault_plan(FaultPlan { oom_at_op: Some(0), ..FaultPlan::quiet(2) });
+        let err = dev
+            .try_launch("big", Phase::Mttkrp, KernelClass::SparseGather, cost(10.0), || ())
+            .expect_err("op 0 ooms");
+        assert_eq!(err.kind, FaultKind::DeviceOom);
+        // The retry draws op 1 and proceeds.
+        dev.try_launch("big", Phase::Mttkrp, KernelClass::SparseGather, cost(10.0), || ())
+            .expect("retry clean");
+        assert_eq!(dev.total_launches(), 1);
+    }
+
+    #[test]
+    fn nan_corruption_poisons_one_output_element_silently() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let dev = Device::new(DeviceSpec::a100())
+            .with_fault_plan(FaultPlan { nan_rate: 1.0, ..FaultPlan::quiet(3) });
+        let mut out = vec![0.0f64; 32];
+        dev.launch_into(
+            "mttkrp",
+            Phase::Mttkrp,
+            KernelClass::SparseGather,
+            cost(32.0),
+            &mut out,
+            |b| &mut b[..],
+            |b| b.fill(1.0),
+        )
+        .expect("corruption is silent — the call still succeeds");
+        assert_eq!(out.iter().filter(|v| v.is_nan()).count(), 1);
+        assert_eq!(dev.faults().len(), 1);
+        assert_eq!(dev.faults()[0].kind, FaultKind::NanCorruption);
+    }
+
+    #[test]
+    fn transfer_fault_is_injected_and_recorded() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let dev = Device::new(DeviceSpec::a100())
+            .with_fault_plan(FaultPlan { transfer_fault_rate: 1.0, ..FaultPlan::quiet(4) });
+        let err = dev.try_transfer("p2p_halo", 1e6).expect_err("rate 1.0 must fault");
+        assert_eq!(err.kind, FaultKind::TransferFailure);
+        assert_eq!(dev.phase_totals(Phase::Transfer).launches, 0, "faulted transfer not metered");
+        assert_eq!(dev.faults().len(), 1);
+    }
+
+    #[test]
+    fn infallible_launches_do_not_shift_the_fault_schedule() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan { launch_fault_rate: 0.3, ..FaultPlan::quiet(5) };
+        let run = |noise: usize| {
+            let dev = Device::new(DeviceSpec::a100()).with_fault_plan(plan.clone());
+            let mut outcomes = Vec::new();
+            for _ in 0..50 {
+                for _ in 0..noise {
+                    dev.launch("infallible", Phase::Other, KernelClass::Stream, cost(1.0), || ());
+                }
+                let r = dev.try_launch("k", Phase::Update, KernelClass::Stream, cost(1.0), || ());
+                outcomes.push(r.is_err());
+            }
+            outcomes
+        };
+        assert_eq!(run(0), run(3), "plain launches must not consume fault ops");
     }
 
     #[test]

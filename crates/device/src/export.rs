@@ -37,6 +37,28 @@ pub fn registry_from_capture(capture: &RunCapture, spec: &DeviceSpec) -> Registr
         "Heap allocations since process start (counting allocator)",
         alloc::allocation_count() as f64,
     );
+    if !capture.faults.is_empty() {
+        registry.counter_add(
+            "cstf_faults_injected_total",
+            "Device faults injected by the fault plan",
+            capture.faults.len() as f64,
+        );
+        for kind in [
+            crate::fault::FaultKind::TransientLaunch,
+            crate::fault::FaultKind::NanCorruption,
+            crate::fault::FaultKind::TransferFailure,
+            crate::fault::FaultKind::DeviceOom,
+        ] {
+            let n = capture.faults.iter().filter(|f| f.kind == kind).count();
+            if n > 0 {
+                registry.counter_add(
+                    &format!("cstf_fault_{}_total", kind.label()),
+                    "Injected device faults of one kind",
+                    n as f64,
+                );
+            }
+        }
+    }
 
     registry.gauge_set(
         "cstf_heap_high_water_bytes",
@@ -153,6 +175,32 @@ mod tests {
         let samples = cstf_telemetry::parse_prometheus(&text).expect("valid exposition format");
         assert!(samples.iter().any(|s| s.name == "cstf_phase_modeled_seconds_mttkrp"));
         assert!(samples.iter().any(|s| s.name == "cstf_kernel_measured_ns_bucket"));
+    }
+
+    #[test]
+    fn fault_counters_appear_only_when_faults_were_injected() {
+        let (clean, spec) = capture_with_launches();
+        let json = registry_from_capture(&clean, &spec).to_json();
+        assert!(json.get("cstf_faults_injected_total").is_none());
+
+        let dev = Device::new(spec.clone()).with_fault_plan(crate::fault::FaultPlan {
+            launch_fault_rate: 1.0,
+            max_faults: 2,
+            ..crate::fault::FaultPlan::quiet(1)
+        });
+        for _ in 0..2 {
+            let _ = dev.try_launch(
+                "mttkrp",
+                Phase::Mttkrp,
+                KernelClass::SparseGather,
+                KernelCost::default(),
+                || (),
+            );
+        }
+        let json = registry_from_capture(&dev.take_run(), &spec).to_json();
+        assert_eq!(json["cstf_faults_injected_total"]["value"], 2.0);
+        assert_eq!(json["cstf_fault_transient_launch_total"]["value"], 2.0);
+        assert!(json.get("cstf_fault_device_oom_total").is_none());
     }
 
     #[test]

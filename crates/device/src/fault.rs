@@ -1,0 +1,358 @@
+//! Seeded, deterministic device fault injection.
+//!
+//! Real accelerators fail in ways the roofline model does not capture:
+//! transient launch errors, silent memory corruption, NVLink/PCIe transfer
+//! failures, and out-of-memory conditions. A [`FaultPlan`] attaches those
+//! failure modes to the simulated [`Device`](crate::Device) so recovery
+//! logic upstream (retry, NaN sentinels, checkpoint/restart) can be tested
+//! under reproducible fault schedules.
+//!
+//! Determinism: every *fallible* launch or transfer draws its fault rolls
+//! from a SplitMix64 hash of `(plan.seed, launch sequence number, salt)`.
+//! The sequence number counts only fallible operations, so infallible
+//! launches (which cannot consult the plan) never shift the schedule, and
+//! the same seed always reproduces the same fault pattern for a given
+//! kernel stream.
+//!
+//! Cost when disabled: the device holds `Option<FaultPlan>`; with `None`
+//! every fallible launch pays one branch and one relaxed atomic increment —
+//! no allocation, no locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+/// The kinds of injected device faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultKind {
+    /// The kernel launch failed before executing (e.g. a transient
+    /// `CUDA_ERROR_LAUNCH_FAILED`). The output buffers are untouched;
+    /// the launch is retryable.
+    TransientLaunch,
+    /// The kernel ran but silently corrupted one element of its output
+    /// buffer to NaN (a simulated uncorrected memory error). Not reported
+    /// to the caller — only NaN sentinels downstream can catch it.
+    NanCorruption,
+    /// A host-device or device-device transfer failed (link error).
+    TransferFailure,
+    /// Device memory exhaustion at a specific launch. One-shot: the retry
+    /// draws a fresh sequence number and proceeds.
+    DeviceOom,
+}
+
+impl FaultKind {
+    /// Stable label used in trace events and metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::TransientLaunch => "transient_launch",
+            FaultKind::NanCorruption => "nan_corruption",
+            FaultKind::TransferFailure => "transfer_failure",
+            FaultKind::DeviceOom => "device_oom",
+        }
+    }
+}
+
+/// A fault surfaced to the caller of a fallible launch or transfer.
+///
+/// Silent faults ([`FaultKind::NanCorruption`]) are never returned as
+/// errors — they are only visible in the profiler's fault records and to
+/// whatever numerical sentinel catches them downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceFault {
+    /// What failed.
+    pub kind: FaultKind,
+    /// The kernel or transfer name that drew the fault.
+    pub kernel: &'static str,
+    /// The fallible-operation sequence number that rolled the fault.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FaultKind::TransientLaunch => {
+                write!(f, "transient launch failure in `{}` (op #{})", self.kernel, self.seq)
+            }
+            FaultKind::NanCorruption => {
+                write!(f, "silent NaN corruption in `{}` (op #{})", self.kernel, self.seq)
+            }
+            FaultKind::TransferFailure => {
+                write!(f, "transfer failure in `{}` (op #{})", self.kernel, self.seq)
+            }
+            FaultKind::DeviceOom => {
+                write!(f, "device out of memory at `{}` (op #{})", self.kernel, self.seq)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+/// A deterministic, seeded schedule of injected faults.
+///
+/// Rates are probabilities in `[0, 1]` evaluated independently per
+/// fallible operation; `oom_at_op` fires exactly once, at the given
+/// fallible-operation sequence number. `max_faults` caps the total number
+/// of injected faults so chaos runs always terminate.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the per-operation hash rolls.
+    pub seed: u64,
+    /// Probability a fallible launch fails transiently.
+    pub launch_fault_rate: f64,
+    /// Probability a corruptible launch's output gets one NaN element.
+    pub nan_rate: f64,
+    /// Probability a fallible transfer fails.
+    pub transfer_fault_rate: f64,
+    /// Inject a one-shot device OOM at this fallible-operation number.
+    pub oom_at_op: Option<u64>,
+    /// Hard cap on total injected faults (0 = unlimited).
+    pub max_faults: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for struct update).
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            launch_fault_rate: 0.0,
+            nan_rate: 0.0,
+            transfer_fault_rate: 0.0,
+            oom_at_op: None,
+            max_faults: 0,
+        }
+    }
+
+    /// Parses a `key=value` comma-separated spec, e.g.
+    /// `seed=1,launch=0.05,nan=0.02,transfer=0.01,oom=120,max=50`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::quiet(0);
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{part}` is not key=value"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("fault spec `{key}={value}`: {e}");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|e| bad(&e))?,
+                "launch" => plan.launch_fault_rate = value.parse().map_err(|e| bad(&e))?,
+                "nan" => plan.nan_rate = value.parse().map_err(|e| bad(&e))?,
+                "transfer" => plan.transfer_fault_rate = value.parse().map_err(|e| bad(&e))?,
+                "oom" => plan.oom_at_op = Some(value.parse().map_err(|e| bad(&e))?),
+                "max" => plan.max_faults = value.parse().map_err(|e| bad(&e))?,
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        for (name, rate) in [
+            ("launch", plan.launch_fault_rate),
+            ("nan", plan.nan_rate),
+            ("transfer", plan.transfer_fault_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault rate `{name}` must be in [0, 1], got {rate}"));
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Per-device fault state: the immutable plan plus the fallible-operation
+/// counter and the injected-fault counter (atomics, so the device stays
+/// `Sync` without adding lock traffic to the launch path).
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    next_op: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// SplitMix64 finalizer — the same mixer `cstf_core::auntf::seeded_factors`
+/// uses, applied to a combined `(seed, op, salt)` state.
+fn mix(seed: u64, op: u64, salt: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(op.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(salt.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform roll in `[0, 1)` for `(seed, op, salt)`.
+fn roll(seed: u64, op: u64, salt: u64) -> f64 {
+    (mix(seed, op, salt) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        Self { plan, next_op: AtomicU64::new(0), injected: AtomicU64::new(0) }
+    }
+
+    /// Draws the next fallible-operation sequence number.
+    pub(crate) fn next_op(&self) -> u64 {
+        self.next_op.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// True if the fault budget still allows injecting; reserves one slot.
+    fn budget_allows(&self) -> bool {
+        if self.plan.max_faults == 0 {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        self.injected
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.plan.max_faults).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Rolls the pre-launch faults (OOM, transient failure) for op `op`.
+    pub(crate) fn launch_fault(&self, kernel: &'static str, op: u64) -> Option<DeviceFault> {
+        if self.plan.oom_at_op == Some(op) && self.budget_allows() {
+            return Some(DeviceFault { kind: FaultKind::DeviceOom, kernel, seq: op });
+        }
+        if self.plan.launch_fault_rate > 0.0
+            && roll(self.plan.seed, op, SALT_LAUNCH) < self.plan.launch_fault_rate
+            && self.budget_allows()
+        {
+            return Some(DeviceFault { kind: FaultKind::TransientLaunch, kernel, seq: op });
+        }
+        None
+    }
+
+    /// Rolls silent output corruption for op `op`; returns the flat index
+    /// to poison in an output of length `len`.
+    pub(crate) fn corruption_index(&self, op: u64, len: usize) -> Option<usize> {
+        if len == 0 || self.plan.nan_rate == 0.0 {
+            return None;
+        }
+        if roll(self.plan.seed, op, SALT_NAN) < self.plan.nan_rate && self.budget_allows() {
+            return Some((mix(self.plan.seed, op, SALT_NAN_IDX) % len as u64) as usize);
+        }
+        None
+    }
+
+    /// Rolls a transfer/link failure for op `op`.
+    pub(crate) fn transfer_fault(&self, name: &'static str, op: u64) -> Option<DeviceFault> {
+        if self.plan.transfer_fault_rate > 0.0
+            && roll(self.plan.seed, op, SALT_TRANSFER) < self.plan.transfer_fault_rate
+            && self.budget_allows()
+        {
+            return Some(DeviceFault { kind: FaultKind::TransferFailure, kernel: name, seq: op });
+        }
+        None
+    }
+}
+
+const SALT_LAUNCH: u64 = 0x4c41554e43480001;
+const SALT_NAN: u64 = 0x4e414e0000000002;
+const SALT_NAN_IDX: u64 = 0x4e414e0000000003;
+const SALT_TRANSFER: u64 = 0x5452414e53460004;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_faults() {
+        let state = FaultState::new(FaultPlan::quiet(42));
+        for op in 0..10_000 {
+            assert!(state.launch_fault("k", op).is_none());
+            assert!(state.corruption_index(op, 64).is_none());
+            assert!(state.transfer_fault("t", op).is_none());
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let plan = FaultPlan { launch_fault_rate: 0.1, ..FaultPlan::quiet(7) };
+        let a = FaultState::new(plan.clone());
+        let b = FaultState::new(plan);
+        let faults = |s: &FaultState| {
+            (0..1000).filter(|&op| s.launch_fault("k", op).is_some()).collect::<Vec<_>>()
+        };
+        let fa = faults(&a);
+        assert_eq!(fa, faults(&b));
+        assert!(!fa.is_empty(), "a 10% rate over 1000 ops should fire");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mk =
+            |seed| FaultState::new(FaultPlan { launch_fault_rate: 0.1, ..FaultPlan::quiet(seed) });
+        let faults = |s: &FaultState| {
+            (0..1000).filter(|&op| s.launch_fault("k", op).is_some()).collect::<Vec<_>>()
+        };
+        assert_ne!(faults(&mk(1)), faults(&mk(2)));
+    }
+
+    #[test]
+    fn rate_is_respected_roughly() {
+        let state = FaultState::new(FaultPlan { launch_fault_rate: 0.2, ..FaultPlan::quiet(3) });
+        let n = (0..10_000).filter(|&op| state.launch_fault("k", op).is_some()).count();
+        assert!((1500..2500).contains(&n), "got {n} faults for rate 0.2");
+    }
+
+    #[test]
+    fn oom_fires_exactly_once_at_the_requested_op() {
+        let state = FaultState::new(FaultPlan { oom_at_op: Some(5), ..FaultPlan::quiet(0) });
+        for op in 0..10 {
+            let fault = state.launch_fault("k", op);
+            if op == 5 {
+                assert_eq!(fault.map(|f| f.kind), Some(FaultKind::DeviceOom));
+            } else {
+                assert!(fault.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn max_faults_caps_injection() {
+        let state = FaultState::new(FaultPlan {
+            launch_fault_rate: 1.0,
+            max_faults: 3,
+            ..FaultPlan::quiet(9)
+        });
+        let n = (0..100).filter(|&op| state.launch_fault("k", op).is_some()).count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn corruption_index_is_in_bounds_and_deterministic() {
+        let plan = FaultPlan { nan_rate: 0.5, ..FaultPlan::quiet(11) };
+        let a = FaultState::new(plan.clone());
+        let b = FaultState::new(plan);
+        for op in 0..200 {
+            let ia = a.corruption_index(op, 48);
+            assert_eq!(ia, b.corruption_index(op, 48));
+            if let Some(i) = ia {
+                assert!(i < 48);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let plan = FaultPlan::parse("seed=5, launch=0.1, nan=0.02, transfer=0.3, oom=12, max=7")
+            .expect("valid spec");
+        assert_eq!(plan.seed, 5);
+        assert_eq!(plan.launch_fault_rate, 0.1);
+        assert_eq!(plan.nan_rate, 0.02);
+        assert_eq!(plan.transfer_fault_rate, 0.3);
+        assert_eq!(plan.oom_at_op, Some(12));
+        assert_eq!(plan.max_faults, 7);
+    }
+
+    #[test]
+    fn spec_parsing_rejects_garbage() {
+        assert!(FaultPlan::parse("launch").is_err(), "missing =");
+        assert!(FaultPlan::parse("bogus=1").is_err(), "unknown key");
+        assert!(FaultPlan::parse("launch=2.0").is_err(), "rate out of range");
+        assert!(FaultPlan::parse("seed=abc").is_err(), "non-numeric");
+    }
+
+    #[test]
+    fn fault_display_names_the_kernel() {
+        let f = DeviceFault { kind: FaultKind::TransientLaunch, kernel: "mttkrp", seq: 4 };
+        assert!(f.to_string().contains("mttkrp"));
+        assert!(f.to_string().contains("transient"));
+    }
+}

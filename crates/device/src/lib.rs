@@ -48,6 +48,7 @@ pub mod cost;
 #[allow(clippy::module_inception)]
 pub mod device;
 pub mod export;
+pub mod fault;
 pub mod profiler;
 pub mod spec;
 pub mod trace;
@@ -55,6 +56,9 @@ pub mod trace;
 pub use cost::{kernel_time, transfer_time, KernelClass, KernelCost};
 pub use device::Device;
 pub use export::{phase_summaries, registry_from_capture};
-pub use profiler::{KernelRecord, MarkRecord, Phase, PhaseTotals, Profiler, RunCapture};
+pub use fault::{DeviceFault, FaultKind, FaultPlan};
+pub use profiler::{
+    FaultRecord, KernelRecord, MarkRecord, Phase, PhaseTotals, Profiler, RunCapture,
+};
 pub use spec::{DeviceKind, DeviceSpec};
 pub use trace::{write_chrome_trace, write_full_trace, write_trace_events};

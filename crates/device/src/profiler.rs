@@ -79,17 +79,36 @@ pub struct MarkRecord {
     pub modeled_s_at: f64,
 }
 
+/// One injected device fault, as observed by the profiler. Fault records
+/// are always retained (faults are rare by construction, and invisible
+/// faults would defeat the point of injecting them), unlike kernel records
+/// and marks which require a record-keeping profiler.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FaultRecord {
+    /// The kind of fault injected.
+    pub kind: crate::fault::FaultKind,
+    /// The kernel or transfer name that drew the fault.
+    pub kernel: &'static str,
+    /// The fallible-operation sequence number that rolled the fault.
+    pub op: u64,
+    /// Cumulative modeled seconds when the fault was injected.
+    pub modeled_s_at: f64,
+}
+
 /// Everything one run produced, captured atomically by
-/// [`Profiler::take`]: the retained kernel records, the marks, and the
-/// per-phase totals. Capturing clears the profiler in the same lock
-/// acquisition, so repetition harnesses cannot leak warm-up launches into
-/// the next measurement (the double-reset hazard).
+/// [`Profiler::take`]: the retained kernel records, the marks, the
+/// injected faults, and the per-phase totals. Capturing clears the
+/// profiler in the same lock acquisition, so repetition harnesses cannot
+/// leak warm-up launches into the next measurement (the double-reset
+/// hazard).
 #[derive(Debug, Default)]
 pub struct RunCapture {
     /// Retained kernel records (empty unless the profiler keeps records).
     pub records: Vec<KernelRecord>,
     /// Marks in record order.
     pub marks: Vec<MarkRecord>,
+    /// Injected device faults, in injection order (always retained).
+    pub faults: Vec<FaultRecord>,
     /// Per-phase totals in display order, skipping empty phases.
     pub phases: Vec<(Phase, PhaseTotals)>,
 }
@@ -136,6 +155,7 @@ pub struct PhaseTotals {
 pub struct Profiler {
     records: Vec<KernelRecord>,
     marks: Vec<MarkRecord>,
+    faults: Vec<FaultRecord>,
     keep_records: bool,
     totals: BTreeMap<Phase, PhaseTotals>,
     launches_seen: usize,
@@ -183,6 +203,16 @@ impl Profiler {
         &self.marks
     }
 
+    /// Records one injected fault (always retained).
+    pub fn record_fault(&mut self, kind: crate::fault::FaultKind, kernel: &'static str, op: u64) {
+        self.faults.push(FaultRecord { kind, kernel, op, modeled_s_at: self.total_seconds() });
+    }
+
+    /// Injected faults recorded so far.
+    pub fn faults(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
     /// Totals for one phase (zeros if nothing ran).
     pub fn phase(&self, phase: Phase) -> PhaseTotals {
         self.totals.get(&phase).copied().unwrap_or_default()
@@ -214,10 +244,11 @@ impl Profiler {
         &self.records
     }
 
-    /// Clears all records, marks and totals.
+    /// Clears all records, marks, faults and totals.
     pub fn reset(&mut self) {
         self.records.clear();
         self.marks.clear();
+        self.faults.clear();
         self.totals.clear();
         self.launches_seen = 0;
     }
@@ -228,6 +259,7 @@ impl Profiler {
         let capture = RunCapture {
             records: std::mem::take(&mut self.records),
             marks: std::mem::take(&mut self.marks),
+            faults: std::mem::take(&mut self.faults),
             phases: self.phases(),
         };
         self.totals.clear();
@@ -324,6 +356,21 @@ mod tests {
         assert_eq!(marks[0].modeled_s_at, 1.0);
         assert_eq!(marks[1].seq, 2);
         assert_eq!(marks[1].modeled_s_at, 3.0);
+    }
+
+    #[test]
+    fn fault_records_are_retained_even_on_lean_profilers() {
+        use crate::fault::FaultKind;
+        let mut p = Profiler::new(); // lean: no kernel records
+        p.record(rec(Phase::Update, 2.0, 1.0));
+        p.record_fault(FaultKind::TransientLaunch, "fused_inner_sweep", 7);
+        assert_eq!(p.faults().len(), 1);
+        assert_eq!(p.faults()[0].kernel, "fused_inner_sweep");
+        assert_eq!(p.faults()[0].op, 7);
+        assert_eq!(p.faults()[0].modeled_s_at, 2.0);
+        let capture = p.take();
+        assert_eq!(capture.faults.len(), 1);
+        assert!(p.faults().is_empty(), "take clears faults too");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::io::Write;
 use cstf_telemetry::SpanRecord;
 use serde_json::{json, Value};
 
-use crate::profiler::{KernelRecord, MarkRecord, Phase};
+use crate::profiler::{FaultRecord, KernelRecord, MarkRecord, Phase};
 
 /// Serializes records as a Chrome Trace Event JSON array.
 ///
@@ -54,24 +54,48 @@ pub fn write_trace_events<W: Write>(
 }
 
 /// Serializes the complete picture of one run: everything
-/// [`write_trace_events`] emits, plus host-side telemetry spans laid out on
-/// their own per-thread tracks under a second process (`pid` 2). Span
-/// timestamps are wall-clock (relative to the first span), while kernel
-/// tracks use modeled time — Perfetto renders the two processes
-/// side-by-side without conflating the clocks.
+/// [`write_trace_events`] emits, plus injected-fault instants on their own
+/// track and host-side telemetry spans laid out on their own per-thread
+/// tracks under a second process (`pid` 2). Span timestamps are wall-clock
+/// (relative to the first span), while kernel tracks use modeled time —
+/// Perfetto renders the two processes side-by-side without conflating the
+/// clocks.
 pub fn write_full_trace<W: Write>(
     records: &[KernelRecord],
     marks: &[MarkRecord],
+    faults: &[FaultRecord],
     spans: &[SpanRecord],
     mut w: W,
 ) -> std::io::Result<()> {
     let mut events = complete_events(records);
     events.extend(counter_events(records));
     events.extend(instant_events(marks));
+    events.extend(fault_events(faults));
     events.extend(flow_events(records));
     events.extend(span_events(spans));
     let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
     writeln!(w, "{text}")
+}
+
+/// Instant events (`"ph": "i"`, process scope) for each injected device
+/// fault, named `fault_<kind>` with the faulted kernel in `args`.
+fn fault_events(faults: &[FaultRecord]) -> Vec<Value> {
+    faults
+        .iter()
+        .map(|f| {
+            let args = json!({ "kernel": f.kernel, "op": f.op });
+            json!({
+                "name": format!("fault_{}", f.kind.label()),
+                "cat": "fault",
+                "ph": "i",
+                "ts": finite(f.modeled_s_at) * 1e6,
+                "pid": 1,
+                "tid": 0,
+                "s": "p",
+                "args": args,
+            })
+        })
+        .collect()
 }
 
 /// Complete events for host-side spans, one track per recording thread,
@@ -362,7 +386,7 @@ mod tests {
             },
         ];
         let mut buf = Vec::new();
-        write_full_trace(&[], &[], &spans, &mut buf).unwrap();
+        write_full_trace(&[], &[], &[], &spans, &mut buf).unwrap();
         let parsed: serde_json::Value =
             serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
         let arr = parsed.as_array().unwrap();
@@ -374,6 +398,37 @@ mod tests {
         let inner = arr.iter().find(|e| e["name"] == "mode_update").unwrap();
         assert_eq!(inner["args"]["mode"], 1);
         assert_eq!(inner["args"]["depth"], 1);
+    }
+
+    #[test]
+    fn injected_faults_render_as_instants_on_the_fault_track() {
+        use crate::fault::FaultKind;
+        let faults = vec![
+            FaultRecord {
+                kind: FaultKind::TransientLaunch,
+                kernel: "fused_inner_sweep",
+                op: 12,
+                modeled_s_at: 2e-3,
+            },
+            FaultRecord {
+                kind: FaultKind::NanCorruption,
+                kernel: "mttkrp",
+                op: 30,
+                modeled_s_at: 5e-3,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_full_trace(&[], &[], &faults, &[], &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_array().unwrap();
+        let transient =
+            arr.iter().find(|e| e["name"] == "fault_transient_launch").expect("instant present");
+        assert_eq!(transient["ph"], "i");
+        assert_eq!(transient["cat"], "fault");
+        assert_eq!(transient["args"]["kernel"], "fused_inner_sweep");
+        assert_eq!(transient["ts"].as_f64().unwrap(), 2000.0);
+        assert!(arr.iter().any(|e| e["name"] == "fault_nan_corruption"));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!         vec![vec![t, 5], vec![3, t]],
 //!         vec![1.0, 2.0],
 //!     );
-//!     tracker.ingest(&dev, &slice);
+//!     tracker.ingest(&dev, &slice).expect("fault-free ingest");
 //! }
 //! assert_eq!(tracker.time_steps(), 2);
 //! assert_eq!(tracker.temporal_factor().rows(), 2);
@@ -43,4 +43,4 @@ pub mod slice;
 pub mod tracker;
 
 pub use slice::SliceTensor;
-pub use tracker::{StreamingConfig, StreamingCstf};
+pub use tracker::{IngestError, StreamingConfig, StreamingCstf};

@@ -13,15 +13,45 @@ pub struct SliceTensor {
 }
 
 impl SliceTensor {
-    /// Builds a slice; panics on inconsistent lengths or out-of-range
-    /// coordinates (same invariants as `cstf_tensor::SparseTensor`).
+    /// Builds a slice; panics on inconsistent lengths, out-of-range
+    /// coordinates, or non-finite values (same invariants as
+    /// `cstf_tensor::SparseTensor`). Prefer [`SliceTensor::try_new`] when
+    /// the input is untrusted.
     pub fn new(shape: Vec<usize>, indices: Vec<Vec<u32>>, values: Vec<f64>) -> Self {
-        assert_eq!(indices.len(), shape.len(), "one index vector per mode");
-        for (m, idx) in indices.iter().enumerate() {
-            assert_eq!(idx.len(), values.len(), "mode {m} index count must equal nnz");
-            assert!(idx.iter().all(|&i| (i as usize) < shape[m]), "mode {m} index out of range");
+        Self::try_new(shape, indices, values).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a slice, returning a descriptive error instead of panicking
+    /// on inconsistent lengths, out-of-range coordinates, or non-finite
+    /// (NaN/infinite) values.
+    pub fn try_new(
+        shape: Vec<usize>,
+        indices: Vec<Vec<u32>>,
+        values: Vec<f64>,
+    ) -> Result<Self, String> {
+        if indices.len() != shape.len() {
+            return Err(format!(
+                "one index vector per mode: got {} index vectors for {} modes",
+                indices.len(),
+                shape.len()
+            ));
         }
-        Self { shape, indices, values }
+        for (m, idx) in indices.iter().enumerate() {
+            if idx.len() != values.len() {
+                return Err(format!(
+                    "mode {m} index count must equal nnz ({} vs {})",
+                    idx.len(),
+                    values.len()
+                ));
+            }
+            if let Some(&i) = idx.iter().find(|&&i| (i as usize) >= shape[m]) {
+                return Err(format!("mode {m} index out of range: {i} >= {}", shape[m]));
+            }
+        }
+        if let Some((k, v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(format!("non-finite value {v} at nonzero {k}"));
+        }
+        Ok(Self { shape, indices, values })
     }
 
     /// Non-temporal mode dimensions.
@@ -161,5 +191,19 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_bad_coordinates() {
         SliceTensor::new(vec![2, 2], vec![vec![2], vec![0]], vec![1.0]);
+    }
+
+    #[test]
+    fn try_new_reports_errors_without_panicking() {
+        let err = SliceTensor::try_new(vec![2, 2], vec![vec![0], vec![0]], vec![f64::NAN])
+            .expect_err("NaN values must be rejected");
+        assert!(err.contains("non-finite"), "{err}");
+        let err = SliceTensor::try_new(vec![2], vec![vec![0], vec![0]], vec![1.0])
+            .expect_err("mode count mismatch must be rejected");
+        assert!(err.contains("one index vector per mode"), "{err}");
+        let err = SliceTensor::try_new(vec![2, 2], vec![vec![0, 1], vec![0]], vec![1.0])
+            .expect_err("ragged indices must be rejected");
+        assert!(err.contains("must equal nnz"), "{err}");
+        assert!(SliceTensor::try_new(vec![2, 2], vec![vec![1], vec![0]], vec![1.0]).is_ok());
     }
 }

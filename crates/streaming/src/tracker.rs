@@ -13,13 +13,60 @@
 //! constrained ADMM update on `(U_n, W_n)` — the same cuADMM kernels the
 //! batch framework uses, metered on the same device substrate.
 
+use std::path::{Path, PathBuf};
+
 use cstf_core::admm::{admm_update, AdmmConfig, AdmmWorkspace};
 use cstf_core::auntf::seeded_factors;
+use cstf_core::checkpoint::{ArchiveReader, ArchiveWriter, CheckpointConfig, CheckpointError};
+use cstf_core::recovery::AdmmError;
 use cstf_device::{Device, KernelClass, KernelCost, Phase};
 use cstf_linalg::{gram, hadamard_in_place, Mat};
 use cstf_telemetry::Span;
 
 use crate::slice::SliceTensor;
+
+const STREAM_PREFIX: &str = "stream-";
+const STREAM_SUFFIX: &str = ".cstf";
+
+/// Failures while ingesting one streaming slice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// A constrained ADMM solve failed (device fault, non-PD system, or a
+    /// non-finite residual).
+    Admm(AdmmError),
+    /// A periodic snapshot could not be written.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Admm(e) => write!(f, "slice ingest failed: {e}"),
+            IngestError::Checkpoint(e) => write!(f, "slice ingest snapshot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Admm(e) => Some(e),
+            IngestError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<AdmmError> for IngestError {
+    fn from(e: AdmmError) -> Self {
+        IngestError::Admm(e)
+    }
+}
+
+impl From<CheckpointError> for IngestError {
+    fn from(e: CheckpointError) -> Self {
+        IngestError::Checkpoint(e)
+    }
+}
 
 /// Streaming configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +105,23 @@ pub struct StreamingCstf {
     /// driver).
     duals: Vec<Mat>,
     workspaces: Vec<AdmmWorkspace>,
+    /// Optional periodic snapshotting (every `every` ingested slices).
+    ckpt: Option<CheckpointConfig>,
+}
+
+/// Stable identity of a streaming run: shape + every config field that
+/// changes the arithmetic. Snapshots from a differently-configured run
+/// must not be silently resumed.
+fn fingerprint(shape: &[usize], cfg: &StreamingConfig) -> String {
+    let dims: Vec<String> = shape.iter().map(|d| d.to_string()).collect();
+    format!(
+        "stream shape={} rank={} forgetting={:016x} seed={} refresh={}",
+        dims.join("x"),
+        cfg.rank,
+        cfg.forgetting.to_bits(),
+        cfg.seed,
+        cfg.refresh_passes
+    )
 }
 
 impl StreamingCstf {
@@ -77,7 +141,123 @@ impl StreamingCstf {
         let w = vec![Mat::zeros(rank, rank); shape.len()];
         let duals = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
         let workspaces = shape.iter().map(|&d| AdmmWorkspace::new(d, rank)).collect();
-        Self { cfg, shape, factors, temporal: Vec::new(), u, w, duals, workspaces }
+        Self { cfg, shape, factors, temporal: Vec::new(), u, w, duals, workspaces, ckpt: None }
+    }
+
+    /// Enables periodic snapshotting: every `ckpt.every` ingested slices a
+    /// checksummed snapshot of the full tracker state is written into
+    /// `ckpt.dir`.
+    pub fn with_checkpointing(mut self, ckpt: CheckpointConfig) -> Self {
+        self.ckpt = Some(ckpt);
+        self
+    }
+
+    /// Restores the tracker from the newest valid snapshot in `dir`, or
+    /// returns `Ok(None)` if no usable snapshot exists (start fresh).
+    /// Corrupt snapshots are skipped (falling back to older ones); a
+    /// snapshot written by a differently-configured run is a hard
+    /// [`CheckpointError::Fingerprint`] error.
+    pub fn resume(
+        shape: Vec<usize>,
+        cfg: StreamingConfig,
+        dir: &Path,
+    ) -> Result<Option<Self>, CheckpointError> {
+        let fp = fingerprint(&shape, &cfg);
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(None), // no directory yet: nothing to resume
+        };
+        let mut candidates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(STREAM_PREFIX) && n.ends_with(STREAM_SUFFIX))
+            })
+            .collect();
+        candidates.sort();
+        for path in candidates.iter().rev() {
+            let mut r = match ArchiveReader::read(path, "stream") {
+                Ok(r) => r,
+                Err(_) => continue, // corrupt or torn snapshot: fall back
+            };
+            let found = match r.field("fingerprint") {
+                Ok(f) => f,
+                Err(_) => continue,
+            };
+            if found != fp {
+                return Err(CheckpointError::Fingerprint { expected: fp, found });
+            }
+            match Self::restore(shape.clone(), cfg.clone(), &mut r) {
+                Ok(tracker) => return Ok(Some(tracker)),
+                Err(_) => continue,
+            }
+        }
+        Ok(None)
+    }
+
+    fn restore(
+        shape: Vec<usize>,
+        cfg: StreamingConfig,
+        r: &mut ArchiveReader,
+    ) -> Result<Self, CheckpointError> {
+        let bad = |msg: &str| CheckpointError::Format(msg.to_owned());
+        let rank = cfg.rank;
+        let slices: usize = r.field("slices")?.parse().map_err(|_| bad("bad `slices` value"))?;
+        let temporal_m = r.mat("temporal")?;
+        if temporal_m.rows() != slices || temporal_m.cols() != rank {
+            return Err(bad("temporal factor dimensions disagree with header"));
+        }
+        let temporal: Vec<Vec<f64>> = (0..slices).map(|t| temporal_m.row(t).to_vec()).collect();
+        let modes: usize = r.field("modes")?.parse().map_err(|_| bad("bad `modes` value"))?;
+        if modes != shape.len() {
+            return Err(bad("mode count disagrees with the tracker shape"));
+        }
+        let mut factors = Vec::with_capacity(modes);
+        let mut duals = Vec::with_capacity(modes);
+        let mut u = Vec::with_capacity(modes);
+        let mut w = Vec::with_capacity(modes);
+        for (m, &dim) in shape.iter().enumerate() {
+            let f = r.mat("factor")?;
+            let d = r.mat("dual")?;
+            let un = r.mat("hist_u")?;
+            let wn = r.mat("hist_w")?;
+            if f.rows() != dim || f.cols() != rank || d.rows() != dim || d.cols() != rank {
+                return Err(bad(&format!("mode {m} factor/dual dimensions mismatch")));
+            }
+            if un.rows() != dim || un.cols() != rank || wn.rows() != rank || wn.cols() != rank {
+                return Err(bad(&format!("mode {m} history dimensions mismatch")));
+            }
+            factors.push(f);
+            duals.push(d);
+            u.push(un);
+            w.push(wn);
+        }
+        let workspaces = shape.iter().map(|&d| AdmmWorkspace::new(d, rank)).collect();
+        Ok(Self { cfg, shape, factors, temporal, u, w, duals, workspaces, ckpt: None })
+    }
+
+    /// Writes one snapshot of the full tracker state (factors, duals,
+    /// history statistics, temporal rows) into `dir`, named by the number
+    /// of ingested slices. Returns the snapshot path.
+    pub fn save_snapshot(&self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CheckpointError::Io(format!("creating {}: {e}", dir.display())))?;
+        let mut w = ArchiveWriter::new("stream");
+        w.field("fingerprint", fingerprint(&self.shape, &self.cfg));
+        w.field("slices", self.temporal.len());
+        w.mat("temporal", &self.temporal_factor());
+        w.field("modes", self.shape.len());
+        for m in 0..self.shape.len() {
+            w.mat("factor", &self.factors[m]);
+            w.mat("dual", &self.duals[m]);
+            w.mat("hist_u", &self.u[m]);
+            w.mat("hist_w", &self.w[m]);
+        }
+        let path = dir.join(format!("{STREAM_PREFIX}{:08}{STREAM_SUFFIX}", self.temporal.len()));
+        w.write_atomic(&path)?;
+        Ok(path)
     }
 
     /// Non-temporal factors.
@@ -137,7 +317,16 @@ impl StreamingCstf {
     /// Ingests one time-step slice: solves its temporal row, folds it into
     /// the history statistics, and refreshes the non-temporal factors.
     /// Returns the new temporal row.
-    pub fn ingest(&mut self, dev: &Device, slice: &SliceTensor) -> Vec<f64> {
+    ///
+    /// # Errors
+    /// Propagates the first [`AdmmError`] from any constrained solve (the
+    /// tracker state may then hold a partially-updated step — restore from
+    /// the last snapshot to retry), or a [`CheckpointError`] if a periodic
+    /// snapshot write fails.
+    ///
+    /// # Panics
+    /// Panics if the slice shape does not match the tracker's.
+    pub fn ingest(&mut self, dev: &Device, slice: &SliceTensor) -> Result<Vec<f64>, IngestError> {
         let _span = Span::enter("stream_ingest");
         assert_eq!(slice.shape(), self.shape.as_slice(), "slice shape mismatch");
         let rank = self.cfg.rank;
@@ -171,7 +360,7 @@ impl StreamingCstf {
         let mut s_dual = Mat::zeros(1, rank);
         let mut s_ws = AdmmWorkspace::new(1, rank);
         let row_cfg = AdmmConfig { inner_iters: 25, tol: 1e-10, ..self.cfg.admm };
-        admm_update(dev, &row_cfg, &m_row, &g_all, &mut s_row, &mut s_dual, &mut s_ws);
+        admm_update(dev, &row_cfg, &m_row, &g_all, &mut s_row, &mut s_dual, &mut s_ws)?;
         let s_t: Vec<f64> = s_row.row(0).to_vec();
 
         // --- fold the slice into history statistics ---
@@ -253,7 +442,7 @@ impl StreamingCstf {
                     &mut self.factors[mode],
                     &mut self.duals[mode],
                     &mut self.workspaces[mode],
-                );
+                )?;
             }
         }
 
@@ -267,11 +456,17 @@ impl StreamingCstf {
         }
         let m_t2 = slice.temporal_mttkrp(&self.factors, rank);
         let m_row = Mat::from_vec(1, rank, m_t2);
-        admm_update(dev, &row_cfg, &m_row, &g_all, &mut s_row, &mut s_dual, &mut s_ws);
+        admm_update(dev, &row_cfg, &m_row, &g_all, &mut s_row, &mut s_dual, &mut s_ws)?;
         let s_t: Vec<f64> = s_row.row(0).to_vec();
 
         self.temporal.push(s_t.clone());
-        s_t
+        if let Some(cc) = &self.ckpt {
+            if self.temporal.len().is_multiple_of(cc.every) {
+                let dir = cc.dir.clone();
+                self.save_snapshot(&dir)?;
+            }
+        }
+        Ok(s_t)
     }
 }
 
@@ -333,7 +528,7 @@ mod tests {
         let mut tracker =
             StreamingCstf::new(vec![20, 15], StreamingConfig { rank: 3, ..Default::default() });
         for s in &slices {
-            let row = tracker.ingest(&dev, s);
+            let row = tracker.ingest(&dev, s).unwrap();
             assert_eq!(row.len(), 3);
             assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
         }
@@ -355,7 +550,7 @@ mod tests {
         let mut early = Vec::new();
         let mut late = Vec::new();
         for (t, s) in slices.iter().enumerate() {
-            tracker.ingest(&dev, s);
+            tracker.ingest(&dev, s).unwrap();
             let fit = tracker.slice_fit(t, s);
             if t < 6 {
                 early.push(fit);
@@ -385,7 +580,7 @@ mod tests {
         let mut tracker =
             StreamingCstf::new(vec![15, 12], StreamingConfig { rank: 2, ..Default::default() });
         for s in &slices {
-            tracker.ingest(&dev, s);
+            tracker.ingest(&dev, s).unwrap();
             for f in tracker.factors() {
                 assert!(f.is_nonnegative(0.0));
                 assert!(f.all_finite());
@@ -413,7 +608,7 @@ mod tests {
             );
             let mut t = 0usize;
             for s in first.iter().chain(&second) {
-                tracker.ingest(&dev, s);
+                tracker.ingest(&dev, s).unwrap();
                 t += 1;
             }
             // Fit on the final (post-drift) slice.
@@ -435,7 +630,7 @@ mod tests {
         let mut tracker =
             StreamingCstf::new(vec![10, 10], StreamingConfig { rank: 2, ..Default::default() });
         for s in &slices {
-            tracker.ingest(&dev, s);
+            tracker.ingest(&dev, s).unwrap();
         }
         assert!(dev.phase_totals(Phase::Mttkrp).launches >= 9); // temporal + 2 modes x 3 slices
         assert!(dev.phase_totals(Phase::Update).seconds > 0.0);
@@ -448,12 +643,126 @@ mod tests {
         let mut tracker =
             StreamingCstf::new(vec![10, 10], StreamingConfig { rank: 2, ..Default::default() });
         let bad = SliceTensor::new(vec![5, 5], vec![vec![0], vec![0]], vec![1.0]);
-        tracker.ingest(&dev, &bad);
+        let _ = tracker.ingest(&dev, &bad);
     }
 
     #[test]
     #[should_panic(expected = "forgetting factor")]
     fn invalid_forgetting_rejected() {
         StreamingCstf::new(vec![5, 5], StreamingConfig { forgetting: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_ingest_error() {
+        use cstf_core::recovery::AdmmError;
+        use cstf_device::FaultPlan;
+
+        let (slices, _) = planted_stream(&[10, 10], 2, 1, 60, 6);
+        let dev = Device::new(DeviceSpec::h100())
+            .with_fault_plan(FaultPlan { launch_fault_rate: 1.0, ..FaultPlan::quiet(7) });
+        let mut tracker =
+            StreamingCstf::new(vec![10, 10], StreamingConfig { rank: 2, ..Default::default() });
+        match tracker.ingest(&dev, &slices[0]) {
+            Err(IngestError::Admm(AdmmError::Fault(f))) => {
+                assert_eq!(f.kernel, "cholesky_factor");
+            }
+            other => panic!("expected an injected launch fault, got {other:?}"),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cstf-stream-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn resumed_stream_is_bitwise_identical_to_uninterrupted() {
+        let shape = vec![12usize, 9];
+        let cfg = StreamingConfig { rank: 3, ..Default::default() };
+        let (slices, _) = planted_stream(&shape, 3, 8, 80, 11);
+
+        // Uninterrupted reference run over all 8 slices.
+        let dev_a = Device::new(DeviceSpec::h100());
+        let mut reference = StreamingCstf::new(shape.clone(), cfg.clone());
+        for s in &slices {
+            reference.ingest(&dev_a, s).unwrap();
+        }
+
+        // Interrupted run: snapshot every 2 slices, stop after 4.
+        let dir = tmpdir("resume");
+        let dev_b = Device::new(DeviceSpec::h100());
+        let mut interrupted = StreamingCstf::new(shape.clone(), cfg.clone())
+            .with_checkpointing(CheckpointConfig::new(&dir, 2));
+        for s in &slices[..4] {
+            interrupted.ingest(&dev_b, s).unwrap();
+        }
+        drop(interrupted); // "crash"
+
+        // Resume from the snapshot and replay the remaining slices.
+        let dev_c = Device::new(DeviceSpec::h100());
+        let mut resumed = StreamingCstf::resume(shape.clone(), cfg.clone(), &dir)
+            .unwrap()
+            .expect("snapshot present");
+        assert_eq!(resumed.time_steps(), 4);
+        for s in &slices[4..] {
+            resumed.ingest(&dev_c, s).unwrap();
+        }
+
+        assert_eq!(resumed.time_steps(), reference.time_steps());
+        assert_eq!(
+            resumed.temporal_factor(),
+            reference.temporal_factor(),
+            "temporal factor must match bitwise"
+        );
+        for (a, b) in resumed.factors().iter().zip(reference.factors()) {
+            assert_eq!(a, b, "non-temporal factors must match bitwise");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_stream_snapshot_falls_back_to_previous() {
+        let shape = vec![8usize, 7];
+        let cfg = StreamingConfig { rank: 2, ..Default::default() };
+        let (slices, _) = planted_stream(&shape, 2, 4, 40, 13);
+        let dir = tmpdir("corrupt");
+        let dev = Device::new(DeviceSpec::a100());
+        let mut tracker = StreamingCstf::new(shape.clone(), cfg.clone())
+            .with_checkpointing(CheckpointConfig::new(&dir, 2));
+        for s in &slices {
+            tracker.ingest(&dev, s).unwrap();
+        }
+        // Corrupt the newest snapshot (slices=4) without touching its
+        // checksum line; the loader must fall back to the slices=2 one.
+        let newest = dir.join("stream-00000004.cstf");
+        let text = std::fs::read_to_string(&newest).unwrap();
+        std::fs::write(&newest, text.replacen("factor", "factoR", 1)).unwrap();
+        let resumed =
+            StreamingCstf::resume(shape, cfg, &dir).unwrap().expect("older snapshot usable");
+        assert_eq!(resumed.time_steps(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_different_config_is_a_hard_error() {
+        let shape = vec![8usize, 7];
+        let cfg = StreamingConfig { rank: 2, ..Default::default() };
+        let (slices, _) = planted_stream(&shape, 2, 2, 40, 17);
+        let dir = tmpdir("fingerprint");
+        let dev = Device::new(DeviceSpec::a100());
+        let mut tracker = StreamingCstf::new(shape.clone(), cfg.clone())
+            .with_checkpointing(CheckpointConfig::new(&dir, 1));
+        for s in &slices {
+            tracker.ingest(&dev, s).unwrap();
+        }
+        let other = StreamingConfig { rank: 3, ..cfg };
+        match StreamingCstf::resume(shape, other, &dir) {
+            Err(CheckpointError::Fingerprint { .. }) => {}
+            Err(e) => panic!("expected fingerprint error, got {e:?}"),
+            Ok(_) => panic!("expected fingerprint error, got a successful resume"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -98,6 +98,12 @@ pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, TnsError> {
             line: lineno,
             message: format!("bad value {:?}", toks[nmodes]),
         })?;
+        if !v.is_finite() {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("non-finite value {:?}", toks[nmodes]),
+            });
+        }
         values.push(v);
     }
 
@@ -189,5 +195,18 @@ mod tests {
     fn scientific_notation_values_accepted() {
         let t = read_tns("2 2 1.5e-3\n".as_bytes()).unwrap();
         assert!((t.get(&[1, 1]) - 1.5e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for text in ["1 1 NaN\n", "1 1 inf\n", "2 2 -inf\n"] {
+            let err = read_tns(text.as_bytes()).unwrap_err();
+            match err {
+                TnsError::Parse { message, .. } => {
+                    assert!(message.contains("non-finite"), "{text:?}: {message}");
+                }
+                other => panic!("{text:?}: expected parse error, got {other:?}"),
+            }
+        }
     }
 }

@@ -25,18 +25,45 @@ impl SparseTensor {
     /// Builds a tensor from per-mode coordinate vectors and values.
     ///
     /// # Panics
-    /// Panics if lengths disagree or any coordinate is out of bounds.
+    /// Panics if lengths disagree, any coordinate is out of bounds, or any
+    /// value is non-finite. Prefer [`SparseTensor::try_new`] for untrusted
+    /// input.
     pub fn new(shape: Vec<usize>, indices: Vec<Vec<u32>>, values: Vec<f64>) -> Self {
-        assert_eq!(indices.len(), shape.len(), "one index vector per mode required");
-        for (m, idx) in indices.iter().enumerate() {
-            assert_eq!(idx.len(), values.len(), "mode {m} index count must equal nnz");
-            let dim = shape[m];
-            assert!(
-                idx.iter().all(|&i| (i as usize) < dim),
-                "mode {m} has an index out of bounds (dim {dim})"
-            );
+        Self::try_new(shape, indices, values).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a tensor, returning a descriptive error instead of panicking
+    /// when lengths disagree, a coordinate is out of bounds, or a value is
+    /// non-finite (NaN/infinite).
+    pub fn try_new(
+        shape: Vec<usize>,
+        indices: Vec<Vec<u32>>,
+        values: Vec<f64>,
+    ) -> Result<Self, String> {
+        if indices.len() != shape.len() {
+            return Err(format!(
+                "one index vector per mode required: got {} index vectors for {} modes",
+                indices.len(),
+                shape.len()
+            ));
         }
-        Self { shape, indices, values }
+        for (m, idx) in indices.iter().enumerate() {
+            if idx.len() != values.len() {
+                return Err(format!(
+                    "mode {m} index count must equal nnz ({} vs {})",
+                    idx.len(),
+                    values.len()
+                ));
+            }
+            let dim = shape[m];
+            if let Some(&i) = idx.iter().find(|&&i| (i as usize) >= dim) {
+                return Err(format!("mode {m} has an index out of bounds (dim {dim}): {i}"));
+            }
+        }
+        if let Some((k, v)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(format!("non-finite value {v} at nonzero {k}"));
+        }
+        Ok(Self { shape, indices, values })
     }
 
     /// An empty tensor of the given shape.
@@ -299,5 +326,22 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_index_rejected() {
         SparseTensor::new(vec![2, 2], vec![vec![0], vec![2]], vec![1.0]);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_input_without_panicking() {
+        let err = SparseTensor::try_new(vec![2, 2], vec![vec![0], vec![0]], vec![f64::INFINITY])
+            .expect_err("non-finite values must be rejected");
+        assert!(err.contains("non-finite"), "{err}");
+        let err = SparseTensor::try_new(vec![2, 2], vec![vec![0], vec![2]], vec![1.0])
+            .expect_err("out-of-bounds coordinates must be rejected");
+        assert!(err.contains("out of bounds"), "{err}");
+        let err = SparseTensor::try_new(vec![2], vec![vec![0], vec![0]], vec![1.0])
+            .expect_err("mode count mismatch must be rejected");
+        assert!(err.contains("one index vector per mode"), "{err}");
+        let err = SparseTensor::try_new(vec![2, 2], vec![vec![0, 1], vec![0]], vec![1.0])
+            .expect_err("ragged indices must be rejected");
+        assert!(err.contains("must equal nnz"), "{err}");
+        assert!(SparseTensor::try_new(vec![2, 2], vec![vec![0], vec![1]], vec![1.0]).is_ok());
     }
 }

@@ -43,7 +43,7 @@ fn main() {
         ..Default::default()
     };
     let dev = Device::new(DeviceSpec::a100());
-    let out = Auntf::new(normal.clone(), cfg).factorize(&dev);
+    let out = Auntf::new(normal.clone(), cfg).factorize(&dev).expect("fault-free run");
     println!("baseline model fit on normal window = {:.4}", out.fits.last().unwrap());
 
     // Incoming events: a fresh batch of normal events (drawn from the same

@@ -61,7 +61,7 @@ fn main() {
             ..Default::default()
         };
         let dev = Device::new(DeviceSpec::h100());
-        let out = Auntf::new(x.clone(), cfg).factorize(&dev);
+        let out = Auntf::new(x.clone(), cfg).factorize(&dev).expect("fault-free run");
 
         let min = out
             .model

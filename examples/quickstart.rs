@@ -39,7 +39,7 @@ fn main() {
 
     // 3. Run on the simulated H100 (numerics are real; time is modeled).
     let dev = Device::new(DeviceSpec::h100());
-    let out = Auntf::new(x, cfg).factorize(&dev);
+    let out = Auntf::new(x, cfg).factorize(&dev).expect("fault-free run");
 
     println!("\nfit trajectory:");
     for (i, fit) in out.fits.iter().enumerate() {

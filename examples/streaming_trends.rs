@@ -49,7 +49,7 @@ fn main() {
 
     for t in 0..steps {
         let slice = make_slice(users, topics, t, steps);
-        tracker.ingest(&dev, &slice);
+        tracker.ingest(&dev, &slice).expect("fault-free ingest");
     }
 
     let temporal: Mat = tracker.temporal_factor();

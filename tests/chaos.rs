@@ -1,0 +1,186 @@
+//! Chaos suite: end-to-end fault-tolerance guarantees under seeded,
+//! deterministic fault injection.
+//!
+//! The contracts proven here (see DESIGN.md §Fault model & recovery):
+//!
+//! 1. A run under a bounded seeded [`FaultPlan`] reaches `Ok` and its
+//!    factors/fits are **bitwise identical** to the fault-free run —
+//!    every recovery action replays a deterministic kernel from clean
+//!    state, so healing leaves no numerical trace.
+//! 2. Silent NaN corruption is caught by the sentinels and healed the
+//!    same way.
+//! 3. When the retry budget is exhausted the run fails loudly with a
+//!    typed [`FactorizeError::Fault`], never a panic or silent garbage.
+//! 4. A run interrupted and resumed from its latest checkpoint is
+//!    bitwise identical to an uninterrupted run, even when the newest
+//!    snapshot is corrupt (fallback to an older one) and even when the
+//!    resumed leg itself takes injected faults.
+
+use cstf_core::admm::AdmmConfig;
+use cstf_core::{
+    Auntf, AuntfConfig, CheckpointConfig, FactorizeError, FactorizeOutput, TensorFormat,
+    UpdateMethod,
+};
+use cstf_data::SynthSpec;
+use cstf_device::{Device, DeviceSpec, FaultPlan};
+use cstf_tensor::SparseTensor;
+
+fn workload() -> SparseTensor {
+    cstf_data::generate(&SynthSpec {
+        shape: vec![24, 20, 16],
+        nnz: 3_000,
+        rank: 4,
+        noise: 0.02,
+        factor_sparsity: 0.3,
+        seed: 11,
+    })
+}
+
+fn config(max_iters: usize) -> AuntfConfig {
+    AuntfConfig {
+        rank: 4,
+        max_iters,
+        fit_tol: 0.0, // fixed iteration count so trajectories are comparable
+        update: UpdateMethod::Admm(AdmmConfig::cuadmm()),
+        format: TensorFormat::Blco,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+fn run(max_iters: usize, plan: Option<FaultPlan>) -> Result<FactorizeOutput, FactorizeError> {
+    let mut dev = Device::new(DeviceSpec::h100());
+    if let Some(p) = plan {
+        dev = dev.with_fault_plan(p);
+    }
+    Auntf::new(workload(), config(max_iters)).factorize(&dev)
+}
+
+fn assert_bitwise_equal(a: &FactorizeOutput, b: &FactorizeOutput, label: &str) {
+    assert_eq!(a.fits, b.fits, "{label}: fit trajectories differ");
+    assert_eq!(a.model.lambda, b.model.lambda, "{label}: lambda differs");
+    for (m, (fa, fb)) in a.model.factors.iter().zip(&b.model.factors).enumerate() {
+        assert_eq!(fa.as_slice(), fb.as_slice(), "{label}: factor {m} differs");
+    }
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cstf_chaos_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Contract 1: bounded transient faults across several plan seeds heal
+/// with zero numerical drift. The quota (`max`) keeps the correlated
+/// fault rolls from ever exceeding the retry budget; the `launch=1.0`
+/// rate guarantees the quota is actually spent, so every arm of this
+/// test really exercises recovery.
+#[test]
+fn seeded_faulted_runs_match_the_fault_free_run_bitwise() {
+    let clean = run(6, None).expect("fault-free run");
+    assert!(clean.recovery.is_clean());
+    for seed in [1u64, 2, 3] {
+        let plan = FaultPlan::parse(&format!("seed={seed},launch=1.0,max=3")).unwrap();
+        let out = run(6, Some(plan)).unwrap_or_else(|e| panic!("seed {seed} failed: {e}"));
+        assert!(
+            out.recovery.transient_retries >= 1,
+            "seed {seed}: quota never drawn — the test exercised nothing"
+        );
+        assert!(!out.recovery.is_clean());
+        assert_bitwise_equal(&clean, &out, &format!("seed {seed}"));
+    }
+}
+
+/// Contract 2: silent NaN corruption never escapes. The sentinel sees
+/// the poisoned panel, the recompute replays the deterministic kernel,
+/// and the final model is bitwise equal to the fault-free run.
+#[test]
+fn nan_corruption_is_caught_and_healed_exactly() {
+    let clean = run(6, None).expect("fault-free run");
+    let plan = FaultPlan::parse("seed=2,nan=1.0,max=2").unwrap();
+    let out = run(6, Some(plan)).expect("corrupted run should heal");
+    assert!(out.recovery.nan_events >= 1, "no corruption landed — nothing was tested");
+    assert_bitwise_equal(&clean, &out, "nan corruption");
+    for f in &out.model.factors {
+        assert!(f.all_finite());
+    }
+}
+
+/// Contract 3: an unbounded fault storm exhausts the retry budget and
+/// surfaces as a typed error carrying the attempt count — not a panic.
+#[test]
+fn retry_exhaustion_is_a_typed_error() {
+    let plan = FaultPlan::parse("seed=1,launch=1.0").unwrap();
+    match run(6, Some(plan)) {
+        Err(FactorizeError::Fault { fault, attempts }) => {
+            assert!(attempts >= 1);
+            assert!(!fault.kernel.is_empty());
+        }
+        Err(other) => panic!("expected Fault, got {other:?}"),
+        Ok(_) => panic!("unbounded fault storm should not converge"),
+    }
+}
+
+fn run_checkpointed(
+    max_iters: usize,
+    ckpt: &CheckpointConfig,
+    resume: bool,
+    plan: Option<FaultPlan>,
+) -> Result<FactorizeOutput, FactorizeError> {
+    let mut dev = Device::new(DeviceSpec::h100());
+    if let Some(p) = plan {
+        dev = dev.with_fault_plan(p);
+    }
+    Auntf::new(workload(), config(max_iters)).factorize_checkpointed(&dev, ckpt, resume)
+}
+
+/// Contract 4a: interrupt at iteration 4 (snapshot every 2), resume to
+/// 8 — the stitched trajectory is bitwise identical to an uninterrupted
+/// 8-iteration run.
+#[test]
+fn interrupted_run_resumes_bitwise_identically() {
+    let dir = tmpdir("resume");
+    let ckpt = CheckpointConfig::new(&dir, 2);
+    run_checkpointed(4, &ckpt, false, None).expect("interrupted leg");
+    let resumed = run_checkpointed(8, &ckpt, true, None).expect("resumed leg");
+    let uninterrupted = run(8, None).expect("uninterrupted run");
+    assert_eq!(resumed.iters, 8);
+    assert_bitwise_equal(&uninterrupted, &resumed, "resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Contract 4b: a corrupt newest snapshot is skipped — resume falls
+/// back to the previous valid one and still reproduces the
+/// uninterrupted run exactly.
+#[test]
+fn corrupt_newest_snapshot_falls_back_and_stays_exact() {
+    let dir = tmpdir("fallback");
+    let ckpt = CheckpointConfig::new(&dir, 2);
+    run_checkpointed(4, &ckpt, false, None).expect("interrupted leg");
+
+    let newest = dir.join("ckpt-00000004.cstf");
+    let text = std::fs::read_to_string(&newest).expect("newest snapshot exists");
+    std::fs::write(&newest, text.replacen("factor", "factoR", 1)).unwrap();
+
+    let resumed = run_checkpointed(8, &ckpt, true, None).expect("resume past corruption");
+    let uninterrupted = run(8, None).expect("uninterrupted run");
+    assert_bitwise_equal(&uninterrupted, &resumed, "corrupt fallback");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Contract 4c: fault injection and checkpoint/resume compose — a
+/// faulted interrupted leg plus a faulted resumed leg still lands
+/// bitwise-exactly on the fault-free uninterrupted run.
+#[test]
+fn faults_and_checkpoint_resume_compose() {
+    let dir = tmpdir("compose");
+    let ckpt = CheckpointConfig::new(&dir, 2);
+    let plan = |seed: u64| FaultPlan::parse(&format!("seed={seed},launch=1.0,max=2")).unwrap();
+    let first = run_checkpointed(4, &ckpt, false, Some(plan(5))).expect("faulted first leg");
+    assert!(first.recovery.transient_retries >= 1);
+    let resumed = run_checkpointed(8, &ckpt, true, Some(plan(6))).expect("faulted resumed leg");
+    assert!(resumed.recovery.transient_retries >= 1);
+    let uninterrupted = run(8, None).expect("uninterrupted fault-free run");
+    assert_bitwise_equal(&uninterrupted, &resumed, "faults + resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}

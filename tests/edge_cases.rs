@@ -24,7 +24,8 @@ fn run_all_formats(x: &SparseTensor, rank: usize) -> Vec<f64> {
                 seed: 1,
                 ..Default::default()
             };
-            let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()));
+            let out =
+                Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
             *out.fits.last().unwrap()
         })
         .collect()
@@ -119,7 +120,7 @@ fn rank_exceeding_smallest_mode_stays_stable() {
         seed: 2,
         ..Default::default()
     };
-    let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100()));
+    let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100())).unwrap();
     for f in &out.model.factors {
         assert!(f.all_finite(), "rank-deficient run produced non-finite factors");
         assert!(f.is_nonnegative(1e-12));
@@ -188,7 +189,7 @@ fn extreme_value_magnitudes_stay_finite() {
             seed: 3,
             ..Default::default()
         };
-        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         for f in &out.model.factors {
             assert!(f.all_finite(), "scale {scale} produced non-finite factors");
         }
@@ -238,7 +239,7 @@ fn unused_indices_keep_finite_rows() {
         seed: 4,
         ..Default::default()
     };
-    let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100()));
+    let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::a100())).unwrap();
     let h0 = &out.model.factors[0];
     for i in 0..20 {
         for j in 0..3 {

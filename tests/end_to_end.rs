@@ -29,7 +29,7 @@ fn full_pipeline_produces_nonnegative_improving_model() {
         ..Default::default()
     };
     let dev = Device::new(DeviceSpec::h100());
-    let out = Auntf::new(x, cfg).factorize(&dev);
+    let out = Auntf::new(x, cfg).factorize(&dev).unwrap();
 
     assert!(
         out.fits.windows(2).filter(|w| w[1] < w[0] - 1e-6).count() <= 1,
@@ -56,7 +56,7 @@ fn all_formats_and_updates_cross_product_agree_on_quality() {
             seed: 3,
             ..Default::default()
         };
-        let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100()));
+        let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100())).unwrap();
         fits.push(*out.fits.last().unwrap());
     }
     for f in &fits[1..] {
@@ -77,7 +77,7 @@ fn catalog_tensors_factorize_on_every_device() {
             ..Default::default()
         };
         let dev = Device::new(spec);
-        let out = Auntf::new(x.clone(), cfg).factorize(&dev);
+        let out = Auntf::new(x.clone(), cfg).factorize(&dev).unwrap();
         assert_eq!(out.iters, 3);
         assert!(dev.total_seconds() > 0.0);
     }
@@ -100,7 +100,7 @@ fn update_schemes_all_reach_comparable_fits() {
             seed: 7,
             ..Default::default()
         };
-        let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let out = Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         results.push((name, *out.fits.last().unwrap()));
     }
     let best = results.iter().map(|&(_, f)| f).fold(f64::NEG_INFINITY, f64::max);
@@ -125,7 +125,7 @@ fn l1_constraint_yields_sparser_model_than_nonneg() {
             seed: 9,
             ..Default::default()
         };
-        Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100()))
+        Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap()
     };
     let zeros = |out: &cstf_core::auntf::FactorizeOutput| {
         out.model.factors.iter().flat_map(|f| f.as_slice()).filter(|&&v| v.abs() < 1e-12).count()
@@ -148,7 +148,7 @@ fn device_profile_accounts_every_phase_once_per_run() {
         ..Default::default()
     };
     let dev = Device::new(DeviceSpec::a100());
-    Auntf::new(x.clone(), cfg).factorize(&dev);
+    Auntf::new(x.clone(), cfg).factorize(&dev).unwrap();
 
     // 2 outer iters x 3 modes = 6 MTTKRP launches.
     assert_eq!(dev.phase_totals(Phase::Mttkrp).launches, 6);
@@ -176,8 +176,8 @@ fn frostt_roundtrip_preserves_factorization_input() {
         seed: 5,
         ..Default::default()
     };
-    let a = Auntf::new(x, cfg.clone()).factorize(&Device::new(DeviceSpec::h100()));
-    let b = Auntf::new(back, cfg).factorize(&Device::new(DeviceSpec::h100()));
+    let a = Auntf::new(x, cfg.clone()).factorize(&Device::new(DeviceSpec::h100())).unwrap();
+    let b = Auntf::new(back, cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
     for (fa, fb) in a.fits.iter().zip(&b.fits) {
         assert!((fa - fb).abs() < 1e-9, "roundtrip changed the factorization");
     }

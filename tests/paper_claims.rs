@@ -89,7 +89,7 @@ fn claim_cuadmm_beats_generic_admm() {
         let mut h = factors[0].clone();
         let mut u = Mat::zeros(h.rows(), h.cols());
         let mut ws = AdmmWorkspace::new(h.rows(), h.cols());
-        admm_update(&dev, cfg, &m, &s, &mut h, &mut u, &mut ws);
+        admm_update(&dev, cfg, &m, &s, &mut h, &mut u, &mut ws).unwrap();
         dev.phase_totals(Phase::Update).seconds
     };
 

@@ -77,7 +77,7 @@ proptest! {
             seed,
             ..Default::default()
         };
-        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()));
+        let out = Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap();
         for fit in &out.fits {
             prop_assert!(*fit <= 1.0 + 1e-9, "fit {fit} exceeds 1");
             prop_assert!(fit.is_finite());
@@ -134,7 +134,7 @@ proptest! {
             let mut h = f[0].clone();
             let mut u = Mat::zeros(h.rows(), h.cols());
             let mut ws = AdmmWorkspace::new(h.rows(), h.cols());
-            let stats = admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws);
+            let stats = admm_update(&dev, &cfg, &m, &s, &mut h, &mut u, &mut ws).unwrap();
             (h, u, stats.iters)
         };
         let (ha, ua, ia) = run(false);
@@ -161,7 +161,7 @@ proptest! {
                 seed,
                 ..Default::default()
             };
-            Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100()))
+            Auntf::new(x.clone(), cfg).factorize(&Device::new(DeviceSpec::a100())).unwrap()
         };
         let a = run(false);
         let b = run(true);

@@ -35,7 +35,7 @@ fn reference_run() -> cstf_core::auntf::FactorizeOutput {
         format: cstf_core::TensorFormat::Blco,
         ..Default::default()
     };
-    cstf_core::Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100()))
+    cstf_core::Auntf::new(x, cfg).factorize(&Device::new(DeviceSpec::h100())).unwrap()
 }
 
 #[test]
@@ -126,6 +126,45 @@ fn four_artifacts_round_trip_and_match_the_solver() {
     assert!(value("cstf_flops_total") > 0.0);
     assert!(value("cstf_bytes_total") > 0.0);
     assert_eq!(value("cstf_kernel_modeled_ns_count"), value("cstf_launches_total"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_faults_round_trip_through_the_artifacts() {
+    let dir = telemetry_dir("faults");
+    let d = dir.to_str().unwrap().to_string();
+    cli(&[
+        "factorize",
+        "--dataset",
+        "Uber",
+        "--nnz",
+        "2000",
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--faults",
+        "seed=1,launch=1.0,max=2",
+        "--telemetry",
+        &d,
+    ]);
+
+    // metrics.prom: total and per-kind fault counters.
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom written");
+    let samples = parse_prometheus(&prom).expect("exposition format parses");
+    let value = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
+    assert_eq!(value("cstf_faults_injected_total"), Some(2.0), "{prom}");
+    assert_eq!(value("cstf_fault_transient_launch_total"), Some(2.0), "{prom}");
+
+    // trace.json: one fault instant per injection, on the fault track.
+    let trace = std::fs::read_to_string(dir.join("trace.json")).expect("trace.json written");
+    let parsed: serde_json::Value = serde_json::from_str(&trace).expect("trace is valid JSON");
+    let events = parsed.as_array().expect("trace is an array");
+    let fault_instants: Vec<_> =
+        events.iter().filter(|e| e["cat"] == "fault" && e["ph"] == "i").collect();
+    assert_eq!(fault_instants.len(), 2, "one instant per injected fault");
+    assert!(fault_instants.iter().all(|e| e["name"] == "fault_transient_launch"));
 
     let _ = std::fs::remove_dir_all(&dir);
 }

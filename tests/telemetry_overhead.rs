@@ -22,7 +22,7 @@ fn run_once(x: &SparseTensor) -> f64 {
     let auntf = Auntf::new(x.clone(), cfg);
     let dev = Device::new(DeviceSpec::h100());
     let t0 = std::time::Instant::now();
-    auntf.factorize(&dev);
+    auntf.factorize(&dev).unwrap();
     t0.elapsed().as_secs_f64()
 }
 

@@ -86,7 +86,7 @@ fn allocs_for(max_iters: usize, format: TensorFormat, admm: AdmmConfig) -> usize
     let auntf = Auntf::new(x, config(max_iters, format, admm));
     let dev = Device::new(DeviceSpec::h100());
     let before = ALLOCS.load(Ordering::SeqCst);
-    let out = auntf.factorize(&dev);
+    let out = auntf.factorize(&dev).unwrap();
     let after = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(out.iters, max_iters, "run must not stop early");
     after - before
