@@ -8,7 +8,7 @@ use cstf_core::hybrid::{recommend_placement, Placement, WorkloadShape};
 use cstf_core::{
     Auntf, AuntfConfig, CheckpointConfig, Constraint, HalsConfig, MuConfig, UpdateMethod,
 };
-use cstf_device::{Device, DeviceSpec, Phase, RunCapture};
+use cstf_device::{Device, DeviceGroup, DeviceSpec, FaultPlan, LinkModel, Phase, RunCapture};
 use cstf_telemetry::{convergence, spans, IterationRecord, RunSummary};
 use cstf_tensor::SparseTensor;
 
@@ -96,6 +96,11 @@ pub fn help_text() -> String {
        --trace FILE         write a chrome://tracing kernel timeline\n\
        --telemetry DIR      write run.json, events.jsonl, trace.json and\n\
                             metrics.prom into DIR (then: cstf report DIR)\n\
+     \n\
+     MULTI-GPU (factorize):\n\
+       --gpus N             shard across N simulated devices   (default 1)\n\
+       --nvlink GBS         interconnect bandwidth in GB/s     (default 300)\n\
+                            factors are bitwise-identical to --gpus 1\n\
      \n\
      FAULT TOLERANCE (factorize):\n\
        --faults SPEC        inject seeded device faults, e.g.\n\
@@ -230,6 +235,24 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if resume && ckpt_cfg.is_none() {
         return Err(ArgError::MissingOption("checkpoint (required by --resume)").into());
     }
+    let gpus = p.parse_or("gpus", 1usize, "integer")?;
+    let nvlink_gbs = p.parse_or("nvlink", 300.0f64, "number")?;
+    if gpus > 1 {
+        return cmd_factorize_sharded(
+            x,
+            cfg,
+            spec,
+            fault_plan,
+            ckpt_cfg,
+            resume,
+            trace_path,
+            telemetry_dir,
+            gpus,
+            nvlink_gbs,
+            p.has_flag("json"),
+            out,
+        );
+    }
     // Retain per-kernel records only when an artifact consumer needs them.
     let mut dev = if trace_path.is_some() || telemetry_dir.is_some() {
         Device::with_records(spec.clone())
@@ -283,6 +306,8 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             "fits": result.fits,
             "final_fit": result.fits.last(),
             "lambda": result.model.lambda.clone(),
+            "factor_checksum": factor_checksum(&result.model),
+            "gpus": 1,
             "wall_seconds": wall,
             "modeled_seconds": dev.total_seconds(),
             "measured_seconds": dev.total_measured_seconds(),
@@ -351,6 +376,236 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         };
         let iterations = result.convergence.records();
         write_telemetry_artifacts(dir, &summary, &iterations, &capture, &span_records, &spec)?;
+        eprintln!("[telemetry artifacts written to {dir}; render with `cstf report {dir}`]");
+    }
+    Ok(())
+}
+
+/// FNV-1a over the factor and weight bit patterns — two runs produce the
+/// same checksum iff their models are bitwise-identical. The CI smoke
+/// check compares this field between `--gpus 1` and `--gpus 4` runs.
+fn factor_checksum(model: &cstf_tensor::Ktensor) -> String {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let feed = |h: &mut u64, bits: u64| {
+        for b in bits.to_le_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for f in &model.factors {
+        for &v in f.as_slice() {
+            feed(&mut h, v.to_bits());
+        }
+    }
+    for &v in &model.lambda {
+        feed(&mut h, v.to_bits());
+    }
+    format!("{h:016x}")
+}
+
+/// The `--gpus N` execution path: builds a homogeneous [`DeviceGroup`]
+/// joined by an NVLink-modeled interconnect and runs the sharded
+/// factorization. Fault injection (`--faults`) targets device 0.
+#[allow(clippy::too_many_arguments)]
+fn cmd_factorize_sharded(
+    x: SparseTensor,
+    cfg: AuntfConfig,
+    spec: DeviceSpec,
+    fault_plan: Option<FaultPlan>,
+    ckpt_cfg: Option<CheckpointConfig>,
+    resume: bool,
+    trace_path: Option<String>,
+    telemetry_dir: Option<String>,
+    gpus: usize,
+    nvlink_gbs: f64,
+    json: bool,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let record = trace_path.is_some() || telemetry_dir.is_some();
+    let devices: Vec<Device> = (0..gpus)
+        .map(|d| {
+            let dev =
+                if record { Device::with_records(spec.clone()) } else { Device::new(spec.clone()) };
+            match (&fault_plan, d) {
+                (Some(plan), 0) => dev.with_fault_plan(plan.clone()),
+                _ => dev,
+            }
+        })
+        .collect();
+    let link = LinkModel { bandwidth_gbs: nvlink_gbs, latency_us: 10.0 };
+    let group = DeviceGroup::new(devices, link);
+    if telemetry_dir.is_some() {
+        spans::clear();
+        cstf_telemetry::set_spans_enabled(true);
+    }
+
+    let shape = x.shape().to_vec();
+    let nnz = x.nnz();
+    let rank = cfg.rank;
+    let t0 = std::time::Instant::now();
+    let auntf = Auntf::new(x, cfg);
+    let result = match &ckpt_cfg {
+        Some(cc) => auntf.factorize_sharded_checkpointed(&group, cc, resume)?,
+        None => auntf.factorize_sharded(&group)?,
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    let span_records = if telemetry_dir.is_some() {
+        cstf_telemetry::set_spans_enabled(false);
+        spans::drain()
+    } else {
+        Vec::new()
+    };
+
+    if let Some(path) = &trace_path {
+        let per_dev: Vec<Vec<cstf_device::KernelRecord>> =
+            group.devices().iter().map(|d| d.records()).collect();
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Input(format!("cannot create trace file {path}: {e}")))?;
+        cstf_device::write_multi_device_trace(
+            &per_dev,
+            &span_records,
+            std::io::BufWriter::new(file),
+        )
+        .map_err(|e| CliError::Input(format!("trace write failed: {e}")))?;
+        eprintln!("[multi-device chrome trace written to {path}; one pid per gpu]");
+    }
+
+    // Modeled time across the group: devices run concurrently, so the
+    // iteration finishes when the slowest device does.
+    let modeled = group.devices().iter().map(|d| d.total_seconds()).fold(0.0, f64::max);
+    let rec = &result.recovery;
+    if json {
+        let recovery_json = serde_json::json!({
+            "clean": rec.is_clean(),
+            "transient_retries": rec.transient_retries,
+            "nan_events": rec.nan_events,
+            "cholesky_retries": rec.cholesky_retries,
+            "transfer_retries": rec.transfer_retries,
+            "degraded_to_unfused": rec.degraded_to_unfused,
+        });
+        let devices_json = group
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(d, dev)| {
+                let phases = dev
+                    .phases()
+                    .iter()
+                    .map(|(ph, t)| {
+                        serde_json::json!({"phase": ph.label(), "seconds": t.seconds, "launches": t.launches})
+                    })
+                    .collect::<Vec<_>>();
+                serde_json::json!({
+                    "gpu": d,
+                    "modeled_seconds": dev.total_seconds(),
+                    "collective_bytes": dev.phase_totals(Phase::Transfer).bytes,
+                    "phases": phases,
+                })
+            })
+            .collect::<Vec<_>>();
+        let report = serde_json::json!({
+            "recovery": recovery_json,
+            "shape": shape.clone(),
+            "nnz": nnz,
+            "rank": rank,
+            "iterations": result.iters,
+            "converged": result.converged,
+            "fits": result.fits,
+            "final_fit": result.fits.last(),
+            "lambda": result.model.lambda.clone(),
+            "factor_checksum": factor_checksum(&result.model),
+            "gpus": gpus,
+            "nvlink_gbs": nvlink_gbs,
+            "wall_seconds": wall,
+            "modeled_seconds": modeled,
+            "device": spec.name,
+            "devices": devices_json,
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&report).unwrap())
+            .map_err(|e| CliError::Input(e.to_string()))?;
+    } else {
+        let mut w = |s: String| writeln!(out, "{s}").map_err(|e| CliError::Input(e.to_string()));
+        w(format!("tensor {shape:?}, nnz {nnz}"))?;
+        w(format!(
+            "sharded across {gpus} simulated {} devices (link {nvlink_gbs} GB/s)",
+            spec.name
+        ))?;
+        w(format!("rank {rank}, {} iterations, converged: {}", result.iters, result.converged))?;
+        if !rec.is_clean() {
+            w(format!(
+                "recovery: {} launch retries, {} transfer retries, {} NaN events, \
+                 {} Cholesky retries{}",
+                rec.transient_retries,
+                rec.transfer_retries,
+                rec.nan_events,
+                rec.cholesky_retries,
+                if rec.degraded_to_unfused { ", degraded to unfused ADMM" } else { "" }
+            ))?;
+        }
+        if let Some(fit) = result.fits.last() {
+            w(format!("final fit: {fit:.6}"))?;
+        }
+        w(format!("wall time: {wall:.3}s, modeled group time: {modeled:.3e}s"))?;
+        for (d, dev) in group.devices().iter().enumerate() {
+            let mttkrp = dev.phase_totals(Phase::Mttkrp);
+            let coll = dev.phase_totals(Phase::Transfer);
+            w(format!(
+                "  gpu{d}: total {:>10.3e}s  MTTKRP {:>10.3e}s ({} launches)  collectives {:.2e} B",
+                dev.total_seconds(),
+                mttkrp.seconds,
+                mttkrp.launches,
+                coll.bytes
+            ))?;
+        }
+    }
+
+    // Telemetry artifacts: summary/metrics come from device 0 (the fault
+    // target and fit device); the trace interleaves every device.
+    if let Some(dir) = &telemetry_dir {
+        let captures: Vec<RunCapture> = group.devices().iter().map(|d| d.take_run()).collect();
+        let summary = RunSummary {
+            schema_version: cstf_telemetry::summary::SCHEMA_VERSION,
+            system: format!("cstf-cli x{gpus}"),
+            device: spec.name.to_string(),
+            shape,
+            nnz: nnz as u64,
+            rank: rank as u32,
+            iterations: result.iters as u32,
+            converged: result.converged,
+            fits: result.fits.clone(),
+            final_fit: result.fits.last().copied(),
+            wall_s: wall,
+            modeled_s: modeled,
+            measured_s: captures.iter().map(|c| c.total_measured_seconds()).sum(),
+            transfer_s: captures[0].phase(Phase::Transfer).seconds,
+            phases: cstf_device::phase_summaries(&captures[0]),
+        };
+        let iterations = result.convergence.records();
+        let root = std::path::Path::new(dir);
+        std::fs::create_dir_all(root)
+            .map_err(|e| CliError::Input(format!("cannot create telemetry dir {dir}: {e}")))?;
+        let io_err = |name: &str| {
+            let name = name.to_string();
+            move |e: std::io::Error| CliError::Input(format!("telemetry artifact {name}: {e}"))
+        };
+        std::fs::write(root.join("run.json"), summary.to_json_pretty())
+            .map_err(io_err("run.json"))?;
+        let events =
+            std::fs::File::create(root.join("events.jsonl")).map_err(io_err("events.jsonl"))?;
+        convergence::write_jsonl(&iterations, std::io::BufWriter::new(events))
+            .map_err(io_err("events.jsonl"))?;
+        let trace = std::fs::File::create(root.join("trace.json")).map_err(io_err("trace.json"))?;
+        let per_dev: Vec<Vec<cstf_device::KernelRecord>> =
+            captures.iter().map(|c| c.records.clone()).collect();
+        cstf_device::write_multi_device_trace(
+            &per_dev,
+            &span_records,
+            std::io::BufWriter::new(trace),
+        )
+        .map_err(io_err("trace.json"))?;
+        let prom = cstf_device::registry_from_capture(&captures[0], &spec).to_prometheus();
+        std::fs::write(root.join("metrics.prom"), prom).map_err(io_err("metrics.prom"))?;
         eprintln!("[telemetry artifacts written to {dir}; render with `cstf report {dir}`]");
     }
     Ok(())
@@ -791,6 +1046,94 @@ mod tests {
         let uv: serde_json::Value = serde_json::from_str(&uninterrupted).unwrap();
         assert_eq!(rv["fits"], uv["fits"], "resumed run must replay identically");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gpus_flag_produces_bitwise_identical_factors() {
+        let base = [
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--json",
+        ];
+        let mut one: Vec<&str> = base.to_vec();
+        one.extend(["--gpus", "1"]);
+        let mut four: Vec<&str> = base.to_vec();
+        four.extend(["--gpus", "4"]);
+        let v1: serde_json::Value = serde_json::from_str(&run(&one).unwrap()).unwrap();
+        let v4: serde_json::Value = serde_json::from_str(&run(&four).unwrap()).unwrap();
+        assert_eq!(v1["fits"], v4["fits"], "fit history must match bitwise");
+        assert_eq!(
+            v1["factor_checksum"], v4["factor_checksum"],
+            "factor bits must be identical across group sizes"
+        );
+        assert_eq!(v4["gpus"], 4);
+        assert_eq!(v4["devices"].as_array().unwrap().len(), 4);
+        for dev in v4["devices"].as_array().unwrap() {
+            assert!(dev["collective_bytes"].as_f64().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sharded_text_report_lists_every_device() {
+        let out = run(&[
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--gpus",
+            "2",
+            "--nvlink",
+            "600",
+        ])
+        .unwrap();
+        assert!(out.contains("sharded across 2"), "{out}");
+        assert!(out.contains("gpu0:") && out.contains("gpu1:"), "{out}");
+        assert!(out.contains("final fit:"), "{out}");
+    }
+
+    #[test]
+    fn sharded_trace_gives_each_device_its_own_pid() {
+        let dir = std::env::temp_dir().join("cstf_cli_mgpu_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        run(&[
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--gpus",
+            "3",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid trace JSON");
+        let events = v.as_array().unwrap();
+        for pid in [1u64, 2, 3] {
+            assert!(
+                events.iter().any(|e| e["pid"] == pid && e["name"] == "mttkrp_shard"),
+                "no shard MTTKRP events for pid {pid}"
+            );
+        }
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -117,7 +117,7 @@ pub struct FactorizeOutput {
     pub recovery: RecoveryReport,
 }
 
-enum Source {
+pub(crate) enum Source {
     Sparse(SparseTensor),
     Dense(DenseTensor),
 }
@@ -137,9 +137,9 @@ enum Engine {
 /// The alternating-update driver, holding the tensor and its compiled
 /// MTTKRP engine.
 pub struct Auntf {
-    source: Source,
+    pub(crate) source: Source,
     engine: Engine,
-    cfg: AuntfConfig,
+    pub(crate) cfg: AuntfConfig,
 }
 
 impl Auntf {
@@ -364,7 +364,7 @@ impl Auntf {
     /// available it enables SPLATT's fit shortcut:
     /// `<X, model> = sum_{i,r} lambda_r * H[i,r] * M[i,r]` — an `O(I R)`
     /// reduction instead of an `O(nnz R)` sparse traversal.
-    fn fit(
+    pub(crate) fn fit(
         &self,
         dev: &Device,
         factors: &[Mat],
@@ -486,7 +486,7 @@ impl Auntf {
     /// tensor/rank/seed/scheme is rejected instead of silently corrupting
     /// results. Deliberately excludes `max_iters`, so a resumed run may
     /// extend the iteration budget.
-    fn fingerprint(&self) -> String {
+    pub(crate) fn fingerprint(&self) -> String {
         let dims: Vec<String> = self.shape().iter().map(|d| d.to_string()).collect();
         format!(
             "shape={} nnz={} rank={} seed={} update={} format={:?}",
@@ -971,11 +971,11 @@ impl Auntf {
 
 /// Modeled exponential backoff for the `attempt`-th retry (1-based).
 /// Simulated time only — never slept.
-fn backoff_s(policy: &RecoveryPolicy, attempt: u32) -> f64 {
+pub(crate) fn backoff_s(policy: &RecoveryPolicy, attempt: u32) -> f64 {
     policy.backoff_base_s * f64::powi(2.0, attempt.min(20) as i32 - 1)
 }
 
-fn transfer_with_retry(
+pub(crate) fn transfer_with_retry(
     dev: &Device,
     name: &'static str,
     bytes: f64,

@@ -56,6 +56,7 @@ pub mod multi_gpu;
 pub mod presets;
 pub mod prox;
 pub mod recovery;
+pub mod sharded;
 
 pub use admm::{admm_update, blocked_admm_update, AdmmConfig, AdmmStats, AdmmWorkspace};
 pub use auntf::{Auntf, AuntfConfig, FactorizeOutput, TensorFormat, UpdateMethod};

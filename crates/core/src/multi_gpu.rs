@@ -18,6 +18,8 @@
 //!    Strong-scaling efficiency degrades exactly where real multi-GPU CP
 //!    codes report it: small tensors become launch/communication-bound.
 
+use rayon::prelude::*;
+
 use cstf_device::{Device, DeviceSpec};
 use cstf_linalg::Mat;
 
@@ -58,19 +60,21 @@ pub struct MultiGpuEstimate {
     pub efficiency: f64,
 }
 
-/// Splits row count `rows` into `parts` near-equal contiguous partitions.
+/// Splits row count `rows` into exactly `parts` contiguous partitions whose
+/// sizes differ by at most one (the remainder is spread over the leading
+/// partitions; trailing partitions may be empty when `parts > rows`), so
+/// `devices.iter().zip(&partitions)` never silently idles a device and the
+/// largest partition is a tight `ceil(rows / parts)`.
 pub fn row_partitions(rows: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     let parts = parts.max(1);
-    let chunk = rows.div_ceil(parts).max(1);
-    let mut out = Vec::new();
+    let base = rows / parts;
+    let extra = rows % parts;
+    let mut out = Vec::with_capacity(parts);
     let mut start = 0;
-    while start < rows {
-        let end = (start + chunk).min(rows);
-        out.push(start..end);
-        start = end;
-    }
-    if out.is_empty() {
-        out.push(0..0);
+    for j in 0..parts {
+        let len = base + usize::from(j < extra);
+        out.push(start..start + len);
+        start += len;
     }
     out
 }
@@ -85,8 +89,11 @@ pub fn row_partitions(rows: usize, parts: usize) -> Vec<std::ops::Range<usize>> 
 /// this).
 ///
 /// # Errors
-/// Propagates the first [`AdmmError`](crate::recovery::AdmmError) from any
-/// partition; rows owned by later partitions are then left unmodified.
+/// Propagates the lowest-partition-index
+/// [`AdmmError`](crate::recovery::AdmmError); `h` and `u` are then left
+/// entirely unmodified (all partitions are staged into private blocks and
+/// committed only after every partition succeeds), so a recovery retry
+/// re-enters with pristine state and replays bit for bit.
 pub fn partitioned_admm_update(
     devices: &[Device],
     cfg: &AdmmConfig,
@@ -95,29 +102,67 @@ pub fn partitioned_admm_update(
     h: &mut Mat,
     u: &mut Mat,
 ) -> Result<Vec<AdmmStats>, crate::recovery::AdmmError> {
+    let parts = row_partitions(m.rows(), devices.len());
+    partitioned_admm_update_ranges(devices, cfg, &parts, m, s, h, u)
+}
+
+/// [`partitioned_admm_update`] over caller-chosen row `ranges` (one per
+/// device; must be disjoint and in-bounds). Partitions run concurrently on
+/// the rayon pool, each metered on its own device; outputs are staged and
+/// committed only after all partitions succeed.
+///
+/// # Errors
+/// Returns the lowest-partition-index error with `h`/`u` untouched.
+///
+/// # Panics
+/// Panics if `devices` is empty, `ranges.len() != devices.len()`, or
+/// `cfg.tol != 0.0`.
+pub fn partitioned_admm_update_ranges(
+    devices: &[Device],
+    cfg: &AdmmConfig,
+    ranges: &[std::ops::Range<usize>],
+    m: &Mat,
+    s: &Mat,
+    h: &mut Mat,
+    u: &mut Mat,
+) -> Result<Vec<AdmmStats>, crate::recovery::AdmmError> {
     assert!(!devices.is_empty(), "at least one device required");
+    assert_eq!(devices.len(), ranges.len(), "one row range per device");
     assert!(
         cfg.tol == 0.0,
         "partitioned ADMM requires fixed iterations (tol = 0); residual-based \
          early exit would need a global all-reduce per inner iteration"
     );
-    let (rows, rank) = (m.rows(), m.cols());
-    let parts = row_partitions(rows, devices.len());
+    let rank = m.cols();
 
-    let mut stats = Vec::with_capacity(parts.len());
-    for (dev, range) in devices.iter().zip(&parts) {
-        let take = |src: &Mat| {
-            let mut block = Mat::zeros(range.len(), rank);
-            for (bi, i) in range.clone().enumerate() {
-                block.row_mut(bi).copy_from_slice(src.row(i));
-            }
-            block
-        };
-        let m_blk = take(m);
-        let mut h_blk = take(h);
-        let mut u_blk = take(u);
-        let mut ws = AdmmWorkspace::new(range.len(), rank);
-        stats.push(admm_update(dev, cfg, &m_blk, s, &mut h_blk, &mut u_blk, &mut ws)?);
+    let staged: Vec<Result<(AdmmStats, Mat, Mat), crate::recovery::AdmmError>> = devices
+        .par_iter()
+        .zip(ranges.par_iter())
+        .map(|(dev, range)| {
+            let take = |src: &Mat| {
+                let mut block = Mat::zeros(range.len(), rank);
+                for (bi, i) in range.clone().enumerate() {
+                    block.row_mut(bi).copy_from_slice(src.row(i));
+                }
+                block
+            };
+            let m_blk = take(m);
+            let mut h_blk = take(h);
+            let mut u_blk = take(u);
+            let mut ws = AdmmWorkspace::new(range.len(), rank);
+            let stats = admm_update(dev, cfg, &m_blk, s, &mut h_blk, &mut u_blk, &mut ws)?;
+            Ok((stats, h_blk, u_blk))
+        })
+        .collect();
+
+    let mut stats = Vec::with_capacity(staged.len());
+    let mut blocks = Vec::with_capacity(staged.len());
+    for result in staged {
+        let (st, h_blk, u_blk) = result?;
+        stats.push(st);
+        blocks.push((h_blk, u_blk));
+    }
+    for (range, (h_blk, u_blk)) in ranges.iter().zip(&blocks) {
         for (bi, i) in range.clone().enumerate() {
             h.row_mut(i).copy_from_slice(h_blk.row(bi));
             u.row_mut(i).copy_from_slice(u_blk.row(bi));
@@ -148,7 +193,9 @@ pub fn multi_gpu_iteration_time(
 
     // Communication per mode: all-gather of the updated factor block
     // (each GPU sends its I_n/g x R block to g-1 peers; ring all-gather
-    // moves (g-1)/g of the full factor per GPU), plus an R^2 all-reduce.
+    // moves (g-1)/g of the full factor per GPU), plus a ring all-reduce of
+    // the R^2 Gram, which moves 2(g-1)/g of the buffer per GPU
+    // (reduce-scatter + all-gather phases).
     let rank = w.rank as f64;
     let comm_s: f64 = if mg.n_gpus <= 1 {
         0.0
@@ -158,7 +205,7 @@ pub fn multi_gpu_iteration_time(
             .map(|&i_n| {
                 let factor_bytes = i_n as f64 * rank * 8.0;
                 let allgather = (g - 1.0) / g * factor_bytes / (mg.nvlink_gbs * 1e9);
-                let allreduce = 2.0 * (rank * rank * 8.0) / (mg.nvlink_gbs * 1e9);
+                let allreduce = 2.0 * (g - 1.0) / g * (rank * rank * 8.0) / (mg.nvlink_gbs * 1e9);
                 2.0 * mg.collective_latency_us * 1e-6 + allgather + allreduce
             })
             .sum()
@@ -181,6 +228,32 @@ mod tests {
         cstf_linalg::hadamard_in_place(&mut s, &gram::gram(&f[2]));
         let m = cstf_linalg::matmul(&f[0], &s);
         (m, s, f.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn row_partitions_spread_the_remainder() {
+        // Regression: the old ceil-chunking gave 4/4/2 for (10, 3); balanced
+        // partitioning gives 4/3/3.
+        assert_eq!(row_partitions(10, 3), vec![0..4, 4..7, 7..10]);
+        for (rows, parts) in [(10, 3), (100, 7), (1000, 13), (7, 7), (63, 8)] {
+            let p = row_partitions(rows, parts);
+            let min = p.iter().map(|r| r.len()).min().unwrap();
+            let max = p.iter().map(|r| r.len()).max().unwrap();
+            assert!(max - min <= 1, "rows {rows} parts {parts}: sizes {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn row_partitions_always_return_exactly_parts_ranges() {
+        // Regression: the old code returned only 5 ranges for (5, 8),
+        // silently idling devices zipped against the partition list.
+        let p = row_partitions(5, 8);
+        assert_eq!(p.len(), 8);
+        assert_eq!(&p[..5], &[0..1, 1..2, 2..3, 3..4, 4..5]);
+        assert!(p[5..].iter().all(|r| r.is_empty()), "{p:?}");
+        for (rows, parts) in [(5, 8), (0, 4), (1, 3), (10, 3), (64, 1)] {
+            assert_eq!(row_partitions(rows, parts).len(), parts, "rows {rows} parts {parts}");
+        }
     }
 
     #[test]
@@ -224,6 +297,52 @@ mod tests {
     }
 
     #[test]
+    fn faulted_partition_leaves_state_untouched_and_retry_is_bitwise_exact() {
+        use cstf_device::FaultPlan;
+
+        let (m, s, h0) = problem(120, 6);
+        let cfg = AdmmConfig { tol: 0.0, inner_iters: 8, ..AdmmConfig::cuadmm() };
+
+        // Fault-free single-device reference.
+        let dev = Device::new(DeviceSpec::h100());
+        let mut h_ref = h0.clone();
+        let mut u_ref = Mat::zeros(120, 6);
+        let mut ws = AdmmWorkspace::new(120, 6);
+        admm_update(&dev, &cfg, &m, &s, &mut h_ref, &mut u_ref, &mut ws).unwrap();
+
+        // Four devices; device 2's first fallible launch faults, then its
+        // budget is exhausted and every later draw is clean.
+        let plan = FaultPlan { launch_fault_rate: 1.0, max_faults: 1, ..FaultPlan::quiet(7) };
+        let devices: Vec<Device> = (0..4)
+            .map(|d| {
+                let dev = Device::new(DeviceSpec::h100());
+                if d == 2 {
+                    dev.with_fault_plan(plan.clone())
+                } else {
+                    dev
+                }
+            })
+            .collect();
+
+        let mut h = h0.clone();
+        let mut u = Mat::zeros(120, 6);
+        let err = partitioned_admm_update(&devices, &cfg, &m, &s, &mut h, &mut u)
+            .expect_err("partition 2 must fault");
+        assert!(matches!(err, crate::recovery::AdmmError::Fault(_)), "{err:?}");
+        // Regression: the pre-fix commit-as-you-go wrote partitions 0 and 1
+        // into h/u before partition 2 failed, poisoning the retry.
+        assert_eq!(h, h0, "h must be untouched after a partition fault");
+        assert_eq!(u, Mat::zeros(120, 6), "u must be untouched after a partition fault");
+
+        // Retry on the same (now fault-exhausted) devices replays the
+        // fault-free result bit for bit.
+        let stats = partitioned_admm_update(&devices, &cfg, &m, &s, &mut h, &mut u).unwrap();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(h, h_ref, "retry after partition failure must be bitwise exact");
+        assert_eq!(u, u_ref);
+    }
+
+    #[test]
     #[should_panic(expected = "fixed iterations")]
     fn early_exit_config_is_rejected() {
         let (m, s, h0) = problem(50, 4);
@@ -262,6 +381,72 @@ mod tests {
         assert!(efficiencies.windows(2).all(|w| w[1] <= w[0] + 1e-2), "{efficiencies:?}");
         // NELL1-scale factorization should scale well to 4 GPUs.
         assert!(efficiencies[2] > 0.5, "4-GPU efficiency too low: {efficiencies:?}");
+    }
+
+    #[test]
+    fn ring_allreduce_term_scales_with_group_size() {
+        // Regression: the pre-fix model charged a flat 2*R^2*8 bytes for the
+        // Gram all-reduce regardless of g; a ring all-reduce moves
+        // 2(g-1)/g of the buffer per device.
+        let w = big_workload();
+        let spec = DeviceSpec::h100();
+        for g in [2usize, 4, 8] {
+            let mg = MultiGpuConfig::dgx(g);
+            let est = multi_gpu_iteration_time(&w, &spec, &mg);
+            let gf = g as f64;
+            let rank = w.rank as f64;
+            let want: f64 = w
+                .shape
+                .iter()
+                .map(|&i_n| {
+                    let bw = mg.nvlink_gbs * 1e9;
+                    let allgather = (gf - 1.0) / gf * (i_n as f64 * rank * 8.0) / bw;
+                    let allreduce = 2.0 * (gf - 1.0) / gf * (rank * rank * 8.0) / bw;
+                    2.0 * mg.collective_latency_us * 1e-6 + allgather + allreduce
+                })
+                .sum();
+            assert!(
+                (est.comm_s - want).abs() <= 1e-12 * want.max(1.0),
+                "g={g}: comm {} != ring closed form {}",
+                est.comm_s,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_nvlink_bandwidth() {
+        let w = big_workload();
+        let spec = DeviceSpec::h100();
+        let mut prev = f64::INFINITY;
+        for gbs in [50.0, 150.0, 300.0, 600.0, 1200.0] {
+            let mg = MultiGpuConfig { n_gpus: 4, nvlink_gbs: gbs, collective_latency_us: 10.0 };
+            let est = multi_gpu_iteration_time(&w, &spec, &mg);
+            assert!(est.total_s < prev, "total_s must decrease as nvlink_gbs grows ({gbs} GB/s)");
+            prev = est.total_s;
+        }
+    }
+
+    #[test]
+    fn estimate_approaches_compute_bound_as_comm_vanishes() {
+        // With rank 1, zero collective latency, and fat links, g * R^2 -> 0
+        // makes the collective terms negligible against MTTKRP compute.
+        let w = WorkloadShape {
+            shape: vec![4_000, 3_000, 2_000],
+            nnz: 80_000_000,
+            rank: 1,
+            inner_iters: 10,
+            format: TensorFormat::Blco,
+        };
+        let mg = MultiGpuConfig { n_gpus: 2, nvlink_gbs: 900.0, collective_latency_us: 0.0 };
+        let est = multi_gpu_iteration_time(&w, &DeviceSpec::h100(), &mg);
+        assert!(est.comm_s > 0.0, "two GPUs still communicate");
+        assert!(
+            est.comm_s / est.total_s < 1e-3,
+            "comm fraction {} should vanish as g * R^2 -> 0",
+            est.comm_s / est.total_s
+        );
+        assert!((est.total_s - est.compute_s) / est.total_s < 1e-3);
     }
 
     #[test]

@@ -1,0 +1,940 @@
+//! Executed multi-device sharded factorization.
+//!
+//! Runs the full AO-ADMM loop of [`Auntf`] across a [`DeviceGroup`]: the
+//! tensor is sharded per output mode into nnz-balanced row blocks (one
+//! shard per device, compiled into the configured format), each device
+//! executes the MTTKRP for its own rows, the partitioned ADMM update runs
+//! one partition per device, and the factor all-gather plus Gram
+//! all-reduce stitch the modes back together through the group's modeled
+//! ring collectives.
+//!
+//! **Exactness.** The sharded run is bitwise-identical to the
+//! single-device [`Auntf::factorize`]:
+//!
+//! * MTTKRP — device `d` owns every nonzero whose output-mode index falls
+//!   in its row block, so its output rows accumulate exactly the global
+//!   contributions; the formats' traversal orders restrict cleanly to row
+//!   subsets (content-based orders for CSF root modes and key-partitioned
+//!   ALTO; serial kernel regimes for the rest — see DESIGN.md §11).
+//! * ADMM — rows are independent given the shared `M` rows and `S`
+//!   (fixed-iteration mode), so the stage-and-commit partitioned update
+//!   equals the unpartitioned one at any partition sizes.
+//! * Gram — every device computes the *same* global chunk partials the
+//!   single-device kernel would, and [`DeviceGroup::all_reduce_mat`]
+//!   reduces them with the same pairwise halving tree.
+//! * Normalize / Hadamard — replicated `R x R`-scale compute, executed
+//!   once and charged to every device.
+//!
+//! The sharded fault surface is transfers, MTTKRP, and ADMM (the Gram
+//! partial and replicated launches use the infallible path); recovery
+//! mirrors the single-device ladder, with the partitioned update's staging
+//! standing in for snapshots — a faulted mode update leaves `H`/`U`
+//! untouched, so the retry replays from clean state.
+
+use std::ops::Range;
+
+use cstf_device::{Device, DeviceGroup, KernelClass, KernelCost, Phase};
+use cstf_formats::{
+    extract_mode_rows, nnz_balanced_ranges, Alto, Blco, Csf, HiCoo, MttkrpWorkspace,
+    TrafficEstimate,
+};
+use cstf_linalg::{
+    gram_accumulate_range, gram_chunk_count, gram_mirror, hadamard_of_grams_into,
+    normalize_columns_scratch, LinalgError, Mat, NormKind,
+};
+use cstf_telemetry::{ConvergenceLog, Span};
+use cstf_tensor::{Ktensor, SparseTensor};
+use rayon::prelude::*;
+
+use crate::auntf::{
+    backoff_s, seeded_factors, transfer_with_retry, Auntf, FactorizeOutput, Source, TensorFormat,
+    UpdateMethod,
+};
+use crate::checkpoint::{self, BatchState, BatchView, CheckpointConfig};
+use crate::multi_gpu::{partitioned_admm_update_ranges, row_partitions};
+use crate::recovery::{AdmmError, FactorizeError, RecoveryPolicy, RecoveryReport};
+
+/// One device's slice of the tensor for one output mode: the owned row
+/// block, the extracted sub-tensor, and its compiled MTTKRP engine.
+struct Shard {
+    coo: SparseTensor,
+    engine: ShardEngine,
+}
+
+enum ShardEngine {
+    /// No nonzeros in the row block — the zeroed output buffer is exact.
+    Empty,
+    /// Use `Shard::coo` directly.
+    Coo,
+    Csf(Csf),
+    CsfOne(Csf),
+    HiCoo(HiCoo),
+    Alto(Alto),
+    Blco(Blco),
+}
+
+fn compile_shard(x: &SparseTensor, mode: usize, rows: Range<usize>, format: TensorFormat) -> Shard {
+    let coo = extract_mode_rows(x, mode, &rows);
+    let engine = if coo.nnz() == 0 {
+        ShardEngine::Empty
+    } else {
+        match format {
+            TensorFormat::Coo => ShardEngine::Coo,
+            TensorFormat::Csf => ShardEngine::Csf(Csf::from_coo(&coo, mode)),
+            // Same tree shape as the single-device ONEMODE engine (rooted
+            // at mode 0), restricted to the shard's nonzeros.
+            TensorFormat::CsfOne => ShardEngine::CsfOne(Csf::from_coo(&coo, 0)),
+            TensorFormat::HiCoo => ShardEngine::HiCoo(HiCoo::from_coo(&coo)),
+            TensorFormat::Alto => ShardEngine::Alto(Alto::from_coo(&coo)),
+            TensorFormat::Blco => ShardEngine::Blco(Blco::from_coo(&coo)),
+        }
+    };
+    Shard { coo, engine }
+}
+
+/// Device-memory bytes of one shard (drives the per-device h2d transfer).
+fn shard_bytes(shard: &Shard, nmodes: usize) -> f64 {
+    match &shard.engine {
+        ShardEngine::Empty => 0.0,
+        ShardEngine::Coo => (shard.coo.nnz() * (nmodes * 4 + 8)) as f64,
+        ShardEngine::Csf(t) | ShardEngine::CsfOne(t) => t.storage_bytes() as f64,
+        ShardEngine::HiCoo(h) => h.storage_bytes() as f64,
+        ShardEngine::Alto(a) => a.storage_bytes() as f64,
+        ShardEngine::Blco(b) => b.storage_bytes() as f64,
+    }
+}
+
+fn shard_traffic(
+    shard: &Shard,
+    shape: &[usize],
+    mode: usize,
+    rank: usize,
+) -> (TrafficEstimate, KernelClass) {
+    match &shard.engine {
+        ShardEngine::Empty => unreachable!("empty shards are not launched"),
+        ShardEngine::Coo => (
+            cstf_formats::coordinate_mttkrp_traffic(
+                shard.coo.nnz(),
+                shape,
+                mode,
+                rank,
+                (shape.len() * 4) as f64,
+            ),
+            KernelClass::SparseGather,
+        ),
+        ShardEngine::Csf(t) => (t.mttkrp_traffic(rank), KernelClass::SparseGather),
+        ShardEngine::CsfOne(t) => (t.mttkrp_any_traffic(mode, rank), KernelClass::SparseGather),
+        ShardEngine::HiCoo(h) => (h.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+        ShardEngine::Alto(a) => (a.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+        ShardEngine::Blco(b) => (b.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+    }
+}
+
+/// Per-device shard MTTKRP with the recovery policy applied (the sharded
+/// analogue of `mttkrp_guarded`): transient faults retry with modeled
+/// backoff, NaN-corrupted panels recompute. Returns the device's local
+/// recovery tally for merging into the run report.
+#[allow(clippy::too_many_arguments)]
+fn shard_mttkrp_guarded(
+    dev: &Device,
+    shard: &Shard,
+    shape: &[usize],
+    factors: &[Mat],
+    mode: usize,
+    rank: usize,
+    out: &mut Mat,
+    ws: &mut MttkrpWorkspace,
+    policy: &RecoveryPolicy,
+    outer: usize,
+) -> Result<RecoveryReport, FactorizeError> {
+    let mut local = RecoveryReport::default();
+    if matches!(shard.engine, ShardEngine::Empty) {
+        // The buffer was zeroed at allocation and no kernel ever writes
+        // it, so its rows are exactly the (all-zero) global MTTKRP rows.
+        return Ok(local);
+    }
+    let (traffic, class) = shard_traffic(shard, shape, mode, rank);
+    let cost = KernelCost {
+        flops: traffic.flops,
+        bytes_read: traffic.bytes_read,
+        bytes_written: traffic.bytes_written,
+        gather_traffic: traffic.gather_bytes,
+        parallel_work: traffic.parallel_work,
+        serial_steps: 1.0,
+        working_set: traffic.working_set,
+    };
+    let mut attempts = 0u32;
+    loop {
+        let res = dev.launch_into(
+            "mttkrp_shard",
+            Phase::Mttkrp,
+            class,
+            cost,
+            out,
+            Mat::as_mut_slice,
+            |out| match &shard.engine {
+                ShardEngine::Coo => {
+                    cstf_formats::mttkrp_coo_parallel_into(&shard.coo, factors, mode, out, ws)
+                }
+                ShardEngine::Csf(t) => t.mttkrp_into(factors, out, ws),
+                ShardEngine::CsfOne(t) => t.mttkrp_any_into(factors, mode, out, ws),
+                ShardEngine::HiCoo(h) => h.mttkrp_into(factors, mode, out, ws),
+                ShardEngine::Alto(a) => a.mttkrp_into(factors, mode, out, ws),
+                ShardEngine::Blco(b) => b.mttkrp_into(factors, mode, out, ws),
+                ShardEngine::Empty => unreachable!("empty shards are not launched"),
+            },
+        );
+        match res {
+            Ok(()) => {
+                if policy.nan_guard && !out.all_finite() {
+                    local.nan_events += 1;
+                    attempts += 1;
+                    if attempts > policy.max_retries {
+                        return Err(FactorizeError::NonFinite {
+                            stage: "mttkrp",
+                            mode,
+                            outer_iter: outer,
+                        });
+                    }
+                    continue;
+                }
+                return Ok(local);
+            }
+            Err(fault) => {
+                attempts += 1;
+                if attempts > policy.max_retries {
+                    return Err(FactorizeError::Fault { fault, attempts });
+                }
+                local.transient_retries += 1;
+                local.total_backoff_s += backoff_s(policy, attempts);
+            }
+        }
+    }
+}
+
+fn merge_report(into: &mut RecoveryReport, from: &RecoveryReport) {
+    into.transient_retries += from.transient_retries;
+    into.nan_events += from.nan_events;
+    into.cholesky_retries += from.cholesky_retries;
+    into.transfer_retries += from.transfer_retries;
+    into.degraded_to_unfused |= from.degraded_to_unfused;
+    into.total_backoff_s += from.total_backoff_s;
+}
+
+/// Sharded Gram: the single-device chunk layout is replicated over the
+/// full (gathered) factor, contiguous chunk runs are assigned to devices,
+/// each device computes its chunks' partials, and the group all-reduces
+/// the chunk buffers with the exact association of
+/// `PartialBuffers::reduce_into` — bitwise-identical to `gram_into` for
+/// any group size.
+fn sharded_gram_into(group: &DeviceGroup, h: &Mat, out: &mut Mat, chunk_bufs: &mut Vec<Vec<f64>>) {
+    let (rows, r) = (h.rows(), h.cols());
+    out.as_mut_slice().fill(0.0);
+    if r == 0 {
+        return;
+    }
+    let nchunks = gram_chunk_count(rows, r);
+    let chunk = rows.div_ceil(nchunks).max(1);
+    if chunk_bufs.len() < nchunks {
+        chunk_bufs.resize(nchunks, Vec::new());
+    }
+    for buf in chunk_bufs.iter_mut().take(nchunks) {
+        buf.clear();
+        buf.resize(r * r, 0.0);
+    }
+
+    let assign = row_partitions(nchunks, group.len());
+    let mut pieces: Vec<&mut [Vec<f64>]> = Vec::with_capacity(group.len());
+    let mut rest = &mut chunk_bufs[..nchunks];
+    for rng in &assign {
+        let (piece, tail) = rest.split_at_mut(rng.len());
+        pieces.push(piece);
+        rest = tail;
+    }
+    group.devices().par_iter().zip(assign.par_iter()).zip(pieces.into_par_iter()).for_each(
+        |((dev, rng), piece)| {
+            let rows_d: usize =
+                rng.clone().map(|c| ((c + 1) * chunk).min(rows).saturating_sub(c * chunk)).sum();
+            if rows_d == 0 {
+                return;
+            }
+            dev.launch(
+                "gram_syrk_partial",
+                Phase::Gram,
+                KernelClass::Gemm,
+                KernelCost {
+                    flops: (rows_d * r * r) as f64,
+                    bytes_read: (rows_d * r) as f64 * 8.0,
+                    bytes_written: (rng.len() * r * r) as f64 * 8.0,
+                    gather_traffic: 0.0,
+                    parallel_work: (rows_d * r) as f64,
+                    serial_steps: 1.0,
+                    working_set: (rows_d * r) as f64 * 8.0,
+                },
+                || {
+                    for (buf, c) in piece.iter_mut().zip(rng.clone()) {
+                        let start = c * chunk;
+                        let end = ((c + 1) * chunk).min(rows);
+                        if start < end {
+                            gram_accumulate_range(h, start..end, buf);
+                        }
+                    }
+                },
+            );
+        },
+    );
+    group.all_reduce_mat("allreduce_gram", &mut chunk_bufs[..nchunks], r * r, out.as_mut_slice());
+    gram_mirror(out);
+}
+
+/// Hadamard-of-Grams as replicated compute (cost formulas match
+/// `Auntf::hadamard_grams_into`).
+fn hadamard_replicated(group: &DeviceGroup, grams: &[Mat], skip: usize, out: &mut Mat) {
+    let rank = out.cols();
+    let n = grams.len() as f64;
+    group.replicated(
+        "hadamard_of_grams",
+        Phase::Gram,
+        KernelClass::Stream,
+        KernelCost {
+            flops: (n - 1.0) * (rank * rank) as f64,
+            bytes_read: n * (rank * rank) as f64 * 8.0,
+            bytes_written: (rank * rank) as f64 * 8.0,
+            gather_traffic: 0.0,
+            parallel_work: (rank * rank) as f64,
+            serial_steps: 1.0,
+            working_set: n * (rank * rank) as f64 * 8.0,
+        },
+        || hadamard_of_grams_into(grams, skip, out),
+    );
+}
+
+/// Column normalization as replicated compute (cost formulas match
+/// `Auntf::normalize`).
+fn normalize_replicated(
+    group: &DeviceGroup,
+    h: &mut Mat,
+    lambda: &mut [f64],
+    norm: NormKind,
+    scratch: &mut Vec<f64>,
+) {
+    let elems = (h.rows() * h.cols()) as f64;
+    group.replicated(
+        "normalize_columns",
+        Phase::Normalize,
+        KernelClass::Stream,
+        KernelCost {
+            flops: 3.0 * elems,
+            bytes_read: 2.0 * elems * 8.0,
+            bytes_written: elems * 8.0,
+            gather_traffic: 0.0,
+            parallel_work: elems,
+            serial_steps: 1.0,
+            working_set: elems * 8.0,
+        },
+        || {
+            lambda.fill(1.0);
+            normalize_columns_scratch(h, lambda, norm, scratch);
+        },
+    );
+}
+
+/// Assembles the full MTTKRP output from the per-device panels. Each
+/// device's rows are local to it (its ADMM partition is exactly its shard
+/// rows — M-locality), so assembly is free except for the last mode when
+/// the fit needs the whole panel on device 0: that gather is charged as a
+/// real collective.
+fn assemble_m(
+    group: &DeviceGroup,
+    ranges: &[Range<usize>],
+    per_dev: &[Mat],
+    out: &mut Mat,
+    gather_for_fit: bool,
+) {
+    let rank = out.cols();
+    if gather_for_fit {
+        let blocks: Vec<&[f64]> = ranges
+            .iter()
+            .zip(per_dev)
+            .map(|(rng, m)| &m.as_slice()[rng.start * rank..rng.end * rank])
+            .collect();
+        let offsets: Vec<usize> = ranges.iter().map(|rng| rng.start * rank).collect();
+        group.all_gather_rows("mttkrp_allgather", &blocks, &offsets, out.as_mut_slice());
+    } else {
+        for (rng, m) in ranges.iter().zip(per_dev) {
+            out.as_mut_slice()[rng.start * rank..rng.end * rank]
+                .copy_from_slice(&m.as_slice()[rng.start * rank..rng.end * rank]);
+        }
+    }
+}
+
+/// All-gathers the committed factor row blocks (each device produced only
+/// its partition's rows): really moves every block into the scratch copy,
+/// which then becomes the factor.
+fn gather_factor(group: &DeviceGroup, ranges: &[Range<usize>], h: &mut Mat, scratch: &mut Mat) {
+    let rank = h.cols();
+    {
+        let src = h.as_slice();
+        let blocks: Vec<&[f64]> =
+            ranges.iter().map(|rng| &src[rng.start * rank..rng.end * rank]).collect();
+        let offsets: Vec<usize> = ranges.iter().map(|rng| rng.start * rank).collect();
+        group.all_gather_rows("allgather_factor", &blocks, &offsets, scratch.as_mut_slice());
+    }
+    std::mem::swap(h, scratch);
+}
+
+impl Auntf {
+    /// Runs the factorization sharded across a device group, bitwise-
+    /// identical to the single-device [`factorize`](Self::factorize) (see
+    /// the module docs for the exactness argument and format caveats).
+    ///
+    /// # Errors
+    /// [`FactorizeError::InvalidConfig`] for the single-device rejections
+    /// plus dense tensors, non-ADMM update schemes, and residual-based
+    /// early exit (`tol != 0` — a global all-reduce per inner iteration
+    /// would be required); the other variants when the recovery budget is
+    /// exhausted.
+    pub fn factorize_sharded(
+        &self,
+        group: &DeviceGroup,
+    ) -> Result<FactorizeOutput, FactorizeError> {
+        self.run_sharded(group, None)
+    }
+
+    /// Like [`factorize_sharded`](Self::factorize_sharded) with the
+    /// checkpoint/resume behavior of
+    /// [`factorize_checkpointed`](Self::factorize_checkpointed). The
+    /// snapshot fingerprint is device-count independent, so sharded and
+    /// single-device runs resume each other's snapshots interchangeably.
+    ///
+    /// # Errors
+    /// As [`factorize_sharded`](Self::factorize_sharded), plus
+    /// [`FactorizeError::Checkpoint`] for snapshot I/O failures or a
+    /// fingerprint mismatch on resume.
+    pub fn factorize_sharded_checkpointed(
+        &self,
+        group: &DeviceGroup,
+        ckpt: &CheckpointConfig,
+        resume: bool,
+    ) -> Result<FactorizeOutput, FactorizeError> {
+        self.run_sharded(group, Some((ckpt, resume)))
+    }
+
+    fn run_sharded(
+        &self,
+        group: &DeviceGroup,
+        ckpt: Option<(&CheckpointConfig, bool)>,
+    ) -> Result<FactorizeOutput, FactorizeError> {
+        let shape = self.shape();
+        let rank = self.cfg.rank;
+        let nmodes = shape.len();
+        let g = group.len();
+        let policy = self.cfg.recovery;
+        let mut report = RecoveryReport::default();
+
+        if rank == 0 {
+            return Err(FactorizeError::InvalidConfig("rank must be at least 1".into()));
+        }
+        if nmodes == 0 {
+            return Err(FactorizeError::InvalidConfig("tensor must have at least one mode".into()));
+        }
+        if self.nnz() == 0 {
+            return Err(FactorizeError::InvalidConfig(
+                "tensor has no stored values (empty tensor)".into(),
+            ));
+        }
+        let x = match &self.source {
+            Source::Sparse(x) => x,
+            Source::Dense(_) => {
+                return Err(FactorizeError::InvalidConfig(
+                    "sharded factorization requires a sparse tensor".into(),
+                ))
+            }
+        };
+        let admm_cfg = match &self.cfg.update {
+            UpdateMethod::Admm(c) if c.tol == 0.0 => *c,
+            UpdateMethod::Admm(_) => {
+                return Err(FactorizeError::InvalidConfig(
+                    "sharded factorization requires fixed ADMM inner iterations (tol = 0); \
+                     residual-based early exit would need a global all-reduce per inner iteration"
+                        .into(),
+                ))
+            }
+            _ => {
+                return Err(FactorizeError::InvalidConfig(
+                    "sharded factorization supports only the ADMM update scheme".into(),
+                ))
+            }
+        };
+
+        // Same fingerprint as the single-device path: snapshots are
+        // interchangeable between group sizes.
+        let fingerprint = self.fingerprint();
+        let restored: Option<BatchState> = match ckpt {
+            Some((cc, true)) => checkpoint::load_latest_batch(&cc.dir, &fingerprint)
+                .map_err(|e| FactorizeError::Checkpoint(e.to_string()))?,
+            _ => None,
+        };
+        let (mut factors, mut lambda, mut fits, mut duals, start_iter) = match restored {
+            Some(st) => {
+                if st.factors.len() != nmodes || st.lambda.len() != rank {
+                    return Err(FactorizeError::Checkpoint(format!(
+                        "snapshot shape mismatch: {} factor(s), lambda of {}",
+                        st.factors.len(),
+                        st.lambda.len()
+                    )));
+                }
+                (st.factors, st.lambda, st.fits, st.duals, st.completed_iters)
+            }
+            None => (
+                seeded_factors(&shape, rank, self.cfg.seed),
+                vec![1.0f64; rank],
+                Vec::with_capacity(self.cfg.max_iters),
+                shape.iter().map(|&d| Mat::zeros(d, rank)).collect(),
+                0,
+            ),
+        };
+
+        // Shard every mode: nnz-balanced row blocks, one compiled shard
+        // per (mode, device).
+        let mode_ranges: Vec<Vec<Range<usize>>> =
+            (0..nmodes).map(|m| nnz_balanced_ranges(x, m, g)).collect();
+        let shards: Vec<Vec<Shard>> = (0..nmodes)
+            .map(|m| {
+                mode_ranges[m]
+                    .iter()
+                    .map(|rng| compile_shard(x, m, rng.clone(), self.cfg.format))
+                    .collect()
+            })
+            .collect();
+
+        // One-time transfers, per device: its shards plus a full replica
+        // of the factors.
+        let factor_bytes: f64 = factors.iter().map(|f| f.len() as f64 * 8.0).sum();
+        for (d, dev) in group.devices().iter().enumerate() {
+            let tensor_bytes: f64 =
+                shards.iter().map(|per_mode| shard_bytes(&per_mode[d], nmodes)).sum();
+            transfer_with_retry(dev, "h2d_tensor", tensor_bytes, &policy, &mut report)?;
+            transfer_with_retry(dev, "h2d_factors", factor_bytes, &policy, &mut report)?;
+        }
+
+        // Persistent loop state.
+        let mut chunk_bufs: Vec<Vec<f64>> = Vec::new();
+        let mut grams: Vec<Mat> = vec![Mat::zeros(rank, rank); nmodes];
+        for (gm, h) in grams.iter_mut().zip(&factors) {
+            sharded_gram_into(group, h, gm, &mut chunk_bufs);
+        }
+        let mut mtt_ws: Vec<MttkrpWorkspace> = (0..g).map(|_| MttkrpWorkspace::new()).collect();
+        let mut m_dev: Vec<Vec<Mat>> =
+            shape.iter().map(|&d| (0..g).map(|_| Mat::zeros(d, rank)).collect()).collect();
+        let mut m_full: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
+        let mut gathered: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
+        let mut s = Mat::zeros(rank, rank);
+        let mut had = Mat::zeros(rank, rank);
+        let mut norm_scratch: Vec<f64> = Vec::new();
+
+        let mut convergence = ConvergenceLog::with_capacity(self.cfg.max_iters, nmodes);
+        let mut converged = false;
+        let mut iters = start_iter;
+        let mut degraded = false;
+        let mut fused_faults_in_a_row = 0u32;
+
+        for outer in start_iter..self.cfg.max_iters {
+            let _iter_span = Span::enter("outer_iteration");
+            iters = outer + 1;
+            let mut last_m: Option<usize> = None;
+            for mode in 0..nmodes {
+                let _mode_span = Span::enter_mode("mode_update", mode);
+                hadamard_replicated(group, &grams, mode, &mut s);
+
+                // Per-device shard MTTKRPs, concurrent across devices.
+                let results: Vec<Result<RecoveryReport, FactorizeError>> = group
+                    .devices()
+                    .par_iter()
+                    .zip(shards[mode].par_iter())
+                    .zip(m_dev[mode].par_iter_mut())
+                    .zip(mtt_ws.par_iter_mut())
+                    .map(|(((dev, shard), out), ws)| {
+                        shard_mttkrp_guarded(
+                            dev, shard, &shape, &factors, mode, rank, out, ws, &policy, outer,
+                        )
+                    })
+                    .collect();
+                let mut first_err = None;
+                for res in results {
+                    match res {
+                        Ok(local) => merge_report(&mut report, &local),
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+
+                let gather_for_fit = self.cfg.compute_fit && mode == nmodes - 1;
+                assemble_m(
+                    group,
+                    &mode_ranges[mode],
+                    &m_dev[mode],
+                    &mut m_full[mode],
+                    gather_for_fit,
+                );
+
+                // Partitioned ADMM, one partition per device. Staging means
+                // any failure leaves H/U untouched — the retry ladder
+                // replays from clean state without snapshots.
+                let mut cfg_now = admm_cfg;
+                if degraded {
+                    cfg_now.single_sweep = false;
+                }
+                let mut attempts = 0u32;
+                let mut rescales = 0u32;
+                let stats = loop {
+                    match partitioned_admm_update_ranges(
+                        group.devices(),
+                        &cfg_now,
+                        &mode_ranges[mode],
+                        &m_full[mode],
+                        &s,
+                        &mut factors[mode],
+                        &mut duals[mode],
+                    ) {
+                        Ok(stats) => {
+                            fused_faults_in_a_row = 0;
+                            break stats;
+                        }
+                        Err(AdmmError::Fault(fault)) => {
+                            if cfg_now.single_sweep && fault.kernel == "fused_inner_sweep" {
+                                fused_faults_in_a_row += 1;
+                                if fused_faults_in_a_row >= policy.fused_fault_threshold {
+                                    degraded = true;
+                                    cfg_now.single_sweep = false;
+                                    report.degraded_to_unfused = true;
+                                }
+                            }
+                            attempts += 1;
+                            if attempts > policy.max_retries {
+                                return Err(FactorizeError::Fault { fault, attempts });
+                            }
+                            report.transient_retries += 1;
+                            report.total_backoff_s += backoff_s(&policy, attempts);
+                        }
+                        Err(AdmmError::Cholesky(error)) => {
+                            rescales += 1;
+                            report.cholesky_retries += 1;
+                            if rescales > policy.max_rho_rescales {
+                                return Err(FactorizeError::Cholesky {
+                                    error,
+                                    mode,
+                                    rescales: rescales - 1,
+                                });
+                            }
+                            match error.source {
+                                LinalgError::NonFinite => {
+                                    report.nan_events += 1;
+                                    hadamard_replicated(group, &grams, mode, &mut s);
+                                }
+                                LinalgError::NotPositiveDefinite { .. } => {
+                                    cfg_now.rho_scale *= policy.rho_rescale;
+                                }
+                            }
+                        }
+                        Err(AdmmError::NonFinite { .. }) => {
+                            return Err(FactorizeError::NonFinite {
+                                stage: "admm_update",
+                                mode,
+                                outer_iter: outer,
+                            });
+                        }
+                    }
+                };
+                // Partition 0's stats stand in for the mode (residuals are
+                // per-partition; factors/fits stay exact regardless).
+                let lead = &stats[0];
+                convergence.log_mode(
+                    mode,
+                    lead.iters,
+                    Some(lead.primal_residual),
+                    Some(lead.dual_residual),
+                    Some(lead.rho),
+                );
+
+                gather_factor(group, &mode_ranges[mode], &mut factors[mode], &mut gathered[mode]);
+                normalize_replicated(
+                    group,
+                    &mut factors[mode],
+                    &mut lambda,
+                    self.cfg.norm,
+                    &mut norm_scratch,
+                );
+                sharded_gram_into(group, &factors[mode], &mut grams[mode], &mut chunk_bufs);
+                if mode == nmodes - 1 {
+                    last_m = Some(mode);
+                }
+            }
+
+            let mut iter_fit = None;
+            let mut stop = false;
+            if self.cfg.compute_fit {
+                let fit = self.fit(
+                    group.device(0),
+                    &factors,
+                    &lambda,
+                    &grams,
+                    last_m.map(|mode| (&m_full[mode], mode)),
+                    &mut had,
+                );
+                iter_fit = Some(fit);
+                let improved = fits.last().map_or(f64::INFINITY, |&p| fit - p);
+                fits.push(fit);
+                if self.cfg.fit_tol > 0.0 && improved.abs() < self.cfg.fit_tol {
+                    converged = true;
+                    stop = true;
+                }
+            }
+            convergence.end_iteration(iter_fit);
+            for dev in group.devices() {
+                dev.mark("outer_iteration");
+            }
+
+            if let Some((cc, _)) = ckpt {
+                if (outer + 1) % cc.every == 0 || stop || outer + 1 == self.cfg.max_iters {
+                    checkpoint::save_batch(
+                        &cc.dir,
+                        &BatchView {
+                            fingerprint: &fingerprint,
+                            completed_iters: outer + 1,
+                            lambda: &lambda,
+                            fits: &fits,
+                            factors: &factors,
+                            duals: &duals,
+                        },
+                    )
+                    .map_err(|e| FactorizeError::Checkpoint(e.to_string()))?;
+                }
+            }
+            if stop {
+                break;
+            }
+        }
+
+        // Results back to the host: each device returns its own rows.
+        for (d, dev) in group.devices().iter().enumerate() {
+            let bytes: f64 =
+                mode_ranges.iter().map(|per_dev| (per_dev[d].len() * rank * 8) as f64).sum();
+            transfer_with_retry(dev, "d2h_factors", bytes, &policy, &mut report)?;
+        }
+
+        Ok(FactorizeOutput {
+            model: Ktensor::new(factors, lambda),
+            iters,
+            fits,
+            converged,
+            convergence,
+            recovery: report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admm::AdmmConfig;
+    use crate::auntf::AuntfConfig;
+    use crate::mu::MuConfig;
+    use cstf_device::{DeviceSpec, FaultPlan};
+    use cstf_tensor::DenseTensor;
+
+    fn planted(shape: &[usize], nnz: usize, rank: usize, seed: u64) -> SparseTensor {
+        let truth = Ktensor::from_factors(seeded_factors(shape, rank, seed ^ 0xABCD));
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = vec![Vec::new(); shape.len()];
+        let mut vals = Vec::new();
+        while vals.len() < nnz {
+            let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+            if !seen.insert(c.clone()) {
+                continue;
+            }
+            vals.push(truth.value_at(&c).max(1e-6));
+            for (m, &ci) in c.iter().enumerate() {
+                idx[m].push(ci);
+            }
+        }
+        SparseTensor::new(shape.to_vec(), idx, vals)
+    }
+
+    fn cfg(format: TensorFormat) -> AuntfConfig {
+        AuntfConfig { rank: 3, max_iters: 4, seed: 11, format, ..Default::default() }
+    }
+
+    fn assert_bitwise_eq(a: &FactorizeOutput, b: &FactorizeOutput) {
+        assert_eq!(a.fits.len(), b.fits.len());
+        for (x, y) in a.fits.iter().zip(&b.fits) {
+            assert_eq!(x.to_bits(), y.to_bits(), "fit differs: {x} vs {y}");
+        }
+        assert_eq!(a.model.lambda.len(), b.model.lambda.len());
+        for (x, y) in a.model.lambda.iter().zip(&b.model.lambda) {
+            assert_eq!(x.to_bits(), y.to_bits(), "lambda differs: {x} vs {y}");
+        }
+        for (fa, fb) in a.model.factors.iter().zip(&b.model.factors) {
+            assert_eq!(fa.rows(), fb.rows());
+            for (x, y) in fa.as_slice().iter().zip(fb.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "factor entry differs: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_device_bitwise_across_group_sizes() {
+        let x = planted(&[17, 13, 9], 400, 3, 1);
+        let auntf = Auntf::new(x, cfg(TensorFormat::Csf));
+        let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+        for gsize in [1usize, 2, 3, 4, 7] {
+            let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), gsize);
+            let sharded = auntf.factorize_sharded(&group).unwrap();
+            assert_bitwise_eq(&single, &sharded);
+            assert!(sharded.recovery.is_clean());
+        }
+    }
+
+    #[test]
+    fn all_formats_shard_bitwise_exactly() {
+        let x = planted(&[14, 11, 8], 300, 3, 2);
+        for format in [
+            TensorFormat::Coo,
+            TensorFormat::Csf,
+            TensorFormat::CsfOne,
+            TensorFormat::HiCoo,
+            TensorFormat::Alto,
+            TensorFormat::Blco,
+        ] {
+            let auntf = Auntf::new(x.clone(), cfg(format));
+            let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+            let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 3);
+            let sharded = auntf.factorize_sharded(&group).unwrap();
+            assert_bitwise_eq(&single, &sharded);
+        }
+    }
+
+    #[test]
+    fn more_devices_than_rows_still_exact() {
+        // Mode 2 has 4 rows < 7 devices: trailing shards are empty.
+        let x = planted(&[9, 6, 4], 120, 2, 3);
+        let auntf =
+            Auntf::new(x, AuntfConfig { rank: 2, max_iters: 3, seed: 5, ..Default::default() });
+        let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 7);
+        let sharded = auntf.factorize_sharded(&group).unwrap();
+        assert_bitwise_eq(&single, &sharded);
+    }
+
+    #[test]
+    fn per_device_profilers_record_partitioned_work_and_collectives() {
+        let x = planted(&[24, 18, 12], 900, 3, 4);
+        let auntf = Auntf::new(x.clone(), cfg(TensorFormat::Csf));
+        let single_dev = Device::new(DeviceSpec::h100());
+        auntf.factorize(&single_dev).unwrap();
+        let single_mttkrp = single_dev.phase_totals(Phase::Mttkrp);
+
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 4);
+        auntf.factorize_sharded(&group).unwrap();
+        for dev in group.devices() {
+            let mttkrp = dev.phase_totals(Phase::Mttkrp);
+            assert!(mttkrp.flops > 0.0, "every device ran shard MTTKRPs");
+            assert!(
+                mttkrp.flops < single_mttkrp.flops,
+                "per-device MTTKRP work must be a partition of the total"
+            );
+            let transfer = dev.phase_totals(Phase::Transfer);
+            assert!(transfer.bytes > 0.0, "collective traffic must be metered");
+            assert!(dev.phase_totals(Phase::Update).launches > 0);
+            assert!(dev.phase_totals(Phase::Gram).launches > 0);
+        }
+    }
+
+    #[test]
+    fn faulted_device_recovers_bitwise_exactly() {
+        let x = planted(&[15, 12, 9], 350, 3, 6);
+        let auntf = Auntf::new(x, cfg(TensorFormat::Blco));
+        let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+
+        let plan = FaultPlan { launch_fault_rate: 1.0, max_faults: 1, ..FaultPlan::quiet(13) };
+        let devices: Vec<Device> = (0..3)
+            .map(|d| {
+                let dev = Device::new(DeviceSpec::h100());
+                if d == 2 {
+                    dev.with_fault_plan(plan.clone())
+                } else {
+                    dev
+                }
+            })
+            .collect();
+        let group = DeviceGroup::new(devices, cstf_device::LinkModel::nvlink());
+        let sharded = auntf.factorize_sharded(&group).unwrap();
+        assert!(
+            sharded.recovery.transient_retries >= 1,
+            "the injected fault must surface as a retry"
+        );
+        assert_bitwise_eq(&single, &sharded);
+    }
+
+    #[test]
+    fn sharded_resumes_single_device_snapshots_interchangeably() {
+        let dir =
+            std::env::temp_dir().join(format!("cstf-sharded-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let x = planted(&[12, 10, 8], 250, 3, 7);
+        let auntf =
+            Auntf::new(x, AuntfConfig { rank: 3, max_iters: 6, seed: 9, ..Default::default() });
+        let uninterrupted = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+
+        // First leg on a single device, stopping at iteration 3.
+        let short = Auntf::new(
+            match &auntf.source {
+                Source::Sparse(x) => x.clone(),
+                Source::Dense(_) => unreachable!(),
+            },
+            AuntfConfig { max_iters: 3, ..auntf.cfg.clone() },
+        );
+        let ck = CheckpointConfig::new(&dir, 3);
+        short.factorize_checkpointed(&Device::new(DeviceSpec::h100()), &ck, false).unwrap();
+
+        // Resume the remaining iterations sharded across 3 devices.
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 3);
+        let resumed = auntf.factorize_sharded_checkpointed(&group, &ck, true).unwrap();
+        assert_bitwise_eq(&uninterrupted, &resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 2);
+
+        let dense = DenseTensor::from_fn(vec![3, 3], |_| 1.0);
+        let err =
+            Auntf::new_dense(dense, AuntfConfig::default()).factorize_sharded(&group).unwrap_err();
+        assert!(matches!(err, FactorizeError::InvalidConfig(ref m) if m.contains("sparse")));
+
+        let x = planted(&[8, 7, 6], 100, 2, 8);
+        let mu =
+            AuntfConfig { update: UpdateMethod::Mu(MuConfig::default()), ..AuntfConfig::default() };
+        let err = Auntf::new(x.clone(), mu).factorize_sharded(&group).unwrap_err();
+        assert!(matches!(err, FactorizeError::InvalidConfig(ref m) if m.contains("ADMM")));
+
+        let early_exit = AuntfConfig {
+            update: UpdateMethod::Admm(AdmmConfig { tol: 1e-4, ..AdmmConfig::cuadmm() }),
+            ..AuntfConfig::default()
+        };
+        let err = Auntf::new(x, early_exit).factorize_sharded(&group).unwrap_err();
+        assert!(matches!(err, FactorizeError::InvalidConfig(ref m) if m.contains("tol")));
+    }
+}

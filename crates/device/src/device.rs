@@ -185,6 +185,23 @@ impl Device {
         Ok(())
     }
 
+    /// Records this device's participation in a modeled collective (ring
+    /// all-gather / all-reduce): `bytes` moved over the device-to-device
+    /// interconnect and the collective's modeled wall time. The data
+    /// movement itself is performed by the caller on the host threads;
+    /// only the metering happens here (see
+    /// [`DeviceGroup`](crate::group::DeviceGroup)).
+    pub fn collective(&self, name: &'static str, bytes: f64, modeled_s: f64) {
+        self.profiler.lock().record(KernelRecord {
+            name,
+            phase: Phase::Transfer,
+            class: KernelClass::Stream,
+            cost: KernelCost { bytes_read: bytes, ..Default::default() },
+            modeled_s,
+            measured_s: 0.0,
+        });
+    }
+
     /// Records a labeled position (e.g. an outer-iteration boundary) in
     /// the kernel stream. Retained only on record-keeping devices.
     pub fn mark(&self, label: &'static str) {

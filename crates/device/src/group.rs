@@ -1,0 +1,332 @@
+//! Multi-device groups with modeled ring collectives.
+//!
+//! A [`DeviceGroup`] joins N simulated devices behind an NVLink-style
+//! [`LinkModel`]. Its collective primitives really move the data on the
+//! host (so numerics stay exact and testable, like every kernel launch)
+//! while each member device's profiler is charged the *modeled* ring
+//! collective time and per-device traffic:
+//!
+//! - ring all-gather: each device forwards `(g-1)/g` of the full buffer;
+//! - ring all-reduce: reduce-scatter + all-gather, `2(g-1)/g` per device.
+//!
+//! The all-reduce's floating-point association is fixed (a pairwise
+//! halving tree, matching `cstf-linalg`'s partial-buffer reduction), so a
+//! sharded computation that fills the same partial buffers reduces to a
+//! bitwise-identical result regardless of group size.
+
+use crate::cost::{KernelClass, KernelCost};
+use crate::device::Device;
+use crate::profiler::Phase;
+use crate::spec::DeviceSpec;
+
+/// A modeled device-to-device interconnect (NVLink-style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Effective per-direction peer bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-collective software/launch latency, microseconds.
+    pub latency_us: f64,
+}
+
+impl LinkModel {
+    /// NVLink 3 class link: ~300 GB/s effective, 10 µs collective latency
+    /// (matches `MultiGpuConfig::dgx` in the modeled path).
+    pub fn nvlink() -> Self {
+        Self { bandwidth_gbs: 300.0, latency_us: 10.0 }
+    }
+
+    /// An [`LinkModel::nvlink`] link with a different bandwidth.
+    pub fn with_bandwidth(bandwidth_gbs: f64) -> Self {
+        Self { bandwidth_gbs, ..Self::nvlink() }
+    }
+
+    /// Bytes each device moves in a ring all-gather of a `bytes`-sized
+    /// buffer across `g` devices: `(g-1)/g * bytes` (zero when `g <= 1`).
+    pub fn all_gather_bytes(&self, bytes: f64, g: usize) -> f64 {
+        if g <= 1 {
+            0.0
+        } else {
+            (g as f64 - 1.0) / g as f64 * bytes
+        }
+    }
+
+    /// Bytes each device moves in a ring all-reduce (reduce-scatter plus
+    /// all-gather): `2 (g-1)/g * bytes` (zero when `g <= 1`).
+    pub fn all_reduce_bytes(&self, bytes: f64, g: usize) -> f64 {
+        2.0 * self.all_gather_bytes(bytes, g)
+    }
+
+    /// Modeled seconds for a ring all-gather of `bytes` across `g` devices.
+    pub fn all_gather_s(&self, bytes: f64, g: usize) -> f64 {
+        if g <= 1 {
+            0.0
+        } else {
+            self.latency_us * 1e-6 + self.all_gather_bytes(bytes, g) / (self.bandwidth_gbs * 1e9)
+        }
+    }
+
+    /// Modeled seconds for a ring all-reduce of `bytes` across `g` devices.
+    pub fn all_reduce_s(&self, bytes: f64, g: usize) -> f64 {
+        if g <= 1 {
+            0.0
+        } else {
+            self.latency_us * 1e-6 + self.all_reduce_bytes(bytes, g) / (self.bandwidth_gbs * 1e9)
+        }
+    }
+}
+
+/// N simulated devices joined by a modeled interconnect.
+#[derive(Debug)]
+pub struct DeviceGroup {
+    devices: Vec<Device>,
+    link: LinkModel,
+}
+
+impl DeviceGroup {
+    /// A group of caller-built devices.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    pub fn new(devices: Vec<Device>, link: LinkModel) -> Self {
+        assert!(!devices.is_empty(), "a device group needs at least one device");
+        Self { devices, link }
+    }
+
+    /// `n` identical devices of `spec` on an NVLink-class link.
+    pub fn homogeneous(spec: &DeviceSpec, n: usize) -> Self {
+        let devices = (0..n.max(1)).map(|_| Device::new(spec.clone())).collect();
+        Self::new(devices, LinkModel::nvlink())
+    }
+
+    /// Like [`DeviceGroup::homogeneous`] but every device retains kernel
+    /// records (for per-device trace export).
+    pub fn homogeneous_with_records(spec: &DeviceSpec, n: usize) -> Self {
+        let devices = (0..n.max(1)).map(|_| Device::with_records(spec.clone())).collect();
+        Self::new(devices, LinkModel::nvlink())
+    }
+
+    /// Replaces the link model (builder style).
+    pub fn with_link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Always false (construction rejects empty groups).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The member devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// One member device.
+    pub fn device(&self, i: usize) -> &Device {
+        &self.devices[i]
+    }
+
+    /// The interconnect model.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Ring all-gather of per-device row blocks into the full buffer:
+    /// `blocks[d]` is copied to `out[offsets[d] .. offsets[d] + blocks[d].len()]`,
+    /// and every device is charged `(g-1)/g` of the gathered buffer plus the
+    /// ring latency.
+    ///
+    /// # Panics
+    /// Panics if `blocks`/`offsets` lengths disagree with the group or a
+    /// block overruns `out`.
+    pub fn all_gather_rows(
+        &self,
+        name: &'static str,
+        blocks: &[&[f64]],
+        offsets: &[usize],
+        out: &mut [f64],
+    ) {
+        let g = self.len();
+        assert_eq!(blocks.len(), g, "one block per device");
+        assert_eq!(offsets.len(), g, "one offset per device");
+        for (block, &off) in blocks.iter().zip(offsets) {
+            out[off..off + block.len()].copy_from_slice(block);
+        }
+        let total_bytes = out.len() as f64 * 8.0;
+        let modeled_s = self.link.all_gather_s(total_bytes, g);
+        let per_device_bytes = self.link.all_gather_bytes(total_bytes, g);
+        for dev in &self.devices {
+            dev.collective(name, per_device_bytes, modeled_s);
+        }
+    }
+
+    /// Ring all-reduce of per-device partial buffers: sums
+    /// `bufs[0..][..len]` into `out[..len]` (accumulating — zero `out`
+    /// first for a plain sum) with a pairwise halving tree whose
+    /// floating-point association matches `cstf-linalg`'s
+    /// `PartialBuffers::reduce_into`, then charges every device
+    /// `2(g-1)/g` of the buffer plus the ring latency.
+    ///
+    /// `bufs` may hold more than one partial per device (the caller assigns
+    /// contiguous runs of partials to devices); the modeled traffic covers
+    /// one `len`-sized buffer per ring step regardless.
+    ///
+    /// # Panics
+    /// Panics if `bufs` is empty or any buffer is shorter than `len`.
+    pub fn all_reduce_mat(
+        &self,
+        name: &'static str,
+        bufs: &mut [Vec<f64>],
+        len: usize,
+        out: &mut [f64],
+    ) {
+        assert!(!bufs.is_empty(), "all_reduce_mat needs at least one partial buffer");
+        let mut live = bufs.len();
+        while live > 1 {
+            let half = live / 2;
+            let keep_len = live - half;
+            let (keep, fold) = bufs[..live].split_at_mut(keep_len);
+            let dsts = &mut keep[keep_len - half..];
+            for (dst, src) in dsts.iter_mut().zip(fold.iter()) {
+                for (d, &s) in dst[..len].iter_mut().zip(&src[..len]) {
+                    *d += s;
+                }
+            }
+            live -= half;
+        }
+        for (o, &b) in out[..len].iter_mut().zip(&bufs[0][..len]) {
+            *o += b;
+        }
+
+        let g = self.len();
+        let bytes = len as f64 * 8.0;
+        let modeled_s = self.link.all_reduce_s(bytes, g);
+        let per_device_bytes = self.link.all_reduce_bytes(bytes, g);
+        for dev in &self.devices {
+            dev.collective(name, per_device_bytes, modeled_s);
+        }
+    }
+
+    /// Runs `body` once on device 0 (metered there) and charges every other
+    /// device an identical launch without re-running the body — the data-
+    /// parallel pattern for replicated compute (each device would perform
+    /// the same `R x R`-scale work on its own copy).
+    pub fn replicated<T>(
+        &self,
+        name: &'static str,
+        phase: Phase,
+        class: KernelClass,
+        cost: KernelCost,
+        body: impl FnOnce() -> T,
+    ) -> T {
+        let out = self.devices[0].launch(name, phase, class, cost, body);
+        for dev in &self.devices[1..] {
+            dev.launch(name, phase, class, cost, || ());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: usize) -> DeviceGroup {
+        DeviceGroup::homogeneous(&DeviceSpec::h100(), n)
+    }
+
+    #[test]
+    fn all_gather_moves_blocks_and_meters_every_device() {
+        let g = group(3);
+        let b0 = vec![1.0, 2.0];
+        let b1 = vec![3.0, 4.0, 5.0];
+        let b2 = vec![6.0];
+        let mut out = vec![0.0; 6];
+        g.all_gather_rows("allgather_factor", &[&b0, &b1, &b2], &[0, 2, 5], &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        for dev in g.devices() {
+            let t = dev.phase_totals(Phase::Transfer);
+            assert_eq!(t.launches, 1);
+            assert!(t.seconds > 0.0, "collective time must be charged");
+            assert!((t.bytes - 2.0 / 3.0 * 48.0).abs() < 1e-9, "ring traffic is (g-1)/g");
+        }
+    }
+
+    #[test]
+    fn all_reduce_uses_the_pairwise_halving_tree() {
+        let g = group(3);
+        let mk = |v: f64| vec![v, v * 0.5];
+        let mut bufs = vec![mk(0.1), mk(0.2), mk(0.3)];
+        let mut out = vec![0.0; 2];
+        g.all_reduce_mat("allreduce_gram", &mut bufs, 2, &mut out);
+        // Tree for 3 buffers: b1 += b2, then b0 += b1, then out += b0 —
+        // association (b0 + (b1 + b2)), NOT a left fold.
+        let want0: f64 = 0.0 + (0.1 + (0.2 + 0.3));
+        let want1: f64 = 0.0 + (0.05 + (0.1 + 0.15));
+        assert_eq!(out[0].to_bits(), want0.to_bits());
+        assert_eq!(out[1].to_bits(), want1.to_bits());
+        for dev in g.devices() {
+            let t = dev.phase_totals(Phase::Transfer);
+            assert_eq!(t.launches, 1);
+            assert!((t.bytes - 2.0 * 2.0 / 3.0 * 16.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_device_collectives_are_free() {
+        let g = group(1);
+        let mut bufs = vec![vec![1.0, 2.0]];
+        let mut out = vec![0.0; 2];
+        g.all_reduce_mat("allreduce_gram", &mut bufs, 2, &mut out);
+        let block = [5.0, 6.0];
+        g.all_gather_rows("allgather_factor", &[&block], &[0], &mut out);
+        assert_eq!(out, vec![5.0, 6.0]);
+        let t = g.device(0).phase_totals(Phase::Transfer);
+        assert_eq!(t.launches, 2);
+        assert_eq!(t.seconds, 0.0, "g = 1 moves nothing over the link");
+        assert_eq!(t.bytes, 0.0);
+    }
+
+    #[test]
+    fn replicated_runs_body_once_but_meters_everyone() {
+        let g = group(4);
+        let mut runs = 0;
+        let cost = KernelCost { flops: 64.0, parallel_work: 64.0, ..Default::default() };
+        let v = g.replicated("hadamard_of_grams", Phase::Gram, KernelClass::Stream, cost, || {
+            runs += 1;
+            7
+        });
+        assert_eq!((v, runs), (7, 1));
+        for dev in g.devices() {
+            assert_eq!(dev.phase_totals(Phase::Gram).launches, 1);
+            assert!(dev.total_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn link_model_scales_with_group_size_and_bandwidth() {
+        let link = LinkModel::nvlink();
+        let bytes = 1e9;
+        assert_eq!(link.all_gather_s(bytes, 1), 0.0);
+        assert_eq!(link.all_reduce_s(bytes, 1), 0.0);
+        let t2 = link.all_reduce_s(bytes, 2);
+        let t4 = link.all_reduce_s(bytes, 4);
+        let t8 = link.all_reduce_s(bytes, 8);
+        assert!(t2 < t4 && t4 < t8, "ring volume grows with (g-1)/g");
+        let fat = LinkModel::with_bandwidth(600.0);
+        assert!(fat.all_reduce_s(bytes, 4) < t4, "more bandwidth, less time");
+        // (g-1)/g approaches 1: per-device volume is bounded by the buffer.
+        assert!(link.all_gather_bytes(bytes, 1000) < bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_groups_are_rejected() {
+        DeviceGroup::new(Vec::new(), LinkModel::nvlink());
+    }
+}

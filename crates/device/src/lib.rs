@@ -49,6 +49,7 @@ pub mod cost;
 pub mod device;
 pub mod export;
 pub mod fault;
+pub mod group;
 pub mod profiler;
 pub mod spec;
 pub mod trace;
@@ -57,8 +58,11 @@ pub use cost::{kernel_time, transfer_time, KernelClass, KernelCost};
 pub use device::Device;
 pub use export::{phase_summaries, registry_from_capture};
 pub use fault::{DeviceFault, FaultKind, FaultPlan};
+pub use group::{DeviceGroup, LinkModel};
 pub use profiler::{
     FaultRecord, KernelRecord, MarkRecord, Phase, PhaseTotals, Profiler, RunCapture,
 };
 pub use spec::{DeviceKind, DeviceSpec};
-pub use trace::{write_chrome_trace, write_full_trace, write_trace_events};
+pub use trace::{
+    write_chrome_trace, write_full_trace, write_multi_device_trace, write_trace_events,
+};

@@ -77,6 +77,43 @@ pub fn write_full_trace<W: Write>(
     writeln!(w, "{text}")
 }
 
+/// Serializes a multi-device run: device `d`'s kernels (and their counter
+/// tracks) render under process `d + 1`, named `gpu<d>` through process
+/// metadata, each with the usual per-phase timeline tracks; host-side
+/// telemetry spans render under one further process after the last device.
+/// One trace pid per device is the contract the sharded factorization
+/// driver exposes (DESIGN.md §11).
+pub fn write_multi_device_trace<W: Write>(
+    records_per_device: &[Vec<KernelRecord>],
+    spans: &[SpanRecord],
+    mut w: W,
+) -> std::io::Result<()> {
+    let mut events = Vec::new();
+    for (d, records) in records_per_device.iter().enumerate() {
+        let pid = d as u32 + 1;
+        let args = json!({ "name": format!("gpu{d}") });
+        events.push(json!({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": args,
+        }));
+        events.extend(complete_events_pid(records, pid));
+        events.extend(counter_events_pid(records, pid));
+    }
+    let span_pid = records_per_device.len() as u32 + 1;
+    let host_args = json!({ "name": "host" });
+    events.push(json!({
+        "name": "process_name",
+        "ph": "M",
+        "pid": span_pid,
+        "args": host_args,
+    }));
+    events.extend(span_events_pid(spans, span_pid));
+    let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
+    writeln!(w, "{text}")
+}
+
 /// Instant events (`"ph": "i"`, process scope) for each injected device
 /// fault, named `fault_<kind>` with the faulted kernel in `args`.
 fn fault_events(faults: &[FaultRecord]) -> Vec<Value> {
@@ -101,6 +138,10 @@ fn fault_events(faults: &[FaultRecord]) -> Vec<Value> {
 /// Complete events for host-side spans, one track per recording thread,
 /// timestamped relative to the earliest span.
 fn span_events(spans: &[SpanRecord]) -> Vec<Value> {
+    span_events_pid(spans, 2)
+}
+
+fn span_events_pid(spans: &[SpanRecord], pid: u32) -> Vec<Value> {
     let t0 = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
     spans
         .iter()
@@ -115,7 +156,7 @@ fn span_events(spans: &[SpanRecord]) -> Vec<Value> {
                 "ph": "X",
                 "ts": (s.start_ns - t0) as f64 / 1e3,
                 "dur": s.dur_ns as f64 / 1e3,
-                "pid": 2,
+                "pid": pid,
                 "tid": s.thread,
                 "args": args,
             })
@@ -135,6 +176,10 @@ fn start_times_us(records: &[KernelRecord]) -> Vec<f64> {
 }
 
 fn complete_events(records: &[KernelRecord]) -> Vec<Value> {
+    complete_events_pid(records, 1)
+}
+
+fn complete_events_pid(records: &[KernelRecord], pid: u32) -> Vec<Value> {
     let starts = start_times_us(records);
     records
         .iter()
@@ -151,7 +196,7 @@ fn complete_events(records: &[KernelRecord]) -> Vec<Value> {
                 "ph": "X",
                 "ts": ts,
                 "dur": finite(rec.modeled_s) * 1e6,
-                "pid": 1,
+                "pid": pid,
                 "tid": phase_track(rec.phase),
                 "args": args,
             })
@@ -162,6 +207,10 @@ fn complete_events(records: &[KernelRecord]) -> Vec<Value> {
 /// One counter sample per kernel on the `flop/s` and `bytes/s` tracks: the
 /// kernel's modeled rate, stamped at its start time.
 fn counter_events(records: &[KernelRecord]) -> Vec<Value> {
+    counter_events_pid(records, 1)
+}
+
+fn counter_events_pid(records: &[KernelRecord], pid: u32) -> Vec<Value> {
     let starts = start_times_us(records);
     let mut events = Vec::with_capacity(records.len() * 2);
     for (rec, &ts) in records.iter().zip(&starts) {
@@ -170,10 +219,10 @@ fn counter_events(records: &[KernelRecord]) -> Vec<Value> {
         let flop_args = json!({ "value": flops_per_s });
         let byte_args = json!({ "value": bytes_per_s });
         events.push(json!({
-            "name": "flop/s", "ph": "C", "ts": ts, "pid": 1, "args": flop_args,
+            "name": "flop/s", "ph": "C", "ts": ts, "pid": pid, "args": flop_args,
         }));
         events.push(json!({
-            "name": "bytes/s", "ph": "C", "ts": ts, "pid": 1, "args": byte_args,
+            "name": "bytes/s", "ph": "C", "ts": ts, "pid": pid, "args": byte_args,
         }));
     }
     events
@@ -429,6 +478,47 @@ mod tests {
         assert_eq!(transient["args"]["kernel"], "fused_inner_sweep");
         assert_eq!(transient["ts"].as_f64().unwrap(), 2000.0);
         assert!(arr.iter().any(|e| e["name"] == "fault_nan_corruption"));
+    }
+
+    #[test]
+    fn multi_device_trace_gives_each_device_its_own_pid() {
+        let per_device = vec![
+            vec![rec("mttkrp_shard", Phase::Mttkrp, 1e-3)],
+            vec![rec("mttkrp_shard", Phase::Mttkrp, 1e-3), rec("gram_syrk", Phase::Gram, 5e-4)],
+        ];
+        let spans = vec![SpanRecord {
+            name: "outer_iteration",
+            mode: None,
+            depth: 0,
+            thread: 1,
+            start_ns: 100,
+            dur_ns: 400,
+        }];
+        let mut buf = Vec::new();
+        write_multi_device_trace(&per_device, &spans, &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_array().unwrap();
+
+        // Device d's kernels carry pid d + 1.
+        let kernel_pids: Vec<i64> = arr
+            .iter()
+            .filter(|e| e["ph"] == "X" && e["cat"] != "span")
+            .map(|e| e["pid"].as_i64().unwrap())
+            .collect();
+        assert_eq!(kernel_pids, vec![1, 2, 2]);
+
+        // Host spans land on the process after the last device.
+        let span = arr.iter().find(|e| e["cat"] == "span").unwrap();
+        assert_eq!(span["pid"], 3);
+
+        // Process-name metadata labels every pid.
+        let names: Vec<(&str, i64)> = arr
+            .iter()
+            .filter(|e| e["ph"] == "M")
+            .map(|e| (e["args"]["name"].as_str().unwrap(), e["pid"].as_i64().unwrap()))
+            .collect();
+        assert_eq!(names, vec![("gpu0", 1), ("gpu1", 2), ("host", 3)]);
     }
 
     #[test]

@@ -94,13 +94,70 @@ pub struct Alto {
 }
 
 impl Alto {
-    /// Encodes a COO tensor with one partition per available thread.
+    /// Encodes a COO tensor with one key-space partition per available
+    /// thread (see [`Alto::with_key_partitions`]).
     pub fn from_coo(x: &SparseTensor) -> Self {
-        Self::with_partitions(x, rayon::current_num_threads().max(1))
+        Self::with_key_partitions(x, rayon::current_num_threads().max(1))
     }
 
-    /// Encodes a COO tensor into `nparts` contiguous partitions.
+    /// Encodes a COO tensor into `nparts` contiguous partitions of equal
+    /// nonzero count.
+    ///
+    /// Partition boundaries depend on the nonzero *count*, so a row-restricted
+    /// shard of the tensor partitions differently from the full tensor; use
+    /// [`Alto::with_key_partitions`] when the traversal grouping must be a
+    /// pure function of nonzero content.
     pub fn with_partitions(x: &SparseTensor, nparts: usize) -> Self {
+        let (schedule, lin, values) = Self::sorted_pairs(x);
+        let nnz = lin.len();
+        let nparts = nparts.max(1).min(nnz.max(1));
+        let chunk = nnz.div_ceil(nparts).max(1);
+        let mut bounds = Vec::new();
+        let mut start = 0usize;
+        while start < nnz {
+            let end = (start + chunk).min(nnz);
+            bounds.push(start..end);
+            start = end;
+        }
+        if bounds.is_empty() {
+            bounds.push(0..0);
+        }
+        Self::assemble(x, schedule, lin, values, bounds)
+    }
+
+    /// Encodes a COO tensor into `nparts` partitions by cutting the
+    /// *linearized key space* (its top `min(bits, 16)` bits) into `nparts`
+    /// contiguous bucket ranges, instead of chunking by nonzero count.
+    ///
+    /// Because a bucket's boundary depends only on the tensor shape and
+    /// `nparts` — never on how many nonzeros happen to be present — the
+    /// partition containing a given nonzero is identical between a tensor
+    /// and any sub-tensor of it. That makes the privatize-and-merge MTTKRP
+    /// order subset-stable, which the multi-device sharded path requires for
+    /// bitwise reproducibility. Load balance degrades only for adversarially
+    /// skewed key distributions (empty partitions are allowed and skipped).
+    pub fn with_key_partitions(x: &SparseTensor, nparts: usize) -> Self {
+        let (schedule, lin, values) = Self::sorted_pairs(x);
+        let bits = schedule.slots.len() as u32;
+        let pbits = bits.min(16);
+        let shift = bits - pbits;
+        let nbuckets: u128 = 1u128 << pbits;
+        let nparts = nparts.max(1);
+        let mut bounds = Vec::with_capacity(nparts);
+        for j in 0..nparts {
+            // Bucket thresholds j*B/nparts are shape-only; map each to the
+            // first nonzero at or past it in the sorted key array.
+            let lo_bucket = nbuckets * j as u128 / nparts as u128;
+            let hi_bucket = nbuckets * (j + 1) as u128 / nparts as u128;
+            let lo = lin.partition_point(|&l| (l >> shift) < lo_bucket);
+            let hi = lin.partition_point(|&l| (l >> shift) < hi_bucket);
+            bounds.push(lo..hi);
+        }
+        Self::assemble(x, schedule, lin, values, bounds)
+    }
+
+    /// Linearizes and key-sorts the nonzeros.
+    fn sorted_pairs(x: &SparseTensor) -> (BitSchedule, Vec<u128>, Vec<f64>) {
         let schedule = BitSchedule::for_shape(x.shape());
         let nnz = x.nnz();
         let mut pairs: Vec<(u128, f64)> = (0..nnz)
@@ -110,35 +167,42 @@ impl Alto {
             })
             .collect();
         pairs.par_sort_unstable_by(|a, b| a.0.cmp(&b.0));
-
         let lin: Vec<u128> = pairs.iter().map(|p| p.0).collect();
         let values: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        (schedule, lin, values)
+    }
 
-        let nparts = nparts.max(1).min(nnz.max(1));
-        let chunk = nnz.div_ceil(nparts).max(1);
-        let mut partitions = Vec::new();
-        let mut intervals = Vec::new();
+    /// Builds the encoded tensor from sorted keys plus partition bounds,
+    /// computing the per-partition per-mode index intervals.
+    fn assemble(
+        x: &SparseTensor,
+        schedule: BitSchedule,
+        lin: Vec<u128>,
+        values: Vec<f64>,
+        bounds: Vec<std::ops::Range<usize>>,
+    ) -> Self {
         let nmodes = x.nmodes();
-        let mut start = 0usize;
-        while start < nnz {
-            let end = (start + chunk).min(nnz);
+        let mut partitions = Vec::with_capacity(bounds.len());
+        let mut intervals = Vec::with_capacity(bounds.len());
+        for range in bounds {
             let mut iv = vec![(u32::MAX, 0u32); nmodes];
-            for &l in &lin[start..end] {
+            for &l in &lin[range.clone()] {
                 for (m, entry) in iv.iter_mut().enumerate() {
                     let c = schedule.delinearize_mode(l, m);
                     entry.0 = entry.0.min(c);
                     entry.1 = entry.1.max(c);
                 }
             }
-            partitions.push(start..end);
+            if range.is_empty() {
+                iv = vec![(0, 0); nmodes];
+            }
+            partitions.push(range);
             intervals.push(iv);
-            start = end;
         }
         if partitions.is_empty() {
             partitions.push(0..0);
             intervals.push(vec![(0, 0); nmodes]);
         }
-
         Self { shape: x.shape().to_vec(), schedule, lin, values, partitions, intervals }
     }
 
@@ -377,6 +441,48 @@ mod tests {
         assert_eq!(alto.npartitions(), 31.min(alto.nnz()));
         for mode in 0..4 {
             assert_mttkrp_close(&alto.mttkrp(&f, mode), &mttkrp_ref(&x, &f, mode), 1e-10);
+        }
+    }
+
+    #[test]
+    fn key_partitions_match_reference_all_modes() {
+        let x = random_tensor(&[50, 30, 70], 15_000, 4);
+        let f = factors_for(x.shape(), 8);
+        for nparts in [1usize, 3, 8, 31] {
+            let alto = Alto::with_key_partitions(&x, nparts);
+            assert_eq!(alto.npartitions(), nparts);
+            for mode in 0..3 {
+                assert_mttkrp_close(&alto.mttkrp(&f, mode), &mttkrp_ref(&x, &f, mode), 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn key_partitions_are_subset_stable() {
+        // The partition a nonzero lands in must not change when other
+        // nonzeros are removed — the property the sharded multi-device path
+        // needs for bitwise reproducibility.
+        let x = random_tensor(&[40, 30, 20], 3_000, 8);
+        let nparts = 5;
+        let full = Alto::with_key_partitions(&x, nparts);
+
+        let rows = 10usize..25;
+        let keep: Vec<usize> =
+            (0..x.nnz()).filter(|&k| rows.contains(&(x.mode_indices(0)[k] as usize))).collect();
+        let idx: Vec<Vec<u32>> =
+            (0..3).map(|m| keep.iter().map(|&k| x.mode_indices(m)[k]).collect()).collect();
+        let vals: Vec<f64> = keep.iter().map(|&k| x.values()[k]).collect();
+        let shard_x = SparseTensor::new(x.shape().to_vec(), idx, vals);
+        let shard = Alto::with_key_partitions(&shard_x, nparts);
+
+        for p in 0..nparts {
+            let full_keys: Vec<u128> = full.lin[full.partitions[p].clone()]
+                .iter()
+                .copied()
+                .filter(|&l| rows.contains(&(full.schedule.delinearize_mode(l, 0) as usize)))
+                .collect();
+            let shard_keys = shard.lin[shard.partitions[p].clone()].to_vec();
+            assert_eq!(full_keys, shard_keys, "partition {p} is not the restriction");
         }
     }
 

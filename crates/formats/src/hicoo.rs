@@ -54,12 +54,23 @@ impl HiCoo {
         let nnz = x.nnz();
 
         // Sort nonzeros by their block coordinate tuple (Morton-ish: block
-        // grid in lexicographic order is sufficient for clustering).
+        // grid in lexicographic order is sufficient for clustering), with a
+        // full-coordinate tie-break inside each block. The tie-break makes
+        // the storage order a pure function of the nonzero *content* (not of
+        // the unstable sort's whims), which the sharded path relies on:
+        // restricting the tensor to a row range must restrict the traversal
+        // order too.
         let mut order: Vec<u32> = (0..nnz as u32).collect();
         let block_of = |k: usize, m: usize| x.mode_indices(m)[k] >> block_bits;
         order.par_sort_unstable_by(|&a, &b| {
             for m in 0..nmodes {
                 match block_of(a as usize, m).cmp(&block_of(b as usize, m)) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            for m in 0..nmodes {
+                match x.mode_indices(m)[a as usize].cmp(&x.mode_indices(m)[b as usize]) {
                     std::cmp::Ordering::Equal => continue,
                     other => return other,
                 }

@@ -27,6 +27,7 @@ pub mod blco;
 pub mod csf;
 pub mod hicoo;
 pub mod mttkrp;
+pub mod shard;
 pub mod traffic;
 pub mod workspace;
 
@@ -35,5 +36,6 @@ pub use blco::Blco;
 pub use csf::Csf;
 pub use hicoo::HiCoo;
 pub use mttkrp::{mttkrp_coo_parallel, mttkrp_coo_parallel_into, mttkrp_ref, mttkrp_ref_into};
+pub use shard::{extract_mode_rows, nnz_balanced_ranges};
 pub use traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
 pub use workspace::MttkrpWorkspace;

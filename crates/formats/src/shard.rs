@@ -1,0 +1,185 @@
+//! Tensor sharding for multi-device factorization.
+//!
+//! Each device owns a contiguous block of the output-mode rows (AMPED-style
+//! shard-per-GPU MTTKRP): for the mode-`m` update, device `d` holds every
+//! nonzero whose mode-`m` index falls in its row block, so its MTTKRP output
+//! rows are exactly the rows its partitioned ADMM update consumes — no `M`
+//! traffic between the two phases. Blocks are nnz-balanced (equal nonzero
+//! counts, not equal row counts) because MTTKRP cost follows nonzeros.
+//!
+//! A shard keeps the full tensor shape and global indices, so every format's
+//! `mttkrp_into` writes directly into global output rows; rows outside the
+//! shard receive no nonzeros and stay zero.
+
+use std::ops::Range;
+
+use cstf_tensor::SparseTensor;
+
+/// Splits the mode-`mode` rows of `x` into exactly `parts` contiguous
+/// ranges with near-equal nonzero counts: range `j` closes once the
+/// cumulative nonzero count reaches `(j+1) * nnz / parts`. Trailing ranges
+/// may be empty; together the ranges cover `0..shape[mode]`.
+///
+/// # Panics
+/// Panics if `mode` is out of range.
+pub fn nnz_balanced_ranges(x: &SparseTensor, mode: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(mode < x.nmodes(), "mode out of range");
+    let rows = x.shape()[mode];
+    let parts = parts.max(1);
+    let mut counts = vec![0usize; rows];
+    for &i in x.mode_indices(mode) {
+        counts[i as usize] += 1;
+    }
+    let total = x.nnz();
+
+    let mut out = Vec::with_capacity(parts);
+    let mut row = 0usize;
+    let mut cum = 0usize;
+    for j in 0..parts {
+        let start = row;
+        if j + 1 == parts {
+            row = rows;
+        } else {
+            let target = (j + 1) * total / parts;
+            while row < rows && cum < target {
+                cum += counts[row];
+                row += 1;
+            }
+        }
+        out.push(start..row);
+    }
+    out
+}
+
+/// Extracts the sub-tensor of `x` whose mode-`mode` index lies in `rows`,
+/// preserving the full shape, global indices, and the storage order of the
+/// surviving nonzeros (an order-preserving filter — required for the
+/// formats' traversal orders to restrict cleanly).
+///
+/// # Panics
+/// Panics if `mode` or `rows` is out of range.
+pub fn extract_mode_rows(x: &SparseTensor, mode: usize, rows: &Range<usize>) -> SparseTensor {
+    assert!(mode < x.nmodes(), "mode out of range");
+    assert!(rows.end <= x.shape()[mode], "row range out of bounds");
+    let keep: Vec<usize> =
+        (0..x.nnz()).filter(|&k| rows.contains(&(x.mode_indices(mode)[k] as usize))).collect();
+    let indices: Vec<Vec<u32>> =
+        (0..x.nmodes()).map(|m| keep.iter().map(|&k| x.mode_indices(m)[k]).collect()).collect();
+    let values: Vec<f64> = keep.iter().map(|&k| x.values()[k]).collect();
+    SparseTensor::new(x.shape().to_vec(), indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_tensor(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut idx = vec![Vec::with_capacity(nnz); shape.len()];
+        let mut vals = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            for (m, &d) in shape.iter().enumerate() {
+                idx[m].push(next() % d as u32);
+            }
+            vals.push(f64::from(next() % 50) * 0.1 + 0.1);
+        }
+        let mut t = SparseTensor::new(shape.to_vec(), idx, vals);
+        t.sum_duplicates();
+        t
+    }
+
+    #[test]
+    fn ranges_cover_all_rows_with_exact_part_count() {
+        let x = random_tensor(&[37, 20, 15], 900, 1);
+        for parts in [1usize, 2, 3, 4, 7, 50] {
+            let ranges = nnz_balanced_ranges(&x, 0, parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 37);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_balance_nonzeros_not_rows() {
+        // Rows 0..5 carry almost all nonzeros; a row-balanced split would
+        // put them all in one part.
+        let mut idx = vec![Vec::new(), Vec::new()];
+        let mut vals = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..40u32 {
+                idx[0].push(i);
+                idx[1].push(j);
+                vals.push(1.0);
+            }
+        }
+        for i in 5..50u32 {
+            idx[0].push(i);
+            idx[1].push(i % 40);
+            vals.push(1.0);
+        }
+        let x = SparseTensor::new(vec![50, 40], idx, vals);
+        let ranges = nnz_balanced_ranges(&x, 0, 4);
+        let nnz_of = |r: &Range<usize>| {
+            x.mode_indices(0).iter().filter(|&&i| r.contains(&(i as usize))).count()
+        };
+        let per_part: Vec<usize> = ranges.iter().map(nnz_of).collect();
+        let total: usize = per_part.iter().sum();
+        assert_eq!(total, x.nnz());
+        // Every part ends within one heavy row's worth of the ideal quarter.
+        let ideal = x.nnz() / 4;
+        for (p, &n) in per_part.iter().enumerate() {
+            assert!(n <= ideal + 40, "part {p} holds {n} nnz (ideal {ideal})");
+        }
+    }
+
+    #[test]
+    fn extraction_partitions_the_tensor_exactly() {
+        let x = random_tensor(&[23, 11, 9], 600, 2);
+        for mode in 0..3 {
+            let ranges = nnz_balanced_ranges(&x, mode, 3);
+            let shards: Vec<SparseTensor> =
+                ranges.iter().map(|r| extract_mode_rows(&x, mode, r)).collect();
+            let total: usize = shards.iter().map(|s| s.nnz()).sum();
+            assert_eq!(total, x.nnz(), "shards must partition the nonzeros");
+            for (shard, r) in shards.iter().zip(&ranges) {
+                assert_eq!(shard.shape(), x.shape(), "shards keep the global shape");
+                assert!(shard.mode_indices(mode).iter().all(|&i| r.contains(&(i as usize))));
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_preserves_storage_order() {
+        let x = random_tensor(&[16, 8, 8], 300, 3);
+        let r = 4usize..12;
+        let shard = extract_mode_rows(&x, 0, &r);
+        let mut want = Vec::new();
+        for k in 0..x.nnz() {
+            if r.contains(&(x.mode_indices(0)[k] as usize)) {
+                want.push((x.coord(k), x.values()[k]));
+            }
+        }
+        let got: Vec<(Vec<u32>, f64)> =
+            (0..shard.nnz()).map(|k| (shard.coord(k), shard.values()[k])).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn more_parts_than_rows_yields_trailing_empties() {
+        let x = random_tensor(&[3, 5, 5], 40, 4);
+        let ranges = nnz_balanced_ranges(&x, 0, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges.last().unwrap().end, 3);
+        assert!(ranges.iter().filter(|r| r.is_empty()).count() >= 5);
+        let empty = extract_mode_rows(&x, 0, &(0..0));
+        assert_eq!(empty.nnz(), 0);
+        assert_eq!(empty.shape(), x.shape());
+    }
+}

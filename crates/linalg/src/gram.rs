@@ -22,6 +22,49 @@ pub fn gram(a: &Mat) -> Mat {
     g
 }
 
+/// Number of privatized row chunks [`gram_into`] uses for an `rows x r`
+/// accumulation. A function of shape alone (plus the thread-pool width), so
+/// a distributed caller can reproduce the exact same partial-buffer layout
+/// and reduction tree and stay bitwise identical to the single-device path.
+pub fn gram_chunk_count(rows: usize, r: usize) -> usize {
+    if rows * r >= tuning::gram_cutoff() {
+        rayon::current_num_threads().max(1)
+    } else {
+        1
+    }
+}
+
+/// Accumulates rows `range` of `A^T A`'s upper triangle into `acc` (length
+/// `r*r`, row-major). `acc` is not zeroed here; the caller owns init.
+///
+/// This is the exact per-chunk body of [`gram_into`], exposed so sharded
+/// multi-device Gram recomputation can fill the same chunk partials.
+pub fn gram_accumulate_range(a: &Mat, range: std::ops::Range<usize>, acc: &mut [f64]) {
+    let r = a.cols();
+    for i in range {
+        let row = a.row(i);
+        for (p, &ap) in row.iter().enumerate() {
+            if ap == 0.0 {
+                continue;
+            }
+            let o = &mut acc[p * r + p..(p + 1) * r];
+            for (ov, &aq) in o.iter_mut().zip(&row[p..]) {
+                *ov += ap * aq;
+            }
+        }
+    }
+}
+
+/// Mirrors the upper triangle of a square matrix into the lower.
+pub fn gram_mirror(out: &mut Mat) {
+    let r = out.rows();
+    for i in 0..r {
+        for j in 0..i {
+            out[(i, j)] = out[(j, i)];
+        }
+    }
+}
+
 /// `out = A^T A`, reusing `partials` for per-chunk privatized accumulators.
 ///
 /// Parallelized by reducing per-chunk partial Grams over row blocks with a
@@ -38,42 +81,21 @@ pub fn gram_into(a: &Mat, out: &mut Mat, partials: &mut PartialBuffers) {
         return;
     }
 
-    let accumulate = |acc: &mut [f64], range: std::ops::Range<usize>| {
-        for i in range {
-            let row = a.row(i);
-            for (p, &ap) in row.iter().enumerate() {
-                if ap == 0.0 {
-                    continue;
-                }
-                let o = &mut acc[p * r + p..(p + 1) * r];
-                for (ov, &aq) in o.iter_mut().zip(&row[p..]) {
-                    *ov += ap * aq;
-                }
-            }
-        }
-    };
-
-    let nchunks =
-        if rows * r >= tuning::gram_cutoff() { rayon::current_num_threads().max(1) } else { 1 };
+    let nchunks = gram_chunk_count(rows, r);
     if nchunks == 1 {
-        accumulate(out.as_mut_slice(), 0..rows);
+        gram_accumulate_range(a, 0..rows, out.as_mut_slice());
     } else {
         let chunk = rows.div_ceil(nchunks).max(1);
         let bufs = partials.ensure(nchunks, r * r);
         bufs.par_iter_mut().enumerate().for_each(|(t, buf)| {
             let start = (t * chunk).min(rows);
             let end = ((t + 1) * chunk).min(rows);
-            accumulate(&mut buf[..r * r], start..end);
+            gram_accumulate_range(a, start..end, &mut buf[..r * r]);
         });
         partials.reduce_into(nchunks, r * r, out.as_mut_slice());
     }
 
-    // Mirror the upper triangle into the lower.
-    for i in 0..r {
-        for j in 0..i {
-            out[(i, j)] = out[(j, i)];
-        }
-    }
+    gram_mirror(out);
 }
 
 /// Element-wise (Hadamard) product of two square matrices, in place on `out`.

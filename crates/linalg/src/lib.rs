@@ -36,7 +36,10 @@ pub mod tuning;
 
 pub use cholesky::{Cholesky, LinalgError};
 pub use gemm::{gemm, gemm_row, gemm_tn, gemm_tn_into, matmul};
-pub use gram::{gram, gram_into, hadamard_in_place, hadamard_of_grams, hadamard_of_grams_into};
+pub use gram::{
+    gram, gram_accumulate_range, gram_chunk_count, gram_into, gram_mirror, hadamard_in_place,
+    hadamard_of_grams, hadamard_of_grams_into,
+};
 pub use matrix::Mat;
 pub use norms::{
     diff_norm_sq, fro_norm, fro_norm_sq, normalize_columns, normalize_columns_scratch, NormKind,

@@ -1,0 +1,135 @@
+//! Property: the executed multi-device sharded factorization is
+//! **bitwise-identical** to the single-device run — for arbitrary small
+//! tensors, every storage format, ranks 1–4, and group sizes 1/2/3/4/7
+//! (7 exceeds some mode lengths, exercising empty shards) — and a
+//! sharded run resumed from a single-device checkpoint replays the
+//! remaining iterations to the same bits.
+//!
+//! This is the CI gate for the exactness argument of DESIGN.md §11.
+
+use cstf_core::{Auntf, AuntfConfig, CheckpointConfig, FactorizeOutput, TensorFormat};
+use cstf_device::{Device, DeviceGroup, DeviceSpec};
+use cstf_tensor::SparseTensor;
+use proptest::prelude::*;
+
+/// A random small sparse tensor with 3 or 4 modes and distinct coords.
+fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
+    (3usize..5, any::<u64>(), 1usize..300).prop_map(|(nmodes, seed, nnz)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let shape: Vec<usize> = (0..nmodes).map(|_| 3 + (next() % 9) as usize).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = vec![Vec::new(); nmodes];
+        let mut vals = Vec::new();
+        for _ in 0..nnz {
+            let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+            if seen.insert(c.clone()) {
+                for (m, &ci) in c.iter().enumerate() {
+                    idx[m].push(ci);
+                }
+                vals.push(f64::from(next() % 100) / 25.0 + 0.04);
+            }
+        }
+        SparseTensor::new(shape, idx, vals)
+    })
+}
+
+fn format_strategy() -> impl Strategy<Value = TensorFormat> {
+    prop_oneof![
+        Just(TensorFormat::Coo),
+        Just(TensorFormat::Csf),
+        Just(TensorFormat::CsfOne),
+        Just(TensorFormat::HiCoo),
+        Just(TensorFormat::Alto),
+        Just(TensorFormat::Blco),
+    ]
+}
+
+fn assert_bitwise(a: &FactorizeOutput, b: &FactorizeOutput) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.fits.len(), b.fits.len());
+    for (x, y) in a.fits.iter().zip(&b.fits) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "fit differs: {} vs {}", x, y);
+    }
+    for (x, y) in a.model.lambda.iter().zip(&b.model.lambda) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "lambda differs: {} vs {}", x, y);
+    }
+    for (fa, fb) in a.model.factors.iter().zip(&b.model.factors) {
+        prop_assert_eq!(fa.rows(), fb.rows());
+        for (x, y) in fa.as_slice().iter().zip(fb.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "factor entry differs: {} vs {}", x, y);
+        }
+    }
+    Ok(())
+}
+
+mod equivalence {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sharded == single-device, bitwise, for every format and group size.
+        #[test]
+        fn sharded_is_bitwise_identical_to_single_device(
+            x in tensor_strategy(),
+            format in format_strategy(),
+            rank in 1usize..5,
+            seed in any::<u64>(),
+            gidx in 0usize..5,
+        ) {
+            let gsize = [1usize, 2, 3, 4, 7][gidx];
+            let cfg = AuntfConfig { rank, max_iters: 3, seed, format, ..Default::default() };
+            let auntf = Auntf::new(x, cfg);
+            let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+            let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), gsize);
+            let sharded = auntf.factorize_sharded(&group).unwrap();
+            assert_bitwise(&single, &sharded)?;
+            // Every device must have metered real work when it owns nonzeros.
+            prop_assert!(group.devices().iter().any(|d| d.total_seconds() > 0.0));
+        }
+    }
+}
+
+mod checkpoint_interop {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// A single-device checkpoint resumed *sharded* replays the remaining
+        /// iterations to the bits of an uninterrupted single-device run.
+        #[test]
+        fn sharded_resume_from_single_device_checkpoint_is_bitwise(
+            x in tensor_strategy(),
+            rank in 1usize..4,
+            seed in any::<u64>(),
+            gidx in 0usize..3,
+        ) {
+            let gsize = [2usize, 3, 4][gidx];
+        let dir = std::env::temp_dir().join(format!(
+            "cstf-sharded-prop-{}-{seed:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let full = AuntfConfig { rank, max_iters: 5, seed, ..Default::default() };
+        let auntf = Auntf::new(x.clone(), full.clone());
+        let uninterrupted = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+
+        // Leg 1: three iterations on one device, snapshotting.
+        let short = Auntf::new(x, AuntfConfig { max_iters: 3, ..full });
+        let ck = CheckpointConfig::new(&dir, 3);
+        short
+            .factorize_checkpointed(&Device::new(DeviceSpec::h100()), &ck, false)
+            .unwrap();
+
+        // Leg 2: resume sharded across `gsize` devices.
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), gsize);
+        let resumed = auntf.factorize_sharded_checkpointed(&group, &ck, true).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_bitwise(&uninterrupted, &resumed)?;
+        }
+    }
+}
