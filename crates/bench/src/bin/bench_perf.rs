@@ -1,0 +1,69 @@
+//! Regenerates **`BENCH_perf.json`** — the repo-root perf trajectory.
+//!
+//! Runs a small fixed suite of representative benchmarks (CPU baseline,
+//! GPU generic ADMM, GPU cuADMM at two ranks, MU) on catalog analogues and
+//! writes one schema-versioned row per benchmark: modeled and measured
+//! seconds per iteration plus the exact launch/flop/byte tallies. The
+//! modeled columns are deterministic, so diffs of this file across PRs are
+//! real performance changes, not noise.
+//!
+//! Usage: `cargo run --release -p cstf-bench --bin bench_perf
+//! [--base NNZ] [--iters N] [--out PATH]`
+
+use cstf_bench::{arg_usize, print_header, print_row, run_preset, BenchPerf, BenchPerfEntry};
+use cstf_core::presets::{self, SystemPreset};
+use cstf_device::DeviceSpec;
+
+fn suite(rank_small: usize, rank_large: usize) -> Vec<(&'static str, SystemPreset)> {
+    vec![
+        ("splatt-cpu", presets::splatt_cpu(rank_small)),
+        ("cstf-generic-a100", presets::cstf_gpu_generic_admm(rank_small, DeviceSpec::a100())),
+        ("cstf-cuadmm-a100", presets::cstf_gpu(rank_small, DeviceSpec::a100())),
+        ("cstf-cuadmm-h100", presets::cstf_gpu(rank_small, DeviceSpec::h100())),
+        ("cstf-cuadmm-a100-r64", presets::cstf_gpu(rank_large, DeviceSpec::a100())),
+        ("cstf-mu-a100", presets::cstf_gpu_mu(rank_small, DeviceSpec::a100())),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let base = arg_usize(&args, "--base", 30_000);
+    let iters = arg_usize(&args, "--iters", 3);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+
+    print_header(&format!("BENCH_perf trajectory (base nnz {base}, {iters} iters)"));
+    print_row(
+        "benchmark",
+        &["modeled s/it".into(), "measured s/it".into(), "launches".into(), "flops".into()],
+    );
+
+    let mut entries = Vec::new();
+    for dataset in ["NELL2", "Flickr"] {
+        let entry = cstf_data::by_name(dataset).expect("catalog dataset");
+        let x = entry.generate_scaled(base, 0);
+        for (tag, preset) in suite(16, 64) {
+            let r = run_preset(&preset, &x, iters);
+            let name = format!("{}-{}", dataset.to_lowercase(), tag);
+            let row = BenchPerfEntry::from_run(&name, &dataset.to_lowercase(), &r);
+            print_row(
+                &name,
+                &[
+                    format!("{:.3e}", row.modeled_s_per_iter),
+                    format!("{:.3e}", row.measured_s_per_iter),
+                    format!("{}", row.launches),
+                    format!("{:.3e}", row.flops),
+                ],
+            );
+            entries.push(row);
+        }
+    }
+
+    let doc = BenchPerf::new(entries);
+    doc.write(&out).expect("write perf trajectory");
+    eprintln!("[perf trajectory written to {out}]");
+}

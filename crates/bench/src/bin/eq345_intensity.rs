@@ -59,12 +59,14 @@ fn main() {
             ai_measured
         );
 
-        // Shape checks: counted totals within 2x of the paper's analytic
-        // model (our kernel decomposition differs slightly — e.g. we count
-        // the residual reductions the paper folds into its 19IR/22IR
-        // constants), and arithmetic intensity below every ridge point.
-        assert!(totals.flops / paper_flops < 2.0 && paper_flops / totals.flops < 2.0);
-        assert!(totals.bytes / (paper_words * 8.0) < 2.0);
+        // The unfused kernel ledger is calibrated to Eqs. 3–4 (see the
+        // table in admm.rs), so counted totals must agree within 5% — the
+        // only slack is the O(R^2)/O(R^3) solver-setup terms the closed
+        // forms fold away. Intensity stays below every ridge point.
+        let rel = |a: f64, b: f64| (a / b - 1.0).abs();
+        assert!(rel(totals.flops, paper_flops) < 0.05, "flops off Eq. 3 by >5%");
+        assert!(rel(totals.bytes, paper_words * 8.0) < 0.05, "bytes off Eq. 4 by >5%");
+        assert!(rel(ai_measured, ai_paper) < 0.05, "AI off Eq. 5 by >5%");
         for spec in DeviceSpec::table1() {
             assert!(
                 ai_measured < spec.ridge_intensity(),
@@ -76,7 +78,7 @@ fn main() {
 
     println!();
     println!(
-        "[shape check passed: counted cost within 2x of Eqs. 3-4; measured\n\
+        "[check passed: counted cost within 5% of Eqs. 3-4; measured\n\
          intensity below every ridge point => ADMM is bandwidth-bound]"
     );
 }

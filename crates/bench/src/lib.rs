@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod perf_trajectory;
 pub mod report;
 
 pub use harness::{
     arg_usize, catalog_workloads, run_preset, run_preset_dense, PhaseBreakdown, RunResult, Workload,
 };
+pub use perf_trajectory::{BenchPerf, BenchPerfEntry, PERF_TRAJECTORY_SCHEMA_VERSION};
 pub use report::{geometric_mean, print_header, print_row, write_json};

@@ -1,0 +1,133 @@
+//! The repo-level perf trajectory artifact: `BENCH_perf.json`.
+//!
+//! Each PR re-runs a small fixed benchmark suite and rewrites the file at
+//! the repository root, so the history of modeled and measured time per
+//! benchmark lives in version control alongside the code that produced it.
+//! Counters come from the same zero-noise profiler the perf gate uses —
+//! modeled time and the flop/byte/launch tallies are exactly reproducible,
+//! while `measured_s` (host wall-clock of the kernel bodies) is advisory.
+
+use serde::Serialize;
+
+use crate::harness::RunResult;
+
+/// Schema version of `BENCH_perf.json`. Bump on shape changes.
+pub const PERF_TRAJECTORY_SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark's row in the trajectory.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchPerfEntry {
+    /// Stable benchmark id, e.g. `"nell2-cstf-a100-r16"`.
+    pub name: String,
+    /// Dataset the benchmark ran on.
+    pub dataset: String,
+    /// System preset name.
+    pub system: String,
+    /// Simulated device name.
+    pub device: String,
+    /// Factorization rank.
+    pub rank: u64,
+    /// Outer iterations measured.
+    pub iters: u64,
+    /// Modeled end-to-end seconds per outer iteration (deterministic).
+    pub modeled_s_per_iter: f64,
+    /// Measured host seconds per outer iteration (advisory, noisy).
+    pub measured_s_per_iter: f64,
+    /// Total kernel launches across the run (deterministic).
+    pub launches: u64,
+    /// Total flops tallied across the run (deterministic).
+    pub flops: f64,
+    /// Total logical bytes moved across the run (deterministic).
+    pub bytes: f64,
+}
+
+impl BenchPerfEntry {
+    /// Builds one row from a harness [`RunResult`].
+    pub fn from_run(name: &str, dataset: &str, r: &RunResult) -> Self {
+        let (launches, flops, bytes) =
+            r.summary.phases.iter().fold((0u64, 0.0f64, 0.0f64), |(l, f, b), p| {
+                (l + p.launches, f + p.flops, b + p.bytes)
+            });
+        Self {
+            name: name.to_string(),
+            dataset: dataset.to_string(),
+            system: r.system.to_string(),
+            device: r.device.clone(),
+            rank: r.summary.rank as u64,
+            iters: r.iters as u64,
+            modeled_s_per_iter: r.per_iter_total(),
+            measured_s_per_iter: r.per_iter_measured.total(),
+            launches,
+            flops,
+            bytes,
+        }
+    }
+}
+
+/// The whole `BENCH_perf.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchPerf {
+    /// [`PERF_TRAJECTORY_SCHEMA_VERSION`].
+    pub schema_version: u64,
+    /// One row per benchmark, in suite order.
+    pub entries: Vec<BenchPerfEntry>,
+}
+
+impl BenchPerf {
+    /// Wraps a set of rows in the versioned envelope.
+    pub fn new(entries: Vec<BenchPerfEntry>) -> Self {
+        Self { schema_version: PERF_TRAJECTORY_SCHEMA_VERSION, entries }
+    }
+
+    /// Serializes with a trailing newline, ready to write verbatim.
+    pub fn to_json_pretty(&self) -> String {
+        let mut body = serde_json::to_string_pretty(self).expect("serializable trajectory");
+        body.push('\n');
+        body
+    }
+
+    /// Writes the artifact to `path` (conventionally `BENCH_perf.json` at
+    /// the repository root).
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstf_core::presets;
+    use cstf_data::by_name;
+
+    #[test]
+    fn entry_totals_match_the_run_summary() {
+        let x = by_name("NIPS").unwrap().generate_scaled(6_000, 1);
+        let r = crate::run_preset(&presets::cstf_gpu(8, cstf_device::DeviceSpec::a100()), &x, 2);
+        let e = BenchPerfEntry::from_run("nips-cstf-a100-r8", "nips", &r);
+        assert_eq!(e.rank, 8);
+        assert_eq!(e.iters, 2);
+        assert!(e.launches > 0);
+        assert!(e.flops > 0.0 && e.bytes > 0.0);
+        assert!((e.modeled_s_per_iter - r.per_iter_total()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn document_serializes_with_schema_version() {
+        let doc = BenchPerf::new(Vec::new());
+        let v: serde_json::Value = serde_json::from_str(&doc.to_json_pretty()).unwrap();
+        assert_eq!(v["schema_version"], PERF_TRAJECTORY_SCHEMA_VERSION);
+        assert!(v["entries"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_deterministic_columns() {
+        let x = by_name("Uber").unwrap().generate_scaled(5_000, 2);
+        let preset = presets::cstf_gpu(16, cstf_device::DeviceSpec::h100());
+        let a = BenchPerfEntry::from_run("u", "uber", &crate::run_preset(&preset, &x, 2));
+        let b = BenchPerfEntry::from_run("u", "uber", &crate::run_preset(&preset, &x, 2));
+        assert_eq!(a.launches, b.launches);
+        assert_eq!(a.flops, b.flops);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.modeled_s_per_iter, b.modeled_s_per_iter);
+    }
+}

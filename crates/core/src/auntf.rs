@@ -644,6 +644,10 @@ impl Auntf {
             let mut last_m: Option<usize> = None;
             for mode in 0..nmodes {
                 let _mode_span = Span::enter_mode("mode_update", mode);
+                // Key every launch in this body under the mode being
+                // updated — the (phase, kernel, mode) attribution the
+                // roofline table and perf baselines are indexed by.
+                dev.set_mode(Some(mode));
                 self.hadamard_guarded(dev, &grams, mode, &mut s, &policy, &mut report)?;
                 self.mttkrp_guarded(
                     dev,
@@ -788,6 +792,8 @@ impl Auntf {
                     last_m = Some(mode);
                 }
             }
+            // Fit checks and convergence bookkeeping are outside any mode.
+            dev.set_mode(None);
 
             let mut iter_fit = None;
             let mut stop = false;

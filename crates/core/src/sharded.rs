@@ -545,6 +545,11 @@ impl Auntf {
             let mut last_m: Option<usize> = None;
             for mode in 0..nmodes {
                 let _mode_span = Span::enter_mode("mode_update", mode);
+                // Key every device's launches under the mode being updated
+                // so per-device kernel aggregates carry mode attribution.
+                for dev in group.devices() {
+                    dev.set_mode(Some(mode));
+                }
                 hadamard_replicated(group, &grams, mode, &mut s);
 
                 // Per-device shard MTTKRPs, concurrent across devices.
@@ -675,6 +680,10 @@ impl Auntf {
                 if mode == nmodes - 1 {
                     last_m = Some(mode);
                 }
+            }
+            // Fit checks and iteration marks are outside any mode.
+            for dev in group.devices() {
+                dev.set_mode(None);
             }
 
             let mut iter_fit = None;

@@ -1,0 +1,471 @@
+//! Schema-versioned performance baselines and the counter-exact diff.
+//!
+//! A [`PerfBaseline`] snapshots the per-key kernel aggregates of one run
+//! configuration (dataset x format x rank x update rule x device count) as
+//! a JSON artifact under `results/baselines/`. Because the simulated
+//! device meters exact flop/byte/launch tallies, the counters in two runs
+//! of the same build are bit-identical — so [`compare_baselines`] can
+//! demand **exact** equality on `launches`, `flops`, and `bytes`, and any
+//! drift is a real algorithmic change rather than measurement noise.
+//! Modeled time gets a tight relative tolerance (it is a pure function of
+//! the counters and the [`DeviceSpec`](crate::DeviceSpec), but summation
+//! order can perturb the last ulp); host wall-clock (`measured_s`) is
+//! advisory only and never fails the gate.
+//!
+//! The CI `perf-gate` job records a fresh baseline per matrix cell and
+//! compares it against the checked-in artifact; a non-empty drift set exits
+//! with a distinct code so the workflow can fail precisely on unacknowledged
+//! counter drift (DESIGN.md §12).
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::profiler::{KernelKey, KernelTotals};
+
+/// Current baseline artifact schema version. Bump when the JSON shape
+/// changes; `from_json` rejects mismatched versions so a stale artifact
+/// fails loudly instead of diffing garbage.
+pub const BASELINE_SCHEMA_VERSION: u64 = 1;
+
+/// One kernel key's aggregates inside a baseline: the flattened
+/// `(gpu, phase, kernel, mode)` coordinate plus its exact counters.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelBaseline {
+    /// Device index within the run (`0` for single-device runs).
+    pub gpu: u64,
+    /// Phase label (`"GRAM"`, `"MTTKRP"`, ...).
+    pub phase: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Tensor-mode context, or `None` outside the mode loop.
+    pub mode: Option<u32>,
+    /// Exact launch count.
+    pub launches: u64,
+    /// Exact flop tally.
+    pub flops: f64,
+    /// Exact byte tally.
+    pub bytes: f64,
+    /// Roofline-modeled seconds (deterministic function of the counters).
+    pub modeled_s: f64,
+    /// Host wall-clock seconds (noisy; advisory only).
+    pub measured_s: f64,
+}
+
+impl KernelBaseline {
+    /// Builds one entry from a profiler aggregate.
+    pub fn from_totals(gpu: usize, key: &KernelKey, t: &KernelTotals) -> Self {
+        Self {
+            gpu: gpu as u64,
+            phase: key.0.label().to_string(),
+            kernel: key.1.to_string(),
+            mode: key.2,
+            launches: t.launches as u64,
+            flops: t.flops,
+            bytes: t.bytes,
+            modeled_s: t.modeled_s,
+            measured_s: t.measured_s,
+        }
+    }
+
+    /// Human-readable key string, `gpu0 UPDATE/trsm_fwd_bwd/2`
+    /// (`-` for mode-less keys).
+    pub fn key_string(&self) -> String {
+        let mode = self.mode.map_or_else(|| "-".to_string(), |m| m.to_string());
+        format!("gpu{} {}/{}/{}", self.gpu, self.phase, self.kernel, mode)
+    }
+}
+
+/// A schema-versioned perf baseline: run configuration plus the full
+/// per-key counter table.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfBaseline {
+    /// Artifact schema version ([`BASELINE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Dataset identifier (`"synthetic"` or a tensor name).
+    pub dataset: String,
+    /// Sparse format (`"coo"`, `"csf"`, `"alto"`, ...).
+    pub format: String,
+    /// Decomposition rank.
+    pub rank: u64,
+    /// Update rule (`"admm"`, `"cuadmm"`, `"cuadmm-fused"`, ...).
+    pub update: String,
+    /// Device count (`1` = single device).
+    pub gpus: u64,
+    /// Device spec name the run was modeled on.
+    pub device: String,
+    /// Per-key aggregates, sorted by (gpu, phase order, kernel, mode).
+    pub kernels: Vec<KernelBaseline>,
+}
+
+impl PerfBaseline {
+    /// Canonical artifact file stem for this configuration:
+    /// `<dataset>-<format>-r<rank>-<update>-g<gpus>`.
+    pub fn file_stem(&self) -> String {
+        format!(
+            "{}-{}-r{}-{}-g{}",
+            self.dataset,
+            self.format,
+            self.rank,
+            self.update.replace('_', "-"),
+            self.gpus
+        )
+    }
+
+    /// Serializes to pretty JSON (the checked-in artifact format).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("baseline serializes")
+    }
+
+    /// Parses a baseline artifact, rejecting unknown schema versions.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("baseline: {e}"))?;
+        let version = get_u64(&v, "schema_version")?;
+        if version != BASELINE_SCHEMA_VERSION {
+            return Err(format!(
+                "baseline schema version {version} != supported {BASELINE_SCHEMA_VERSION}"
+            ));
+        }
+        let kernels = v
+            .get("kernels")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "missing kernels array".to_string())?
+            .iter()
+            .map(kernel_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            schema_version: version,
+            dataset: get_str(&v, "dataset")?,
+            format: get_str(&v, "format")?,
+            rank: get_u64(&v, "rank")?,
+            update: get_str(&v, "update")?,
+            gpus: get_u64(&v, "gpus")?,
+            device: get_str(&v, "device")?,
+            kernels,
+        })
+    }
+
+    /// The run-configuration tuple two baselines must share to be
+    /// comparable.
+    fn config_tuple(&self) -> (String, String, u64, String, u64, String) {
+        (
+            self.dataset.clone(),
+            self.format.clone(),
+            self.rank,
+            self.update.clone(),
+            self.gpus,
+            self.device.clone(),
+        )
+    }
+}
+
+fn kernel_from_value(v: &Value) -> Result<KernelBaseline, String> {
+    let mode = match v.get("mode") {
+        None | Some(Value::Null) => None,
+        Some(m) => Some(m.as_u64().ok_or_else(|| "non-integer mode".to_string())? as u32),
+    };
+    Ok(KernelBaseline {
+        gpu: get_u64(v, "gpu")?,
+        phase: get_str(v, "phase")?,
+        kernel: get_str(v, "kernel")?,
+        mode,
+        launches: get_u64(v, "launches")?,
+        flops: get_f64(v, "flops")?,
+        bytes: get_f64(v, "bytes")?,
+        modeled_s: get_f64(v, "modeled_s")?,
+        measured_s: get_f64(v, "measured_s")?,
+    })
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+/// Direction of a baseline delta. Both regressions and improvements are
+/// *drift* — either fails the gate until the baseline is re-recorded —
+/// but the report distinguishes them so an improvement isn't mistaken for
+/// a problem. [`DeltaKind::Neutral`] marks advisory rows (wall-clock
+/// movement) that never fail the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Counter increased (or a new key appeared): more work than baseline.
+    Regression,
+    /// Counter decreased (or a key vanished): less work than baseline.
+    Improvement,
+    /// Advisory only (noisy wall-clock); never fails the gate.
+    Neutral,
+}
+
+impl DeltaKind {
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeltaKind::Regression => "regression",
+            DeltaKind::Improvement => "improvement",
+            DeltaKind::Neutral => "neutral",
+        }
+    }
+}
+
+/// One divergence between a baseline and a current run.
+#[derive(Debug, Clone)]
+pub struct BaselineDelta {
+    /// Offending key, as [`KernelBaseline::key_string`].
+    pub key: String,
+    /// Which field diverged (`"launches"`, `"flops"`, `"bytes"`,
+    /// `"modeled_s"`, `"measured_s"`, or `"present"` for a key that exists
+    /// on only one side).
+    pub field: &'static str,
+    /// Baseline value (`0.0` when the key is new).
+    pub baseline: f64,
+    /// Current value (`0.0` when the key vanished).
+    pub current: f64,
+    /// Classification; `Regression`/`Improvement` fail the gate.
+    pub kind: DeltaKind,
+}
+
+impl BaselineDelta {
+    /// Whether this delta fails the gate.
+    pub fn is_drift(&self) -> bool {
+        self.kind != DeltaKind::Neutral
+    }
+}
+
+/// Relative tolerance for modeled time: it is a deterministic function of
+/// the exact counters, but per-record summation order may wiggle the last
+/// few ulps when aggregates are folded differently.
+const MODELED_S_REL_TOL: f64 = 1e-9;
+
+/// Advisory band for host wall-clock: movement beyond this fraction is
+/// *reported* (as [`DeltaKind::Neutral`]) but never fails the gate.
+const MEASURED_S_REL_BAND: f64 = 0.5;
+
+/// Diffs `current` against `baseline`, per key.
+///
+/// Counters (`launches`, `flops`, `bytes`) must match exactly; modeled
+/// time must match to [`MODELED_S_REL_TOL`]; wall-clock outside
+/// [`MEASURED_S_REL_BAND`] produces an advisory row. Keys present on only
+/// one side produce a `"present"` drift row. Errors if the two artifacts
+/// describe different run configurations.
+pub fn compare_baselines(
+    baseline: &PerfBaseline,
+    current: &PerfBaseline,
+) -> Result<Vec<BaselineDelta>, String> {
+    if baseline.config_tuple() != current.config_tuple() {
+        return Err(format!(
+            "config mismatch: baseline is {}, current is {}",
+            baseline.file_stem(),
+            current.file_stem()
+        ));
+    }
+
+    type MapKey = (u64, String, String, Option<u32>);
+    let index = |b: &PerfBaseline| -> BTreeMap<MapKey, KernelBaseline> {
+        b.kernels
+            .iter()
+            .map(|k| ((k.gpu, k.phase.clone(), k.kernel.clone(), k.mode), k.clone()))
+            .collect()
+    };
+    let base_map = index(baseline);
+    let cur_map = index(current);
+
+    let mut deltas = Vec::new();
+    for (key, b) in &base_map {
+        let Some(c) = cur_map.get(key) else {
+            deltas.push(BaselineDelta {
+                key: b.key_string(),
+                field: "present",
+                baseline: b.launches as f64,
+                current: 0.0,
+                kind: DeltaKind::Improvement,
+            });
+            continue;
+        };
+        let mut exact = |field: &'static str, bv: f64, cv: f64| {
+            if bv != cv {
+                deltas.push(BaselineDelta {
+                    key: b.key_string(),
+                    field,
+                    baseline: bv,
+                    current: cv,
+                    kind: if cv > bv { DeltaKind::Regression } else { DeltaKind::Improvement },
+                });
+            }
+        };
+        exact("launches", b.launches as f64, c.launches as f64);
+        exact("flops", b.flops, c.flops);
+        exact("bytes", b.bytes, c.bytes);
+        if rel_diff(c.modeled_s, b.modeled_s) > MODELED_S_REL_TOL {
+            deltas.push(BaselineDelta {
+                key: b.key_string(),
+                field: "modeled_s",
+                baseline: b.modeled_s,
+                current: c.modeled_s,
+                kind: if c.modeled_s > b.modeled_s {
+                    DeltaKind::Regression
+                } else {
+                    DeltaKind::Improvement
+                },
+            });
+        }
+        if rel_diff(c.measured_s, b.measured_s) > MEASURED_S_REL_BAND {
+            deltas.push(BaselineDelta {
+                key: b.key_string(),
+                field: "measured_s",
+                baseline: b.measured_s,
+                current: c.measured_s,
+                kind: DeltaKind::Neutral,
+            });
+        }
+    }
+    for (key, c) in &cur_map {
+        if !base_map.contains_key(key) {
+            deltas.push(BaselineDelta {
+                key: c.key_string(),
+                field: "present",
+                baseline: 0.0,
+                current: c.launches as f64,
+                kind: DeltaKind::Regression,
+            });
+        }
+    }
+    Ok(deltas)
+}
+
+/// `|a - b| / max(|a|, |b|)`, `0.0` when both are zero.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::Phase;
+
+    fn entry(kernel: &str, mode: Option<u32>, launches: u64, flops: f64) -> KernelBaseline {
+        KernelBaseline {
+            gpu: 0,
+            phase: Phase::Update.label().to_string(),
+            kernel: kernel.to_string(),
+            mode,
+            launches,
+            flops,
+            bytes: flops * 8.0,
+            modeled_s: flops * 1e-12,
+            measured_s: 1e-4,
+        }
+    }
+
+    fn baseline(kernels: Vec<KernelBaseline>) -> PerfBaseline {
+        PerfBaseline {
+            schema_version: BASELINE_SCHEMA_VERSION,
+            dataset: "synthetic".into(),
+            format: "coo".into(),
+            rank: 16,
+            update: "admm".into(),
+            gpus: 1,
+            device: "NVIDIA A100".into(),
+            kernels,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let b =
+            baseline(vec![entry("trsm_fwd_bwd", Some(2), 30, 1e8), entry("copy", None, 5, 0.0)]);
+        let back = PerfBaseline::from_json(&b.to_json_pretty()).unwrap();
+        assert_eq!(back.file_stem(), "synthetic-coo-r16-admm-g1");
+        assert_eq!(back.kernels.len(), 2);
+        assert_eq!(back.kernels[0].mode, Some(2));
+        assert_eq!(back.kernels[1].mode, None);
+        assert_eq!(back.kernels[0].launches, 30);
+        assert!(compare_baselines(&b, &back).unwrap().is_empty(), "roundtrip has zero drift");
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let b = baseline(vec![]);
+        let text = b.to_json_pretty().replace("\"schema_version\": 1", "\"schema_version\": 99");
+        let err = PerfBaseline::from_json(&text).unwrap_err();
+        assert!(err.contains("schema version 99"), "{err}");
+    }
+
+    #[test]
+    fn counter_drift_is_exact_and_directional() {
+        let old = baseline(vec![entry("mttkrp", Some(0), 10, 1e8)]);
+        let mut new = old.clone();
+        new.kernels[0].launches = 11; // one extra launch
+        new.kernels[0].flops = 1.1e8;
+        let deltas = compare_baselines(&old, &new).unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas.iter().all(|d| d.kind == DeltaKind::Regression && d.is_drift()));
+        assert!(deltas.iter().any(|d| d.field == "launches"));
+        assert_eq!(deltas[0].key, "gpu0 UPDATE/mttkrp/0");
+
+        new.kernels[0].launches = 9;
+        new.kernels[0].flops = 0.9e8;
+        let deltas = compare_baselines(&old, &new).unwrap();
+        assert!(deltas.iter().all(|d| d.kind == DeltaKind::Improvement));
+    }
+
+    #[test]
+    fn appearing_and_vanishing_keys_are_drift() {
+        let old = baseline(vec![entry("a", None, 1, 1.0)]);
+        let new = baseline(vec![entry("b", None, 1, 1.0)]);
+        let deltas = compare_baselines(&old, &new).unwrap();
+        assert_eq!(deltas.len(), 2);
+        let gone = deltas.iter().find(|d| d.key.contains("/a/")).unwrap();
+        assert_eq!((gone.field, gone.kind), ("present", DeltaKind::Improvement));
+        let born = deltas.iter().find(|d| d.key.contains("/b/")).unwrap();
+        assert_eq!((born.field, born.kind), ("present", DeltaKind::Regression));
+    }
+
+    #[test]
+    fn wall_clock_movement_is_advisory_only() {
+        let old = baseline(vec![entry("k", None, 1, 1e6)]);
+        let mut new = old.clone();
+        new.kernels[0].measured_s = 1.0; // 10^4x slower wall-clock
+        let deltas = compare_baselines(&old, &new).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].field, "measured_s");
+        assert!(!deltas[0].is_drift(), "wall-clock never fails the gate");
+    }
+
+    #[test]
+    fn config_mismatch_is_an_error_not_a_diff() {
+        let a = baseline(vec![]);
+        let mut b = baseline(vec![]);
+        b.rank = 32;
+        assert!(compare_baselines(&a, &b).unwrap_err().contains("config mismatch"));
+    }
+
+    #[test]
+    fn modeled_time_has_tight_tolerance() {
+        let old = baseline(vec![entry("k", None, 1, 1e6)]);
+        let mut new = old.clone();
+        new.kernels[0].modeled_s *= 1.0 + 1e-12; // ulp-level wiggle: fine
+        assert!(compare_baselines(&old, &new).unwrap().is_empty());
+        new.kernels[0].modeled_s *= 1.01; // 1% movement: drift
+        let deltas = compare_baselines(&old, &new).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].field, "modeled_s");
+        assert!(deltas[0].is_drift());
+    }
+}

@@ -44,7 +44,7 @@ impl KernelClass {
     /// Fraction of peak FLOP rate this class typically sustains on a given
     /// device kind. Triangular solves' dependent chains devastate GPU SIMT
     /// throughput but are bread-and-butter for out-of-order CPU cores.
-    fn compute_efficiency(self, kind: DeviceKind) -> f64 {
+    pub fn compute_efficiency(self, kind: DeviceKind) -> f64 {
         match (self, kind) {
             (KernelClass::Stream, _) => 0.9,
             (KernelClass::Gemm, _) => 0.75,
@@ -63,7 +63,7 @@ impl KernelClass {
     /// stores in the OpenMP baselines) and lose more to irregular gathers'
     /// cache-line waste than GPUs lose on coalesced row gathers; GPUs lose
     /// more than CPUs on fully random access (latency-bound warps).
-    fn memory_efficiency(self, kind: DeviceKind) -> f64 {
+    pub fn memory_efficiency(self, kind: DeviceKind) -> f64 {
         match (self, kind) {
             (KernelClass::Stream, DeviceKind::Gpu) => 0.85,
             (KernelClass::Stream, DeviceKind::Cpu) => 0.55,

@@ -92,8 +92,23 @@ impl Device {
             cost,
             modeled_s,
             measured_s,
+            mode: None, // stamped from the profiler's mode context
         });
         out
+    }
+
+    /// Sets the mode context for kernel attribution: every subsequent
+    /// launch, transfer and collective is keyed under this tensor mode in
+    /// the per-kernel aggregates (`None` outside the mode loop).
+    pub fn set_mode(&self, mode: Option<usize>) {
+        self.profiler.lock().set_mode(mode.map(|m| m as u32));
+    }
+
+    /// Snapshot of the per-key kernel aggregates in stable key order.
+    pub fn kernel_totals(
+        &self,
+    ) -> Vec<(crate::profiler::KernelKey, crate::profiler::KernelTotals)> {
+        self.profiler.lock().kernels()
     }
 
     /// Launches a kernel that may draw an injected fault from the device's
@@ -167,6 +182,7 @@ impl Device {
             cost: KernelCost { bytes_read: bytes, ..Default::default() },
             modeled_s,
             measured_s: 0.0,
+            mode: None,
         });
     }
 
@@ -199,6 +215,7 @@ impl Device {
             cost: KernelCost { bytes_read: bytes, ..Default::default() },
             modeled_s,
             measured_s: 0.0,
+            mode: None,
         });
     }
 
@@ -446,6 +463,26 @@ mod tests {
             outcomes
         };
         assert_eq!(run(0), run(3), "plain launches must not consume fault ops");
+    }
+
+    #[test]
+    fn mode_context_keys_kernel_aggregates() {
+        let dev = Device::new(DeviceSpec::a100());
+        dev.set_mode(Some(0));
+        dev.launch("mttkrp", Phase::Mttkrp, KernelClass::SparseGather, cost(10.0), || ());
+        dev.set_mode(Some(1));
+        dev.launch("mttkrp", Phase::Mttkrp, KernelClass::SparseGather, cost(10.0), || ());
+        dev.transfer("h2d", 1e3);
+        dev.set_mode(None);
+        let kernels = dev.kernel_totals();
+        assert_eq!(kernels.len(), 3);
+        assert!(kernels.iter().any(|((p, n, m), t)| *p == Phase::Mttkrp
+            && *n == "mttkrp"
+            && *m == Some(0)
+            && t.launches == 1));
+        assert!(kernels
+            .iter()
+            .any(|((p, n, m), _)| *p == Phase::Transfer && *n == "h2d" && *m == Some(1)));
     }
 
     #[test]

@@ -15,21 +15,38 @@ use crate::spec::DeviceSpec;
 ///
 /// Counters: total launches, flops, logical bytes, and process heap
 /// allocations (meaningful when the binary installs
-/// [`cstf_telemetry::alloc::CountingAlloc`]). Gauges: heap high-water
-/// bytes and the mean occupancy proxy
+/// [`cstf_telemetry::alloc::CountingAlloc`]), plus per-kernel-key labeled
+/// families (`cstf_kernel_launches_total{phase=,kernel=,mode=}` and
+/// friends). Gauges: heap high-water bytes and the mean occupancy proxy
 /// `min(parallel_work / saturation_elems, 1)` over retained records.
 /// Histograms: per-launch modeled and measured nanoseconds in the shared
 /// log-spaced buckets.
 pub fn registry_from_capture(capture: &RunCapture, spec: &DeviceSpec) -> Registry {
-    let registry = Registry::new();
+    registry_from_captures(&[capture], spec)
+}
 
+/// Builds one metrics registry across several device captures (one per
+/// device in a sharded run).
+///
+/// Unlabeled aggregates (`cstf_launches_total`, phase gauges, histograms)
+/// sum over all captures, preserving the single-device export shape. The
+/// per-kernel-key labeled families gain a `device` label when more than
+/// one capture is exported, so per-device attribution survives in the
+/// scrape (`device="0"`, `device="1"`, ...).
+pub fn registry_from_captures(captures: &[&RunCapture], spec: &DeviceSpec) -> Registry {
+    let registry = Registry::new();
+    let multi_device = captures.len() > 1;
+
+    let total_launches: usize = captures.iter().map(|c| c.total_launches()).sum();
     registry.counter_add(
         "cstf_launches_total",
         "Kernel launches recorded in this run",
-        capture.total_launches() as f64,
+        total_launches as f64,
     );
-    let (flops, bytes) =
-        capture.phases.iter().fold((0.0, 0.0), |(f, b), (_, t)| (f + t.flops, b + t.bytes));
+    let (flops, bytes) = captures
+        .iter()
+        .flat_map(|c| c.phases.iter())
+        .fold((0.0, 0.0), |(f, b), (_, t)| (f + t.flops, b + t.bytes));
     registry.counter_add("cstf_flops_total", "Floating-point operations tallied", flops);
     registry.counter_add("cstf_bytes_total", "Logical bytes moved by kernels", bytes);
     registry.counter_add(
@@ -37,11 +54,12 @@ pub fn registry_from_capture(capture: &RunCapture, spec: &DeviceSpec) -> Registr
         "Heap allocations since process start (counting allocator)",
         alloc::allocation_count() as f64,
     );
-    if !capture.faults.is_empty() {
+    let total_faults: usize = captures.iter().map(|c| c.faults.len()).sum();
+    if total_faults > 0 {
         registry.counter_add(
             "cstf_faults_injected_total",
             "Device faults injected by the fault plan",
-            capture.faults.len() as f64,
+            total_faults as f64,
         );
         for kind in [
             crate::fault::FaultKind::TransientLaunch,
@@ -49,7 +67,8 @@ pub fn registry_from_capture(capture: &RunCapture, spec: &DeviceSpec) -> Registr
             crate::fault::FaultKind::TransferFailure,
             crate::fault::FaultKind::DeviceOom,
         ] {
-            let n = capture.faults.iter().filter(|f| f.kind == kind).count();
+            let n: usize =
+                captures.iter().map(|c| c.faults.iter().filter(|f| f.kind == kind).count()).sum();
             if n > 0 {
                 registry.counter_add(
                     &format!("cstf_fault_{}_total", kind.label()),
@@ -65,39 +84,91 @@ pub fn registry_from_capture(capture: &RunCapture, spec: &DeviceSpec) -> Registr
         "Peak live heap bytes (counting allocator)",
         alloc::peak_bytes() as f64,
     );
-    for (phase, totals) in &capture.phases {
+    let mut phase_seconds: std::collections::BTreeMap<crate::profiler::Phase, f64> =
+        std::collections::BTreeMap::new();
+    for capture in captures {
+        for (phase, totals) in &capture.phases {
+            *phase_seconds.entry(*phase).or_insert(0.0) += totals.seconds;
+        }
+    }
+    for (phase, seconds) in &phase_seconds {
         registry.gauge_set(
             &format!("cstf_phase_modeled_seconds_{}", phase.label().to_lowercase()),
             "Modeled seconds attributed to this phase",
-            totals.seconds,
+            *seconds,
         );
     }
-    if !capture.records.is_empty() {
-        let occupancy_sum: f64 = capture
-            .records
+    let total_records: usize = captures.iter().map(|c| c.records.len()).sum();
+    if total_records > 0 {
+        let occupancy_sum: f64 = captures
             .iter()
+            .flat_map(|c| c.records.iter())
             .map(|r| (r.cost.parallel_work / spec.saturation_elems).min(1.0))
             .sum();
         registry.gauge_set(
             "cstf_occupancy_mean",
             "Mean occupancy proxy min(parallel_work / saturation_elems, 1) over launches",
-            occupancy_sum / capture.records.len() as f64,
+            occupancy_sum / total_records as f64,
         );
     }
 
-    for rec in &capture.records {
-        registry.histogram_observe(
-            "cstf_kernel_modeled_ns",
-            "Per-launch modeled time in nanoseconds",
-            &NS_BUCKETS,
-            rec.modeled_s * 1e9,
-        );
-        registry.histogram_observe(
-            "cstf_kernel_measured_ns",
-            "Per-launch measured host wall-clock in nanoseconds",
-            &NS_BUCKETS,
-            rec.measured_s * 1e9,
-        );
+    for capture in captures {
+        for rec in &capture.records {
+            registry.histogram_observe(
+                "cstf_kernel_modeled_ns",
+                "Per-launch modeled time in nanoseconds",
+                &NS_BUCKETS,
+                rec.modeled_s * 1e9,
+            );
+            registry.histogram_observe(
+                "cstf_kernel_measured_ns",
+                "Per-launch measured host wall-clock in nanoseconds",
+                &NS_BUCKETS,
+                rec.measured_s * 1e9,
+            );
+        }
+    }
+
+    for (device, capture) in captures.iter().enumerate() {
+        let device_label = device.to_string();
+        for ((phase, kernel, mode), totals) in &capture.kernels {
+            let mode_label = mode.map_or_else(|| "-".to_string(), |m| m.to_string());
+            let mut labels: Vec<(&str, &str)> =
+                vec![("phase", phase.label()), ("kernel", kernel), ("mode", &mode_label)];
+            if multi_device {
+                labels.push(("device", &device_label));
+            }
+            registry.counter_add_labeled(
+                "cstf_kernel_launches_total",
+                "Launches per (phase, kernel, mode) attribution key",
+                &labels,
+                totals.launches as f64,
+            );
+            registry.counter_add_labeled(
+                "cstf_kernel_flops_total",
+                "Exact flops per (phase, kernel, mode) attribution key",
+                &labels,
+                totals.flops,
+            );
+            registry.counter_add_labeled(
+                "cstf_kernel_bytes_total",
+                "Exact logical bytes per (phase, kernel, mode) attribution key",
+                &labels,
+                totals.bytes,
+            );
+            registry.gauge_set_labeled(
+                "cstf_kernel_modeled_seconds",
+                "Modeled seconds per (phase, kernel, mode) attribution key",
+                &labels,
+                totals.modeled_s,
+            );
+            registry.gauge_set_labeled(
+                "cstf_kernel_measured_seconds",
+                "Measured host seconds per (phase, kernel, mode) attribution key",
+                &labels,
+                totals.measured_s,
+            );
+        }
     }
 
     registry
@@ -201,6 +272,36 @@ mod tests {
         assert_eq!(json["cstf_faults_injected_total"]["value"], 2.0);
         assert_eq!(json["cstf_fault_transient_launch_total"]["value"], 2.0);
         assert!(json.get("cstf_fault_device_oom_total").is_none());
+    }
+
+    #[test]
+    fn per_kernel_key_series_carry_exact_counters() {
+        let (capture, spec) = capture_with_launches();
+        let json = registry_from_capture(&capture, &spec).to_json();
+        let series = &json["cstf_kernel_launches_total"]["series"];
+        assert_eq!(series["kernel=\"mttkrp\",mode=\"-\",phase=\"MTTKRP\""], 3.0);
+        assert_eq!(
+            json["cstf_kernel_flops_total"]["series"]
+                ["kernel=\"mttkrp\",mode=\"-\",phase=\"MTTKRP\""],
+            3e6
+        );
+    }
+
+    #[test]
+    fn multi_capture_export_sums_aggregates_and_labels_devices() {
+        let (a, spec) = capture_with_launches();
+        let (b, _) = capture_with_launches();
+        let registry = registry_from_captures(&[&a, &b], &spec);
+        let json = registry.to_json();
+        // Unlabeled aggregates keep the single-device shape, summed.
+        assert_eq!(json["cstf_launches_total"]["value"], 6.0);
+        assert_eq!(json["cstf_flops_total"]["value"], 6e6);
+        // Per-key series gain a device label per capture.
+        let series = &json["cstf_kernel_launches_total"]["series"];
+        assert_eq!(series["device=\"0\",kernel=\"mttkrp\",mode=\"-\",phase=\"MTTKRP\""], 3.0);
+        assert_eq!(series["device=\"1\",kernel=\"mttkrp\",mode=\"-\",phase=\"MTTKRP\""], 3.0);
+        // And the whole thing still parses as valid exposition format.
+        cstf_telemetry::parse_prometheus(&registry.to_prometheus()).expect("valid");
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod cost;
 #[allow(clippy::module_inception)]
 pub mod device;
@@ -51,17 +52,21 @@ pub mod export;
 pub mod fault;
 pub mod group;
 pub mod profiler;
+pub mod roofline;
 pub mod spec;
 pub mod trace;
 
+pub use baseline::{compare_baselines, BaselineDelta, DeltaKind, KernelBaseline, PerfBaseline};
 pub use cost::{kernel_time, transfer_time, KernelClass, KernelCost};
 pub use device::Device;
-pub use export::{phase_summaries, registry_from_capture};
+pub use export::{phase_summaries, registry_from_capture, registry_from_captures};
 pub use fault::{DeviceFault, FaultKind, FaultPlan};
 pub use group::{DeviceGroup, LinkModel};
 pub use profiler::{
-    FaultRecord, KernelRecord, MarkRecord, Phase, PhaseTotals, Profiler, RunCapture,
+    FaultRecord, KernelKey, KernelRecord, KernelTotals, MarkRecord, Phase, PhaseTotals, Profiler,
+    RunCapture,
 };
+pub use roofline::{attribute, classify, BoundKind, RooflineRow};
 pub use spec::{DeviceKind, DeviceSpec};
 pub use trace::{
     write_chrome_trace, write_full_trace, write_multi_device_trace, write_trace_events,

@@ -64,6 +64,52 @@ pub struct KernelRecord {
     /// Measured host wall-clock of the launch body in seconds (`0.0` for
     /// transfers, which execute no host code).
     pub measured_s: f64,
+    /// The tensor mode being updated when the launch was recorded (stamped
+    /// from the profiler's mode context; `None` outside a mode loop).
+    pub mode: Option<u32>,
+}
+
+/// Stable attribution key for kernel aggregation: every launch resolves to
+/// one `(phase, kernel name, mode)` triple. The key is what the perf
+/// baselines and the roofline attribution table are indexed by, so its
+/// ordering (phase display order, then kernel name, then mode) must stay
+/// stable across runs.
+pub type KernelKey = (Phase, &'static str, Option<u32>);
+
+/// Per-key aggregate over all launches sharing one [`KernelKey`]. Counters
+/// (`launches`, `flops`, `bytes`) are exact — on the simulated device they
+/// are deterministic tallies, so any drift between runs is a real
+/// algorithmic change, not measurement noise.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct KernelTotals {
+    /// Kernel class of the launches under this key (stable per kernel).
+    pub class: KernelClass,
+    /// Number of launches.
+    pub launches: usize,
+    /// Total flops.
+    pub flops: f64,
+    /// Total logical bytes (read + written + gather).
+    pub bytes: f64,
+    /// Total modeled seconds.
+    pub modeled_s: f64,
+    /// Total measured host wall-clock seconds.
+    pub measured_s: f64,
+}
+
+impl KernelTotals {
+    fn new(class: KernelClass) -> Self {
+        Self { class, launches: 0, flops: 0.0, bytes: 0.0, modeled_s: 0.0, measured_s: 0.0 }
+    }
+
+    /// Aggregate arithmetic intensity in flop/byte (infinite when the key
+    /// moved no bytes — e.g. cache-resident reductions).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
 }
 
 /// A labeled position in the kernel stream — e.g. an outer-iteration
@@ -111,6 +157,9 @@ pub struct RunCapture {
     pub faults: Vec<FaultRecord>,
     /// Per-phase totals in display order, skipping empty phases.
     pub phases: Vec<(Phase, PhaseTotals)>,
+    /// Per-key kernel aggregates in key order (always collected — the
+    /// key space is small and bounded, unlike the per-launch records).
+    pub kernels: Vec<(KernelKey, KernelTotals)>,
 }
 
 impl RunCapture {
@@ -133,6 +182,14 @@ impl RunCapture {
     pub fn phase(&self, phase: Phase) -> PhaseTotals {
         self.phases.iter().find(|(p, _)| *p == phase).map(|(_, t)| *t).unwrap_or_default()
     }
+
+    /// Aggregate for one kernel key, if that key launched anything.
+    pub fn kernel(&self, phase: Phase, name: &str, mode: Option<u32>) -> Option<KernelTotals> {
+        self.kernels
+            .iter()
+            .find(|((p, n, m), _)| *p == phase && *n == name && *m == mode)
+            .map(|(_, t)| *t)
+    }
 }
 
 /// Aggregated totals for one phase.
@@ -150,7 +207,8 @@ pub struct PhaseTotals {
     pub bytes: f64,
 }
 
-/// Accumulates kernel records and per-phase totals.
+/// Accumulates kernel records, per-phase totals and per-key kernel
+/// aggregates.
 #[derive(Debug, Default)]
 pub struct Profiler {
     records: Vec<KernelRecord>,
@@ -158,6 +216,10 @@ pub struct Profiler {
     faults: Vec<FaultRecord>,
     keep_records: bool,
     totals: BTreeMap<Phase, PhaseTotals>,
+    kernels: BTreeMap<KernelKey, KernelTotals>,
+    /// Mode context stamped onto every record; survives `take`/`reset`
+    /// (it is caller state, not run data).
+    current_mode: Option<u32>,
     launches_seen: usize,
 }
 
@@ -172,18 +234,35 @@ impl Profiler {
         Self { keep_records: true, ..Self::default() }
     }
 
-    /// Records one kernel launch.
-    pub fn record(&mut self, rec: KernelRecord) {
+    /// Records one kernel launch, stamping the current mode context onto
+    /// the record and folding it into the phase and per-key aggregates.
+    pub fn record(&mut self, mut rec: KernelRecord) {
+        rec.mode = self.current_mode;
         let t = self.totals.entry(rec.phase).or_default();
         t.seconds += rec.modeled_s;
         t.measured_s += rec.measured_s;
         t.launches += 1;
         t.flops += rec.cost.flops;
         t.bytes += rec.cost.bytes();
+        let k = self
+            .kernels
+            .entry((rec.phase, rec.name, rec.mode))
+            .or_insert_with(|| KernelTotals::new(rec.class));
+        k.launches += 1;
+        k.flops += rec.cost.flops;
+        k.bytes += rec.cost.bytes();
+        k.modeled_s += rec.modeled_s;
+        k.measured_s += rec.measured_s;
         self.launches_seen += 1;
         if self.keep_records {
             self.records.push(rec);
         }
+    }
+
+    /// Sets the mode context stamped onto subsequent records (`None` to
+    /// leave the mode loop).
+    pub fn set_mode(&mut self, mode: Option<u32>) {
+        self.current_mode = mode;
     }
 
     /// Records a labeled position in the kernel stream (retained only
@@ -223,6 +302,11 @@ impl Profiler {
         Phase::all().into_iter().filter_map(|p| self.totals.get(&p).map(|t| (p, *t))).collect()
     }
 
+    /// Per-key kernel aggregates in stable key order.
+    pub fn kernels(&self) -> Vec<(KernelKey, KernelTotals)> {
+        self.kernels.iter().map(|(k, t)| (*k, *t)).collect()
+    }
+
     /// Total modeled time across all phases, in seconds.
     pub fn total_seconds(&self) -> f64 {
         self.totals.values().map(|t| t.seconds).sum()
@@ -244,12 +328,14 @@ impl Profiler {
         &self.records
     }
 
-    /// Clears all records, marks, faults and totals.
+    /// Clears all records, marks, faults, totals and kernel aggregates
+    /// (the mode context is caller state and survives).
     pub fn reset(&mut self) {
         self.records.clear();
         self.marks.clear();
         self.faults.clear();
         self.totals.clear();
+        self.kernels.clear();
         self.launches_seen = 0;
     }
 
@@ -261,6 +347,7 @@ impl Profiler {
             marks: std::mem::take(&mut self.marks),
             faults: std::mem::take(&mut self.faults),
             phases: self.phases(),
+            kernels: std::mem::take(&mut self.kernels).into_iter().collect(),
         };
         self.totals.clear();
         self.launches_seen = 0;
@@ -280,6 +367,7 @@ mod tests {
             cost: KernelCost { flops, bytes_read: 10.0, bytes_written: 5.0, ..Default::default() },
             modeled_s: secs,
             measured_s: secs * 0.5,
+            mode: None,
         }
     }
 
@@ -371,6 +459,54 @@ mod tests {
         let capture = p.take();
         assert_eq!(capture.faults.len(), 1);
         assert!(p.faults().is_empty(), "take clears faults too");
+    }
+
+    #[test]
+    fn kernel_aggregates_key_on_phase_name_and_mode() {
+        let mut p = Profiler::new(); // lean profiler: aggregates still collected
+        p.set_mode(Some(0));
+        p.record(rec(Phase::Update, 1.0, 100.0));
+        p.record(rec(Phase::Update, 2.0, 50.0));
+        p.set_mode(Some(1));
+        p.record(rec(Phase::Update, 4.0, 25.0));
+        p.set_mode(None);
+        p.record(rec(Phase::Other, 0.5, 5.0));
+
+        let kernels = p.kernels();
+        assert_eq!(kernels.len(), 3);
+        let m0 = kernels
+            .iter()
+            .find(|((ph, n, m), _)| *ph == Phase::Update && *n == "k" && *m == Some(0))
+            .map(|(_, t)| *t)
+            .expect("mode-0 key present");
+        assert_eq!(m0.launches, 2);
+        assert_eq!(m0.flops, 150.0);
+        assert_eq!(m0.bytes, 30.0);
+        assert_eq!(m0.modeled_s, 3.0);
+        let m1 = kernels.iter().find(|((_, _, m), _)| *m == Some(1)).map(|(_, t)| t).unwrap();
+        assert_eq!(m1.launches, 1);
+        assert!((m1.intensity() - 25.0 / 15.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mode_context_survives_take_but_aggregates_do_not() {
+        let mut p = Profiler::new();
+        p.set_mode(Some(2));
+        p.record(rec(Phase::Mttkrp, 1.0, 1.0));
+        let capture = p.take();
+        assert_eq!(capture.kernels.len(), 1);
+        assert_eq!(capture.kernel(Phase::Mttkrp, "k", Some(2)).unwrap().launches, 1);
+        assert!(p.kernels().is_empty(), "take clears the aggregates");
+        // The mode context is caller state: the next record is still mode 2.
+        p.record(rec(Phase::Mttkrp, 1.0, 1.0));
+        let ((_, _, mode), _) = p.kernels()[0];
+        assert_eq!(mode, Some(2));
+    }
+
+    #[test]
+    fn zero_byte_keys_report_infinite_intensity() {
+        let t = KernelTotals { bytes: 0.0, flops: 5.0, ..KernelTotals::new(KernelClass::Reduce) };
+        assert_eq!(t.intensity(), f64::INFINITY);
     }
 
     #[test]

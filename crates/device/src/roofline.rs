@@ -1,0 +1,215 @@
+//! Roofline attribution for per-kernel counter aggregates.
+//!
+//! Classifies each `(phase, kernel, mode)` aggregate from the profiler
+//! against a [`DeviceSpec`]'s roofline (§3.3 of the paper): a key is
+//! **latency-bound** when its launch overhead dominates both derated
+//! throughput terms, otherwise **bandwidth-** or **compute-bound** by
+//! whichever derated roofline term is larger. Derates come from the same
+//! per-class efficiencies the cost model itself applies
+//! ([`KernelClass::compute_efficiency`] / [`KernelClass::memory_efficiency`]),
+//! so classification agrees with how the modeled time was actually built.
+//!
+//! Also hosts the closed forms of **Equations 3–5** — the paper's per-inner-
+//! iteration ADMM cost analysis — which `cstf analyze` compares against
+//! measured counters to flag metering drift.
+
+use crate::profiler::{KernelKey, KernelTotals};
+use crate::spec::DeviceSpec;
+
+/// Which roofline ceiling binds a kernel aggregate on a given device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// Derated memory-traffic time exceeds derated compute time.
+    Bandwidth,
+    /// Derated compute time exceeds derated memory-traffic time.
+    Compute,
+    /// Fixed launch overhead exceeds both throughput terms: the kernel is
+    /// too small for the device (the paper's small-factor regime, §5.3).
+    Latency,
+}
+
+impl BoundKind {
+    /// Short lowercase label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            BoundKind::Bandwidth => "bandwidth",
+            BoundKind::Compute => "compute",
+            BoundKind::Latency => "latency",
+        }
+    }
+}
+
+/// One row of the roofline attribution table: a kernel key's exact
+/// aggregates joined with its derived intensity and bound classification.
+#[derive(Debug, Clone)]
+pub struct RooflineRow {
+    /// The `(phase, kernel, mode)` attribution key.
+    pub key: KernelKey,
+    /// Exact counter aggregates for the key.
+    pub totals: KernelTotals,
+    /// Arithmetic intensity, flop/byte (`inf` for byte-free keys).
+    pub intensity: f64,
+    /// Which ceiling binds this key on the classifying device.
+    pub bound: BoundKind,
+}
+
+/// Classifies one aggregate against `spec`'s roofline.
+///
+/// Uses the cost model's own derates: compute time is
+/// `flops / (peak * compute_efficiency)`, memory time is
+/// `bytes / (bandwidth * memory_efficiency)`, launch time is
+/// `launches * kernel_launch_us`. Latency wins ties against either
+/// throughput term (a kernel at exactly launch cost is launch-dominated).
+pub fn classify(totals: &KernelTotals, spec: &DeviceSpec) -> BoundKind {
+    let compute_s =
+        totals.flops / (spec.peak_gflops_f64 * 1e9 * totals.class.compute_efficiency(spec.kind));
+    let memory_s =
+        totals.bytes / (spec.mem_bw_gbs * 1e9 * totals.class.memory_efficiency(spec.kind));
+    let launch_s = totals.launches as f64 * spec.kernel_launch_us * 1e-6;
+    if launch_s >= compute_s.max(memory_s) {
+        BoundKind::Latency
+    } else if memory_s >= compute_s {
+        BoundKind::Bandwidth
+    } else {
+        BoundKind::Compute
+    }
+}
+
+/// Builds the full attribution table from a device's per-key aggregates,
+/// preserving the profiler's stable key order.
+pub fn attribute(kernels: &[(KernelKey, KernelTotals)], spec: &DeviceSpec) -> Vec<RooflineRow> {
+    kernels
+        .iter()
+        .map(|(key, totals)| RooflineRow {
+            key: *key,
+            totals: *totals,
+            intensity: totals.intensity(),
+            bound: classify(totals, spec),
+        })
+        .collect()
+}
+
+/// Eq. 3: flops per ADMM inner iteration on an `I x R` factor,
+/// `W = 19*I*R + 2*I*R^2`.
+pub fn eq3_flops(i: usize, rank: usize) -> f64 {
+    let (i, r) = (i as f64, rank as f64);
+    19.0 * i * r + 2.0 * i * r * r
+}
+
+/// Eq. 4: words moved per ADMM inner iteration, `Q = 22*I*R + R^2`.
+pub fn eq4_words(i: usize, rank: usize) -> f64 {
+    let (i, r) = (i as f64, rank as f64);
+    22.0 * i * r + r * r
+}
+
+/// Eq. 5: arithmetic intensity in flop/byte (8-byte words),
+/// `AI = (19 + 2R) / ((22 + R/I) * 8)`.
+pub fn eq5_intensity(i: usize, rank: usize) -> f64 {
+    eq3_flops(i, rank) / (eq4_words(i, rank) * 8.0)
+}
+
+/// Relative deviation `|measured / expected - 1|`; `inf` when the expected
+/// value is zero but the measurement is not.
+pub fn relative_deviation(measured: f64, expected: f64) -> f64 {
+    if expected == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured / expected - 1.0).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelClass;
+    use crate::profiler::{Phase, Profiler};
+
+    fn totals(class: KernelClass, launches: usize, flops: f64, bytes: f64) -> KernelTotals {
+        let mut p = Profiler::new();
+        for _ in 0..launches {
+            p.record(crate::profiler::KernelRecord {
+                name: "k",
+                phase: Phase::Update,
+                class,
+                cost: crate::cost::KernelCost {
+                    flops: flops / launches as f64,
+                    bytes_read: bytes / launches as f64,
+                    ..Default::default()
+                },
+                modeled_s: 1e-6,
+                measured_s: 0.0,
+                mode: None,
+            });
+        }
+        p.kernels()[0].1
+    }
+
+    #[test]
+    fn low_intensity_stream_is_bandwidth_bound() {
+        // 1 flop per 8 bytes, far below the A100 ridge (~9.9 flop/byte).
+        let t = totals(KernelClass::Stream, 10, 1e9, 8e9);
+        assert_eq!(classify(&t, &DeviceSpec::a100()), BoundKind::Bandwidth);
+    }
+
+    #[test]
+    fn high_intensity_gemm_is_compute_bound() {
+        // 1000 flop/byte, far above every ridge point.
+        let t = totals(KernelClass::Gemm, 10, 1e12, 1e9);
+        assert_eq!(classify(&t, &DeviceSpec::a100()), BoundKind::Compute);
+    }
+
+    #[test]
+    fn tiny_kernels_are_latency_bound_on_gpu_not_cpu() {
+        // 1 MB in one launch: ~0.6 us of HBM traffic hides under the A100's
+        // 4 us launch overhead, while the same megabyte costs ~9 us of DDR
+        // time against the CPU's 0.5 us dispatch — bandwidth-bound there.
+        let t = totals(KernelClass::Stream, 1, 1e4, 1e6);
+        assert_eq!(classify(&t, &DeviceSpec::a100()), BoundKind::Latency);
+        assert_eq!(classify(&t, &DeviceSpec::icelake_xeon()), BoundKind::Bandwidth);
+    }
+
+    #[test]
+    fn eq5_matches_paper_reference_points() {
+        // §3.3: AI ~ 0.29 / 0.47 / 0.83 for R = 16 / 32 / 64.
+        let i = 100_000;
+        assert!((eq5_intensity(i, 16) - 0.29).abs() < 0.01);
+        assert!((eq5_intensity(i, 32) - 0.47).abs() < 0.01);
+        assert!((eq5_intensity(i, 64) - 0.84).abs() < 0.01);
+    }
+
+    #[test]
+    fn attribution_preserves_key_order_and_intensity() {
+        let mut p = Profiler::new();
+        for (name, phase) in [("gram_syrk", Phase::Gram), ("mttkrp", Phase::Mttkrp)] {
+            p.record(crate::profiler::KernelRecord {
+                name,
+                phase,
+                class: KernelClass::Stream,
+                cost: crate::cost::KernelCost {
+                    flops: 100.0,
+                    bytes_read: 800.0,
+                    ..Default::default()
+                },
+                modeled_s: 1e-6,
+                measured_s: 0.0,
+                mode: None,
+            });
+        }
+        let rows = attribute(&p.kernels(), &DeviceSpec::h100());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].key.0, Phase::Gram);
+        assert_eq!(rows[1].key.0, Phase::Mttkrp);
+        assert!((rows[0].intensity - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_deviation_handles_zero_expectations() {
+        assert_eq!(relative_deviation(0.0, 0.0), 0.0);
+        assert_eq!(relative_deviation(1.0, 0.0), f64::INFINITY);
+        assert!((relative_deviation(1.05, 1.0) - 0.05).abs() < 1e-12);
+    }
+}

@@ -47,6 +47,7 @@ pub fn write_trace_events<W: Write>(
 ) -> std::io::Result<()> {
     let mut events = complete_events(records);
     events.extend(counter_events(records));
+    events.extend(key_counter_events(records, 1));
     events.extend(instant_events(marks));
     events.extend(flow_events(records));
     let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
@@ -69,6 +70,7 @@ pub fn write_full_trace<W: Write>(
 ) -> std::io::Result<()> {
     let mut events = complete_events(records);
     events.extend(counter_events(records));
+    events.extend(key_counter_events(records, 1));
     events.extend(instant_events(marks));
     events.extend(fault_events(faults));
     events.extend(flow_events(records));
@@ -185,11 +187,19 @@ fn complete_events_pid(records: &[KernelRecord], pid: u32) -> Vec<Value> {
         .iter()
         .zip(&starts)
         .map(|(rec, &ts)| {
-            let args = json!({
-                "flops": finite(rec.cost.flops),
-                "bytes": finite(rec.cost.bytes()),
-                "measured_s": finite(rec.measured_s),
-            });
+            let args = match rec.mode {
+                Some(m) => json!({
+                    "flops": finite(rec.cost.flops),
+                    "bytes": finite(rec.cost.bytes()),
+                    "measured_s": finite(rec.measured_s),
+                    "mode": m,
+                }),
+                None => json!({
+                    "flops": finite(rec.cost.flops),
+                    "bytes": finite(rec.cost.bytes()),
+                    "measured_s": finite(rec.measured_s),
+                }),
+            };
             json!({
                 "name": rec.name,
                 "cat": rec.phase.label(),
@@ -223,6 +233,29 @@ fn counter_events_pid(records: &[KernelRecord], pid: u32) -> Vec<Value> {
         }));
         events.push(json!({
             "name": "bytes/s", "ph": "C", "ts": ts, "pid": pid, "args": byte_args,
+        }));
+    }
+    events
+}
+
+/// Cumulative per-key counter tracks: one `"ph": "C"` sample per kernel on
+/// a track named after its `(phase, kernel, mode)` attribution key, carrying
+/// the running flop total for that key. These are the same exact counters
+/// `cstf analyze` and the perf baselines consume, rendered over modeled
+/// time, so counter drift between two traces is visible as diverging stair
+/// steps rather than requiring a diff tool.
+fn key_counter_events(records: &[KernelRecord], pid: u32) -> Vec<Value> {
+    let starts = start_times_us(records);
+    let mut running: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    let mut events = Vec::with_capacity(records.len());
+    for (rec, &ts) in records.iter().zip(&starts) {
+        let mode = rec.mode.map_or_else(|| "-".to_string(), |m| m.to_string());
+        let track = format!("flops[{}/{}/{}]", rec.phase.label(), rec.name, mode);
+        let total = running.entry(track.clone()).or_insert(0.0);
+        *total += finite(rec.cost.flops);
+        let args = json!({ "value": *total });
+        events.push(json!({
+            "name": track, "ph": "C", "ts": ts, "pid": pid, "args": args,
         }));
     }
     events
@@ -319,6 +352,7 @@ mod tests {
             cost: KernelCost { flops: 100.0, bytes_read: 800.0, ..Default::default() },
             modeled_s: secs,
             measured_s: 0.0,
+            mode: None,
         }
     }
 
@@ -519,6 +553,33 @@ mod tests {
             .map(|e| (e["args"]["name"].as_str().unwrap(), e["pid"].as_i64().unwrap()))
             .collect();
         assert_eq!(names, vec![("gpu0", 1), ("gpu1", 2), ("host", 3)]);
+    }
+
+    #[test]
+    fn key_counter_tracks_accumulate_per_attribution_key() {
+        let mut a = rec("mttkrp", Phase::Mttkrp, 1e-3);
+        a.mode = Some(0);
+        let mut b = rec("mttkrp", Phase::Mttkrp, 1e-3);
+        b.mode = Some(0);
+        let c = rec("cholesky_factor", Phase::Update, 1e-4);
+        let mut buf = Vec::new();
+        write_trace_events(&[a, b, c], &[], &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_array().unwrap();
+
+        let samples: Vec<f64> = arr
+            .iter()
+            .filter(|e| e["ph"] == "C" && e["name"] == "flops[MTTKRP/mttkrp/0]")
+            .map(|e| e["args"]["value"].as_f64().unwrap())
+            .collect();
+        assert_eq!(samples, vec![100.0, 200.0], "running total per key");
+        assert!(
+            arr.iter().any(|e| e["name"] == "flops[UPDATE/cholesky_factor/-]"),
+            "mode-less keys land on the '-' track"
+        );
+        let complete = arr.iter().find(|e| e["ph"] == "X" && e["name"] == "mttkrp").unwrap();
+        assert_eq!(complete["args"]["mode"], 0);
     }
 
     #[test]

@@ -45,16 +45,59 @@ enum Metric {
     Counter(f64),
     Gauge(f64),
     Histogram(Histogram),
+    /// A counter family with labels: one series per rendered label block,
+    /// keyed by the canonical (sorted, escaped) block so series order is
+    /// stable in every export.
+    LabeledCounter(BTreeMap<String, f64>),
+    /// A gauge family with labels.
+    LabeledGauge(BTreeMap<String, f64>),
 }
 
 impl Metric {
     fn type_name(&self) -> &'static str {
         match self {
-            Metric::Counter(_) => "counter",
-            Metric::Gauge(_) => "gauge",
+            Metric::Counter(_) | Metric::LabeledCounter(_) => "counter",
+            Metric::Gauge(_) | Metric::LabeledGauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
         }
     }
+}
+
+/// Renders a label set as the canonical Prometheus block (without braces):
+/// labels sorted by name, values escaped per the exposition format
+/// (`\` -> `\\`, `"` -> `\"`, newline -> `\n`).
+///
+/// Panics on an invalid label name — label names are compile-time strings
+/// in this codebase, so a bad one is a programming error.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<_> = labels.to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            assert!(
+                !k.is_empty()
+                    && k.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "invalid label name {k:?}"
+            );
+            format!("{k}=\"{}\"", escape_label_value(v))
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[derive(Debug, Default)]
@@ -104,6 +147,41 @@ impl Registry {
         }
     }
 
+    /// Adds `v` to the series of counter family `name` identified by
+    /// `labels`, creating family and series at zero on first use. Label
+    /// order does not matter — series identity is the sorted label set.
+    pub fn counter_add_labeled(&self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        let block = render_labels(labels);
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::LabeledCounter(BTreeMap::new())));
+        match &mut entry.1 {
+            Metric::LabeledCounter(series) => {
+                *series.entry(block).or_insert(0.0) += v.max(0.0);
+            }
+            other => panic!("{name} is a {}, not a labeled counter", other.type_name()),
+        }
+    }
+
+    /// Sets the series of gauge family `name` identified by `labels` to
+    /// `v`.
+    pub fn gauge_set_labeled(&self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        let block = render_labels(labels);
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::LabeledGauge(BTreeMap::new())));
+        match &mut entry.1 {
+            Metric::LabeledGauge(series) => {
+                series.insert(block, v);
+            }
+            other => panic!("{name} is a {}, not a labeled gauge", other.type_name()),
+        }
+    }
+
     /// Records one observation in the fixed-bucket histogram `name`,
     /// creating it with `bounds` on first use.
     pub fn histogram_observe(&self, name: &str, help: &str, bounds: &[f64], v: f64) {
@@ -128,6 +206,11 @@ impl Registry {
             match metric {
                 Metric::Counter(v) | Metric::Gauge(v) => {
                     out.push_str(&format!("{name} {}\n", fmt_value(*v)));
+                }
+                Metric::LabeledCounter(series) | Metric::LabeledGauge(series) => {
+                    for (block, v) in series {
+                        out.push_str(&format!("{name}{{{block}}} {}\n", fmt_value(*v)));
+                    }
                 }
                 Metric::Histogram(h) => {
                     let mut cum = 0u64;
@@ -160,6 +243,15 @@ impl Registry {
                     "help": help,
                     "value": finite(*v),
                 }),
+                Metric::LabeledCounter(series) | Metric::LabeledGauge(series) => {
+                    let series: BTreeMap<String, f64> =
+                        series.iter().map(|(k, v)| (k.clone(), finite(*v))).collect();
+                    serde_json::json!({
+                        "type": metric.type_name(),
+                        "help": help,
+                        "series": series,
+                    })
+                }
                 Metric::Histogram(h) => serde_json::json!({
                     "type": "histogram",
                     "help": help,
@@ -207,7 +299,9 @@ pub struct PromSample {
 
 /// Minimal Prometheus text-format parser: returns every sample line and
 /// rejects structurally invalid lines. Comment (`#`) and blank lines are
-/// skipped; each sample must be `name[{labels}] value`.
+/// skipped; each sample must be `name[{labels}] value`. The series/value
+/// split happens *after* the label block, so label values containing
+/// whitespace (escaped or raw) parse correctly.
 pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -215,22 +309,43 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (series, value) = line
-            .rsplit_once(char::is_whitespace)
-            .ok_or_else(|| format!("line {}: no value in {line:?}", lineno + 1))?;
+        let (name, labels, value) = match line.split_once('{') {
+            Some((n, rest)) => {
+                // Find the closing brace outside quoted label values
+                // (quotes toggle on unescaped `"`).
+                let mut in_quotes = false;
+                let mut escaped = false;
+                let close = rest
+                    .char_indices()
+                    .find(|&(_, c)| {
+                        if escaped {
+                            escaped = false;
+                            false
+                        } else if c == '\\' {
+                            escaped = true;
+                            false
+                        } else if c == '"' {
+                            in_quotes = !in_quotes;
+                            false
+                        } else {
+                            c == '}' && !in_quotes
+                        }
+                    })
+                    .map(|(i, _)| i)
+                    .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
+                (n, rest[..close].to_string(), rest[close + 1..].trim())
+            }
+            None => {
+                let (series, value) = line
+                    .rsplit_once(char::is_whitespace)
+                    .ok_or_else(|| format!("line {}: no value in {line:?}", lineno + 1))?;
+                (series, String::new(), value)
+            }
+        };
         let value: f64 = match value {
             "+Inf" => f64::INFINITY,
             "-Inf" => f64::NEG_INFINITY,
             v => v.parse().map_err(|_| format!("line {}: bad value {v:?}", lineno + 1))?,
-        };
-        let (name, labels) = match series.split_once('{') {
-            Some((n, rest)) => {
-                let labels = rest
-                    .strip_suffix('}')
-                    .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
-                (n, labels.to_string())
-            }
-            None => (series, String::new()),
         };
         if name.is_empty()
             || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
@@ -290,6 +405,78 @@ mod tests {
         assert!(parse_prometheus("no_value_here").is_err());
         assert!(parse_prometheus("bad name 1.0 2.0 extra{").is_err());
         assert!(parse_prometheus("unterminated{le=\"1\" 3").is_err());
+    }
+
+    #[test]
+    fn labeled_series_render_sorted_with_one_family_header() {
+        let r = Registry::new();
+        // Insert out of label order and out of series order: export must be
+        // deterministic regardless.
+        r.counter_add_labeled("k_total", "per-kernel", &[("mode", "1"), ("kernel", "b")], 2.0);
+        r.counter_add_labeled("k_total", "per-kernel", &[("kernel", "a"), ("mode", "0")], 3.0);
+        r.counter_add_labeled("k_total", "per-kernel", &[("mode", "0"), ("kernel", "a")], 4.0);
+        let text = r.to_prometheus();
+        assert_eq!(text.matches("# TYPE k_total counter").count(), 1);
+        let a = text.find("k_total{kernel=\"a\",mode=\"0\"} 7").expect("accumulated series");
+        let b = text.find("k_total{kernel=\"b\",mode=\"1\"} 2").expect("second series");
+        assert!(a < b, "series in sorted label-block order");
+        let json = r.to_json();
+        assert_eq!(json["k_total"]["series"]["kernel=\"a\",mode=\"0\""], 7.0);
+    }
+
+    #[test]
+    fn labeled_gauges_overwrite_per_series() {
+        let r = Registry::new();
+        r.gauge_set_labeled("g", "", &[("device", "0")], 1.0);
+        r.gauge_set_labeled("g", "", &[("device", "0")], 5.0);
+        r.gauge_set_labeled("g", "", &[("device", "1")], 2.0);
+        let json = r.to_json();
+        assert_eq!(json["g"]["series"]["device=\"0\""], 5.0);
+        assert_eq!(json["g"]["series"]["device=\"1\""], 2.0);
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_parse_back() {
+        let r = Registry::new();
+        r.counter_add_labeled(
+            "weird_total",
+            "escaping",
+            &[("kernel", "back\\slash \"quoted\"\nnewline")],
+            1.0,
+        );
+        let text = r.to_prometheus();
+        assert!(
+            text.contains(r#"kernel="back\\slash \"quoted\"\nnewline""#),
+            "escaped exposition: {text}"
+        );
+        let samples = parse_prometheus(&text).expect("escaped labels parse");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "weird_total");
+        assert_eq!(samples[0].value, 1.0);
+        assert!(samples[0].labels.contains("back\\\\slash"));
+    }
+
+    #[test]
+    fn parser_splits_value_after_label_block_not_at_first_space() {
+        let samples =
+            parse_prometheus("m{phase=\"UPDATE\",kernel=\"two words\"} 42\n").expect("parses");
+        assert_eq!(samples[0].labels, "phase=\"UPDATE\",kernel=\"two words\"");
+        assert_eq!(samples[0].value, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn bad_label_names_panic() {
+        let r = Registry::new();
+        r.counter_add_labeled("m", "", &[("0bad name", "v")], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a labeled counter")]
+    fn labeled_and_unlabeled_kinds_do_not_mix() {
+        let r = Registry::new();
+        r.counter_add("m", "", 1.0);
+        r.counter_add_labeled("m", "", &[("a", "b")], 1.0);
     }
 
     #[test]
