@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use cstf_linalg::{gemm, gram, Cholesky, Mat};
+use cstf_linalg::{gemm, gram, simd, Cholesky, Mat};
 
 fn bench_linalg(c: &mut Criterion) {
     let rank = 32;
@@ -61,6 +61,27 @@ fn bench_linalg(c: &mut Criterion) {
         let mut out = Mat::zeros(rows, rank);
         b.iter(|| gemm::gemm(1.0, &tall, &inv, 0.0, &mut out))
     });
+    group.finish();
+
+    // Scalar vs lane backend on the same dense kernels. On stable (the
+    // `simd` feature off) both rows measure the scalar bodies and parity
+    // is expected; under `cargo +nightly bench --features simd` the gap
+    // is the explicit-f64x4 win at identical bit patterns.
+    let mut group = c.benchmark_group("dense_backend");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (label, backend) in [("scalar", simd::Backend::Scalar), ("lanes", simd::Backend::Lanes)] {
+        simd::set_backend_override(Some(backend));
+        group.bench_function(BenchmarkId::new("gemm_100k_by_32x32", label), |b| {
+            let mut out = Mat::zeros(rows, rank);
+            b.iter(|| gemm::gemm(1.0, &tall, &small, 0.0, &mut out))
+        });
+        group.bench_function(BenchmarkId::new("gram_100k_x32", label), |b| {
+            b.iter(|| gram::gram(&tall))
+        });
+    }
+    simd::set_backend_override(None);
     group.finish();
 
     // Rank sweep for the Gram kernel.

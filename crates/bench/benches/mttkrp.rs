@@ -8,6 +8,33 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cstf_core::auntf::seeded_factors;
 use cstf_data::SynthSpec;
 use cstf_formats::{mttkrp_coo_parallel, Alto, Blco, Csf, HiCoo};
+use cstf_tensor::SparseTensor;
+
+/// Fiber-skewed tensor: eight hot mode-0 slices hold ~70% of the
+/// nonzeros — the regime the construction-time fiber/row binning targets
+/// and uniform chunking mishandles.
+fn skewed_tensor(nnz: usize) -> SparseTensor {
+    let shape = vec![400usize, 300, 200];
+    let mut state: u64 = 0xb1a5_cafe;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut idx = vec![Vec::new(); 3];
+    let mut vals = Vec::new();
+    for k in 0..nnz {
+        let i0 = if k % 10 < 7 { next() % 8 } else { next() % shape[0] as u32 };
+        let c = [i0, next() % shape[1] as u32, next() % shape[2] as u32];
+        if seen.insert(c) {
+            for (m, &ci) in c.iter().enumerate() {
+                idx[m].push(ci);
+            }
+            vals.push(f64::from(next() % 100) / 25.0 + 0.04);
+        }
+    }
+    SparseTensor::new(shape, idx, vals)
+}
 
 fn bench_mttkrp(c: &mut Criterion) {
     let spec = SynthSpec {
@@ -47,6 +74,32 @@ fn bench_mttkrp(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("csf_onemode_nonroot", x.nnz()), |b| {
         b.iter(|| csf.mttkrp_any(&factors, 1))
+    });
+    group.finish();
+
+    // Load-balance microbench: binned schedules vs their disabled
+    // counterparts on a fiber-skewed tensor. `usize::MAX` cutoffs keep
+    // the identical kernels but build no heavy-row slots (BLCO falls
+    // back to pure CAS traffic on the hot rows).
+    let xs = skewed_tensor(250_000);
+    let fs = seeded_factors(xs.shape(), rank, 5);
+    let blco_binned = Blco::from_coo(&xs);
+    let blco_cas = Blco::from_coo_with_cutoff(&xs, usize::MAX);
+    let csf_binned = Csf::from_coo(&xs, 0);
+
+    let mut group = c.benchmark_group("mttkrp_skewed");
+    group.throughput(Throughput::Elements(xs.nnz() as u64));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function(BenchmarkId::new("blco_slotted", xs.nnz()), |b| {
+        b.iter(|| blco_binned.mttkrp(&fs, 0))
+    });
+    group.bench_function(BenchmarkId::new("blco_cas_only", xs.nnz()), |b| {
+        b.iter(|| blco_cas.mttkrp(&fs, 0))
+    });
+    group.bench_function(BenchmarkId::new("csf_fiber_binned", xs.nnz()), |b| {
+        b.iter(|| csf_binned.mttkrp(&fs))
     });
     group.finish();
 

@@ -9,8 +9,8 @@ use cstf_core::{
     Auntf, AuntfConfig, CheckpointConfig, Constraint, HalsConfig, MuConfig, UpdateMethod,
 };
 use cstf_device::{
-    compare_baselines, Device, DeviceGroup, DeviceSpec, FaultPlan, KernelBaseline, KernelClass,
-    KernelCost, LinkModel, PerfBaseline, Phase, RunCapture,
+    compare_baselines, compare_measured_band, Device, DeviceGroup, DeviceSpec, FaultPlan,
+    KernelBaseline, KernelClass, KernelCost, LinkModel, PerfBaseline, Phase, RunCapture,
 };
 use cstf_telemetry::{convergence, spans, IterationRecord, RunSummary};
 use cstf_tensor::SparseTensor;
@@ -138,6 +138,9 @@ pub fn help_text() -> String {
                             --baseline-dir (default results/baselines)\n\
        perf compare [opts]  re-run and diff against the recorded baseline;\n\
                             counters must match exactly — exit 3 on drift\n\
+       --measured-band F    also fail compare when the aggregate\n\
+                            measured/modeled time ratio grew by more than\n\
+                            fraction F vs the baseline (default 0 = off)\n\
      \n\
      FAULT TOLERANCE (factorize):\n\
        --faults SPEC        inject seeded device faults, e.g.\n\
@@ -1005,7 +1008,16 @@ fn cmd_perf(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         ))
     })?;
     let baseline = PerfBaseline::from_json(&text).map_err(CliError::Input)?;
-    let deltas = compare_baselines(&baseline, &current).map_err(CliError::Input)?;
+    let mut deltas = compare_baselines(&baseline, &current).map_err(CliError::Input)?;
+    // Measured-band ratchet: fail when the aggregate measured/modeled
+    // ratio grew past the band (0 disables; counters alone can't see a
+    // kernel getting slower without doing more work).
+    let band = p.parse_or("measured-band", 0.0f64, "number")?;
+    if band > 0.0 {
+        if let Some(d) = compare_measured_band(&baseline, &current, band) {
+            deltas.push(d);
+        }
+    }
 
     if p.has_flag("json") {
         let rows = deltas
@@ -1738,6 +1750,67 @@ mod tests {
         assert_eq!(err.exit_code(), 3);
         let msg = format!("{err}");
         assert!(msg.contains("perf_inject_launch"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn perf_compare_measured_band_ratchets_wall_clock() {
+        let dir = std::env::temp_dir().join("cstf_cli_perf_band");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap().to_string();
+        let config = [
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "4",
+            "--iters",
+            "2",
+            "--format",
+            "csf",
+            "--baseline-dir",
+            &d,
+        ];
+        let record: Vec<&str> = ["perf", "record"].iter().chain(config.iter()).copied().collect();
+        run(&record).unwrap();
+
+        // An absurdly wide band cannot fail: wall-clock noise between two
+        // in-process runs is orders of magnitude below it.
+        let compare: Vec<&str> = ["perf", "compare"]
+            .iter()
+            .chain(config.iter())
+            .chain(["--measured-band", "1000000000"].iter())
+            .copied()
+            .collect();
+        let out = run(&compare).unwrap();
+        assert!(out.contains("perf gate OK"), "{out}");
+
+        // Doctor the stored baseline to claim near-zero wall-clock: the
+        // current run's measured/modeled ratio now exceeds any sane band,
+        // so compare must exit 3 via the aggregate ratchet (counters still
+        // match exactly).
+        let path = dir.join("uber-csf-r4-cuadmm-g1.json");
+        let mut v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        for k in v["kernels"].as_array_mut().unwrap() {
+            k["measured_s"] = serde_json::json!(1e-12);
+        }
+        std::fs::write(&path, serde_json::to_string_pretty(&v).unwrap()).unwrap();
+        let banded: Vec<&str> = ["perf", "compare"]
+            .iter()
+            .chain(config.iter())
+            .chain(["--measured-band", "0.5"].iter())
+            .copied()
+            .collect();
+        let err = run(&banded).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(format!("{err}").contains("aggregate"), "{err}");
+
+        // Without the flag the doctored wall-clock stays advisory.
+        let compare: Vec<&str> = ["perf", "compare"].iter().chain(config.iter()).copied().collect();
+        let out = run(&compare).unwrap();
+        assert!(out.contains("perf gate OK"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

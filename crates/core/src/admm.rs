@@ -34,7 +34,7 @@
 use rayon::prelude::*;
 
 use cstf_device::{Device, KernelClass, KernelCost, Phase};
-use cstf_linalg::{tuning, Cholesky, Mat};
+use cstf_linalg::{simd, tuning, Cholesky, Mat};
 
 use crate::prox::Constraint;
 use crate::recovery::{AdmmError, CholeskyError};
@@ -185,16 +185,19 @@ fn map2(out: &mut Mat, a: &Mat, b: &Mat, f: impl Fn(f64, f64) -> f64 + Sync) {
     }
 }
 
-fn map3(out: &mut Mat, a: &Mat, b: &Mat, c: &Mat, f: impl Fn(f64, f64, f64) -> f64 + Sync) {
-    let (o, x, y, z) = (out.as_mut_slice(), a.as_slice(), b.as_slice(), c.as_slice());
+/// Streaming auxiliary kernel `out = M + rho * (H + U)` — the hot Stream
+/// kernel of the fused path — routed through the lane-dispatched
+/// [`simd::fused_aux`] body. Elementwise, so the parallel chunking cannot
+/// change results; lane and scalar bodies are bitwise-identical.
+fn compute_aux(out: &mut Mat, m: &Mat, h: &Mat, u: &Mat, rho: f64) {
+    let (o, mv, hv, uv) = (out.as_mut_slice(), m.as_slice(), h.as_slice(), u.as_slice());
     if o.len() >= tuning::par_elems() {
-        o.par_iter_mut()
-            .zip(x.par_iter().zip(y.par_iter().zip(z)))
-            .for_each(|(o, (&x, (&y, &z)))| *o = f(x, y, z));
+        let cl = o.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+        o.par_chunks_mut(cl)
+            .zip(mv.par_chunks(cl).zip(hv.par_chunks(cl).zip(uv.par_chunks(cl))))
+            .for_each(|(oc, (mc, (hc, uc)))| simd::fused_aux(oc, mc, hc, uc, rho));
     } else {
-        for i in 0..o.len() {
-            o[i] = f(x[i], y[i], z[i]);
-        }
+        simd::fused_aux(o, mv, hv, uv, rho);
     }
 }
 
@@ -402,7 +405,7 @@ pub fn admm_update(
                 Phase::Update,
                 KernelClass::Stream,
                 stream_cost(elems, 3.0, 1.0, 3.0),
-                || map3(h_aux, m, h_ref, u_ref, |m, h, u| m + rho * (h + u)),
+                || compute_aux(h_aux, m, h_ref, u_ref, rho),
             )?;
         } else {
             // DGEAM tmp = H + U, then DGEAM H_aux = M + rho * tmp. cuBLAS
@@ -684,12 +687,8 @@ fn fused_inner_sweep(
             .zip(m_c.chunks_exact(srank))
         {
             // Auxiliary: H_aux = M + rho * (H + U) — same expression as
-            // compute_auxiliary.
-            for (a, ((&mv, &hv), &uv)) in
-                aux.iter_mut().zip(m_row.iter().zip(h_row.iter()).zip(u_row.iter()))
-            {
-                *a = mv + rho * (hv + uv);
-            }
+            // compute_auxiliary, lane-dispatched.
+            simd::fused_aux(aux, m_row, h_row, u_row, rho);
             // Solve (S + rho I) x = aux: either the row of the inverse GEMM
             // (pre-inversion) or an in-place triangular solve — the exact
             // per-row bodies of dgemm_apply_inverse / trsm_fwd_bwd.

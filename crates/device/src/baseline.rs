@@ -344,6 +344,40 @@ pub fn compare_baselines(
     Ok(deltas)
 }
 
+/// Measured-vs-modeled ratchet: compares the aggregate
+/// `measured_s / modeled_s` ratio of `current` against `baseline` and
+/// returns a `Regression` delta when the current ratio exceeds the
+/// baseline's by more than `band` (a fraction, e.g. `0.25` = 25%).
+///
+/// The per-key wall-clock comparison above is advisory because individual
+/// kernels are noisy, but the whole-run ratio of measured to modeled time
+/// is the gap the roofline attribution says we *should* close — letting it
+/// quietly grow means the implementation is drifting away from the model.
+/// Aggregating over every kernel keeps the noise tolerable, and the band
+/// absorbs the rest. Returns `None` (no opinion) when either side lacks
+/// positive measured and modeled totals — e.g. baselines recorded before
+/// wall-clock capture, or runs with timing disabled.
+pub fn compare_measured_band(
+    baseline: &PerfBaseline,
+    current: &PerfBaseline,
+    band: f64,
+) -> Option<BaselineDelta> {
+    let ratio = |b: &PerfBaseline| -> Option<f64> {
+        let measured: f64 = b.kernels.iter().map(|k| k.measured_s).sum();
+        let modeled: f64 = b.kernels.iter().map(|k| k.modeled_s).sum();
+        (measured > 0.0 && modeled > 0.0).then(|| measured / modeled)
+    };
+    let base_ratio = ratio(baseline)?;
+    let cur_ratio = ratio(current)?;
+    (cur_ratio > base_ratio * (1.0 + band)).then(|| BaselineDelta {
+        key: "aggregate".to_string(),
+        field: "measured/modeled",
+        baseline: base_ratio,
+        current: cur_ratio,
+        kind: DeltaKind::Regression,
+    })
+}
+
 /// `|a - b| / max(|a|, |b|)`, `0.0` when both are zero.
 fn rel_diff(a: f64, b: f64) -> f64 {
     let scale = a.abs().max(b.abs());
@@ -454,6 +488,46 @@ mod tests {
         let mut b = baseline(vec![]);
         b.rank = 32;
         assert!(compare_baselines(&a, &b).unwrap_err().contains("config mismatch"));
+    }
+
+    #[test]
+    fn measured_band_ratchet_flags_growing_gap() {
+        let old = baseline(vec![entry("k", None, 1, 1e6), entry("j", Some(0), 2, 2e6)]);
+        let mut new = old.clone();
+        // Same ratio: no delta.
+        assert!(compare_measured_band(&old, &new, 0.25).is_none());
+        // Wall-clock inside the band: still fine.
+        for k in &mut new.kernels {
+            k.measured_s *= 1.2;
+        }
+        assert!(compare_measured_band(&old, &new, 0.25).is_none());
+        // Beyond the band: regression with the aggregate ratios attached.
+        for k in &mut new.kernels {
+            k.measured_s *= 2.0;
+        }
+        let d = compare_measured_band(&old, &new, 0.25).expect("gap grew past the band");
+        assert_eq!((d.field, d.kind), ("measured/modeled", DeltaKind::Regression));
+        assert!(d.is_drift());
+        assert!(d.current > d.baseline * 1.25);
+    }
+
+    #[test]
+    fn measured_band_shrinking_gap_passes() {
+        let old = baseline(vec![entry("k", None, 1, 1e6)]);
+        let mut new = old.clone();
+        new.kernels[0].measured_s *= 0.5; // faster than baseline: ratchet is happy
+        assert!(compare_measured_band(&old, &new, 0.0).is_none());
+    }
+
+    #[test]
+    fn measured_band_is_silent_without_timing_data() {
+        let mut old = baseline(vec![entry("k", None, 1, 1e6)]);
+        let new = old.clone();
+        old.kernels[0].measured_s = 0.0; // pre-wall-clock artifact
+        assert!(compare_measured_band(&old, &new, 0.25).is_none());
+        assert!(compare_measured_band(&new, &old, 0.25).is_none());
+        let empty = baseline(vec![]);
+        assert!(compare_measured_band(&empty, &empty, 0.25).is_none());
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub mod roofline;
 pub mod spec;
 pub mod trace;
 
-pub use baseline::{compare_baselines, BaselineDelta, DeltaKind, KernelBaseline, PerfBaseline};
+pub use baseline::{
+    compare_baselines, compare_measured_band, BaselineDelta, DeltaKind, KernelBaseline,
+    PerfBaseline,
+};
 pub use cost::{kernel_time, transfer_time, KernelClass, KernelCost};
 pub use device::Device;
 pub use export::{phase_summaries, registry_from_capture, registry_from_captures};

@@ -13,7 +13,7 @@
 
 use rayon::prelude::*;
 
-use cstf_linalg::Mat;
+use cstf_linalg::{simd, Mat};
 use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
@@ -306,15 +306,10 @@ impl Alto {
                         continue;
                     }
                     let c = self.schedule.delinearize_mode(l, m) as usize;
-                    for (r, &fv) in row.iter_mut().zip(f.row(c)) {
-                        *r *= fv;
-                    }
+                    simd::mul_assign(row, f.row(c));
                 }
                 let i = (self.schedule.delinearize_mode(l, mode) - lo) as usize;
-                let target = &mut local[i * rank..(i + 1) * rank];
-                for (t, &r) in target.iter_mut().zip(row.iter()) {
-                    *t += r;
-                }
+                simd::add_assign(&mut local[i * rank..(i + 1) * rank], row);
             }
         };
         if nparts > 1 {
@@ -340,10 +335,7 @@ impl Alto {
             let lo = iv[mode].0;
             let width = (iv[mode].1 - lo + 1) as usize;
             for (off, chunk) in buf[..width * rank].chunks_exact(rank.max(1)).enumerate() {
-                let target = out.row_mut(lo as usize + off);
-                for (t, &v) in target.iter_mut().zip(chunk) {
-                    *t += v;
-                }
+                simd::add_assign(out.row_mut(lo as usize + off), chunk);
             }
         }
     }

@@ -12,11 +12,12 @@
 //! mirroring the GPU kernel's atomics (our simulated device executes the
 //! same strategy on host threads).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
-use cstf_linalg::{tuning, Mat};
+use cstf_linalg::{simd, tuning, Mat};
 use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
@@ -53,6 +54,11 @@ impl BlcoBlock {
     }
 }
 
+/// Private accumulation slots available per chunk for heavy output rows
+/// (the occupancy mask is a `u64`, and more slots than threads' worth of
+/// hot rows just dilutes the scratch working set).
+const MAX_HEAVY_SLOTS: usize = 64;
+
 /// A BLCO-encoded sparse tensor.
 #[derive(Debug, Clone)]
 pub struct Blco {
@@ -60,11 +66,27 @@ pub struct Blco {
     fields: Vec<Field>,
     total_bits: u32,
     blocks: Vec<BlcoBlock>,
+    /// Per mode: `(row, slot)` pairs sorted by row — output rows with at
+    /// least [`tuning::blco_heavy_row_cutoff`] nonzeros, capped at
+    /// [`MAX_HEAVY_SLOTS`] heaviest. The parallel MTTKRP privatizes these
+    /// rows into per-chunk slots (one CAS flush per slot per chunk)
+    /// instead of per-nonzero CAS adds.
+    heavy: Vec<Vec<(u32, u32)>>,
 }
 
 impl Blco {
     /// Encodes a COO tensor.
     pub fn from_coo(x: &SparseTensor) -> Self {
+        Self::from_coo_with_cutoff(x, tuning::blco_heavy_row_cutoff())
+    }
+
+    /// [`Blco::from_coo`] with an explicit heavy-row cutoff (in nonzeros).
+    ///
+    /// Output rows touched by at least `cutoff` nonzeros in some mode get a
+    /// private accumulator slot in the parallel kernel instead of CAS
+    /// traffic. Exposed so tests and benches can exercise the slotted path
+    /// on small tensors.
+    pub fn from_coo_with_cutoff(x: &SparseTensor, cutoff: usize) -> Self {
         let nmodes = x.nmodes();
         // Mode-major concatenation: mode 0 occupies the highest bits.
         let bits: Vec<u32> = x
@@ -93,6 +115,30 @@ impl Blco {
             .collect();
         pairs.par_sort_unstable_by(|a, b| a.0.cmp(&b.0));
 
+        // Bin heavy output rows per mode while the linearized pairs are
+        // still in hand: count row occupancy, keep rows at or above the
+        // cutoff (heaviest first, row index breaking ties so the selection
+        // is deterministic), and assign slots in ascending row order.
+        let cutoff = cutoff.max(1);
+        let heavy: Vec<Vec<(u32, u32)>> = fields
+            .iter()
+            .map(|f| {
+                let mask = (1u128 << f.bits) - 1;
+                let mut counts: HashMap<u32, u32> = HashMap::new();
+                for &(lin, _) in &pairs {
+                    *counts.entry(((lin >> f.shift) & mask) as u32).or_insert(0) += 1;
+                }
+                let mut rows: Vec<(u32, u32)> =
+                    counts.into_iter().filter(|&(_, c)| c as usize >= cutoff).collect();
+                rows.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                rows.truncate(MAX_HEAVY_SLOTS);
+                let mut slots: Vec<(u32, u32)> =
+                    rows.iter().enumerate().map(|(s, &(r, _))| (r, s as u32)).collect();
+                slots.sort_unstable_by_key(|&(r, _)| r);
+                slots
+            })
+            .collect();
+
         // Split into blocks by the bits above position 64.
         let mut blocks: Vec<BlcoBlock> = Vec::new();
         for (lin, v) in pairs {
@@ -107,7 +153,7 @@ impl Blco {
             }
         }
 
-        Self { shape: x.shape().to_vec(), fields, total_bits, blocks }
+        Self { shape: x.shape().to_vec(), fields, total_bits, blocks, heavy }
     }
 
     /// Number of modes.
@@ -176,12 +222,17 @@ impl Blco {
     /// [`Blco::mttkrp`] into a caller-owned output.
     ///
     /// The accumulation image is a flat array of `AtomicU64`-encoded `f64`s
-    /// owned by the workspace; every thread chunk walks its nonzeros and
-    /// CAS-adds each contribution, exactly as the CUDA kernel uses
-    /// `atomicAdd` on global memory. Hadamard scratch rows also come from
-    /// the workspace, so steady-state calls perform no heap allocation;
-    /// blocks below the parallel chunk floor run serially without touching
-    /// Rayon.
+    /// owned by the workspace, CAS-added exactly as the CUDA kernel uses
+    /// `atomicAdd` on global memory — but the parallel path first drains
+    /// contention locally: consecutive nonzeros that share an output row
+    /// (guaranteed for the leading mode by the sort order) accumulate into
+    /// a run register flushed once per run, and rows binned heavy at
+    /// construction accumulate into private per-chunk slots flushed once
+    /// per chunk. Blocks below the parallel chunk floor run the plain
+    /// per-nonzero serial kernel, whose element-order CAS sequence is the
+    /// deterministic path the sharded-equivalence guarantee relies on. All
+    /// scratch comes from the workspace, so steady-state calls perform no
+    /// heap allocation.
     ///
     /// # Panics
     /// Panics if `factors`/`mode`/`out` shapes disagree with the tensor.
@@ -199,17 +250,22 @@ impl Blco {
         let rows = self.shape[mode];
         assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_mode x R");
 
-        // One scratch row per concurrent chunk, across the widest block.
+        let heavy = &self.heavy[mode];
+        // Per-chunk scratch: one Hadamard row, one run accumulator, and one
+        // private row per heavy slot.
+        let width = (2 + heavy.len()) * rank;
+        // One scratch strip per concurrent chunk, across the widest block.
         let max_chunks = self
             .blocks
             .iter()
             .map(|b| b.len().div_ceil(par_chunk_len(b.len()).max(1)).max(1))
             .max()
             .unwrap_or(1);
-        let (image, rows_scratch) = ws.atomics_and_rows(rows * rank, max_chunks, rank);
+        let (image, scratch) = ws.atomics_and_rows(rows * rank, max_chunks, width);
 
         for block in &self.blocks {
             let base = block.base;
+            // Serial kernel: per-nonzero CAS adds in element order.
             let kernel = |idx: &[u64], vals: &[f64], row: &mut [f64]| {
                 for (&low, &v) in idx.iter().zip(vals) {
                     row.fill(v);
@@ -218,9 +274,7 @@ impl Blco {
                             continue;
                         }
                         let c = self.extract(base, low, m);
-                        for (r, &fv) in row.iter_mut().zip(f.row(c)) {
-                            *r *= fv;
-                        }
+                        simd::mul_assign(row, f.row(c));
                     }
                     let i = self.extract(base, low, mode);
                     let target = &image[i * rank..(i + 1) * rank];
@@ -229,22 +283,78 @@ impl Blco {
                     }
                 }
             };
+            // Parallel chunk kernel: run-coalesced and slot-privatized.
+            let par_kernel = |idx: &[u64], vals: &[f64], scratch: &mut [f64]| {
+                let (row, rest) = scratch.split_at_mut(rank);
+                let (run, slots) = rest.split_at_mut(rank);
+                let flush = |i: usize, acc: &[f64]| {
+                    let target = &image[i * rank..(i + 1) * rank];
+                    for (slot, &r) in target.iter().zip(acc) {
+                        atomic_add_f64(slot, r);
+                    }
+                };
+                let mut occupied = 0u64;
+                let mut run_i = usize::MAX;
+                for (&low, &v) in idx.iter().zip(vals) {
+                    row.fill(v);
+                    for (m, f) in factors.iter().enumerate() {
+                        if m == mode {
+                            continue;
+                        }
+                        let c = self.extract(base, low, m);
+                        simd::mul_assign(row, f.row(c));
+                    }
+                    let i = self.extract(base, low, mode);
+                    if let Ok(h) = heavy.binary_search_by_key(&(i as u32), |&(r, _)| r) {
+                        let s = heavy[h].1 as usize;
+                        simd::add_assign(&mut slots[s * rank..(s + 1) * rank], row);
+                        occupied |= 1 << s;
+                    } else if i == run_i {
+                        simd::add_assign(run, row);
+                    } else {
+                        if run_i != usize::MAX {
+                            flush(run_i, run);
+                        }
+                        run.copy_from_slice(row);
+                        run_i = i;
+                    }
+                }
+                if run_i != usize::MAX {
+                    flush(run_i, run);
+                }
+                for &(r, s) in heavy {
+                    if occupied & (1 << s) != 0 {
+                        let srow = &mut slots[s as usize * rank..(s as usize + 1) * rank];
+                        flush(r as usize, srow);
+                        // Leave the slot clean for the next block's chunks.
+                        srow.fill(0.0);
+                    }
+                }
+            };
             let chunk = par_chunk_len(block.len());
             if block.len() <= chunk {
                 // Serial path: one chunk, no Rayon involvement.
-                kernel(&block.idx, &block.vals, &mut rows_scratch[..rank]);
+                kernel(&block.idx, &block.vals, &mut scratch[..rank]);
             } else {
                 block
                     .idx
                     .par_chunks(chunk)
                     .zip(block.vals.par_chunks(chunk))
-                    .zip(rows_scratch.par_chunks_mut(rank.max(1)))
-                    .for_each(|((idx, vals), row)| kernel(idx, vals, row));
+                    .zip(scratch.par_chunks_mut(width.max(1)))
+                    .for_each(|((idx, vals), strip)| par_kernel(idx, vals, strip));
             }
         }
 
-        for (o, a) in out.as_mut_slice().iter_mut().zip(image) {
-            *o = f64::from_bits(a.load(Ordering::Relaxed));
+        let out_s = out.as_mut_slice();
+        if out_s.len() >= tuning::par_elems() {
+            out_s
+                .par_iter_mut()
+                .zip(image.par_iter())
+                .for_each(|(o, a)| *o = f64::from_bits(a.load(Ordering::Relaxed)));
+        } else {
+            for (o, a) in out_s.iter_mut().zip(image) {
+                *o = f64::from_bits(a.load(Ordering::Relaxed));
+            }
         }
     }
 
@@ -402,6 +512,52 @@ mod tests {
         let blco = Blco::from_coo(&x);
         assert!(blco.nblocks() >= 1);
         assert_mttkrp_close(&blco.mttkrp(&f, 0), &mttkrp_ref(&x, &f, 0), 1e-10);
+    }
+
+    #[test]
+    fn heavy_rows_are_binned_deterministically() {
+        let x = random_tensor(&[8, 50, 40], 6_000, 4);
+        let blco = Blco::from_coo_with_cutoff(&x, 4);
+        for (mode, heavy) in blco.heavy.iter().enumerate() {
+            assert!(heavy.len() <= MAX_HEAVY_SLOTS);
+            assert!(heavy.windows(2).all(|w| w[0].0 < w[1].0), "sorted by row, unique");
+            // Slots are a permutation of 0..len.
+            let mut slots: Vec<u32> = heavy.iter().map(|&(_, s)| s).collect();
+            slots.sort_unstable();
+            assert!(slots.iter().enumerate().all(|(i, &s)| s as usize == i));
+            // Every binned row really carries >= cutoff nonzeros.
+            for &(r, _) in heavy {
+                let count = x.mode_indices(mode).iter().filter(|&&i| i == r).count();
+                assert!(count >= 4, "mode {mode} row {r} has {count} < cutoff nnz");
+            }
+        }
+        // Rebuilding yields identical bins: selection is deterministic
+        // even though counting goes through a HashMap.
+        assert_eq!(blco.heavy, Blco::from_coo_with_cutoff(&x, 4).heavy);
+    }
+
+    #[test]
+    fn mttkrp_with_heavy_slots_matches_reference_all_modes() {
+        // Enough nonzeros to clear the parallel chunk floor, concentrated
+        // on few rows so every mode has heavy bins.
+        let x = random_tensor(&[8, 50, 40], 20_000, 5);
+        let blco = Blco::from_coo_with_cutoff(&x, 4);
+        assert!(blco.heavy.iter().all(|h| !h.is_empty()), "expected heavy bins in every mode");
+        let f = factors_for(x.shape(), 6);
+        for mode in 0..3 {
+            assert_mttkrp_close(&blco.mttkrp(&f, mode), &mttkrp_ref(&x, &f, mode), 1e-9);
+        }
+    }
+
+    #[test]
+    fn slot_cap_overflow_mixes_slotted_and_cas_rows() {
+        // 200 rows above the cutoff but only MAX_HEAVY_SLOTS slots: the
+        // overflow rows must still accumulate correctly via the CAS path.
+        let x = random_tensor(&[200, 30, 20], 20_000, 6);
+        let blco = Blco::from_coo_with_cutoff(&x, 4);
+        assert_eq!(blco.heavy[0].len(), MAX_HEAVY_SLOTS);
+        let f = factors_for(x.shape(), 5);
+        assert_mttkrp_close(&blco.mttkrp(&f, 0), &mttkrp_ref(&x, &f, 0), 1e-9);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use rayon::prelude::*;
 
-use cstf_linalg::{tuning, Mat};
+use cstf_linalg::{simd, tuning, Mat};
 use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
@@ -27,6 +27,129 @@ struct CsfLevel {
     ptr: Vec<usize>,
 }
 
+/// One unit of the fiber-binned root walk. Items are ordered by root node;
+/// their piece rows partition the schedule's accumulation buffer in the
+/// same order, so a bisection executor can hand each item a disjoint
+/// slice without bookkeeping.
+#[derive(Debug, Clone, Copy)]
+enum CsfTask {
+    /// Short-fiber run: root nodes `[start, end)`, one piece row each,
+    /// whole subtree per node.
+    Nodes { start: usize, end: usize },
+    /// One segment of a heavy root node: level-1 children `[clo, chi)`
+    /// accumulate into one piece row of `node`.
+    Segment { node: usize, clo: usize, chi: usize },
+}
+
+impl CsfTask {
+    /// Piece rows this item writes.
+    fn rows(&self) -> usize {
+        match *self {
+            CsfTask::Nodes { start, end } => end - start,
+            CsfTask::Segment { .. } => 1,
+        }
+    }
+}
+
+/// Fiber-length-aware load-balance schedule for the root-parallel MTTKRP,
+/// built once at construction (the hot path never allocates or re-bins).
+///
+/// Root subtrees are binned by nonzero count against
+/// [`tuning::csf_heavy_fiber_cutoff`]: short fibers are grouped into
+/// nnz-balanced contiguous runs; each heavy fiber is split into
+/// child-segments of roughly cutoff nonzeros that accumulate into private
+/// piece rows, combined in fixed segment order at copy-out. Both decisions
+/// depend only on per-node subtree shape, so a root node schedules — and
+/// therefore sums — identically whether it appears in a full tensor or a
+/// shard, and whether the walk runs serially or in parallel (the DESIGN
+/// §11 bitwise-exactness requirement).
+#[derive(Debug, Clone)]
+struct RootSchedule {
+    /// Work items in root-node order.
+    items: Vec<CsfTask>,
+    /// Piece-row offsets per root node (`len = nroot + 1`): node `n`'s
+    /// pieces occupy buffer rows `offsets[n]..offsets[n + 1]`.
+    offsets: Vec<usize>,
+    /// First nonzero of each root node plus an `nnz` sentinel
+    /// (`len = nroot + 1`); also drives the nnz-balanced chunk bounds of
+    /// [`Csf::mttkrp_any_into`].
+    root_starts: Vec<usize>,
+}
+
+impl RootSchedule {
+    /// Bins root nodes by subtree nonzeros. `l1_starts`/`ptr0` supply the
+    /// per-child spans used to segment heavy fibers (unused when
+    /// `nmodes < 2`, where every root is a leaf and therefore light).
+    fn build(
+        nmodes: usize,
+        root_starts: Vec<usize>,
+        l1_starts: &[usize],
+        ptr0: &[usize],
+        cutoff: usize,
+    ) -> Self {
+        let nroot = root_starts.len() - 1;
+        let cutoff = cutoff.max(1);
+        let mut items = Vec::new();
+        let mut offsets = Vec::with_capacity(nroot + 1);
+        offsets.push(0usize);
+        let mut run_start = 0usize;
+
+        // Close the pending short-fiber run `[lo, hi)`, splitting it into
+        // chunks of roughly `cutoff` nonzeros.
+        fn flush_light(
+            items: &mut Vec<CsfTask>,
+            root_starts: &[usize],
+            lo: usize,
+            hi: usize,
+            cutoff: usize,
+        ) {
+            let mut start = lo;
+            let mut acc = 0usize;
+            for n in lo..hi {
+                acc += root_starts[n + 1] - root_starts[n];
+                if acc >= cutoff || n + 1 == hi {
+                    items.push(CsfTask::Nodes { start, end: n + 1 });
+                    start = n + 1;
+                    acc = 0;
+                }
+            }
+        }
+
+        for n in 0..nroot {
+            let node_nnz = root_starts[n + 1] - root_starts[n];
+            if nmodes >= 2 && node_nnz >= cutoff {
+                flush_light(&mut items, &root_starts, run_start, n, cutoff);
+                let (clo, chi) = (ptr0[n], ptr0[n + 1]);
+                let mut seg_lo = clo;
+                let mut seg_nnz = 0usize;
+                let mut pieces = 0usize;
+                for c in clo..chi {
+                    seg_nnz += l1_starts[c + 1] - l1_starts[c];
+                    if seg_nnz >= cutoff || c + 1 == chi {
+                        items.push(CsfTask::Segment { node: n, clo: seg_lo, chi: c + 1 });
+                        pieces += 1;
+                        seg_lo = c + 1;
+                        seg_nnz = 0;
+                    }
+                }
+                debug_assert!(pieces > 0, "a heavy root node always has children");
+                offsets.push(offsets[n] + pieces);
+                run_start = n + 1;
+            } else {
+                offsets.push(offsets[n] + 1);
+            }
+        }
+        flush_light(&mut items, &root_starts, run_start, nroot, cutoff);
+
+        Self { items, offsets, root_starts }
+    }
+
+    /// Total piece rows in the accumulation buffer.
+    fn piece_rows(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+}
+
 /// A CSF tensor rooted at one mode.
 #[derive(Debug, Clone)]
 pub struct Csf {
@@ -36,11 +159,23 @@ pub struct Csf {
     levels: Vec<CsfLevel>,
     /// Nonzero values, aligned with the leaf level's `fids`.
     values: Vec<f64>,
+    /// Fiber-binned work schedule for the root walk.
+    schedule: RootSchedule,
 }
 
 impl Csf {
     /// Compiles a COO tensor into a CSF rooted at `root_mode`.
     pub fn from_coo(x: &SparseTensor, root_mode: usize) -> Self {
+        Self::from_coo_with_cutoff(x, root_mode, tuning::csf_heavy_fiber_cutoff())
+    }
+
+    /// [`Csf::from_coo`] with an explicit heavy-fiber cutoff (in nonzeros).
+    ///
+    /// Root slices whose subtree holds at least `cutoff` nonzeros are split
+    /// into per-child segments in the load schedule; lighter slices are
+    /// coalesced into runs of roughly `cutoff` nonzeros. Exposed so tests
+    /// and benches can exercise the segmented schedule on small tensors.
+    pub fn from_coo_with_cutoff(x: &SparseTensor, root_mode: usize, cutoff: usize) -> Self {
         assert!(root_mode < x.nmodes(), "root mode out of range");
         let nmodes = x.nmodes();
         let mode_order: Vec<usize> =
@@ -53,7 +188,12 @@ impl Csf {
         let mut levels: Vec<CsfLevel> = Vec::with_capacity(nmodes);
         // `starts[j]` = first nonzero of the j-th node at the previous level.
         let mut prev_starts: Vec<usize> = vec![0];
-        let mut prev_count = 1usize; // virtual super-root
+        // virtual super-root
+        let mut prev_count = 1usize;
+        // First-nonzero arrays of the top two levels, kept for the
+        // fiber-binning schedule (`starts[j+1] - starts[j]` = subtree nnz).
+        let mut root_starts: Vec<usize> = Vec::new();
+        let mut l1_starts: Vec<usize> = Vec::new();
 
         for (l, &mode) in mode_order.iter().enumerate() {
             let idx = sorted.mode_indices(mode);
@@ -93,10 +233,25 @@ impl Csf {
             }
             prev_count = fids.len();
             prev_starts = starts;
+            if l == 0 {
+                root_starts = prev_starts.clone();
+            } else if l == 1 {
+                l1_starts = prev_starts.clone();
+            }
             levels.push(CsfLevel { fids, ptr: Vec::new() });
         }
 
-        Self { mode_order, shape: x.shape().to_vec(), levels, values: sorted.values().to_vec() }
+        root_starts.push(nnz);
+        l1_starts.push(nnz);
+        let schedule = RootSchedule::build(nmodes, root_starts, &l1_starts, &levels[0].ptr, cutoff);
+
+        Self {
+            mode_order,
+            shape: x.shape().to_vec(),
+            levels,
+            values: sorted.values().to_vec(),
+            schedule,
+        }
     }
 
     /// The root (target) mode of this CSF.
@@ -138,14 +293,18 @@ impl Csf {
 
     /// MTTKRP for this CSF's root mode into a caller-owned output.
     ///
-    /// Parallel over root-node chunks: each root node owns a distinct output
-    /// row, so the scatter is conflict-free. Each chunk accumulates its
-    /// nodes' rows into a compact workspace buffer (`chunk x R`, not
-    /// `I x R`), and subtree recursion draws its per-level scratch from a
-    /// preallocated stack — steady-state calls perform no heap allocation.
-    /// Within a subtree the kernel runs the classic CSF upward accumulation:
-    /// leaf rows are scaled by values, then Hadamard-multiplied by each
-    /// level's factor row on the way up.
+    /// Runs the construction-time fiber-binned [`RootSchedule`]: short-fiber
+    /// runs compute one piece row per root node, heavy-fiber segments
+    /// compute private partial rows, and a fixed-order copy-out adds every
+    /// piece into the output — ascending root node, segments in order. The
+    /// same schedule executes serially or via work-stealing `join`
+    /// bisection (items are disjoint buffer slices), so serial and parallel
+    /// runs are bitwise-identical. Piece buffer and per-item recursion
+    /// stacks come from the workspace — steady-state calls perform no heap
+    /// allocation. Within a subtree the kernel runs the classic CSF upward
+    /// accumulation: leaf rows are scaled by values, then
+    /// Hadamard-multiplied by each level's factor row on the way up, all
+    /// through the lane-dispatched `simd` primitives.
     ///
     /// # Panics
     /// Panics if `factors` or `out` do not match the tensor's modes.
@@ -159,49 +318,77 @@ impl Csf {
         let nmodes = self.nmodes();
         out.as_mut_slice().fill(0.0);
 
-        let nchunks = if self.nnz() >= tuning::csf_nnz_cutoff() {
-            rayon::current_num_threads().max(1).min(nroot.max(1))
-        } else {
-            1
-        };
+        let sched = &self.schedule;
+        let stack_len = nmodes * rank;
+        let (buf, stacks) =
+            ws.flat_and_stacks(sched.piece_rows() * rank, sched.items.len(), nmodes, rank);
+        let parallel = self.nnz() >= tuning::csf_nnz_cutoff();
+        self.run_schedule(&sched.items, factors, buf, stacks, rank, stack_len, parallel);
 
-        if nchunks == 1 {
-            let (bufs, _, stack) = ws.chunk_scratch(1, rank, nmodes, rank);
-            let acc_buf = &mut bufs[0];
-            for n in 0..nroot {
-                let acc = &mut acc_buf[..rank];
-                acc.fill(0.0);
-                self.accumulate_subtree(0, n, factors, acc, stack);
-                let target = out.row_mut(self.levels[0].fids[n] as usize);
-                for (t, &v) in target.iter_mut().zip(acc.iter()) {
-                    *t += v;
-                }
+        for n in 0..nroot {
+            let target = out.row_mut(self.levels[0].fids[n] as usize);
+            for piece in sched.offsets[n]..sched.offsets[n + 1] {
+                simd::add_assign(target, &buf[piece * rank..(piece + 1) * rank]);
+            }
+        }
+    }
+
+    /// Executes a slice of schedule items against their (disjoint) piece
+    /// rows. Parallel runs bisect over items with `rayon::join` — no
+    /// per-task heap allocation, work-stealing granularity of one item
+    /// (roughly `csf_heavy_fiber_cutoff` nonzeros).
+    #[allow(clippy::too_many_arguments)]
+    fn run_schedule(
+        &self,
+        items: &[CsfTask],
+        factors: &[Mat],
+        buf: &mut [f64],
+        stacks: &mut [f64],
+        rank: usize,
+        stack_len: usize,
+        parallel: bool,
+    ) {
+        if items.len() <= 1 {
+            if let Some(task) = items.first() {
+                self.exec_task(task, factors, buf, &mut stacks[..stack_len], rank);
             }
             return;
         }
+        let mid = items.len() / 2;
+        let left_rows: usize = items[..mid].iter().map(CsfTask::rows).sum();
+        let (bl, br) = buf.split_at_mut(left_rows * rank);
+        let (sl, sr) = stacks.split_at_mut(mid * stack_len);
+        if parallel {
+            rayon::join(
+                || self.run_schedule(&items[..mid], factors, bl, sl, rank, stack_len, true),
+                || self.run_schedule(&items[mid..], factors, br, sr, rank, stack_len, true),
+            );
+        } else {
+            self.run_schedule(&items[..mid], factors, bl, sl, rank, stack_len, false);
+            self.run_schedule(&items[mid..], factors, br, sr, rank, stack_len, false);
+        }
+    }
 
-        let chunk = nroot.div_ceil(nchunks).max(1);
-        let (bufs, _, stacks) = ws.chunk_scratch(nchunks, chunk * rank, nmodes, rank);
-        bufs.par_iter_mut()
-            .zip(stacks.par_chunks_mut((nmodes * rank).max(1)))
-            .enumerate()
-            .for_each(|(t, (buf, stack))| {
-                let start = (t * chunk).min(nroot);
-                let end = ((t + 1) * chunk).min(nroot);
+    /// Runs one schedule item into its piece rows (pre-zeroed by the
+    /// workspace).
+    fn exec_task(
+        &self,
+        task: &CsfTask,
+        factors: &[Mat],
+        buf: &mut [f64],
+        stack: &mut [f64],
+        rank: usize,
+    ) {
+        match *task {
+            CsfTask::Nodes { start, end } => {
                 for (local, n) in (start..end).enumerate() {
-                    // Buffer rows start zeroed (`ensure` zeroes them).
                     let acc = &mut buf[local * rank..(local + 1) * rank];
                     self.accumulate_subtree(0, n, factors, acc, stack);
                 }
-            });
-        for (t, buf) in ws.partials.chunks_mut(nchunks).iter().enumerate() {
-            let start = (t * chunk).min(nroot);
-            let end = ((t + 1) * chunk).min(nroot);
-            for (local, n) in (start..end).enumerate() {
-                let target = out.row_mut(self.levels[0].fids[n] as usize);
-                for (tv, &v) in target.iter_mut().zip(&buf[local * rank..(local + 1) * rank]) {
-                    *tv += v;
-                }
+            }
+            CsfTask::Segment { node, clo, chi } => {
+                debug_assert_eq!(self.levels[0].ptr[node].max(clo), clo);
+                self.accumulate_children(1, clo, chi, factors, &mut buf[..rank], stack);
             }
         }
     }
@@ -218,41 +405,49 @@ impl Csf {
         acc: &mut [f64],
         stack: &mut [f64],
     ) {
-        let nmodes = self.nmodes();
-        let rank = acc.len();
-        if level == nmodes - 1 {
+        if level == self.nmodes() - 1 {
             // Leaf: value times the leaf mode's factor row.
             let mode = self.mode_order[level];
             let frow = factors[mode].row(self.levels[level].fids[node] as usize);
-            let v = self.values[node];
-            for (a, &f) in acc.iter_mut().zip(frow) {
-                *a += v * f;
-            }
+            simd::axpy(acc, frow, self.values[node]);
             return;
         }
-
         let lo = self.levels[level].ptr[node];
         let hi = self.levels[level].ptr[node + 1];
-        if level + 1 == nmodes - 1 {
-            // Children are leaves; accumulate them directly.
-            let mode = self.mode_order[level + 1];
+        self.accumulate_children(level + 1, lo, hi, factors, acc, stack);
+    }
+
+    /// Adds the contributions of nodes `lo..hi` at `level` (≥ 1) into
+    /// `acc`: each node's factor row Hadamard its subtree-below sum; leaf
+    /// nodes contribute `value * factor_row`. This is the shared body of
+    /// whole-subtree accumulation and heavy-fiber segments (a segment is a
+    /// sub-range of a root node's children).
+    fn accumulate_children(
+        &self,
+        level: usize,
+        lo: usize,
+        hi: usize,
+        factors: &[Mat],
+        acc: &mut [f64],
+        stack: &mut [f64],
+    ) {
+        let rank = acc.len();
+        let mode = self.mode_order[level];
+        if level == self.nmodes() - 1 {
+            // Leaf children; accumulate them directly.
             for child in lo..hi {
-                let frow = factors[mode].row(self.levels[level + 1].fids[child] as usize);
-                let v = self.values[child];
-                for (a, &f) in acc.iter_mut().zip(frow) {
-                    *a += v * f;
-                }
+                let frow = factors[mode].row(self.levels[level].fids[child] as usize);
+                simd::axpy(acc, frow, self.values[child]);
             }
         } else {
-            let mode = self.mode_order[level + 1];
             let (scratch, rest) = stack.split_at_mut(rank);
             for child in lo..hi {
                 scratch.fill(0.0);
-                self.accumulate_subtree(level + 1, child, factors, scratch, rest);
-                let frow = factors[mode].row(self.levels[level + 1].fids[child] as usize);
-                for ((a, &s), &f) in acc.iter_mut().zip(scratch.iter()).zip(frow) {
-                    *a += s * f;
-                }
+                let clo = self.levels[level].ptr[child];
+                let chi = self.levels[level].ptr[child + 1];
+                self.accumulate_children(level + 1, clo, chi, factors, scratch, rest);
+                let frow = factors[mode].row(self.levels[level].fids[child] as usize);
+                simd::mac(acc, scratch, frow);
             }
         }
     }
@@ -319,25 +514,26 @@ impl Csf {
                 // The root's own factor row is an "ancestor" for any deeper
                 // target level.
                 let root_row = factors[self.root_mode()].row(self.levels[0].fids[root] as usize);
-                for (a, &f) in above.iter_mut().zip(root_row) {
-                    *a *= f;
-                }
+                simd::mul_assign(above, root_row);
                 self.scatter_target(0, root, target_level, factors, above, local, stack);
             }
         };
 
         if nroot >= 64 && self.nnz() >= tuning::csf_nnz_cutoff() {
             let nchunks = rayon::current_num_threads().max(1);
-            let chunk = nroot.div_ceil(nchunks).max(1);
+            // nnz-balanced contiguous root ranges: chunk `t` starts at the
+            // first root whose first nonzero reaches the t-th equal share
+            // of nnz. Replaces uniform root-count chunks, which let one
+            // long-fiber chunk serialize the whole walk.
+            let starts = &self.schedule.root_starts;
+            let bound = |t: usize| starts.partition_point(|&s| s < t * self.nnz() / nchunks);
             let (bufs, above_rows, stacks) = ws.chunk_scratch(nchunks, rows * rank, depth, rank);
             bufs.par_iter_mut()
                 .zip(above_rows.par_chunks_mut(rank.max(1)))
                 .zip(stacks.par_chunks_mut((depth * rank).max(1)))
                 .enumerate()
                 .for_each(|(t, ((local, above), stack))| {
-                    let start = (t * chunk).min(nroot);
-                    let end = ((t + 1) * chunk).min(nroot);
-                    process(&mut local[..rows * rank], above, stack, start..end);
+                    process(&mut local[..rows * rank], above, stack, bound(t)..bound(t + 1));
                 });
             ws.partials.reduce_into(nchunks, rows * rank, out.as_mut_slice());
         } else {
@@ -379,10 +575,7 @@ impl Csf {
                     self.accumulate_subtree(target_level, child, factors, below, rest);
                 }
                 let i = self.levels[target_level].fids[child] as usize;
-                let target = &mut out[i * rank..(i + 1) * rank];
-                for ((t, &a), &b) in target.iter_mut().zip(above).zip(below.iter()) {
-                    *t += a * b;
-                }
+                simd::mac(&mut out[i * rank..(i + 1) * rank], above, below);
             }
         } else {
             // Descend, multiplying this child level's factor rows into
@@ -391,9 +584,8 @@ impl Csf {
             let (next_above, rest) = stack.split_at_mut(rank);
             for child in lo..hi {
                 let frow = factors[mode].row(self.levels[level + 1].fids[child] as usize);
-                for ((n, &a), &f) in next_above.iter_mut().zip(above).zip(frow) {
-                    *n = a * f;
-                }
+                next_above.copy_from_slice(above);
+                simd::mul_assign(next_above, frow);
                 self.scatter_target(level + 1, child, target_level, factors, next_above, out, rest);
             }
         }
@@ -588,6 +780,82 @@ mod tests {
         let f = factors_for(&[1, 2, 2], 2);
         let csf = Csf::from_coo(&x, 0);
         assert_mttkrp_close(&csf.mttkrp(&f), &mttkrp_ref(&x, &f, 0), 1e-13);
+    }
+
+    #[test]
+    fn segmented_schedule_partitions_every_root() {
+        // Cutoff 4 on a skewed tensor forces heavy-fiber segmentation.
+        let x = random_tensor(&[4, 50, 30], 2_000, 7);
+        let csf = Csf::from_coo_with_cutoff(&x, 0, 4);
+        let sched = &csf.schedule;
+        let nroot = csf.level_size(0);
+        assert_eq!(sched.offsets.len(), nroot + 1);
+        assert_eq!(sched.root_starts.len(), nroot + 1);
+        assert_eq!(*sched.root_starts.last().unwrap(), csf.nnz());
+        // Offsets are strictly increasing: every root owns >= 1 piece row.
+        for n in 0..nroot {
+            assert!(sched.offsets[n] < sched.offsets[n + 1]);
+        }
+        // Item rows partition the piece buffer exactly.
+        let rows: usize = sched.items.iter().map(CsfTask::rows).sum();
+        assert_eq!(rows, sched.piece_rows());
+        // With ~500 nnz per root and cutoff 4, heavy roots must be split.
+        assert!(
+            sched.items.iter().any(|t| matches!(t, CsfTask::Segment { .. })),
+            "long fibers should be segmented"
+        );
+        assert!(sched.piece_rows() > nroot, "heavy roots own multiple piece rows");
+    }
+
+    #[test]
+    fn segmented_schedule_matches_reference_all_roots() {
+        let x = random_tensor(&[4, 50, 30], 2_000, 8);
+        let f = factors_for(x.shape(), 5);
+        for mode in 0..3 {
+            let csf = Csf::from_coo_with_cutoff(&x, mode, 4);
+            assert_mttkrp_close(&csf.mttkrp(&f), &mttkrp_ref(&x, &f, mode), 1e-10);
+        }
+    }
+
+    #[test]
+    fn segmented_serial_and_parallel_runs_are_bitwise_identical() {
+        // DESIGN §11: the schedule sums in fixed per-piece order, so the
+        // work-stealing bisection cannot perturb a single bit.
+        let x = random_tensor(&[6, 40, 25], 3_000, 9);
+        let rank = 7;
+        let f = factors_for(x.shape(), rank);
+        let csf = Csf::from_coo_with_cutoff(&x, 0, 4);
+        let sched = &csf.schedule;
+        let stack_len = csf.nmodes() * rank;
+        let run = |parallel: bool| {
+            let mut buf = vec![0.0; sched.piece_rows() * rank];
+            let mut stacks = vec![0.0; sched.items.len() * stack_len];
+            csf.run_schedule(&sched.items, &f, &mut buf, &mut stacks, rank, stack_len, parallel);
+            buf
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn schedule_with_large_cutoff_coalesces_light_runs() {
+        let x = random_tensor(&[20, 10, 8], 500, 10);
+        let csf = Csf::from_coo_with_cutoff(&x, 0, usize::MAX);
+        let sched = &csf.schedule;
+        assert!(sched.items.iter().all(|t| matches!(t, CsfTask::Nodes { .. })));
+        // All-light schedule: exactly one piece row per root node.
+        assert_eq!(sched.piece_rows(), csf.level_size(0));
+    }
+
+    #[test]
+    fn matrix_csf_schedule_never_segments() {
+        // nmodes < 2 per-root subtrees are leaves; cutoff must not split.
+        let x = SparseTensor::new(vec![5], vec![vec![0, 2, 2, 4]], vec![1.0, 2.0, 3.0, 4.0]);
+        let csf = Csf::from_coo_with_cutoff(&x, 0, 1);
+        assert!(csf.schedule.items.iter().all(|t| matches!(t, CsfTask::Nodes { .. })));
     }
 
     #[test]

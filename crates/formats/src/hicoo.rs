@@ -11,7 +11,7 @@
 
 use rayon::prelude::*;
 
-use cstf_linalg::{tuning, Mat};
+use cstf_linalg::{simd, tuning, Mat};
 use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
@@ -195,15 +195,10 @@ impl HiCoo {
                             continue;
                         }
                         let idx = (b.base[m] + self.offsets[m][k] as u32) as usize;
-                        for (r, &fv) in row.iter_mut().zip(f.row(idx)) {
-                            *r *= fv;
-                        }
+                        simd::mul_assign(row, f.row(idx));
                     }
                     let i = (b.base[mode] + self.offsets[mode][k] as u32) as usize;
-                    let target = &mut local[i * rank..(i + 1) * rank];
-                    for (t, &r) in target.iter_mut().zip(row.iter()) {
-                        *t += r;
-                    }
+                    simd::add_assign(&mut local[i * rank..(i + 1) * rank], row);
                 }
             }
         };

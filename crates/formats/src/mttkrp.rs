@@ -8,7 +8,7 @@
 
 use rayon::prelude::*;
 
-use cstf_linalg::{tuning, Mat};
+use cstf_linalg::{simd, tuning, Mat};
 use cstf_telemetry::Span;
 use cstf_tensor::SparseTensor;
 
@@ -51,15 +51,10 @@ pub fn mttkrp_ref_into(
             if m == mode {
                 continue;
             }
-            let frow = f.row(x.mode_indices(m)[k] as usize);
-            for (r, &fv) in row.iter_mut().zip(frow) {
-                *r *= fv;
-            }
+            simd::mul_assign(row, f.row(x.mode_indices(m)[k] as usize));
         }
         let target = out.row_mut(x.mode_indices(mode)[k] as usize);
-        for (t, &r) in target.iter_mut().zip(row.iter()) {
-            *t += r;
-        }
+        simd::add_assign(target, row);
     }
 }
 
@@ -112,16 +107,10 @@ pub fn mttkrp_coo_parallel_into(
                 if m == mode {
                     continue;
                 }
-                let frow = f.row(x.mode_indices(m)[k] as usize);
-                for (r, &fv) in row.iter_mut().zip(frow) {
-                    *r *= fv;
-                }
+                simd::mul_assign(row, f.row(x.mode_indices(m)[k] as usize));
             }
             let i = x.mode_indices(mode)[k] as usize;
-            let target = &mut local[i * rank..(i + 1) * rank];
-            for (t_, &r) in target.iter_mut().zip(row.iter()) {
-                *t_ += r;
-            }
+            simd::add_assign(&mut local[i * rank..(i + 1) * rank], row);
         }
     };
 

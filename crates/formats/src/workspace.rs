@@ -10,7 +10,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cstf_linalg::PartialBuffers;
+use rayon::prelude::*;
+
+use cstf_linalg::{tuning, PartialBuffers};
 
 /// Grow-only scratch shared by all formats' `mttkrp_into` kernels.
 ///
@@ -89,16 +91,32 @@ impl MttkrpWorkspace {
         (bufs, r, s)
     }
 
+    /// One flat zeroed accumulation buffer of `buf_len` elements plus
+    /// `nitems` recursion stacks of `depth * rank` elements, in one call
+    /// (one borrow covering the disjoint fields) — the scratch shape of
+    /// CSF's fiber-binned schedule, where work items own variable-width
+    /// slices of a single piece buffer.
+    pub fn flat_and_stacks(
+        &mut self,
+        buf_len: usize,
+        nitems: usize,
+        depth: usize,
+        rank: usize,
+    ) -> (&mut [f64], &mut [f64]) {
+        let bufs = self.partials.ensure(1, buf_len);
+        let sneed = nitems * depth * rank;
+        if self.stack.len() < sneed {
+            self.stack.resize(sneed, 0.0);
+        }
+        let s = &mut self.stack[..sneed];
+        s.fill(0.0);
+        (&mut bufs[0][..buf_len], s)
+    }
+
     /// A zeroed atomic `f64` accumulation image of `len` slots (each slot
     /// stores `f64::to_bits`), for BLCO's CAS-add output.
     pub fn atomics(&mut self, len: usize) -> &[AtomicU64] {
-        if self.atomics.len() < len {
-            self.atomics.resize_with(len, || AtomicU64::new(0));
-        }
-        let zero = 0f64.to_bits();
-        for a in &self.atomics[..len] {
-            a.store(zero, Ordering::Relaxed);
-        }
+        reset_atomic_image(&mut self.atomics, len);
         &self.atomics[..len]
     }
 
@@ -111,13 +129,7 @@ impl MttkrpWorkspace {
         nchunks: usize,
         rank: usize,
     ) -> (&[AtomicU64], &mut [f64]) {
-        if self.atomics.len() < len {
-            self.atomics.resize_with(len, || AtomicU64::new(0));
-        }
-        let zero = 0f64.to_bits();
-        for a in &self.atomics[..len] {
-            a.store(zero, Ordering::Relaxed);
-        }
+        reset_atomic_image(&mut self.atomics, len);
         let rneed = nchunks * rank;
         if self.rows.len() < rneed {
             self.rows.resize(rneed, 0.0);
@@ -135,6 +147,24 @@ impl MttkrpWorkspace {
             self.alto.resize_with(nparts, Vec::new);
         }
         &mut self.alto[..nparts]
+    }
+}
+
+/// Grows `atomics` to at least `len` slots and zeroes the first `len` —
+/// in parallel above the element-wise threshold, since resetting an
+/// `I x R` image serially would bottleneck every large BLCO MTTKRP.
+fn reset_atomic_image(atomics: &mut Vec<AtomicU64>, len: usize) {
+    if atomics.len() < len {
+        atomics.resize_with(len, || AtomicU64::new(0));
+    }
+    let zero = 0f64.to_bits();
+    let slots = &atomics[..len];
+    if len >= tuning::par_elems() {
+        slots.par_iter().for_each(|a| a.store(zero, Ordering::Relaxed));
+    } else {
+        for a in slots {
+            a.store(zero, Ordering::Relaxed);
+        }
     }
 }
 

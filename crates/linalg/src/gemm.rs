@@ -15,6 +15,7 @@ use rayon::prelude::*;
 
 use crate::matrix::Mat;
 use crate::scratch::PartialBuffers;
+use crate::simd;
 use crate::tuning;
 
 /// Single-row GEMM kernel: `c_row = alpha * a_row * B + beta * c_row`.
@@ -23,25 +24,65 @@ use crate::tuning;
 /// already iterate rows (the fused ADMM sweep applying the pre-inverted
 /// `(S + rho I)^{-1}`) produce bitwise-identical results to a full
 /// [`gemm`] call over the same data. `b_data` is row-major `K x n`.
+///
+/// The body is branch-free over the elements of `a_row`: the operands here
+/// (factor rows, Gram inverses) are dense, so a per-element zero test costs
+/// a data-dependent branch on every scalar and blocks vectorization of the
+/// inner update. Callers whose A operand is genuinely sparse should use
+/// [`gemm_row_sparse`], which keeps the zero skip as an explicit hint.
+/// B's rows are streamed in register-blocked pairs ([`simd::axpy2`]) so
+/// each pass over `c_row` retires two rank-1 updates per load/store.
 #[inline]
 pub fn gemm_row(alpha: f64, a_row: &[f64], b_data: &[f64], n: usize, beta: f64, c_row: &mut [f64]) {
     if beta == 0.0 {
         c_row.fill(0.0);
     } else if beta != 1.0 {
-        for v in c_row.iter_mut() {
-            *v *= beta;
-        }
+        simd::scale(c_row, beta);
     }
-    // Row-major accumulation: walk A's row once, stream B's rows.
+    // Row-major accumulation: walk A's row once, stream B's rows two at a
+    // time. The paired update halves traffic on `c_row` while preserving
+    // the rounding order of the single-row walk (two separate adds per
+    // element — see `simd::axpy2`).
+    let mut pairs = a_row.chunks_exact(2);
+    let mut l = 0;
+    for pair in &mut pairs {
+        let b0 = &b_data[l * n..(l + 1) * n];
+        let b1 = &b_data[(l + 1) * n..(l + 2) * n];
+        simd::axpy2(c_row, b0, alpha * pair[0], b1, alpha * pair[1]);
+        l += 2;
+    }
+    if let [last] = pairs.remainder() {
+        simd::axpy(c_row, &b_data[l * n..(l + 1) * n], alpha * last);
+    }
+}
+
+/// Sparse-hinted variant of [`gemm_row`]: skips B rows whose A coefficient
+/// is exactly zero.
+///
+/// Use only when the caller *knows* `a_row` is mostly zeros (e.g. masked
+/// or pruned factors) — on dense data the per-element branch defeats
+/// vectorization and is strictly slower than [`gemm_row`]. The accumulation
+/// order over the non-zero coefficients matches [`gemm_row`]'s.
+#[inline]
+pub fn gemm_row_sparse(
+    alpha: f64,
+    a_row: &[f64],
+    b_data: &[f64],
+    n: usize,
+    beta: f64,
+    c_row: &mut [f64],
+) {
+    if beta == 0.0 {
+        c_row.fill(0.0);
+    } else if beta != 1.0 {
+        simd::scale(c_row, beta);
+    }
     for (l, &a_il) in a_row.iter().enumerate() {
         let scaled = alpha * a_il;
         if scaled == 0.0 {
             continue;
         }
-        let b_row = &b_data[l * n..(l + 1) * n];
-        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-            *cv += scaled * bv;
-        }
+        simd::axpy(c_row, &b_data[l * n..(l + 1) * n], scaled);
     }
 }
 
@@ -115,14 +156,14 @@ pub fn gemm_tn_into(a: &Mat, b: &Mat, out: &mut Mat, partials: &mut PartialBuffe
         for i in range {
             let ar = a.row(i);
             let br = b.row(i);
+            // The A^T operand here is a factor matrix mid-ADMM where the
+            // non-negativity prox produces exact zeros in bulk, so the
+            // sparse skip is a deliberate hint (cf. `gemm_row_sparse`).
             for (p, &av) in ar.iter().enumerate() {
                 if av == 0.0 {
                     continue;
                 }
-                let o = &mut acc[p * r2..(p + 1) * r2];
-                for (ov, &bv) in o.iter_mut().zip(br) {
-                    *ov += av * bv;
-                }
+                simd::axpy(&mut acc[p * r2..(p + 1) * r2], br, av);
             }
         }
     };
@@ -234,6 +275,30 @@ mod tests {
         assert_eq!((c.rows(), c.cols()), (0, 0));
         let g = gemm_tn(&Mat::zeros(0, 4), &Mat::zeros(0, 2));
         assert_eq!((g.rows(), g.cols()), (4, 2));
+    }
+
+    #[test]
+    fn gemm_row_sparse_matches_dense_on_shared_support() {
+        // A rows with exact zeros: the sparse-hinted variant skips them,
+        // the dense variant multiplies through — results must agree to
+        // rounding (and exactly when contributions are non-zero).
+        let n = 7;
+        let b: Vec<f64> = (0..5 * n).map(|i| ((i * 13) % 11) as f64 * 0.3 - 1.0).collect();
+        let a_row = [0.0, 1.5, 0.0, -2.25, 0.5];
+        let mut dense = vec![0.25; n];
+        let mut sparse = dense.clone();
+        gemm_row(1.75, &a_row, &b, n, 0.5, &mut dense);
+        gemm_row_sparse(1.75, &a_row, &b, n, 0.5, &mut sparse);
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert!((d - s).abs() < 1e-12, "{d} vs {s}");
+        }
+        // Odd-length A row exercises the paired-update remainder lane.
+        let odd = [2.0, -1.0, 0.25];
+        let mut c1 = vec![0.0; n];
+        let mut c2 = vec![0.0; n];
+        gemm_row(1.0, &odd, &b[..3 * n], n, 0.0, &mut c1);
+        gemm_row_sparse(1.0, &odd, &b[..3 * n], n, 0.0, &mut c2);
+        assert_eq!(c1, c2, "no zeros in A: both variants take identical steps");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use rayon::prelude::*;
 
 use crate::matrix::Mat;
 use crate::scratch::PartialBuffers;
+use crate::simd;
 use crate::tuning;
 
 /// Computes `G = A^T A` (`R x R`, symmetric) for an `I x R` matrix.
@@ -43,14 +44,15 @@ pub fn gram_accumulate_range(a: &Mat, range: std::ops::Range<usize>, acc: &mut [
     let r = a.cols();
     for i in range {
         let row = a.row(i);
+        // Zero skip kept as a sparsity hint: mid-ADMM factors carry exact
+        // zeros in bulk from the non-negativity prox, and skipping a whole
+        // rank-length update per zero is worth the branch. The surviving
+        // inner update is a vectorized axpy over the row suffix.
         for (p, &ap) in row.iter().enumerate() {
             if ap == 0.0 {
                 continue;
             }
-            let o = &mut acc[p * r + p..(p + 1) * r];
-            for (ov, &aq) in o.iter_mut().zip(&row[p..]) {
-                *ov += ap * aq;
-            }
+            simd::axpy(&mut acc[p * r + p..(p + 1) * r], &row[p..], ap);
         }
     }
 }
@@ -104,9 +106,7 @@ pub fn gram_into(a: &Mat, out: &mut Mat, partials: &mut PartialBuffers) {
 /// Panics on shape mismatch.
 pub fn hadamard_in_place(out: &mut Mat, rhs: &Mat) {
     assert_eq!((out.rows(), out.cols()), (rhs.rows(), rhs.cols()), "hadamard: shape mismatch");
-    for (o, &r) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
-        *o *= r;
-    }
+    simd::mul_assign(out.as_mut_slice(), rhs.as_slice());
 }
 
 /// The ADMM subproblem matrix: Hadamard product of all Gram matrices except

@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod cholesky;
 pub mod gemm;
@@ -32,10 +33,11 @@ pub mod gram;
 pub mod matrix;
 pub mod norms;
 pub mod scratch;
+pub mod simd;
 pub mod tuning;
 
 pub use cholesky::{Cholesky, LinalgError};
-pub use gemm::{gemm, gemm_row, gemm_tn, gemm_tn_into, matmul};
+pub use gemm::{gemm, gemm_row, gemm_row_sparse, gemm_tn, gemm_tn_into, matmul};
 pub use gram::{
     gram, gram_accumulate_range, gram_chunk_count, gram_into, gram_mirror, hadamard_in_place,
     hadamard_of_grams, hadamard_of_grams_into,

@@ -1,0 +1,476 @@
+//! Explicit-SIMD elementwise primitives with a bitwise-identical scalar
+//! fallback.
+//!
+//! Every hot dense loop in the workspace — GEMM row updates, Gram (SYRK)
+//! accumulation, MTTKRP Hadamard products and scatters, the fused-ADMM
+//! auxiliary sweep — reduces to a handful of elementwise vector ops. This
+//! module centralizes them so the kernels share one implementation, and
+//! vectorizes them with portable `std::simd` `f64x4` lanes behind the
+//! `simd` cargo feature (nightly-only; the feature off compiles the scalar
+//! bodies alone on stable).
+//!
+//! **Bitwise identity.** The lane bodies vectorize only across
+//! *independent output elements* — never across a reduction dimension —
+//! and use separate multiply and add instructions (no FMA contraction), so
+//! each output element sees exactly the same sequence of IEEE-754
+//! operations as the scalar body. The SIMD and scalar paths are therefore
+//! bitwise identical, which `tests/proptest_pipeline.rs` asserts across
+//! formats, ranks, and ADMM variants.
+//!
+//! **Runtime selection.** With the feature compiled in, the backend
+//! defaults to lanes and can be disabled per process with `CSTF_SIMD=0`
+//! (or `off`); [`set_backend_override`] force-selects a backend for tests
+//! and microbenchmarks. Without the feature only [`Backend::Scalar`]
+//! exists and every knob is inert.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(feature = "simd")]
+use std::simd::f64x4;
+
+/// Lane width of the vectorized bodies (f64 lanes per SIMD register).
+pub const LANE_WIDTH: usize = 4;
+
+/// Which implementation family executes the primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Plain scalar loops (always available; the only backend on stable).
+    Scalar,
+    /// Portable `std::simd` `f64x4` bodies (requires the `simd` feature).
+    Lanes,
+}
+
+impl Backend {
+    /// Short label for logs and bench IDs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Lanes => "lanes",
+        }
+    }
+}
+
+/// 0 = auto (env/default), 1 = force scalar, 2 = force lanes.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force a specific backend (`Some`) or return to auto selection (`None`).
+///
+/// Test/bench hook: process-global, so concurrent callers see the change.
+/// Forcing [`Backend::Lanes`] without the `simd` feature compiled is a
+/// no-op — the scalar bodies are the only code that exists.
+pub fn set_backend_override(backend: Option<Backend>) {
+    let v = match backend {
+        None => 0,
+        Some(Backend::Scalar) => 1,
+        Some(Backend::Lanes) => 2,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Whether the `simd` feature (and therefore the lane bodies) was compiled
+/// in at all.
+pub const fn lanes_compiled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// Auto default: lanes when compiled in and `CSTF_SIMD` does not disable
+/// them. Read once per process.
+fn auto_lanes() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if !lanes_compiled() {
+            return false;
+        }
+        match std::env::var("CSTF_SIMD") {
+            Ok(v) => !matches!(v.trim(), "0" | "off" | "OFF" | "false"),
+            Err(_) => true,
+        }
+    })
+}
+
+/// The backend the next primitive call will execute.
+pub fn backend() -> Backend {
+    let use_lanes = match OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => lanes_compiled(),
+        _ => auto_lanes(),
+    };
+    if use_lanes {
+        Backend::Lanes
+    } else {
+        Backend::Scalar
+    }
+}
+
+// Only referenced by the cfg-gated lane dispatch arms.
+#[cfg_attr(not(feature = "simd"), allow(dead_code))]
+#[inline(always)]
+fn use_lanes() -> bool {
+    // With the feature off this folds to `false` at compile time and the
+    // dispatched wrappers below become direct calls to the scalar bodies.
+    lanes_compiled() && backend() == Backend::Lanes
+}
+
+// ---------------------------------------------------------------------------
+// acc[j] += s * x[j]
+// ---------------------------------------------------------------------------
+
+/// `acc[j] += s * x[j]` — scalar body.
+#[inline]
+pub fn axpy_scalar(acc: &mut [f64], x: &[f64], s: f64) {
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a += s * v;
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn axpy_lanes(acc: &mut [f64], x: &[f64], s: f64) {
+    let n = acc.len().min(x.len());
+    let sv = f64x4::splat(s);
+    let (ah, at) = acc[..n].split_at_mut(n - n % LANE_WIDTH);
+    let (xh, xt) = x[..n].split_at(n - n % LANE_WIDTH);
+    for (a, xv) in ah.chunks_exact_mut(LANE_WIDTH).zip(xh.chunks_exact(LANE_WIDTH)) {
+        (f64x4::from_slice(a) + sv * f64x4::from_slice(xv)).copy_to_slice(a);
+    }
+    axpy_scalar(at, xt, s);
+}
+
+/// `acc[j] += s * x[j]`, dispatched to the active backend.
+#[inline]
+pub fn axpy(acc: &mut [f64], x: &[f64], s: f64) {
+    #[cfg(feature = "simd")]
+    if use_lanes() {
+        return axpy_lanes(acc, x, s);
+    }
+    axpy_scalar(acc, x, s)
+}
+
+// ---------------------------------------------------------------------------
+// acc[j] += s0 * x0[j]; acc[j] += s1 * x1[j]   (two separate adds)
+// ---------------------------------------------------------------------------
+
+/// Two stacked axpy updates per element (`acc += s0*x0`, then
+/// `acc += s1*x1`) — scalar body. Keeping the adds separate (not
+/// `s0*x0 + s1*x1` in one expression) preserves the exact rounding of two
+/// sequential [`axpy`] calls while halving the loads/stores of `acc`.
+#[inline]
+pub fn axpy2_scalar(acc: &mut [f64], x0: &[f64], s0: f64, x1: &[f64], s1: f64) {
+    for ((a, &v0), &v1) in acc.iter_mut().zip(x0).zip(x1) {
+        *a += s0 * v0;
+        *a += s1 * v1;
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn axpy2_lanes(acc: &mut [f64], x0: &[f64], s0: f64, x1: &[f64], s1: f64) {
+    let n = acc.len().min(x0.len()).min(x1.len());
+    let (s0v, s1v) = (f64x4::splat(s0), f64x4::splat(s1));
+    let head = n - n % LANE_WIDTH;
+    let (ah, at) = acc[..n].split_at_mut(head);
+    for ((a, x0v), x1v) in ah
+        .chunks_exact_mut(LANE_WIDTH)
+        .zip(x0[..head].chunks_exact(LANE_WIDTH))
+        .zip(x1[..head].chunks_exact(LANE_WIDTH))
+    {
+        let mut av = f64x4::from_slice(a);
+        av += s0v * f64x4::from_slice(x0v);
+        av += s1v * f64x4::from_slice(x1v);
+        av.copy_to_slice(a);
+    }
+    axpy2_scalar(at, &x0[head..n], s0, &x1[head..n], s1);
+}
+
+/// Two stacked axpy updates, dispatched to the active backend.
+#[inline]
+pub fn axpy2(acc: &mut [f64], x0: &[f64], s0: f64, x1: &[f64], s1: f64) {
+    #[cfg(feature = "simd")]
+    if use_lanes() {
+        return axpy2_lanes(acc, x0, s0, x1, s1);
+    }
+    axpy2_scalar(acc, x0, s0, x1, s1)
+}
+
+// ---------------------------------------------------------------------------
+// out[j] *= rhs[j]   (Hadamard)
+// ---------------------------------------------------------------------------
+
+/// `out[j] *= rhs[j]` — scalar body.
+#[inline]
+pub fn mul_assign_scalar(out: &mut [f64], rhs: &[f64]) {
+    for (o, &r) in out.iter_mut().zip(rhs) {
+        *o *= r;
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn mul_assign_lanes(out: &mut [f64], rhs: &[f64]) {
+    let n = out.len().min(rhs.len());
+    let head = n - n % LANE_WIDTH;
+    let (oh, ot) = out[..n].split_at_mut(head);
+    for (o, rv) in oh.chunks_exact_mut(LANE_WIDTH).zip(rhs[..head].chunks_exact(LANE_WIDTH)) {
+        (f64x4::from_slice(o) * f64x4::from_slice(rv)).copy_to_slice(o);
+    }
+    mul_assign_scalar(ot, &rhs[head..n]);
+}
+
+/// Hadamard `out[j] *= rhs[j]`, dispatched to the active backend.
+#[inline]
+pub fn mul_assign(out: &mut [f64], rhs: &[f64]) {
+    #[cfg(feature = "simd")]
+    if use_lanes() {
+        return mul_assign_lanes(out, rhs);
+    }
+    mul_assign_scalar(out, rhs)
+}
+
+// ---------------------------------------------------------------------------
+// acc[j] += x[j] * y[j]   (elementwise multiply-accumulate)
+// ---------------------------------------------------------------------------
+
+/// `acc[j] += x[j] * y[j]` — scalar body. The multiply and the add are
+/// separate operations (no FMA contraction), matching the lane body.
+#[inline]
+pub fn mac_scalar(acc: &mut [f64], x: &[f64], y: &[f64]) {
+    for (a, (&xv, &yv)) in acc.iter_mut().zip(x.iter().zip(y)) {
+        *a += xv * yv;
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn mac_lanes(acc: &mut [f64], x: &[f64], y: &[f64]) {
+    let n = acc.len().min(x.len()).min(y.len());
+    let head = n - n % LANE_WIDTH;
+    let (ah, at) = acc[..n].split_at_mut(head);
+    for ((a, xv), yv) in ah
+        .chunks_exact_mut(LANE_WIDTH)
+        .zip(x[..head].chunks_exact(LANE_WIDTH))
+        .zip(y[..head].chunks_exact(LANE_WIDTH))
+    {
+        let prod = f64x4::from_slice(xv) * f64x4::from_slice(yv);
+        (f64x4::from_slice(a) + prod).copy_to_slice(a);
+    }
+    mac_scalar(at, &x[head..n], &y[head..n]);
+}
+
+/// Multiply-accumulate `acc[j] += x[j] * y[j]`, dispatched to the active
+/// backend — the CSF upward-accumulation inner step (`acc += subtree ⊙
+/// factor_row`).
+#[inline]
+pub fn mac(acc: &mut [f64], x: &[f64], y: &[f64]) {
+    #[cfg(feature = "simd")]
+    if use_lanes() {
+        return mac_lanes(acc, x, y);
+    }
+    mac_scalar(acc, x, y)
+}
+
+// ---------------------------------------------------------------------------
+// dst[j] += src[j]
+// ---------------------------------------------------------------------------
+
+/// `dst[j] += src[j]` — scalar body.
+#[inline]
+pub fn add_assign_scalar(dst: &mut [f64], src: &[f64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn add_assign_lanes(dst: &mut [f64], src: &[f64]) {
+    let n = dst.len().min(src.len());
+    let head = n - n % LANE_WIDTH;
+    let (dh, dt) = dst[..n].split_at_mut(head);
+    for (d, sv) in dh.chunks_exact_mut(LANE_WIDTH).zip(src[..head].chunks_exact(LANE_WIDTH)) {
+        (f64x4::from_slice(d) + f64x4::from_slice(sv)).copy_to_slice(d);
+    }
+    add_assign_scalar(dt, &src[head..n]);
+}
+
+/// `dst[j] += src[j]`, dispatched to the active backend.
+#[inline]
+pub fn add_assign(dst: &mut [f64], src: &[f64]) {
+    #[cfg(feature = "simd")]
+    if use_lanes() {
+        return add_assign_lanes(dst, src);
+    }
+    add_assign_scalar(dst, src)
+}
+
+// ---------------------------------------------------------------------------
+// v[j] *= s
+// ---------------------------------------------------------------------------
+
+/// `v[j] *= s` — scalar body.
+#[inline]
+pub fn scale_scalar(v: &mut [f64], s: f64) {
+    for e in v.iter_mut() {
+        *e *= s;
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn scale_lanes(v: &mut [f64], s: f64) {
+    let sv = f64x4::splat(s);
+    let head = v.len() - v.len() % LANE_WIDTH;
+    let (vh, vt) = v.split_at_mut(head);
+    for c in vh.chunks_exact_mut(LANE_WIDTH) {
+        (f64x4::from_slice(c) * sv).copy_to_slice(c);
+    }
+    scale_scalar(vt, s);
+}
+
+/// In-place scaling `v[j] *= s`, dispatched to the active backend.
+#[inline]
+pub fn scale(v: &mut [f64], s: f64) {
+    #[cfg(feature = "simd")]
+    if use_lanes() {
+        return scale_lanes(v, s);
+    }
+    scale_scalar(v, s)
+}
+
+// ---------------------------------------------------------------------------
+// aux[j] = m[j] + rho * (h[j] + u[j])   (fused-ADMM auxiliary)
+// ---------------------------------------------------------------------------
+
+/// `aux[j] = m[j] + rho * (h[j] + u[j])` — scalar body. The per-element
+/// expression matches the multi-kernel `compute_auxiliary` map exactly.
+#[inline]
+pub fn fused_aux_scalar(aux: &mut [f64], m: &[f64], h: &[f64], u: &[f64], rho: f64) {
+    for (a, ((&mv, &hv), &uv)) in aux.iter_mut().zip(m.iter().zip(h).zip(u)) {
+        *a = mv + rho * (hv + uv);
+    }
+}
+
+#[cfg(feature = "simd")]
+#[inline]
+fn fused_aux_lanes(aux: &mut [f64], m: &[f64], h: &[f64], u: &[f64], rho: f64) {
+    let n = aux.len().min(m.len()).min(h.len()).min(u.len());
+    let rv = f64x4::splat(rho);
+    let head = n - n % LANE_WIDTH;
+    let (ah, at) = aux[..n].split_at_mut(head);
+    for (((a, mv), hv), uv) in ah
+        .chunks_exact_mut(LANE_WIDTH)
+        .zip(m[..head].chunks_exact(LANE_WIDTH))
+        .zip(h[..head].chunks_exact(LANE_WIDTH))
+        .zip(u[..head].chunks_exact(LANE_WIDTH))
+    {
+        let sum = f64x4::from_slice(hv) + f64x4::from_slice(uv);
+        (f64x4::from_slice(mv) + rv * sum).copy_to_slice(a);
+    }
+    fused_aux_scalar(at, &m[head..n], &h[head..n], &u[head..n], rho);
+}
+
+/// Fused-ADMM auxiliary `aux = m + rho * (h + u)`, dispatched to the
+/// active backend.
+#[inline]
+pub fn fused_aux(aux: &mut [f64], m: &[f64], h: &[f64], u: &[f64], rho: f64) {
+    #[cfg(feature = "simd")]
+    if use_lanes() {
+        return fused_aux_lanes(aux, m, h, u, rho);
+    }
+    fused_aux_scalar(aux, m, h, u, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64) / (1u64 << 31) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    /// Runs `f` once under each backend (restoring auto afterwards) and
+    /// returns both results for bitwise comparison. With the `simd` feature
+    /// off both executions are the scalar body, so the assertion is trivial
+    /// — the nightly `--features simd` run is where it bites.
+    fn both<T>(mut f: impl FnMut() -> T) -> (T, T) {
+        set_backend_override(Some(Backend::Scalar));
+        let a = f();
+        set_backend_override(Some(Backend::Lanes));
+        let b = f();
+        set_backend_override(None);
+        (a, b)
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise_all_lengths() {
+        for n in [0usize, 1, 3, 4, 5, 8, 17, 64, 65] {
+            let x = vecs(n, 7);
+            let base = vecs(n, 9);
+            let (a, b) = both(|| {
+                let mut acc = base.clone();
+                axpy(&mut acc, &x, 0.3);
+                acc
+            });
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy2_equals_two_axpy_calls_bitwise() {
+        for n in [1usize, 4, 7, 33] {
+            let (x0, x1) = (vecs(n, 3), vecs(n, 5));
+            let mut expect = vecs(n, 11);
+            let mut got = expect.clone();
+            axpy_scalar(&mut expect, &x0, 1.25);
+            axpy_scalar(&mut expect, &x1, -0.75);
+            let (a, b) = both(|| {
+                let mut acc = got.clone();
+                axpy2(&mut acc, &x0, 1.25, &x1, -0.75);
+                acc
+            });
+            assert_eq!(a, expect, "n={n}: axpy2 must round like two axpy calls");
+            assert_eq!(a, b, "n={n}");
+            got.clear();
+        }
+    }
+
+    #[test]
+    fn elementwise_primitives_match_scalar_bitwise() {
+        for n in [0usize, 2, 4, 6, 13, 40] {
+            let rhs = vecs(n, 17);
+            let (m, h, u) = (vecs(n, 19), vecs(n, 23), vecs(n, 29));
+            let (a, b) = both(|| {
+                let mut out = vecs(n, 31);
+                mul_assign(&mut out, &rhs);
+                add_assign(&mut out, &m);
+                scale(&mut out, -1.5);
+                let mut aux = vec![0.0; n];
+                fused_aux(&mut aux, &m, &h, &u, 0.875);
+                let mut acc = vecs(n, 37);
+                mac(&mut acc, &h, &u);
+                (out, aux, acc)
+            });
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn backend_reports_and_overrides() {
+        set_backend_override(Some(Backend::Scalar));
+        assert_eq!(backend(), Backend::Scalar);
+        set_backend_override(Some(Backend::Lanes));
+        if lanes_compiled() {
+            assert_eq!(backend(), Backend::Lanes);
+        } else {
+            assert_eq!(backend(), Backend::Scalar, "lanes unavailable without the feature");
+        }
+        set_backend_override(None);
+        assert!(!backend().label().is_empty());
+    }
+}

@@ -16,18 +16,47 @@ use std::sync::OnceLock;
 /// element-wise kernel goes parallel.
 pub const DEFAULT_PAR_THRESHOLD: usize = 16 * 1024;
 
+/// Parses a `CSTF_PAR_THRESHOLD` value. Returns the threshold to use plus
+/// a warning message when the raw value was present but unusable (not an
+/// integer, or zero) — malformed overrides must be *loud*, not silently
+/// swallowed into the default.
+pub fn parse_par_threshold(raw: Option<&str>) -> (usize, Option<String>) {
+    match raw {
+        None => (DEFAULT_PAR_THRESHOLD, None),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(v) if v > 0 => (v, None),
+            Ok(_) => (
+                DEFAULT_PAR_THRESHOLD,
+                Some(format!(
+                    "CSTF_PAR_THRESHOLD must be a positive integer, got {s:?}; \
+                     using default {DEFAULT_PAR_THRESHOLD}"
+                )),
+            ),
+            Err(_) => (
+                DEFAULT_PAR_THRESHOLD,
+                Some(format!(
+                    "CSTF_PAR_THRESHOLD {s:?} is not an integer; \
+                     using default {DEFAULT_PAR_THRESHOLD}"
+                )),
+            ),
+        },
+    }
+}
+
 /// Base parallelism threshold in elements.
 ///
-/// Reads `CSTF_PAR_THRESHOLD` on first use; invalid or missing values fall
-/// back to [`DEFAULT_PAR_THRESHOLD`]. Cached for the process lifetime.
+/// Reads `CSTF_PAR_THRESHOLD` on first use; a malformed or non-positive
+/// value warns on stderr and falls back to [`DEFAULT_PAR_THRESHOLD`].
+/// Cached for the process lifetime.
 pub fn par_threshold() -> usize {
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        std::env::var("CSTF_PAR_THRESHOLD")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&v| v > 0)
-            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+        let raw = std::env::var("CSTF_PAR_THRESHOLD").ok();
+        let (value, warning) = parse_par_threshold(raw.as_deref());
+        if let Some(msg) = warning {
+            eprintln!("cstf-linalg: {msg}");
+        }
+        value
     })
 }
 
@@ -75,6 +104,20 @@ pub fn solve_rows_cutoff() -> usize {
     par_threshold() / 2
 }
 
+/// Nonzero count above which a CSF root fiber counts as *heavy* and is
+/// processed with an intra-fiber split + ordered reduce instead of riding
+/// inside a flat chunk (the fiber-length binning of Nisa et al.).
+pub fn csf_heavy_fiber_cutoff() -> usize {
+    par_threshold() / 8
+}
+
+/// Per-mode nonzero count above which a BLCO output row counts as *heavy*
+/// and gets a privatized per-chunk accumulation slot (one CAS flush per
+/// chunk) instead of per-nonzero CAS adds.
+pub fn blco_heavy_row_cutoff() -> usize {
+    par_threshold() / 8
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +139,35 @@ mod tests {
         let b = par_threshold();
         assert!(a > 0);
         assert_eq!(a, b, "cached value must not change within a process");
+    }
+
+    #[test]
+    fn valid_override_parses_without_warning() {
+        assert_eq!(parse_par_threshold(Some("4096")), (4096, None));
+        assert_eq!(parse_par_threshold(Some("  32 ")), (32, None));
+        assert_eq!(parse_par_threshold(None), (DEFAULT_PAR_THRESHOLD, None));
+    }
+
+    #[test]
+    fn malformed_override_warns_and_falls_back() {
+        for bad in ["16k", "banana", "-5", "1.5", ""] {
+            let (v, warning) = parse_par_threshold(Some(bad));
+            assert_eq!(v, DEFAULT_PAR_THRESHOLD, "{bad:?} must fall back");
+            let msg = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(msg.contains("CSTF_PAR_THRESHOLD"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn zero_override_warns_and_falls_back() {
+        let (v, warning) = parse_par_threshold(Some("0"));
+        assert_eq!(v, DEFAULT_PAR_THRESHOLD);
+        assert!(warning.unwrap().contains("positive"));
+    }
+
+    #[test]
+    fn bin_cutoffs_derive_from_base() {
+        assert_eq!(csf_heavy_fiber_cutoff(), par_threshold() / 8);
+        assert_eq!(blco_heavy_row_cutoff(), par_threshold() / 8);
     }
 }

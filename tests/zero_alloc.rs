@@ -92,6 +92,53 @@ fn allocs_for(max_iters: usize, format: TensorFormat, admm: AdmmConfig) -> usize
     after - before
 }
 
+/// The fiber-binned CSF schedule and the slotted BLCO kernel are built
+/// once at format-construction time: repeated `mttkrp_into` calls on a
+/// warm workspace must not allocate, even when a tiny cutoff forces the
+/// segmented / heavy-slot code paths that the default thresholds would
+/// leave dormant on this small tensor.
+#[test]
+fn binned_mttkrp_steady_state_allocates_nothing() {
+    use cstf_formats::{Blco, Csf, MttkrpWorkspace};
+    use cstf_linalg::Mat;
+
+    let x = small_tensor();
+    let rank = 4;
+    let factors: Vec<Mat> = x
+        .shape()
+        .iter()
+        .map(|&d| Mat::from_fn(d, rank, |i, j| ((i * 31 + j * 7) % 13) as f64 / 13.0 + 0.1))
+        .collect();
+
+    // Cutoff of 4 nnz: most root slices of the 300-nnz tensor are heavy,
+    // so the schedule contains per-child segments, and most BLCO rows get
+    // private slots (capped at the slot budget).
+    let csf = Csf::from_coo_with_cutoff(&x, 0, 4);
+    let blco = Blco::from_coo_with_cutoff(&x, 4);
+    let mut out = Mat::zeros(x.shape()[0], rank);
+    let mut ws = MttkrpWorkspace::new();
+
+    // Warm-up grows the workspace buffers to their steady-state sizes.
+    csf.mttkrp_into(&factors, &mut out, &mut ws);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    csf.mttkrp_into(&factors, &mut out, &mut ws);
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "segmented CSF mttkrp allocated on a warm workspace");
+
+    for mode in 0..x.nmodes() {
+        let mut out = Mat::zeros(x.shape()[mode], rank);
+        blco.mttkrp_into(&factors, mode, &mut out, &mut ws);
+        let before = ALLOCS.load(Ordering::SeqCst);
+        blco.mttkrp_into(&factors, mode, &mut out, &mut ws);
+        let after = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "slotted BLCO mttkrp (mode {mode}) allocated on a warm workspace"
+        );
+    }
+}
+
 #[test]
 fn steady_state_outer_iteration_allocates_nothing() {
     for format in [
