@@ -145,6 +145,9 @@ fn result_from_capture(
         measured_s: capture.total_measured_seconds(),
         transfer_s: capture.phase(Phase::Transfer).seconds,
         phases: cstf_device::phase_summaries(capture),
+        // The bench harness compares modeled time, not heap; RunSummary
+        // renders an absent heap section as "n/a".
+        heap: None,
     };
     RunResult {
         system: preset.name,

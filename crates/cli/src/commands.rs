@@ -12,7 +12,9 @@ use cstf_device::{
     compare_baselines, compare_measured_band, Device, DeviceGroup, DeviceSpec, FaultPlan,
     KernelBaseline, KernelClass, KernelCost, LinkModel, PerfBaseline, Phase, RunCapture,
 };
-use cstf_telemetry::{convergence, spans, IterationRecord, RunSummary};
+use cstf_telemetry::{
+    convergence, spans, Footprint, HeapSummary, IterationRecord, MemoryFootprint, RunSummary,
+};
 use cstf_tensor::SparseTensor;
 
 use crate::args::{ArgError, ParsedArgs};
@@ -31,15 +33,21 @@ pub enum CliError {
     /// Distinct so the binary can exit with a dedicated code (3) that CI
     /// distinguishes from argument (2) and runtime (1) failures.
     Drift(String),
+    /// `memstat` found a configuration that does not fit its memory budget.
+    /// Dedicated exit code (4) so CI fit gates can distinguish "does not
+    /// fit" from runtime failures; the deficit has already been written to
+    /// the report when this is returned.
+    Unfit(String),
 }
 
 impl CliError {
-    /// Process exit code for this error: `3` for perf-gate drift, `1` for
-    /// everything else reaching `dispatch` (argument errors caught before
-    /// dispatch exit `2` in `main`).
+    /// Process exit code for this error: `3` for perf-gate drift, `4` for a
+    /// memstat fit failure, `1` for everything else reaching `dispatch`
+    /// (argument errors caught before dispatch exit `2` in `main`).
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Drift(_) => 3,
+            CliError::Unfit(_) => 4,
             _ => 1,
         }
     }
@@ -52,6 +60,7 @@ impl std::fmt::Display for CliError {
             CliError::Input(m) => write!(f, "{m}"),
             CliError::Factorize(e) => write!(f, "factorization failed: {e}"),
             CliError::Drift(m) => write!(f, "perf gate failed: {m}"),
+            CliError::Unfit(m) => write!(f, "memory fit failed: {m}"),
         }
     }
 }
@@ -77,6 +86,7 @@ pub fn dispatch(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "analyze" => cmd_analyze(p, out),
         "perf" => cmd_perf(p, out),
         "report" => cmd_report(p, out),
+        "memstat" => cmd_memstat(p, out),
         "info" => cmd_info(p, out),
         "datasets" => cmd_datasets(out),
         "devices" => cmd_devices(out),
@@ -102,6 +112,8 @@ pub fn help_text() -> String {
        perf        record|compare a counter-exact performance baseline\n\
                    (compare exits 3 on drift; see --baseline-dir)\n\
        report      render the artifacts of a --telemetry run (DIR positional)\n\
+       memstat     byte-exact footprint + device-occupancy fit plan for a\n\
+                   tensor (FILE positional or --input/--dataset)\n\
        info        inspect a tensor (shape, nnz, density, format storage)\n\
        datasets    list the Table 2 catalog\n\
        devices     list the simulated device specs (Table 1)\n\
@@ -141,6 +153,15 @@ pub fn help_text() -> String {
        --measured-band F    also fail compare when the aggregate\n\
                             measured/modeled time ratio grew by more than\n\
                             fraction F vs the baseline (default 0 = off)\n\
+     \n\
+     MEMORY OBSERVATORY (memstat):\n\
+       memstat [FILE] [--format F --rank R --gpus N --device D --json]\n\
+                            byte-exact heap footprint per format (all five\n\
+                            when --format is omitted), occupancy fraction\n\
+                            against the device's DRAM, and a fit verdict\n\
+       --memory-budget B    check against B bytes instead of device DRAM;\n\
+                            a config over budget exits 4 with the exact\n\
+                            deficit (what a tiling layer must stream)\n\
      \n\
      FAULT TOLERANCE (factorize):\n\
        --faults SPEC        inject seeded device faults, e.g.\n\
@@ -449,6 +470,7 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             measured_s: capture.total_measured_seconds(),
             transfer_s: capture.phase(Phase::Transfer).seconds,
             phases: cstf_device::phase_summaries(&capture),
+            heap: Some(HeapSummary::capture()),
         };
         let iterations = result.convergence.records();
         write_telemetry_artifacts(dir, &summary, &iterations, &capture, &span_records, &spec)?;
@@ -656,6 +678,7 @@ fn cmd_factorize_sharded(
             measured_s: captures.iter().map(|c| c.total_measured_seconds()).sum(),
             transfer_s: captures[0].phase(Phase::Transfer).seconds,
             phases: cstf_device::phase_summaries(&captures[0]),
+            heap: Some(HeapSummary::capture()),
         };
         let iterations = result.convergence.records();
         let root = std::path::Path::new(dir);
@@ -1210,6 +1233,218 @@ fn cmd_info(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Merges `inner`'s components into `fp` without a prefix — repeated names
+/// accumulate, which is how the per-mode trees of an all-mode CSF fold
+/// into one breakdown.
+fn merge_components(fp: &mut Footprint, inner: &Footprint) {
+    for (name, bytes) in inner.components() {
+        fp.add(name, *bytes);
+    }
+}
+
+/// Compiles `x` into the named format and returns its deep heap footprint
+/// — the bytes the factorize engine would actually keep resident. "csf"
+/// is the all-mode compilation (one tree per mode), matching the engine.
+fn memstat_footprint(x: &SparseTensor, format: &str) -> Result<Footprint, CliError> {
+    let mut fp = Footprint::new();
+    match format {
+        "coo" => merge_components(&mut fp, &x.footprint()),
+        "csf" => {
+            for m in 0..x.nmodes() {
+                merge_components(&mut fp, &cstf_formats::Csf::from_coo(x, m).footprint());
+            }
+        }
+        "hicoo" => merge_components(&mut fp, &cstf_formats::HiCoo::from_coo(x).footprint()),
+        "alto" => merge_components(&mut fp, &cstf_formats::Alto::from_coo(x).footprint()),
+        "blco" => merge_components(&mut fp, &cstf_formats::Blco::from_coo(x).footprint()),
+        _ => {
+            return Err(CliError::Args(ArgError::BadValue {
+                key: "format".into(),
+                value: format.into(),
+                expected: "coo|csf|hicoo|alto|blco",
+            }))
+        }
+    }
+    Ok(fp)
+}
+
+/// One planned (format → fit) row of the memstat report.
+struct MemstatRow {
+    format: String,
+    footprint: Footprint,
+    per_device: Vec<u64>,
+    fit: cstf_device::DeviceFit,
+}
+
+/// `cstf memstat`: byte-exact footprint accounting plus device-occupancy
+/// fit planning (DESIGN.md §14). Required bytes per device = the compiled
+/// format structure (the heaviest mode-0 nnz-balanced shard when
+/// `--gpus N > 1`, matching the sharded driver's partitioning) plus a full
+/// factor replica (every device holds all factor matrices). A config over
+/// its budget exits 4 after writing the exact deficit — the bytes a future
+/// out-of-core tiling layer must stream (ROADMAP item 2).
+fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    // The FILE positional is shorthand for --input, mirroring `report DIR`.
+    let x = if let Some(path) = p.positionals.first() {
+        cstf_tensor::read_tns_file(path)
+            .map_err(|e| CliError::Input(format!("failed to read {path}: {e}")))?
+    } else {
+        load_tensor(p)?
+    };
+    let rank = p.parse_or("rank", 16usize, "integer")?;
+    let gpus = p.parse_or("gpus", 1usize, "integer")?.max(1);
+    let spec = parse_device(p.get_or("device", "h100"))?;
+    let budget = match p.options.get("memory-budget") {
+        None => None,
+        Some(text) => Some(text.parse::<u64>().map_err(|_| {
+            CliError::Args(ArgError::BadValue {
+                key: "memory-budget".into(),
+                value: text.clone(),
+                expected: "bytes (integer)",
+            })
+        })?),
+    };
+    let formats: Vec<String> = match p.options.get("format") {
+        Some(f) => vec![f.clone()],
+        None => ["coo", "csf", "hicoo", "alto", "blco"].iter().map(|s| s.to_string()).collect(),
+    };
+
+    // Every device holds a full factor replica (the sharded driver
+    // all-gathers rows back into each device's copy). Mat::zeros allocates
+    // exactly rows*cols doubles, so this is byte-exact, not an estimate.
+    let factor_bytes: u64 = x
+        .shape()
+        .iter()
+        .map(|&d| MemoryFootprint::heap_bytes(&cstf_linalg::Mat::zeros(d, rank)))
+        .sum();
+
+    // The same mode-0 shards the sharded driver compiles; the fit is
+    // planned against the heaviest device.
+    let shards: Vec<SparseTensor> = if gpus > 1 {
+        cstf_formats::nnz_balanced_ranges(&x, 0, gpus)
+            .iter()
+            .map(|r| cstf_formats::extract_mode_rows(&x, 0, r))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut rows: Vec<MemstatRow> = Vec::new();
+    for name in &formats {
+        let (footprint, per_device) = if gpus > 1 {
+            let fps: Vec<Footprint> =
+                shards.iter().map(|s| memstat_footprint(s, name)).collect::<Result<_, _>>()?;
+            let per: Vec<u64> = fps.iter().map(Footprint::total).collect();
+            let heaviest =
+                per.iter().enumerate().max_by_key(|(_, b)| **b).map(|(i, _)| i).unwrap_or(0);
+            (fps.into_iter().nth(heaviest).unwrap(), per)
+        } else {
+            let fp = memstat_footprint(&x, name)?;
+            let total = fp.total();
+            (fp, vec![total])
+        };
+        let tensor_bytes = per_device.iter().copied().max().unwrap_or(0);
+        let fit = cstf_device::plan_device_fit(tensor_bytes + factor_bytes, &spec, budget);
+        rows.push(MemstatRow { format: name.clone(), footprint, per_device, fit });
+    }
+    let fits_all = rows.iter().all(|r| r.fit.fits);
+    let capacity = rows.first().map_or(0, |r| r.fit.capacity_bytes);
+
+    let io = |e: std::io::Error| CliError::Input(e.to_string());
+    if p.has_flag("json") {
+        let occupancy_json = |o: f64| {
+            if o.is_finite() {
+                format!("{o:.6}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"shape\": {:?},\n", x.shape()));
+        s.push_str(&format!("  \"nnz\": {},\n", x.nnz()));
+        s.push_str(&format!("  \"rank\": {rank},\n"));
+        s.push_str(&format!("  \"gpus\": {gpus},\n"));
+        s.push_str(&format!("  \"device\": {:?},\n", spec.name));
+        s.push_str(&format!("  \"capacity_bytes\": {capacity},\n"));
+        s.push_str(&format!("  \"factor_bytes\": {factor_bytes},\n"));
+        s.push_str("  \"formats\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let tensor_bytes = r.per_device.iter().copied().max().unwrap_or(0);
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"format\": {:?},\n", r.format));
+            s.push_str(&format!("      \"tensor_bytes\": {tensor_bytes},\n"));
+            let per: Vec<String> = r.per_device.iter().map(u64::to_string).collect();
+            s.push_str(&format!("      \"per_device_tensor_bytes\": [{}],\n", per.join(", ")));
+            s.push_str(&format!("      \"required_bytes\": {},\n", r.fit.required_bytes));
+            s.push_str(&format!("      \"occupancy\": {},\n", occupancy_json(r.fit.occupancy)));
+            s.push_str(&format!("      \"fits\": {},\n", r.fit.fits));
+            s.push_str(&format!("      \"deficit_bytes\": {},\n", r.fit.deficit_bytes));
+            s.push_str(&format!("      \"headroom_bytes\": {},\n", r.fit.headroom_bytes));
+            let comps: Vec<String> =
+                r.footprint.as_map().iter().map(|(n, b)| format!("{n:?}: {b}")).collect();
+            s.push_str(&format!("      \"components\": {{{}}}\n", comps.join(", ")));
+            s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"fits_all\": {fits_all}\n"));
+        s.push_str("}\n");
+        write!(out, "{s}").map_err(io)?;
+    } else {
+        writeln!(out, "tensor:  shape {:?}, nnz {}", x.shape(), x.nnz()).map_err(io)?;
+        let budget_note = if budget.is_some() { " (--memory-budget)" } else { " DRAM" };
+        writeln!(
+            out,
+            "plan:    rank {rank}, gpus {gpus}, device {}, budget {capacity} B{budget_note}",
+            spec.name
+        )
+        .map_err(io)?;
+        writeln!(out, "factors: {factor_bytes} B replicated per device").map_err(io)?;
+        writeln!(
+            out,
+            "  {:<7} {:>14} {:>14} {:>11}  FIT",
+            "FORMAT", "TENSOR_B", "REQUIRED_B", "OCCUPANCY"
+        )
+        .map_err(io)?;
+        for r in &rows {
+            let tensor_bytes = r.per_device.iter().copied().max().unwrap_or(0);
+            writeln!(
+                out,
+                "  {:<7} {:>14} {:>14} {:>11.3e}  {}",
+                r.format,
+                tensor_bytes,
+                r.fit.required_bytes,
+                r.fit.occupancy,
+                if r.fit.fits {
+                    "yes".to_string()
+                } else {
+                    format!("NO (deficit {} B)", r.fit.deficit_bytes)
+                }
+            )
+            .map_err(io)?;
+            for (name, bytes) in r.footprint.as_map() {
+                writeln!(out, "    {name:<24} {bytes:>12} B").map_err(io)?;
+            }
+            if gpus > 1 {
+                writeln!(out, "    per-device tensor bytes: {:?}", r.per_device).map_err(io)?;
+            }
+        }
+    }
+
+    if !fits_all {
+        let worst =
+            rows.iter().filter(|r| !r.fit.fits).max_by_key(|r| r.fit.deficit_bytes).unwrap();
+        return Err(CliError::Unfit(format!(
+            "{} needs {} bytes against a budget of {} bytes (deficit {} bytes to stream)",
+            worst.format,
+            worst.fit.required_bytes,
+            worst.fit.capacity_bytes,
+            worst.fit.deficit_bytes
+        )));
+    }
+    Ok(())
+}
+
 fn cmd_datasets(out: &mut dyn Write) -> Result<(), CliError> {
     for e in cstf_data::table2() {
         writeln!(
@@ -1337,6 +1572,109 @@ mod tests {
         let out = run(&["info", "--dataset", "Uber", "--nnz", "3000"]).unwrap();
         assert!(out.contains("COO") && out.contains("CSF") && out.contains("BLCO"));
         assert!(out.contains("density:"));
+    }
+
+    /// Like `run` but keeps whatever was written to `out` even when the
+    /// command errors — memstat writes its report (with the exact deficit)
+    /// before returning the unfit error.
+    fn run_capture(args: &[&str]) -> (Result<(), CliError>, String) {
+        let parsed = parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
+        let mut buf = Vec::new();
+        let r = dispatch(&parsed, &mut buf);
+        (r, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn memstat_json_covers_all_five_formats() {
+        let out = run(&["memstat", "--dataset", "Uber", "--nnz", "3000", "--json"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        let formats = v["formats"].as_array().unwrap();
+        assert_eq!(formats.len(), 5, "{out}");
+        assert_eq!(v["capacity_bytes"].as_u64().unwrap(), 80_000_000_000, "default h100");
+        assert!(v["fits_all"].as_bool().unwrap());
+        let factor_bytes = v["factor_bytes"].as_u64().unwrap();
+        assert!(factor_bytes > 0);
+        for f in formats {
+            let tensor = f["tensor_bytes"].as_u64().unwrap();
+            let required = f["required_bytes"].as_u64().unwrap();
+            assert!(tensor > 0, "{out}");
+            assert_eq!(required, tensor + factor_bytes, "required = tensor + factor replica");
+            assert!(f["fits"].as_bool().unwrap());
+            assert_eq!(f["deficit_bytes"].as_u64().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn memstat_is_byte_deterministic_across_runs() {
+        let args = ["memstat", "--dataset", "NIPS", "--nnz", "2500", "--json"];
+        let a = run(&args).unwrap();
+        let b = run(&args).unwrap();
+        assert_eq!(a, b, "two runs must produce byte-identical reports");
+    }
+
+    #[test]
+    fn memstat_tiny_budget_exits_unfit_with_exact_deficit() {
+        let (res, out) = run_capture(&[
+            "memstat",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--format",
+            "coo",
+            "--memory-budget",
+            "1024",
+            "--json",
+        ]);
+        let err = res.unwrap_err();
+        assert!(matches!(err, CliError::Unfit(_)), "{err}");
+        assert_eq!(err.exit_code(), 4);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("report written before error");
+        assert_eq!(v["fits_all"].as_bool(), Some(false));
+        let f = &v["formats"].as_array().unwrap()[0];
+        let required = f["required_bytes"].as_u64().unwrap();
+        assert!(required > 1024);
+        assert_eq!(f["deficit_bytes"].as_u64().unwrap(), required - 1024, "exact deficit");
+        assert_eq!(f["fits"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn memstat_shards_report_per_device_bytes() {
+        let out = run(&[
+            "memstat",
+            "--dataset",
+            "NIPS",
+            "--nnz",
+            "2000",
+            "--format",
+            "blco",
+            "--gpus",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let f = &v["formats"].as_array().unwrap()[0];
+        let per = f["per_device_tensor_bytes"].as_array().unwrap();
+        assert_eq!(per.len(), 2);
+        let max = per.iter().map(|b| b.as_u64().unwrap()).max().unwrap();
+        assert_eq!(f["tensor_bytes"].as_u64(), Some(max), "fit plans the heaviest device");
+    }
+
+    #[test]
+    fn memstat_text_lists_components() {
+        let out =
+            run(&["memstat", "--dataset", "Uber", "--nnz", "1500", "--format", "coo"]).unwrap();
+        assert!(out.contains("FORMAT"), "{out}");
+        assert!(out.contains("values"), "component breakdown expected:\n{out}");
+        assert!(out.contains("yes"), "{out}");
+    }
+
+    #[test]
+    fn memstat_rejects_unknown_format() {
+        let err = run(&["memstat", "--dataset", "Uber", "--nnz", "1000", "--format", "csf1"])
+            .unwrap_err();
+        assert!(matches!(err, CliError::Args(_)), "{err}");
     }
 
     #[test]

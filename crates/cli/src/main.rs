@@ -1,5 +1,11 @@
 //! `cstf` binary entry point.
 
+// The counting allocator makes the heap gauges real: without it,
+// `cstf_heap_high_water_bytes`, the per-region peaks and run.json's heap
+// section all read zero. Overhead is a few relaxed atomics per alloc.
+#[global_allocator]
+static ALLOC: cstf_telemetry::alloc::CountingAlloc = cstf_telemetry::alloc::CountingAlloc;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match cstf_cli::parse(&argv) {

@@ -145,6 +145,7 @@ pub struct Auntf {
 impl Auntf {
     /// Builds a driver for a sparse tensor, compiling the configured format.
     pub fn new(x: SparseTensor, cfg: AuntfConfig) -> Self {
+        let _region = cstf_telemetry::HeapRegion::enter("construction");
         let engine = match cfg.format {
             TensorFormat::Coo => Engine::Coo,
             TensorFormat::Csf => {
@@ -541,6 +542,7 @@ impl Auntf {
         dev: &Device,
         ckpt: Option<(&CheckpointConfig, bool)>,
     ) -> Result<FactorizeOutput, FactorizeError> {
+        let _region = cstf_telemetry::HeapRegion::enter("factorize");
         let shape = self.shape();
         let rank = self.cfg.rank;
         let nmodes = shape.len();
@@ -819,6 +821,7 @@ impl Auntf {
 
             if let Some((cc, _)) = ckpt {
                 if (outer + 1) % cc.every == 0 || stop || outer + 1 == self.cfg.max_iters {
+                    let _ckpt_region = cstf_telemetry::HeapRegion::enter("checkpoint");
                     checkpoint::save_batch(
                         &cc.dir,
                         &BatchView {

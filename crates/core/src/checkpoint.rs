@@ -364,6 +364,24 @@ fn read_batch(path: &Path) -> Result<(String, BatchState), CheckpointError> {
     Ok((fingerprint, BatchState { completed_iters, lambda, fits, factors, duals }))
 }
 
+impl cstf_telemetry::MemoryFootprint for BatchState {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        use cstf_telemetry::vec_heap_bytes;
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add("lambda", vec_heap_bytes(&self.lambda));
+        fp.add("fits", vec_heap_bytes(&self.fits));
+        fp.add("factors.spine", (self.factors.capacity() * std::mem::size_of::<Mat>()) as u64);
+        for f in &self.factors {
+            fp.add("factors.data", f.heap_bytes());
+        }
+        fp.add("duals.spine", (self.duals.capacity() * std::mem::size_of::<Mat>()) as u64);
+        for d in &self.duals {
+            fp.add("duals.data", d.heap_bytes());
+        }
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +409,24 @@ mod tests {
             factors,
             duals,
         }
+    }
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let st = sample_state(3);
+        let vb = |c: usize, sz: usize| (c * sz) as u64;
+        let expected = vb(st.lambda.capacity(), 8)
+            + vb(st.fits.capacity(), 8)
+            + vb(st.factors.capacity(), std::mem::size_of::<Mat>())
+            + st.factors.iter().map(MemoryFootprint::heap_bytes).sum::<u64>()
+            + vb(st.duals.capacity(), std::mem::size_of::<Mat>())
+            + st.duals.iter().map(MemoryFootprint::heap_bytes).sum::<u64>();
+        assert_eq!(st.heap_bytes(), expected);
+        assert_eq!(
+            st.footprint().get("factors.data"),
+            st.factors.iter().map(MemoryFootprint::heap_bytes).sum::<u64>()
+        );
     }
 
     fn save(dir: &Path, fp: &str, st: &BatchState) -> PathBuf {

@@ -425,6 +425,7 @@ impl Auntf {
         group: &DeviceGroup,
         ckpt: Option<(&CheckpointConfig, bool)>,
     ) -> Result<FactorizeOutput, FactorizeError> {
+        let _region = cstf_telemetry::HeapRegion::enter("factorize");
         let shape = self.shape();
         let rank = self.cfg.rank;
         let nmodes = shape.len();
@@ -496,17 +497,21 @@ impl Auntf {
         };
 
         // Shard every mode: nnz-balanced row blocks, one compiled shard
-        // per (mode, device).
+        // per (mode, device). Shard compilation is this path's format
+        // construction, so it carries the "construction" heap region.
         let mode_ranges: Vec<Vec<Range<usize>>> =
             (0..nmodes).map(|m| nnz_balanced_ranges(x, m, g)).collect();
-        let shards: Vec<Vec<Shard>> = (0..nmodes)
-            .map(|m| {
-                mode_ranges[m]
-                    .iter()
-                    .map(|rng| compile_shard(x, m, rng.clone(), self.cfg.format))
-                    .collect()
-            })
-            .collect();
+        let shards: Vec<Vec<Shard>> = {
+            let _build_region = cstf_telemetry::HeapRegion::enter("construction");
+            (0..nmodes)
+                .map(|m| {
+                    mode_ranges[m]
+                        .iter()
+                        .map(|rng| compile_shard(x, m, rng.clone(), self.cfg.format))
+                        .collect()
+                })
+                .collect()
+        };
 
         // One-time transfers, per device: its shards plus a full replica
         // of the factors.
@@ -712,6 +717,7 @@ impl Auntf {
 
             if let Some((cc, _)) = ckpt {
                 if (outer + 1) % cc.every == 0 || stop || outer + 1 == self.cfg.max_iters {
+                    let _ckpt_region = cstf_telemetry::HeapRegion::enter("checkpoint");
                     checkpoint::save_batch(
                         &cc.dir,
                         &BatchView {

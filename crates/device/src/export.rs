@@ -84,6 +84,14 @@ pub fn registry_from_captures(captures: &[&RunCapture], spec: &DeviceSpec) -> Re
         "Peak live heap bytes (counting allocator)",
         alloc::peak_bytes() as f64,
     );
+    for (region, peak) in alloc::region_peaks() {
+        registry.gauge_set_labeled(
+            "cstf_heap_region_peak_bytes",
+            "Peak live heap bytes observed while the named region was active",
+            &[("region", region)],
+            peak as f64,
+        );
+    }
     let mut phase_seconds: std::collections::BTreeMap<crate::profiler::Phase, f64> =
         std::collections::BTreeMap::new();
     for capture in captures {

@@ -51,6 +51,7 @@ pub mod device;
 pub mod export;
 pub mod fault;
 pub mod group;
+pub mod memstat;
 pub mod profiler;
 pub mod roofline;
 pub mod spec;
@@ -65,6 +66,7 @@ pub use device::Device;
 pub use export::{phase_summaries, registry_from_capture, registry_from_captures};
 pub use fault::{DeviceFault, FaultKind, FaultPlan};
 pub use group::{DeviceGroup, LinkModel};
+pub use memstat::{device_capacity_bytes, plan_device_fit, plan_fit, DeviceFit};
 pub use profiler::{
     FaultRecord, KernelKey, KernelRecord, KernelTotals, MarkRecord, Phase, PhaseTotals, Profiler,
     RunCapture,

@@ -1,0 +1,136 @@
+//! Modeled device-occupancy fit planning.
+//!
+//! Combines a byte-exact footprint (from `cstf-telemetry`'s
+//! `MemoryFootprint` accounting) with a [`DeviceSpec`]'s DRAM capacity to
+//! answer the question every GPU port asks first: *does this (format,
+//! rank, device-count) configuration fit in device memory, and if not, by
+//! how many bytes does it miss?* The deficit is exactly what a future
+//! out-of-core tiling layer must stream per sweep (ROADMAP item 2), so
+//! the planner reports it byte-exactly rather than as a ratio.
+//!
+//! The planner deliberately takes plain byte counts, not format values:
+//! `cstf-device` models hardware and must stay independent of
+//! `cstf-formats` (the CLI composes the two).
+
+use crate::spec::DeviceSpec;
+
+/// Decimal gigabyte, matching vendor DRAM capacity marketing (an "80 GB"
+/// A100 exposes 80e9 usable bytes, not 80 GiB).
+pub const GB: f64 = 1e9;
+
+/// Verdict of one occupancy plan: does `required_bytes` fit in
+/// `capacity_bytes`, and with what headroom or deficit?
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceFit {
+    /// Budget the plan was checked against (device DRAM, or an explicit
+    /// `--memory-budget` override).
+    pub capacity_bytes: u64,
+    /// Deep heap bytes the configuration needs resident.
+    pub required_bytes: u64,
+    /// `required / capacity` (infinite when capacity is 0 and bytes are
+    /// required).
+    pub occupancy: f64,
+    /// Whether the configuration fits.
+    pub fits: bool,
+    /// Bytes over budget (0 when it fits) — the amount an out-of-core
+    /// tiling layer would have to stream.
+    pub deficit_bytes: u64,
+    /// Bytes of headroom under budget (0 when it does not fit).
+    pub headroom_bytes: u64,
+}
+
+/// Plans whether `required_bytes` fits a budget of `capacity_bytes`.
+pub fn plan_fit(required_bytes: u64, capacity_bytes: u64) -> DeviceFit {
+    let occupancy = if capacity_bytes == 0 {
+        if required_bytes == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        required_bytes as f64 / capacity_bytes as f64
+    };
+    let fits = required_bytes <= capacity_bytes;
+    DeviceFit {
+        capacity_bytes,
+        required_bytes,
+        occupancy,
+        fits,
+        deficit_bytes: required_bytes.saturating_sub(capacity_bytes),
+        headroom_bytes: capacity_bytes.saturating_sub(required_bytes),
+    }
+}
+
+/// Plans against a device's DRAM capacity, or `budget_bytes` when given
+/// (the `--memory-budget` override; it wins even when larger than DRAM,
+/// so hypothetical devices can be modeled).
+pub fn plan_device_fit(
+    required_bytes: u64,
+    spec: &DeviceSpec,
+    budget_bytes: Option<u64>,
+) -> DeviceFit {
+    plan_fit(required_bytes, budget_bytes.unwrap_or_else(|| device_capacity_bytes(spec)))
+}
+
+/// A device's DRAM capacity in bytes (`dram_gb` × 1e9).
+pub fn device_capacity_bytes(spec: &DeviceSpec) -> u64 {
+    (spec.dram_gb * GB) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_decimal_gigabytes() {
+        assert_eq!(device_capacity_bytes(&DeviceSpec::a100()), 80_000_000_000);
+        assert_eq!(device_capacity_bytes(&DeviceSpec::icelake_xeon()), 400_000_000_000);
+    }
+
+    #[test]
+    fn fit_reports_headroom() {
+        let fit = plan_fit(30, 100);
+        assert!(fit.fits);
+        assert_eq!(fit.deficit_bytes, 0);
+        assert_eq!(fit.headroom_bytes, 70);
+        assert!((fit.occupancy - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfit_reports_exact_deficit() {
+        let fit = plan_fit(130, 100);
+        assert!(!fit.fits);
+        assert_eq!(fit.deficit_bytes, 30);
+        assert_eq!(fit.headroom_bytes, 0);
+        assert!((fit.occupancy - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_exactly_full_fits() {
+        let fit = plan_fit(100, 100);
+        assert!(fit.fits);
+        assert_eq!(fit.deficit_bytes, 0);
+        assert_eq!(fit.headroom_bytes, 0);
+        assert_eq!(fit.occupancy, 1.0);
+    }
+
+    #[test]
+    fn budget_override_wins_over_dram() {
+        let spec = DeviceSpec::a100();
+        let fit = plan_device_fit(1024, &spec, Some(512));
+        assert!(!fit.fits);
+        assert_eq!(fit.capacity_bytes, 512);
+        assert_eq!(fit.deficit_bytes, 512);
+        let unbudgeted = plan_device_fit(1024, &spec, None);
+        assert!(unbudgeted.fits);
+        assert_eq!(unbudgeted.capacity_bytes, 80_000_000_000);
+    }
+
+    #[test]
+    fn zero_capacity_is_infinite_occupancy() {
+        let fit = plan_fit(1, 0);
+        assert!(!fit.fits);
+        assert!(fit.occupancy.is_infinite());
+        assert_eq!(plan_fit(0, 0).occupancy, 0.0);
+    }
+}

@@ -20,7 +20,7 @@
 
 use std::io::Write;
 
-use cstf_telemetry::SpanRecord;
+use cstf_telemetry::{alloc, SpanRecord};
 use serde_json::{json, Value};
 
 use crate::profiler::{FaultRecord, KernelRecord, MarkRecord, Phase};
@@ -75,6 +75,7 @@ pub fn write_full_trace<W: Write>(
     events.extend(fault_events(faults));
     events.extend(flow_events(records));
     events.extend(span_events(spans));
+    events.extend(heap_counter_events(1));
     let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
     writeln!(w, "{text}")
 }
@@ -112,8 +113,33 @@ pub fn write_multi_device_trace<W: Write>(
         "args": host_args,
     }));
     events.extend(span_events_pid(spans, span_pid));
+    events.extend(heap_counter_events(span_pid));
     let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
     writeln!(w, "{text}")
+}
+
+/// Counter samples (`"ph": "C"`) for the host heap: the process high-water
+/// mark plus one `heap_peak[<region>]` track per registered [`HeapRegion`]
+/// (`cstf_telemetry::HeapRegion`). The counters are process-wide watermarks,
+/// not time series, so each track carries a single sample at `ts` 0 — a
+/// horizontal line Perfetto draws across the whole trace. Empty (and
+/// therefore absent) in binaries without the counting allocator.
+fn heap_counter_events(pid: u32) -> Vec<Value> {
+    let mut events = Vec::new();
+    if alloc::peak_bytes() > 0 {
+        let args = json!({ "value": alloc::peak_bytes() });
+        events.push(json!({
+            "name": "heap_high_water_bytes", "ph": "C", "ts": 0.0, "pid": pid, "args": args,
+        }));
+    }
+    for (region, peak) in alloc::region_peaks() {
+        let args = json!({ "value": peak });
+        events.push(json!({
+            "name": format!("heap_peak[{region}]"), "ph": "C", "ts": 0.0, "pid": pid,
+            "args": args,
+        }));
+    }
+    events
 }
 
 /// Instant events (`"ph": "i"`, process scope) for each injected device
@@ -472,7 +498,9 @@ mod tests {
         write_full_trace(&[], &[], &[], &spans, &mut buf).unwrap();
         let parsed: serde_json::Value =
             serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
-        let arr = parsed.as_array().unwrap();
+        // Heap counter tracks may coexist; look at the span events only.
+        let arr: Vec<&serde_json::Value> =
+            parsed.as_array().unwrap().iter().filter(|e| e["cat"] == "span").collect();
         assert_eq!(arr.len(), 2);
         assert!(arr.iter().all(|e| e["pid"] == 2 && e["tid"] == 7));
         let outer = arr.iter().find(|e| e["name"] == "outer_iteration").unwrap();
@@ -580,6 +608,26 @@ mod tests {
         );
         let complete = arr.iter().find(|e| e["ph"] == "X" && e["name"] == "mttkrp").unwrap();
         assert_eq!(complete["args"]["mode"], 0);
+    }
+
+    #[test]
+    fn heap_region_peaks_render_as_counter_tracks() {
+        // Registering a region makes its watermark track appear in every
+        // subsequent full trace (process-global, like the allocator).
+        let _r = cstf_telemetry::HeapRegion::enter("trace-test-region");
+        drop(_r);
+        let mut buf = Vec::new();
+        write_full_trace(&[], &[], &[], &[], &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let track = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["name"] == "heap_peak[trace-test-region]")
+            .expect("region counter track present");
+        assert_eq!(track["ph"], "C");
+        assert!(track["args"]["value"].as_u64().is_some());
     }
 
     #[test]

@@ -353,6 +353,23 @@ impl Alto {
     }
 }
 
+impl cstf_telemetry::MemoryFootprint for Alto {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        use cstf_telemetry::vec_heap_bytes;
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add("shape", vec_heap_bytes(&self.shape));
+        fp.add("schedule.slots", vec_heap_bytes(&self.schedule.slots));
+        fp.add("lin", vec_heap_bytes(&self.lin));
+        fp.add("values", vec_heap_bytes(&self.values));
+        fp.add(
+            "partitions",
+            (self.partitions.capacity() * std::mem::size_of::<std::ops::Range<usize>>()) as u64,
+        );
+        fp.add("intervals", cstf_telemetry::nested_vec_heap_bytes(&self.intervals));
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +400,26 @@ mod tests {
             .enumerate()
             .map(|(m, &d)| Mat::from_fn(d, rank, |i, j| ((i * 3 + j + m) % 8) as f64 * 0.25 - 1.0))
             .collect()
+    }
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let alto = Alto::from_coo(&random_tensor(&[23, 11, 7], 300, 5));
+        let vb = |c: usize, sz: usize| (c * sz) as u64;
+        let expected = vb(alto.shape.capacity(), std::mem::size_of::<usize>())
+            + vb(alto.schedule.slots.capacity(), std::mem::size_of::<(u8, u8)>())
+            + vb(alto.lin.capacity(), std::mem::size_of::<u128>())
+            + vb(alto.values.capacity(), std::mem::size_of::<f64>())
+            + vb(alto.partitions.capacity(), std::mem::size_of::<std::ops::Range<usize>>())
+            + vb(alto.intervals.capacity(), std::mem::size_of::<Vec<(u32, u32)>>())
+            + alto
+                .intervals
+                .iter()
+                .map(|v| vb(v.capacity(), std::mem::size_of::<(u32, u32)>()))
+                .sum::<u64>();
+        assert_eq!(alto.heap_bytes(), expected);
+        assert!(alto.footprint().get("lin") >= 16 * alto.nnz() as u64);
     }
 
     #[test]

@@ -368,6 +368,22 @@ impl Blco {
     }
 }
 
+impl cstf_telemetry::MemoryFootprint for Blco {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        use cstf_telemetry::vec_heap_bytes;
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add("shape", vec_heap_bytes(&self.shape));
+        fp.add("fields", vec_heap_bytes(&self.fields));
+        fp.add("blocks.spine", (self.blocks.capacity() * std::mem::size_of::<BlcoBlock>()) as u64);
+        for b in &self.blocks {
+            fp.add("blocks.idx", vec_heap_bytes(&b.idx));
+            fp.add("blocks.vals", vec_heap_bytes(&b.vals));
+        }
+        fp.add("heavy", cstf_telemetry::nested_vec_heap_bytes(&self.heavy));
+        fp
+    }
+}
+
 /// Parallel chunk length for a block of `len` nonzeros: at least the tuned
 /// chunk floor, targeting ~4 chunks per thread above it.
 fn par_chunk_len(len: usize) -> usize {
@@ -422,6 +438,28 @@ mod tests {
                 Mat::from_fn(d, rank, |i, j| ((i + j * 5 + m * 2) % 9) as f64 * 0.2 - 0.8)
             })
             .collect()
+    }
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let blco = Blco::from_coo(&random_tensor(&[60, 17, 9], 400, 2));
+        let vb = |c: usize, sz: usize| (c * sz) as u64;
+        let mut expected = vb(blco.shape.capacity(), std::mem::size_of::<usize>())
+            + vb(blco.fields.capacity(), std::mem::size_of::<Field>())
+            + vb(blco.blocks.capacity(), std::mem::size_of::<BlcoBlock>())
+            + vb(blco.heavy.capacity(), std::mem::size_of::<Vec<(u32, u32)>>())
+            + blco
+                .heavy
+                .iter()
+                .map(|v| vb(v.capacity(), std::mem::size_of::<(u32, u32)>()))
+                .sum::<u64>();
+        for b in &blco.blocks {
+            expected += vb(b.idx.capacity(), std::mem::size_of::<u64>())
+                + vb(b.vals.capacity(), std::mem::size_of::<f64>());
+        }
+        assert_eq!(blco.heap_bytes(), expected);
+        assert!(blco.footprint().get("blocks.idx") >= 8 * blco.nnz() as u64);
     }
 
     #[test]

@@ -643,6 +643,25 @@ impl Csf {
     }
 }
 
+impl cstf_telemetry::MemoryFootprint for Csf {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        use cstf_telemetry::vec_heap_bytes;
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add("mode_order", vec_heap_bytes(&self.mode_order));
+        fp.add("shape", vec_heap_bytes(&self.shape));
+        fp.add("levels.spine", (self.levels.capacity() * std::mem::size_of::<CsfLevel>()) as u64);
+        for level in &self.levels {
+            fp.add("levels.fids", vec_heap_bytes(&level.fids));
+            fp.add("levels.ptr", vec_heap_bytes(&level.ptr));
+        }
+        fp.add("values", vec_heap_bytes(&self.values));
+        fp.add("schedule.items", vec_heap_bytes(&self.schedule.items));
+        fp.add("schedule.offsets", vec_heap_bytes(&self.schedule.offsets));
+        fp.add("schedule.root_starts", vec_heap_bytes(&self.schedule.root_starts));
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,6 +702,26 @@ mod tests {
         let mut t = SparseTensor::new(shape.to_vec(), idx, vals);
         t.sum_duplicates();
         t
+    }
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let csf = Csf::from_coo(&random_tensor(&[14, 9, 6], 120, 3), 0);
+        let vb = |c: usize, sz: usize| (c * sz) as u64;
+        let mut expected = vb(csf.mode_order.capacity(), std::mem::size_of::<usize>())
+            + vb(csf.shape.capacity(), std::mem::size_of::<usize>())
+            + vb(csf.levels.capacity(), std::mem::size_of::<CsfLevel>())
+            + vb(csf.values.capacity(), std::mem::size_of::<f64>())
+            + vb(csf.schedule.items.capacity(), std::mem::size_of::<CsfTask>())
+            + vb(csf.schedule.offsets.capacity(), std::mem::size_of::<usize>())
+            + vb(csf.schedule.root_starts.capacity(), std::mem::size_of::<usize>());
+        for level in &csf.levels {
+            expected += vb(level.fids.capacity(), std::mem::size_of::<u32>())
+                + vb(level.ptr.capacity(), std::mem::size_of::<usize>());
+        }
+        assert_eq!(csf.heap_bytes(), expected);
+        assert!(csf.footprint().get("values") > 0);
     }
 
     #[test]

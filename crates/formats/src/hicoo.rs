@@ -231,6 +231,21 @@ impl HiCoo {
     }
 }
 
+impl cstf_telemetry::MemoryFootprint for HiCoo {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        use cstf_telemetry::vec_heap_bytes;
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add("shape", vec_heap_bytes(&self.shape));
+        fp.add("blocks.spine", (self.blocks.capacity() * std::mem::size_of::<Block>()) as u64);
+        for b in &self.blocks {
+            fp.add("blocks.base", vec_heap_bytes(&b.base));
+        }
+        fp.add("offsets", cstf_telemetry::nested_vec_heap_bytes(&self.offsets));
+        fp.add("values", vec_heap_bytes(&self.values));
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +278,23 @@ mod tests {
                 Mat::from_fn(d, rank, |i, j| ((i * 3 + j * 5 + m) % 11) as f64 * 0.2 - 1.0)
             })
             .collect()
+    }
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let h = HiCoo::from_coo(&random_tensor(&[40, 33, 12], 500, 4));
+        let vb = |c: usize, sz: usize| (c * sz) as u64;
+        let mut expected = vb(h.shape.capacity(), std::mem::size_of::<usize>())
+            + vb(h.blocks.capacity(), std::mem::size_of::<Block>())
+            + vb(h.offsets.capacity(), std::mem::size_of::<Vec<u8>>())
+            + h.offsets.iter().map(|v| vb(v.capacity(), 1)).sum::<u64>()
+            + vb(h.values.capacity(), std::mem::size_of::<f64>());
+        for b in &h.blocks {
+            expected += vb(b.base.capacity(), std::mem::size_of::<u32>());
+        }
+        assert_eq!(h.heap_bytes(), expected);
+        assert!(h.footprint().get("offsets") >= (h.nmodes() * h.nnz()) as u64);
     }
 
     #[test]

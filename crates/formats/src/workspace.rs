@@ -179,9 +179,41 @@ pub(crate) fn prepare_buffer(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
     s
 }
 
+impl cstf_telemetry::MemoryFootprint for MttkrpWorkspace {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        use cstf_telemetry::vec_heap_bytes;
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add_nested("partials", &self.partials.footprint());
+        fp.add("rows", vec_heap_bytes(&self.rows));
+        fp.add("stack", vec_heap_bytes(&self.stack));
+        fp.add("atomics", vec_heap_bytes(&self.atomics));
+        fp.add("alto", cstf_telemetry::nested_vec_heap_bytes(&self.alto));
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let mut ws = MttkrpWorkspace::new();
+        assert_eq!(ws.heap_bytes(), 0, "fresh workspace owns nothing");
+        ws.chunk_scratch(3, 64, 2, 8);
+        ws.atomics(48);
+        ws.alto_buffers(2)[0].resize(32, 0.0);
+        let vb = |c: usize, sz: usize| (c * sz) as u64;
+        let expected = ws.partials.heap_bytes()
+            + vb(ws.rows.capacity(), 8)
+            + vb(ws.stack.capacity(), 8)
+            + vb(ws.atomics.capacity(), 8)
+            + vb(ws.alto.capacity(), std::mem::size_of::<Vec<f64>>())
+            + ws.alto.iter().map(|v| vb(v.capacity(), 8)).sum::<u64>();
+        assert_eq!(ws.heap_bytes(), expected);
+        assert_eq!(ws.footprint().get("atomics"), 48 * 8);
+    }
 
     #[test]
     fn scratch_is_zeroed_on_reuse() {

@@ -226,6 +226,14 @@ impl fmt::Debug for Mat {
     }
 }
 
+impl cstf_telemetry::MemoryFootprint for Mat {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add("data", cstf_telemetry::vec_heap_bytes(&self.data));
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +316,15 @@ mod tests {
         assert_eq!(m.max_abs(), 2.0);
         assert!(!m.is_nonnegative(1e-12));
         assert!(m.is_nonnegative(2.5));
+    }
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let m = Mat::zeros(7, 5);
+        let expected = (m.data.capacity() * std::mem::size_of::<f64>()) as u64;
+        assert_eq!(m.heap_bytes(), expected);
+        assert_eq!(m.footprint().get("data"), expected);
     }
 
     #[test]

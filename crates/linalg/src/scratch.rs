@@ -104,6 +104,14 @@ fn add_assign(dst: &mut [f64], src: &[f64]) {
     }
 }
 
+impl cstf_telemetry::MemoryFootprint for PartialBuffers {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add("bufs", cstf_telemetry::nested_vec_heap_bytes(&self.bufs));
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +155,19 @@ mod tests {
         let bufs = pb.ensure(2, 4);
         assert_eq!(bufs.len(), 2);
         assert_eq!(bufs[0][0], 0.0, "ensure must re-zero");
+    }
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let mut pb = PartialBuffers::new();
+        assert_eq!(pb.heap_bytes(), 0, "fresh buffers own nothing");
+        pb.ensure(3, 16);
+        let spine = (pb.bufs.capacity() * std::mem::size_of::<Vec<f64>>()) as u64;
+        let inners: u64 =
+            pb.bufs.iter().map(|b| (b.capacity() * std::mem::size_of::<f64>()) as u64).sum();
+        assert_eq!(pb.heap_bytes(), spine + inners);
+        assert_eq!(pb.footprint().get("bufs"), spine + inners);
     }
 
     #[test]

@@ -19,10 +19,29 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Maximum number of distinct [`HeapRegion`] names per process. Regions
+/// beyond the budget are silently untracked (their guard is inert); the
+/// fixed array keeps the allocator path lock-free and allocation-free.
+pub const MAX_REGIONS: usize = 8;
+
+/// Per-region high-water marks of *global* live bytes observed while the
+/// region was active (scoped watermark semantics).
+static REGION_PEAKS: [AtomicU64; MAX_REGIONS] = [const { AtomicU64::new(0) }; MAX_REGIONS];
+/// Per-region nesting depth (a region can be re-entered).
+static REGION_DEPTH: [AtomicU64; MAX_REGIONS] = [const { AtomicU64::new(0) }; MAX_REGIONS];
+/// Bitmask of region slots with depth > 0. The allocator checks this one
+/// atomic: when no region is active, tracking costs a single relaxed load.
+static ACTIVE_MASK: AtomicU64 = AtomicU64::new(0);
+/// Slot-name registry. Locked only by [`HeapRegion::enter`] and the
+/// readers — never by the allocator hooks, so the allocator cannot
+/// deadlock against it. A fixed array: registration allocates nothing.
+static REGION_NAMES: Mutex<[Option<&'static str>; MAX_REGIONS]> = Mutex::new([None; MAX_REGIONS]);
 
 /// A [`GlobalAlloc`] that forwards to [`System`] while counting
 /// allocations and tracking live/peak heap bytes.
@@ -32,6 +51,17 @@ fn on_alloc(size: usize) {
     ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
     let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
     PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    let mask = ACTIVE_MASK.load(Ordering::Relaxed);
+    if mask != 0 {
+        // Purely atomic: no locks, no allocation, a couple of fetch_max
+        // calls only while a region is open.
+        let mut bits = mask;
+        while bits != 0 {
+            let slot = bits.trailing_zeros() as usize;
+            REGION_PEAKS[slot].fetch_max(live, Ordering::Relaxed);
+            bits &= bits - 1;
+        }
+    }
 }
 
 fn on_dealloc(size: usize) {
@@ -56,6 +86,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
         on_dealloc(layout.size());
     }
 
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // Explicit override: the default impl would route through
+        // `self.alloc`, but forwarding to the system's zeroed path keeps
+        // calloc's fresh-page optimization while still tallying.
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
@@ -63,6 +104,83 @@ unsafe impl GlobalAlloc for CountingAlloc {
             on_alloc(new_size);
         }
         p
+    }
+}
+
+/// An RAII scoped heap-watermark region.
+///
+/// While the guard is alive, every allocation folds the *global* live-byte
+/// count into the region's peak (watermark semantics: the region owns the
+/// peak, not just its own allocations — "which phase was live when the
+/// process hit its high-water mark" is exactly the question phase
+/// attribution answers). Regions nest and re-enter freely; re-entry keeps
+/// accumulating into the same named slot. Entering is allocation-free
+/// (fixed slot table) and the allocator hot path never takes a lock, so
+/// tracking adds zero steady-state allocations (pinned by
+/// `tests/zero_alloc.rs`).
+#[must_use = "a heap region tracks the watermark until it is dropped"]
+pub struct HeapRegion {
+    slot: Option<usize>,
+}
+
+impl HeapRegion {
+    /// Opens a named region. `name` must be a `'static` string (region
+    /// names are a small fixed vocabulary: `"construction"`,
+    /// `"factorize"`, `"checkpoint"`). Returns an inert guard when the
+    /// [`MAX_REGIONS`] slot budget is exhausted.
+    pub fn enter(name: &'static str) -> HeapRegion {
+        let slot = {
+            let mut names = REGION_NAMES.lock().unwrap_or_else(|e| e.into_inner());
+            match names.iter().position(|n| *n == Some(name)) {
+                Some(i) => Some(i),
+                None => names.iter().position(Option::is_none).inspect(|&i| {
+                    names[i] = Some(name);
+                }),
+            }
+        };
+        if let Some(i) = slot {
+            if REGION_DEPTH[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                ACTIVE_MASK.fetch_or(1 << i, Ordering::Relaxed);
+            }
+            // The watermark starts at the live bytes on entry, so a region
+            // that never allocates still reports what was resident.
+            REGION_PEAKS[i].fetch_max(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        HeapRegion { slot }
+    }
+}
+
+impl Drop for HeapRegion {
+    fn drop(&mut self) {
+        if let Some(i) = self.slot {
+            if REGION_DEPTH[i].fetch_sub(1, Ordering::Relaxed) == 1 {
+                ACTIVE_MASK.fetch_and(!(1 << i), Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Every registered region with its peak live-byte watermark, in
+/// registration order. Empty until the first [`HeapRegion::enter`].
+pub fn region_peaks() -> Vec<(&'static str, u64)> {
+    let names = REGION_NAMES.lock().unwrap_or_else(|e| e.into_inner());
+    names
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| n.map(|name| (name, REGION_PEAKS[i].load(Ordering::Relaxed))))
+        .collect()
+}
+
+/// Peak live-byte watermark of one region by name (0 if never entered).
+pub fn region_peak(name: &str) -> u64 {
+    region_peaks().iter().find(|(n, _)| *n == name).map_or(0, |(_, p)| *p)
+}
+
+/// Resets every region watermark to zero (names and nesting stay). Test
+/// hook: lets one process measure several runs independently.
+pub fn reset_region_peaks() {
+    for p in &REGION_PEAKS {
+        p.store(0, Ordering::Relaxed);
     }
 }
 
@@ -109,5 +227,88 @@ mod tests {
         }
         assert!(allocation_count() > before + 1, "growth reallocs must count");
         assert!(peak_bytes() >= 10_000);
+    }
+
+    #[test]
+    fn realloc_moves_live_bytes_not_just_counts() {
+        let mut v: Vec<u8> = Vec::with_capacity(1024);
+        let live_small = live_bytes();
+        v.reserve_exact(64 * 1024); // forces a realloc to >= 64 KiB
+        let live_big = live_bytes();
+        assert!(
+            live_big >= live_small + 63 * 1024,
+            "realloc must retire the old size and add the new: {live_small} -> {live_big}"
+        );
+        drop(v);
+        assert!(live_bytes() <= live_small, "dealloc after realloc must retire the new size");
+    }
+
+    #[test]
+    fn alloc_zeroed_is_tallied() {
+        let count_before = allocation_count();
+        let live_before = live_bytes();
+        // `vec![0u8; n]` lowers to alloc_zeroed.
+        let v = vec![0u8; 32 * 1024];
+        assert!(allocation_count() > count_before, "alloc_zeroed must count an allocation");
+        assert!(live_bytes() >= live_before + 32 * 1024, "alloc_zeroed must add to live bytes");
+        assert!(peak_bytes() >= live_bytes() || live_bytes() == 0);
+        drop(v);
+        assert!(live_bytes() <= live_before + 1024, "freeing the zeroed block must retire it");
+    }
+
+    #[test]
+    fn heap_region_watermarks_allocations_inside_it() {
+        reset_region_peaks();
+        let outside = live_bytes();
+        {
+            let _r = HeapRegion::enter("alloc-test-region");
+            let v = vec![1u8; 128 * 1024];
+            assert!(region_peak("alloc-test-region") >= outside + 128 * 1024, "{v:?}.len()");
+        }
+        let peak = region_peak("alloc-test-region");
+        let _big_after = vec![2u8; 512 * 1024];
+        assert_eq!(
+            region_peak("alloc-test-region"),
+            peak,
+            "allocations after the region closed must not move its watermark"
+        );
+    }
+
+    #[test]
+    fn heap_region_without_allocations_reports_resident_bytes() {
+        reset_region_peaks();
+        let resident = vec![3u8; 64 * 1024];
+        {
+            let _r = HeapRegion::enter("alloc-idle-region");
+        }
+        assert!(
+            region_peak("alloc-idle-region") >= resident.len() as u64,
+            "entry watermark must capture what was already live"
+        );
+    }
+
+    #[test]
+    fn heap_regions_nest_and_reenter() {
+        reset_region_peaks();
+        {
+            let _a = HeapRegion::enter("alloc-outer");
+            {
+                let _b = HeapRegion::enter("alloc-inner");
+                let _v = vec![4u8; 96 * 1024];
+            }
+            // Re-entry accumulates into the same slot.
+            let _b2 = HeapRegion::enter("alloc-inner");
+        }
+        assert!(region_peak("alloc-inner") >= 96 * 1024);
+        assert!(
+            region_peak("alloc-outer") >= region_peak("alloc-inner"),
+            "outer was active whenever inner was"
+        );
+        let names: Vec<&str> = region_peaks().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names.iter().filter(|n| **n == "alloc-inner").count(),
+            1,
+            "re-entry must not register a second slot"
+        );
     }
 }

@@ -1,0 +1,150 @@
+//! Byte-exact deep heap footprint accounting.
+//!
+//! [`MemoryFootprint`] reports the heap bytes a structure *actually owns*,
+//! broken into named components — not a logical estimate. The contract is
+//! capacity-derived exactness: every `Vec<T>` contributes
+//! `capacity() * size_of::<T>()` (zero-capacity vectors own no allocation),
+//! and nested vectors contribute their spine plus each inner buffer. That
+//! is precisely what the counting allocator ([`crate::alloc`]) tallies
+//! when the structure is built, so `heap_bytes()` can be cross-checked
+//! against live-byte construction deltas in tests, and the occupancy
+//! planner can trust the numbers down to the byte.
+//!
+//! Components are labels like `"values"` or `"levels.fids"`; nesting
+//! flattens with a dot. Component order is insertion order (stable for a
+//! given implementation), and repeated names accumulate.
+
+use std::collections::BTreeMap;
+
+/// A named breakdown of owned heap bytes. The sum of the components is the
+/// structure's deep heap footprint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    components: Vec<(String, u64)>,
+}
+
+impl Footprint {
+    /// An empty footprint (no components, zero bytes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `bytes` under `name`, accumulating if the name repeats.
+    pub fn add(&mut self, name: &str, bytes: u64) {
+        if let Some(entry) = self.components.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += bytes;
+        } else {
+            self.components.push((name.to_string(), bytes));
+        }
+    }
+
+    /// Merges another footprint under a `prefix.` namespace.
+    pub fn add_nested(&mut self, prefix: &str, inner: &Footprint) {
+        for (name, bytes) in &inner.components {
+            self.add(&format!("{prefix}.{name}"), *bytes);
+        }
+    }
+
+    /// Total owned heap bytes (sum of all components).
+    pub fn total(&self) -> u64 {
+        self.components.iter().map(|(_, b)| b).sum()
+    }
+
+    /// The named components in insertion order.
+    pub fn components(&self) -> &[(String, u64)] {
+        &self.components
+    }
+
+    /// Bytes of one component by name (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.components.iter().find(|(n, _)| n == name).map_or(0, |(_, b)| *b)
+    }
+
+    /// The components as a sorted name → bytes map (for JSON output).
+    pub fn as_map(&self) -> BTreeMap<String, u64> {
+        self.components.iter().map(|(n, b)| (n.clone(), *b)).collect()
+    }
+}
+
+/// Deep, byte-exact heap footprint of a structure.
+pub trait MemoryFootprint {
+    /// The owned heap bytes, broken into named components.
+    fn footprint(&self) -> Footprint;
+
+    /// Total owned heap bytes ([`Footprint::total`] of [`footprint`](Self::footprint)).
+    fn heap_bytes(&self) -> u64 {
+        self.footprint().total()
+    }
+}
+
+/// Heap bytes owned by a `Vec<T>`: `capacity() * size_of::<T>()`. A
+/// capacity-0 vector owns no allocation and contributes 0 — exactly the
+/// allocator's view.
+pub fn vec_heap_bytes<T>(v: &Vec<T>) -> u64 {
+    (v.capacity() * std::mem::size_of::<T>()) as u64
+}
+
+/// Deep heap bytes of a `Vec<Vec<T>>`: the outer spine
+/// (`capacity() * size_of::<Vec<T>>()`) plus every inner buffer.
+pub fn nested_vec_heap_bytes<T>(v: &Vec<Vec<T>>) -> u64 {
+    let spine = (v.capacity() * std::mem::size_of::<Vec<T>>()) as u64;
+    spine + v.iter().map(vec_heap_bytes).sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_accumulate_and_total() {
+        let mut fp = Footprint::new();
+        fp.add("values", 100);
+        fp.add("indices", 50);
+        fp.add("values", 20);
+        assert_eq!(fp.total(), 170);
+        assert_eq!(fp.get("values"), 120);
+        assert_eq!(fp.get("missing"), 0);
+        assert_eq!(fp.components().len(), 2);
+    }
+
+    #[test]
+    fn nesting_flattens_with_a_dot() {
+        let mut inner = Footprint::new();
+        inner.add("data", 64);
+        let mut outer = Footprint::new();
+        outer.add_nested("factor", &inner);
+        assert_eq!(outer.get("factor.data"), 64);
+        assert_eq!(outer.total(), 64);
+    }
+
+    #[test]
+    fn vec_heap_bytes_is_capacity_derived() {
+        let v: Vec<u32> = Vec::with_capacity(10);
+        assert_eq!(vec_heap_bytes(&v), 40, "capacity counts even when empty");
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(vec_heap_bytes(&empty), 0, "capacity 0 owns no allocation");
+    }
+
+    #[test]
+    fn nested_vec_counts_spine_and_inners() {
+        let mut v: Vec<Vec<u8>> = Vec::with_capacity(3);
+        v.push(Vec::with_capacity(5));
+        v.push(Vec::new());
+        let spine = 3 * std::mem::size_of::<Vec<u8>>() as u64;
+        assert_eq!(nested_vec_heap_bytes(&v), spine + 5);
+    }
+
+    #[test]
+    fn trait_default_heap_bytes_sums_components() {
+        struct Two;
+        impl MemoryFootprint for Two {
+            fn footprint(&self) -> Footprint {
+                let mut fp = Footprint::new();
+                fp.add("a", 1);
+                fp.add("b", 2);
+                fp
+            }
+        }
+        assert_eq!(Two.heap_bytes(), 3);
+    }
+}

@@ -28,11 +28,14 @@
 
 pub mod alloc;
 pub mod convergence;
+pub mod footprint;
 pub mod metrics;
 pub mod spans;
 pub mod summary;
 
+pub use alloc::HeapRegion;
 pub use convergence::{ConvergenceLog, IterationRecord, ModeUpdateRecord};
+pub use footprint::{nested_vec_heap_bytes, vec_heap_bytes, Footprint, MemoryFootprint};
 pub use metrics::{parse_prometheus, PromSample, Registry};
 pub use spans::{set_spans_enabled, spans_enabled, Span, SpanRecord};
-pub use summary::{PhaseSummary, RunSummary};
+pub use summary::{HeapSummary, PhaseSummary, RegionPeak, RunSummary};

@@ -31,6 +31,46 @@ pub struct PhaseSummary {
     pub bytes: f64,
 }
 
+/// One region's heap watermark, as serialized to `run.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RegionPeak {
+    /// Region name (`"construction"`, `"factorize"`, `"checkpoint"`).
+    pub region: String,
+    /// Peak live heap bytes observed while the region was active.
+    pub peak_bytes: u64,
+}
+
+/// Process heap accounting for one run (counting allocator + regions).
+/// Present only when the producing binary installed
+/// [`crate::alloc::CountingAlloc`]; absent in older `run.json` files.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HeapSummary {
+    /// Process-wide high-water mark of live heap bytes.
+    pub high_water_bytes: u64,
+    /// Live heap bytes at summary time.
+    pub live_bytes: u64,
+    /// Total heap allocations since process start.
+    pub allocations: u64,
+    /// Per-region peak watermarks, in region registration order.
+    pub regions: Vec<RegionPeak>,
+}
+
+impl HeapSummary {
+    /// Snapshots the counting allocator and region watermarks. All-zero
+    /// (but still well-formed) in binaries without the allocator.
+    pub fn capture() -> Self {
+        HeapSummary {
+            high_water_bytes: crate::alloc::peak_bytes(),
+            live_bytes: crate::alloc::live_bytes(),
+            allocations: crate::alloc::allocation_count(),
+            regions: crate::alloc::region_peaks()
+                .into_iter()
+                .map(|(region, peak_bytes)| RegionPeak { region: region.to_string(), peak_bytes })
+                .collect(),
+        }
+    }
+}
+
 /// One factorization run, as serialized to `run.json`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunSummary {
@@ -64,6 +104,10 @@ pub struct RunSummary {
     pub transfer_s: f64,
     /// Per-phase totals in display order.
     pub phases: Vec<PhaseSummary>,
+    /// Heap accounting (omitted when the producer has no counting
+    /// allocator; optional for backward compatibility with older files).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub heap: Option<HeapSummary>,
 }
 
 impl RunSummary {
@@ -156,6 +200,26 @@ impl RunSummary {
             measured_s: get_f64(v, "measured_s")?,
             transfer_s: get_f64(v, "transfer_s")?,
             phases,
+            heap: match v.get("heap") {
+                None | Some(Value::Null) => None,
+                Some(h) => Some(HeapSummary {
+                    high_water_bytes: get_u64(h, "high_water_bytes")?,
+                    live_bytes: get_u64(h, "live_bytes")?,
+                    allocations: get_u64(h, "allocations")?,
+                    regions: h
+                        .get("regions")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| "missing heap regions array".to_string())?
+                        .iter()
+                        .map(|r| {
+                            Ok(RegionPeak {
+                                region: get_str(r, "region")?,
+                                peak_bytes: get_u64(r, "peak_bytes")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                }),
+            },
         })
     }
 
@@ -164,7 +228,7 @@ impl RunSummary {
     pub fn report_json_line(&self) -> String {
         let phases: BTreeMap<String, f64> =
             self.phases.iter().map(|p| (p.phase.to_lowercase(), p.modeled_s)).collect();
-        let line = serde_json::json!({
+        let mut line = serde_json::json!({
             "schema_version": self.schema_version,
             "system": self.system.clone(),
             "device": self.device.clone(),
@@ -179,6 +243,12 @@ impl RunSummary {
             "per_iter_modeled_s": self.per_iter_modeled_s(),
             "phases": phases,
         });
+        if let Some(heap) = &self.heap {
+            line["heap_high_water_bytes"] = heap.high_water_bytes.into();
+            let regions: BTreeMap<String, u64> =
+                heap.regions.iter().map(|r| (r.region.clone(), r.peak_bytes)).collect();
+            line["heap_region_peak_bytes"] = serde_json::json!(regions);
+        }
         serde_json::to_string(&line).expect("report line serializes")
     }
 
@@ -214,6 +284,16 @@ impl RunSummary {
                 "{:<10} {:>12.3e} {:>12.3e} {:>9} {:>12.3e} {:>12.3e}\n",
                 p.phase, p.modeled_s, p.measured_s, p.launches, p.flops, p.bytes
             ));
+        }
+
+        if let Some(heap) = &self.heap {
+            out.push_str(&format!(
+                "\nheap: high water {} B, live {} B, {} allocations\n",
+                heap.high_water_bytes, heap.live_bytes, heap.allocations
+            ));
+            for r in &heap.regions {
+                out.push_str(&format!("  region {:<14} peak {} B\n", r.region, r.peak_bytes));
+            }
         }
 
         if !iterations.is_empty() {
@@ -300,7 +380,22 @@ mod tests {
                     bytes: 1e9,
                 },
             ],
+            heap: None,
         }
+    }
+
+    fn sample_with_heap() -> RunSummary {
+        let mut s = sample();
+        s.heap = Some(HeapSummary {
+            high_water_bytes: 9_000_000,
+            live_bytes: 1_200_000,
+            allocations: 4321,
+            regions: vec![
+                RegionPeak { region: "construction".into(), peak_bytes: 7_000_000 },
+                RegionPeak { region: "factorize".into(), peak_bytes: 9_000_000 },
+            ],
+        });
+        s
     }
 
     #[test]
@@ -308,6 +403,36 @@ mod tests {
         let s = sample();
         let back = RunSummary::from_json(&s.to_json_pretty()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn heap_section_round_trips_and_stays_optional() {
+        let s = sample_with_heap();
+        let json = s.to_json_pretty();
+        let back = RunSummary::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        // Heap-less files (older producers, or a serializer that emits
+        // `"heap": null`) still parse back to a heap-less summary.
+        assert_eq!(RunSummary::from_json(&sample().to_json_pretty()).unwrap().heap, None);
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        v["heap"] = serde_json::Value::Null;
+        let back = RunSummary::from_json(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(back.heap, None, "explicit null heap parses as absent");
+    }
+
+    #[test]
+    fn report_line_and_render_surface_heap() {
+        let s = sample_with_heap();
+        let line: serde_json::Value = serde_json::from_str(&s.report_json_line()).unwrap();
+        assert_eq!(line["heap_high_water_bytes"], 9_000_000);
+        assert_eq!(line["heap_region_peak_bytes"]["factorize"], 9_000_000);
+        let text = s.render_report(&[]);
+        assert!(text.contains("high water 9000000 B"), "{text}");
+        assert!(text.contains("region construction"), "{text}");
+        // A heap-less summary renders no heap section and no key.
+        let plain = sample();
+        assert!(!plain.render_report(&[]).contains("heap:"));
+        assert!(!plain.report_json_line().contains("heap_high_water_bytes"));
     }
 
     #[test]

@@ -148,6 +148,19 @@ impl Ktensor {
     }
 }
 
+impl cstf_telemetry::MemoryFootprint for Ktensor {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        let mut fp = cstf_telemetry::Footprint::new();
+        let spine = (self.factors.capacity() * std::mem::size_of::<Mat>()) as u64;
+        fp.add("factors.spine", spine);
+        for f in &self.factors {
+            fp.add("factors.data", cstf_telemetry::MemoryFootprint::heap_bytes(f));
+        }
+        fp.add("lambda", cstf_telemetry::vec_heap_bytes(&self.lambda));
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +171,22 @@ mod tests {
         let b = Mat::from_vec(3, 1, vec![1.0, 0.0, 3.0]);
         let c = Mat::from_vec(2, 1, vec![2.0, 1.0]);
         Ktensor::from_factors(vec![a, b, c])
+    }
+
+    #[test]
+    fn footprint_counts_spine_factors_and_lambda() {
+        use cstf_telemetry::MemoryFootprint;
+        let m = rank1();
+        let spine = (m.factors.capacity() * std::mem::size_of::<Mat>()) as u64;
+        let data: u64 = m.factors.iter().map(|f| std::mem::size_of_val(f.as_slice()) as u64).sum();
+        let lambda = (m.lambda.capacity() * std::mem::size_of::<f64>()) as u64;
+        // from_vec buffers have capacity == len, so data bytes are exact here.
+        assert_eq!(m.footprint().get("factors.spine"), spine);
+        assert!(m.footprint().get("factors.data") >= data);
+        assert_eq!(
+            m.heap_bytes(),
+            m.footprint().get("factors.spine") + m.footprint().get("factors.data") + lambda
+        );
     }
 
     #[test]

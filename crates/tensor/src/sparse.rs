@@ -234,6 +234,16 @@ impl SparseTensor {
     }
 }
 
+impl cstf_telemetry::MemoryFootprint for SparseTensor {
+    fn footprint(&self) -> cstf_telemetry::Footprint {
+        let mut fp = cstf_telemetry::Footprint::new();
+        fp.add("shape", cstf_telemetry::vec_heap_bytes(&self.shape));
+        fp.add("indices", cstf_telemetry::nested_vec_heap_bytes(&self.indices));
+        fp.add("values", cstf_telemetry::vec_heap_bytes(&self.values));
+        fp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +275,20 @@ mod tests {
     #[test]
     fn norm_sq_sums_squares() {
         assert_eq!(toy().norm_sq(), 1.0 + 4.0 + 9.0 + 16.0);
+    }
+
+    #[test]
+    fn footprint_matches_capacity_sum() {
+        use cstf_telemetry::MemoryFootprint;
+        let t = toy();
+        let vb = |c: usize, sz: usize| (c * sz) as u64;
+        let shape = vb(t.shape.capacity(), std::mem::size_of::<usize>());
+        let spine = vb(t.indices.capacity(), std::mem::size_of::<Vec<u32>>());
+        let inners: u64 =
+            t.indices.iter().map(|v| vb(v.capacity(), std::mem::size_of::<u32>())).sum();
+        let values = vb(t.values.capacity(), std::mem::size_of::<f64>());
+        assert_eq!(t.heap_bytes(), shape + spine + inners + values);
+        assert_eq!(t.footprint().get("indices"), spine + inners);
     }
 
     #[test]

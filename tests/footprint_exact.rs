@@ -1,0 +1,121 @@
+//! Cross-checks the byte-exact `MemoryFootprint` accounting against the
+//! counting allocator itself: the *live-byte delta* of constructing a
+//! format structure must equal the structure's reported `heap_bytes()`.
+//! Construction temporaries (sort buffers, hash maps) allocate and free
+//! inside the measured window, so the delta is precisely the bytes the
+//! structure retains — if `footprint()` over- or under-counts a single
+//! component, these tests fail with the exact discrepancy.
+//!
+//! Tensors stay below the `cstf_linalg::tuning` parallelism thresholds so
+//! no worker threads allocate during the measured window, a warm-up
+//! construction absorbs one-time lazy state, and a process-wide mutex
+//! keeps the two tests from interleaving their allocator snapshots.
+
+use std::sync::Mutex;
+
+use cstf_formats::{Alto, Blco, Csf, HiCoo};
+use cstf_telemetry::{alloc, MemoryFootprint};
+use cstf_tensor::SparseTensor;
+use proptest::prelude::*;
+
+#[global_allocator]
+static GLOBAL: alloc::CountingAlloc = alloc::CountingAlloc;
+
+/// Live-byte snapshots are process-global, so the tests in this binary
+/// must not run their measured windows concurrently.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Small deterministic tensor with distinct coordinates.
+fn tensor_from_seed(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut idx = vec![Vec::new(); shape.len()];
+    let mut vals = Vec::new();
+    for _ in 0..nnz {
+        let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+        if seen.insert(c.clone()) {
+            for (m, &ci) in c.iter().enumerate() {
+                idx[m].push(ci);
+            }
+            vals.push(f64::from(next() % 100) / 25.0 + 0.04);
+        }
+    }
+    SparseTensor::new(shape.to_vec(), idx, vals)
+}
+
+/// Absorbs one-time allocations (lazy statics, thread-locals) so they do
+/// not land inside a measured window.
+fn warm_up() {
+    let x = tensor_from_seed(&[6, 5, 4], 30, 0x5eed);
+    std::hint::black_box((
+        x.clone(),
+        Csf::from_coo(&x, 0),
+        HiCoo::from_coo(&x),
+        Alto::from_coo(&x),
+        Blco::from_coo(&x),
+    ));
+}
+
+/// Builds a structure and returns it with the live-byte delta of its
+/// construction (signed, so an under-count fails loudly instead of
+/// wrapping).
+fn measure<T>(build: impl FnOnce() -> T) -> (T, i64) {
+    let before = alloc::live_bytes() as i64;
+    let built = build();
+    let after = alloc::live_bytes() as i64;
+    (built, after - before)
+}
+
+#[test]
+fn fixed_seed_construction_delta_equals_heap_bytes_for_all_formats() {
+    let _guard = SERIAL.lock().unwrap();
+    warm_up();
+    let x = tensor_from_seed(&[14, 9, 6], 120, 3);
+
+    let (coo, d) = measure(|| x.clone());
+    assert_eq!(d, coo.heap_bytes() as i64, "COO clone");
+    let (csf, d) = measure(|| Csf::from_coo(&x, 0));
+    assert_eq!(d, csf.heap_bytes() as i64, "CSF");
+    let (hicoo, d) = measure(|| HiCoo::from_coo(&x));
+    assert_eq!(d, hicoo.heap_bytes() as i64, "HiCOO");
+    let (alto, d) = measure(|| Alto::from_coo(&x));
+    assert_eq!(d, alto.heap_bytes() as i64, "ALTO");
+    let (blco, d) = measure(|| Blco::from_coo(&x));
+    assert_eq!(d, blco.heap_bytes() as i64, "BLCO");
+
+    // Byte determinism: rebuilding from the same tensor reports the same
+    // footprint (what `cstf memstat`'s two-run CI check relies on).
+    assert_eq!(Csf::from_coo(&x, 0).heap_bytes(), csf.heap_bytes());
+    assert_eq!(Blco::from_coo(&x).heap_bytes(), blco.heap_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On arbitrary small tensors, every format's reported footprint
+    /// equals its construction live-byte delta.
+    #[test]
+    fn footprint_matches_live_delta(
+        d0 in 2usize..12, d1 in 2usize..12, d2 in 2usize..12,
+        nnz in 1usize..80, seed in any::<u64>(),
+    ) {
+        let _guard = SERIAL.lock().unwrap();
+        warm_up();
+        let x = tensor_from_seed(&[d0, d1, d2], nnz, seed);
+
+        let (coo, delta) = measure(|| x.clone());
+        prop_assert_eq!(delta, coo.heap_bytes() as i64, "COO clone");
+        let (csf, delta) = measure(|| Csf::from_coo(&x, 0));
+        prop_assert_eq!(delta, csf.heap_bytes() as i64, "CSF");
+        let (hicoo, delta) = measure(|| HiCoo::from_coo(&x));
+        prop_assert_eq!(delta, hicoo.heap_bytes() as i64, "HiCOO");
+        let (alto, delta) = measure(|| Alto::from_coo(&x));
+        prop_assert_eq!(delta, alto.heap_bytes() as i64, "ALTO");
+        let (blco, delta) = measure(|| Blco::from_coo(&x));
+        prop_assert_eq!(delta, blco.heap_bytes() as i64, "BLCO");
+    }
+}
