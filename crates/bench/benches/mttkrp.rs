@@ -77,14 +77,12 @@ fn bench_mttkrp(c: &mut Criterion) {
     });
     group.finish();
 
-    // Load-balance microbench: binned schedules vs their disabled
-    // counterparts on a fiber-skewed tensor. `usize::MAX` cutoffs keep
-    // the identical kernels but build no heavy-row slots (BLCO falls
-    // back to pure CAS traffic on the hot rows).
+    // Load-balance microbench on a fiber-skewed tensor: CSF's binned
+    // schedule, and BLCO's owner-computes kernel, whose single writer per
+    // output row makes row skew contention-free by construction.
     let xs = skewed_tensor(250_000);
     let fs = seeded_factors(xs.shape(), rank, 5);
-    let blco_binned = Blco::from_coo(&xs);
-    let blco_cas = Blco::from_coo_with_cutoff(&xs, usize::MAX);
+    let blco_skew = Blco::from_coo(&xs);
     let csf_binned = Csf::from_coo(&xs, 0);
 
     let mut group = c.benchmark_group("mttkrp_skewed");
@@ -92,11 +90,8 @@ fn bench_mttkrp(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_secs(1));
-    group.bench_function(BenchmarkId::new("blco_slotted", xs.nnz()), |b| {
-        b.iter(|| blco_binned.mttkrp(&fs, 0))
-    });
-    group.bench_function(BenchmarkId::new("blco_cas_only", xs.nnz()), |b| {
-        b.iter(|| blco_cas.mttkrp(&fs, 0))
+    group.bench_function(BenchmarkId::new("blco_owner_computes", xs.nnz()), |b| {
+        b.iter(|| blco_skew.mttkrp(&fs, 0))
     });
     group.bench_function(BenchmarkId::new("csf_fiber_binned", xs.nnz()), |b| {
         b.iter(|| csf_binned.mttkrp(&fs))

@@ -13,7 +13,8 @@ use cstf_device::{
     KernelBaseline, KernelClass, KernelCost, LinkModel, PerfBaseline, Phase, RunCapture,
 };
 use cstf_telemetry::{
-    convergence, spans, Footprint, HeapSummary, IterationRecord, MemoryFootprint, RunSummary,
+    convergence, spans, Footprint, HeapSummary, IterationRecord, MemoryFootprint, Registry,
+    RunSummary,
 };
 use cstf_tensor::SparseTensor;
 
@@ -166,6 +167,16 @@ pub fn help_text() -> String {
      FAULT TOLERANCE (factorize):\n\
        --faults SPEC        inject seeded device faults, e.g.\n\
                             seed=1,launch=0.05,nan=0.02,transfer=0.1,oom=12,max=7\n\
+                            group-scoped kinds (with --gpus N) shard-target\n\
+                            named members and make the run elastic:\n\
+                              device-loss:D@itN   member D dies at outer iter N\n\
+                              device-loss:D@opN   ... at its Nth kernel launch\n\
+                              straggler:DxF       member D runs F times slower\n\
+                              link-degrade:A-BxF  edge A-B carries F x latency\n\
+                            a lost member is retried, then retired: the run\n\
+                            reshards to the survivors and finishes bitwise-\n\
+                            identical to a clean run (ElasticityReport in the\n\
+                            output; cstf_group_* metrics under --telemetry)\n\
        --checkpoint DIR     write checksummed snapshots into DIR\n\
        --checkpoint-every K snapshot every K outer iterations (default 5)\n\
        --resume             restart from the newest valid snapshot in\n\
@@ -502,8 +513,13 @@ fn factor_checksum(model: &cstf_tensor::Ktensor) -> String {
 }
 
 /// The `--gpus N` execution path: builds a homogeneous [`DeviceGroup`]
-/// joined by an NVLink-modeled interconnect and runs the sharded
-/// factorization. Fault injection (`--faults`) targets device 0.
+/// joined by an NVLink-modeled interconnect and runs the elastic sharded
+/// factorization. Fault injection (`--faults`) is distributed across the
+/// group: stochastic kinds land on device 0, group-scoped faults
+/// (`device-loss:D@itN`, `straggler:DxF`, `link-degrade:A-BxF`) on their
+/// named targets. The run's [`ElasticityReport`] — detections, deadline
+/// trips, reshards, retire iterations — is surfaced in both output forms
+/// and as `cstf_group_*` metrics.
 #[allow(clippy::too_many_arguments)]
 fn cmd_factorize_sharded(
     x: SparseTensor,
@@ -520,18 +536,21 @@ fn cmd_factorize_sharded(
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let record = trace_path.is_some() || telemetry_dir.is_some();
-    let devices: Vec<Device> = (0..gpus)
-        .map(|d| {
-            let dev =
-                if record { Device::with_records(spec.clone()) } else { Device::new(spec.clone()) };
-            match (&fault_plan, d) {
-                (Some(plan), 0) => dev.with_fault_plan(plan.clone()),
-                _ => dev,
-            }
-        })
-        .collect();
+    let devices: Vec<Device> =
+        (0..gpus)
+            .map(|_| {
+                if record {
+                    Device::with_records(spec.clone())
+                } else {
+                    Device::new(spec.clone())
+                }
+            })
+            .collect();
     let link = LinkModel { bandwidth_gbs: nvlink_gbs, latency_us: 10.0 };
-    let group = DeviceGroup::new(devices, link);
+    let mut group = DeviceGroup::new(devices, link);
+    if let Some(plan) = &fault_plan {
+        group = group.with_faults(plan);
+    }
     if telemetry_dir.is_some() {
         spans::clear();
         cstf_telemetry::set_spans_enabled(true);
@@ -558,10 +577,14 @@ fn cmd_factorize_sharded(
     if let Some(path) = &trace_path {
         let per_dev: Vec<Vec<cstf_device::KernelRecord>> =
             group.devices().iter().map(|d| d.records()).collect();
+        let marks: Vec<_> = group.devices().iter().map(|d| d.marks()).collect();
+        let faults: Vec<_> = group.devices().iter().map(|d| d.faults()).collect();
         let file = std::fs::File::create(path)
             .map_err(|e| CliError::Input(format!("cannot create trace file {path}: {e}")))?;
-        cstf_device::write_multi_device_trace(
+        cstf_device::write_multi_device_full_trace(
             &per_dev,
+            &marks,
+            &faults,
             &span_records,
             std::io::BufWriter::new(file),
         )
@@ -573,6 +596,7 @@ fn cmd_factorize_sharded(
     // iteration finishes when the slowest device does.
     let modeled = group.devices().iter().map(|d| d.total_seconds()).fold(0.0, f64::max);
     let rec = &result.recovery;
+    let ela = &result.elasticity;
     if json {
         let recovery_json = serde_json::json!({
             "clean": rec.is_clean(),
@@ -581,6 +605,17 @@ fn cmd_factorize_sharded(
             "cholesky_retries": rec.cholesky_retries,
             "transfer_retries": rec.transfer_retries,
             "degraded_to_unfused": rec.degraded_to_unfused,
+        });
+        let elasticity_json = serde_json::json!({
+            "clean": ela.is_clean(),
+            "loss_detections": ela.loss_detections,
+            "loss_retries": ela.loss_retries,
+            "reshards": ela.reshards,
+            "backoff_seconds": ela.backoff_s,
+            "deadline_trips": ela.deadline_trips.clone(),
+            "retired": ela.retired.iter().map(|r| {
+                serde_json::json!({ "device": r.device, "iteration": r.iteration })
+            }).collect::<Vec<_>>(),
         });
         let devices_json = group
             .devices()
@@ -604,6 +639,7 @@ fn cmd_factorize_sharded(
             .collect::<Vec<_>>();
         let report = serde_json::json!({
             "recovery": recovery_json,
+            "elasticity": elasticity_json,
             "shape": shape.clone(),
             "nnz": nnz,
             "rank": rank,
@@ -639,6 +675,26 @@ fn cmd_factorize_sharded(
                 rec.nan_events,
                 rec.cholesky_retries,
                 if rec.degraded_to_unfused { ", degraded to unfused ADMM" } else { "" }
+            ))?;
+        }
+        if !ela.is_clean() {
+            let retired = if ela.retired.is_empty() {
+                "none".to_string()
+            } else {
+                ela.retired
+                    .iter()
+                    .map(|r| format!("gpu{}@it{}", r.device, r.iteration))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            w(format!(
+                "elasticity: {} loss detections, {} retries ({:.3e}s backoff), \
+                 {} reshards; retired: {retired}; deadline trips {:?}",
+                ela.loss_detections,
+                ela.loss_retries,
+                ela.backoff_s,
+                ela.reshards,
+                ela.deadline_trips
             ))?;
         }
         if let Some(fit) = result.fits.last() {
@@ -697,15 +753,21 @@ fn cmd_factorize_sharded(
         let trace = std::fs::File::create(root.join("trace.json")).map_err(io_err("trace.json"))?;
         let per_dev: Vec<Vec<cstf_device::KernelRecord>> =
             captures.iter().map(|c| c.records.clone()).collect();
-        cstf_device::write_multi_device_trace(
+        let marks: Vec<_> = captures.iter().map(|c| c.marks.clone()).collect();
+        let faults: Vec<_> = captures.iter().map(|c| c.faults.clone()).collect();
+        cstf_device::write_multi_device_full_trace(
             &per_dev,
+            &marks,
+            &faults,
             &span_records,
             std::io::BufWriter::new(trace),
         )
         .map_err(io_err("trace.json"))?;
         let refs: Vec<&RunCapture> = captures.iter().collect();
-        let prom = cstf_device::registry_from_captures(&refs, &spec).to_prometheus();
-        std::fs::write(root.join("metrics.prom"), prom).map_err(io_err("metrics.prom"))?;
+        let registry = cstf_device::registry_from_captures(&refs, &spec);
+        add_group_metrics(&registry, &result.elasticity);
+        std::fs::write(root.join("metrics.prom"), registry.to_prometheus())
+            .map_err(io_err("metrics.prom"))?;
         let devices_rows = captures
             .iter()
             .enumerate()
@@ -739,6 +801,66 @@ fn cmd_factorize_sharded(
         eprintln!("[telemetry artifacts written to {dir}; render with `cstf report {dir}`]");
     }
     Ok(())
+}
+
+/// Appends the `cstf_group_*` metric family — what the elastic sharded
+/// driver observed and did — to a run's registry. Counters are emitted
+/// only when nonzero so a healthy group's scrape stays identical to the
+/// pre-elastic shape; per-device series carry a `device` label keyed by
+/// the member's *original* group id (stable across reshards).
+fn add_group_metrics(registry: &Registry, ela: &cstf_core::ElasticityReport) {
+    if ela.loss_detections > 0 {
+        registry.counter_add(
+            "cstf_group_loss_detections_total",
+            "Device-loss faults detected by the sharded driver",
+            f64::from(ela.loss_detections),
+        );
+    }
+    if ela.loss_retries > 0 {
+        registry.counter_add(
+            "cstf_group_loss_retries_total",
+            "Outer-iteration replays before a device death was declared",
+            f64::from(ela.loss_retries),
+        );
+        registry.gauge_set(
+            "cstf_group_backoff_seconds",
+            "Modeled backoff charged between loss retries",
+            ela.backoff_s,
+        );
+    }
+    if ela.reshards > 0 {
+        registry.counter_add(
+            "cstf_group_reshards_total",
+            "Shrink-to-survivors reshards performed",
+            f64::from(ela.reshards),
+        );
+    }
+    for r in &ela.retired {
+        let device = r.device.to_string();
+        registry.counter_add_labeled(
+            "cstf_group_devices_retired_total",
+            "Group members declared dead and excised",
+            &[("device", &device)],
+            1.0,
+        );
+        registry.gauge_set_labeled(
+            "cstf_group_retire_iteration",
+            "Outer iteration at which the member was declared dead",
+            &[("device", &device)],
+            r.iteration as f64,
+        );
+    }
+    for (device, &trips) in ela.deadline_trips.iter().enumerate() {
+        if trips > 0 {
+            let device = device.to_string();
+            registry.counter_add_labeled(
+                "cstf_group_deadline_trips_total",
+                "Collective deadline-budget trips per group member",
+                &[("device", &device)],
+                trips as f64,
+            );
+        }
+    }
 }
 
 /// Runs the configured decomposition purely for its counters and returns
@@ -1149,6 +1271,16 @@ fn cmd_report(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         .or_else(|| p.options.get("dir").map(String::as_str))
         .ok_or(ArgError::MissingOption("dir (or a DIR positional)"))?;
     let root = std::path::Path::new(dir);
+    if !root.exists() {
+        return Err(CliError::Input(format!(
+            "{dir}: no such directory (expected the DIR of a --telemetry run)"
+        )));
+    }
+    if !root.is_dir() {
+        return Err(CliError::Input(format!(
+            "{dir}: not a directory (expected the DIR of a --telemetry run)"
+        )));
+    }
 
     let run_text = std::fs::read_to_string(root.join("run.json"))
         .map_err(|e| CliError::Input(format!("{dir}/run.json: {e}")))?;
@@ -1286,6 +1418,13 @@ struct MemstatRow {
 fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     // The FILE positional is shorthand for --input, mirroring `report DIR`.
     let x = if let Some(path) = p.positionals.first() {
+        let file = std::path::Path::new(path);
+        if !file.exists() {
+            return Err(CliError::Input(format!("{path}: no such file (expected a .tns tensor)")));
+        }
+        if file.is_dir() {
+            return Err(CliError::Input(format!("{path}: is a directory, expected a .tns file")));
+        }
         cstf_tensor::read_tns_file(path)
             .map_err(|e| CliError::Input(format!("failed to read {path}: {e}")))?
     } else {
@@ -2245,6 +2384,147 @@ mod tests {
         let text = run(&["report", &d]).unwrap();
         assert!(text.contains("PER-DEVICE BREAKDOWN"), "{text}");
         assert!(text.contains("gpu0") && text.contains("gpu1"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_on_missing_or_file_path_is_a_typed_error() {
+        let err = run(&["report", "/definitely/not/a/real/dir"]).unwrap_err();
+        assert!(matches!(&err, CliError::Input(m) if m.contains("no such directory")), "{err:?}");
+
+        let file = std::env::temp_dir().join("cstf_cli_report_notadir.txt");
+        std::fs::write(&file, "not a telemetry dir").unwrap();
+        let err = run(&["report", file.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(&err, CliError::Input(m) if m.contains("not a directory")), "{err:?}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn memstat_on_missing_or_directory_path_is_a_typed_error() {
+        let err = run(&["memstat", "/definitely/not/a/real/tensor.tns"]).unwrap_err();
+        assert!(matches!(&err, CliError::Input(m) if m.contains("no such file")), "{err:?}");
+
+        let dir = std::env::temp_dir().join("cstf_cli_memstat_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run(&["memstat", dir.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(&err, CliError::Input(m) if m.contains("is a directory")), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_sharded_json_reports_elasticity_and_matches_clean_checksum() {
+        let base = [
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "4",
+            "--gpus",
+            "3",
+            "--json",
+        ];
+        let clean: serde_json::Value =
+            serde_json::from_str(&run(&base).unwrap()).expect("valid JSON");
+        assert_eq!(clean["elasticity"]["clean"], true);
+        assert_eq!(clean["elasticity"]["reshards"], 0);
+
+        let chaos_args: Vec<&str> =
+            base.iter().copied().chain(["--faults", "device-loss:1@it2"]).collect();
+        let chaos: serde_json::Value =
+            serde_json::from_str(&run(&chaos_args).unwrap()).expect("valid JSON");
+        assert_eq!(chaos["elasticity"]["clean"], false);
+        assert_eq!(chaos["elasticity"]["reshards"], 1);
+        assert_eq!(chaos["elasticity"]["retired"][0]["device"], 1);
+        assert_eq!(chaos["elasticity"]["retired"][0]["iteration"], 2);
+        // Shrink-to-survivors keeps the model bitwise-identical.
+        assert_eq!(chaos["factor_checksum"], clean["factor_checksum"]);
+    }
+
+    #[test]
+    fn straggler_run_trips_deadlines_and_emits_group_metrics() {
+        let dir = std::env::temp_dir().join("cstf_cli_straggler_telemetry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap().to_string();
+        let out = run(&[
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "3",
+            "--gpus",
+            "2",
+            "--faults",
+            "straggler:1x9",
+            "--telemetry",
+            &d,
+        ])
+        .unwrap();
+        assert!(out.contains("elasticity:"), "{out}");
+        assert!(out.contains("deadline trips"), "{out}");
+
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("cstf_group_deadline_trips_total{device=\"1\"}"), "{prom}");
+        assert!(prom.contains("cstf_fault_straggler_total{device=\"1\"}"), "{prom}");
+        cstf_telemetry::parse_prometheus(&prom).expect("valid exposition format");
+
+        // The straggler shows up as instant fault events in the trace,
+        // pinned to gpu1's pid (2).
+        let trace: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("trace.json")).unwrap())
+                .unwrap();
+        let straggles: Vec<&serde_json::Value> =
+            trace.as_array().unwrap().iter().filter(|e| e["name"] == "fault_straggler").collect();
+        assert!(!straggles.is_empty(), "straggler fault instants present");
+        assert!(straggles.iter().all(|e| e["pid"] == 2), "pinned to gpu1");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn device_loss_run_emits_retire_and_reshard_metrics() {
+        let dir = std::env::temp_dir().join("cstf_cli_loss_telemetry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap().to_string();
+        run(&[
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "4",
+            "--gpus",
+            "3",
+            "--faults",
+            "device-loss:2@it2",
+            "--telemetry",
+            &d,
+        ])
+        .unwrap();
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("cstf_group_reshards_total 1"), "{prom}");
+        assert!(prom.contains("cstf_group_devices_retired_total{device=\"2\"} 1"), "{prom}");
+        assert!(prom.contains("cstf_group_retire_iteration{device=\"2\"} 2"), "{prom}");
+        assert!(prom.contains("cstf_group_loss_detections_total"), "{prom}");
+        cstf_telemetry::parse_prometheus(&prom).expect("valid exposition format");
+
+        // The retire/reshard marks land in the multi-device trace.
+        let trace: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("trace.json")).unwrap())
+                .unwrap();
+        let arr = trace.as_array().unwrap();
+        let retired = arr.iter().find(|e| e["name"] == "device_retired").expect("retire mark");
+        assert_eq!(retired["pid"], 3, "device 2 renders under pid 3");
+        assert!(arr.iter().any(|e| e["name"] == "reshard"), "reshard marks present");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

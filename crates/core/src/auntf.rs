@@ -17,7 +17,9 @@ use crate::admm::{admm_update, AdmmConfig, AdmmWorkspace};
 use crate::checkpoint::{self, BatchState, BatchView, CheckpointConfig};
 use crate::hals::{hals_update, HalsConfig};
 use crate::mu::{mu_update, MuConfig};
-use crate::recovery::{AdmmError, FactorizeError, RecoveryPolicy, RecoveryReport};
+use crate::recovery::{
+    AdmmError, ElasticityReport, FactorizeError, RecoveryPolicy, RecoveryReport,
+};
 
 /// Which compressed format backs the MTTKRP phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +117,9 @@ pub struct FactorizeOutput {
     pub convergence: ConvergenceLog,
     /// What the recovery machinery did (all-zero for a fault-free run).
     pub recovery: RecoveryReport,
+    /// What the elastic sharded driver observed and did (default — clean —
+    /// for single-device runs and healthy groups).
+    pub elasticity: ElasticityReport,
 }
 
 pub(crate) enum Source {
@@ -857,6 +862,7 @@ impl Auntf {
             converged,
             convergence,
             recovery: report,
+            elasticity: ElasticityReport::default(),
         })
     }
 
@@ -997,7 +1003,10 @@ pub(crate) fn transfer_with_retry(
             Ok(()) => return Ok(()),
             Err(fault) => {
                 attempts += 1;
-                if attempts > policy.max_retries {
+                // Device loss is persistent — retrying the transfer cannot
+                // help; surface it at once for the group-level ladder.
+                if fault.kind == cstf_device::FaultKind::DeviceLoss || attempts > policy.max_retries
+                {
                     return Err(FactorizeError::Fault { fault, attempts });
                 }
                 report.transfer_retries += 1;

@@ -338,7 +338,15 @@ pub fn load_latest_batch(
                 return Ok(Some(state));
             }
             Err(CheckpointError::Fingerprint { .. }) => unreachable!(),
-            Err(_) => continue, // corrupt or torn snapshot: fall back
+            Err(e) => {
+                // Corrupt or torn snapshot: warn and fall back to the
+                // previous one rather than failing the resume.
+                eprintln!(
+                    "[checkpoint: skipping corrupt snapshot {} ({e}); falling back]",
+                    path.display()
+                );
+                continue;
+            }
         }
     }
     Ok(None)

@@ -65,4 +65,7 @@ pub use hals::{hals_update, HalsConfig};
 pub use mu::{mu_update, MuConfig};
 pub use presets::SystemPreset;
 pub use prox::Constraint;
-pub use recovery::{AdmmError, CholeskyError, FactorizeError, RecoveryPolicy, RecoveryReport};
+pub use recovery::{
+    AdmmError, CholeskyError, ElasticityReport, FactorizeError, RecoveryPolicy, RecoveryReport,
+    RetiredDevice,
+};

@@ -126,6 +126,29 @@ pub fn partitioned_admm_update_ranges(
     h: &mut Mat,
     u: &mut Mat,
 ) -> Result<Vec<AdmmStats>, crate::recovery::AdmmError> {
+    let refs: Vec<&Device> = devices.iter().collect();
+    partitioned_admm_update_on(&refs, cfg, ranges, m, s, h, u)
+}
+
+/// [`partitioned_admm_update_ranges`] over borrowed devices — the form the
+/// elastic sharded driver needs, since a survivor subset of a
+/// [`DeviceGroup`](cstf_device::DeviceGroup) is not contiguous in the
+/// group's device vector.
+///
+/// # Errors
+/// Returns the lowest-partition-index error with `h`/`u` untouched.
+///
+/// # Panics
+/// As [`partitioned_admm_update_ranges`].
+pub fn partitioned_admm_update_on(
+    devices: &[&Device],
+    cfg: &AdmmConfig,
+    ranges: &[std::ops::Range<usize>],
+    m: &Mat,
+    s: &Mat,
+    h: &mut Mat,
+    u: &mut Mat,
+) -> Result<Vec<AdmmStats>, crate::recovery::AdmmError> {
     assert!(!devices.is_empty(), "at least one device required");
     assert_eq!(devices.len(), ranges.len(), "one row range per device");
     assert!(

@@ -214,6 +214,58 @@ impl RecoveryReport {
     }
 }
 
+/// One retired group member: who died and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredDevice {
+    /// The member's original id in the device group.
+    pub device: usize,
+    /// The outer iteration at which it was declared dead.
+    pub iteration: usize,
+}
+
+/// What the elastic sharded driver observed and did during one run
+/// (DESIGN.md §15): device-loss detections, iteration retries under the
+/// group health policy, declared deaths with their retire iterations,
+/// shrink-to-survivors reshards, and the collective deadline trips pulled
+/// from [`cstf_device::GroupHealth`] at run end.
+///
+/// All-zero/empty (the `Default`) means the group stayed healthy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ElasticityReport {
+    /// Device-loss faults detected (every failed attempt counts).
+    pub loss_detections: u32,
+    /// Outer-iteration retries spent on suspected-lost devices before a
+    /// death was declared (restore-committed-state replays).
+    pub loss_retries: u32,
+    /// Members declared dead, with the outer iteration they retired at.
+    pub retired: Vec<RetiredDevice>,
+    /// Shrink-to-survivors reshards performed (one per declared death).
+    pub reshards: u32,
+    /// Per-member collective deadline trips (index = original member id),
+    /// as counted by the group health monitor.
+    pub deadline_trips: Vec<u64>,
+    /// Modeled backoff charged between loss retries, seconds.
+    pub backoff_s: f64,
+}
+
+impl ElasticityReport {
+    /// True if the group stayed healthy (no detections, trips or
+    /// reshards).
+    pub fn is_clean(&self) -> bool {
+        self.loss_detections == 0
+            && self.loss_retries == 0
+            && self.retired.is_empty()
+            && self.reshards == 0
+            && self.deadline_trips.iter().all(|&t| t == 0)
+            && self.backoff_s == 0.0
+    }
+
+    /// Total deadline trips across all members.
+    pub fn total_deadline_trips(&self) -> u64 {
+        self.deadline_trips.iter().sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +285,20 @@ mod tests {
         assert!(r.is_clean());
         r.nan_events = 1;
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn clean_elasticity_report_detects_any_event() {
+        let mut r = ElasticityReport::default();
+        assert!(r.is_clean());
+        r.deadline_trips = vec![0, 0];
+        assert!(r.is_clean(), "all-zero trip vector is still clean");
+        r.deadline_trips[1] = 3;
+        assert!(!r.is_clean());
+        assert_eq!(r.total_deadline_trips(), 3);
+        let mut s = ElasticityReport::default();
+        s.retired.push(RetiredDevice { device: 2, iteration: 7 });
+        assert!(!s.is_clean());
     }
 
     #[test]

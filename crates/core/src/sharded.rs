@@ -30,10 +30,26 @@
 //! mirrors the single-device ladder, with the partitioned update's staging
 //! standing in for snapshots — a faulted mode update leaves `H`/`U`
 //! untouched, so the retry replays from clean state.
+//!
+//! **Elasticity** (DESIGN.md §15). Group-scoped faults add whole-device
+//! loss: every completed outer iteration *commits* its state, and a
+//! [`FaultKind::DeviceLoss`] failure restores that commit and retries
+//! under the group [`HealthPolicy`](cstf_device::HealthPolicy); once the
+//! retry budget is spent the lost members are declared dead and the run
+//! *shrinks to the survivors* — re-sharding every format across the
+//! remaining devices and resuming from the same committed state. Because
+//! each phase above is bitwise member-count-invariant, the recovered run
+//! is bitwise-identical to a clean run on the surviving group resumed
+//! from that state (and, transitively, to the uninterrupted single-device
+//! run). Stragglers and degraded links never enter this ladder: they
+//! stretch modeled time only, tripping the
+//! [`GroupHealth`](cstf_device::GroupHealth) deadline monitor while the
+//! numerics stay bit-exact. Everything observed lands in the
+//! [`ElasticityReport`].
 
 use std::ops::Range;
 
-use cstf_device::{Device, DeviceGroup, KernelClass, KernelCost, Phase};
+use cstf_device::{Device, DeviceGroup, FaultKind, KernelClass, KernelCost, Phase};
 use cstf_formats::{
     extract_mode_rows, nnz_balanced_ranges, Alto, Blco, Csf, HiCoo, MttkrpWorkspace,
     TrafficEstimate,
@@ -46,13 +62,16 @@ use cstf_telemetry::{ConvergenceLog, Span};
 use cstf_tensor::{Ktensor, SparseTensor};
 use rayon::prelude::*;
 
+use crate::admm::AdmmConfig;
 use crate::auntf::{
     backoff_s, seeded_factors, transfer_with_retry, Auntf, FactorizeOutput, Source, TensorFormat,
     UpdateMethod,
 };
 use crate::checkpoint::{self, BatchState, BatchView, CheckpointConfig};
-use crate::multi_gpu::{partitioned_admm_update_ranges, row_partitions};
-use crate::recovery::{AdmmError, FactorizeError, RecoveryPolicy, RecoveryReport};
+use crate::multi_gpu::{partitioned_admm_update_on, row_partitions};
+use crate::recovery::{
+    AdmmError, ElasticityReport, FactorizeError, RecoveryPolicy, RecoveryReport, RetiredDevice,
+};
 
 /// One device's slice of the tensor for one output mode: the owned row
 /// block, the extracted sub-tensor, and its compiled MTTKRP engine.
@@ -202,7 +221,10 @@ fn shard_mttkrp_guarded(
             }
             Err(fault) => {
                 attempts += 1;
-                if attempts > policy.max_retries {
+                // Device loss is persistent — burning the transient-retry
+                // budget on it cannot help; surface it at once for the
+                // group-level shrink ladder.
+                if fault.kind == FaultKind::DeviceLoss || attempts > policy.max_retries {
                     return Err(FactorizeError::Fault { fault, attempts });
                 }
                 local.transient_retries += 1;
@@ -222,12 +244,20 @@ fn merge_report(into: &mut RecoveryReport, from: &RecoveryReport) {
 }
 
 /// Sharded Gram: the single-device chunk layout is replicated over the
-/// full (gathered) factor, contiguous chunk runs are assigned to devices,
-/// each device computes its chunks' partials, and the group all-reduces
-/// the chunk buffers with the exact association of
+/// full (gathered) factor, contiguous chunk runs are assigned to the
+/// surviving `members`, each member computes its chunks' partials, and the
+/// group all-reduces the chunk buffers with the exact association of
 /// `PartialBuffers::reduce_into` — bitwise-identical to `gram_into` for
-/// any group size.
-fn sharded_gram_into(group: &DeviceGroup, h: &Mat, out: &mut Mat, chunk_bufs: &mut Vec<Vec<f64>>) {
+/// any member count (the chunk layout depends only on the factor, so
+/// shrinking the group re-assigns chunks without touching the sum's
+/// association).
+fn sharded_gram_into(
+    group: &DeviceGroup,
+    members: &[usize],
+    h: &Mat,
+    out: &mut Mat,
+    chunk_bufs: &mut Vec<Vec<f64>>,
+) {
     let (rows, r) = (h.rows(), h.cols());
     out.as_mut_slice().fill(0.0);
     if r == 0 {
@@ -243,15 +273,16 @@ fn sharded_gram_into(group: &DeviceGroup, h: &Mat, out: &mut Mat, chunk_bufs: &m
         buf.resize(r * r, 0.0);
     }
 
-    let assign = row_partitions(nchunks, group.len());
-    let mut pieces: Vec<&mut [Vec<f64>]> = Vec::with_capacity(group.len());
+    let devs: Vec<&Device> = members.iter().map(|&d| group.device(d)).collect();
+    let assign = row_partitions(nchunks, devs.len());
+    let mut pieces: Vec<&mut [Vec<f64>]> = Vec::with_capacity(devs.len());
     let mut rest = &mut chunk_bufs[..nchunks];
     for rng in &assign {
         let (piece, tail) = rest.split_at_mut(rng.len());
         pieces.push(piece);
         rest = tail;
     }
-    group.devices().par_iter().zip(assign.par_iter()).zip(pieces.into_par_iter()).for_each(
+    devs.par_iter().zip(assign.par_iter()).zip(pieces.into_par_iter()).for_each(
         |((dev, rng), piece)| {
             let rows_d: usize =
                 rng.clone().map(|c| ((c + 1) * chunk).min(rows).saturating_sub(c * chunk)).sum();
@@ -283,17 +314,30 @@ fn sharded_gram_into(group: &DeviceGroup, h: &Mat, out: &mut Mat, chunk_bufs: &m
             );
         },
     );
-    group.all_reduce_mat("allreduce_gram", &mut chunk_bufs[..nchunks], r * r, out.as_mut_slice());
+    group.all_reduce_mat_on(
+        "allreduce_gram",
+        members,
+        &mut chunk_bufs[..nchunks],
+        r * r,
+        out.as_mut_slice(),
+    );
     gram_mirror(out);
 }
 
 /// Hadamard-of-Grams as replicated compute (cost formulas match
 /// `Auntf::hadamard_grams_into`).
-fn hadamard_replicated(group: &DeviceGroup, grams: &[Mat], skip: usize, out: &mut Mat) {
+fn hadamard_replicated(
+    group: &DeviceGroup,
+    members: &[usize],
+    grams: &[Mat],
+    skip: usize,
+    out: &mut Mat,
+) {
     let rank = out.cols();
     let n = grams.len() as f64;
-    group.replicated(
+    group.replicated_on(
         "hadamard_of_grams",
+        members,
         Phase::Gram,
         KernelClass::Stream,
         KernelCost {
@@ -313,14 +357,16 @@ fn hadamard_replicated(group: &DeviceGroup, grams: &[Mat], skip: usize, out: &mu
 /// `Auntf::normalize`).
 fn normalize_replicated(
     group: &DeviceGroup,
+    members: &[usize],
     h: &mut Mat,
     lambda: &mut [f64],
     norm: NormKind,
     scratch: &mut Vec<f64>,
 ) {
     let elems = (h.rows() * h.cols()) as f64;
-    group.replicated(
+    group.replicated_on(
         "normalize_columns",
+        members,
         Phase::Normalize,
         KernelClass::Stream,
         KernelCost {
@@ -346,6 +392,7 @@ fn normalize_replicated(
 /// real collective.
 fn assemble_m(
     group: &DeviceGroup,
+    members: &[usize],
     ranges: &[Range<usize>],
     per_dev: &[Mat],
     out: &mut Mat,
@@ -359,7 +406,13 @@ fn assemble_m(
             .map(|(rng, m)| &m.as_slice()[rng.start * rank..rng.end * rank])
             .collect();
         let offsets: Vec<usize> = ranges.iter().map(|rng| rng.start * rank).collect();
-        group.all_gather_rows("mttkrp_allgather", &blocks, &offsets, out.as_mut_slice());
+        group.all_gather_rows_on(
+            "mttkrp_allgather",
+            members,
+            &blocks,
+            &offsets,
+            out.as_mut_slice(),
+        );
     } else {
         for (rng, m) in ranges.iter().zip(per_dev) {
             out.as_mut_slice()[rng.start * rank..rng.end * rank]
@@ -371,14 +424,26 @@ fn assemble_m(
 /// All-gathers the committed factor row blocks (each device produced only
 /// its partition's rows): really moves every block into the scratch copy,
 /// which then becomes the factor.
-fn gather_factor(group: &DeviceGroup, ranges: &[Range<usize>], h: &mut Mat, scratch: &mut Mat) {
+fn gather_factor(
+    group: &DeviceGroup,
+    members: &[usize],
+    ranges: &[Range<usize>],
+    h: &mut Mat,
+    scratch: &mut Mat,
+) {
     let rank = h.cols();
     {
         let src = h.as_slice();
         let blocks: Vec<&[f64]> =
             ranges.iter().map(|rng| &src[rng.start * rank..rng.end * rank]).collect();
         let offsets: Vec<usize> = ranges.iter().map(|rng| rng.start * rank).collect();
-        group.all_gather_rows("allgather_factor", &blocks, &offsets, scratch.as_mut_slice());
+        group.all_gather_rows_on(
+            "allgather_factor",
+            members,
+            &blocks,
+            &offsets,
+            scratch.as_mut_slice(),
+        );
     }
     std::mem::swap(h, scratch);
 }
@@ -430,7 +495,6 @@ impl Auntf {
         let rank = self.cfg.rank;
         let nmodes = shape.len();
         let g = group.len();
-        let policy = self.cfg.recovery;
         let mut report = RecoveryReport::default();
 
         if rank == 0 {
@@ -476,7 +540,7 @@ impl Auntf {
                 .map_err(|e| FactorizeError::Checkpoint(e.to_string()))?,
             _ => None,
         };
-        let (mut factors, mut lambda, mut fits, mut duals, start_iter) = match restored {
+        let (factors, lambda, fits, duals, start_iter) = match restored {
             Some(st) => {
                 if st.factors.len() != nmodes || st.lambda.len() != rank {
                     return Err(FactorizeError::Checkpoint(format!(
@@ -496,11 +560,142 @@ impl Auntf {
             ),
         };
 
+        // ---- Elastic ladder ---------------------------------------------
+        // The driver holds the last *committed* state (every completed
+        // outer iteration commits) and runs attempts over the current
+        // survivor set. A DeviceLoss-kind failure restores committed state
+        // and retries under the group health policy; once the retry budget
+        // is spent the lost members are declared dead, the run shrinks to
+        // the survivors, and the attempt resumes from the same committed
+        // state. Every phase is member-count-invariant bit for bit, so the
+        // recovered run equals a clean run on the surviving group resumed
+        // from that committed state.
+        let mut committed = Committed {
+            factors,
+            lambda,
+            fits,
+            duals,
+            convergence: ConvergenceLog::with_capacity(self.cfg.max_iters, nmodes),
+            completed: start_iter,
+        };
+        let mut alive: Vec<usize> = (0..g).collect();
+        let mut elastic = ElasticityReport::default();
+        let mut degraded = false;
+        let mut fused_faults_in_a_row = 0u32;
+        let mut suspect_retries = 0u32;
+        let mut epochs_advanced = 0u64;
+
+        loop {
+            let attempt = self.sharded_attempt(
+                group,
+                &alive,
+                x,
+                &admm_cfg,
+                ckpt.map(|(cc, _)| cc),
+                &fingerprint,
+                &mut committed,
+                &mut report,
+                &mut degraded,
+                &mut fused_faults_in_a_row,
+                &mut epochs_advanced,
+            );
+            match attempt {
+                Ok((iters, converged)) => {
+                    elastic.deadline_trips = group.health().deadline_trips();
+                    return Ok(FactorizeOutput {
+                        model: Ktensor::new(committed.factors, committed.lambda),
+                        iters,
+                        fits: committed.fits,
+                        converged,
+                        convergence: committed.convergence,
+                        recovery: report,
+                        elasticity: elastic,
+                    });
+                }
+                Err(e) if is_device_loss(&e) => {
+                    elastic.loss_detections += 1;
+                    let dead: Vec<usize> =
+                        group.lost_members().into_iter().filter(|d| alive.contains(d)).collect();
+                    if dead.is_empty() {
+                        // A loss-kind fault without a group-identified
+                        // corpse (a hand-built per-device plan): nothing
+                        // to shrink away from.
+                        return Err(e);
+                    }
+                    let health = group.health().policy();
+                    if suspect_retries < health.retries {
+                        // Suspected loss: charge modeled backoff and replay
+                        // from committed state — on real hardware the
+                        // device may come back.
+                        suspect_retries += 1;
+                        elastic.loss_retries += 1;
+                        elastic.backoff_s += health.backoff_base_s
+                            * f64::powi(2.0, suspect_retries.min(20) as i32 - 1);
+                        continue;
+                    }
+                    // The retry budget is spent: declare the corpses dead
+                    // and shrink to the survivors.
+                    for &d in &dead {
+                        elastic
+                            .retired
+                            .push(RetiredDevice { device: d, iteration: committed.completed });
+                        group.device(d).mark("device_retired");
+                    }
+                    alive.retain(|d| !dead.contains(d));
+                    if alive.is_empty() {
+                        return Err(e);
+                    }
+                    elastic.reshards += 1;
+                    suspect_retries = 0;
+                    for &d in &alive {
+                        group.device(d).mark("reshard");
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One elastic attempt: (re)shards every mode across the `alive`
+    /// members, replays from the committed state, and commits every
+    /// completed outer iteration back into it. Returns
+    /// `(iters, converged)` on success; a `DeviceLoss`-kind error sends
+    /// the caller's ladder through retry/shrink.
+    #[allow(clippy::too_many_arguments)]
+    fn sharded_attempt(
+        &self,
+        group: &DeviceGroup,
+        alive: &[usize],
+        x: &SparseTensor,
+        admm_cfg: &AdmmConfig,
+        ckpt: Option<&CheckpointConfig>,
+        fingerprint: &str,
+        committed: &mut Committed,
+        report: &mut RecoveryReport,
+        degraded: &mut bool,
+        fused_faults_in_a_row: &mut u32,
+        epochs_advanced: &mut u64,
+    ) -> Result<(usize, bool), FactorizeError> {
+        let shape = self.shape();
+        let rank = self.cfg.rank;
+        let nmodes = shape.len();
+        let ga = alive.len();
+        let policy = self.cfg.recovery;
+        let devs: Vec<&Device> = alive.iter().map(|&d| group.device(d)).collect();
+
+        // Working copies of the last committed state.
+        let mut factors = committed.factors.clone();
+        let mut lambda = committed.lambda.clone();
+        let mut fits = committed.fits.clone();
+        let mut duals = committed.duals.clone();
+        let mut convergence = committed.convergence.clone();
+        let start_iter = committed.completed;
+
         // Shard every mode: nnz-balanced row blocks, one compiled shard
-        // per (mode, device). Shard compilation is this path's format
+        // per (mode, survivor). Shard compilation is this path's format
         // construction, so it carries the "construction" heap region.
         let mode_ranges: Vec<Vec<Range<usize>>> =
-            (0..nmodes).map(|m| nnz_balanced_ranges(x, m, g)).collect();
+            (0..nmodes).map(|m| nnz_balanced_ranges(x, m, ga)).collect();
         let shards: Vec<Vec<Shard>> = {
             let _build_region = cstf_telemetry::HeapRegion::enter("construction");
             (0..nmodes)
@@ -513,53 +708,57 @@ impl Auntf {
                 .collect()
         };
 
-        // One-time transfers, per device: its shards plus a full replica
-        // of the factors.
+        // Per-attempt transfers, per survivor: its shards plus a full
+        // replica of the factors (a reshard really re-stages the data).
         let factor_bytes: f64 = factors.iter().map(|f| f.len() as f64 * 8.0).sum();
-        for (d, dev) in group.devices().iter().enumerate() {
+        for (i, dev) in devs.iter().enumerate() {
             let tensor_bytes: f64 =
-                shards.iter().map(|per_mode| shard_bytes(&per_mode[d], nmodes)).sum();
-            transfer_with_retry(dev, "h2d_tensor", tensor_bytes, &policy, &mut report)?;
-            transfer_with_retry(dev, "h2d_factors", factor_bytes, &policy, &mut report)?;
+                shards.iter().map(|per_mode| shard_bytes(&per_mode[i], nmodes)).sum();
+            transfer_with_retry(dev, "h2d_tensor", tensor_bytes, &policy, report)?;
+            transfer_with_retry(dev, "h2d_factors", factor_bytes, &policy, report)?;
         }
 
         // Persistent loop state.
         let mut chunk_bufs: Vec<Vec<f64>> = Vec::new();
         let mut grams: Vec<Mat> = vec![Mat::zeros(rank, rank); nmodes];
         for (gm, h) in grams.iter_mut().zip(&factors) {
-            sharded_gram_into(group, h, gm, &mut chunk_bufs);
+            sharded_gram_into(group, alive, h, gm, &mut chunk_bufs);
         }
-        let mut mtt_ws: Vec<MttkrpWorkspace> = (0..g).map(|_| MttkrpWorkspace::new()).collect();
+        let mut mtt_ws: Vec<MttkrpWorkspace> = (0..ga).map(|_| MttkrpWorkspace::new()).collect();
         let mut m_dev: Vec<Vec<Mat>> =
-            shape.iter().map(|&d| (0..g).map(|_| Mat::zeros(d, rank)).collect()).collect();
+            shape.iter().map(|&d| (0..ga).map(|_| Mat::zeros(d, rank)).collect()).collect();
         let mut m_full: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
         let mut gathered: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
         let mut s = Mat::zeros(rank, rank);
         let mut had = Mat::zeros(rank, rank);
         let mut norm_scratch: Vec<f64> = Vec::new();
 
-        let mut convergence = ConvergenceLog::with_capacity(self.cfg.max_iters, nmodes);
         let mut converged = false;
         let mut iters = start_iter;
-        let mut degraded = false;
-        let mut fused_faults_in_a_row = 0u32;
 
         for outer in start_iter..self.cfg.max_iters {
             let _iter_span = Span::enter("outer_iteration");
+            // The loss epoch ticks on *every* group member, dead or alive —
+            // retirement does not pause a corpse's clock.
+            while *epochs_advanced < outer as u64 {
+                for dev in group.devices() {
+                    dev.advance_epoch();
+                }
+                *epochs_advanced += 1;
+            }
             iters = outer + 1;
             let mut last_m: Option<usize> = None;
             for mode in 0..nmodes {
                 let _mode_span = Span::enter_mode("mode_update", mode);
                 // Key every device's launches under the mode being updated
                 // so per-device kernel aggregates carry mode attribution.
-                for dev in group.devices() {
+                for dev in &devs {
                     dev.set_mode(Some(mode));
                 }
-                hadamard_replicated(group, &grams, mode, &mut s);
+                hadamard_replicated(group, alive, &grams, mode, &mut s);
 
-                // Per-device shard MTTKRPs, concurrent across devices.
-                let results: Vec<Result<RecoveryReport, FactorizeError>> = group
-                    .devices()
+                // Per-device shard MTTKRPs, concurrent across survivors.
+                let results: Vec<Result<RecoveryReport, FactorizeError>> = devs
                     .par_iter()
                     .zip(shards[mode].par_iter())
                     .zip(m_dev[mode].par_iter_mut())
@@ -573,7 +772,7 @@ impl Auntf {
                 let mut first_err = None;
                 for res in results {
                     match res {
-                        Ok(local) => merge_report(&mut report, &local),
+                        Ok(local) => merge_report(report, &local),
                         Err(e) => {
                             if first_err.is_none() {
                                 first_err = Some(e);
@@ -588,24 +787,25 @@ impl Auntf {
                 let gather_for_fit = self.cfg.compute_fit && mode == nmodes - 1;
                 assemble_m(
                     group,
+                    alive,
                     &mode_ranges[mode],
                     &m_dev[mode],
                     &mut m_full[mode],
                     gather_for_fit,
                 );
 
-                // Partitioned ADMM, one partition per device. Staging means
-                // any failure leaves H/U untouched — the retry ladder
+                // Partitioned ADMM, one partition per survivor. Staging
+                // means any failure leaves H/U untouched — the retry ladder
                 // replays from clean state without snapshots.
-                let mut cfg_now = admm_cfg;
-                if degraded {
+                let mut cfg_now = *admm_cfg;
+                if *degraded {
                     cfg_now.single_sweep = false;
                 }
                 let mut attempts = 0u32;
                 let mut rescales = 0u32;
                 let stats = loop {
-                    match partitioned_admm_update_ranges(
-                        group.devices(),
+                    match partitioned_admm_update_on(
+                        &devs,
                         &cfg_now,
                         &mode_ranges[mode],
                         &m_full[mode],
@@ -614,14 +814,22 @@ impl Auntf {
                         &mut duals[mode],
                     ) {
                         Ok(stats) => {
-                            fused_faults_in_a_row = 0;
+                            *fused_faults_in_a_row = 0;
                             break stats;
                         }
                         Err(AdmmError::Fault(fault)) => {
+                            // Loss is persistent: hand it to the elastic
+                            // ladder instead of burning transient retries.
+                            if fault.kind == FaultKind::DeviceLoss {
+                                return Err(FactorizeError::Fault {
+                                    fault,
+                                    attempts: attempts + 1,
+                                });
+                            }
                             if cfg_now.single_sweep && fault.kernel == "fused_inner_sweep" {
-                                fused_faults_in_a_row += 1;
-                                if fused_faults_in_a_row >= policy.fused_fault_threshold {
-                                    degraded = true;
+                                *fused_faults_in_a_row += 1;
+                                if *fused_faults_in_a_row >= policy.fused_fault_threshold {
+                                    *degraded = true;
                                     cfg_now.single_sweep = false;
                                     report.degraded_to_unfused = true;
                                 }
@@ -646,7 +854,7 @@ impl Auntf {
                             match error.source {
                                 LinalgError::NonFinite => {
                                     report.nan_events += 1;
-                                    hadamard_replicated(group, &grams, mode, &mut s);
+                                    hadamard_replicated(group, alive, &grams, mode, &mut s);
                                 }
                                 LinalgError::NotPositiveDefinite { .. } => {
                                     cfg_now.rho_scale *= policy.rho_rescale;
@@ -673,21 +881,28 @@ impl Auntf {
                     Some(lead.rho),
                 );
 
-                gather_factor(group, &mode_ranges[mode], &mut factors[mode], &mut gathered[mode]);
+                gather_factor(
+                    group,
+                    alive,
+                    &mode_ranges[mode],
+                    &mut factors[mode],
+                    &mut gathered[mode],
+                );
                 normalize_replicated(
                     group,
+                    alive,
                     &mut factors[mode],
                     &mut lambda,
                     self.cfg.norm,
                     &mut norm_scratch,
                 );
-                sharded_gram_into(group, &factors[mode], &mut grams[mode], &mut chunk_bufs);
+                sharded_gram_into(group, alive, &factors[mode], &mut grams[mode], &mut chunk_bufs);
                 if mode == nmodes - 1 {
                     last_m = Some(mode);
                 }
             }
             // Fit checks and iteration marks are outside any mode.
-            for dev in group.devices() {
+            for dev in &devs {
                 dev.set_mode(None);
             }
 
@@ -695,7 +910,7 @@ impl Auntf {
             let mut stop = false;
             if self.cfg.compute_fit {
                 let fit = self.fit(
-                    group.device(0),
+                    devs[0],
                     &factors,
                     &lambda,
                     &grams,
@@ -711,17 +926,25 @@ impl Auntf {
                 }
             }
             convergence.end_iteration(iter_fit);
-            for dev in group.devices() {
+            for dev in &devs {
                 dev.mark("outer_iteration");
             }
 
-            if let Some((cc, _)) = ckpt {
+            // Commit: this iteration is now the elastic restart point.
+            committed.factors.clone_from(&factors);
+            committed.lambda.clone_from(&lambda);
+            committed.fits.clone_from(&fits);
+            committed.duals.clone_from(&duals);
+            committed.convergence.clone_from(&convergence);
+            committed.completed = outer + 1;
+
+            if let Some(cc) = ckpt {
                 if (outer + 1) % cc.every == 0 || stop || outer + 1 == self.cfg.max_iters {
                     let _ckpt_region = cstf_telemetry::HeapRegion::enter("checkpoint");
                     checkpoint::save_batch(
                         &cc.dir,
                         &BatchView {
-                            fingerprint: &fingerprint,
+                            fingerprint,
                             completed_iters: outer + 1,
                             lambda: &lambda,
                             fits: &fits,
@@ -737,22 +960,30 @@ impl Auntf {
             }
         }
 
-        // Results back to the host: each device returns its own rows.
-        for (d, dev) in group.devices().iter().enumerate() {
+        // Results back to the host: each survivor returns its own rows.
+        for (i, dev) in devs.iter().enumerate() {
             let bytes: f64 =
-                mode_ranges.iter().map(|per_dev| (per_dev[d].len() * rank * 8) as f64).sum();
-            transfer_with_retry(dev, "d2h_factors", bytes, &policy, &mut report)?;
+                mode_ranges.iter().map(|per_dev| (per_dev[i].len() * rank * 8) as f64).sum();
+            transfer_with_retry(dev, "d2h_factors", bytes, &policy, report)?;
         }
 
-        Ok(FactorizeOutput {
-            model: Ktensor::new(factors, lambda),
-            iters,
-            fits,
-            converged,
-            convergence,
-            recovery: report,
-        })
+        Ok((iters, converged))
     }
+}
+
+/// The elastic restart point: the full driver state after the last
+/// committed outer iteration.
+struct Committed {
+    factors: Vec<Mat>,
+    lambda: Vec<f64>,
+    fits: Vec<f64>,
+    duals: Vec<Mat>,
+    convergence: ConvergenceLog,
+    completed: usize,
+}
+
+fn is_device_loss(e: &FactorizeError) -> bool {
+    matches!(e, FactorizeError::Fault { fault, .. } if fault.kind == FaultKind::DeviceLoss)
 }
 
 #[cfg(test)]
@@ -900,6 +1131,133 @@ mod tests {
             "the injected fault must surface as a retry"
         );
         assert_bitwise_eq(&single, &sharded);
+    }
+
+    #[test]
+    fn device_loss_shrinks_to_survivors_bitwise_exactly() {
+        let x = planted(&[15, 12, 9], 350, 3, 6);
+        for format in [
+            TensorFormat::Coo,
+            TensorFormat::Csf,
+            TensorFormat::CsfOne,
+            TensorFormat::HiCoo,
+            TensorFormat::Alto,
+            TensorFormat::Blco,
+        ] {
+            let auntf = Auntf::new(x.clone(), cfg(format));
+            let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+
+            let plan = FaultPlan::parse("device-loss:2@it2").unwrap();
+            let group =
+                DeviceGroup::homogeneous_with_records(&DeviceSpec::h100(), 3).with_faults(&plan);
+            let out = auntf.factorize_sharded(&group).unwrap();
+            assert_bitwise_eq(&single, &out);
+
+            let e = &out.elasticity;
+            assert!(!e.is_clean());
+            assert!(e.loss_detections >= 1, "{format:?}: loss must be detected");
+            assert_eq!(
+                e.retired,
+                vec![crate::recovery::RetiredDevice { device: 2, iteration: 2 }],
+                "{format:?}: device 2 retires at the iteration it died"
+            );
+            assert_eq!(e.reshards, 1, "{format:?}");
+            assert_eq!(
+                e.loss_retries,
+                group.health().policy().retries,
+                "{format:?}: the full retry budget is spent before declaring death"
+            );
+            assert!(e.backoff_s > 0.0, "{format:?}: retries charge modeled backoff");
+            // Retirement and reshard leave trace marks.
+            assert!(group.device(2).marks().iter().any(|m| m.label == "device_retired"));
+            assert!(group.device(0).marks().iter().any(|m| m.label == "reshard"));
+        }
+    }
+
+    #[test]
+    fn op_point_loss_mid_iteration_restores_committed_state() {
+        let x = planted(&[15, 12, 9], 350, 3, 6);
+        let auntf = Auntf::new(x, cfg(TensorFormat::Csf));
+        let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+
+        // Kill device 1 at its 20th fallible op — mid-iteration, so the
+        // ladder must restore the last committed state before resharding.
+        let plan = FaultPlan::parse("device-loss:1@op20").unwrap();
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 3).with_faults(&plan);
+        let out = auntf.factorize_sharded(&group).unwrap();
+        assert_bitwise_eq(&single, &out);
+        assert_eq!(out.elasticity.retired.len(), 1);
+        assert_eq!(out.elasticity.retired[0].device, 1);
+        assert_eq!(out.elasticity.reshards, 1);
+    }
+
+    #[test]
+    fn losing_every_device_is_a_terminal_fault() {
+        let x = planted(&[10, 8, 6], 150, 2, 4);
+        let auntf =
+            Auntf::new(x, AuntfConfig { rank: 2, max_iters: 3, seed: 5, ..Default::default() });
+        let plan = FaultPlan::parse("device-loss:0@it1,device-loss:1@it1").unwrap();
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 2).with_faults(&plan);
+        let err = auntf.factorize_sharded(&group).unwrap_err();
+        assert!(
+            matches!(err, FactorizeError::Fault { fault, .. }
+                if fault.kind == FaultKind::DeviceLoss),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stragglers_and_degraded_links_stay_bitwise_and_trip_deadlines() {
+        let x = planted(&[15, 12, 9], 350, 3, 6);
+        let auntf = Auntf::new(x, cfg(TensorFormat::Alto));
+        let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+
+        let plan = FaultPlan::parse("straggler:1x8,link-degrade:0-2x9").unwrap();
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 3).with_faults(&plan);
+        let out = auntf.factorize_sharded(&group).unwrap();
+        // Only modeled time changes: bits match the fault-free run and no
+        // recovery action fires.
+        assert_bitwise_eq(&single, &out);
+        assert!(out.recovery.is_clean());
+        assert!(out.elasticity.retired.is_empty());
+        assert_eq!(out.elasticity.reshards, 0);
+        // 8x and 9x both exceed the default 4x deadline budget.
+        let trips = &out.elasticity.deadline_trips;
+        assert!(trips[1] > 0, "straggler must trip: {trips:?}");
+        assert!(trips[0] > 0 && trips[2] > 0, "degraded-link endpoints must trip: {trips:?}");
+        assert!(!out.elasticity.is_clean());
+    }
+
+    #[test]
+    fn deadline_budget_is_configurable() {
+        let x = planted(&[12, 10, 8], 250, 3, 7);
+        let auntf = Auntf::new(x, cfg(TensorFormat::Csf));
+        let plan = FaultPlan::parse("straggler:1x2").unwrap();
+
+        // 2x stays under the default 4x budget...
+        let lax = DeviceGroup::homogeneous(&DeviceSpec::h100(), 3).with_faults(&plan);
+        let out = auntf.factorize_sharded(&lax).unwrap();
+        assert_eq!(out.elasticity.total_deadline_trips(), 0);
+        assert!(out.elasticity.is_clean());
+
+        // ...but trips a 1.5x budget on every collective.
+        let strict =
+            DeviceGroup::homogeneous(&DeviceSpec::h100(), 3).with_faults(&plan).with_health_policy(
+                cstf_device::HealthPolicy { deadline_factor: 1.5, ..Default::default() },
+            );
+        let out = auntf.factorize_sharded(&strict).unwrap();
+        assert!(out.elasticity.deadline_trips[1] > 0);
+        assert_eq!(out.elasticity.deadline_trips[0], 0);
+    }
+
+    #[test]
+    fn clean_groups_report_clean_elasticity() {
+        let x = planted(&[12, 10, 8], 250, 3, 7);
+        let auntf = Auntf::new(x, cfg(TensorFormat::Blco));
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 3);
+        let out = auntf.factorize_sharded(&group).unwrap();
+        assert!(out.elasticity.is_clean());
+        assert_eq!(out.elasticity.deadline_trips, vec![0, 0, 0]);
     }
 
     #[test]

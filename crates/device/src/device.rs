@@ -18,7 +18,7 @@ use cstf_telemetry::Span;
 use parking_lot::Mutex;
 
 use crate::cost::{kernel_time, transfer_time, KernelClass, KernelCost};
-use crate::fault::{DeviceFault, FaultPlan, FaultState};
+use crate::fault::{DeviceFault, FaultKind, FaultPlan, FaultState};
 use crate::profiler::{
     FaultRecord, KernelRecord, MarkRecord, Phase, PhaseTotals, Profiler, RunCapture,
 };
@@ -61,9 +61,39 @@ impl Device {
         self.faults.as_ref().map(|s| &s.plan)
     }
 
+    /// The straggler modeled-time multiplier this device runs under
+    /// (`1.0` when healthy). Applied to every launch, transfer and — by
+    /// the [`DeviceGroup`](crate::group::DeviceGroup) — collective.
+    pub fn slowdown(&self) -> f64 {
+        self.faults.as_ref().map_or(1.0, |s| s.slowdown())
+    }
+
+    /// Advances the device's outer-iteration epoch. Group loss points
+    /// written as `device-loss:DEV@itN` trigger against this counter; the
+    /// sharded driver calls it once per device per outer iteration.
+    pub fn advance_epoch(&self) {
+        if let Some(state) = &self.faults {
+            state.advance_epoch();
+        }
+    }
+
+    /// True when the device's loss point has been reached — the query the
+    /// group-level recovery ladder uses to identify the dead member
+    /// without drawing new fallible ops.
+    pub fn lost_now(&self) -> bool {
+        self.faults.as_ref().is_some_and(|s| s.lost_now())
+    }
+
     /// Snapshot of injected-fault records.
     pub fn faults(&self) -> Vec<FaultRecord> {
         self.profiler.lock().faults().to_vec()
+    }
+
+    /// Records a group-health fault (straggler / degraded-link deadline
+    /// trip) against this device without touching the fallible-op
+    /// schedule. `seq` carries the trip ordinal, not an op number.
+    pub(crate) fn record_health_fault(&self, kind: FaultKind, name: &'static str, seq: u64) {
+        self.profiler.lock().record_fault(kind, name, seq);
     }
 
     /// Launches a kernel: runs `body` immediately, meters it with `cost`,
@@ -84,7 +114,7 @@ impl Device {
         let start = std::time::Instant::now();
         let out = body();
         let measured_s = start.elapsed().as_secs_f64();
-        let modeled_s = kernel_time(&self.spec, class, &cost);
+        let modeled_s = kernel_time(&self.spec, class, &cost) * self.slowdown();
         self.profiler.lock().record(KernelRecord {
             name,
             phase,
@@ -174,7 +204,7 @@ impl Device {
 
     /// Records a host→device or device→host transfer of `bytes`.
     pub fn transfer(&self, name: &'static str, bytes: f64) {
-        let modeled_s = transfer_time(&self.spec, bytes);
+        let modeled_s = transfer_time(&self.spec, bytes) * self.slowdown();
         self.profiler.lock().record(KernelRecord {
             name,
             phase: Phase::Transfer,
@@ -483,6 +513,47 @@ mod tests {
         assert!(kernels
             .iter()
             .any(|((p, n, m), _)| *p == Phase::Transfer && *n == "h2d" && *m == Some(1)));
+    }
+
+    #[test]
+    fn straggler_plan_stretches_modeled_time_only() {
+        use crate::fault::{FaultPlan, GroupFault};
+        let plan = FaultPlan {
+            group: vec![GroupFault::Straggler { device: 0, slowdown: 4.0 }],
+            ..FaultPlan::quiet(0)
+        };
+        let slow = Device::new(DeviceSpec::h100()).with_fault_plan(plan);
+        let fast = Device::new(DeviceSpec::h100());
+        let v = slow.launch("k", Phase::Update, KernelClass::Stream, cost(100.0), || 7);
+        fast.launch("k", Phase::Update, KernelClass::Stream, cost(100.0), || 7);
+        assert_eq!(v, 7, "the body runs normally — only modeled time stretches");
+        assert_eq!(slow.total_seconds(), 4.0 * fast.total_seconds());
+        slow.transfer("h2d", 1e6);
+        fast.transfer("h2d", 1e6);
+        assert_eq!(
+            slow.phase_totals(Phase::Transfer).seconds,
+            4.0 * fast.phase_totals(Phase::Transfer).seconds
+        );
+    }
+
+    #[test]
+    fn lost_device_fails_every_fallible_op_after_its_epoch() {
+        use crate::fault::{FaultKind, FaultPlan, GroupFault, LossPoint};
+        let plan = FaultPlan {
+            group: vec![GroupFault::DeviceLoss { device: 0, at_launch: LossPoint::Iter(1) }],
+            ..FaultPlan::quiet(0)
+        };
+        let dev = Device::new(DeviceSpec::h100()).with_fault_plan(plan);
+        dev.try_launch("k", Phase::Update, KernelClass::Stream, cost(1.0), || ())
+            .expect("alive at epoch 0");
+        assert!(!dev.lost_now());
+        dev.advance_epoch();
+        let err = dev
+            .try_launch("k", Phase::Update, KernelClass::Stream, cost(1.0), || ())
+            .expect_err("dead at epoch 1");
+        assert_eq!(err.kind, FaultKind::DeviceLoss);
+        assert!(dev.lost_now());
+        assert!(dev.try_transfer("d2h", 8.0).is_err(), "transfers fail too");
     }
 
     #[test]

@@ -61,20 +61,29 @@ pub fn registry_from_captures(captures: &[&RunCapture], spec: &DeviceSpec) -> Re
             "Device faults injected by the fault plan",
             total_faults as f64,
         );
-        for kind in [
-            crate::fault::FaultKind::TransientLaunch,
-            crate::fault::FaultKind::NanCorruption,
-            crate::fault::FaultKind::TransferFailure,
-            crate::fault::FaultKind::DeviceOom,
-        ] {
-            let n: usize =
-                captures.iter().map(|c| c.faults.iter().filter(|f| f.kind == kind).count()).sum();
-            if n > 0 {
-                registry.counter_add(
-                    &format!("cstf_fault_{}_total", kind.label()),
-                    "Injected device faults of one kind",
-                    n as f64,
-                );
+        for kind in crate::fault::FaultKind::all() {
+            let name = format!("cstf_fault_{}_total", kind.label());
+            if multi_device {
+                for (device, capture) in captures.iter().enumerate() {
+                    let n = capture.faults.iter().filter(|f| f.kind == kind).count();
+                    if n > 0 {
+                        let device_label = device.to_string();
+                        registry.counter_add_labeled(
+                            &name,
+                            "Injected device faults of one kind",
+                            &[("device", &device_label)],
+                            n as f64,
+                        );
+                    }
+                }
+            } else {
+                let n: usize = captures
+                    .iter()
+                    .map(|c| c.faults.iter().filter(|f| f.kind == kind).count())
+                    .sum();
+                if n > 0 {
+                    registry.counter_add(&name, "Injected device faults of one kind", n as f64);
+                }
             }
         }
     }
@@ -310,6 +319,31 @@ mod tests {
         assert_eq!(series["device=\"1\",kernel=\"mttkrp\",mode=\"-\",phase=\"MTTKRP\""], 3.0);
         // And the whole thing still parses as valid exposition format.
         cstf_telemetry::parse_prometheus(&registry.to_prometheus()).expect("valid");
+    }
+
+    #[test]
+    fn multi_capture_fault_counters_carry_device_labels() {
+        let spec = DeviceSpec::a100();
+        let faulty = Device::with_records(spec.clone()).with_fault_plan(crate::fault::FaultPlan {
+            launch_fault_rate: 1.0,
+            max_faults: 2,
+            ..crate::fault::FaultPlan::quiet(1)
+        });
+        for _ in 0..2 {
+            let _ = faulty.try_launch(
+                "mttkrp",
+                Phase::Mttkrp,
+                KernelClass::SparseGather,
+                KernelCost::default(),
+                || (),
+            );
+        }
+        let (clean, _) = capture_with_launches();
+        let json = registry_from_captures(&[&clean, &faulty.take_run()], &spec).to_json();
+        assert_eq!(json["cstf_faults_injected_total"]["value"], 2.0);
+        let series = &json["cstf_fault_transient_launch_total"]["series"];
+        assert_eq!(series["device=\"1\""], 2.0);
+        assert!(series.get("device=\"0\"").is_none());
     }
 
     #[test]

@@ -14,6 +14,17 @@
 //! the same seed always reproduces the same fault pattern for a given
 //! kernel stream.
 //!
+//! Beyond the per-device stochastic kinds, a plan can carry *group-scoped*
+//! faults ([`GroupFault`]) targeting members of a
+//! [`DeviceGroup`](crate::DeviceGroup): whole-device loss at a chosen
+//! fallible op or outer iteration ([`LossPoint`]), stragglers that stretch a
+//! device's modeled time by a constant factor, and degraded links that
+//! stretch collective time on an edge. Loss is persistent — once a device
+//! is lost every subsequent fallible op fails with
+//! [`FaultKind::DeviceLoss`] — while stragglers and degraded links never
+//! touch numerics or control flow, only modeled time (and the
+//! [`GroupHealth`](crate::group::GroupHealth) deadline monitor).
+//!
 //! Cost when disabled: the device holds `Option<FaultPlan>`; with `None`
 //! every fallible launch pays one branch and one relaxed atomic increment —
 //! no allocation, no locking.
@@ -38,6 +49,18 @@ pub enum FaultKind {
     /// Device memory exhaustion at a specific launch. One-shot: the retry
     /// draws a fresh sequence number and proceeds.
     DeviceOom,
+    /// The whole device dropped off the bus. Persistent: every fallible
+    /// operation after the loss point fails with this kind — only the
+    /// group-level shrink-to-survivors ladder can make progress.
+    DeviceLoss,
+    /// A deadline trip attributed to a straggling device: its modeled time
+    /// exceeded the collective deadline budget. Never returned from a
+    /// launch — recorded by [`GroupHealth`](crate::group::GroupHealth).
+    Straggler,
+    /// A deadline trip attributed to a degraded link on the collective
+    /// ring. Never returned from a launch — recorded by
+    /// [`GroupHealth`](crate::group::GroupHealth).
+    LinkDegrade,
 }
 
 impl FaultKind {
@@ -48,7 +71,23 @@ impl FaultKind {
             FaultKind::NanCorruption => "nan_corruption",
             FaultKind::TransferFailure => "transfer_failure",
             FaultKind::DeviceOom => "device_oom",
+            FaultKind::DeviceLoss => "device_loss",
+            FaultKind::Straggler => "straggler",
+            FaultKind::LinkDegrade => "link_degrade",
         }
+    }
+
+    /// Every kind, in declaration order (drives metric export).
+    pub fn all() -> [FaultKind; 7] {
+        [
+            FaultKind::TransientLaunch,
+            FaultKind::NanCorruption,
+            FaultKind::TransferFailure,
+            FaultKind::DeviceOom,
+            FaultKind::DeviceLoss,
+            FaultKind::Straggler,
+            FaultKind::LinkDegrade,
+        ]
     }
 }
 
@@ -82,18 +121,83 @@ impl std::fmt::Display for DeviceFault {
             FaultKind::DeviceOom => {
                 write!(f, "device out of memory at `{}` (op #{})", self.kernel, self.seq)
             }
+            FaultKind::DeviceLoss => {
+                write!(f, "device lost before `{}` (op #{})", self.kernel, self.seq)
+            }
+            FaultKind::Straggler => {
+                write!(f, "straggler deadline trip at `{}` (op #{})", self.kernel, self.seq)
+            }
+            FaultKind::LinkDegrade => {
+                write!(f, "degraded-link deadline trip at `{}` (op #{})", self.kernel, self.seq)
+            }
         }
     }
 }
 
 impl std::error::Error for DeviceFault {}
 
+/// When a [`GroupFault::DeviceLoss`] takes effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossPoint {
+    /// The device dies at this fallible-operation sequence number (every
+    /// fallible op `>= n` fails).
+    Op(u64),
+    /// The device dies at the start of this outer iteration (epoch), as
+    /// counted by [`Device::advance_epoch`](crate::Device::advance_epoch).
+    Iter(u64),
+}
+
+/// A group-scoped fault targeting a member (or link) of a
+/// [`DeviceGroup`](crate::DeviceGroup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupFault {
+    /// Device `device` drops off the bus at `at_launch` and never returns.
+    DeviceLoss {
+        /// Group member index (position in the group's device vector).
+        device: usize,
+        /// When the loss takes effect.
+        at_launch: LossPoint,
+    },
+    /// Device `device` runs `slowdown`× slower than modeled (modeled time
+    /// only; numerics are untouched, so runs stay bitwise-identical).
+    Straggler {
+        /// Group member index.
+        device: usize,
+        /// Modeled-time multiplier, `>= 1`.
+        slowdown: f64,
+    },
+    /// The link between members `edge.0` and `edge.1` carries `factor`×
+    /// the modeled collective time (modeled time only).
+    LinkDegrade {
+        /// Unordered pair of group member indices.
+        edge: (usize, usize),
+        /// Modeled-time multiplier, `>= 1`.
+        factor: f64,
+    },
+}
+
+impl GroupFault {
+    /// True when this fault rides on group member `d`'s own device plan
+    /// (link degradation is a group-level property, not a member one).
+    pub fn targets(&self, d: usize) -> bool {
+        match *self {
+            GroupFault::DeviceLoss { device, .. } | GroupFault::Straggler { device, .. } => {
+                device == d
+            }
+            GroupFault::LinkDegrade { .. } => false,
+        }
+    }
+}
+
 /// A deterministic, seeded schedule of injected faults.
 ///
 /// Rates are probabilities in `[0, 1]` evaluated independently per
 /// fallible operation; `oom_at_op` fires exactly once, at the given
 /// fallible-operation sequence number. `max_faults` caps the total number
-/// of injected faults so chaos runs always terminate.
+/// of injected faults so chaos runs always terminate. `group` carries
+/// group-scoped faults; they are distributed to members by
+/// [`FaultPlan::for_group_member`] and are *not* subject to `max_faults`
+/// (device loss is a persistent condition, not a budgeted injection).
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// Seed for the per-operation hash rolls.
@@ -108,6 +212,8 @@ pub struct FaultPlan {
     pub oom_at_op: Option<u64>,
     /// Hard cap on total injected faults (0 = unlimited).
     pub max_faults: u64,
+    /// Group-scoped faults (device loss, stragglers, degraded links).
+    pub group: Vec<GroupFault>,
 }
 
 impl FaultPlan {
@@ -120,14 +226,27 @@ impl FaultPlan {
             transfer_fault_rate: 0.0,
             oom_at_op: None,
             max_faults: 0,
+            group: Vec::new(),
         }
     }
 
-    /// Parses a `key=value` comma-separated spec, e.g.
-    /// `seed=1,launch=0.05,nan=0.02,transfer=0.01,oom=120,max=50`.
+    /// Parses a comma-separated spec mixing `key=value` entries
+    /// (`seed=1,launch=0.05,nan=0.02,transfer=0.01,oom=120,max=50`) with
+    /// group-fault entries:
+    ///
+    /// * `device-loss:DEV@itN` — lose device `DEV` at outer iteration `N`
+    ///   (`device-loss:2@it7`); `@opN` pins the loss to fallible op `N`.
+    /// * `straggler:DEVxF` — device `DEV` runs `F`× slower
+    ///   (`straggler:1x8`).
+    /// * `link-degrade:A-BxF` — the `A↔B` link runs `F`× slower
+    ///   (`link-degrade:0-3x20`).
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = Self::quiet(0);
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            if let Some((kind, body)) = part.split_once(':') {
+                plan.group.push(parse_group_fault(kind, body)?);
+                continue;
+            }
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| format!("fault spec entry `{part}` is not key=value"))?;
@@ -153,16 +272,96 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// The plan group member `d` should carry, or `None` when `d` needs no
+    /// fault state at all. The stochastic per-device kinds stay on member 0
+    /// (matching the single-plan CLI contract where one `--faults` spec
+    /// drives one fallible-op schedule); group faults are filtered to those
+    /// targeting `d`.
+    pub fn for_group_member(&self, d: usize) -> Option<FaultPlan> {
+        let group: Vec<GroupFault> = self.group.iter().filter(|g| g.targets(d)).copied().collect();
+        if d == 0 {
+            return Some(FaultPlan { group, ..self.clone() });
+        }
+        if group.is_empty() {
+            return None;
+        }
+        Some(FaultPlan { group, ..FaultPlan::quiet(self.seed) })
+    }
+
+    /// The modeled-time multiplier on the link between members `a` and `b`
+    /// (unordered), `1.0` when undegraded. The worst edge wins.
+    pub fn link_factor(&self, a: usize, b: usize) -> f64 {
+        self.group
+            .iter()
+            .filter_map(|g| match *g {
+                GroupFault::LinkDegrade { edge, factor }
+                    if (edge == (a, b)) || (edge == (b, a)) =>
+                {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+
+    /// True when any group-scoped fault is present.
+    pub fn has_group_faults(&self) -> bool {
+        !self.group.is_empty()
+    }
+}
+
+/// Parses one `kind:body` group-fault entry (see [`FaultPlan::parse`]).
+fn parse_group_fault(kind: &str, body: &str) -> Result<GroupFault, String> {
+    let bad = |msg: &str| format!("fault spec `{kind}:{body}`: {msg}");
+    match kind {
+        "device-loss" => {
+            let (dev, at) =
+                body.split_once('@').ok_or_else(|| bad("expected DEV@itN or DEV@opN"))?;
+            let device: usize = dev.parse().map_err(|_| bad("bad device index"))?;
+            let at_launch = if let Some(n) = at.strip_prefix("it") {
+                LossPoint::Iter(n.parse().map_err(|_| bad("bad iteration number"))?)
+            } else if let Some(n) = at.strip_prefix("op") {
+                LossPoint::Op(n.parse().map_err(|_| bad("bad op number"))?)
+            } else {
+                return Err(bad("loss point must be itN or opN"));
+            };
+            Ok(GroupFault::DeviceLoss { device, at_launch })
+        }
+        "straggler" => {
+            let (dev, f) = body.split_once('x').ok_or_else(|| bad("expected DEVxFACTOR"))?;
+            let device: usize = dev.parse().map_err(|_| bad("bad device index"))?;
+            let slowdown: f64 = f.parse().map_err(|_| bad("bad slowdown factor"))?;
+            if slowdown < 1.0 || !slowdown.is_finite() {
+                return Err(bad("slowdown must be a finite factor >= 1"));
+            }
+            Ok(GroupFault::Straggler { device, slowdown })
+        }
+        "link-degrade" => {
+            let (edge, f) = body.split_once('x').ok_or_else(|| bad("expected A-BxFACTOR"))?;
+            let (a, b) = edge.split_once('-').ok_or_else(|| bad("edge must be A-B"))?;
+            let a: usize = a.parse().map_err(|_| bad("bad device index"))?;
+            let b: usize = b.parse().map_err(|_| bad("bad device index"))?;
+            let factor: f64 = f.parse().map_err(|_| bad("bad link factor"))?;
+            if factor < 1.0 || !factor.is_finite() {
+                return Err(bad("link factor must be a finite factor >= 1"));
+            }
+            Ok(GroupFault::LinkDegrade { edge: (a, b), factor })
+        }
+        other => Err(format!("unknown group fault kind `{other}`")),
+    }
 }
 
 /// Per-device fault state: the immutable plan plus the fallible-operation
-/// counter and the injected-fault counter (atomics, so the device stays
-/// `Sync` without adding lock traffic to the launch path).
+/// counter, the injected-fault counter, and the outer-iteration epoch
+/// (atomics, so the device stays `Sync` without adding lock traffic to the
+/// launch path).
 #[derive(Debug)]
 pub(crate) struct FaultState {
     pub(crate) plan: FaultPlan,
     next_op: AtomicU64,
     injected: AtomicU64,
+    epoch: AtomicU64,
 }
 
 /// SplitMix64 finalizer — the same mixer `cstf_core::auntf::seeded_factors`
@@ -183,12 +382,60 @@ fn roll(seed: u64, op: u64, salt: u64) -> f64 {
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> Self {
-        Self { plan, next_op: AtomicU64::new(0), injected: AtomicU64::new(0) }
+        Self {
+            plan,
+            next_op: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+        }
     }
 
     /// Draws the next fallible-operation sequence number.
     pub(crate) fn next_op(&self) -> u64 {
         self.next_op.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Advances the outer-iteration epoch (loss points given as `itN`
+    /// trigger against this counter).
+    pub(crate) fn advance_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// True once the device's loss point (if any) has been reached for
+    /// fallible op `op`.
+    fn loss_due(&self, op: u64) -> bool {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        self.plan.group.iter().any(|g| match *g {
+            GroupFault::DeviceLoss { at_launch: LossPoint::Op(n), .. } => op >= n,
+            GroupFault::DeviceLoss { at_launch: LossPoint::Iter(n), .. } => epoch >= n,
+            _ => false,
+        })
+    }
+
+    /// True when the device is lost as of the ops already drawn — the
+    /// group-level view the recovery ladder uses to identify the dead
+    /// member without drawing new ops.
+    pub(crate) fn lost_now(&self) -> bool {
+        let drawn = self.next_op.load(Ordering::Relaxed);
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        self.plan.group.iter().any(|g| match *g {
+            GroupFault::DeviceLoss { at_launch: LossPoint::Op(n), .. } => drawn > n,
+            GroupFault::DeviceLoss { at_launch: LossPoint::Iter(n), .. } => epoch >= n,
+            _ => false,
+        })
+    }
+
+    /// The straggler modeled-time multiplier for this device (`1.0` when
+    /// healthy; the worst configured slowdown wins).
+    pub(crate) fn slowdown(&self) -> f64 {
+        self.plan
+            .group
+            .iter()
+            .filter_map(|g| match *g {
+                GroupFault::Straggler { slowdown, .. } => Some(slowdown),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
     }
 
     /// True if the fault budget still allows injecting; reserves one slot.
@@ -204,8 +451,12 @@ impl FaultState {
             .is_ok()
     }
 
-    /// Rolls the pre-launch faults (OOM, transient failure) for op `op`.
+    /// Rolls the pre-launch faults (loss, OOM, transient failure) for op
+    /// `op`. Loss is persistent and exempt from the fault budget.
     pub(crate) fn launch_fault(&self, kernel: &'static str, op: u64) -> Option<DeviceFault> {
+        if self.loss_due(op) {
+            return Some(DeviceFault { kind: FaultKind::DeviceLoss, kernel, seq: op });
+        }
         if self.plan.oom_at_op == Some(op) && self.budget_allows() {
             return Some(DeviceFault { kind: FaultKind::DeviceOom, kernel, seq: op });
         }
@@ -230,8 +481,12 @@ impl FaultState {
         None
     }
 
-    /// Rolls a transfer/link failure for op `op`.
+    /// Rolls a transfer/link failure for op `op`. A lost device fails its
+    /// transfers with [`FaultKind::DeviceLoss`], like its launches.
     pub(crate) fn transfer_fault(&self, name: &'static str, op: u64) -> Option<DeviceFault> {
+        if self.loss_due(op) {
+            return Some(DeviceFault { kind: FaultKind::DeviceLoss, kernel: name, seq: op });
+        }
         if self.plan.transfer_fault_rate > 0.0
             && roll(self.plan.seed, op, SALT_TRANSFER) < self.plan.transfer_fault_rate
             && self.budget_allows()
@@ -259,6 +514,8 @@ mod tests {
             assert!(state.corruption_index(op, 64).is_none());
             assert!(state.transfer_fault("t", op).is_none());
         }
+        assert!(!state.lost_now());
+        assert_eq!(state.slowdown(), 1.0);
     }
 
     #[test]
@@ -339,6 +596,7 @@ mod tests {
         assert_eq!(plan.transfer_fault_rate, 0.3);
         assert_eq!(plan.oom_at_op, Some(12));
         assert_eq!(plan.max_faults, 7);
+        assert!(plan.group.is_empty());
     }
 
     #[test]
@@ -350,9 +608,113 @@ mod tests {
     }
 
     #[test]
+    fn group_fault_specs_parse() {
+        let plan = FaultPlan::parse("seed=2,device-loss:2@it7,straggler:1x8,link-degrade:0-3x20.5")
+            .expect("valid group spec");
+        assert_eq!(plan.seed, 2);
+        assert_eq!(
+            plan.group,
+            vec![
+                GroupFault::DeviceLoss { device: 2, at_launch: LossPoint::Iter(7) },
+                GroupFault::Straggler { device: 1, slowdown: 8.0 },
+                GroupFault::LinkDegrade { edge: (0, 3), factor: 20.5 },
+            ]
+        );
+        let op = FaultPlan::parse("device-loss:0@op12").unwrap();
+        assert_eq!(
+            op.group,
+            vec![GroupFault::DeviceLoss { device: 0, at_launch: LossPoint::Op(12) }]
+        );
+    }
+
+    #[test]
+    fn group_fault_specs_reject_garbage() {
+        assert!(FaultPlan::parse("device-loss:2").is_err(), "missing loss point");
+        assert!(FaultPlan::parse("device-loss:2@soon").is_err(), "bad loss point");
+        assert!(FaultPlan::parse("straggler:1x0.5").is_err(), "slowdown < 1");
+        assert!(FaultPlan::parse("link-degrade:0x3").is_err(), "missing edge");
+        assert!(FaultPlan::parse("link-degrade:0-1xinf").is_err(), "non-finite factor");
+        assert!(FaultPlan::parse("meteor:1x2").is_err(), "unknown group kind");
+    }
+
+    #[test]
+    fn for_group_member_splits_targets_and_keeps_stochastic_on_zero() {
+        let plan = FaultPlan::parse("seed=9,launch=0.5,device-loss:2@it1,straggler:1x4").unwrap();
+        let p0 = plan.for_group_member(0).expect("member 0 keeps the stochastic kinds");
+        assert_eq!(p0.launch_fault_rate, 0.5);
+        assert!(p0.group.is_empty());
+        let p1 = plan.for_group_member(1).expect("member 1 is a straggler");
+        assert_eq!(p1.launch_fault_rate, 0.0, "stochastic kinds stay on member 0");
+        assert_eq!(p1.group, vec![GroupFault::Straggler { device: 1, slowdown: 4.0 }]);
+        let p2 = plan.for_group_member(2).expect("member 2 dies");
+        assert_eq!(p2.group.len(), 1);
+        assert!(plan.for_group_member(3).is_none(), "untargeted members carry no state");
+    }
+
+    #[test]
+    fn link_factor_takes_the_worst_matching_edge_either_direction() {
+        let plan = FaultPlan::parse("link-degrade:0-3x20,link-degrade:3-0x5").unwrap();
+        assert_eq!(plan.link_factor(0, 3), 20.0);
+        assert_eq!(plan.link_factor(3, 0), 20.0);
+        assert_eq!(plan.link_factor(1, 2), 1.0);
+    }
+
+    #[test]
+    fn op_loss_is_persistent_and_budget_exempt() {
+        let state = FaultState::new(FaultPlan {
+            max_faults: 1,
+            group: vec![GroupFault::DeviceLoss { device: 0, at_launch: LossPoint::Op(3) }],
+            ..FaultPlan::quiet(0)
+        });
+        for _ in 0..3 {
+            let op = state.next_op();
+            assert!(state.launch_fault("k", op).is_none());
+        }
+        assert!(!state.lost_now(), "op 3 not drawn yet");
+        for _ in 3..10 {
+            let op = state.next_op();
+            let f = state.launch_fault("k", op).expect("persistent loss");
+            assert_eq!(f.kind, FaultKind::DeviceLoss);
+        }
+        assert!(state.transfer_fault("t", state.next_op()).is_some(), "transfers fail too");
+        assert!(state.lost_now());
+    }
+
+    #[test]
+    fn iter_loss_triggers_on_epoch_advance() {
+        let state = FaultState::new(FaultPlan {
+            group: vec![GroupFault::DeviceLoss { device: 0, at_launch: LossPoint::Iter(2) }],
+            ..FaultPlan::quiet(0)
+        });
+        assert!(state.launch_fault("k", 0).is_none());
+        state.advance_epoch();
+        assert!(state.launch_fault("k", 1).is_none(), "epoch 1 < loss point 2");
+        assert!(!state.lost_now());
+        state.advance_epoch();
+        let f = state.launch_fault("k", 2).expect("dead at epoch 2");
+        assert_eq!(f.kind, FaultKind::DeviceLoss);
+        assert!(state.lost_now());
+    }
+
+    #[test]
+    fn straggler_slowdown_reads_the_worst_factor() {
+        let state = FaultState::new(FaultPlan {
+            group: vec![
+                GroupFault::Straggler { device: 0, slowdown: 3.0 },
+                GroupFault::Straggler { device: 0, slowdown: 8.0 },
+            ],
+            ..FaultPlan::quiet(0)
+        });
+        assert_eq!(state.slowdown(), 8.0);
+        assert!(state.launch_fault("k", 0).is_none(), "stragglers never fail launches");
+    }
+
+    #[test]
     fn fault_display_names_the_kernel() {
         let f = DeviceFault { kind: FaultKind::TransientLaunch, kernel: "mttkrp", seq: 4 };
         assert!(f.to_string().contains("mttkrp"));
         assert!(f.to_string().contains("transient"));
+        let l = DeviceFault { kind: FaultKind::DeviceLoss, kernel: "mttkrp_shard", seq: 9 };
+        assert!(l.to_string().contains("lost"));
     }
 }

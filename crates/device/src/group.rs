@@ -13,9 +13,26 @@
 //! halving tree, matching `cstf-linalg`'s partial-buffer reduction), so a
 //! sharded computation that fills the same partial buffers reduces to a
 //! bitwise-identical result regardless of group size.
+//!
+//! # Elasticity
+//!
+//! A group can carry group-scoped faults
+//! ([`FaultPlan::for_group_member`] via [`DeviceGroup::with_faults`]) and
+//! a [`GroupHealth`] deadline monitor. Every collective computes each
+//! member's *effective* time — the modeled ring time stretched by that
+//! member's straggler slowdown and the worst degraded link it rides — and
+//! records a deadline trip (a [`FaultKind::Straggler`] /
+//! [`FaultKind::LinkDegrade`] fault record plus a health counter) whenever
+//! the effective time exceeds `deadline_factor ×` the modeled time.
+//! The `*_on` collective variants operate on a *survivor subset* of
+//! members, which is how the sharded driver keeps collecting after
+//! shrinking past a device loss.
+
+use parking_lot::Mutex;
 
 use crate::cost::{KernelClass, KernelCost};
 use crate::device::Device;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::profiler::Phase;
 use crate::spec::DeviceSpec;
 
@@ -75,11 +92,74 @@ impl LinkModel {
     }
 }
 
+/// How the group detects and survives member failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// A collective's deadline is `deadline_factor ×` its modeled time;
+    /// a member whose effective time exceeds it trips the monitor.
+    pub deadline_factor: f64,
+    /// How many times the driver retries a failed outer iteration
+    /// (restoring committed state) before declaring the faulting device
+    /// dead and shrinking to survivors.
+    pub retries: u32,
+    /// Base of the modeled exponential backoff charged between those
+    /// retries, seconds.
+    pub backoff_base_s: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self { deadline_factor: 4.0, retries: 2, backoff_base_s: 0.01 }
+    }
+}
+
+/// The group's failure detector: per-member deadline-trip counters plus
+/// the [`HealthPolicy`] the recovery ladder consults. Trips are recorded
+/// by the collectives; they never fail a run by themselves (stragglers and
+/// degraded links are bitwise-neutral), but they are the observable signal
+/// that a deadline budget was exceeded.
+#[derive(Debug)]
+pub struct GroupHealth {
+    policy: HealthPolicy,
+    trips: Mutex<Vec<u64>>,
+}
+
+impl GroupHealth {
+    fn new(policy: HealthPolicy, members: usize) -> Self {
+        Self { policy, trips: Mutex::new(vec![0; members]) }
+    }
+
+    /// The detection/retry policy.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Records one deadline trip for member `d`; returns its new count.
+    fn record_trip(&self, d: usize) -> u64 {
+        let mut trips = self.trips.lock();
+        trips[d] += 1;
+        trips[d]
+    }
+
+    /// Per-member deadline-trip counts (index = original member id).
+    pub fn deadline_trips(&self) -> Vec<u64> {
+        self.trips.lock().clone()
+    }
+
+    /// Total deadline trips across all members.
+    pub fn total_deadline_trips(&self) -> u64 {
+        self.trips.lock().iter().sum()
+    }
+}
+
 /// N simulated devices joined by a modeled interconnect.
 #[derive(Debug)]
 pub struct DeviceGroup {
     devices: Vec<Device>,
     link: LinkModel,
+    health: GroupHealth,
+    group_plan: Option<FaultPlan>,
+    full_members: Vec<usize>,
 }
 
 impl DeviceGroup {
@@ -89,7 +169,9 @@ impl DeviceGroup {
     /// Panics if `devices` is empty.
     pub fn new(devices: Vec<Device>, link: LinkModel) -> Self {
         assert!(!devices.is_empty(), "a device group needs at least one device");
-        Self { devices, link }
+        let health = GroupHealth::new(HealthPolicy::default(), devices.len());
+        let full_members = (0..devices.len()).collect();
+        Self { devices, link, health, group_plan: None, full_members }
     }
 
     /// `n` identical devices of `spec` on an NVLink-class link.
@@ -109,6 +191,35 @@ impl DeviceGroup {
     pub fn with_link(mut self, link: LinkModel) -> Self {
         self.link = link;
         self
+    }
+
+    /// Distributes a fault plan across the group (builder style): each
+    /// member `d` receives [`FaultPlan::for_group_member`]`(d)` — the
+    /// stochastic kinds on member 0, group-scoped faults on their targets —
+    /// and the group keeps the full plan for link-degrade lookups.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        self.devices = self
+            .devices
+            .into_iter()
+            .enumerate()
+            .map(|(d, dev)| match plan.for_group_member(d) {
+                Some(p) => dev.with_fault_plan(p),
+                None => dev,
+            })
+            .collect();
+        self.group_plan = Some(plan.clone());
+        self
+    }
+
+    /// Replaces the health policy (builder style; trip counters reset).
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health = GroupHealth::new(policy, self.devices.len());
+        self
+    }
+
+    /// The group's failure detector.
+    pub fn health(&self) -> &GroupHealth {
+        &self.health
     }
 
     /// Number of devices.
@@ -136,6 +247,45 @@ impl DeviceGroup {
         &self.link
     }
 
+    /// Member ids whose loss point has been reached (the dead set the
+    /// recovery ladder shrinks away from).
+    pub fn lost_members(&self) -> Vec<usize> {
+        (0..self.devices.len()).filter(|&d| self.devices[d].lost_now()).collect()
+    }
+
+    /// The worst degraded-link factor member `d` rides among `members`
+    /// (`1.0` on a healthy ring). The slowest link gates the whole ring,
+    /// so the max over `d`'s edges is the honest stretch.
+    fn member_link_factor(&self, d: usize, members: &[usize]) -> f64 {
+        let Some(plan) = &self.group_plan else { return 1.0 };
+        members.iter().filter(|&&o| o != d).map(|&o| plan.link_factor(d, o)).fold(1.0, f64::max)
+    }
+
+    /// Charges every member its effective collective time and records a
+    /// deadline trip when the effective time exceeds the health budget.
+    fn charge_collective(
+        &self,
+        name: &'static str,
+        members: &[usize],
+        per_device_bytes: f64,
+        modeled_s: f64,
+    ) {
+        let deadline = modeled_s * self.health.policy.deadline_factor;
+        for &d in members {
+            let dev = &self.devices[d];
+            let slowdown = dev.slowdown();
+            let link_factor = self.member_link_factor(d, members);
+            let effective_s = modeled_s * slowdown * link_factor;
+            if modeled_s > 0.0 && effective_s > deadline {
+                let kind =
+                    if slowdown > 1.0 { FaultKind::Straggler } else { FaultKind::LinkDegrade };
+                let trip = self.health.record_trip(d);
+                dev.record_health_fault(kind, name, trip);
+            }
+            dev.collective(name, per_device_bytes, effective_s);
+        }
+    }
+
     /// Ring all-gather of per-device row blocks into the full buffer:
     /// `blocks[d]` is copied to `out[offsets[d] .. offsets[d] + blocks[d].len()]`,
     /// and every device is charged `(g-1)/g` of the gathered buffer plus the
@@ -151,18 +301,31 @@ impl DeviceGroup {
         offsets: &[usize],
         out: &mut [f64],
     ) {
-        let g = self.len();
-        assert_eq!(blocks.len(), g, "one block per device");
-        assert_eq!(offsets.len(), g, "one offset per device");
+        let members = self.full_members.clone();
+        self.all_gather_rows_on(name, &members, blocks, offsets, out);
+    }
+
+    /// [`DeviceGroup::all_gather_rows`] over a survivor subset: `blocks[i]`
+    /// belongs to member `members[i]`, and only those members are charged
+    /// (with the subset's ring size).
+    pub fn all_gather_rows_on(
+        &self,
+        name: &'static str,
+        members: &[usize],
+        blocks: &[&[f64]],
+        offsets: &[usize],
+        out: &mut [f64],
+    ) {
+        let g = members.len();
+        assert_eq!(blocks.len(), g, "one block per member");
+        assert_eq!(offsets.len(), g, "one offset per member");
         for (block, &off) in blocks.iter().zip(offsets) {
             out[off..off + block.len()].copy_from_slice(block);
         }
         let total_bytes = out.len() as f64 * 8.0;
         let modeled_s = self.link.all_gather_s(total_bytes, g);
         let per_device_bytes = self.link.all_gather_bytes(total_bytes, g);
-        for dev in &self.devices {
-            dev.collective(name, per_device_bytes, modeled_s);
-        }
+        self.charge_collective(name, members, per_device_bytes, modeled_s);
     }
 
     /// Ring all-reduce of per-device partial buffers: sums
@@ -185,6 +348,22 @@ impl DeviceGroup {
         len: usize,
         out: &mut [f64],
     ) {
+        let members = self.full_members.clone();
+        self.all_reduce_mat_on(name, &members, bufs, len, out);
+    }
+
+    /// [`DeviceGroup::all_reduce_mat`] over a survivor subset: only
+    /// `members` are charged, with the subset's ring size. The reduction
+    /// tree depends solely on `bufs.len()`, so the sum stays bitwise
+    /// identical however the group shrinks.
+    pub fn all_reduce_mat_on(
+        &self,
+        name: &'static str,
+        members: &[usize],
+        bufs: &mut [Vec<f64>],
+        len: usize,
+        out: &mut [f64],
+    ) {
         assert!(!bufs.is_empty(), "all_reduce_mat needs at least one partial buffer");
         let mut live = bufs.len();
         while live > 1 {
@@ -203,13 +382,11 @@ impl DeviceGroup {
             *o += b;
         }
 
-        let g = self.len();
+        let g = members.len();
         let bytes = len as f64 * 8.0;
         let modeled_s = self.link.all_reduce_s(bytes, g);
         let per_device_bytes = self.link.all_reduce_bytes(bytes, g);
-        for dev in &self.devices {
-            dev.collective(name, per_device_bytes, modeled_s);
-        }
+        self.charge_collective(name, members, per_device_bytes, modeled_s);
     }
 
     /// Runs `body` once on device 0 (metered there) and charges every other
@@ -224,9 +401,28 @@ impl DeviceGroup {
         cost: KernelCost,
         body: impl FnOnce() -> T,
     ) -> T {
-        let out = self.devices[0].launch(name, phase, class, cost, body);
-        for dev in &self.devices[1..] {
-            dev.launch(name, phase, class, cost, || ());
+        let members = self.full_members.clone();
+        self.replicated_on(name, &members, phase, class, cost, body)
+    }
+
+    /// [`DeviceGroup::replicated`] over a survivor subset: the body runs on
+    /// the first listed member, the rest are charged an identical launch.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn replicated_on<T>(
+        &self,
+        name: &'static str,
+        members: &[usize],
+        phase: Phase,
+        class: KernelClass,
+        cost: KernelCost,
+        body: impl FnOnce() -> T,
+    ) -> T {
+        let lead = *members.first().expect("replicated compute needs at least one member");
+        let out = self.devices[lead].launch(name, phase, class, cost, body);
+        for &d in &members[1..] {
+            self.devices[d].launch(name, phase, class, cost, || ());
         }
         out
     }
@@ -235,6 +431,7 @@ impl DeviceGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{GroupFault, LossPoint};
 
     fn group(n: usize) -> DeviceGroup {
         DeviceGroup::homogeneous(&DeviceSpec::h100(), n)
@@ -328,5 +525,112 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_groups_are_rejected() {
         DeviceGroup::new(Vec::new(), LinkModel::nvlink());
+    }
+
+    #[test]
+    fn with_faults_distributes_group_targets_to_members() {
+        let plan = FaultPlan::parse("seed=4,launch=0.5,device-loss:1@it0,straggler:2x8").unwrap();
+        let g = group(3).with_faults(&plan);
+        assert_eq!(g.device(0).fault_plan().unwrap().launch_fault_rate, 0.5);
+        assert!(g.device(0).fault_plan().unwrap().group.is_empty());
+        assert_eq!(
+            g.device(1).fault_plan().unwrap().group,
+            vec![GroupFault::DeviceLoss { device: 1, at_launch: LossPoint::Iter(0) }]
+        );
+        assert_eq!(g.device(2).slowdown(), 8.0);
+        assert_eq!(g.lost_members(), vec![1], "iter-0 loss is immediate");
+    }
+
+    #[test]
+    fn straggler_collective_trips_the_deadline_monitor() {
+        let plan = FaultPlan::parse("straggler:1x8").unwrap();
+        let g = group(3).with_faults(&plan);
+        let mk = |v: f64| vec![v, v];
+        let mut bufs = vec![mk(0.1), mk(0.2), mk(0.3)];
+        let mut out = vec![0.0; 2];
+        g.all_reduce_mat("allreduce_gram", &mut bufs, 2, &mut out);
+        // 8x > the default 4x deadline budget: member 1 trips, others not.
+        assert_eq!(g.health().deadline_trips(), vec![0, 1, 0]);
+        assert_eq!(g.health().total_deadline_trips(), 1);
+        // The straggler's collective time is stretched 8x.
+        let base = g.device(0).phase_totals(Phase::Transfer).seconds;
+        let slow = g.device(1).phase_totals(Phase::Transfer).seconds;
+        assert!((slow - 8.0 * base).abs() < 1e-15, "slow {slow} vs base {base}");
+        // The numeric result is untouched.
+        assert_eq!(out[0].to_bits(), (0.0f64 + (0.1 + (0.2 + 0.3))).to_bits());
+    }
+
+    #[test]
+    fn degraded_link_trips_only_its_endpoints() {
+        let plan = FaultPlan::parse("link-degrade:0-2x9").unwrap();
+        let g = group(3).with_faults(&plan);
+        let block = [1.0f64, 2.0];
+        let mut out = vec![0.0; 6];
+        g.all_gather_rows("allgather_factor", &[&block, &block, &block], &[0, 2, 4], &mut out);
+        assert_eq!(g.health().deadline_trips(), vec![1, 0, 1], "both endpoints of 0-2 trip");
+        let healthy = g.device(1).phase_totals(Phase::Transfer).seconds;
+        let degraded = g.device(0).phase_totals(Phase::Transfer).seconds;
+        assert!((degraded - 9.0 * healthy).abs() < 1e-15);
+    }
+
+    #[test]
+    fn below_budget_slowdown_never_trips() {
+        let plan = FaultPlan::parse("straggler:0x2").unwrap();
+        let g = group(2).with_faults(&plan);
+        let block = [1.0f64];
+        let mut out = vec![0.0; 2];
+        g.all_gather_rows("allgather_factor", &[&block, &block], &[0, 1], &mut out);
+        assert_eq!(g.health().total_deadline_trips(), 0, "2x < the 4x budget");
+    }
+
+    #[test]
+    fn custom_health_policy_tightens_the_budget() {
+        let plan = FaultPlan::parse("straggler:0x2").unwrap();
+        let policy = HealthPolicy { deadline_factor: 1.5, ..HealthPolicy::default() };
+        let g = group(2).with_faults(&plan).with_health_policy(policy);
+        let block = [1.0f64];
+        let mut out = vec![0.0; 2];
+        g.all_gather_rows("allgather_factor", &[&block, &block], &[0, 1], &mut out);
+        assert_eq!(g.health().deadline_trips(), vec![1, 0], "2x > the 1.5x budget");
+        // Trips surface as fault records on the tripping device.
+        let faults = g.device(0).faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::Straggler);
+    }
+
+    #[test]
+    fn survivor_subset_collectives_charge_only_members() {
+        let g = group(4);
+        let survivors = [0usize, 1, 3];
+        let mk = |v: f64| vec![v];
+        let mut bufs = vec![mk(1.0), mk(2.0), mk(3.0)];
+        let mut out = vec![0.0; 1];
+        g.all_reduce_mat_on("allreduce_gram", &survivors, &mut bufs, 1, &mut out);
+        assert_eq!(out[0], 6.0);
+        for d in survivors {
+            let t = g.device(d).phase_totals(Phase::Transfer);
+            assert_eq!(t.launches, 1);
+            assert!((t.bytes - 2.0 * 2.0 / 3.0 * 8.0).abs() < 1e-9, "3-member ring traffic");
+        }
+        assert_eq!(g.device(2).phase_totals(Phase::Transfer).launches, 0, "dead member idle");
+
+        let block = [7.0f64];
+        let mut gat = vec![0.0; 3];
+        g.all_gather_rows_on(
+            "allgather_factor",
+            &survivors,
+            &[&block, &block, &block],
+            &[0, 1, 2],
+            &mut gat,
+        );
+        assert_eq!(gat, vec![7.0, 7.0, 7.0]);
+        assert_eq!(g.device(2).phase_totals(Phase::Transfer).launches, 0);
+
+        let cost = KernelCost { flops: 8.0, parallel_work: 8.0, ..Default::default() };
+        let v =
+            g.replicated_on("hadamard", &survivors, Phase::Gram, KernelClass::Stream, cost, || 9);
+        assert_eq!(v, 9);
+        assert_eq!(g.device(2).phase_totals(Phase::Gram).launches, 0);
+        assert_eq!(g.device(3).phase_totals(Phase::Gram).launches, 1);
     }
 }

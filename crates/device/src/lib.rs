@@ -64,8 +64,8 @@ pub use baseline::{
 pub use cost::{kernel_time, transfer_time, KernelClass, KernelCost};
 pub use device::Device;
 pub use export::{phase_summaries, registry_from_capture, registry_from_captures};
-pub use fault::{DeviceFault, FaultKind, FaultPlan};
-pub use group::{DeviceGroup, LinkModel};
+pub use fault::{DeviceFault, FaultKind, FaultPlan, GroupFault, LossPoint};
+pub use group::{DeviceGroup, GroupHealth, HealthPolicy, LinkModel};
 pub use memstat::{device_capacity_bytes, plan_device_fit, plan_fit, DeviceFit};
 pub use profiler::{
     FaultRecord, KernelKey, KernelRecord, KernelTotals, MarkRecord, Phase, PhaseTotals, Profiler,
@@ -74,5 +74,6 @@ pub use profiler::{
 pub use roofline::{attribute, classify, BoundKind, RooflineRow};
 pub use spec::{DeviceKind, DeviceSpec};
 pub use trace::{
-    write_chrome_trace, write_full_trace, write_multi_device_trace, write_trace_events,
+    write_chrome_trace, write_full_trace, write_multi_device_full_trace, write_multi_device_trace,
+    write_trace_events,
 };

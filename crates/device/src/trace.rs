@@ -89,6 +89,24 @@ pub fn write_full_trace<W: Write>(
 pub fn write_multi_device_trace<W: Write>(
     records_per_device: &[Vec<KernelRecord>],
     spans: &[SpanRecord],
+    w: W,
+) -> std::io::Result<()> {
+    write_multi_device_full_trace(records_per_device, &[], &[], spans, w)
+}
+
+/// The elastic-run variant of [`write_multi_device_trace`]: in addition to
+/// each device's kernel and counter tracks, renders that device's profiler
+/// marks (`reshard`, `device_retired`, outer-iteration boundaries) and
+/// injected-fault records as instant events on the same per-device pid, so
+/// a chaos-sharded timeline shows *where* each device slowed, faulted,
+/// retired, and where the survivors resharded. `marks_per_device` and
+/// `faults_per_device` may be shorter than `records_per_device` (or empty);
+/// missing entries render nothing for that device.
+pub fn write_multi_device_full_trace<W: Write>(
+    records_per_device: &[Vec<KernelRecord>],
+    marks_per_device: &[Vec<MarkRecord>],
+    faults_per_device: &[Vec<FaultRecord>],
+    spans: &[SpanRecord],
     mut w: W,
 ) -> std::io::Result<()> {
     let mut events = Vec::new();
@@ -103,6 +121,12 @@ pub fn write_multi_device_trace<W: Write>(
         }));
         events.extend(complete_events_pid(records, pid));
         events.extend(counter_events_pid(records, pid));
+        if let Some(marks) = marks_per_device.get(d) {
+            events.extend(instant_events_pid(marks, pid));
+        }
+        if let Some(faults) = faults_per_device.get(d) {
+            events.extend(fault_events_pid(faults, pid));
+        }
     }
     let span_pid = records_per_device.len() as u32 + 1;
     let host_args = json!({ "name": "host" });
@@ -145,6 +169,10 @@ fn heap_counter_events(pid: u32) -> Vec<Value> {
 /// Instant events (`"ph": "i"`, process scope) for each injected device
 /// fault, named `fault_<kind>` with the faulted kernel in `args`.
 fn fault_events(faults: &[FaultRecord]) -> Vec<Value> {
+    fault_events_pid(faults, 1)
+}
+
+fn fault_events_pid(faults: &[FaultRecord], pid: u32) -> Vec<Value> {
     faults
         .iter()
         .map(|f| {
@@ -154,7 +182,7 @@ fn fault_events(faults: &[FaultRecord]) -> Vec<Value> {
                 "cat": "fault",
                 "ph": "i",
                 "ts": finite(f.modeled_s_at) * 1e6,
-                "pid": 1,
+                "pid": pid,
                 "tid": 0,
                 "s": "p",
                 "args": args,
@@ -289,6 +317,10 @@ fn key_counter_events(records: &[KernelRecord], pid: u32) -> Vec<Value> {
 
 /// Instant events (`"ph": "i"`, process scope) at each profiler mark.
 fn instant_events(marks: &[MarkRecord]) -> Vec<Value> {
+    instant_events_pid(marks, 1)
+}
+
+fn instant_events_pid(marks: &[MarkRecord], pid: u32) -> Vec<Value> {
     marks
         .iter()
         .map(|m| {
@@ -296,7 +328,7 @@ fn instant_events(marks: &[MarkRecord]) -> Vec<Value> {
                 "name": m.label,
                 "ph": "i",
                 "ts": finite(m.modeled_s_at) * 1e6,
-                "pid": 1,
+                "pid": pid,
                 "tid": 0,
                 "s": "p",
             })
@@ -581,6 +613,46 @@ mod tests {
             .map(|e| (e["args"]["name"].as_str().unwrap(), e["pid"].as_i64().unwrap()))
             .collect();
         assert_eq!(names, vec![("gpu0", 1), ("gpu1", 2), ("host", 3)]);
+    }
+
+    #[test]
+    fn elastic_multi_device_trace_pins_marks_and_faults_to_their_device() {
+        use crate::fault::FaultKind;
+        let per_device = vec![
+            vec![rec("mttkrp_shard", Phase::Mttkrp, 1e-3)],
+            vec![rec("mttkrp_shard", Phase::Mttkrp, 1e-3)],
+            vec![],
+        ];
+        let marks = vec![
+            vec![MarkRecord { label: "reshard", seq: 1, modeled_s_at: 2e-3 }],
+            vec![],
+            vec![MarkRecord { label: "device_retired", seq: 1, modeled_s_at: 1e-3 }],
+        ];
+        let faults = vec![
+            vec![],
+            vec![FaultRecord {
+                kind: FaultKind::Straggler,
+                kernel: "all_reduce",
+                op: 4,
+                modeled_s_at: 5e-4,
+            }],
+        ];
+        let mut buf = Vec::new();
+        write_multi_device_full_trace(&per_device, &marks, &faults, &[], &mut buf).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_array().unwrap();
+
+        let reshard = arr.iter().find(|e| e["name"] == "reshard").expect("reshard instant");
+        assert_eq!(reshard["ph"], "i");
+        assert_eq!(reshard["pid"], 1); // device 0 → pid 1
+        let retired = arr.iter().find(|e| e["name"] == "device_retired").expect("retire instant");
+        assert_eq!(retired["pid"], 3); // device 2 → pid 3
+        let straggle = arr.iter().find(|e| e["name"] == "fault_straggler").expect("fault instant");
+        assert_eq!(straggle["pid"], 2); // device 1 → pid 2
+        assert_eq!(straggle["cat"], "fault");
+        // Shorter faults vec than devices: device 2 simply has no fault events.
+        assert!(arr.iter().filter(|e| e["cat"] == "fault").count() == 1);
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! high bits, so each stored element is a single `u64` — one coalesced load
 //! per nonzero on the GPU.
 //!
-//! The MTTKRP kernel parallelizes over nonzero chunks and resolves output
-//! conflicts with atomic compare-and-swap adds on the output matrix —
-//! mirroring the GPU kernel's atomics (our simulated device executes the
-//! same strategy on host threads).
+//! The serial MTTKRP kernel resolves output conflicts with atomic
+//! compare-and-swap adds on the output image — mirroring the GPU kernel's
+//! `atomicAdd` (our simulated device executes the same strategy on host
+//! threads). The parallel path is owner-computes over contiguous output-row
+//! ranges: each thread scans every nonzero in linearized order but
+//! accumulates only rows it owns, which reproduces the serial kernel's
+//! per-row accumulation order exactly and keeps the result bitwise-equal to
+//! the serial path for any nonzero count or thread count.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,9 +58,8 @@ impl BlcoBlock {
     }
 }
 
-/// Private accumulation slots available per chunk for heavy output rows
-/// (the occupancy mask is a `u64`, and more slots than threads' worth of
-/// hot rows just dilutes the scratch working set).
+/// Cap on heavy rows binned per mode: more bins than a thread's worth of
+/// hot rows adds bookkeeping without sharpening the skew picture.
 const MAX_HEAVY_SLOTS: usize = 64;
 
 /// A BLCO-encoded sparse tensor.
@@ -67,10 +70,11 @@ pub struct Blco {
     total_bits: u32,
     blocks: Vec<BlcoBlock>,
     /// Per mode: `(row, slot)` pairs sorted by row — output rows with at
-    /// least [`tuning::blco_heavy_row_cutoff`] nonzeros, capped at
-    /// [`MAX_HEAVY_SLOTS`] heaviest. The parallel MTTKRP privatizes these
-    /// rows into per-chunk slots (one CAS flush per slot per chunk)
-    /// instead of per-nonzero CAS adds.
+    /// least [`tuning::blco_heavy_row_cutoff`] nonzeros, capped at the
+    /// [`MAX_HEAVY_SLOTS`] heaviest. Row-skew metadata binned at
+    /// construction: the owner-computes kernel needs no privatization (each
+    /// output row has exactly one writer), so the bins now serve
+    /// diagnostics, memory accounting, and skew-aware scheduling.
     heavy: Vec<Vec<(u32, u32)>>,
 }
 
@@ -82,10 +86,9 @@ impl Blco {
 
     /// [`Blco::from_coo`] with an explicit heavy-row cutoff (in nonzeros).
     ///
-    /// Output rows touched by at least `cutoff` nonzeros in some mode get a
-    /// private accumulator slot in the parallel kernel instead of CAS
-    /// traffic. Exposed so tests and benches can exercise the slotted path
-    /// on small tensors.
+    /// Output rows touched by at least `cutoff` nonzeros in some mode are
+    /// binned as heavy (see the `heavy` field). Exposed so tests and
+    /// benches can exercise the binning on small tensors.
     pub fn from_coo_with_cutoff(x: &SparseTensor, cutoff: usize) -> Self {
         let nmodes = x.nmodes();
         // Mode-major concatenation: mode 0 occupies the highest bits.
@@ -221,18 +224,19 @@ impl Blco {
 
     /// [`Blco::mttkrp`] into a caller-owned output.
     ///
-    /// The accumulation image is a flat array of `AtomicU64`-encoded `f64`s
-    /// owned by the workspace, CAS-added exactly as the CUDA kernel uses
-    /// `atomicAdd` on global memory — but the parallel path first drains
-    /// contention locally: consecutive nonzeros that share an output row
-    /// (guaranteed for the leading mode by the sort order) accumulate into
-    /// a run register flushed once per run, and rows binned heavy at
-    /// construction accumulate into private per-chunk slots flushed once
-    /// per chunk. Blocks below the parallel chunk floor run the plain
-    /// per-nonzero serial kernel, whose element-order CAS sequence is the
-    /// deterministic path the sharded-equivalence guarantee relies on. All
-    /// scratch comes from the workspace, so steady-state calls perform no
-    /// heap allocation.
+    /// Tensors at or below [`tuning::blco_chunk_floor`] nonzeros take the
+    /// serial path ([`Blco::mttkrp_serial_into`]): per-nonzero CAS adds on
+    /// an atomic image, exactly as the CUDA kernel uses `atomicAdd` on
+    /// global memory. Larger tensors go owner-computes: each Rayon task
+    /// owns a contiguous range of output rows and scans every nonzero in
+    /// linearized order, accumulating only its own rows directly into
+    /// `out`. Per row that is the same add sequence from `+0.0` the serial
+    /// CAS path performs (uncontended CAS is an exact add, zero adds are
+    /// absorbed identically), so the parallel result is **bitwise-equal to
+    /// the serial path for any nonzero or thread count** — the
+    /// sharded-equivalence guarantee cannot be broken by a shard landing on
+    /// the other side of the parallelism cutoff. All scratch comes from the
+    /// workspace, so steady-state calls perform no heap allocation.
     ///
     /// # Panics
     /// Panics if `factors`/`mode`/`out` shapes disagree with the tensor.
@@ -250,111 +254,76 @@ impl Blco {
         let rows = self.shape[mode];
         assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_mode x R");
 
-        let heavy = &self.heavy[mode];
-        // Per-chunk scratch: one Hadamard row, one run accumulator, and one
-        // private row per heavy slot.
-        let width = (2 + heavy.len()) * rank;
-        // One scratch strip per concurrent chunk, across the widest block.
-        let max_chunks = self
-            .blocks
-            .iter()
-            .map(|b| b.len().div_ceil(par_chunk_len(b.len()).max(1)).max(1))
-            .max()
-            .unwrap_or(1);
-        let (image, scratch) = ws.atomics_and_rows(rows * rank, max_chunks, width);
-
-        for block in &self.blocks {
-            let base = block.base;
-            // Serial kernel: per-nonzero CAS adds in element order.
-            let kernel = |idx: &[u64], vals: &[f64], row: &mut [f64]| {
-                for (&low, &v) in idx.iter().zip(vals) {
-                    row.fill(v);
-                    for (m, f) in factors.iter().enumerate() {
-                        if m == mode {
-                            continue;
-                        }
-                        let c = self.extract(base, low, m);
-                        simd::mul_assign(row, f.row(c));
-                    }
-                    let i = self.extract(base, low, mode);
-                    let target = &image[i * rank..(i + 1) * rank];
-                    for (slot, &r) in target.iter().zip(row.iter()) {
-                        atomic_add_f64(slot, r);
-                    }
-                }
-            };
-            // Parallel chunk kernel: run-coalesced and slot-privatized.
-            let par_kernel = |idx: &[u64], vals: &[f64], scratch: &mut [f64]| {
-                let (row, rest) = scratch.split_at_mut(rank);
-                let (run, slots) = rest.split_at_mut(rank);
-                let flush = |i: usize, acc: &[f64]| {
-                    let target = &image[i * rank..(i + 1) * rank];
-                    for (slot, &r) in target.iter().zip(acc) {
-                        atomic_add_f64(slot, r);
-                    }
-                };
-                let mut occupied = 0u64;
-                let mut run_i = usize::MAX;
-                for (&low, &v) in idx.iter().zip(vals) {
-                    row.fill(v);
-                    for (m, f) in factors.iter().enumerate() {
-                        if m == mode {
-                            continue;
-                        }
-                        let c = self.extract(base, low, m);
-                        simd::mul_assign(row, f.row(c));
-                    }
-                    let i = self.extract(base, low, mode);
-                    if let Ok(h) = heavy.binary_search_by_key(&(i as u32), |&(r, _)| r) {
-                        let s = heavy[h].1 as usize;
-                        simd::add_assign(&mut slots[s * rank..(s + 1) * rank], row);
-                        occupied |= 1 << s;
-                    } else if i == run_i {
-                        simd::add_assign(run, row);
-                    } else {
-                        if run_i != usize::MAX {
-                            flush(run_i, run);
-                        }
-                        run.copy_from_slice(row);
-                        run_i = i;
-                    }
-                }
-                if run_i != usize::MAX {
-                    flush(run_i, run);
-                }
-                for &(r, s) in heavy {
-                    if occupied & (1 << s) != 0 {
-                        let srow = &mut slots[s as usize * rank..(s as usize + 1) * rank];
-                        flush(r as usize, srow);
-                        // Leave the slot clean for the next block's chunks.
-                        srow.fill(0.0);
-                    }
-                }
-            };
-            let chunk = par_chunk_len(block.len());
-            if block.len() <= chunk {
-                // Serial path: one chunk, no Rayon involvement.
-                kernel(&block.idx, &block.vals, &mut scratch[..rank]);
-            } else {
-                block
-                    .idx
-                    .par_chunks(chunk)
-                    .zip(block.vals.par_chunks(chunk))
-                    .zip(scratch.par_chunks_mut(width.max(1)))
-                    .for_each(|((idx, vals), strip)| par_kernel(idx, vals, strip));
-            }
+        if self.nnz() <= tuning::blco_chunk_floor() || rank == 0 || rows == 0 {
+            self.mttkrp_serial_into(factors, mode, out, ws);
+            return;
         }
 
-        let out_s = out.as_mut_slice();
-        if out_s.len() >= tuning::par_elems() {
-            out_s
-                .par_iter_mut()
-                .zip(image.par_iter())
-                .for_each(|(o, a)| *o = f64::from_bits(a.load(Ordering::Relaxed)));
-        } else {
-            for (o, a) in out_s.iter_mut().zip(image) {
-                *o = f64::from_bits(a.load(Ordering::Relaxed));
+        let ntasks = rayon::current_num_threads().max(1).min(rows);
+        let rows_per = rows.div_ceil(ntasks).max(1);
+        let row_scratch = ws.rows(ntasks, rank);
+        out.as_mut_slice().fill(0.0);
+        out.as_mut_slice()
+            .par_chunks_mut(rows_per * rank)
+            .zip(row_scratch.par_chunks_mut(rank))
+            .enumerate()
+            .for_each(|(t, (owned, row))| {
+                let r0 = t * rows_per;
+                let r1 = r0 + owned.len() / rank;
+                for block in &self.blocks {
+                    let base = block.base;
+                    for (&low, &v) in block.idx.iter().zip(&block.vals) {
+                        let i = self.extract(base, low, mode);
+                        if i < r0 || i >= r1 {
+                            continue;
+                        }
+                        row.fill(v);
+                        for (m, f) in factors.iter().enumerate() {
+                            if m == mode {
+                                continue;
+                            }
+                            simd::mul_assign(row, f.row(self.extract(base, low, m)));
+                        }
+                        simd::add_assign(&mut owned[(i - r0) * rank..(i - r0 + 1) * rank], row);
+                    }
+                }
+            });
+    }
+
+    /// Serial MTTKRP: per-nonzero CAS adds on the atomic image in
+    /// linearized element order — the literal host-side transcription of
+    /// the GPU kernel's `atomicAdd` loop, and the accumulation order the
+    /// parallel path reproduces bitwise.
+    fn mttkrp_serial_into(
+        &self,
+        factors: &[Mat],
+        mode: usize,
+        out: &mut Mat,
+        ws: &mut MttkrpWorkspace,
+    ) {
+        let rank = factors[mode].cols();
+        let rows = self.shape[mode];
+        let (image, scratch) = ws.atomics_and_rows(rows * rank, 1, rank);
+        let row = &mut scratch[..rank];
+        for block in &self.blocks {
+            let base = block.base;
+            for (&low, &v) in block.idx.iter().zip(&block.vals) {
+                row.fill(v);
+                for (m, f) in factors.iter().enumerate() {
+                    if m == mode {
+                        continue;
+                    }
+                    simd::mul_assign(row, f.row(self.extract(base, low, m)));
+                }
+                let i = self.extract(base, low, mode);
+                let target = &image[i * rank..(i + 1) * rank];
+                for (slot, &r) in target.iter().zip(row.iter()) {
+                    atomic_add_f64(slot, r);
+                }
             }
+        }
+        for (o, a) in out.as_mut_slice().iter_mut().zip(image) {
+            *o = f64::from_bits(a.load(Ordering::Relaxed));
         }
     }
 
@@ -382,12 +351,6 @@ impl cstf_telemetry::MemoryFootprint for Blco {
         fp.add("heavy", cstf_telemetry::nested_vec_heap_bytes(&self.heavy));
         fp
     }
-}
-
-/// Parallel chunk length for a block of `len` nonzeros: at least the tuned
-/// chunk floor, targeting ~4 chunks per thread above it.
-fn par_chunk_len(len: usize) -> usize {
-    tuning::blco_chunk_floor().max(len.div_ceil(4 * rayon::current_num_threads().max(1)))
 }
 
 /// Lock-free `f64` add via CAS on the bit pattern — the host-side analogue
@@ -575,9 +538,9 @@ mod tests {
     }
 
     #[test]
-    fn mttkrp_with_heavy_slots_matches_reference_all_modes() {
+    fn mttkrp_on_heavy_binned_tensor_matches_reference_all_modes() {
         // Enough nonzeros to clear the parallel chunk floor, concentrated
-        // on few rows so every mode has heavy bins.
+        // on few rows so every mode has heavy bins (extreme row skew).
         let x = random_tensor(&[8, 50, 40], 20_000, 5);
         let blco = Blco::from_coo_with_cutoff(&x, 4);
         assert!(blco.heavy.iter().all(|h| !h.is_empty()), "expected heavy bins in every mode");
@@ -588,14 +551,35 @@ mod tests {
     }
 
     #[test]
-    fn slot_cap_overflow_mixes_slotted_and_cas_rows() {
-        // 200 rows above the cutoff but only MAX_HEAVY_SLOTS slots: the
-        // overflow rows must still accumulate correctly via the CAS path.
+    fn slot_cap_overflow_still_accumulates_correctly() {
+        // 200 rows above the cutoff but only MAX_HEAVY_SLOTS bins: binning
+        // saturates while accumulation must stay exact.
         let x = random_tensor(&[200, 30, 20], 20_000, 6);
         let blco = Blco::from_coo_with_cutoff(&x, 4);
         assert_eq!(blco.heavy[0].len(), MAX_HEAVY_SLOTS);
         let f = factors_for(x.shape(), 5);
         assert_mttkrp_close(&blco.mttkrp(&f, 0), &mttkrp_ref(&x, &f, 0), 1e-9);
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical_to_serial() {
+        // 12k nonzeros is far above the chunk floor, so `mttkrp` takes the
+        // owner-computes path. It must match the serial CAS path bit for
+        // bit — the invariant sharded execution relies on, since a shard
+        // can land on either side of the parallelism cutoff.
+        let x = random_tensor(&[40, 60, 25], 12_000, 8);
+        let f = factors_for(x.shape(), 8);
+        let blco = Blco::from_coo(&x);
+        let mut ws = MttkrpWorkspace::new();
+        for mode in 0..3 {
+            let par = blco.mttkrp(&f, mode);
+            let mut ser = Mat::zeros(x.shape()[mode], 8);
+            blco.mttkrp_serial_into(&f, mode, &mut ser, &mut ws);
+            assert!(
+                par.as_slice().iter().zip(ser.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "mode {mode}: parallel and serial BLCO MTTKRP must be bitwise equal"
+            );
+        }
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! [`mttkrp_ref`] is the gold standard every compressed format is tested
 //! against: a direct, serial transcription of the sparse MTTKRP definition
-//! (paper Fig. 2). [`mttkrp_coo_parallel`] is the naive parallel baseline —
-//! nonzeros are chunked across threads and per-thread partial outputs are
-//! reduced, mirroring the privatization strategy CPU MTTKRP codes use.
+//! (paper Fig. 2). [`mttkrp_coo_parallel`] is the parallel baseline: an
+//! owner-computes row partition in which every thread scans all nonzeros
+//! but accumulates only its own contiguous slice of output rows, keeping
+//! each row's accumulation order identical to the serial reference so the
+//! parallel result is bitwise-equal to [`mttkrp_ref`].
 
 use rayon::prelude::*;
 
@@ -58,7 +60,7 @@ pub fn mttkrp_ref_into(
     }
 }
 
-/// Parallel COO MTTKRP with per-thread output privatization.
+/// Parallel COO MTTKRP with owner-computes row partitioning.
 ///
 /// Allocating wrapper over [`mttkrp_coo_parallel_into`].
 pub fn mttkrp_coo_parallel(x: &SparseTensor, factors: &[Mat], mode: usize) -> Mat {
@@ -70,12 +72,17 @@ pub fn mttkrp_coo_parallel(x: &SparseTensor, factors: &[Mat], mode: usize) -> Ma
 
 /// Parallel COO MTTKRP into a caller-owned output.
 ///
-/// Each Rayon task accumulates into its own `I x R` buffer from the
-/// workspace; buffers are combined with a pairwise parallel tree reduction
-/// (`O(log chunks)` depth instead of the serial `O(chunks x I x R)` sweep).
-/// This trades memory (`threads x I x R`) for atomic-free accumulation —
-/// the standard CPU strategy and the baseline the compressed formats
-/// improve on. Steady-state calls with stable shapes do not allocate.
+/// Owner-computes: each Rayon task owns a contiguous range of output rows
+/// and scans every nonzero, computing the Khatri-Rao row product only for
+/// the rows it owns. Per output row the accumulation is a left fold in
+/// storage order directly into `out` — exactly the serial reference's fold
+/// — so the parallel result is **bitwise-identical to [`mttkrp_ref_into`]
+/// for any nonzero count**. That identity is what makes nnz-balanced
+/// sharding bitwise-neutral: an order-preserving row filter cannot change
+/// any row's fold, regardless of which side of the parallelism cutoff the
+/// shard lands on. The scan costs each task one index load per nonzero;
+/// the `O(M x R)` product work is done once per nonzero overall.
+/// Steady-state calls with stable shapes do not allocate.
 ///
 /// # Panics
 /// Panics if `factors`/`mode`/`out` shapes disagree with the tensor.
@@ -93,37 +100,39 @@ pub fn mttkrp_coo_parallel_into(
     let rows = x.dim(mode);
     assert_eq!((out.rows(), out.cols()), (rows, rank), "output must be I_mode x R");
     let nnz = x.nnz();
-    if nnz < tuning::coo_nnz_cutoff() {
+    if nnz < tuning::coo_nnz_cutoff() || rank == 0 || rows == 0 {
         mttkrp_ref_into(x, factors, mode, out, ws);
         return;
     }
 
-    let nchunks = rayon::current_num_threads().max(1);
-    let chunk = nnz.div_ceil(nchunks).max(1);
-    let kernel = |local: &mut [f64], row: &mut [f64], start: usize, end: usize| {
-        for k in start..end {
-            row.fill(x.values()[k]);
-            for (m, f) in factors.iter().enumerate() {
-                if m == mode {
-                    continue;
-                }
-                simd::mul_assign(row, f.row(x.mode_indices(m)[k] as usize));
-            }
-            let i = x.mode_indices(mode)[k] as usize;
-            simd::add_assign(&mut local[i * rank..(i + 1) * rank], row);
-        }
-    };
+    let ntasks = rayon::current_num_threads().max(1).min(rows);
+    let rows_per = rows.div_ceil(ntasks).max(1);
+    let mode_idx = x.mode_indices(mode);
 
     out.as_mut_slice().fill(0.0);
-    let (bufs, rows_scratch, _) = ws.chunk_scratch(nchunks, rows * rank, 0, rank);
-    bufs.par_iter_mut().zip(rows_scratch.par_chunks_mut(rank.max(1))).enumerate().for_each(
-        |(t, (local, row))| {
-            let start = (t * chunk).min(nnz);
-            let end = ((t + 1) * chunk).min(nnz);
-            kernel(&mut local[..rows * rank], row, start, end);
-        },
-    );
-    ws.partials.reduce_into(nchunks, rows * rank, out.as_mut_slice());
+    let row_scratch = ws.rows(ntasks, rank);
+    out.as_mut_slice()
+        .par_chunks_mut(rows_per * rank)
+        .zip(row_scratch.par_chunks_mut(rank))
+        .enumerate()
+        .for_each(|(t, (block, row))| {
+            let r0 = t * rows_per;
+            let r1 = r0 + block.len() / rank;
+            for (k, &mi) in mode_idx.iter().enumerate() {
+                let i = mi as usize;
+                if i < r0 || i >= r1 {
+                    continue;
+                }
+                row.fill(x.values()[k]);
+                for (m, f) in factors.iter().enumerate() {
+                    if m == mode {
+                        continue;
+                    }
+                    simd::mul_assign(row, f.row(x.mode_indices(m)[k] as usize));
+                }
+                simd::add_assign(&mut block[(i - r0) * rank..(i - r0 + 1) * rank], row);
+            }
+        });
 }
 
 /// Asserts two MTTKRP outputs agree to a relative tolerance (test helper,
@@ -221,6 +230,25 @@ mod tests {
                 &mttkrp_ref(&x, &f, mode),
                 &mttkrp_coo_parallel(&x, &f, mode),
                 1e-10,
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical_to_reference() {
+        // 20k nonzeros clears the COO parallelism cutoff, so this pins the
+        // owner-computes path against the serial reference bit for bit —
+        // the invariant that keeps nnz-balanced sharding bitwise-neutral
+        // whichever side of the cutoff a shard lands on.
+        let shape = [40, 25, 30];
+        let x = random_tensor(&shape, 20_000, 11);
+        let f = factors_for(&shape, 8);
+        for mode in 0..3 {
+            let a = mttkrp_ref(&x, &f, mode);
+            let b = mttkrp_coo_parallel(&x, &f, mode);
+            assert!(
+                a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "mode {mode}: parallel COO MTTKRP must be bitwise equal to the reference"
             );
         }
     }

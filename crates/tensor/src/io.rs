@@ -92,6 +92,14 @@ pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, TnsError> {
                     message: "coordinates are 1-based; found 0".into(),
                 });
             }
+            // Coordinates are stored as u32; a silent `as` cast here would
+            // wrap huge indices onto other rows instead of failing.
+            if c - 1 > u64::from(u32::MAX) {
+                return Err(TnsError::Parse {
+                    line: lineno,
+                    message: format!("coordinate {c} exceeds the supported maximum {}", u32::MAX),
+                });
+            }
             indices[m].push((c - 1) as u32);
         }
         let v: f64 = toks[nmodes].parse().map_err(|_| TnsError::Parse {
@@ -112,7 +120,8 @@ pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, TnsError> {
     }
     let shape: Vec<usize> =
         indices.iter().map(|idx| idx.iter().copied().max().unwrap_or(0) as usize + 1).collect();
-    Ok(SparseTensor::new(shape, indices, values))
+    SparseTensor::try_new(shape, indices, values)
+        .map_err(|message| TnsError::Parse { line: lineno, message })
 }
 
 /// Reads a `.tns` tensor from a file path.

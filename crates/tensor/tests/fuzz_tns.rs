@@ -1,0 +1,137 @@
+//! Fuzz-hardening for the FROSTT `.tns` reader: arbitrary and adversarial
+//! byte streams must produce a typed [`TnsError`] or a valid tensor —
+//! never a panic, never a silently-truncated coordinate.
+
+use cstf_tensor::{read_tns, TnsError};
+use proptest::prelude::*;
+
+/// One adversarial line class per variant; `render` produces the text.
+#[derive(Debug, Clone)]
+enum BadLine {
+    Valid { coords: Vec<u64>, val: i64 },
+    Truncated { tok: u64 },
+    HugeIndex { mode_count: usize, huge: u64 },
+    ExponentOverflow { coords: Vec<u64>, exp: u32 },
+    NulBytes { coords: Vec<u64> },
+    MixedArity { coords: Vec<u64> },
+    Garbage { seeds: Vec<u64> },
+}
+
+fn bad_line_strategy() -> impl Strategy<Value = BadLine> {
+    let coords = || proptest::collection::vec(1u64..50, 3usize..4);
+    prop_oneof![
+        (coords(), -100i64..100).prop_map(|(coords, val)| BadLine::Valid { coords, val }),
+        (1u64..1000).prop_map(|tok| BadLine::Truncated { tok }),
+        (1usize..4, (u32::MAX as u64 + 2)..u64::MAX)
+            .prop_map(|(mode_count, huge)| BadLine::HugeIndex { mode_count, huge }),
+        (coords(), 400u32..4000)
+            .prop_map(|(coords, exp)| BadLine::ExponentOverflow { coords, exp }),
+        coords().prop_map(|coords| BadLine::NulBytes { coords }),
+        coords().prop_map(|coords| BadLine::MixedArity { coords }),
+        proptest::collection::vec(any::<u64>(), 0usize..11)
+            .prop_map(|seeds| BadLine::Garbage { seeds }),
+    ]
+}
+
+fn render(line: &BadLine) -> String {
+    let join = |cs: &[u64]| cs.iter().map(u64::to_string).collect::<Vec<_>>().join(" ");
+    match line {
+        BadLine::Valid { coords, val } => format!("{} {}.5", join(coords), val),
+        BadLine::Truncated { tok } => format!("{tok}"),
+        BadLine::HugeIndex { mode_count, huge } => {
+            let mut cs = vec![1u64; *mode_count];
+            cs[0] = *huge;
+            format!("{} 1.0", join(&cs))
+        }
+        BadLine::ExponentOverflow { coords, exp } => format!("{} 1e{exp}", join(coords)),
+        BadLine::NulBytes { coords } => format!("{} 1.\u{0}5", join(coords)),
+        BadLine::MixedArity { coords } => format!("{} 7 1.0", join(coords)),
+        // Printable ASCII noise derived from the seeds (space..tilde).
+        BadLine::Garbage { seeds } => {
+            seeds.iter().map(|&s| char::from(b' ' + (s % 95) as u8)).collect()
+        }
+    }
+}
+
+/// True when this line, in a 3-coordinate file, must force a typed error.
+fn must_fail(line: &BadLine) -> bool {
+    match line {
+        BadLine::Valid { .. } => false,
+        BadLine::Truncated { .. } => true,
+        // Either the arity differs from the established 3 coordinates, or
+        // it matches and the first index overflows u32 — both are errors.
+        BadLine::HugeIndex { .. } => true,
+        // 1e400+ parses to +inf, which the reader rejects as non-finite.
+        BadLine::ExponentOverflow { .. } => true,
+        BadLine::NulBytes { .. } => true,
+        // 4 tokens of coordinates against 3-coordinate lines elsewhere.
+        BadLine::MixedArity { .. } => true,
+        BadLine::Garbage { .. } => false, // may happen to parse; checked below
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the reader returns `Ok` or a typed `TnsError`,
+    /// and never panics (a panic fails the proptest run itself).
+    #[test]
+    fn arbitrary_bytes_never_panic(words in proptest::collection::vec(any::<u64>(), 0usize..50)) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        match read_tns(bytes.as_slice()) {
+            Ok(t) => prop_assert!(t.nnz() > 0, "Ok implies at least one nonzero"),
+            Err(TnsError::Io(_) | TnsError::Parse { .. } | TnsError::Empty) => {}
+        }
+    }
+
+    /// Structured adversarial files: any file containing a malformed line
+    /// errs with a typed `TnsError`; a file of only valid lines parses, and
+    /// every parsed coordinate survives exactly (no u32 wrap-around).
+    #[test]
+    fn malformed_lines_give_typed_errors(
+        lines in proptest::collection::vec(bad_line_strategy(), 1usize..12),
+        lead_valid in proptest::collection::vec(
+            (proptest::collection::vec(1u64..50, 3usize..4), -100i64..100), 1usize..4),
+    ) {
+        // Lead with well-formed 3-coordinate lines so arity is established.
+        let mut text = String::new();
+        for (coords, val) in &lead_valid {
+            text.push_str(&render(&BadLine::Valid { coords: coords.clone(), val: *val }));
+            text.push('\n');
+        }
+        for line in &lines {
+            text.push_str(&render(line));
+            text.push('\n');
+        }
+        let result = read_tns(text.as_bytes());
+        if lines.iter().any(must_fail) {
+            let err = result.expect_err("malformed line must be rejected");
+            prop_assert!(
+                matches!(err, TnsError::Parse { .. }),
+                "malformed content maps to TnsError::Parse, got {err:?}"
+            );
+        } else if let Ok(t) = result {
+            // Whatever parsed must be in-bounds: try_new enforced it.
+            for m in 0..t.nmodes() {
+                let dim = t.shape()[m] as u32;
+                prop_assert!(t.mode_indices(m).iter().all(|&c| c < dim));
+            }
+        }
+    }
+
+    /// A coordinate just past u32::MAX + 1 is rejected, not wrapped onto
+    /// row `c mod 2^32` — the truncation bug this suite was written for.
+    #[test]
+    fn huge_coordinates_are_rejected_not_wrapped(extra in 1u64..1_000_000) {
+        let c = u32::MAX as u64 + 1 + extra;
+        let text = format!("{c} 1 1 1.0\n");
+        let err = read_tns(text.as_bytes()).expect_err("overflowing coordinate");
+        match err {
+            TnsError::Parse { line, message } => {
+                prop_assert_eq!(line, 1);
+                prop_assert!(message.contains("exceeds"), "{}", message);
+            }
+            other => return Err(TestCaseError::fail(format!("expected Parse, got {other:?}"))),
+        }
+    }
+}

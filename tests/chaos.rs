@@ -168,6 +168,45 @@ fn corrupt_newest_snapshot_falls_back_and_stays_exact() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+mod byte_flip {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Contract 4b, generalized: flipping *any single bit of any byte*
+        /// of the newest snapshot — payload, checksum line, header,
+        /// trailing newline — makes the loader skip it (with a warning on
+        /// stderr) and fall back to the previous valid snapshot, and the
+        /// resumed run still lands bitwise-exactly on the uninterrupted
+        /// one. The FNV-1a checksum covers every payload byte, so no flip
+        /// can smuggle a silently-different state through a resume.
+        #[test]
+        fn any_byte_flip_falls_back_to_previous_snapshot(
+            pos_seed in any::<u64>(),
+            bit in 0u32..8,
+        ) {
+            let dir = tmpdir(&format!("byteflip-{pos_seed:x}-{bit}"));
+            let ckpt = CheckpointConfig::new(&dir, 2);
+            run_checkpointed(4, &ckpt, false, None).expect("interrupted leg");
+
+            let newest = dir.join("ckpt-00000004.cstf");
+            let mut bytes = std::fs::read(&newest).expect("newest snapshot exists");
+            prop_assert!(!bytes.is_empty());
+            let pos = (pos_seed as usize) % bytes.len();
+            bytes[pos] ^= 1u8 << bit;
+            std::fs::write(&newest, &bytes).unwrap();
+
+            let resumed = run_checkpointed(8, &ckpt, true, None)
+                .expect("resume must skip the corrupt snapshot, not fail");
+            let uninterrupted = run(8, None).expect("uninterrupted run");
+            assert_bitwise_equal(&uninterrupted, &resumed, "byte-flip fallback");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// Contract 4c: fault injection and checkpoint/resume compose — a
 /// faulted interrupted leg plus a faulted resumed leg still lands
 /// bitwise-exactly on the fault-free uninterrupted run.

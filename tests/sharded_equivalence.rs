@@ -8,7 +8,7 @@
 //! This is the CI gate for the exactness argument of DESIGN.md §11.
 
 use cstf_core::{Auntf, AuntfConfig, CheckpointConfig, FactorizeOutput, TensorFormat};
-use cstf_device::{Device, DeviceGroup, DeviceSpec};
+use cstf_device::{Device, DeviceGroup, DeviceSpec, FaultPlan};
 use cstf_tensor::SparseTensor;
 use proptest::prelude::*;
 
@@ -130,6 +130,96 @@ mod checkpoint_interop {
         let resumed = auntf.factorize_sharded_checkpointed(&group, &ck, true).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
         assert_bitwise(&uninterrupted, &resumed)?;
+        }
+    }
+}
+
+mod elasticity {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Losing device `lose` at outer iteration `at` is bitwise-identical
+        /// to a clean run on the surviving group resumed from the state
+        /// committed at iteration `at` — and, transitively, to the
+        /// uninterrupted single-device run. Every format, g in {2, 3, 4}.
+        #[test]
+        fn device_loss_equals_clean_survivor_resume(
+            x in tensor_strategy(),
+            format in format_strategy(),
+            rank in 1usize..4,
+            seed in any::<u64>(),
+            gidx in 0usize..3,
+            lose in 0usize..4,
+            at in 1usize..4,
+        ) {
+            let gsize = [2usize, 3, 4][gidx];
+            let lose = lose % gsize;
+            let cfg = AuntfConfig { rank, max_iters: 4, seed, format, ..Default::default() };
+            let auntf = Auntf::new(x.clone(), cfg.clone());
+
+            // The chaos run: the full group loses member `lose` at `at`.
+            let plan = FaultPlan::parse(&format!("device-loss:{lose}@it{at}")).unwrap();
+            let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), gsize).with_faults(&plan);
+            let lossy = auntf.factorize_sharded(&group).unwrap();
+            prop_assert!(lossy.elasticity.loss_detections >= 1);
+            prop_assert_eq!(lossy.elasticity.reshards, 1);
+            prop_assert_eq!(lossy.elasticity.retired.len(), 1);
+            prop_assert_eq!(lossy.elasticity.retired[0].device, lose);
+            prop_assert_eq!(lossy.elasticity.retired[0].iteration, at);
+
+            // The clean reference: `at` iterations on a healthy group of the
+            // same size, then resume on the surviving group of g-1 devices
+            // from that committed state.
+            let dir = std::env::temp_dir().join(format!(
+                "cstf-elastic-prop-{}-{seed:x}-{gsize}-{lose}-{at}-{format:?}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let short = Auntf::new(x.clone(), AuntfConfig { max_iters: at, ..cfg.clone() });
+            let ck = CheckpointConfig::new(&dir, 1);
+            let clean_full = DeviceGroup::homogeneous(&DeviceSpec::h100(), gsize);
+            short.factorize_sharded_checkpointed(&clean_full, &ck, false).unwrap();
+            let survivors = DeviceGroup::homogeneous(&DeviceSpec::h100(), gsize - 1);
+            let resumed = auntf.factorize_sharded_checkpointed(&survivors, &ck, true).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_bitwise(&lossy, &resumed)?;
+
+            let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+            assert_bitwise(&single, &lossy)?;
+        }
+
+        /// Stragglers and degraded links change modeled time only: the run
+        /// stays bitwise-identical to fault-free and the deadline monitor
+        /// trips at the configured budget.
+        #[test]
+        fn stragglers_and_degraded_links_are_bitwise_neutral(
+            x in tensor_strategy(),
+            format in format_strategy(),
+            rank in 1usize..4,
+            seed in any::<u64>(),
+            gidx in 0usize..3,
+            slow in 5u32..12,
+        ) {
+            let gsize = [2usize, 3, 4][gidx];
+            let cfg = AuntfConfig { rank, max_iters: 3, seed, format, ..Default::default() };
+            let auntf = Auntf::new(x, cfg);
+            let single = auntf.factorize(&Device::new(DeviceSpec::h100())).unwrap();
+
+            let plan = FaultPlan::parse(
+                &format!("straggler:0x{slow},link-degrade:0-1x{slow}")
+            ).unwrap();
+            let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), gsize).with_faults(&plan);
+            let out = auntf.factorize_sharded(&group).unwrap();
+            assert_bitwise(&single, &out)?;
+            prop_assert!(out.recovery.is_clean());
+            prop_assert!(out.elasticity.retired.is_empty());
+            prop_assert_eq!(out.elasticity.reshards, 0);
+            prop_assert!(
+                out.elasticity.total_deadline_trips() > 0,
+                "a {}x slowdown must trip the default 4x budget", slow
+            );
         }
     }
 }

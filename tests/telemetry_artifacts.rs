@@ -170,6 +170,55 @@ fn injected_faults_round_trip_through_the_artifacts() {
 }
 
 #[test]
+fn sharded_chaos_run_exports_device_labeled_fault_and_group_counters() {
+    let dir = telemetry_dir("group_counters");
+    let d = dir.to_str().unwrap().to_string();
+    cli(&[
+        "factorize",
+        "--dataset",
+        "Uber",
+        "--nnz",
+        "2000",
+        "--rank",
+        "3",
+        "--iters",
+        "4",
+        "--gpus",
+        "3",
+        "--faults",
+        "device-loss:2@it2,straggler:1x9",
+        "--telemetry",
+        &d,
+    ]);
+
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom written");
+    let samples = parse_prometheus(&prom).expect("exposition format parses");
+    let labeled = |name: &str, label: &str| {
+        let want = format!("device=\"{label}\"");
+        samples.iter().find(|s| s.name == name && s.labels.contains(&want)).map(|s| s.value)
+    };
+    let value = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
+
+    // Per-kind fault counters carry the faulting member's device label.
+    // The loss is persistent, so it fires once per retry attempt.
+    assert!(value("cstf_faults_injected_total").unwrap_or(0.0) > 0.0, "{prom}");
+    assert!(labeled("cstf_fault_device_loss_total", "2").unwrap_or(0.0) >= 1.0, "{prom}");
+    assert!(labeled("cstf_fault_straggler_total", "1").unwrap_or(0.0) > 0.0, "{prom}");
+    assert_eq!(labeled("cstf_fault_straggler_total", "0"), None, "healthy member unlabeled");
+
+    // The elastic driver's own counters: detection -> retries -> reshard,
+    // with retirement attributed to the lost member.
+    assert!(value("cstf_group_loss_detections_total").unwrap_or(0.0) >= 1.0, "{prom}");
+    assert!(value("cstf_group_loss_retries_total").unwrap_or(0.0) >= 1.0, "{prom}");
+    assert_eq!(value("cstf_group_reshards_total"), Some(1.0), "{prom}");
+    assert_eq!(labeled("cstf_group_devices_retired_total", "2"), Some(1.0), "{prom}");
+    assert_eq!(labeled("cstf_group_retire_iteration", "2"), Some(2.0), "{prom}");
+    assert!(labeled("cstf_group_deadline_trips_total", "1").unwrap_or(0.0) > 0.0, "{prom}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn report_renders_and_emits_regression_line() {
     let dir = telemetry_dir("report");
     let d = dir.to_str().unwrap().to_string();

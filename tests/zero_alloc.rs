@@ -92,11 +92,11 @@ fn allocs_for(max_iters: usize, format: TensorFormat, admm: AdmmConfig) -> usize
     after - before
 }
 
-/// The fiber-binned CSF schedule and the slotted BLCO kernel are built
+/// The fiber-binned CSF schedule and BLCO's heavy-row bins are built
 /// once at format-construction time: repeated `mttkrp_into` calls on a
 /// warm workspace must not allocate, even when a tiny cutoff forces the
-/// segmented / heavy-slot code paths that the default thresholds would
-/// leave dormant on this small tensor.
+/// segmented schedule and saturated row bins that the default thresholds
+/// would leave dormant on this small tensor.
 #[test]
 fn binned_mttkrp_steady_state_allocates_nothing() {
     use cstf_formats::{Blco, Csf, MttkrpWorkspace};
@@ -111,8 +111,8 @@ fn binned_mttkrp_steady_state_allocates_nothing() {
         .collect();
 
     // Cutoff of 4 nnz: most root slices of the 300-nnz tensor are heavy,
-    // so the schedule contains per-child segments, and most BLCO rows get
-    // private slots (capped at the slot budget).
+    // so the schedule contains per-child segments, and most BLCO rows are
+    // binned heavy (capped at the bin budget).
     let csf = Csf::from_coo_with_cutoff(&x, 0, 4);
     let blco = Blco::from_coo_with_cutoff(&x, 4);
     let mut out = Mat::zeros(x.shape()[0], rank);
