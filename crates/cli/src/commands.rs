@@ -141,6 +141,16 @@ pub fn help_text() -> String {
        --nvlink GBS         interconnect bandwidth in GB/s     (default 300)\n\
                             factors are bitwise-identical to --gpus 1\n\
      \n\
+     OUT-OF-CORE (factorize, single device):\n\
+       --tiles K            stream the tensor through the device in K\n\
+                            nnz-balanced tiles per mode (default 1 = in-core);\n\
+                            factors are bitwise-identical to --tiles 1; with\n\
+                            --input the .tns is read tile-by-tile so the host\n\
+                            never materialises the full tensor\n\
+       --memory-budget B    pick the smallest K whose streaming run fits in\n\
+                            B bytes (two tile buffers + resident factors);\n\
+                            exits 4 if even tiling cannot fit\n\
+     \n\
      PERF OBSERVATORY (analyze / perf):\n\
        analyze [factorize options] [--ai-tol F]\n\
                             run the config, print per-(phase,kernel,mode)\n\
@@ -162,7 +172,9 @@ pub fn help_text() -> String {
                             against the device's DRAM, and a fit verdict\n\
        --memory-budget B    check against B bytes instead of device DRAM;\n\
                             a config over budget exits 4 with the exact\n\
-                            deficit (what a tiling layer must stream)\n\
+                            deficit and the smallest --tiles K that fits\n\
+                            (suggested_tiles in --json); with --gpus N the\n\
+                            fit is the max over every mode's sharding\n\
      \n\
      FAULT TOLERANCE (factorize):\n\
        --faults SPEC        inject seeded device faults, e.g.\n\
@@ -304,6 +316,7 @@ fn build_setup(p: &ParsedArgs) -> Result<RunSetup, CliError> {
         update,
         seed: p.parse_or("seed", 0u64, "integer")?,
         format: parse_format(&format_name)?,
+        tiles: p.parse_or("tiles", 1usize, "integer")?,
         ..Default::default()
     };
     let spec = parse_device(p.get_or("device", "h100"))?;
@@ -328,8 +341,8 @@ fn dataset_label(p: &ParsedArgs) -> String {
 }
 
 fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
-    let x = load_tensor(p)?;
-    let RunSetup { cfg, spec, gpus, nvlink_gbs, rank, .. } = build_setup(p)?;
+    let RunSetup { mut cfg, spec, gpus, nvlink_gbs, rank, format_name, .. } = build_setup(p)?;
+    let budget = parse_memory_budget(p)?;
     let trace_path = p.options.get("trace").cloned();
     let telemetry_dir = p.options.get("telemetry").cloned();
     let fault_plan = match p.options.get("faults") {
@@ -346,6 +359,14 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(ArgError::MissingOption("checkpoint (required by --resume)").into());
     }
     if gpus > 1 {
+        if budget.is_some() || cfg.tiles > 1 {
+            return Err(CliError::Input(
+                "--memory-budget/--tiles stream tiles through a single device; \
+                 combine them with --gpus 1"
+                    .into(),
+            ));
+        }
+        let x = load_tensor(p)?;
         return cmd_factorize_sharded(
             x,
             cfg,
@@ -375,10 +396,24 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         cstf_telemetry::set_spans_enabled(true);
     }
 
-    let shape = x.shape().to_vec();
-    let nnz = x.nnz();
+    // Build the driver. `--memory-budget` sizes the compiled format in
+    // core and resolves the smallest admissible tile count; an explicit
+    // `--tiles K > 1` with `--input` streams construction tile-by-tile
+    // instead (the full COO is never materialized).
     let t0 = std::time::Instant::now();
-    let auntf = Auntf::new(x, cfg);
+    let auntf = if let Some(b) = budget {
+        let x = load_tensor(p)?;
+        cfg.tiles = cfg.tiles.max(resolve_budget_tiles(&x, &format_name, rank, b)?);
+        Auntf::new(x, cfg)
+    } else if cfg.tiles > 1 && p.options.contains_key("input") {
+        let path = p.options.get("input").unwrap();
+        Auntf::from_tns_file_tiled(path, cfg)
+            .map_err(|e| CliError::Input(format!("failed to stream {path}: {e}")))?
+    } else {
+        Auntf::new(load_tensor(p)?, cfg)
+    };
+    let shape = auntf.shape();
+    let nnz = auntf.nnz();
     let result = match &ckpt_cfg {
         Some(cc) => auntf.factorize_checkpointed(&dev, cc, resume)?,
         None => auntf.factorize(&dev)?,
@@ -416,6 +451,15 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             "lambda": result.model.lambda.clone(),
             "factor_checksum": factor_checksum(&result.model),
             "gpus": 1,
+            "tiles": result.tiling.tiles,
+            "tiling": serde_json::json!({
+                "tiles": result.tiling.tiles,
+                "tile_transfers": result.tiling.tile_transfers,
+                "streamed_bytes": result.tiling.streamed_bytes,
+                "transfer_raw_seconds": result.tiling.transfer_raw_s,
+                "transfer_exposed_seconds": result.tiling.transfer_exposed_s,
+                "transfer_hidden_seconds": result.tiling.hidden_s(),
+            }),
             "wall_seconds": wall,
             "modeled_seconds": dev.total_seconds(),
             "measured_seconds": dev.total_measured_seconds(),
@@ -430,6 +474,19 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "tensor {shape:?}, nnz {nnz}").map_err(|e| CliError::Input(e.to_string()))?;
         writeln!(out, "rank {rank}, {} iterations, converged: {}", result.iters, result.converged)
             .map_err(|e| CliError::Input(e.to_string()))?;
+        if result.tiling.is_tiled() {
+            writeln!(
+                out,
+                "out-of-core: {} tiles/mode, {} tile copies, {:.3e} B streamed \
+                 ({:.3e}s hidden behind compute, {:.3e}s exposed)",
+                result.tiling.tiles,
+                result.tiling.tile_transfers,
+                result.tiling.streamed_bytes,
+                result.tiling.hidden_s(),
+                result.tiling.transfer_exposed_s
+            )
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        }
         if !rec.is_clean() {
             writeln!(
                 out,
@@ -484,7 +541,15 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             heap: Some(HeapSummary::capture()),
         };
         let iterations = result.convergence.records();
-        write_telemetry_artifacts(dir, &summary, &iterations, &capture, &span_records, &spec)?;
+        write_telemetry_artifacts(
+            dir,
+            &summary,
+            &iterations,
+            &capture,
+            &span_records,
+            &spec,
+            Some(&result.tiling),
+        )?;
         eprintln!("[telemetry artifacts written to {dir}; render with `cstf report {dir}`]");
     }
     Ok(())
@@ -1224,6 +1289,7 @@ fn cmd_perf(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 /// convergence records), `trace.json` (Perfetto timeline with counter
 /// tracks, iteration instants, MTTKRP→UPDATE flows and host spans) and
 /// `metrics.prom` (Prometheus text exposition).
+#[allow(clippy::too_many_arguments)]
 fn write_telemetry_artifacts(
     dir: &str,
     summary: &RunSummary,
@@ -1231,6 +1297,7 @@ fn write_telemetry_artifacts(
     capture: &RunCapture,
     span_records: &[cstf_telemetry::SpanRecord],
     spec: &DeviceSpec,
+    tiling: Option<&cstf_core::TilingReport>,
 ) -> Result<(), CliError> {
     let root = std::path::Path::new(dir);
     std::fs::create_dir_all(root)
@@ -1257,9 +1324,53 @@ fn write_telemetry_artifacts(
     )
     .map_err(io_err("trace.json"))?;
 
-    let prom = cstf_device::registry_from_capture(capture, spec).to_prometheus();
-    std::fs::write(root.join("metrics.prom"), prom).map_err(io_err("metrics.prom"))?;
+    let registry = cstf_device::registry_from_capture(capture, spec);
+    if let Some(t) = tiling {
+        add_tiling_metrics(&registry, t);
+    }
+    std::fs::write(root.join("metrics.prom"), registry.to_prometheus())
+        .map_err(io_err("metrics.prom"))?;
     Ok(())
+}
+
+/// Appends the `cstf_tile_*` metric family — what the out-of-core tiled
+/// driver streamed and how much of it the double-buffer hid. Emitted only
+/// for actually-tiled runs (`K > 1`), so an in-core run's scrape stays
+/// identical to the pre-tiling shape.
+fn add_tiling_metrics(registry: &Registry, t: &cstf_core::TilingReport) {
+    if !t.is_tiled() {
+        return;
+    }
+    registry.gauge_set(
+        "cstf_tile_count",
+        "Out-of-core tile count K per mode sweep",
+        t.tiles as f64,
+    );
+    registry.counter_add(
+        "cstf_tile_transfers_total",
+        "Host-to-device tile copies performed",
+        t.tile_transfers as f64,
+    );
+    registry.counter_add(
+        "cstf_tile_streamed_bytes_total",
+        "Bytes streamed across all tile copies",
+        t.streamed_bytes,
+    );
+    registry.counter_add(
+        "cstf_tile_transfer_raw_seconds_total",
+        "Un-overlapped modeled seconds of all tile copies",
+        t.transfer_raw_s,
+    );
+    registry.counter_add(
+        "cstf_tile_transfer_exposed_seconds_total",
+        "Tile-copy seconds that extended the timeline after double-buffering",
+        t.transfer_exposed_s,
+    );
+    registry.counter_add(
+        "cstf_tile_transfer_hidden_seconds_total",
+        "Tile-copy seconds hidden behind the previous tile's compute",
+        t.hidden_s(),
+    );
 }
 
 /// `cstf report DIR`: renders the artifacts a `--telemetry` run wrote.
@@ -1386,6 +1497,9 @@ fn memstat_footprint(x: &SparseTensor, format: &str) -> Result<Footprint, CliErr
                 merge_components(&mut fp, &cstf_formats::Csf::from_coo(x, m).footprint());
             }
         }
+        "csf1" | "csfone" => {
+            merge_components(&mut fp, &cstf_formats::Csf::from_coo(x, 0).footprint())
+        }
         "hicoo" => merge_components(&mut fp, &cstf_formats::HiCoo::from_coo(x).footprint()),
         "alto" => merge_components(&mut fp, &cstf_formats::Alto::from_coo(x).footprint()),
         "blco" => merge_components(&mut fp, &cstf_formats::Blco::from_coo(x).footprint()),
@@ -1393,11 +1507,71 @@ fn memstat_footprint(x: &SparseTensor, format: &str) -> Result<Footprint, CliErr
             return Err(CliError::Args(ArgError::BadValue {
                 key: "format".into(),
                 value: format.into(),
-                expected: "coo|csf|hicoo|alto|blco",
+                expected: "coo|csf|csf1|hicoo|alto|blco",
             }))
         }
     }
     Ok(fp)
+}
+
+/// Like [`memstat_footprint`], but for one *shard* of the mode-`mode`
+/// sweep: the sharded driver compiles a single CSF tree rooted at the
+/// shard's own mode (not the all-mode forest), so sizing a shard with the
+/// all-mode recipe would overstate CSF by ~`nmodes`×.
+fn memstat_shard_footprint(
+    s: &SparseTensor,
+    format: &str,
+    mode: usize,
+) -> Result<Footprint, CliError> {
+    if format == "csf" {
+        let mut fp = Footprint::new();
+        merge_components(&mut fp, &cstf_formats::Csf::from_coo(s, mode).footprint());
+        return Ok(fp);
+    }
+    memstat_footprint(s, format)
+}
+
+/// Parses `--memory-budget BYTES` (shared by `factorize` and `memstat`).
+fn parse_memory_budget(p: &ParsedArgs) -> Result<Option<u64>, CliError> {
+    match p.options.get("memory-budget") {
+        None => Ok(None),
+        Some(text) => text.parse::<u64>().map(Some).map_err(|_| {
+            CliError::Args(ArgError::BadValue {
+                key: "memory-budget".into(),
+                value: text.clone(),
+                expected: "bytes (integer)",
+            })
+        }),
+    }
+}
+
+/// Byte-exact bytes of the rank-`rank` factor panels for `shape` (they
+/// stay device-resident for the whole run; only the tensor is tiled).
+fn factor_panel_bytes(shape: &[usize], rank: usize) -> u64 {
+    shape.iter().map(|&d| MemoryFootprint::heap_bytes(&cstf_linalg::Mat::zeros(d, rank))).sum()
+}
+
+/// Resolves `--memory-budget` into the smallest admissible tile count for
+/// this (tensor, format, rank): the compiled format streams in `K` tiles
+/// (two resident under double-buffering) while the factor panels stay
+/// device-resident — the residency model of
+/// [`cstf_device::suggested_tile_count`].
+fn resolve_budget_tiles(
+    x: &SparseTensor,
+    format_name: &str,
+    rank: usize,
+    budget: u64,
+) -> Result<usize, CliError> {
+    let tensor_bytes = memstat_footprint(x, format_name)?.total();
+    let fixed_bytes = factor_panel_bytes(x.shape(), rank);
+    match cstf_device::suggested_tile_count(tensor_bytes, fixed_bytes, budget) {
+        Some(k) => Ok(k as usize),
+        None => Err(CliError::Unfit(format!(
+            "no tile count fits --memory-budget {budget}: the rank-{rank} factor panels \
+             need {fixed_bytes} bytes resident, leaving no room for two tile buffers \
+             of the {tensor_bytes}-byte {format_name} tensor"
+        ))),
+    }
 }
 
 /// One planned (format → fit) row of the memstat report.
@@ -1405,16 +1579,20 @@ struct MemstatRow {
     format: String,
     footprint: Footprint,
     per_device: Vec<u64>,
+    binding_mode: usize,
     fit: cstf_device::DeviceFit,
+    suggested_tiles: Option<u64>,
 }
 
 /// `cstf memstat`: byte-exact footprint accounting plus device-occupancy
 /// fit planning (DESIGN.md §14). Required bytes per device = the compiled
-/// format structure (the heaviest mode-0 nnz-balanced shard when
-/// `--gpus N > 1`, matching the sharded driver's partitioning) plus a full
-/// factor replica (every device holds all factor matrices). A config over
-/// its budget exits 4 after writing the exact deficit — the bytes a future
-/// out-of-core tiling layer must stream (ROADMAP item 2).
+/// format structure plus a full factor replica (every device holds all
+/// factor matrices). With `--gpus N > 1` the sharded driver re-partitions
+/// per mode sweep, so the binding figure is the *max over all modes* of the
+/// heaviest nnz-balanced shard — sizing only the mode-0 sweep under-counts
+/// skewed tensors. A config over its budget exits 4 after writing the exact
+/// deficit plus the smallest tile count `K` whose out-of-core streaming run
+/// (`--memory-budget`/`--tiles`, DESIGN.md §16) would fit.
 fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     // The FILE positional is shorthand for --input, mirroring `report DIR`.
     let x = if let Some(path) = p.positionals.first() {
@@ -1433,16 +1611,7 @@ fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     let rank = p.parse_or("rank", 16usize, "integer")?;
     let gpus = p.parse_or("gpus", 1usize, "integer")?.max(1);
     let spec = parse_device(p.get_or("device", "h100"))?;
-    let budget = match p.options.get("memory-budget") {
-        None => None,
-        Some(text) => Some(text.parse::<u64>().map_err(|_| {
-            CliError::Args(ArgError::BadValue {
-                key: "memory-budget".into(),
-                value: text.clone(),
-                expected: "bytes (integer)",
-            })
-        })?),
-    };
+    let budget = parse_memory_budget(p)?;
     let formats: Vec<String> = match p.options.get("format") {
         Some(f) => vec![f.clone()],
         None => ["coo", "csf", "hicoo", "alto", "blco"].iter().map(|s| s.to_string()).collect(),
@@ -1457,12 +1626,18 @@ fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         .map(|&d| MemoryFootprint::heap_bytes(&cstf_linalg::Mat::zeros(d, rank)))
         .sum();
 
-    // The same mode-0 shards the sharded driver compiles; the fit is
-    // planned against the heaviest device.
-    let shards: Vec<SparseTensor> = if gpus > 1 {
-        cstf_formats::nnz_balanced_ranges(&x, 0, gpus)
-            .iter()
-            .map(|r| cstf_formats::extract_mode_rows(&x, 0, r))
+    // The sharded driver re-shards per mode sweep (mode m's MTTKRP runs on
+    // mode-m nnz-balanced shards), so plan against EVERY mode's sharding and
+    // bind on the worst one — a mode-1-skewed tensor can have a mode-1 shard
+    // far heavier than any mode-0 shard.
+    let mode_shards: Vec<Vec<SparseTensor>> = if gpus > 1 {
+        (0..x.nmodes())
+            .map(|m| {
+                cstf_formats::nnz_balanced_ranges(&x, m, gpus)
+                    .iter()
+                    .map(|r| cstf_formats::extract_mode_rows(&x, m, r))
+                    .collect()
+            })
             .collect()
     } else {
         Vec::new()
@@ -1470,21 +1645,44 @@ fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
 
     let mut rows: Vec<MemstatRow> = Vec::new();
     for name in &formats {
-        let (footprint, per_device) = if gpus > 1 {
-            let fps: Vec<Footprint> =
-                shards.iter().map(|s| memstat_footprint(s, name)).collect::<Result<_, _>>()?;
-            let per: Vec<u64> = fps.iter().map(Footprint::total).collect();
-            let heaviest =
-                per.iter().enumerate().max_by_key(|(_, b)| **b).map(|(i, _)| i).unwrap_or(0);
-            (fps.into_iter().nth(heaviest).unwrap(), per)
+        let (footprint, per_device, binding_mode) = if gpus > 1 {
+            let mut best: Option<(usize, Vec<Footprint>, Vec<u64>, u64)> = None;
+            for (m, shards) in mode_shards.iter().enumerate() {
+                let fps: Vec<Footprint> = shards
+                    .iter()
+                    .map(|s| memstat_shard_footprint(s, name, m))
+                    .collect::<Result<_, _>>()?;
+                let per: Vec<u64> = fps.iter().map(Footprint::total).collect();
+                let heaviest = per.iter().copied().max().unwrap_or(0);
+                if best.as_ref().is_none_or(|(_, _, _, h)| heaviest > *h) {
+                    best = Some((m, fps, per, heaviest));
+                }
+            }
+            let (m, fps, per, _) = best.expect("nmodes >= 1");
+            let idx = per.iter().enumerate().max_by_key(|(_, b)| **b).map(|(i, _)| i).unwrap_or(0);
+            (fps.into_iter().nth(idx).unwrap(), per, m)
         } else {
             let fp = memstat_footprint(&x, name)?;
             let total = fp.total();
-            (fp, vec![total])
+            (fp, vec![total], 0)
         };
         let tensor_bytes = per_device.iter().copied().max().unwrap_or(0);
         let fit = cstf_device::plan_device_fit(tensor_bytes + factor_bytes, &spec, budget);
-        rows.push(MemstatRow { format: name.clone(), footprint, per_device, fit });
+        // The out-of-core remedy is single-device, so only offer a tile
+        // count when the plan is too (the sharded driver rejects --tiles).
+        let suggested_tiles = if gpus == 1 {
+            cstf_device::suggested_tile_count(tensor_bytes, factor_bytes, fit.capacity_bytes)
+        } else {
+            None
+        };
+        rows.push(MemstatRow {
+            format: name.clone(),
+            footprint,
+            per_device,
+            binding_mode,
+            fit,
+            suggested_tiles,
+        });
     }
     let fits_all = rows.iter().all(|r| r.fit.fits);
     let capacity = rows.first().map_or(0, |r| r.fit.capacity_bytes);
@@ -1520,6 +1718,9 @@ fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             s.push_str(&format!("      \"fits\": {},\n", r.fit.fits));
             s.push_str(&format!("      \"deficit_bytes\": {},\n", r.fit.deficit_bytes));
             s.push_str(&format!("      \"headroom_bytes\": {},\n", r.fit.headroom_bytes));
+            s.push_str(&format!("      \"binding_mode\": {},\n", r.binding_mode));
+            let tiles_json = r.suggested_tiles.map_or("null".to_string(), |k| k.to_string());
+            s.push_str(&format!("      \"suggested_tiles\": {tiles_json},\n"));
             let comps: Vec<String> =
                 r.footprint.as_map().iter().map(|(n, b)| format!("{n:?}: {b}")).collect();
             s.push_str(&format!("      \"components\": {{{}}}\n", comps.join(", ")));
@@ -1565,7 +1766,28 @@ fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
                 writeln!(out, "    {name:<24} {bytes:>12} B").map_err(io)?;
             }
             if gpus > 1 {
-                writeln!(out, "    per-device tensor bytes: {:?}", r.per_device).map_err(io)?;
+                writeln!(
+                    out,
+                    "    per-device tensor bytes (binding mode {}): {:?}",
+                    r.binding_mode, r.per_device
+                )
+                .map_err(io)?;
+            }
+            if !r.fit.fits {
+                match r.suggested_tiles {
+                    Some(k) => writeln!(
+                        out,
+                        "    remedy: --memory-budget {} --tiles {k} streams {} in {k} tiles",
+                        r.fit.capacity_bytes, r.format
+                    )
+                    .map_err(io)?,
+                    None if gpus == 1 => writeln!(
+                        out,
+                        "    remedy: none — the factor panels alone exceed the budget"
+                    )
+                    .map_err(io)?,
+                    None => {}
+                }
             }
         }
     }
@@ -1573,8 +1795,19 @@ fn cmd_memstat(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
     if !fits_all {
         let worst =
             rows.iter().filter(|r| !r.fit.fits).max_by_key(|r| r.fit.deficit_bytes).unwrap();
+        let remedy = match worst.suggested_tiles {
+            Some(k) => format!(
+                "; smallest fitting tile count is {k} — rerun with \
+                 `cstf factorize --memory-budget {} --tiles {k} --format {}`",
+                worst.fit.capacity_bytes, worst.format
+            ),
+            None if gpus == 1 => {
+                "; no tile count fits — the factor panels alone exceed the budget".to_string()
+            }
+            None => String::new(),
+        };
         return Err(CliError::Unfit(format!(
-            "{} needs {} bytes against a budget of {} bytes (deficit {} bytes to stream)",
+            "{} needs {} bytes against a budget of {} bytes (deficit {} bytes to stream){remedy}",
             worst.format,
             worst.fit.required_bytes,
             worst.fit.capacity_bytes,
@@ -1801,6 +2034,270 @@ mod tests {
     }
 
     #[test]
+    fn memstat_gpus_binds_on_the_heaviest_mode_not_mode_zero() {
+        // Deliberately mode-1-skewed: mode-0 indices spread evenly, but 90%
+        // of nonzeros share mode-1 index 0. Contiguous nnz-balancing cannot
+        // split a single index, so the heaviest mode-1 shard carries ~90% of
+        // the tensor while mode-0 shards stay balanced. The old planner
+        // sized only the mode-0 sweep and under-reported this.
+        let mut idx = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut vals = Vec::new();
+        for t in 0..200u32 {
+            idx[0].push(t % 64);
+            idx[1].push(if t < 180 { 0 } else { 1 + t % 3 });
+            idx[2].push(t % 8);
+            vals.push(1.0 + f64::from(t));
+        }
+        let x = SparseTensor::new(vec![64, 4, 8], idx, vals);
+        let dir = std::env::temp_dir().join("cstf_cli_memstat_skew");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("skew.tns");
+        cstf_tensor::write_tns_file(&x, &path).unwrap();
+        let out =
+            run(&["memstat", path.to_str().unwrap(), "--format", "coo", "--gpus", "2", "--json"])
+                .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let f = &v["formats"].as_array().unwrap()[0];
+        assert_eq!(f["binding_mode"].as_u64(), Some(1), "{out}");
+        let per: Vec<u64> = f["per_device_tensor_bytes"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|b| b.as_u64().unwrap())
+            .collect();
+        let heaviest = *per.iter().max().unwrap();
+        assert_eq!(f["tensor_bytes"].as_u64(), Some(heaviest));
+        // The binding mode-1 shard holds ~90% of the nnz while its sibling
+        // gets ~10%; a balanced mode-0 split would make the two devices
+        // near-equal. COO bytes scale with nnz, so the reported split must
+        // be lopsided, not balanced.
+        let lightest = *per.iter().min().unwrap();
+        assert!(
+            heaviest > 3 * lightest,
+            "binding shard must reflect the mode-1 skew: {per:?}\n{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memstat_over_budget_suggests_smallest_fitting_tile_count() {
+        let probe = run(&[
+            "memstat",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "4",
+            "--format",
+            "coo",
+            "--json",
+        ])
+        .unwrap();
+        let pv: serde_json::Value = serde_json::from_str(&probe).unwrap();
+        let f0 = &pv["formats"].as_array().unwrap()[0];
+        let tensor = f0["tensor_bytes"].as_u64().unwrap();
+        let factors = pv["factor_bytes"].as_u64().unwrap();
+        // One byte short of in-core: the remedy must be tiling, and the
+        // suggested K must satisfy the double-buffered residency bound.
+        let budget = (tensor + factors - 1).to_string();
+        let (res, out) = run_capture(&[
+            "memstat",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "4",
+            "--format",
+            "coo",
+            "--memory-budget",
+            &budget,
+            "--json",
+        ]);
+        let err = res.unwrap_err();
+        assert!(matches!(err, CliError::Unfit(_)), "{err}");
+        let msg = err.to_string();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let f = &v["formats"].as_array().unwrap()[0];
+        let k = f["suggested_tiles"].as_u64().expect("a tile count must be suggested");
+        assert!(k >= 2, "one byte short of in-core needs real tiling: {out}");
+        let b: u64 = budget.parse().unwrap();
+        assert!(2 * tensor.div_ceil(k) + factors <= b, "suggested K must actually fit");
+        assert!(
+            2 * tensor.div_ceil(k - 1) + factors > b || k - 1 == 1,
+            "suggested K must be minimal"
+        );
+        assert!(msg.contains(&format!("--tiles {k}")), "remedy missing from error: {msg}");
+        assert!(msg.contains("--memory-budget"), "{msg}");
+        // Text mode carries the same remedy line.
+        let (tres, tout) = run_capture(&[
+            "memstat",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "4",
+            "--format",
+            "coo",
+            "--memory-budget",
+            &budget,
+        ]);
+        assert!(tres.is_err());
+        assert!(tout.contains("remedy:") && tout.contains("--tiles"), "{tout}");
+    }
+
+    #[test]
+    fn memstat_budget_below_factor_panels_suggests_nothing() {
+        let (res, out) = run_capture(&[
+            "memstat",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "1000",
+            "--format",
+            "coo",
+            "--memory-budget",
+            "64",
+            "--json",
+        ]);
+        assert!(res.is_err());
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let f = &v["formats"].as_array().unwrap()[0];
+        assert!(f["suggested_tiles"].is_null(), "panels alone exceed 64 B: {out}");
+    }
+
+    #[test]
+    fn tiles_flag_produces_bitwise_identical_factors() {
+        let base = [
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--json",
+        ];
+        let mut one: Vec<&str> = base.to_vec();
+        one.extend(["--tiles", "1"]);
+        let mut three: Vec<&str> = base.to_vec();
+        three.extend(["--tiles", "3"]);
+        let v1: serde_json::Value = serde_json::from_str(&run(&one).unwrap()).unwrap();
+        let v3: serde_json::Value = serde_json::from_str(&run(&three).unwrap()).unwrap();
+        assert_eq!(v1["fits"], v3["fits"], "fit history must match bitwise");
+        assert_eq!(
+            v1["factor_checksum"], v3["factor_checksum"],
+            "factor bits must be identical across tile counts"
+        );
+        assert_eq!(v3["tiles"], 3);
+        assert_eq!(v1["tiles"], 1);
+        assert!(v3["tiling"]["tile_transfers"].as_u64().unwrap() > 0);
+        assert!(v3["tiling"]["streamed_bytes"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn memory_budget_forces_tiling_and_matches_in_core() {
+        // Size the blco tensor + rank-3 panels, then offer one byte less
+        // than in-core residency: factorize must pick K >= 2 on its own and
+        // still reproduce the unbudgeted factors bit-for-bit.
+        let probe = run(&[
+            "memstat",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "1500",
+            "--rank",
+            "3",
+            "--format",
+            "blco",
+            "--json",
+        ])
+        .unwrap();
+        let pv: serde_json::Value = serde_json::from_str(&probe).unwrap();
+        let required = pv["formats"][0]["required_bytes"].as_u64().unwrap();
+        let budget = (required - 1).to_string();
+        let base = [
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "1500",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--json",
+        ];
+        let mut budgeted: Vec<&str> = base.to_vec();
+        budgeted.extend(["--memory-budget", &budget]);
+        let vb: serde_json::Value = serde_json::from_str(&run(&budgeted).unwrap()).unwrap();
+        let v0: serde_json::Value = serde_json::from_str(&run(&base).unwrap()).unwrap();
+        assert!(vb["tiles"].as_u64().unwrap() >= 2, "budget must force tiling: {vb}");
+        assert_eq!(v0["factor_checksum"], vb["factor_checksum"]);
+        assert_eq!(v0["fits"], vb["fits"]);
+    }
+
+    #[test]
+    fn tiles_with_gpus_is_rejected() {
+        let err = run(&[
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "1000",
+            "--iters",
+            "1",
+            "--gpus",
+            "2",
+            "--tiles",
+            "2",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err}");
+        assert!(err.to_string().contains("--gpus 1"), "{err}");
+    }
+
+    #[test]
+    fn tiled_factorize_streams_tns_input() {
+        // --tiles with --input goes through the streaming reader; the
+        // result must match the in-core run on the same file bit-for-bit.
+        let dir = std::env::temp_dir().join("cstf_cli_tiled_stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.tns");
+        let mut idx = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut vals = Vec::new();
+        for t in 0..400u32 {
+            idx[0].push(t % 13);
+            idx[1].push((t * 7) % 11);
+            idx[2].push((t * 3) % 9);
+            vals.push(0.25 + f64::from(t % 17));
+        }
+        let x = SparseTensor::new(vec![13, 11, 9], idx, vals);
+        cstf_tensor::write_tns_file(&x, &path).unwrap();
+        let base = [
+            "factorize",
+            "--input",
+            path.to_str().unwrap(),
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--json",
+        ];
+        let mut tiled: Vec<&str> = base.to_vec();
+        tiled.extend(["--tiles", "3"]);
+        let v0: serde_json::Value = serde_json::from_str(&run(&base).unwrap()).unwrap();
+        let v3: serde_json::Value = serde_json::from_str(&run(&tiled).unwrap()).unwrap();
+        assert_eq!(v0["factor_checksum"], v3["factor_checksum"], "streamed == in-core");
+        assert_eq!(v3["tiles"], 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn memstat_text_lists_components() {
         let out =
             run(&["memstat", "--dataset", "Uber", "--nnz", "1500", "--format", "coo"]).unwrap();
@@ -1811,9 +2308,28 @@ mod tests {
 
     #[test]
     fn memstat_rejects_unknown_format() {
-        let err = run(&["memstat", "--dataset", "Uber", "--nnz", "1000", "--format", "csf1"])
-            .unwrap_err();
+        let err =
+            run(&["memstat", "--dataset", "Uber", "--nnz", "1000", "--format", "sf3"]).unwrap_err();
         assert!(matches!(err, CliError::Args(_)), "{err}");
+    }
+
+    #[test]
+    fn memstat_sizes_csf1_as_single_tree() {
+        // csf1 compiles one tree rooted at mode 0, so it must cost strictly
+        // less than the all-modes CSF forest.
+        let one = run(&["memstat", "--dataset", "Uber", "--nnz", "1000", "--format", "csf1"]);
+        assert!(one.is_ok(), "{one:?}");
+        let grab = |txt: &str| {
+            txt.lines()
+                .find(|l| l.trim_start().starts_with("csf"))
+                .and_then(|l| l.split_whitespace().nth(1).map(str::to_string))
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        };
+        let forest =
+            run(&["memstat", "--dataset", "Uber", "--nnz", "1000", "--format", "csf"]).unwrap();
+        assert!(grab(&one.unwrap()) < grab(&forest));
     }
 
     #[test]

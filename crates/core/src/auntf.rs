@@ -11,7 +11,7 @@ use cstf_device::{Device, DeviceFault, KernelClass, KernelCost, Phase};
 use cstf_formats::{Alto, Blco, Csf, HiCoo, MttkrpWorkspace, TrafficEstimate};
 use cstf_linalg::{gram, normalize_columns_scratch, LinalgError, Mat, NormKind, PartialBuffers};
 use cstf_telemetry::{ConvergenceLog, Span};
-use cstf_tensor::{DenseTensor, Ktensor, SparseTensor};
+use cstf_tensor::{read_tns_tiles_file, DenseTensor, Ktensor, SparseTensor, TnsError};
 
 use crate::admm::{admm_update, AdmmConfig, AdmmWorkspace};
 use crate::checkpoint::{self, BatchState, BatchView, CheckpointConfig};
@@ -20,6 +20,7 @@ use crate::mu::{mu_update, MuConfig};
 use crate::recovery::{
     AdmmError, ElasticityReport, FactorizeError, RecoveryPolicy, RecoveryReport,
 };
+use crate::tiled::{tiled_mttkrp_guarded, TiledEngine, TilingReport};
 
 /// Which compressed format backs the MTTKRP phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +84,13 @@ pub struct AuntfConfig {
     pub format: TensorFormat,
     /// How the driver responds to device faults and numerical breakdowns.
     pub recovery: RecoveryPolicy,
+    /// Out-of-core tile count `K`. `1` (the default) runs the ordinary
+    /// in-core path; `K > 1` streams the tensor through device memory in
+    /// `K` nnz-balanced tiles per mode, double-buffering each tile's
+    /// host→device copy against the previous tile's compute. The factors
+    /// are bitwise-identical at every `K` (ignored for dense tensors and
+    /// rejected by the sharded multi-device driver).
+    pub tiles: usize,
 }
 
 impl Default for AuntfConfig {
@@ -97,6 +105,7 @@ impl Default for AuntfConfig {
             compute_fit: true,
             format: TensorFormat::Blco,
             recovery: RecoveryPolicy::default(),
+            tiles: 1,
         }
     }
 }
@@ -120,11 +129,25 @@ pub struct FactorizeOutput {
     /// What the elastic sharded driver observed and did (default — clean —
     /// for single-device runs and healthy groups).
     pub elasticity: ElasticityReport,
+    /// What the out-of-core tiled streaming did (default — `tiles = 1`,
+    /// nothing streamed — for in-core runs).
+    pub tiling: TilingReport,
+}
+
+/// Scan-time facts about a tensor that was streamed tile-by-tile and
+/// never materialized in full (the `fit` computation needs `norm_sq`).
+pub(crate) struct StreamedMeta {
+    pub shape: Vec<usize>,
+    pub nnz: usize,
+    pub norm_sq: f64,
 }
 
 pub(crate) enum Source {
     Sparse(SparseTensor),
     Dense(DenseTensor),
+    /// The tensor exists only as the tiles inside `Engine::Tiled`; this
+    /// carries the scan-time global facts.
+    Streamed(StreamedMeta),
 }
 
 enum Engine {
@@ -137,6 +160,8 @@ enum Engine {
     Blco(Blco),
     /// Use the dense tensor in `Source` directly.
     Dense,
+    /// Out-of-core: `K` compiled tiles per mode, streamed per sweep.
+    Tiled(TiledEngine),
 }
 
 /// The alternating-update driver, holding the tensor and its compiled
@@ -148,20 +173,60 @@ pub struct Auntf {
 }
 
 impl Auntf {
-    /// Builds a driver for a sparse tensor, compiling the configured format.
+    /// Builds a driver for a sparse tensor, compiling the configured
+    /// format (into `cfg.tiles` out-of-core tiles per mode when the
+    /// config asks for tiling).
     pub fn new(x: SparseTensor, cfg: AuntfConfig) -> Self {
         let _region = cstf_telemetry::HeapRegion::enter("construction");
-        let engine = match cfg.format {
-            TensorFormat::Coo => Engine::Coo,
-            TensorFormat::Csf => {
-                Engine::Csf((0..x.nmodes()).map(|m| Csf::from_coo(&x, m)).collect())
+        let engine = if cfg.tiles > 1 {
+            Engine::Tiled(TiledEngine::compile(&x, cfg.format, cfg.tiles))
+        } else {
+            match cfg.format {
+                TensorFormat::Coo => Engine::Coo,
+                TensorFormat::Csf => {
+                    Engine::Csf((0..x.nmodes()).map(|m| Csf::from_coo(&x, m)).collect())
+                }
+                TensorFormat::CsfOne => Engine::CsfOne(Csf::from_coo(&x, 0)),
+                TensorFormat::HiCoo => Engine::HiCoo(HiCoo::from_coo(&x)),
+                TensorFormat::Alto => Engine::Alto(Alto::from_coo(&x)),
+                TensorFormat::Blco => Engine::Blco(Blco::from_coo(&x)),
             }
-            TensorFormat::CsfOne => Engine::CsfOne(Csf::from_coo(&x, 0)),
-            TensorFormat::HiCoo => Engine::HiCoo(HiCoo::from_coo(&x)),
-            TensorFormat::Alto => Engine::Alto(Alto::from_coo(&x)),
-            TensorFormat::Blco => Engine::Blco(Blco::from_coo(&x)),
         };
         Self { source: Source::Sparse(x), engine, cfg }
+    }
+
+    /// Builds a driver by streaming a `.tns` file tile-by-tile: the full
+    /// COO is never materialized. The file is scanned once for shape,
+    /// nnz-per-row histograms and `||X||²`, then re-read per (mode, tile)
+    /// with only one tile's sub-tensor live at a time — peak construction
+    /// heap is bounded by the largest tile, not the tensor.
+    ///
+    /// With `cfg.tiles <= 1` this falls back to the ordinary in-core
+    /// parse + [`Auntf::new`] (same bytes, same engine, same numerics).
+    ///
+    /// # Errors
+    /// Any [`TnsError`] from the scan or a tile pass, including a file
+    /// that changes between the two passes.
+    pub fn from_tns_file_tiled(
+        path: impl AsRef<std::path::Path>,
+        cfg: AuntfConfig,
+    ) -> Result<Self, TnsError> {
+        if cfg.tiles <= 1 {
+            let x = cstf_tensor::read_tns_file(path)?;
+            return Ok(Self::new(x, cfg));
+        }
+        let _region = cstf_telemetry::HeapRegion::enter("construction");
+        let mut engine = TiledEngine::with_shape(0, cfg.tiles);
+        let format = cfg.format;
+        let scan = read_tns_tiles_file(path, cfg.tiles, |mode, _tile, rows, coo| {
+            while engine.per_mode.len() <= mode {
+                engine.per_mode.push(Vec::new());
+            }
+            engine.push(mode, rows.clone(), coo, format);
+            Ok(())
+        })?;
+        let meta = StreamedMeta { shape: scan.shape.clone(), nnz: scan.nnz, norm_sq: scan.norm_sq };
+        Ok(Self { source: Source::Streamed(meta), engine: Engine::Tiled(engine), cfg })
     }
 
     /// Builds a driver for a dense tensor (the Fig. 1 DenseTF study).
@@ -174,6 +239,7 @@ impl Auntf {
         match &self.source {
             Source::Sparse(x) => x.shape().to_vec(),
             Source::Dense(x) => x.shape().to_vec(),
+            Source::Streamed(meta) => meta.shape.clone(),
         }
     }
 
@@ -182,6 +248,7 @@ impl Auntf {
         match &self.source {
             Source::Sparse(x) => x.nnz(),
             Source::Dense(x) => x.len(),
+            Source::Streamed(meta) => meta.nnz,
         }
     }
 
@@ -401,32 +468,7 @@ impl Auntf {
                     // computed, and mode `last_mode`'s factor was
                     // normalized afterwards with the scale moved into
                     // lambda — the triple product recovers <X, model>.
-                    let h = &factors[last_mode];
-                    let elems = (h.rows() * rank) as f64;
-                    dev.launch(
-                        "fit_inner_from_mttkrp",
-                        Phase::Other,
-                        KernelClass::Reduce,
-                        KernelCost {
-                            flops: 3.0 * elems,
-                            bytes_read: 2.0 * elems * 8.0,
-                            bytes_written: 8.0,
-                            gather_traffic: 0.0,
-                            parallel_work: elems,
-                            serial_steps: 1.0,
-                            working_set: 2.0 * elems * 8.0,
-                        },
-                        || {
-                            let mut acc = 0.0;
-                            for i in 0..h.rows() {
-                                let (hr, mr) = (h.row(i), m.row(i));
-                                for r in 0..rank {
-                                    acc += lambda[r] * hr[r] * mr[r];
-                                }
-                            }
-                            acc
-                        },
-                    )
+                    self.fit_inner_from_mttkrp(dev, factors, lambda, m, last_mode)
                 } else {
                     let nnz = x.nnz() as f64;
                     dev.launch(
@@ -449,6 +491,23 @@ impl Auntf {
                     )
                 };
                 let x_sq = x.norm_sq();
+                let res = (x_sq - 2.0 * inner + model_sq).max(0.0);
+                if x_sq > 0.0 {
+                    1.0 - (res / x_sq).sqrt()
+                } else {
+                    1.0
+                }
+            }
+            Source::Streamed(meta) => {
+                // Only the MTTKRP-reuse shortcut is possible: the tensor
+                // is not in memory to traverse, and the driver always has
+                // the last panel by fit time. `||X||²` came from the scan,
+                // summed in file order — the same order the in-core
+                // serial reduction uses.
+                let (m, last_mode) =
+                    last_m.expect("streamed fit requires the last-mode MTTKRP panel");
+                let inner = self.fit_inner_from_mttkrp(dev, factors, lambda, m, last_mode);
+                let x_sq = meta.norm_sq;
                 let res = (x_sq - 2.0 * inner + model_sq).max(0.0);
                 if x_sq > 0.0 {
                     1.0 - (res / x_sq).sqrt()
@@ -485,6 +544,46 @@ impl Auntf {
                 }
             }
         }
+    }
+
+    /// `<X, model> = sum_{i,r} lambda_r * H[i,r] * M[i,r]` from the last
+    /// MTTKRP panel `m` of mode `last_mode` — SPLATT's `O(I R)` fit
+    /// shortcut, metered as a `Reduce`-class kernel.
+    fn fit_inner_from_mttkrp(
+        &self,
+        dev: &Device,
+        factors: &[Mat],
+        lambda: &[f64],
+        m: &Mat,
+        last_mode: usize,
+    ) -> f64 {
+        let rank = self.cfg.rank;
+        let h = &factors[last_mode];
+        let elems = (h.rows() * rank) as f64;
+        dev.launch(
+            "fit_inner_from_mttkrp",
+            Phase::Other,
+            KernelClass::Reduce,
+            KernelCost {
+                flops: 3.0 * elems,
+                bytes_read: 2.0 * elems * 8.0,
+                bytes_written: 8.0,
+                gather_traffic: 0.0,
+                parallel_work: elems,
+                serial_steps: 1.0,
+                working_set: 2.0 * elems * 8.0,
+            },
+            || {
+                let mut acc = 0.0;
+                for i in 0..h.rows() {
+                    let (hr, mr) = (h.row(i), m.row(i));
+                    for r in 0..rank {
+                        acc += lambda[r] * hr[r] * mr[r];
+                    }
+                }
+                acc
+            },
+        )
     }
 
     /// A stable description of everything that determines the iteration
@@ -596,8 +695,12 @@ impl Auntf {
 
         // One-time transfers: the paper's framework is fully GPU-resident,
         // paying these once instead of per-iteration. Link faults retry
-        // with modeled backoff.
-        transfer_with_retry(dev, "h2d_tensor", self.tensor_bytes(), &policy, &mut report)?;
+        // with modeled backoff. A tiled run has no up-front tensor copy —
+        // tiles stream per sweep, metered inside the MTTKRP loop.
+        let tiled = matches!(self.engine, Engine::Tiled(_));
+        if !tiled {
+            transfer_with_retry(dev, "h2d_tensor", self.tensor_bytes(), &policy, &mut report)?;
+        }
         transfer_with_retry(
             dev,
             "h2d_factors",
@@ -624,6 +727,16 @@ impl Auntf {
         // last one without moving or reallocating it), one shared MTTKRP
         // scratch workspace, and the small reusable matrices.
         let mut m_bufs: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
+        // Tiled runs stage each tile's kernel output separately from the
+        // committed panel (format kernels zero their whole buffer, which
+        // would clobber previously committed tiles). In-core runs pay
+        // nothing for this.
+        let mut tile_stages: Vec<Mat> =
+            if tiled { shape.iter().map(|&d| Mat::zeros(d, rank)).collect() } else { Vec::new() };
+        let mut tiling = TilingReport::default();
+        if let Engine::Tiled(te) = &self.engine {
+            tiling.tiles = te.tiles;
+        }
         let mut mtt_ws = MttkrpWorkspace::new();
         let mut s = Mat::zeros(rank, rank);
         let mut had = Mat::zeros(rank, rank);
@@ -656,16 +769,34 @@ impl Auntf {
                 // roofline table and perf baselines are indexed by.
                 dev.set_mode(Some(mode));
                 self.hadamard_guarded(dev, &grams, mode, &mut s, &policy, &mut report)?;
-                self.mttkrp_guarded(
-                    dev,
-                    &factors,
-                    mode,
-                    &mut m_bufs[mode],
-                    &mut mtt_ws,
-                    &policy,
-                    &mut report,
-                    outer,
-                )?;
+                if let Engine::Tiled(te) = &self.engine {
+                    tiled_mttkrp_guarded(
+                        dev,
+                        te,
+                        &shape,
+                        &factors,
+                        mode,
+                        rank,
+                        &mut m_bufs[mode],
+                        &mut tile_stages[mode],
+                        &mut mtt_ws,
+                        &policy,
+                        &mut report,
+                        outer,
+                        &mut tiling,
+                    )?;
+                } else {
+                    self.mttkrp_guarded(
+                        dev,
+                        &factors,
+                        mode,
+                        &mut m_bufs[mode],
+                        &mut mtt_ws,
+                        &policy,
+                        &mut report,
+                        outer,
+                    )?;
+                }
                 let m = &m_bufs[mode];
 
                 match &self.cfg.update {
@@ -863,6 +994,7 @@ impl Auntf {
             convergence,
             recovery: report,
             elasticity: ElasticityReport::default(),
+            tiling,
         })
     }
 

@@ -57,6 +57,7 @@ pub mod presets;
 pub mod prox;
 pub mod recovery;
 pub mod sharded;
+pub mod tiled;
 
 pub use admm::{admm_update, blocked_admm_update, AdmmConfig, AdmmStats, AdmmWorkspace};
 pub use auntf::{Auntf, AuntfConfig, FactorizeOutput, TensorFormat, UpdateMethod};
@@ -69,3 +70,4 @@ pub use recovery::{
     AdmmError, CholeskyError, ElasticityReport, FactorizeError, RecoveryPolicy, RecoveryReport,
     RetiredDevice,
 };
+pub use tiled::TilingReport;

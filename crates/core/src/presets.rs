@@ -35,6 +35,7 @@ fn base_config(rank: usize, update: UpdateMethod, format: TensorFormat) -> Auntf
         compute_fit: false,
         format,
         recovery: crate::recovery::RecoveryPolicy::default(),
+        tiles: 1,
     }
 }
 

@@ -508,11 +508,16 @@ impl Auntf {
                 "tensor has no stored values (empty tensor)".into(),
             ));
         }
+        if self.cfg.tiles > 1 {
+            return Err(FactorizeError::InvalidConfig(
+                "tiled out-of-core execution is single-device; use --gpus 1 with --tiles".into(),
+            ));
+        }
         let x = match &self.source {
             Source::Sparse(x) => x,
-            Source::Dense(_) => {
+            Source::Dense(_) | Source::Streamed(_) => {
                 return Err(FactorizeError::InvalidConfig(
-                    "sharded factorization requires a sparse tensor".into(),
+                    "sharded factorization requires an in-core sparse tensor".into(),
                 ))
             }
         };
@@ -610,6 +615,7 @@ impl Auntf {
                         convergence: committed.convergence,
                         recovery: report,
                         elasticity: elastic,
+                        tiling: crate::tiled::TilingReport::default(),
                     });
                 }
                 Err(e) if is_device_loss(&e) => {
@@ -1274,7 +1280,7 @@ mod tests {
         let short = Auntf::new(
             match &auntf.source {
                 Source::Sparse(x) => x.clone(),
-                Source::Dense(_) => unreachable!(),
+                _ => unreachable!(),
             },
             AuntfConfig { max_iters: 3, ..auntf.cfg.clone() },
         );

@@ -1,0 +1,456 @@
+//! Tiled out-of-core MTTKRP execution on a single device.
+//!
+//! When a tensor's compiled format does not fit the device budget, the
+//! driver streams it through device memory in `K` nnz-balanced tiles per
+//! mode (planned by [`cstf_formats::TilePlan`]) — "sharding in time" on
+//! one device instead of sharding in space across a group. Each tile is
+//! the row-restricted sub-tensor of its mode's contiguous output range,
+//! compiled into the configured format exactly as a shard would be, so
+//! the owner-computes argument of DESIGN.md §11 carries over verbatim:
+//! running the tile kernel into a staging panel and committing only the
+//! tile's owned rows reassembles the in-core MTTKRP panel **bitwise**.
+//!
+//! The host→device copy of tile `t + 1`'s bytes is double-buffered
+//! against tile `t`'s compute: the device meters only the *exposed*
+//! remainder `max(0, raw - compute)` ([`Device::transfer_overlapped`]),
+//! while the [`TilingReport`] keeps both sides so the roofline
+//! observatory can attribute hidden versus exposed streaming time.
+
+use std::ops::Range;
+
+use cstf_device::{Device, FaultKind, KernelClass, KernelCost, OverlappedTransfer, Phase};
+use cstf_formats::{
+    extract_mode_rows, Alto, Blco, Csf, HiCoo, MttkrpWorkspace, TilePlan, TrafficEstimate,
+};
+use cstf_linalg::Mat;
+use cstf_telemetry::Span;
+use cstf_tensor::SparseTensor;
+
+use crate::auntf::{backoff_s, TensorFormat};
+use crate::recovery::{FactorizeError, RecoveryPolicy, RecoveryReport};
+
+/// What one tile runs on the device, compiled with the same per-format
+/// recipe as a shard (`sharded::compile_shard`): CSF rooted at the target
+/// mode, ONEMODE rooted at mode 0, linearized formats over the tile's
+/// nonzeros with the *global* shape.
+pub(crate) enum TileKernel {
+    /// No nonzeros in the row block — the tile's owned output rows are
+    /// exactly the (all-zero) global MTTKRP rows.
+    Empty,
+    Coo(SparseTensor),
+    Csf(Csf),
+    CsfOne(Csf),
+    HiCoo(HiCoo),
+    Alto(Alto),
+    Blco(Blco),
+}
+
+/// One mode's tile: the owned output rows, its compiled kernel, and the
+/// bytes its device-resident image streams over the host link.
+pub(crate) struct Tile {
+    pub rows: Range<usize>,
+    pub bytes: f64,
+    pub kernel: TileKernel,
+}
+
+impl Tile {
+    /// Compiles the row-restricted sub-tensor `coo` (owning `rows` of
+    /// mode `mode`) into a tile of the given format.
+    pub(crate) fn compile(
+        coo: SparseTensor,
+        mode: usize,
+        rows: Range<usize>,
+        format: TensorFormat,
+    ) -> Self {
+        let nmodes = coo.nmodes();
+        let kernel = if coo.nnz() == 0 {
+            TileKernel::Empty
+        } else {
+            match format {
+                TensorFormat::Coo => TileKernel::Coo(coo),
+                TensorFormat::Csf => TileKernel::Csf(Csf::from_coo(&coo, mode)),
+                // Same tree shape as the single-device ONEMODE engine
+                // (rooted at mode 0), restricted to the tile's nonzeros.
+                TensorFormat::CsfOne => TileKernel::CsfOne(Csf::from_coo(&coo, 0)),
+                TensorFormat::HiCoo => TileKernel::HiCoo(HiCoo::from_coo(&coo)),
+                TensorFormat::Alto => TileKernel::Alto(Alto::from_coo(&coo)),
+                TensorFormat::Blco => TileKernel::Blco(Blco::from_coo(&coo)),
+            }
+        };
+        let bytes = match &kernel {
+            TileKernel::Empty => 0.0,
+            TileKernel::Coo(x) => (x.nnz() * (nmodes * 4 + 8)) as f64,
+            TileKernel::Csf(t) | TileKernel::CsfOne(t) => t.storage_bytes() as f64,
+            TileKernel::HiCoo(h) => h.storage_bytes() as f64,
+            TileKernel::Alto(a) => a.storage_bytes() as f64,
+            TileKernel::Blco(b) => b.storage_bytes() as f64,
+        };
+        Self { rows, bytes, kernel }
+    }
+}
+
+/// The complete out-of-core engine: `K` compiled tiles per mode.
+pub(crate) struct TiledEngine {
+    pub tiles: usize,
+    /// `per_mode[m][t]` = tile `t` of the mode-`m` sweep.
+    pub per_mode: Vec<Vec<Tile>>,
+}
+
+impl TiledEngine {
+    /// Compiles a tiling of an in-core tensor: plans nnz-balanced ranges
+    /// per mode and extracts + compiles each tile with the shard recipe.
+    pub(crate) fn compile(x: &SparseTensor, format: TensorFormat, tiles: usize) -> Self {
+        let plan = TilePlan::build(x, tiles);
+        let per_mode = plan
+            .mode_ranges
+            .iter()
+            .enumerate()
+            .map(|(mode, ranges)| {
+                ranges
+                    .iter()
+                    .map(|r| Tile::compile(extract_mode_rows(x, mode, r), mode, r.clone(), format))
+                    .collect()
+            })
+            .collect();
+        Self { tiles: plan.tiles, per_mode }
+    }
+
+    /// An empty engine ready for streamed construction: tiles are pushed
+    /// mode-major, tile-minor as `read_tns_tiles` visits them.
+    pub(crate) fn with_shape(nmodes: usize, tiles: usize) -> Self {
+        Self { tiles: tiles.max(1), per_mode: (0..nmodes).map(|_| Vec::new()).collect() }
+    }
+
+    /// Appends the next streamed tile of `mode` (must arrive in tile
+    /// order, which `read_tns_tiles` guarantees).
+    pub(crate) fn push(
+        &mut self,
+        mode: usize,
+        rows: Range<usize>,
+        coo: SparseTensor,
+        format: TensorFormat,
+    ) {
+        debug_assert!(self.per_mode[mode].len() < self.tiles, "too many tiles pushed");
+        self.per_mode[mode].push(Tile::compile(coo, mode, rows, format));
+    }
+}
+
+/// What the tiled driver streamed and how much of it the double-buffer
+/// hid, reported per run and exported as `cstf_tile_*` telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TilingReport {
+    /// Tile count `K` the run executed with (1 = in-core, untiled).
+    pub tiles: usize,
+    /// Host→device tile copies performed (empty tiles move nothing).
+    pub tile_transfers: u64,
+    /// Bytes streamed across all tile copies.
+    pub streamed_bytes: f64,
+    /// Un-overlapped modeled seconds of all tile copies.
+    pub transfer_raw_s: f64,
+    /// Seconds that actually extended the timeline after double-buffering
+    /// against the previous tile's compute.
+    pub transfer_exposed_s: f64,
+}
+
+impl Default for TilingReport {
+    fn default() -> Self {
+        Self {
+            tiles: 1,
+            tile_transfers: 0,
+            streamed_bytes: 0.0,
+            transfer_raw_s: 0.0,
+            transfer_exposed_s: 0.0,
+        }
+    }
+}
+
+impl TilingReport {
+    /// Streaming seconds the double-buffer hid behind compute.
+    pub fn hidden_s(&self) -> f64 {
+        (self.transfer_raw_s - self.transfer_exposed_s).max(0.0)
+    }
+
+    /// True when the run actually tiled (`K > 1`).
+    pub fn is_tiled(&self) -> bool {
+        self.tiles > 1
+    }
+}
+
+fn tile_traffic(
+    kernel: &TileKernel,
+    shape: &[usize],
+    mode: usize,
+    rank: usize,
+) -> (TrafficEstimate, KernelClass) {
+    match kernel {
+        TileKernel::Empty => unreachable!("empty tiles are not launched"),
+        TileKernel::Coo(x) => (
+            cstf_formats::coordinate_mttkrp_traffic(
+                x.nnz(),
+                shape,
+                mode,
+                rank,
+                (shape.len() * 4) as f64,
+            ),
+            KernelClass::SparseGather,
+        ),
+        TileKernel::Csf(t) => (t.mttkrp_traffic(rank), KernelClass::SparseGather),
+        TileKernel::CsfOne(t) => (t.mttkrp_any_traffic(mode, rank), KernelClass::SparseGather),
+        TileKernel::HiCoo(h) => (h.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+        TileKernel::Alto(a) => (a.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+        TileKernel::Blco(b) => (b.mttkrp_traffic(mode, rank), KernelClass::SparseGather),
+    }
+}
+
+/// Tile copy with the recovery policy applied: transient link faults
+/// retry with modeled backoff (losing the overlap credit is the modeled
+/// price of the replay), device loss surfaces at once.
+fn transfer_tile_with_retry(
+    dev: &Device,
+    bytes: f64,
+    overlap_s: f64,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+) -> Result<OverlappedTransfer, FactorizeError> {
+    let mut attempts = 0u32;
+    loop {
+        match dev.try_transfer_overlapped("h2d_tile", bytes, overlap_s) {
+            Ok(t) => return Ok(t),
+            Err(fault) => {
+                attempts += 1;
+                if fault.kind == FaultKind::DeviceLoss || attempts > policy.max_retries {
+                    return Err(FactorizeError::Fault { fault, attempts });
+                }
+                report.transfer_retries += 1;
+                report.total_backoff_s += backoff_s(policy, attempts);
+            }
+        }
+    }
+}
+
+/// One full tiled mode-MTTKRP sweep: zero the output panel, then for each
+/// tile stream its bytes (double-buffered against the previous tile's
+/// compute), launch its kernel into the staging panel under the usual
+/// NaN/fault guard, and commit the tile's owned rows.
+///
+/// Bitwise equivalence with the in-core sweep: every format kernel zeroes
+/// its whole output buffer and accumulates only rows indexed by its own
+/// nonzeros, so the staging panel's rows `tile.rows` hold exactly the
+/// global MTTKRP rows the tile owns (DESIGN.md §11 restricted to one
+/// device), and the commits — over disjoint, covering ranges — rebuild
+/// the exact panel in file order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tiled_mttkrp_guarded(
+    dev: &Device,
+    engine: &TiledEngine,
+    shape: &[usize],
+    factors: &[Mat],
+    mode: usize,
+    rank: usize,
+    out: &mut Mat,
+    stage: &mut Mat,
+    ws: &mut MttkrpWorkspace,
+    policy: &RecoveryPolicy,
+    report: &mut RecoveryReport,
+    outer: usize,
+    tiling: &mut TilingReport,
+) -> Result<(), FactorizeError> {
+    out.as_mut_slice().fill(0.0);
+    // Compute seconds of the previous tile's kernel, available to hide
+    // the next tile's copy behind. The first copy of a sweep has nothing
+    // to overlap with — it is fully exposed, like the sharded h2d.
+    let mut prev_compute_s = 0.0f64;
+    for tile in &engine.per_mode[mode] {
+        if matches!(tile.kernel, TileKernel::Empty) {
+            // Nothing to move or run; the zeroed rows are exact, and no
+            // kernel runs to hide the next tile's copy behind.
+            prev_compute_s = 0.0;
+            continue;
+        }
+        let _tile_span = Span::enter("tile_stream");
+        let xfer = transfer_tile_with_retry(dev, tile.bytes, prev_compute_s, policy, report)?;
+        tiling.tile_transfers += 1;
+        tiling.streamed_bytes += tile.bytes;
+        tiling.transfer_raw_s += xfer.raw_s;
+        tiling.transfer_exposed_s += xfer.exposed_s;
+
+        let (traffic, class) = tile_traffic(&tile.kernel, shape, mode, rank);
+        let cost = KernelCost {
+            flops: traffic.flops,
+            bytes_read: traffic.bytes_read,
+            bytes_written: traffic.bytes_written,
+            gather_traffic: traffic.gather_bytes,
+            parallel_work: traffic.parallel_work,
+            serial_steps: 1.0,
+            working_set: traffic.working_set,
+        };
+        let mut attempts = 0u32;
+        loop {
+            let res = dev.launch_into(
+                "mttkrp_tile",
+                Phase::Mttkrp,
+                class,
+                cost,
+                stage,
+                Mat::as_mut_slice,
+                |buf| match &tile.kernel {
+                    TileKernel::Coo(x) => {
+                        cstf_formats::mttkrp_coo_parallel_into(x, factors, mode, buf, ws)
+                    }
+                    TileKernel::Csf(t) => t.mttkrp_into(factors, buf, ws),
+                    TileKernel::CsfOne(t) => t.mttkrp_any_into(factors, mode, buf, ws),
+                    TileKernel::HiCoo(h) => h.mttkrp_into(factors, mode, buf, ws),
+                    TileKernel::Alto(a) => a.mttkrp_into(factors, mode, buf, ws),
+                    TileKernel::Blco(b) => b.mttkrp_into(factors, mode, buf, ws),
+                    TileKernel::Empty => unreachable!("empty tiles are not launched"),
+                },
+            );
+            match res {
+                Ok(()) => {
+                    if policy.nan_guard && !stage.all_finite() {
+                        report.nan_events += 1;
+                        attempts += 1;
+                        if attempts > policy.max_retries {
+                            return Err(FactorizeError::NonFinite {
+                                stage: "mttkrp",
+                                mode,
+                                outer_iter: outer,
+                            });
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                Err(fault) => {
+                    attempts += 1;
+                    if fault.kind == FaultKind::DeviceLoss || attempts > policy.max_retries {
+                        return Err(FactorizeError::Fault { fault, attempts });
+                    }
+                    report.transient_retries += 1;
+                    report.total_backoff_s += backoff_s(policy, attempts);
+                }
+            }
+        }
+        prev_compute_s = dev.modeled_kernel_seconds(class, &cost);
+        // Commit the owned rows (host-side panel assembly, unmetered —
+        // the same bookkeeping as the sharded driver's gather).
+        let r = &tile.rows;
+        out.as_mut_slice()[r.start * rank..r.end * rank]
+            .copy_from_slice(&stage.as_slice()[r.start * rank..r.end * rank]);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use cstf_device::{Device, DeviceSpec, Phase};
+    use cstf_tensor::{write_tns, SparseTensor};
+
+    use crate::auntf::{seeded_factors, Auntf, AuntfConfig, TensorFormat};
+
+    fn planted(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+        let truth = cstf_tensor::Ktensor::from_factors(seeded_factors(shape, 3, seed ^ 0xABCD));
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = vec![Vec::new(); shape.len()];
+        let mut vals = Vec::new();
+        while vals.len() < nnz {
+            let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+            if !seen.insert(c.clone()) {
+                continue;
+            }
+            vals.push(truth.value_at(&c).max(1e-6));
+            for (m, &ci) in c.iter().enumerate() {
+                idx[m].push(ci);
+            }
+        }
+        SparseTensor::new(shape.to_vec(), idx, vals)
+    }
+
+    fn cfg(format: TensorFormat, tiles: usize) -> AuntfConfig {
+        AuntfConfig { rank: 3, max_iters: 4, seed: 5, format, tiles, ..Default::default() }
+    }
+
+    #[test]
+    fn tiled_factors_are_bitwise_identical_to_in_core() {
+        let x = planted(&[17, 12, 9], 420, 3);
+        for format in [
+            TensorFormat::Coo,
+            TensorFormat::Csf,
+            TensorFormat::CsfOne,
+            TensorFormat::HiCoo,
+            TensorFormat::Alto,
+            TensorFormat::Blco,
+        ] {
+            let base = Auntf::new(x.clone(), cfg(format, 1))
+                .factorize(&Device::new(DeviceSpec::h100()))
+                .unwrap();
+            for tiles in [2usize, 3, 5] {
+                let out = Auntf::new(x.clone(), cfg(format, tiles))
+                    .factorize(&Device::new(DeviceSpec::h100()))
+                    .unwrap();
+                assert_eq!(out.fits, base.fits, "{format:?} K={tiles} fit trajectory");
+                assert_eq!(out.model.lambda, base.model.lambda);
+                for (a, b) in out.model.factors.iter().zip(&base.model.factors) {
+                    for (&u, &v) in a.as_slice().iter().zip(b.as_slice()) {
+                        assert_eq!(u.to_bits(), v.to_bits(), "{format:?} K={tiles}");
+                    }
+                }
+                assert_eq!(out.tiling.tiles, tiles);
+                assert!(out.tiling.tile_transfers > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_construction_matches_in_core_tiled_run() {
+        // nnz < 64 Ki, so the scan's file-order ||X||² is bit-equal to the
+        // in-core serial reduction and the whole run must match bitwise.
+        let x = planted(&[15, 11, 8], 350, 9);
+        let dir = std::env::temp_dir().join(format!("cstf-tiled-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tns");
+        write_tns(&x, std::fs::File::create(&path).unwrap()).unwrap();
+
+        let c = cfg(TensorFormat::Blco, 3);
+        let in_core = Auntf::new(x, c.clone()).factorize(&Device::new(DeviceSpec::h100())).unwrap();
+        let streamed = Auntf::from_tns_file_tiled(&path, c)
+            .unwrap()
+            .factorize(&Device::new(DeviceSpec::h100()))
+            .unwrap();
+        assert_eq!(streamed.fits, in_core.fits);
+        for (a, b) in streamed.model.factors.iter().zip(&in_core.model.factors) {
+            assert_eq!(
+                a.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiled_run_streams_tiles_instead_of_upfront_tensor_copy() {
+        let x = planted(&[14, 10, 8], 300, 7);
+        let dev = Device::new(DeviceSpec::h100());
+        let out = Auntf::new(x, cfg(TensorFormat::Csf, 3)).factorize(&dev).unwrap();
+        // Every non-empty tile of every mode sweep moved once per outer
+        // iteration, and the double-buffer never hid more than raw time.
+        assert!(out.tiling.streamed_bytes > 0.0);
+        assert!(out.tiling.transfer_raw_s >= out.tiling.transfer_exposed_s);
+        assert!(out.tiling.hidden_s() >= 0.0);
+        assert!(dev.phase_totals(Phase::Transfer).launches >= out.tiling.tile_transfers as usize);
+    }
+
+    #[test]
+    fn sharded_run_rejects_tiling() {
+        use cstf_device::DeviceGroup;
+        let x = planted(&[12, 10, 8], 200, 11);
+        let group = DeviceGroup::homogeneous(&DeviceSpec::h100(), 2);
+        let err = Auntf::new(x, cfg(TensorFormat::Blco, 2)).factorize_sharded(&group).unwrap_err();
+        assert!(matches!(err, crate::recovery::FactorizeError::InvalidConfig(_)));
+    }
+}

@@ -32,6 +32,18 @@ pub struct Device {
     faults: Option<FaultState>,
 }
 
+/// Outcome of one [`Device::transfer_overlapped`] call: the raw link time
+/// the bytes would take in isolation and the exposed remainder actually
+/// charged after hiding behind `overlap_s` of concurrent compute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlappedTransfer {
+    /// Un-overlapped modeled link seconds for the full byte count.
+    pub raw_s: f64,
+    /// `max(0, raw_s - overlap_s)` — the seconds that extend the
+    /// timeline (0 when the copy hides entirely behind compute).
+    pub exposed_s: f64,
+}
+
 impl Device {
     /// Creates a device from a spec, keeping aggregate totals only.
     pub fn new(spec: DeviceSpec) -> Self {
@@ -229,6 +241,65 @@ impl Device {
         }
         self.transfer(name, bytes);
         Ok(())
+    }
+
+    /// Modeled seconds a kernel of this `class`/`cost` takes on this
+    /// device (straggler slowdown included) — the compute term the tiled
+    /// out-of-core driver overlaps the next tile's transfer against.
+    pub fn modeled_kernel_seconds(&self, class: KernelClass, cost: &KernelCost) -> f64 {
+        kernel_time(&self.spec, class, cost) * self.slowdown()
+    }
+
+    /// Raw (un-overlapped) modeled seconds to move `bytes` over the host
+    /// link (straggler slowdown included).
+    pub fn modeled_transfer_seconds(&self, bytes: f64) -> f64 {
+        transfer_time(&self.spec, bytes) * self.slowdown()
+    }
+
+    /// Records a host↔device transfer whose link time is double-buffered
+    /// against `overlap_s` seconds of concurrent compute: only the
+    /// *exposed* remainder `max(0, raw - overlap_s)` is charged to the
+    /// Transfer phase (the rest hides behind the kernel the device is
+    /// already running). The full byte count is still recorded, so
+    /// bandwidth accounting stays exact while the timeline reflects the
+    /// overlap.
+    pub fn transfer_overlapped(
+        &self,
+        name: &'static str,
+        bytes: f64,
+        overlap_s: f64,
+    ) -> OverlappedTransfer {
+        let raw_s = self.modeled_transfer_seconds(bytes);
+        let exposed_s = (raw_s - overlap_s.max(0.0)).max(0.0);
+        self.profiler.lock().record(KernelRecord {
+            name,
+            phase: Phase::Transfer,
+            class: KernelClass::Stream,
+            cost: KernelCost { bytes_read: bytes, ..Default::default() },
+            modeled_s: exposed_s,
+            measured_s: 0.0,
+            mode: None,
+        });
+        OverlappedTransfer { raw_s, exposed_s }
+    }
+
+    /// [`Device::transfer_overlapped`] with injected link-failure faults:
+    /// on a fault nothing is metered and the error is returned for the
+    /// caller's retry policy, exactly like [`Device::try_transfer`].
+    pub fn try_transfer_overlapped(
+        &self,
+        name: &'static str,
+        bytes: f64,
+        overlap_s: f64,
+    ) -> Result<OverlappedTransfer, DeviceFault> {
+        if let Some(state) = &self.faults {
+            let op = state.next_op();
+            if let Some(fault) = state.transfer_fault(name, op) {
+                self.profiler.lock().record_fault(fault.kind, name, op);
+                return Err(fault);
+            }
+        }
+        Ok(self.transfer_overlapped(name, bytes, overlap_s))
     }
 
     /// Records this device's participation in a modeled collective (ring
@@ -554,6 +625,59 @@ mod tests {
         assert_eq!(err.kind, FaultKind::DeviceLoss);
         assert!(dev.lost_now());
         assert!(dev.try_transfer("d2h", 8.0).is_err(), "transfers fail too");
+    }
+
+    #[test]
+    fn overlapped_transfer_charges_only_the_exposed_remainder() {
+        let dev = Device::new(DeviceSpec::a100());
+        let raw = dev.modeled_transfer_seconds(1e8);
+        assert!(raw > 0.0);
+
+        // No compute to hide behind: fully exposed.
+        let t0 = dev.transfer_overlapped("h2d_tile", 1e8, 0.0);
+        assert_eq!(t0.raw_s, raw);
+        assert_eq!(t0.exposed_s, raw);
+
+        // Partial overlap: the exposed time is the arithmetic remainder.
+        let t1 = dev.transfer_overlapped("h2d_tile", 1e8, raw * 0.25);
+        assert!((t1.exposed_s - raw * 0.75).abs() < 1e-15);
+
+        // Full overlap: nothing exposed, but the bytes are still recorded.
+        let t2 = dev.transfer_overlapped("h2d_tile", 1e8, raw * 10.0);
+        assert_eq!(t2.exposed_s, 0.0);
+        assert_eq!(t2.raw_s, raw);
+
+        let totals = dev.phase_totals(Phase::Transfer);
+        assert_eq!(totals.launches, 3);
+        let want = t0.exposed_s + t1.exposed_s + t2.exposed_s;
+        assert!((totals.seconds - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlapped_transfer_is_free_on_cpu_specs() {
+        let cpu = Device::new(DeviceSpec::icelake_xeon());
+        let t = cpu.transfer_overlapped("h2d_tile", 1e9, 0.0);
+        assert_eq!(t.raw_s, 0.0);
+        assert_eq!(t.exposed_s, 0.0);
+    }
+
+    #[test]
+    fn try_transfer_overlapped_draws_link_faults() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let dev = Device::new(DeviceSpec::a100())
+            .with_fault_plan(FaultPlan { transfer_fault_rate: 1.0, ..FaultPlan::quiet(9) });
+        let err = dev.try_transfer_overlapped("h2d_tile", 1e6, 0.0).expect_err("must fault");
+        assert_eq!(err.kind, FaultKind::TransferFailure);
+        assert_eq!(dev.phase_totals(Phase::Transfer).launches, 0, "faulted copy not metered");
+    }
+
+    #[test]
+    fn modeled_kernel_seconds_matches_launch_metering() {
+        let dev = Device::new(DeviceSpec::h100());
+        let c = cost(1000.0);
+        let expect = dev.modeled_kernel_seconds(KernelClass::SparseGather, &c);
+        dev.launch("k", Phase::Mttkrp, KernelClass::SparseGather, c, || ());
+        assert_eq!(dev.total_seconds(), expect);
     }
 
     #[test]

@@ -62,11 +62,13 @@ pub use baseline::{
     PerfBaseline,
 };
 pub use cost::{kernel_time, transfer_time, KernelClass, KernelCost};
-pub use device::Device;
+pub use device::{Device, OverlappedTransfer};
 pub use export::{phase_summaries, registry_from_capture, registry_from_captures};
 pub use fault::{DeviceFault, FaultKind, FaultPlan, GroupFault, LossPoint};
 pub use group::{DeviceGroup, GroupHealth, HealthPolicy, LinkModel};
-pub use memstat::{device_capacity_bytes, plan_device_fit, plan_fit, DeviceFit};
+pub use memstat::{
+    device_capacity_bytes, plan_device_fit, plan_fit, suggested_tile_count, DeviceFit,
+};
 pub use profiler::{
     FaultRecord, KernelKey, KernelRecord, KernelTotals, MarkRecord, Phase, PhaseTotals, Profiler,
     RunCapture,

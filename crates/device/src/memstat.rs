@@ -77,6 +77,37 @@ pub fn device_capacity_bytes(spec: &DeviceSpec) -> u64 {
     (spec.dram_gb * GB) as u64
 }
 
+/// The smallest tile count `K` at which a tiled out-of-core run fits
+/// `budget_bytes`, or `None` when no tile count can fit.
+///
+/// The residency model matches the tiled driver exactly: the factors and
+/// other per-run state (`fixed_bytes`) stay device-resident for the whole
+/// run, while the tensor (`tensor_bytes`, the in-core footprint of the
+/// chosen format) streams through in `K` nnz-balanced tiles of at most
+/// `ceil(tensor/K)` bytes — **two** of which are resident at a time,
+/// because the next tile's host→device copy is double-buffered against
+/// the current tile's compute. So the requirement is
+/// `2 * ceil(tensor_bytes / K) + fixed_bytes <= budget_bytes`.
+///
+/// `Some(1)` means the configuration fits in-core (a `K = 1` run takes
+/// the untiled path, holding one copy of the tensor). `None` means even
+/// infinitely fine tiling cannot help — the fixed state alone (or the
+/// two-tile minimum) exceeds the budget.
+pub fn suggested_tile_count(tensor_bytes: u64, fixed_bytes: u64, budget_bytes: u64) -> Option<u64> {
+    let avail = budget_bytes.checked_sub(fixed_bytes)?;
+    // K = 1 is the untiled in-core path: a single resident copy.
+    if tensor_bytes <= avail {
+        return Some(1);
+    }
+    // Largest admissible per-tile size under double-buffering.
+    let per_tile = avail / 2;
+    if per_tile == 0 {
+        return None;
+    }
+    // ceil(tensor / per_tile): the smallest K with ceil(tensor/K) <= per_tile.
+    Some(tensor_bytes.div_ceil(per_tile).max(2))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +163,36 @@ mod tests {
         assert!(!fit.fits);
         assert!(fit.occupancy.is_infinite());
         assert_eq!(plan_fit(0, 0).occupancy, 0.0);
+    }
+
+    #[test]
+    fn tile_count_is_one_when_in_core_fits() {
+        assert_eq!(suggested_tile_count(1000, 24, 1024), Some(1));
+        assert_eq!(suggested_tile_count(0, 24, 24), Some(1));
+    }
+
+    #[test]
+    fn tile_count_is_minimal_and_sufficient() {
+        for (tensor, fixed, budget) in
+            [(1000u64, 100u64, 700u64), (1 << 30, 1 << 20, 1 << 24), (999, 0, 100), (10, 5, 14)]
+        {
+            let k = suggested_tile_count(tensor, fixed, budget)
+                .unwrap_or_else(|| panic!("({tensor},{fixed},{budget}) should fit at some K"));
+            let resident = |k: u64| 2 * tensor.div_ceil(k) + fixed;
+            assert!(resident(k) <= budget, "K={k} does not fit: {} > {budget}", resident(k));
+            if k > 2 {
+                assert!(resident(k - 1) > budget, "K={} already fits — {k} is not minimal", k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_count_none_when_fixed_state_cannot_fit() {
+        // Fixed bytes alone blow the budget.
+        assert_eq!(suggested_tile_count(1000, 2048, 1024), None);
+        // Fixed bytes fit exactly but leave no room for any tile.
+        assert_eq!(suggested_tile_count(1000, 1024, 1024), None);
+        // One spare byte still cannot host two tile buffers.
+        assert_eq!(suggested_tile_count(1000, 1023, 1024), None);
     }
 }

@@ -28,6 +28,7 @@ pub mod csf;
 pub mod hicoo;
 pub mod mttkrp;
 pub mod shard;
+pub mod tile;
 pub mod traffic;
 pub mod workspace;
 
@@ -37,5 +38,6 @@ pub use csf::Csf;
 pub use hicoo::HiCoo;
 pub use mttkrp::{mttkrp_coo_parallel, mttkrp_coo_parallel_into, mttkrp_ref, mttkrp_ref_into};
 pub use shard::{extract_mode_rows, nnz_balanced_ranges};
+pub use tile::TilePlan;
 pub use traffic::{coordinate_mttkrp_traffic, TrafficEstimate};
 pub use workspace::MttkrpWorkspace;

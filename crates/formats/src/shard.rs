@@ -20,35 +20,20 @@ use cstf_tensor::SparseTensor;
 /// cumulative nonzero count reaches `(j+1) * nnz / parts`. Trailing ranges
 /// may be empty; together the ranges cover `0..shape[mode]`.
 ///
+/// Delegates the range arithmetic to
+/// [`cstf_tensor::balanced_ranges_from_counts`] — the same implementation
+/// the streaming `.tns` reader partitions with — so in-core shards/tiles
+/// and streamed tiles land on bitwise-identical boundaries.
+///
 /// # Panics
 /// Panics if `mode` is out of range.
 pub fn nnz_balanced_ranges(x: &SparseTensor, mode: usize, parts: usize) -> Vec<Range<usize>> {
     assert!(mode < x.nmodes(), "mode out of range");
-    let rows = x.shape()[mode];
-    let parts = parts.max(1);
-    let mut counts = vec![0usize; rows];
+    let mut counts = vec![0usize; x.shape()[mode]];
     for &i in x.mode_indices(mode) {
         counts[i as usize] += 1;
     }
-    let total = x.nnz();
-
-    let mut out = Vec::with_capacity(parts);
-    let mut row = 0usize;
-    let mut cum = 0usize;
-    for j in 0..parts {
-        let start = row;
-        if j + 1 == parts {
-            row = rows;
-        } else {
-            let target = (j + 1) * total / parts;
-            while row < rows && cum < target {
-                cum += counts[row];
-                row += 1;
-            }
-        }
-        out.push(start..row);
-    }
-    out
+    cstf_tensor::balanced_ranges_from_counts(&counts, parts)
 }
 
 /// Extracts the sub-tensor of `x` whose mode-`mode` index lies in `rows`,

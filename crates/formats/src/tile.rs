@@ -1,0 +1,116 @@
+//! Tile planning for out-of-core (memory-budgeted) MTTKRP.
+//!
+//! A tile is the out-of-core analogue of a shard: for the mode-`m` update,
+//! tile `t` holds every nonzero whose mode-`m` index falls in its
+//! contiguous, nnz-balanced row range — "sharding in time" on a single
+//! device instead of sharding in space across a group. Because each format
+//! kernel on such a row-restricted sub-tensor writes exactly the global
+//! MTTKRP rows the tile owns (the owner-computes property proven for
+//! shards in DESIGN.md §11), streaming the tiles sequentially and
+//! committing each tile's owned output rows reassembles the in-core MTTKRP
+//! panel **bitwise**, in any tile order.
+//!
+//! The byte-level side of the planner (how many tiles a
+//! `--memory-budget` admits) lives in `cstf_device::suggested_tile_count`;
+//! this module owns the structural side: which rows land in which tile.
+
+use std::ops::Range;
+
+use cstf_tensor::{SparseTensor, TnsScan};
+
+use crate::shard::nnz_balanced_ranges;
+
+/// A complete tiling of a tensor: for every mode, the nnz-balanced row
+/// ranges its MTTKRP output is partitioned into.
+#[derive(Debug, Clone)]
+pub struct TilePlan {
+    /// Tile count `K` (every mode has exactly `K` ranges; trailing ranges
+    /// may be empty).
+    pub tiles: usize,
+    /// `mode_ranges[m][t]` = the mode-`m` output rows tile `t` owns.
+    pub mode_ranges: Vec<Vec<Range<usize>>>,
+}
+
+impl TilePlan {
+    /// Plans `tiles` nnz-balanced tiles per mode from an in-core tensor.
+    pub fn build(x: &SparseTensor, tiles: usize) -> Self {
+        let tiles = tiles.max(1);
+        let mode_ranges = (0..x.nmodes()).map(|m| nnz_balanced_ranges(x, m, tiles)).collect();
+        Self { tiles, mode_ranges }
+    }
+
+    /// Plans from a streaming scan's histograms without the tensor in
+    /// memory. Produces exactly the ranges [`TilePlan::build`] would on
+    /// the in-core parse of the same file (both delegate to
+    /// [`cstf_tensor::balanced_ranges_from_counts`]).
+    pub fn from_scan(scan: &TnsScan, tiles: usize) -> Self {
+        let tiles = tiles.max(1);
+        let mode_ranges = (0..scan.nmodes()).map(|m| scan.tile_ranges(m, tiles)).collect();
+        Self { tiles, mode_ranges }
+    }
+
+    /// Number of modes planned.
+    pub fn nmodes(&self) -> usize {
+        self.mode_ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cstf_tensor::{read_tns, scan_tns, write_tns};
+
+    fn random_tensor(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut idx = vec![Vec::with_capacity(nnz); shape.len()];
+        let mut vals = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            for (m, &d) in shape.iter().enumerate() {
+                idx[m].push(next() % d as u32);
+            }
+            vals.push(f64::from(next() % 50) * 0.1 + 0.1);
+        }
+        let mut t = SparseTensor::new(shape.to_vec(), idx, vals);
+        t.sum_duplicates();
+        t
+    }
+
+    #[test]
+    fn plan_covers_every_mode_with_exact_tile_count() {
+        let x = random_tensor(&[19, 11, 7], 400, 1);
+        for tiles in [1usize, 2, 3, 5, 40] {
+            let plan = TilePlan::build(&x, tiles);
+            assert_eq!(plan.tiles, tiles);
+            assert_eq!(plan.nmodes(), 3);
+            for (m, ranges) in plan.mode_ranges.iter().enumerate() {
+                assert_eq!(ranges.len(), tiles);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, x.shape()[m]);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_plan_equals_in_core_plan() {
+        // The invariant the out-of-core bitwise-equivalence rests on:
+        // planning from the streaming scan of a written file gives the
+        // same ranges as planning from the parsed tensor.
+        let x = random_tensor(&[23, 9, 13], 500, 2);
+        let mut buf = Vec::new();
+        write_tns(&x, &mut buf).unwrap();
+        let parsed = read_tns(buf.as_slice()).unwrap();
+        let scan = scan_tns(buf.as_slice()).unwrap();
+        for tiles in [1usize, 2, 3, 5] {
+            let a = TilePlan::build(&parsed, tiles);
+            let b = TilePlan::from_scan(&scan, tiles);
+            assert_eq!(a.mode_ranges, b.mode_ranges);
+        }
+    }
+}

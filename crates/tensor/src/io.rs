@@ -5,6 +5,14 @@
 //! line, `N` 1-based coordinates followed by the value. Comment lines start
 //! with `#`. This module reads and writes that format so real FROSTT dumps
 //! can replace the synthetic catalog.
+//!
+//! Parsing folds the per-mode shape maximum into the parse loop (no
+//! post-parse re-scan of the index vectors) and, when the byte length of
+//! the input is known ([`read_tns_sized`], used by [`read_tns_file`]),
+//! pre-sizes the index/value vectors from a byte-length heuristic so large
+//! dumps load without the doubling-reallocation cascade. The out-of-core
+//! path lives in [`crate::stream`] and shares the line parser below, so
+//! streamed and in-core parses accept and reject exactly the same inputs.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -45,11 +53,96 @@ impl From<std::io::Error> for TnsError {
     }
 }
 
+/// Parses one `.tns` line into 0-based coordinates (written into `coords`)
+/// and the value. Returns `Ok(None)` for blank and comment lines.
+///
+/// This is the single validation point shared by [`read_tns`] and the
+/// streaming passes in [`crate::stream`]: any input one of them accepts or
+/// rejects, all of them do, with identical messages.
+pub(crate) fn parse_tns_line(
+    raw: &str,
+    lineno: usize,
+    expected_modes: Option<usize>,
+    coords: &mut Vec<u32>,
+) -> Result<Option<f64>, TnsError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let toks: Vec<&str> = line.split_ascii_whitespace().collect();
+    if toks.len() < 2 {
+        return Err(TnsError::Parse {
+            line: lineno,
+            message: "expected at least one coordinate and a value".into(),
+        });
+    }
+    let nmodes = toks.len() - 1;
+    if let Some(expected) = expected_modes {
+        if expected != nmodes {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("expected {expected} coordinates, found {nmodes}"),
+            });
+        }
+    }
+    coords.clear();
+    for tok in &toks[..nmodes] {
+        let c: u64 = tok.parse().map_err(|_| TnsError::Parse {
+            line: lineno,
+            message: format!("bad coordinate {tok:?}"),
+        })?;
+        if c == 0 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: "coordinates are 1-based; found 0".into(),
+            });
+        }
+        // Coordinates are stored as u32; a silent `as` cast here would
+        // wrap huge indices onto other rows instead of failing.
+        if c - 1 > u64::from(u32::MAX) {
+            return Err(TnsError::Parse {
+                line: lineno,
+                message: format!("coordinate {c} exceeds the supported maximum {}", u32::MAX),
+            });
+        }
+        coords.push((c - 1) as u32);
+    }
+    let v: f64 = toks[nmodes].parse().map_err(|_| TnsError::Parse {
+        line: lineno,
+        message: format!("bad value {:?}", toks[nmodes]),
+    })?;
+    if !v.is_finite() {
+        return Err(TnsError::Parse {
+            line: lineno,
+            message: format!("non-finite value {:?}", toks[nmodes]),
+        });
+    }
+    Ok(Some(v))
+}
+
+/// Estimated nonzero-line count for pre-sizing: total bytes divided by the
+/// byte length of the first data line (a representative sample — `.tns`
+/// lines of one tensor have near-uniform width), plus one for the division
+/// floor.
+fn estimated_lines(byte_len: u64, first_line_bytes: usize) -> usize {
+    usize::try_from(byte_len / first_line_bytes.max(1) as u64).unwrap_or(usize::MAX / 2) + 1
+}
+
 /// Reads a `.tns` tensor from any reader. The shape is inferred as the
 /// per-mode maximum coordinate.
 pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, TnsError> {
+    read_tns_sized(reader, None)
+}
+
+/// Like [`read_tns`], but `byte_len` (the total input length in bytes, when
+/// known) pre-sizes the index and value vectors so parsing avoids the
+/// doubling-reallocation cascade — the peak-allocation win is pinned by the
+/// counting-allocator test in `tests/stream_tns.rs`.
+pub fn read_tns_sized<R: Read>(reader: R, byte_len: Option<u64>) -> Result<SparseTensor, TnsError> {
     let mut indices: Vec<Vec<u32>> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
+    let mut shape_max: Vec<u32> = Vec::new();
+    let mut coords: Vec<u32> = Vec::new();
     let mut line_buf = String::new();
     let mut br = BufReader::new(reader);
     let mut lineno = 0usize;
@@ -60,57 +153,22 @@ pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, TnsError> {
             break;
         }
         lineno += 1;
-        let line = line_buf.trim();
-        if line.is_empty() || line.starts_with('#') {
+        let expected = if indices.is_empty() { None } else { Some(indices.len()) };
+        let Some(v) = parse_tns_line(&line_buf, lineno, expected, &mut coords)? else {
             continue;
-        }
-        let mut fields = line.split_ascii_whitespace();
-        let toks: Vec<&str> = fields.by_ref().collect();
-        if toks.len() < 2 {
-            return Err(TnsError::Parse {
-                line: lineno,
-                message: "expected at least one coordinate and a value".into(),
-            });
-        }
-        let nmodes = toks.len() - 1;
+        };
         if indices.is_empty() {
-            indices = vec![Vec::new(); nmodes];
-        } else if indices.len() != nmodes {
-            return Err(TnsError::Parse {
-                line: lineno,
-                message: format!("expected {} coordinates, found {nmodes}", indices.len()),
-            });
+            let nmodes = coords.len();
+            let est = byte_len.map_or(0, |b| estimated_lines(b, line_buf.len()));
+            indices = (0..nmodes).map(|_| Vec::with_capacity(est)).collect();
+            values = Vec::with_capacity(est);
+            shape_max = vec![0u32; nmodes];
         }
-        for (m, tok) in toks[..nmodes].iter().enumerate() {
-            let c: u64 = tok.parse().map_err(|_| TnsError::Parse {
-                line: lineno,
-                message: format!("bad coordinate {tok:?}"),
-            })?;
-            if c == 0 {
-                return Err(TnsError::Parse {
-                    line: lineno,
-                    message: "coordinates are 1-based; found 0".into(),
-                });
+        for (m, &c) in coords.iter().enumerate() {
+            if c > shape_max[m] {
+                shape_max[m] = c;
             }
-            // Coordinates are stored as u32; a silent `as` cast here would
-            // wrap huge indices onto other rows instead of failing.
-            if c - 1 > u64::from(u32::MAX) {
-                return Err(TnsError::Parse {
-                    line: lineno,
-                    message: format!("coordinate {c} exceeds the supported maximum {}", u32::MAX),
-                });
-            }
-            indices[m].push((c - 1) as u32);
-        }
-        let v: f64 = toks[nmodes].parse().map_err(|_| TnsError::Parse {
-            line: lineno,
-            message: format!("bad value {:?}", toks[nmodes]),
-        })?;
-        if !v.is_finite() {
-            return Err(TnsError::Parse {
-                line: lineno,
-                message: format!("non-finite value {:?}", toks[nmodes]),
-            });
+            indices[m].push(c);
         }
         values.push(v);
     }
@@ -118,18 +176,24 @@ pub fn read_tns<R: Read>(reader: R) -> Result<SparseTensor, TnsError> {
     if values.is_empty() {
         return Err(TnsError::Empty);
     }
-    let shape: Vec<usize> =
-        indices.iter().map(|idx| idx.iter().copied().max().unwrap_or(0) as usize + 1).collect();
+    let shape: Vec<usize> = shape_max.iter().map(|&c| c as usize + 1).collect();
     SparseTensor::try_new(shape, indices, values)
         .map_err(|message| TnsError::Parse { line: lineno, message })
 }
 
-/// Reads a `.tns` tensor from a file path.
+/// Reads a `.tns` tensor from a file path, pre-sizing from the file length.
 pub fn read_tns_file(path: impl AsRef<Path>) -> Result<SparseTensor, TnsError> {
-    read_tns(std::fs::File::open(path)?)
+    let file = std::fs::File::open(path)?;
+    let byte_len = file.metadata().ok().map(|m| m.len());
+    read_tns_sized(file, byte_len)
 }
 
 /// Writes a tensor in `.tns` format (1-based coordinates).
+///
+/// Values are written with Rust's default `f64` formatting — the shortest
+/// decimal string that round-trips to the same bits — so a
+/// write-then-read cycle recovers every finite value bit-exactly (pinned
+/// by the extreme-value proptest in `tests/stream_tns.rs`).
 pub fn write_tns<W: Write>(tensor: &SparseTensor, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
     for k in 0..tensor.nnz() {
@@ -174,6 +238,19 @@ mod tests {
         assert_eq!(back.nnz(), t.nnz());
         for k in 0..t.nnz() {
             assert_eq!(back.get(&t.coord(k)), t.values()[k]);
+        }
+    }
+
+    #[test]
+    fn sized_parse_equals_unsized_parse() {
+        let text = "1 1 1 2.5\n3 2 1 -1.0\n2 4 2 0.5\n";
+        let a = read_tns(text.as_bytes()).unwrap();
+        let b = read_tns_sized(text.as_bytes(), Some(text.len() as u64)).unwrap();
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.nnz(), b.nnz());
+        for k in 0..a.nnz() {
+            assert_eq!(a.coord(k), b.coord(k));
+            assert_eq!(a.values()[k].to_bits(), b.values()[k].to_bits());
         }
     }
 

@@ -36,8 +36,13 @@ pub mod dense;
 pub mod io;
 pub mod kruskal;
 pub mod sparse;
+pub mod stream;
 
 pub use dense::DenseTensor;
-pub use io::{read_tns, read_tns_file, write_tns, write_tns_file, TnsError};
+pub use io::{read_tns, read_tns_file, read_tns_sized, write_tns, write_tns_file, TnsError};
 pub use kruskal::Ktensor;
 pub use sparse::SparseTensor;
+pub use stream::{
+    balanced_ranges_from_counts, read_tns_tile, read_tns_tiles, read_tns_tiles_file, scan_tns,
+    TnsScan,
+};

@@ -1,0 +1,373 @@
+//! Streaming, tile-at-a-time `.tns` ingestion for out-of-core runs.
+//!
+//! The in-core reader ([`crate::io::read_tns`]) materializes the whole
+//! coordinate tensor before anything can be compiled — exactly the
+//! allocation a memory-budgeted run cannot afford. This module replaces it
+//! with two bounded passes:
+//!
+//! 1. **Scan** ([`scan_tns`]): one pass that records the shape (running
+//!    per-mode maximum), the nonzero count, the squared Frobenius norm,
+//!    and a per-mode row histogram — `O(sum of mode lengths)` memory,
+//!    never the nonzeros themselves.
+//! 2. **Tile reads** ([`read_tns_tile`], driven by [`read_tns_tiles`]):
+//!    for each (mode, tile) pair, a re-read that keeps only the nonzeros
+//!    whose mode index falls in the tile's row range, pre-sized exactly
+//!    from the histogram. At most one tile's coordinates are live at a
+//!    time.
+//!
+//! Tile row ranges come from [`balanced_ranges_from_counts`] — the single
+//! range-partitioning implementation in the workspace
+//! (`cstf_formats::nnz_balanced_ranges` delegates here), so streamed tiles
+//! land on **bitwise-identical boundaries** to in-core tiling and the
+//! out-of-core factorization path inherits the sharded-equivalence proof.
+//!
+//! The per-tile sub-tensors keep the full (scanned) shape and global
+//! indices and preserve file order — the same semantics as
+//! `cstf_formats::extract_mode_rows` applied to the in-core parse, which
+//! is what makes streamed construction bit-exact.
+//!
+//! `norm_sq` is accumulated serially in file order, matching
+//! [`SparseTensor::norm_sq`]'s serial path (used below its parallel
+//! threshold of 64 Ki nonzeros) bit for bit.
+
+use std::io::{BufRead, BufReader, Read};
+use std::ops::Range;
+use std::path::Path;
+
+use crate::io::{parse_tns_line, TnsError};
+use crate::sparse::SparseTensor;
+
+/// Summary of one streaming pass over a `.tns` input: everything a tiling
+/// planner and the tile reads need, in `O(sum of mode lengths)` memory.
+#[derive(Debug, Clone)]
+pub struct TnsScan {
+    /// Inferred shape (per-mode maximum coordinate), identical to the
+    /// shape [`crate::read_tns`] would infer.
+    pub shape: Vec<usize>,
+    /// Number of nonzero lines.
+    pub nnz: usize,
+    /// Squared Frobenius norm, accumulated serially in file order.
+    pub norm_sq: f64,
+    /// `mode_counts[m][i]` = number of nonzeros whose mode-`m` index is
+    /// `i` — the histogram nnz-balanced tile ranges are computed from.
+    pub mode_counts: Vec<Vec<usize>>,
+}
+
+impl TnsScan {
+    /// Number of modes.
+    pub fn nmodes(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Approximate bytes of the coordinate (COO) representation of the
+    /// full tensor: `nnz * (4 bytes per mode index + 8 bytes of value)` —
+    /// the same accounting the drivers use for COO device residency.
+    pub fn coo_bytes(&self) -> u64 {
+        self.nnz as u64 * (self.nmodes() as u64 * 4 + 8)
+    }
+
+    /// The nnz-balanced tile row ranges for `mode` at tile count `tiles`
+    /// (see [`balanced_ranges_from_counts`]).
+    pub fn tile_ranges(&self, mode: usize, tiles: usize) -> Vec<Range<usize>> {
+        balanced_ranges_from_counts(&self.mode_counts[mode], tiles)
+    }
+}
+
+/// Splits `0..counts.len()` into exactly `parts` contiguous ranges with
+/// near-equal weight: range `j` closes once the cumulative weight reaches
+/// `(j+1) * total / parts`. Trailing ranges may be empty; together the
+/// ranges cover `0..counts.len()`.
+///
+/// This is the **only** range-partitioning implementation in the
+/// workspace: `cstf_formats::nnz_balanced_ranges` builds its per-row
+/// nonzero histogram and delegates here, and the streaming tile reader
+/// uses the scan histogram directly — so in-core shards/tiles and
+/// streamed tiles land on identical boundaries by construction.
+pub fn balanced_ranges_from_counts(counts: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let rows = counts.len();
+    let parts = parts.max(1);
+    let total: usize = counts.iter().sum();
+
+    let mut out = Vec::with_capacity(parts);
+    let mut row = 0usize;
+    let mut cum = 0usize;
+    for j in 0..parts {
+        let start = row;
+        if j + 1 == parts {
+            row = rows;
+        } else {
+            let target = (j + 1) * total / parts;
+            while row < rows && cum < target {
+                cum += counts[row];
+                row += 1;
+            }
+        }
+        out.push(start..row);
+    }
+    out
+}
+
+/// Scans a `.tns` input without materializing any nonzeros. Accepts and
+/// rejects exactly the inputs [`crate::read_tns`] does (shared line
+/// parser), including [`TnsError::Empty`] for a nonzero-free input.
+pub fn scan_tns<R: Read>(reader: R) -> Result<TnsScan, TnsError> {
+    let mut mode_counts: Vec<Vec<usize>> = Vec::new();
+    let mut nnz = 0usize;
+    let mut norm_sq = 0.0f64;
+    let mut coords: Vec<u32> = Vec::new();
+    let mut line_buf = String::new();
+    let mut br = BufReader::new(reader);
+    let mut lineno = 0usize;
+
+    loop {
+        line_buf.clear();
+        if br.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let expected = if mode_counts.is_empty() { None } else { Some(mode_counts.len()) };
+        let Some(v) = parse_tns_line(&line_buf, lineno, expected, &mut coords)? else {
+            continue;
+        };
+        if mode_counts.is_empty() {
+            mode_counts = vec![Vec::new(); coords.len()];
+        }
+        for (m, &c) in coords.iter().enumerate() {
+            let i = c as usize;
+            if i >= mode_counts[m].len() {
+                mode_counts[m].resize(i + 1, 0);
+            }
+            mode_counts[m][i] += 1;
+        }
+        nnz += 1;
+        norm_sq += v * v;
+    }
+
+    if nnz == 0 {
+        return Err(TnsError::Empty);
+    }
+    let shape: Vec<usize> = mode_counts.iter().map(Vec::len).collect();
+    Ok(TnsScan { shape, nnz, norm_sq, mode_counts })
+}
+
+/// Re-reads a `.tns` input keeping only the nonzeros whose mode-`mode`
+/// index falls in `rows`, as a sub-tensor with the full scanned shape,
+/// global indices, and file order preserved — the streaming equivalent of
+/// `cstf_formats::extract_mode_rows` on the in-core parse.
+///
+/// The index/value vectors are sized exactly from the scan histogram, so
+/// the peak live allocation is one tile, not the whole tensor. A
+/// coordinate outside the scanned shape means the input changed between
+/// the passes and is reported as a parse error.
+///
+/// # Panics
+/// Panics if `mode` or `rows` is out of range for the scan.
+pub fn read_tns_tile<R: Read>(
+    reader: R,
+    scan: &TnsScan,
+    mode: usize,
+    rows: &Range<usize>,
+) -> Result<SparseTensor, TnsError> {
+    assert!(mode < scan.nmodes(), "mode out of range");
+    assert!(rows.end <= scan.shape[mode], "row range out of bounds");
+    let nmodes = scan.nmodes();
+    let tile_nnz: usize = scan.mode_counts[mode][rows.clone()].iter().sum();
+    let mut indices: Vec<Vec<u32>> = (0..nmodes).map(|_| Vec::with_capacity(tile_nnz)).collect();
+    let mut values: Vec<f64> = Vec::with_capacity(tile_nnz);
+    let mut coords: Vec<u32> = Vec::new();
+    let mut line_buf = String::new();
+    let mut br = BufReader::new(reader);
+    let mut lineno = 0usize;
+
+    loop {
+        line_buf.clear();
+        if br.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let Some(v) = parse_tns_line(&line_buf, lineno, Some(nmodes), &mut coords)? else {
+            continue;
+        };
+        for (m, &c) in coords.iter().enumerate() {
+            if c as usize >= scan.shape[m] {
+                return Err(TnsError::Parse {
+                    line: lineno,
+                    message: format!(
+                        "coordinate {} exceeds the scanned mode-{m} length {} (input changed \
+                         between scan and tile passes?)",
+                        c as u64 + 1,
+                        scan.shape[m]
+                    ),
+                });
+            }
+        }
+        if !rows.contains(&(coords[mode] as usize)) {
+            continue;
+        }
+        for (m, &c) in coords.iter().enumerate() {
+            indices[m].push(c);
+        }
+        values.push(v);
+    }
+
+    SparseTensor::try_new(scan.shape.clone(), indices, values)
+        .map_err(|message| TnsError::Parse { line: lineno, message })
+}
+
+/// Streams a `.tns` input as per-mode, nnz-balanced tiles without ever
+/// materializing the full coordinate tensor.
+///
+/// `open` re-opens the input (once for the scan, once per (mode, tile));
+/// `visit(mode, tile, rows, sub)` receives each tile's sub-tensor in
+/// (mode-major, tile-minor) order and owns it — at most one tile is live
+/// inside this function at a time. Returns the scan for the caller's
+/// shape/norm bookkeeping.
+pub fn read_tns_tiles<R, O, V>(mut open: O, tiles: usize, mut visit: V) -> Result<TnsScan, TnsError>
+where
+    R: Read,
+    O: FnMut() -> std::io::Result<R>,
+    V: FnMut(usize, usize, &Range<usize>, SparseTensor) -> Result<(), TnsError>,
+{
+    let scan = scan_tns(open()?)?;
+    for mode in 0..scan.nmodes() {
+        let ranges = scan.tile_ranges(mode, tiles);
+        for (t, rows) in ranges.iter().enumerate() {
+            let sub = read_tns_tile(open()?, &scan, mode, rows)?;
+            visit(mode, t, rows, sub)?;
+        }
+    }
+    Ok(scan)
+}
+
+/// [`read_tns_tiles`] over a file path.
+pub fn read_tns_tiles_file<V>(
+    path: impl AsRef<Path>,
+    tiles: usize,
+    visit: V,
+) -> Result<TnsScan, TnsError>
+where
+    V: FnMut(usize, usize, &Range<usize>, SparseTensor) -> Result<(), TnsError>,
+{
+    let path = path.as_ref();
+    read_tns_tiles(|| std::fs::File::open(path), tiles, visit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::read_tns;
+
+    fn sample() -> String {
+        let mut s = String::from("# header comment\n");
+        let mut state: u64 = 0xfeed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..200 {
+            let i = next() % 17 + 1;
+            let j = next() % 9 + 1;
+            let k = next() % 13 + 1;
+            let v = f64::from(next() % 1000) / 64.0 - 5.0;
+            s.push_str(&format!("{i} {j} {k} {v}\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn scan_matches_in_core_parse() {
+        let text = sample();
+        let x = read_tns(text.as_bytes()).unwrap();
+        let scan = scan_tns(text.as_bytes()).unwrap();
+        assert_eq!(scan.shape, x.shape());
+        assert_eq!(scan.nnz, x.nnz());
+        assert_eq!(scan.norm_sq.to_bits(), x.norm_sq().to_bits());
+        for m in 0..x.nmodes() {
+            let mut counts = vec![0usize; x.shape()[m]];
+            for &i in x.mode_indices(m) {
+                counts[i as usize] += 1;
+            }
+            assert_eq!(scan.mode_counts[m], counts);
+        }
+    }
+
+    #[test]
+    fn tiles_partition_and_preserve_order() {
+        let text = sample();
+        let x = read_tns(text.as_bytes()).unwrap();
+        let scan = scan_tns(text.as_bytes()).unwrap();
+        for tiles in [1usize, 2, 3, 5] {
+            for mode in 0..x.nmodes() {
+                let ranges = scan.tile_ranges(mode, tiles);
+                assert_eq!(ranges.len(), tiles);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, x.shape()[mode]);
+                let mut total = 0usize;
+                for rows in &ranges {
+                    let sub = read_tns_tile(text.as_bytes(), &scan, mode, rows).unwrap();
+                    assert_eq!(sub.shape(), x.shape());
+                    total += sub.nnz();
+                    // File order within the tile == storage order of the
+                    // in-core parse restricted to the tile's rows.
+                    let want: Vec<(Vec<u32>, u64)> = (0..x.nnz())
+                        .filter(|&k| rows.contains(&(x.mode_indices(mode)[k] as usize)))
+                        .map(|k| (x.coord(k), x.values()[k].to_bits()))
+                        .collect();
+                    let got: Vec<(Vec<u32>, u64)> =
+                        (0..sub.nnz()).map(|k| (sub.coord(k), sub.values()[k].to_bits())).collect();
+                    assert_eq!(got, want);
+                }
+                assert_eq!(total, x.nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn tile_driver_visits_every_mode_tile_pair() {
+        let text = sample();
+        let mut seen = Vec::new();
+        let scan = read_tns_tiles(
+            || Ok(text.as_bytes()),
+            3,
+            |mode, tile, rows, sub| {
+                seen.push((mode, tile, rows.clone(), sub.nnz()));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen.len(), 3 * scan.nmodes());
+        for mode in 0..scan.nmodes() {
+            let nnz: usize = seen.iter().filter(|(m, ..)| *m == mode).map(|&(.., nnz)| nnz).sum();
+            assert_eq!(nnz, scan.nnz, "mode {mode} tiles must partition the nonzeros");
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_match_degenerate_cases() {
+        assert_eq!(balanced_ranges_from_counts(&[], 3), vec![0..0, 0..0, 0..0]);
+        assert_eq!(balanced_ranges_from_counts(&[5], 1), vec![0..1]);
+        // More parts than rows yields trailing empties.
+        let r = balanced_ranges_from_counts(&[1, 1], 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.last().unwrap().end, 2);
+        assert!(r.iter().filter(|r| r.is_empty()).count() >= 2);
+    }
+
+    #[test]
+    fn scan_rejects_what_read_tns_rejects() {
+        for text in ["", "# only\n", "1 1 1 2.0\n1 1 3.0\n", "0 1 3.0\n", "1 1 NaN\n"] {
+            let a = read_tns(text.as_bytes()).err().map(|e| e.to_string());
+            let b = scan_tns(text.as_bytes()).err().map(|e| e.to_string());
+            assert_eq!(a, b, "divergent rejection for {text:?}");
+        }
+    }
+
+    #[test]
+    fn empty_tile_is_a_valid_tensor() {
+        let text = "2 1 1 1.0\n";
+        let scan = scan_tns(text.as_bytes()).unwrap();
+        let sub = read_tns_tile(text.as_bytes(), &scan, 0, &(0..1)).unwrap();
+        assert_eq!(sub.nnz(), 0);
+        assert_eq!(sub.shape(), &[2, 1, 1]);
+    }
+}

@@ -1,0 +1,143 @@
+//! `.tns` round-trip fidelity and parse-allocation pins.
+//!
+//! 1. **Extreme-value round-trip** (proptest): subnormals, near-overflow
+//!    magnitudes (±1e308), and full-mantissa doubles survive
+//!    `write_tns` → `read_tns` **bit-exactly** — Rust's default `f64`
+//!    formatting emits the shortest string that re-parses to the same
+//!    bits — and the streaming scan/tile passes see the same bits as the
+//!    in-core parse.
+//! 2. **Pre-sizing pin** (counting `#[global_allocator]`): the byte-length
+//!    heuristic of `read_tns_sized` keeps the parse's peak live heap below
+//!    the unsized parse's doubling-reallocation cascade on the same input.
+//!    This pins the reader bugfix: shape folding in the parse loop, no
+//!    post-parse re-scan, no growth cascade.
+
+use cstf_telemetry::alloc::{live_bytes, region_peak, reset_region_peaks, HeapRegion};
+use cstf_tensor::{read_tns, read_tns_sized, read_tns_tile, scan_tns, write_tns, SparseTensor};
+use proptest::prelude::*;
+
+#[global_allocator]
+static ALLOC: cstf_telemetry::alloc::CountingAlloc = cstf_telemetry::alloc::CountingAlloc;
+
+/// Doubles that stress the decimal round-trip: subnormals, the smallest
+/// and largest normal magnitudes, long mantissas, and arbitrary finite
+/// bit patterns.
+fn extreme_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(5e-324), // smallest positive subnormal
+        Just(-5e-324),
+        Just(f64::MIN_POSITIVE),       // smallest normal
+        Just(f64::MIN_POSITIVE / 8.0), // a deeper subnormal
+        Just(1e308),
+        Just(-1e308),
+        Just(f64::MAX),
+        Just(f64::MIN),
+        Just(std::f64::consts::PI), // full-mantissa irrational
+        Just(0.1 + 0.2),            // classic non-terminating binary fraction
+        Just(1.0 / 3.0),
+        any::<i64>().prop_map(|b| f64::from_bits(b as u64)),
+    ]
+    .prop_filter("values must be finite and nonzero", |v| v.is_finite() && *v != 0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// write → read recovers every value bit-for-bit, in-core and
+    /// streamed alike.
+    #[test]
+    fn extreme_values_round_trip_bit_exactly(
+        vals in proptest::collection::vec(extreme_f64(), 1..60),
+    ) {
+        // Distinct coordinates laid out deterministically from the index.
+        let n = vals.len();
+        let shape = vec![n, 3, 2];
+        let idx = vec![
+            (0..n as u32).collect::<Vec<_>>(),
+            (0..n as u32).map(|k| k % 3).collect(),
+            (0..n as u32).map(|k| k % 2).collect(),
+        ];
+        let x = SparseTensor::new(shape, idx, vals);
+
+        let mut buf = Vec::new();
+        write_tns(&x, &mut buf).unwrap();
+
+        // In-core parse: same bits, same order.
+        let back = read_tns(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.nnz(), x.nnz());
+        for k in 0..x.nnz() {
+            prop_assert_eq!(back.coord(k), x.coord(k));
+            prop_assert_eq!(
+                back.values()[k].to_bits(),
+                x.values()[k].to_bits(),
+                "value {} reparsed as {}", x.values()[k], back.values()[k]
+            );
+        }
+
+        // Streaming passes: the scan accepts the same input, and every
+        // mode-0 tile carries the same bits as the in-core parse.
+        let scan = scan_tns(buf.as_slice()).unwrap();
+        prop_assert_eq!(&scan.shape, &back.shape().to_vec());
+        prop_assert_eq!(scan.nnz, back.nnz());
+        for rows in scan.tile_ranges(0, 3) {
+            let sub = read_tns_tile(buf.as_slice(), &scan, 0, &rows).unwrap();
+            for k in 0..sub.nnz() {
+                let orig = sub.mode_indices(0)[k] as usize; // coordinate == nnz index by layout
+                prop_assert_eq!(sub.values()[k].to_bits(), x.values()[orig].to_bits());
+            }
+        }
+    }
+}
+
+/// One `.tns` text with uniform-width lines so the byte-length heuristic
+/// estimates the line count accurately.
+fn uniform_tns(nnz: usize) -> String {
+    let mut s = String::new();
+    let mut state: u64 = 0x7e57;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for _ in 0..nnz {
+        let i = next() % 900 + 100; // fixed 3-digit coordinates
+        let j = next() % 900 + 100;
+        let k = next() % 900 + 100;
+        s.push_str(&format!("{i} {j} {k} {:.6e}\n", f64::from(next() % 10_000) / 64.0 + 0.5));
+    }
+    s
+}
+
+#[test]
+fn sized_parse_peaks_below_the_unsized_growth_cascade() {
+    // Just past a power of two, where the unsized parse's doubling growth
+    // transiently holds old + new capacity (~3x the final size) while the
+    // pre-sized parse allocates once at the estimate.
+    let text = uniform_tns(33_000);
+
+    reset_region_peaks();
+    let baseline = live_bytes();
+    {
+        let _r = HeapRegion::enter("tns-unsized-parse");
+        let x = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(x.nnz(), 33_000);
+    }
+    {
+        let _r = HeapRegion::enter("tns-sized-parse");
+        let x = read_tns_sized(text.as_bytes(), Some(text.len() as u64)).unwrap();
+        assert_eq!(x.nnz(), 33_000);
+    }
+    let unsized_peak = region_peak("tns-unsized-parse") - baseline;
+    let sized_peak = region_peak("tns-sized-parse") - baseline;
+    assert!(
+        sized_peak < unsized_peak,
+        "pre-sizing must beat the growth cascade: sized peak {sized_peak}, \
+         unsized peak {unsized_peak}"
+    );
+    // And the pre-sized parse must be near-tight: well under 2x the final
+    // coordinate payload (3 index vectors of 4 bytes + values of 8).
+    let payload = 33_000u64 * (3 * 4 + 8);
+    assert!(
+        sized_peak < payload * 2,
+        "sized peak {sized_peak} should be close to the {payload}-byte payload"
+    );
+}

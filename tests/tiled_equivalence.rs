@@ -1,0 +1,177 @@
+//! Property: the tiled out-of-core factorization is **bitwise-identical**
+//! to the in-core run — for arbitrary small tensors, every storage format,
+//! both ADMM execution modes (generic and fused cuADMM), ranks 1–4, and
+//! tile counts 1/2/3/5 — and a run resumed from an *in-core* checkpoint
+//! with tiling enabled (or vice versa) replays the remaining iterations to
+//! the same bits.
+//!
+//! This is the CI gate for the exactness argument of DESIGN.md §16: tiling
+//! only re-orders which nonzeros each kernel launch sees, and every tile
+//! commits exactly its owned output rows, so the committed MTTKRP panel is
+//! the same bits as the one-shot kernel's.
+
+use cstf_core::admm::AdmmConfig;
+use cstf_core::{
+    Auntf, AuntfConfig, CheckpointConfig, FactorizeOutput, TensorFormat, UpdateMethod,
+};
+use cstf_device::{Device, DeviceSpec};
+use cstf_tensor::SparseTensor;
+use proptest::prelude::*;
+
+/// A random small sparse tensor with 3 or 4 modes and distinct coords.
+fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
+    (3usize..5, any::<u64>(), 1usize..300).prop_map(|(nmodes, seed, nnz)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let shape: Vec<usize> = (0..nmodes).map(|_| 3 + (next() % 9) as usize).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = vec![Vec::new(); nmodes];
+        let mut vals = Vec::new();
+        for _ in 0..nnz {
+            let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+            if seen.insert(c.clone()) {
+                for (m, &ci) in c.iter().enumerate() {
+                    idx[m].push(ci);
+                }
+                vals.push(f64::from(next() % 100) / 25.0 + 0.04);
+            }
+        }
+        SparseTensor::new(shape, idx, vals)
+    })
+}
+
+fn format_strategy() -> impl Strategy<Value = TensorFormat> {
+    prop_oneof![
+        Just(TensorFormat::Coo),
+        Just(TensorFormat::Csf),
+        Just(TensorFormat::CsfOne),
+        Just(TensorFormat::HiCoo),
+        Just(TensorFormat::Alto),
+        Just(TensorFormat::Blco),
+    ]
+}
+
+fn assert_bitwise(a: &FactorizeOutput, b: &FactorizeOutput) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.fits.len(), b.fits.len());
+    for (x, y) in a.fits.iter().zip(&b.fits) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "fit differs: {} vs {}", x, y);
+    }
+    for (x, y) in a.model.lambda.iter().zip(&b.model.lambda) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "lambda differs: {} vs {}", x, y);
+    }
+    for (fa, fb) in a.model.factors.iter().zip(&b.model.factors) {
+        prop_assert_eq!(fa.rows(), fb.rows());
+        for (x, y) in fa.as_slice().iter().zip(fb.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "factor entry differs: {} vs {}", x, y);
+        }
+    }
+    Ok(())
+}
+
+mod equivalence {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Tiled == in-core, bitwise, for every format, both ADMM modes,
+        /// and tile counts 1/2/3/5 (5 exceeds some mode lengths,
+        /// exercising empty tiles).
+        #[test]
+        fn tiled_is_bitwise_identical_to_in_core(
+            x in tensor_strategy(),
+            format in format_strategy(),
+            fused in any::<bool>(),
+            rank in 1usize..5,
+            seed in any::<u64>(),
+            kidx in 0usize..4,
+        ) {
+            let tiles = [1usize, 2, 3, 5][kidx];
+            let admm = if fused { AdmmConfig::cuadmm_fused() } else { AdmmConfig::generic() };
+            let cfg = AuntfConfig {
+                rank,
+                max_iters: 3,
+                seed,
+                format,
+                update: UpdateMethod::Admm(admm),
+                ..Default::default()
+            };
+            let incore = Auntf::new(x.clone(), cfg.clone())
+                .factorize(&Device::new(DeviceSpec::h100()))
+                .unwrap();
+            let dev = Device::new(DeviceSpec::h100());
+            let tiled =
+                Auntf::new(x, AuntfConfig { tiles, ..cfg }).factorize(&dev).unwrap();
+            assert_bitwise(&incore, &tiled)?;
+            prop_assert_eq!(tiled.tiling.tiles, tiles);
+            if tiles > 1 {
+                prop_assert!(tiled.tiling.tile_transfers > 0, "tiled run must stream");
+                prop_assert!(tiled.tiling.streamed_bytes > 0.0);
+                prop_assert!(tiled.tiling.transfer_raw_s >= tiled.tiling.transfer_exposed_s);
+            } else {
+                prop_assert_eq!(tiled.tiling.tile_transfers, 0, "K=1 is the legacy path");
+            }
+        }
+    }
+}
+
+mod checkpoint_interop {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// An in-core checkpoint resumed *tiled* (and a tiled checkpoint
+        /// resumed *in-core*) replays the remaining iterations to the bits
+        /// of an uninterrupted in-core run: the model fingerprint excludes
+        /// the tile count, so a budgeted restart can pick a different K.
+        #[test]
+        fn tiled_resume_from_in_core_checkpoint_is_bitwise(
+            x in tensor_strategy(),
+            format in format_strategy(),
+            rank in 1usize..4,
+            seed in any::<u64>(),
+            kidx in 0usize..3,
+        ) {
+            let tiles = [2usize, 3, 5][kidx];
+            let dir = std::env::temp_dir().join(format!(
+                "cstf-tiled-prop-{}-{seed:x}-{tiles}-{format:?}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let full = AuntfConfig { rank, max_iters: 5, seed, format, ..Default::default() };
+            let uninterrupted = Auntf::new(x.clone(), full.clone())
+                .factorize(&Device::new(DeviceSpec::h100()))
+                .unwrap();
+
+            // Leg 1: three in-core iterations, snapshotting.
+            let short = Auntf::new(x.clone(), AuntfConfig { max_iters: 3, ..full.clone() });
+            let ck = CheckpointConfig::new(&dir, 3);
+            short
+                .factorize_checkpointed(&Device::new(DeviceSpec::h100()), &ck, false)
+                .unwrap();
+
+            // Leg 2: resume the same run tiled.
+            let resumed = Auntf::new(x.clone(), AuntfConfig { tiles, ..full.clone() })
+                .factorize_checkpointed(&Device::new(DeviceSpec::h100()), &ck, true)
+                .unwrap();
+            assert_bitwise(&uninterrupted, &resumed)?;
+
+            // Leg 3: the reverse hand-off — tiled checkpoint, in-core resume.
+            let _ = std::fs::remove_dir_all(&dir);
+            let short_tiled =
+                Auntf::new(x.clone(), AuntfConfig { max_iters: 3, tiles, ..full.clone() });
+            short_tiled
+                .factorize_checkpointed(&Device::new(DeviceSpec::h100()), &ck, false)
+                .unwrap();
+            let resumed_incore = Auntf::new(x, full)
+                .factorize_checkpointed(&Device::new(DeviceSpec::h100()), &ck, true)
+                .unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_bitwise(&uninterrupted, &resumed_incore)?;
+        }
+    }
+}
