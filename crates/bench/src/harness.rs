@@ -148,6 +148,8 @@ fn result_from_capture(
         // The bench harness compares modeled time, not heap; RunSummary
         // renders an absent heap section as "n/a".
         heap: None,
+        tiling: None,
+        elasticity: None,
     };
     RunResult {
         system: preset.name,

@@ -87,6 +87,7 @@ pub fn dispatch(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
         "analyze" => cmd_analyze(p, out),
         "perf" => cmd_perf(p, out),
         "report" => cmd_report(p, out),
+        "critical-path" => cmd_critical_path(p, out),
         "memstat" => cmd_memstat(p, out),
         "info" => cmd_info(p, out),
         "datasets" => cmd_datasets(out),
@@ -113,6 +114,9 @@ pub fn help_text() -> String {
        perf        record|compare a counter-exact performance baseline\n\
                    (compare exits 3 on drift; see --baseline-dir)\n\
        report      render the artifacts of a --telemetry run (DIR positional)\n\
+       critical-path  causal op-DAG analysis of a --telemetry run: modeled\n\
+                   critical path, per-device busy/stall/idle, link overlap\n\
+                   and what-if projections (DIR positional)\n\
        memstat     byte-exact footprint + device-occupancy fit plan for a\n\
                    tensor (FILE positional or --input/--dataset)\n\
        info        inspect a tensor (shape, nnz, density, format storage)\n\
@@ -175,6 +179,18 @@ pub fn help_text() -> String {
                             deficit and the smallest --tiles K that fits\n\
                             (suggested_tiles in --json); with --gpus N the\n\
                             fit is the max over every mode's sharding\n\
+     \n\
+     CRITICAL-PATH OBSERVATORY (critical-path):\n\
+       critical-path DIR [--json]\n\
+                            rebuild the causal op DAG from DIR/ops.jsonl\n\
+                            (written by --telemetry) and print the modeled\n\
+                            critical path, per-device busy/stall/idle\n\
+                            attribution, per-link overlap efficiency and\n\
+                            the three standard what-if projections; output\n\
+                            is byte-deterministic across runs\n\
+       --what-if LIST       also project a custom combination, e.g.\n\
+                            nvlink=inf,pcie=0 (tokens: nvlink=inf pcie=0\n\
+                            overlap=perfect)\n\
      \n\
      FAULT TOLERANCE (factorize):\n\
        --faults SPEC        inject seeded device faults, e.g.\n\
@@ -539,6 +555,8 @@ fn cmd_factorize(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
             transfer_s: capture.phase(Phase::Transfer).seconds,
             phases: cstf_device::phase_summaries(&capture),
             heap: Some(HeapSummary::capture()),
+            tiling: tiling_summary(&result.tiling),
+            elasticity: None,
         };
         let iterations = result.convergence.records();
         write_telemetry_artifacts(
@@ -800,6 +818,22 @@ fn cmd_factorize_sharded(
             transfer_s: captures[0].phase(Phase::Transfer).seconds,
             phases: cstf_device::phase_summaries(&captures[0]),
             heap: Some(HeapSummary::capture()),
+            tiling: None,
+            elasticity: Some(cstf_telemetry::ElasticitySummary {
+                gpus: gpus as u64,
+                loss_detections: u64::from(ela.loss_detections),
+                loss_retries: u64::from(ela.loss_retries),
+                reshards: u64::from(ela.reshards),
+                backoff_s: ela.backoff_s,
+                retired: ela
+                    .retired
+                    .iter()
+                    .map(|r| cstf_telemetry::RetiredDevice {
+                        device: r.device as u64,
+                        iteration: r.iteration as u64,
+                    })
+                    .collect(),
+            }),
         };
         let iterations = result.convergence.records();
         let root = std::path::Path::new(dir);
@@ -815,22 +849,35 @@ fn cmd_factorize_sharded(
             std::fs::File::create(root.join("events.jsonl")).map_err(io_err("events.jsonl"))?;
         convergence::write_jsonl(&iterations, std::io::BufWriter::new(events))
             .map_err(io_err("events.jsonl"))?;
+        let ops: Vec<cstf_device::OpSpec> = captures
+            .iter()
+            .enumerate()
+            .flat_map(|(d, c)| cstf_device::ops_from_records(d, &c.records))
+            .collect();
+        let ops_file =
+            std::fs::File::create(root.join("ops.jsonl")).map_err(io_err("ops.jsonl"))?;
+        cstf_device::write_ops_jsonl(&ops, std::io::BufWriter::new(ops_file))
+            .map_err(io_err("ops.jsonl"))?;
+        let dag = cstf_device::analyze(&ops);
+
         let trace = std::fs::File::create(root.join("trace.json")).map_err(io_err("trace.json"))?;
         let per_dev: Vec<Vec<cstf_device::KernelRecord>> =
             captures.iter().map(|c| c.records.clone()).collect();
         let marks: Vec<_> = captures.iter().map(|c| c.marks.clone()).collect();
         let faults: Vec<_> = captures.iter().map(|c| c.faults.clone()).collect();
-        cstf_device::write_multi_device_full_trace(
+        cstf_device::write_multi_device_full_trace_with_critical_path(
             &per_dev,
             &marks,
             &faults,
             &span_records,
+            &dag.chain_refs(),
             std::io::BufWriter::new(trace),
         )
         .map_err(io_err("trace.json"))?;
         let refs: Vec<&RunCapture> = captures.iter().collect();
         let registry = cstf_device::registry_from_captures(&refs, &spec);
         add_group_metrics(&registry, &result.elasticity);
+        add_critical_path_metrics(&registry, &dag);
         std::fs::write(root.join("metrics.prom"), registry.to_prometheus())
             .map_err(io_err("metrics.prom"))?;
         let devices_rows = captures
@@ -1314,12 +1361,19 @@ fn write_telemetry_artifacts(
     convergence::write_jsonl(iterations, std::io::BufWriter::new(events))
         .map_err(io_err("events.jsonl"))?;
 
+    let ops = cstf_device::ops_from_records(0, &capture.records);
+    let ops_file = std::fs::File::create(root.join("ops.jsonl")).map_err(io_err("ops.jsonl"))?;
+    cstf_device::write_ops_jsonl(&ops, std::io::BufWriter::new(ops_file))
+        .map_err(io_err("ops.jsonl"))?;
+    let dag = cstf_device::analyze(&ops);
+
     let trace = std::fs::File::create(root.join("trace.json")).map_err(io_err("trace.json"))?;
-    cstf_device::write_full_trace(
+    cstf_device::write_full_trace_with_critical_path(
         &capture.records,
         &capture.marks,
         &capture.faults,
         span_records,
+        &dag.chain_refs(),
         std::io::BufWriter::new(trace),
     )
     .map_err(io_err("trace.json"))?;
@@ -1328,9 +1382,72 @@ fn write_telemetry_artifacts(
     if let Some(t) = tiling {
         add_tiling_metrics(&registry, t);
     }
+    add_critical_path_metrics(&registry, &dag);
     std::fs::write(root.join("metrics.prom"), registry.to_prometheus())
         .map_err(io_err("metrics.prom"))?;
     Ok(())
+}
+
+/// Converts the tiled engine's report into its `run.json` mirror; `None`
+/// for in-core runs so their artifacts keep the pre-tiling shape.
+fn tiling_summary(t: &cstf_core::TilingReport) -> Option<cstf_telemetry::TilingSummary> {
+    if !t.is_tiled() {
+        return None;
+    }
+    Some(cstf_telemetry::TilingSummary {
+        tiles: t.tiles as u64,
+        tile_transfers: t.tile_transfers,
+        streamed_bytes: t.streamed_bytes,
+        transfer_raw_s: t.transfer_raw_s,
+        transfer_exposed_s: t.transfer_exposed_s,
+    })
+}
+
+/// Appends the `cstf_critical_path_*` / `cstf_device_*` gauge families —
+/// the DAG-derived schedule attribution — to a run's registry.
+fn add_critical_path_metrics(registry: &Registry, dag: &cstf_device::DagAnalysis) {
+    registry.gauge_set(
+        "cstf_critical_path_seconds",
+        "Modeled critical path of the op DAG (iteration lower bound)",
+        dag.critical_path_s,
+    );
+    registry.gauge_set(
+        "cstf_critical_path_ops",
+        "Ops on the modeled critical path",
+        dag.critical_path.len() as f64,
+    );
+    registry.gauge_set(
+        "cstf_critical_path_total_modeled_seconds",
+        "Serial sum of all modeled op durations (the one-device bound)",
+        dag.total_modeled_s,
+    );
+    for d in &dag.devices {
+        let device = d.device.to_string();
+        registry.gauge_set_labeled(
+            "cstf_device_busy_seconds",
+            "Modeled seconds the device spent executing ops",
+            &[("device", &device)],
+            d.busy_s,
+        );
+        registry.gauge_set_labeled(
+            "cstf_device_stall_seconds",
+            "Modeled seconds the device sat blocked at collective rendezvous",
+            &[("device", &device)],
+            d.stall_s,
+        );
+        registry.gauge_set_labeled(
+            "cstf_device_idle_seconds",
+            "Modeled seconds after the device's stream ended (trailing idle)",
+            &[("device", &device)],
+            d.idle_s,
+        );
+        registry.gauge_set_labeled(
+            "cstf_device_idle_fraction",
+            "Trailing idle as a fraction of the schedule span",
+            &[("device", &device)],
+            d.idle_fraction(dag.critical_path_s),
+        );
+    }
 }
 
 /// Appends the `cstf_tile_*` metric family — what the out-of-core tiled
@@ -1453,6 +1570,174 @@ fn cmd_report(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
                 gpu, modeled, coll, launches, top
             ))?;
         }
+    }
+    Ok(())
+}
+
+/// `cstf critical-path DIR`: rebuilds the causal op DAG from the
+/// `ops.jsonl` artifact a `--telemetry` run wrote and reports where the
+/// modeled time goes — critical path, per-device busy/stall/idle, link
+/// overlap efficiency, and what-if projections. Every number derives from
+/// the artifact alone (no wall clock), so output is byte-deterministic.
+fn cmd_critical_path(p: &ParsedArgs, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = p
+        .positionals
+        .first()
+        .map(String::as_str)
+        .or_else(|| p.options.get("dir").map(String::as_str))
+        .ok_or(ArgError::MissingOption("dir (or a DIR positional)"))?;
+    let root = std::path::Path::new(dir);
+    let ops_text = std::fs::read_to_string(root.join("ops.jsonl")).map_err(|e| {
+        CliError::Input(format!(
+            "{dir}/ops.jsonl: {e} (the op DAG is written by `factorize --telemetry {dir}`; \
+             re-run it with this version)"
+        ))
+    })?;
+    let ops = cstf_device::read_ops_jsonl(&ops_text)
+        .map_err(|e| CliError::Input(format!("{dir}/{e}")))?;
+    let dag = cstf_device::analyze(&ops);
+
+    let requested = match p.options.get("what-if") {
+        Some(spec) => {
+            let what_ifs = cstf_device::parse_what_ifs(spec)
+                .map_err(|e| CliError::Input(format!("bad --what-if spec: {e}")))?;
+            let projected = cstf_device::analyze(&cstf_device::apply_what_ifs(&ops, &what_ifs));
+            Some((spec.clone(), projected.critical_path_s))
+        }
+        None => None,
+    };
+    let standard: Vec<(&'static str, f64)> = cstf_device::WhatIf::all()
+        .into_iter()
+        .map(|w| {
+            let projected = cstf_device::analyze(&cstf_device::apply_what_ifs(&ops, &[w]));
+            (w.label(), projected.critical_path_s)
+        })
+        .collect();
+    let speedup =
+        if dag.critical_path_s > 0.0 { dag.total_modeled_s / dag.critical_path_s } else { 1.0 };
+
+    if p.has_flag("json") {
+        let devices = dag
+            .devices
+            .iter()
+            .map(|d| {
+                serde_json::json!({
+                    "device": d.device,
+                    "ops": d.ops,
+                    "busy_s": d.busy_s,
+                    "stall_s": d.stall_s,
+                    "idle_s": d.idle_s,
+                    "idle_fraction": d.idle_fraction(dag.critical_path_s),
+                })
+            })
+            .collect::<Vec<_>>();
+        let links = dag
+            .links
+            .iter()
+            .map(|l| {
+                serde_json::json!({
+                    "name": l.name.clone(),
+                    "transfers": l.transfers,
+                    "raw_s": l.raw_s,
+                    "exposed_s": l.exposed_s,
+                    "hidden_s": l.hidden_s(),
+                    "overlap_efficiency": l.overlap_efficiency(),
+                })
+            })
+            .collect::<Vec<_>>();
+        let phases: std::collections::BTreeMap<String, f64> = dag
+            .critical_path_phases()
+            .into_iter()
+            .map(|(ph, s)| (ph.label().to_lowercase(), s))
+            .collect();
+        let what_if: std::collections::BTreeMap<String, f64> =
+            standard.iter().map(|&(label, s)| (label.to_string(), s)).collect();
+        let mut doc = serde_json::json!({
+            "schema_version": 1,
+            "ops": dag.ops.len(),
+            "critical_path_s": dag.critical_path_s,
+            "critical_path_ops": dag.critical_path.len(),
+            "total_modeled_s": dag.total_modeled_s,
+            "parallel_speedup": speedup,
+            "devices": devices,
+            "links": links,
+            "critical_path_phases": phases,
+            "what_if": what_if,
+        });
+        if let Some((spec, s)) = &requested {
+            doc["requested_what_if"] =
+                serde_json::json!({ "spec": spec.clone(), "critical_path_s": s });
+        }
+        writeln!(out, "{}", serde_json::to_string(&doc).unwrap())
+            .map_err(|e| CliError::Input(e.to_string()))?;
+        return Ok(());
+    }
+
+    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| CliError::Input(e.to_string()));
+    w(format!(
+        "critical path: {:.6e}s across {} of {} ops \
+         (serial total {:.6e}s, parallel speedup {:.2}x)",
+        dag.critical_path_s,
+        dag.critical_path.len(),
+        dag.ops.len(),
+        dag.total_modeled_s,
+        speedup
+    ))?;
+    let on_path = dag
+        .critical_path_phases()
+        .iter()
+        .map(|(ph, s)| format!("{} {:.3e}s", ph.label(), s))
+        .collect::<Vec<_>>()
+        .join(", ");
+    w(format!("on the path:   {on_path}"))?;
+    let pct = |s: f64| {
+        if dag.critical_path_s > 0.0 {
+            100.0 * s / dag.critical_path_s
+        } else {
+            0.0
+        }
+    };
+    w("per-device attribution (of the schedule span):".to_string())?;
+    for d in &dag.devices {
+        w(format!(
+            "  gpu{:<3} busy {:>10.3e}s ({:>5.1}%)  stall {:>10.3e}s ({:>5.1}%)  \
+             idle {:>10.3e}s ({:>5.1}%)",
+            d.device,
+            d.busy_s,
+            pct(d.busy_s),
+            d.stall_s,
+            pct(d.stall_s),
+            d.idle_s,
+            pct(d.idle_s)
+        ))?;
+    }
+    if !dag.links.is_empty() {
+        w("link overlap:".to_string())?;
+        for l in &dag.links {
+            w(format!(
+                "  {:<18} {:>6} transfers  raw {:>10.3e}s  exposed {:>10.3e}s  {:>5.1}% hidden",
+                l.name,
+                l.transfers,
+                l.raw_s,
+                l.exposed_s,
+                100.0 * l.overlap_efficiency()
+            ))?;
+        }
+    }
+    w("what-if projections (modeled critical path):".to_string())?;
+    w(format!("  {:<18} {:>12.6e}s", "baseline", dag.critical_path_s))?;
+    let delta = |s: f64| {
+        if dag.critical_path_s > 0.0 {
+            100.0 * (s - dag.critical_path_s) / dag.critical_path_s
+        } else {
+            0.0
+        }
+    };
+    for (label, s) in &standard {
+        w(format!("  {:<18} {:>12.6e}s  ({:+.1}%)", label, s, delta(*s)))?;
+    }
+    if let Some((spec, s)) = &requested {
+        w(format!("  {:<18} {:>12.6e}s  ({:+.1}%)  [requested]", spec, s, delta(*s)))?;
     }
     Ok(())
 }

@@ -1,0 +1,767 @@
+//! Causal execution DAG over metered ops.
+//!
+//! Every metered op — kernel launch, h2d/d2h transfer, tile stream,
+//! collective step — becomes a node with a modeled duration and explicit
+//! dependency edges, reconstructed from the per-device record streams the
+//! profilers already keep:
+//!
+//! * **program order** on one device: op `k+1` depends on op `k` (the
+//!   simulated device is one stream, like the paper's implementation);
+//! * **collective rendezvous** across devices: every member of one
+//!   [`DeviceGroup`](crate::group::DeviceGroup) collective carries the
+//!   same `collective_seq`, and the instance cannot start until *every*
+//!   member has finished its preceding ops.
+//!
+//! [`analyze`] schedules the DAG (each op as early as its dependencies
+//! allow), which yields:
+//!
+//! * the **modeled critical path** — the longest dependency chain, equal
+//!   to the schedule's makespan. For a serial single-device run the chain
+//!   is the whole record stream, so `critical_path_s == total_modeled_s`
+//!   *bit-exactly* (same left-to-right fold);
+//! * **per-device attribution** — `busy` (sum of charged durations),
+//!   `stall` (time spent blocked at a rendezvous waiting for slower
+//!   members), and `idle` (the residual `span - busy - stall`: trailing
+//!   time after the device's stream ends);
+//! * **per-op slack** — how far an op can slip without growing the
+//!   makespan (zero along the critical path);
+//! * **overlap efficiency per link** — for each transfer name, the hidden
+//!   fraction `(raw - exposed) / raw` where `raw` is the un-overlapped
+//!   link time ([`KernelRecord::raw_s`]) and `exposed` the charged time.
+//!   For tiled runs this reproduces `TilingReport`'s accounting bitwise
+//!   (same values, same fold order);
+//! * **what-if projections** ([`apply_what_ifs`]) — deterministic bounds
+//!   obtained by zeroing durations (`nvlink=inf` zeroes collectives,
+//!   `pcie=0` zeroes host transfers, `overlap=perfect` hides host
+//!   transfers while keeping their raw link time). Zeroing durations can
+//!   only move starts earlier, so every projection is monotonically
+//!   non-increasing in the critical path.
+//!
+//! Ops round-trip through a line-oriented JSON artifact (`ops.jsonl`,
+//! [`write_ops_jsonl`]/[`read_ops_jsonl`]) that deliberately excludes
+//! wall-clock fields, so the downstream `cstf critical-path` output is
+//! byte-deterministic across runs.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::profiler::{KernelRecord, Phase};
+
+/// One DAG node: a metered op lifted out of a [`KernelRecord`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OpSpec {
+    /// Owning device (group member index; `0` for single-device runs).
+    pub device: usize,
+    /// Op name (kernel or transfer name).
+    pub name: String,
+    /// Phase attribution.
+    pub phase: Phase,
+    /// Charged modeled duration in seconds (the exposed remainder for
+    /// overlapped transfers) — the DAG node's duration.
+    pub modeled_s: f64,
+    /// Un-overlapped modeled seconds (equals `modeled_s` except for
+    /// overlapped transfers); only used for overlap-efficiency.
+    pub raw_s: f64,
+    /// Tensor-mode context at record time.
+    pub mode: Option<u32>,
+    /// Group-wide collective instance id (`None` for non-collectives).
+    pub collective_seq: Option<u32>,
+}
+
+/// Lifts one device's record stream into DAG nodes, in record order.
+pub fn ops_from_records(device: usize, records: &[KernelRecord]) -> Vec<OpSpec> {
+    records
+        .iter()
+        .map(|r| OpSpec {
+            device,
+            name: r.name.to_string(),
+            phase: r.phase,
+            modeled_s: r.modeled_s,
+            raw_s: r.raw_s,
+            mode: r.mode,
+            collective_seq: r.collective_seq,
+        })
+        .collect()
+}
+
+/// Writes ops as line-oriented JSON (one op per line). The format omits
+/// every wall-clock quantity, so two runs of the same configuration
+/// produce byte-identical artifacts.
+pub fn write_ops_jsonl<W: Write>(ops: &[OpSpec], mut w: W) -> std::io::Result<()> {
+    for op in ops {
+        let line = serde_json::to_string(op).expect("op serializes");
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Parses an `ops.jsonl` artifact back into DAG nodes.
+pub fn read_ops_jsonl(text: &str) -> Result<Vec<OpSpec>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, line)| {
+            let v: Value =
+                serde_json::from_str(line).map_err(|e| format!("ops.jsonl line {}: {e}", i + 1))?;
+            op_from_value(&v).map_err(|e| format!("ops.jsonl line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+fn op_from_value(v: &Value) -> Result<OpSpec, String> {
+    let field = |name: &str| v.get(name).ok_or_else(|| format!("missing field '{name}'"));
+    let f64_field =
+        |name: &str| field(name)?.as_f64().ok_or_else(|| format!("field '{name}' is not a number"));
+    let opt_u32 = |name: &str| -> Result<Option<u32>, String> {
+        match v.get(name) {
+            None => Ok(None),
+            Some(val) if val.is_null() => Ok(None),
+            Some(val) => val
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(Some)
+                .ok_or_else(|| format!("field '{name}' is not a u32")),
+        }
+    };
+    let phase_name =
+        field("phase")?.as_str().ok_or_else(|| "field 'phase' is not a string".to_string())?;
+    let phase = Phase::all()
+        .into_iter()
+        .find(|p| p.variant_name() == phase_name)
+        .ok_or_else(|| format!("unknown phase '{phase_name}'"))?;
+    Ok(OpSpec {
+        device: f64_field("device")? as usize,
+        name: field("name")?
+            .as_str()
+            .ok_or_else(|| "field 'name' is not a string".to_string())?
+            .to_string(),
+        phase,
+        modeled_s: f64_field("modeled_s")?,
+        raw_s: f64_field("raw_s")?,
+        mode: opt_u32("mode")?,
+        collective_seq: opt_u32("collective_seq")?,
+    })
+}
+
+/// Where one op landed in the earliest-start schedule of the DAG.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScheduledOp {
+    /// Start time, seconds from schedule origin.
+    pub start_s: f64,
+    /// Finish time (`start_s + modeled_s`).
+    pub finish_s: f64,
+    /// Rendezvous wait charged immediately before this op: how long the
+    /// device sat blocked at a collective waiting for slower members
+    /// (`0` for non-collective ops).
+    pub stall_s: f64,
+    /// How far this op can slip without growing the makespan (`0` along
+    /// the critical path).
+    pub slack_s: f64,
+}
+
+/// Per-device busy/stall/idle attribution over the schedule span.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DeviceAttribution {
+    /// Device (group member) index.
+    pub device: usize,
+    /// Ops this device executed.
+    pub ops: usize,
+    /// Sum of charged durations (left fold in stream order).
+    pub busy_s: f64,
+    /// Sum of rendezvous waits (left fold in stream order).
+    pub stall_s: f64,
+    /// Residual `span - (busy + stall)`: time after the device's stream
+    /// ended while other devices were still running. Exactly `0` for
+    /// every device whose stream ends at the makespan (residuals within
+    /// `span * 1e-12` — fold-reassociation dust — are snapped to `0`).
+    pub idle_s: f64,
+}
+
+impl DeviceAttribution {
+    /// `idle_s` as a fraction of the schedule span (`0` when empty).
+    pub fn idle_fraction(&self, span_s: f64) -> f64 {
+        if span_s > 0.0 {
+            self.idle_s / span_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Raw-vs-exposed accounting for one link (all transfers sharing a name).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LinkOverlap {
+    /// Transfer name (e.g. `"h2d_tile"`, `"allreduce_gram"`).
+    pub name: String,
+    /// Number of transfers.
+    pub transfers: usize,
+    /// Un-overlapped link seconds (left fold of `raw_s` in record order).
+    pub raw_s: f64,
+    /// Charged (exposed) seconds (left fold of `modeled_s` in record
+    /// order — bitwise the same accumulation `TilingReport` performs).
+    pub exposed_s: f64,
+}
+
+impl LinkOverlap {
+    /// Seconds hidden behind concurrent compute.
+    pub fn hidden_s(&self) -> f64 {
+        (self.raw_s - self.exposed_s).max(0.0)
+    }
+
+    /// `hidden / raw` — `1.0` is a perfectly hidden link, `0.0` fully
+    /// exposed (defined as `0` when the link moved nothing).
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.raw_s > 0.0 {
+            self.hidden_s() / self.raw_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The scheduled DAG: critical path, per-device attribution, per-link
+/// overlap, and per-op schedule detail.
+#[derive(Debug, Clone)]
+pub struct DagAnalysis {
+    /// The input ops, in analysis order.
+    pub ops: Vec<OpSpec>,
+    /// Schedule entry per op (parallel to `ops`).
+    pub schedule: Vec<ScheduledOp>,
+    /// Makespan of the earliest-start schedule == length of the longest
+    /// dependency chain (the modeled critical path), seconds.
+    pub critical_path_s: f64,
+    /// Total charged modeled seconds across all devices (left fold over
+    /// `ops`): the serial lower bound. Bit-equal to `critical_path_s` for
+    /// single-device runs.
+    pub total_modeled_s: f64,
+    /// Per-device attribution, ascending device index. Invariant:
+    /// `busy + stall + idle == critical_path_s` for every device (idle is
+    /// computed as that exact residual).
+    pub devices: Vec<DeviceAttribution>,
+    /// Per-link overlap accounting, ascending by name.
+    pub links: Vec<LinkOverlap>,
+    /// The critical path as indices into `ops`, start to finish. Ties are
+    /// broken deterministically (the chain stays on one device stream
+    /// where possible, else the lowest device wins).
+    pub critical_path: Vec<usize>,
+}
+
+impl DagAnalysis {
+    /// The critical path as `(device, per-device record index)` pairs —
+    /// the form the Chrome-trace flow-arrow writer consumes.
+    pub fn chain_refs(&self) -> Vec<(usize, usize)> {
+        let mut seen_per_device: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut pos_of = vec![0usize; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            let next = seen_per_device.entry(op.device).or_insert(0);
+            pos_of[i] = *next;
+            *next += 1;
+        }
+        self.critical_path.iter().map(|&i| (self.ops[i].device, pos_of[i])).collect()
+    }
+
+    /// Per-link accounting for one transfer name, if it moved anything.
+    pub fn link(&self, name: &str) -> Option<&LinkOverlap> {
+        self.links.iter().find(|l| l.name == name)
+    }
+
+    /// Modeled seconds on the critical path attributed to each phase, in
+    /// display order, skipping empty phases.
+    pub fn critical_path_phases(&self) -> Vec<(Phase, f64)> {
+        let mut by_phase: BTreeMap<Phase, f64> = BTreeMap::new();
+        for &i in &self.critical_path {
+            *by_phase.entry(self.ops[i].phase).or_insert(0.0) += self.ops[i].modeled_s;
+        }
+        Phase::all().into_iter().filter_map(|p| by_phase.get(&p).map(|&s| (p, s))).collect()
+    }
+}
+
+/// Schedules the op DAG earliest-start and derives the critical path,
+/// per-device attribution, per-op slack and per-link overlap.
+///
+/// Per-device streams execute in record order; a collective instance
+/// starts when the *last* of its members reaches it (`start = max` over
+/// member cursors), charging each member the wait as stall. Because every
+/// op starts exactly at its latest predecessor's finish, the makespan
+/// equals the longest dependency chain — the modeled critical path.
+pub fn analyze(ops: &[OpSpec]) -> DagAnalysis {
+    let ndev = ops.iter().map(|o| o.device).max().map_or(0, |d| d + 1);
+    let mut streams: Vec<Vec<usize>> = vec![Vec::new(); ndev];
+    for (i, op) in ops.iter().enumerate() {
+        streams[op.device].push(i);
+    }
+
+    // --- forward pass: earliest-start schedule -------------------------
+    let mut pos = vec![0usize; ndev];
+    let mut cursor = vec![0.0f64; ndev];
+    let mut schedule = vec![ScheduledOp::default(); ops.len()];
+    let mut order: Vec<usize> = Vec::with_capacity(ops.len()); // topological
+    loop {
+        // Drain every device's non-collective prefix: each op starts
+        // exactly when its predecessor finishes.
+        for d in 0..ndev {
+            while pos[d] < streams[d].len() {
+                let i = streams[d][pos[d]];
+                if ops[i].collective_seq.is_some() {
+                    break;
+                }
+                let start = cursor[d];
+                let finish = start + ops[i].modeled_s;
+                schedule[i] =
+                    ScheduledOp { start_s: start, finish_s: finish, stall_s: 0.0, slack_s: 0.0 };
+                cursor[d] = finish;
+                pos[d] += 1;
+                order.push(i);
+            }
+        }
+        // Rendezvous the lowest pending collective instance. Instance ids
+        // are issued in group program order and appear as monotone
+        // subsequences per member, so the minimum pending id has every
+        // one of its members parked on it.
+        let mut seq: Option<u32> = None;
+        for d in 0..ndev {
+            if pos[d] < streams[d].len() {
+                if let Some(s) = ops[streams[d][pos[d]]].collective_seq {
+                    seq = Some(seq.map_or(s, |cur| cur.min(s)));
+                }
+            }
+        }
+        let Some(seq) = seq else { break };
+        let members: Vec<usize> = (0..ndev)
+            .filter(|&d| pos[d] < streams[d].len())
+            .filter(|&d| ops[streams[d][pos[d]]].collective_seq == Some(seq))
+            .collect();
+        let start = members.iter().map(|&d| cursor[d]).fold(0.0f64, f64::max);
+        for &d in &members {
+            let i = streams[d][pos[d]];
+            let stall = start - cursor[d];
+            let finish = start + ops[i].modeled_s;
+            schedule[i] =
+                ScheduledOp { start_s: start, finish_s: finish, stall_s: stall, slack_s: 0.0 };
+            cursor[d] = finish;
+            pos[d] += 1;
+            order.push(i);
+        }
+    }
+    let span = cursor.iter().copied().fold(0.0f64, f64::max);
+
+    // --- backward pass: latest finish times → per-op slack -------------
+    // Successor edges: the next op on the same device — except that when
+    // the next op is a collective, op `i` releases *every* member of that
+    // instance (the rendezvous max depends on all predecessors).
+    let mut members_of: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(s) = op.collective_seq {
+            members_of.entry(s).or_default().push(i);
+        }
+    }
+    for members in members_of.values_mut() {
+        members.sort_by_key(|&i| ops[i].device);
+    }
+    let mut latest_finish = vec![span; ops.len()];
+    let mut stream_pos = vec![0usize; ops.len()];
+    for stream in &streams {
+        for (k, &i) in stream.iter().enumerate() {
+            stream_pos[i] = k;
+        }
+    }
+    for &i in order.iter().rev() {
+        let d = ops[i].device;
+        let k = stream_pos[i];
+        let mut lf = span;
+        if let Some(&j) = streams[d].get(k + 1) {
+            let succs: &[usize] = match ops[j].collective_seq {
+                Some(s) => &members_of[&s],
+                None => std::slice::from_ref(&j),
+            };
+            for &j in succs {
+                lf = lf.min(latest_finish[j] - ops[j].modeled_s);
+            }
+        }
+        latest_finish[i] = lf;
+        // Backward subtraction does not invert the forward fold bitwise;
+        // snap sub-epsilon residue to an exact zero so critical-path ops
+        // report `slack == 0.0`.
+        let slack = lf - schedule[i].finish_s;
+        schedule[i].slack_s = if slack <= span * 1e-12 { 0.0 } else { slack };
+    }
+
+    // --- critical path: backtrack from the makespan --------------------
+    // End node: the op with the maximal finish (ties: lowest device). Each
+    // non-collective starts exactly at its in-stream predecessor's finish.
+    // A collective instance is one DAG node with a representative per
+    // member; the chain represents it by the member whose arrival set the
+    // rendezvous `max` (ties: the successor's device so the chain stays on
+    // one stream where possible, then lowest device).
+    let mut critical_path = Vec::new();
+    let mut end: Option<usize> = None;
+    for stream in &streams {
+        if let Some(&last) = stream.last() {
+            if end.is_none_or(|e| schedule[last].finish_s > schedule[e].finish_s) {
+                end = Some(last);
+            }
+        }
+    }
+    let prev_finish_of = |m: usize| -> f64 {
+        let (md, mk) = (ops[m].device, stream_pos[m]);
+        mk.checked_sub(1).map_or(0.0, |p| schedule[streams[md][p]].finish_s)
+    };
+    let mut cur = end;
+    let mut succ_device: Option<usize> = None;
+    while let Some(mut i) = cur {
+        if let Some(s) = ops[i].collective_seq {
+            // Pick the member whose stream cursor set the rendezvous start.
+            let start = schedule[i].start_s;
+            let arrivals: Vec<usize> = members_of[&s]
+                .iter()
+                .copied()
+                .filter(|&m| prev_finish_of(m).to_bits() == start.to_bits())
+                .collect();
+            i = arrivals
+                .iter()
+                .copied()
+                .find(|&m| Some(ops[m].device) == succ_device)
+                .unwrap_or(arrivals[0]);
+        }
+        critical_path.push(i);
+        succ_device = Some(ops[i].device);
+        let (d, k) = (ops[i].device, stream_pos[i]);
+        cur = k.checked_sub(1).map(|p| streams[d][p]);
+    }
+    critical_path.reverse();
+
+    // --- attribution and link overlap ----------------------------------
+    let devices = (0..ndev)
+        .map(|d| {
+            let mut busy = 0.0f64;
+            let mut stall = 0.0f64;
+            for &i in &streams[d] {
+                busy += ops[i].modeled_s;
+                stall += schedule[i].stall_s;
+            }
+            // `busy` and `stall` are separate folds; re-summing them can
+            // land ulps past the interleaved cursor fold that set `span`.
+            // Snap that reassociation dust to an exact zero so trailing
+            // devices never report negative idle.
+            let idle = span - (busy + stall);
+            let idle = if idle.abs() <= span * 1e-12 { 0.0 } else { idle };
+            DeviceAttribution {
+                device: d,
+                ops: streams[d].len(),
+                busy_s: busy,
+                stall_s: stall,
+                idle_s: idle,
+            }
+        })
+        .collect();
+
+    let mut links: BTreeMap<&str, LinkOverlap> = BTreeMap::new();
+    for op in ops {
+        if op.phase != Phase::Transfer {
+            continue;
+        }
+        let l = links.entry(op.name.as_str()).or_insert_with(|| LinkOverlap {
+            name: op.name.clone(),
+            transfers: 0,
+            raw_s: 0.0,
+            exposed_s: 0.0,
+        });
+        l.transfers += 1;
+        l.raw_s += op.raw_s;
+        l.exposed_s += op.modeled_s;
+    }
+
+    let mut total_modeled_s = 0.0f64;
+    for op in ops {
+        total_modeled_s += op.modeled_s;
+    }
+
+    DagAnalysis {
+        ops: ops.to_vec(),
+        schedule,
+        critical_path_s: span,
+        total_modeled_s,
+        devices,
+        links: links.into_values().collect(),
+        critical_path,
+    }
+}
+
+/// A deterministic counterfactual transform over the op DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WhatIf {
+    /// Infinite device-to-device interconnect: collectives cost nothing.
+    NvlinkInf,
+    /// Free host link: non-collective transfers cost nothing.
+    PcieZero,
+    /// Perfect overlap: non-collective transfers hide entirely behind
+    /// compute (charged time zero, raw link time kept so the overlap
+    /// efficiency reports `1.0`).
+    OverlapPerfect,
+}
+
+impl WhatIf {
+    /// The `--what-if` token for this projection.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WhatIf::NvlinkInf => "nvlink=inf",
+            WhatIf::PcieZero => "pcie=0",
+            WhatIf::OverlapPerfect => "overlap=perfect",
+        }
+    }
+
+    /// All projections in display order.
+    pub fn all() -> [WhatIf; 3] {
+        [WhatIf::NvlinkInf, WhatIf::PcieZero, WhatIf::OverlapPerfect]
+    }
+}
+
+/// Parses a comma-separated `--what-if` list (`"nvlink=inf,pcie=0"`).
+pub fn parse_what_ifs(spec: &str) -> Result<Vec<WhatIf>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            WhatIf::all().into_iter().find(|w| w.label() == t).ok_or_else(|| {
+                format!(
+                    "unknown what-if '{t}' (expected one of nvlink=inf, pcie=0, overlap=perfect)"
+                )
+            })
+        })
+        .collect()
+}
+
+/// Applies what-if transforms to a copy of the ops. Every transform only
+/// zeroes durations, so any schedule derived from the result is
+/// monotonically non-increasing against the baseline.
+pub fn apply_what_ifs(ops: &[OpSpec], what_ifs: &[WhatIf]) -> Vec<OpSpec> {
+    let mut out = ops.to_vec();
+    for op in &mut out {
+        let collective = op.collective_seq.is_some();
+        let host_transfer = op.phase == Phase::Transfer && !collective;
+        for w in what_ifs {
+            match w {
+                WhatIf::NvlinkInf if collective => {
+                    op.modeled_s = 0.0;
+                    op.raw_s = 0.0;
+                }
+                WhatIf::PcieZero if host_transfer => {
+                    op.modeled_s = 0.0;
+                    op.raw_s = 0.0;
+                }
+                WhatIf::OverlapPerfect if host_transfer => {
+                    op.modeled_s = 0.0;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(device: usize, name: &str, phase: Phase, secs: f64) -> OpSpec {
+        OpSpec {
+            device,
+            name: name.to_string(),
+            phase,
+            modeled_s: secs,
+            raw_s: secs,
+            mode: None,
+            collective_seq: None,
+        }
+    }
+
+    fn coll(device: usize, name: &str, secs: f64, seq: u32) -> OpSpec {
+        OpSpec { collective_seq: Some(seq), ..op(device, name, Phase::Transfer, secs) }
+    }
+
+    #[test]
+    fn serial_critical_path_is_the_whole_stream_bit_exactly() {
+        let ops = vec![
+            op(0, "mttkrp", Phase::Mttkrp, 0.1),
+            op(0, "admm", Phase::Update, 0.2),
+            op(0, "normalize", Phase::Normalize, 0.3),
+        ];
+        let a = analyze(&ops);
+        let fold = ((0.0f64 + 0.1) + 0.2) + 0.3;
+        assert_eq!(a.critical_path_s.to_bits(), fold.to_bits());
+        assert_eq!(a.total_modeled_s.to_bits(), a.critical_path_s.to_bits());
+        assert_eq!(a.critical_path, vec![0, 1, 2]);
+        let d = a.devices[0];
+        assert_eq!(d.stall_s, 0.0);
+        assert_eq!(d.idle_s, 0.0);
+        assert_eq!(d.busy_s.to_bits(), a.critical_path_s.to_bits());
+        assert!(a.schedule.iter().all(|s| s.slack_s == 0.0), "serial ops have no slack");
+    }
+
+    #[test]
+    fn rendezvous_charges_the_fast_member_the_stall() {
+        // d0 computes 1.0s, d1 computes 3.0s, then both all-reduce 0.5s.
+        let ops = vec![
+            op(0, "mttkrp_shard", Phase::Mttkrp, 1.0),
+            coll(0, "allreduce_gram", 0.5, 0),
+            op(1, "mttkrp_shard", Phase::Mttkrp, 3.0),
+            coll(1, "allreduce_gram", 0.5, 0),
+        ];
+        let a = analyze(&ops);
+        assert_eq!(a.critical_path_s, 3.5);
+        assert!(a.critical_path_s < a.total_modeled_s);
+        assert_eq!(a.schedule[1].start_s, 3.0, "collective waits for the slow member");
+        assert_eq!(a.schedule[1].stall_s, 2.0);
+        assert_eq!(a.schedule[3].stall_s, 0.0);
+        let d0 = a.devices[0];
+        assert_eq!((d0.busy_s, d0.stall_s, d0.idle_s), (1.5, 2.0, 0.0));
+        let d1 = a.devices[1];
+        assert_eq!((d1.busy_s, d1.stall_s, d1.idle_s), (3.5, 0.0, 0.0));
+        // Critical path runs through the slow member, then its collective.
+        assert_eq!(a.critical_path, vec![2, 3]);
+        // The fast member's compute has exactly the stall as slack.
+        assert_eq!(a.schedule[0].slack_s, 2.0);
+        assert_eq!(a.schedule[2].slack_s, 0.0);
+    }
+
+    #[test]
+    fn trailing_imbalance_shows_up_as_idle() {
+        let ops = vec![op(0, "k", Phase::Update, 1.0), op(1, "k", Phase::Update, 4.0)];
+        let a = analyze(&ops);
+        assert_eq!(a.critical_path_s, 4.0);
+        assert_eq!(a.devices[0].idle_s, 3.0);
+        assert_eq!(a.devices[1].idle_s, 0.0);
+        for d in &a.devices {
+            assert_eq!(d.busy_s + d.stall_s + d.idle_s, a.critical_path_s);
+        }
+    }
+
+    #[test]
+    fn interleaved_collectives_rendezvous_in_issue_order() {
+        // Two collectives; the second depends on the first through both
+        // streams (0 then 1 on each device).
+        let ops = vec![
+            coll(0, "allgather_factor", 0.1, 0),
+            op(0, "update", Phase::Update, 1.0),
+            coll(0, "allreduce_gram", 0.1, 1),
+            coll(1, "allgather_factor", 0.1, 0),
+            op(1, "update", Phase::Update, 2.0),
+            coll(1, "allreduce_gram", 0.1, 1),
+        ];
+        let a = analyze(&ops);
+        // seq 0 at t=0, updates run 1.0/2.0, seq 1 at t=0.1+2.0.
+        assert_eq!(a.schedule[0].start_s, 0.0);
+        assert_eq!(a.schedule[2].start_s, 0.1 + 2.0);
+        assert_eq!(a.schedule[2].stall_s, 1.0);
+        assert_eq!(a.critical_path_s, 0.1 + 2.0 + 0.1);
+        // Chain: seq-0 collective (lowest device), slow update, seq-1 collective.
+        assert_eq!(a.critical_path, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn overlap_efficiency_reproduces_raw_vs_exposed_folds() {
+        let mut t1 = op(0, "h2d_tile", Phase::Transfer, 0.4); // fully exposed
+        t1.raw_s = 0.4;
+        let mut t2 = op(0, "h2d_tile", Phase::Transfer, 0.1); // mostly hidden
+        t2.raw_s = 0.5;
+        let ops = vec![t1, t2, op(0, "mttkrp_tile", Phase::Mttkrp, 1.0)];
+        let a = analyze(&ops);
+        let l = a.link("h2d_tile").expect("link present");
+        assert_eq!(l.transfers, 2);
+        assert_eq!(l.raw_s.to_bits(), (0.4f64 + 0.5).to_bits());
+        assert_eq!(l.exposed_s.to_bits(), (0.4f64 + 0.1).to_bits());
+        assert!((l.overlap_efficiency() - 0.4 / 0.9).abs() < 1e-15);
+        assert!(a.link("mttkrp_tile").is_none(), "compute ops are not links");
+    }
+
+    #[test]
+    fn what_ifs_zero_the_right_ops_and_never_increase_the_path() {
+        let ops = vec![
+            op(0, "h2d_tensor", Phase::Transfer, 0.5),
+            op(0, "mttkrp_shard", Phase::Mttkrp, 1.0),
+            coll(0, "allreduce_gram", 0.3, 0),
+            op(1, "h2d_tensor", Phase::Transfer, 0.5),
+            op(1, "mttkrp_shard", Phase::Mttkrp, 2.0),
+            coll(1, "allreduce_gram", 0.3, 0),
+        ];
+        let base = analyze(&ops).critical_path_s;
+        for w in WhatIf::all() {
+            let projected = analyze(&apply_what_ifs(&ops, &[w])).critical_path_s;
+            assert!(projected <= base, "{}: {projected} > {base}", w.label());
+        }
+        let nvlink = analyze(&apply_what_ifs(&ops, &[WhatIf::NvlinkInf]));
+        assert_eq!(nvlink.critical_path_s, 2.5, "collective gone, transfers stay");
+        assert!(nvlink.critical_path_s < base);
+        let pcie = analyze(&apply_what_ifs(&ops, &[WhatIf::PcieZero]));
+        assert_eq!(pcie.critical_path_s, 2.3, "host transfer gone, collective stays");
+        let both = analyze(&apply_what_ifs(&ops, &[WhatIf::NvlinkInf, WhatIf::PcieZero]));
+        assert_eq!(both.critical_path_s, 2.0);
+        // overlap=perfect zeroes the charge but keeps the raw link time.
+        let perfect = analyze(&apply_what_ifs(&ops, &[WhatIf::OverlapPerfect]));
+        let l = perfect.link("h2d_tensor").unwrap();
+        assert_eq!(l.exposed_s, 0.0);
+        assert_eq!(l.raw_s, 1.0);
+        assert_eq!(l.overlap_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn what_if_parser_accepts_lists_and_rejects_unknowns() {
+        assert_eq!(
+            parse_what_ifs("nvlink=inf,pcie=0").unwrap(),
+            vec![WhatIf::NvlinkInf, WhatIf::PcieZero]
+        );
+        assert_eq!(parse_what_ifs("overlap=perfect").unwrap(), vec![WhatIf::OverlapPerfect]);
+        assert!(parse_what_ifs("warp=9").is_err());
+    }
+
+    #[test]
+    fn ops_jsonl_round_trips_bit_exactly() {
+        let ops = vec![
+            OpSpec { mode: Some(2), ..op(0, "mttkrp", Phase::Mttkrp, 1.0e-3 / 3.0) },
+            coll(1, "allreduce_gram", 2.5e-6, 7),
+        ];
+        let mut buf = Vec::new();
+        write_ops_jsonl(&ops, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back = read_ops_jsonl(&text).unwrap();
+        assert_eq!(back, ops);
+        assert_eq!(back[0].modeled_s.to_bits(), ops[0].modeled_s.to_bits());
+        assert!(read_ops_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn chain_refs_map_flat_indices_to_per_device_positions() {
+        let ops = vec![
+            op(0, "a", Phase::Gram, 1.0),
+            op(1, "b", Phase::Gram, 2.0),
+            op(1, "c", Phase::Update, 1.0),
+        ];
+        let a = analyze(&ops);
+        assert_eq!(a.critical_path, vec![1, 2]);
+        assert_eq!(a.chain_refs(), vec![(1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn empty_ops_produce_an_empty_zero_span_analysis() {
+        let a = analyze(&[]);
+        assert_eq!(a.critical_path_s, 0.0);
+        assert_eq!(a.total_modeled_s, 0.0);
+        assert!(a.critical_path.is_empty() && a.devices.is_empty() && a.links.is_empty());
+    }
+
+    #[test]
+    fn critical_path_phase_breakdown_sums_to_the_span_for_serial_runs() {
+        let ops = vec![
+            op(0, "gram", Phase::Gram, 0.25),
+            op(0, "mttkrp", Phase::Mttkrp, 0.5),
+            op(0, "mttkrp2", Phase::Mttkrp, 0.5),
+        ];
+        let a = analyze(&ops);
+        let phases = a.critical_path_phases();
+        assert_eq!(phases, vec![(Phase::Gram, 0.25), (Phase::Mttkrp, 1.0)]);
+    }
+}

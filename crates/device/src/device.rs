@@ -133,8 +133,10 @@ impl Device {
             class,
             cost,
             modeled_s,
+            raw_s: modeled_s,
             measured_s,
             mode: None, // stamped from the profiler's mode context
+            collective_seq: None,
         });
         out
     }
@@ -223,8 +225,10 @@ impl Device {
             class: KernelClass::Stream,
             cost: KernelCost { bytes_read: bytes, ..Default::default() },
             modeled_s,
+            raw_s: modeled_s,
             measured_s: 0.0,
             mode: None,
+            collective_seq: None,
         });
     }
 
@@ -277,8 +281,10 @@ impl Device {
             class: KernelClass::Stream,
             cost: KernelCost { bytes_read: bytes, ..Default::default() },
             modeled_s: exposed_s,
+            raw_s,
             measured_s: 0.0,
             mode: None,
+            collective_seq: None,
         });
         OverlappedTransfer { raw_s, exposed_s }
     }
@@ -307,16 +313,21 @@ impl Device {
     /// interconnect and the collective's modeled wall time. The data
     /// movement itself is performed by the caller on the host threads;
     /// only the metering happens here (see
-    /// [`DeviceGroup`](crate::group::DeviceGroup)).
-    pub fn collective(&self, name: &'static str, bytes: f64, modeled_s: f64) {
+    /// [`DeviceGroup`](crate::group::DeviceGroup)). `seq` is the
+    /// group-wide collective instance id stamped by the group so the
+    /// execution-DAG layer can rendezvous the members' records (`None`
+    /// for ungrouped callers).
+    pub fn collective(&self, name: &'static str, bytes: f64, modeled_s: f64, seq: Option<u32>) {
         self.profiler.lock().record(KernelRecord {
             name,
             phase: Phase::Transfer,
             class: KernelClass::Stream,
             cost: KernelCost { bytes_read: bytes, ..Default::default() },
             modeled_s,
+            raw_s: modeled_s,
             measured_s: 0.0,
             mode: None,
+            collective_seq: seq,
         });
     }
 

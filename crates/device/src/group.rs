@@ -160,6 +160,10 @@ pub struct DeviceGroup {
     health: GroupHealth,
     group_plan: Option<FaultPlan>,
     full_members: Vec<usize>,
+    /// Group-wide collective instance counter: every `charge_collective`
+    /// call draws one id and stamps it on all member records, so the
+    /// execution-DAG layer can rendezvous them (see `crate::dag`).
+    collective_seq: std::sync::atomic::AtomicU32,
 }
 
 impl DeviceGroup {
@@ -171,7 +175,14 @@ impl DeviceGroup {
         assert!(!devices.is_empty(), "a device group needs at least one device");
         let health = GroupHealth::new(HealthPolicy::default(), devices.len());
         let full_members = (0..devices.len()).collect();
-        Self { devices, link, health, group_plan: None, full_members }
+        Self {
+            devices,
+            link,
+            health,
+            group_plan: None,
+            full_members,
+            collective_seq: std::sync::atomic::AtomicU32::new(0),
+        }
     }
 
     /// `n` identical devices of `spec` on an NVLink-class link.
@@ -271,6 +282,7 @@ impl DeviceGroup {
         modeled_s: f64,
     ) {
         let deadline = modeled_s * self.health.policy.deadline_factor;
+        let seq = self.collective_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         for &d in members {
             let dev = &self.devices[d];
             let slowdown = dev.slowdown();
@@ -282,7 +294,7 @@ impl DeviceGroup {
                 let trip = self.health.record_trip(d);
                 dev.record_health_fault(kind, name, trip);
             }
-            dev.collective(name, per_device_bytes, effective_s);
+            dev.collective(name, per_device_bytes, effective_s, Some(seq));
         }
     }
 

@@ -46,6 +46,7 @@
 
 pub mod baseline;
 pub mod cost;
+pub mod dag;
 #[allow(clippy::module_inception)]
 pub mod device;
 pub mod export;
@@ -62,6 +63,10 @@ pub use baseline::{
     PerfBaseline,
 };
 pub use cost::{kernel_time, transfer_time, KernelClass, KernelCost};
+pub use dag::{
+    analyze, apply_what_ifs, ops_from_records, parse_what_ifs, read_ops_jsonl, write_ops_jsonl,
+    DagAnalysis, DeviceAttribution, LinkOverlap, OpSpec, ScheduledOp, WhatIf,
+};
 pub use device::{Device, OverlappedTransfer};
 pub use export::{phase_summaries, registry_from_capture, registry_from_captures};
 pub use fault::{DeviceFault, FaultKind, FaultPlan, GroupFault, LossPoint};
@@ -76,6 +81,7 @@ pub use profiler::{
 pub use roofline::{attribute, classify, BoundKind, RooflineRow};
 pub use spec::{DeviceKind, DeviceSpec};
 pub use trace::{
-    write_chrome_trace, write_full_trace, write_multi_device_full_trace, write_multi_device_trace,
-    write_trace_events,
+    critical_path_flow_events, write_chrome_trace, write_full_trace,
+    write_full_trace_with_critical_path, write_multi_device_full_trace,
+    write_multi_device_full_trace_with_critical_path, write_multi_device_trace, write_trace_events,
 };

@@ -35,6 +35,19 @@ impl Phase {
         [Phase::Gram, Phase::Mttkrp, Phase::Update, Phase::Normalize, Phase::Transfer, Phase::Other]
     }
 
+    /// Serialized variant name (what `#[derive(Serialize)]` emits for the
+    /// unit variant) — the wire form used by `ops.jsonl`.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Phase::Gram => "Gram",
+            Phase::Mttkrp => "Mttkrp",
+            Phase::Update => "Update",
+            Phase::Normalize => "Normalize",
+            Phase::Transfer => "Transfer",
+            Phase::Other => "Other",
+        }
+    }
+
     /// Uppercase label as used in the paper's figures.
     pub fn label(&self) -> &'static str {
         match self {
@@ -61,12 +74,22 @@ pub struct KernelRecord {
     pub cost: KernelCost,
     /// Modeled execution time in seconds.
     pub modeled_s: f64,
+    /// Un-overlapped modeled seconds. Equal to `modeled_s` for every op
+    /// except overlapped transfers, where `modeled_s` holds only the
+    /// exposed remainder and `raw_s` holds the full link time the bytes
+    /// would take in isolation (`raw_s - modeled_s` is the hidden time).
+    pub raw_s: f64,
     /// Measured host wall-clock of the launch body in seconds (`0.0` for
     /// transfers, which execute no host code).
     pub measured_s: f64,
     /// The tensor mode being updated when the launch was recorded (stamped
     /// from the profiler's mode context; `None` outside a mode loop).
     pub mode: Option<u32>,
+    /// Group-wide collective instance id: every member of one
+    /// [`DeviceGroup`](crate::group::DeviceGroup) collective carries the
+    /// same sequence number, letting the execution-DAG layer rendezvous
+    /// the per-device records. `None` for non-collective ops.
+    pub collective_seq: Option<u32>,
 }
 
 /// Stable attribution key for kernel aggregation: every launch resolves to
@@ -366,8 +389,10 @@ mod tests {
             class: KernelClass::Stream,
             cost: KernelCost { flops, bytes_read: 10.0, bytes_written: 5.0, ..Default::default() },
             modeled_s: secs,
+            raw_s: secs,
             measured_s: secs * 0.5,
             mode: None,
+            collective_seq: None,
         }
     }
 

@@ -141,8 +141,10 @@ mod tests {
                     ..Default::default()
                 },
                 modeled_s: 1e-6,
+                raw_s: 1e-6,
                 measured_s: 0.0,
                 mode: None,
+                collective_seq: None,
             });
         }
         p.kernels()[0].1
@@ -195,8 +197,10 @@ mod tests {
                     ..Default::default()
                 },
                 modeled_s: 1e-6,
+                raw_s: 1e-6,
                 measured_s: 0.0,
                 mode: None,
+                collective_seq: None,
             });
         }
         let rows = attribute(&p.kernels(), &DeviceSpec::h100());

@@ -66,6 +66,20 @@ pub fn write_full_trace<W: Write>(
     marks: &[MarkRecord],
     faults: &[FaultRecord],
     spans: &[SpanRecord],
+    w: W,
+) -> std::io::Result<()> {
+    write_full_trace_with_critical_path(records, marks, faults, spans, &[], w)
+}
+
+/// [`write_full_trace`] plus flow arrows along the modeled critical path:
+/// `chain` holds `(device, record index)` pairs in path order (device is
+/// always 0 for a single-device trace, mapped to pid 1).
+pub fn write_full_trace_with_critical_path<W: Write>(
+    records: &[KernelRecord],
+    marks: &[MarkRecord],
+    faults: &[FaultRecord],
+    spans: &[SpanRecord],
+    chain: &[(usize, usize)],
     mut w: W,
 ) -> std::io::Result<()> {
     let mut events = complete_events(records);
@@ -74,6 +88,7 @@ pub fn write_full_trace<W: Write>(
     events.extend(instant_events(marks));
     events.extend(fault_events(faults));
     events.extend(flow_events(records));
+    events.extend(critical_path_flow_events(&[records], chain));
     events.extend(span_events(spans));
     events.extend(heap_counter_events(1));
     let text = serde_json::to_string_pretty(&events).expect("trace events serialize");
@@ -107,6 +122,28 @@ pub fn write_multi_device_full_trace<W: Write>(
     marks_per_device: &[Vec<MarkRecord>],
     faults_per_device: &[Vec<FaultRecord>],
     spans: &[SpanRecord],
+    w: W,
+) -> std::io::Result<()> {
+    write_multi_device_full_trace_with_critical_path(
+        records_per_device,
+        marks_per_device,
+        faults_per_device,
+        spans,
+        &[],
+        w,
+    )
+}
+
+/// [`write_multi_device_full_trace`] plus flow arrows along the modeled
+/// critical path: `chain` holds `(device, record index)` pairs in path
+/// order, rendered between the op boxes they connect (device `d` → pid
+/// `d + 1`).
+pub fn write_multi_device_full_trace_with_critical_path<W: Write>(
+    records_per_device: &[Vec<KernelRecord>],
+    marks_per_device: &[Vec<MarkRecord>],
+    faults_per_device: &[Vec<FaultRecord>],
+    spans: &[SpanRecord],
+    chain: &[(usize, usize)],
     mut w: W,
 ) -> std::io::Result<()> {
     let mut events = Vec::new();
@@ -128,6 +165,9 @@ pub fn write_multi_device_full_trace<W: Write>(
             events.extend(fault_events_pid(faults, pid));
         }
     }
+    let per_device: Vec<&[KernelRecord]> =
+        records_per_device.iter().map(|r| r.as_slice()).collect();
+    events.extend(critical_path_flow_events(&per_device, chain));
     let span_pid = records_per_device.len() as u32 + 1;
     let host_args = json!({ "name": "host" });
     events.push(json!({
@@ -375,6 +415,51 @@ fn flow_events(records: &[KernelRecord]) -> Vec<Value> {
     events
 }
 
+/// Flow arrows (`"ph": "s"`/`"f"`, cat `"critical_path"`) linking each
+/// consecutive pair of ops on the modeled critical path. `chain` holds
+/// `(device, record index)` pairs in path order, as produced by
+/// [`crate::dag::DagAnalysis`]; `records_per_device[d]` must be the same
+/// record stream the complete events were built from, so the arrows land
+/// exactly on the op boxes (pid `d + 1`, the per-device process layout of
+/// [`write_multi_device_full_trace`]; pass a single stream for the
+/// single-device writers, where everything is pid 1).
+pub fn critical_path_flow_events(
+    records_per_device: &[&[KernelRecord]],
+    chain: &[(usize, usize)],
+) -> Vec<Value> {
+    let starts: Vec<Vec<f64>> = records_per_device.iter().map(|r| start_times_us(r)).collect();
+    let op = |d: usize, i: usize| -> Option<(&KernelRecord, f64)> {
+        let recs = records_per_device.get(d)?;
+        Some((recs.get(i)?, *starts.get(d)?.get(i)?))
+    };
+    let mut events = Vec::new();
+    for (flow_id, pair) in chain.windows(2).enumerate() {
+        let ((ad, ai), (bd, bi)) = (pair[0], pair[1]);
+        let (Some((a, a_ts)), Some((b, b_ts))) = (op(ad, ai), op(bd, bi)) else { continue };
+        let id = flow_id as u64 + 1;
+        events.push(json!({
+            "name": "critical_path",
+            "cat": "critical_path",
+            "ph": "s",
+            "id": id,
+            "ts": a_ts + finite(a.modeled_s) * 1e6,
+            "pid": ad as u32 + 1,
+            "tid": phase_track(a.phase),
+        }));
+        events.push(json!({
+            "name": "critical_path",
+            "cat": "critical_path",
+            "ph": "f",
+            "bp": "e",
+            "id": id,
+            "ts": b_ts,
+            "pid": bd as u32 + 1,
+            "tid": phase_track(b.phase),
+        }));
+    }
+    events
+}
+
 /// Replaces non-finite values with `0.0`: trace consumers reject `inf` /
 /// `NaN` tokens, and a zero-length or zero-rate event is the honest
 /// rendering of an unmodeled quantity.
@@ -409,8 +494,10 @@ mod tests {
             class: KernelClass::Stream,
             cost: KernelCost { flops: 100.0, bytes_read: 800.0, ..Default::default() },
             modeled_s: secs,
+            raw_s: secs,
             measured_s: 0.0,
             mode: None,
+            collective_seq: None,
         }
     }
 

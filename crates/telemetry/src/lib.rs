@@ -38,4 +38,7 @@ pub use convergence::{ConvergenceLog, IterationRecord, ModeUpdateRecord};
 pub use footprint::{nested_vec_heap_bytes, vec_heap_bytes, Footprint, MemoryFootprint};
 pub use metrics::{parse_prometheus, PromSample, Registry};
 pub use spans::{set_spans_enabled, spans_enabled, Span, SpanRecord};
-pub use summary::{HeapSummary, PhaseSummary, RegionPeak, RunSummary};
+pub use summary::{
+    ElasticitySummary, HeapSummary, PhaseSummary, RegionPeak, RetiredDevice, RunSummary,
+    TilingSummary,
+};

@@ -71,6 +71,66 @@ impl HeapSummary {
     }
 }
 
+/// Out-of-core tiling accounting, as serialized to `run.json`. Mirrors
+/// the tiled engine's `TilingReport`; present only for actually-tiled
+/// runs (`tiles > 1`) so in-core artifacts keep their pre-tiling shape.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TilingSummary {
+    /// Tile count K per mode sweep.
+    pub tiles: u64,
+    /// Host-to-device tile copies performed.
+    pub tile_transfers: u64,
+    /// Bytes streamed across all tile copies.
+    pub streamed_bytes: f64,
+    /// Un-overlapped modeled seconds of all tile copies.
+    pub transfer_raw_s: f64,
+    /// Tile-copy seconds that extended the timeline after
+    /// double-buffering.
+    pub transfer_exposed_s: f64,
+}
+
+impl TilingSummary {
+    /// Tile-copy seconds hidden behind the previous tile's compute.
+    pub fn hidden_s(&self) -> f64 {
+        (self.transfer_raw_s - self.transfer_exposed_s).max(0.0)
+    }
+}
+
+/// One retired group member, as serialized to `run.json`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RetiredDevice {
+    /// Original group member index (stable across reshards).
+    pub device: u64,
+    /// Outer iteration at which the member was declared dead.
+    pub iteration: u64,
+}
+
+/// Elastic sharded-run accounting, as serialized to `run.json`. Mirrors
+/// the sharded driver's `ElasticityReport`; present for every `--gpus N`
+/// run (all-zero when the group stayed healthy).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ElasticitySummary {
+    /// Group size the run started with.
+    pub gpus: u64,
+    /// Device-loss faults detected.
+    pub loss_detections: u64,
+    /// Outer-iteration replays before a death was declared.
+    pub loss_retries: u64,
+    /// Shrink-to-survivors reshards performed.
+    pub reshards: u64,
+    /// Modeled backoff charged between loss retries.
+    pub backoff_s: f64,
+    /// Members declared dead and excised, in retirement order.
+    pub retired: Vec<RetiredDevice>,
+}
+
+impl ElasticitySummary {
+    /// Whether the group finished without any loss events.
+    pub fn is_clean(&self) -> bool {
+        self.loss_detections == 0 && self.reshards == 0 && self.retired.is_empty()
+    }
+}
+
 /// One factorization run, as serialized to `run.json`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunSummary {
@@ -108,6 +168,14 @@ pub struct RunSummary {
     /// allocator; optional for backward compatibility with older files).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub heap: Option<HeapSummary>,
+    /// Out-of-core tiling accounting (tiled runs only; optional for
+    /// backward compatibility with older files).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub tiling: Option<TilingSummary>,
+    /// Elastic sharded-run accounting (`--gpus N` runs only; optional for
+    /// backward compatibility with older files).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub elasticity: Option<ElasticitySummary>,
 }
 
 impl RunSummary {
@@ -220,6 +288,38 @@ impl RunSummary {
                         .collect::<Result<Vec<_>, String>>()?,
                 }),
             },
+            tiling: match v.get("tiling") {
+                None | Some(Value::Null) => None,
+                Some(t) => Some(TilingSummary {
+                    tiles: get_u64(t, "tiles")?,
+                    tile_transfers: get_u64(t, "tile_transfers")?,
+                    streamed_bytes: get_f64(t, "streamed_bytes")?,
+                    transfer_raw_s: get_f64(t, "transfer_raw_s")?,
+                    transfer_exposed_s: get_f64(t, "transfer_exposed_s")?,
+                }),
+            },
+            elasticity: match v.get("elasticity") {
+                None | Some(Value::Null) => None,
+                Some(e) => Some(ElasticitySummary {
+                    gpus: get_u64(e, "gpus")?,
+                    loss_detections: get_u64(e, "loss_detections")?,
+                    loss_retries: get_u64(e, "loss_retries")?,
+                    reshards: get_u64(e, "reshards")?,
+                    backoff_s: get_f64(e, "backoff_s")?,
+                    retired: e
+                        .get("retired")
+                        .and_then(Value::as_array)
+                        .ok_or_else(|| "missing retired array".to_string())?
+                        .iter()
+                        .map(|r| {
+                            Ok(RetiredDevice {
+                                device: get_u64(r, "device")?,
+                                iteration: get_u64(r, "iteration")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                }),
+            },
         })
     }
 
@@ -248,6 +348,19 @@ impl RunSummary {
             let regions: BTreeMap<String, u64> =
                 heap.regions.iter().map(|r| (r.region.clone(), r.peak_bytes)).collect();
             line["heap_region_peak_bytes"] = serde_json::json!(regions);
+        }
+        if let Some(t) = &self.tiling {
+            line["tiles"] = t.tiles.into();
+            line["tile_transfers"] = t.tile_transfers.into();
+            line["tile_streamed_bytes"] = serde_json::json!(t.streamed_bytes);
+            line["tile_exposed_s"] = serde_json::json!(t.transfer_exposed_s);
+            line["tile_hidden_s"] = serde_json::json!(t.hidden_s());
+        }
+        if let Some(e) = &self.elasticity {
+            line["gpus"] = e.gpus.into();
+            line["loss_detections"] = e.loss_detections.into();
+            line["reshards"] = e.reshards.into();
+            line["devices_retired"] = (e.retired.len() as u64).into();
         }
         serde_json::to_string(&line).expect("report line serializes")
     }
@@ -284,6 +397,42 @@ impl RunSummary {
                 "{:<10} {:>12.3e} {:>12.3e} {:>9} {:>12.3e} {:>12.3e}\n",
                 p.phase, p.modeled_s, p.measured_s, p.launches, p.flops, p.bytes
             ));
+        }
+
+        if let Some(t) = &self.tiling {
+            out.push_str(&format!(
+                "\nout-of-core: {} tiles/mode, {} tile copies, {:.3e} B streamed\n  \
+                 {:.3e}s hidden behind compute, {:.3e}s exposed on the timeline\n",
+                t.tiles,
+                t.tile_transfers,
+                t.streamed_bytes,
+                t.hidden_s(),
+                t.transfer_exposed_s
+            ));
+        }
+
+        if let Some(e) = &self.elasticity {
+            if e.is_clean() {
+                out.push_str(&format!(
+                    "\nelasticity: {} devices, clean run (no loss events)\n",
+                    e.gpus
+                ));
+            } else {
+                let retired = if e.retired.is_empty() {
+                    "none".to_string()
+                } else {
+                    e.retired
+                        .iter()
+                        .map(|r| format!("gpu{}@it{}", r.device, r.iteration))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                out.push_str(&format!(
+                    "\nelasticity: {} devices, {} loss detections, {} retries \
+                     ({:.3e}s backoff), {} reshards; retired: {retired}\n",
+                    e.gpus, e.loss_detections, e.loss_retries, e.backoff_s, e.reshards
+                ));
+            }
         }
 
         if let Some(heap) = &self.heap {
@@ -381,6 +530,8 @@ mod tests {
                 },
             ],
             heap: None,
+            tiling: None,
+            elasticity: None,
         }
     }
 
@@ -433,6 +584,60 @@ mod tests {
         let plain = sample();
         assert!(!plain.render_report(&[]).contains("heap:"));
         assert!(!plain.report_json_line().contains("heap_high_water_bytes"));
+    }
+
+    fn sample_with_tiling_and_elasticity() -> RunSummary {
+        let mut s = sample();
+        s.tiling = Some(TilingSummary {
+            tiles: 3,
+            tile_transfers: 36,
+            streamed_bytes: 4.5e6,
+            transfer_raw_s: 3e-4,
+            transfer_exposed_s: 1e-4,
+        });
+        s.elasticity = Some(ElasticitySummary {
+            gpus: 4,
+            loss_detections: 1,
+            loss_retries: 2,
+            reshards: 1,
+            backoff_s: 5e-3,
+            retired: vec![RetiredDevice { device: 2, iteration: 3 }],
+        });
+        s
+    }
+
+    #[test]
+    fn tiling_and_elasticity_round_trip_and_stay_optional() {
+        let s = sample_with_tiling_and_elasticity();
+        let back = RunSummary::from_json(&s.to_json_pretty()).unwrap();
+        assert_eq!(back, s);
+        // Files from older producers (or explicit nulls) parse as absent.
+        let plain = RunSummary::from_json(&sample().to_json_pretty()).unwrap();
+        assert_eq!((plain.tiling, plain.elasticity), (None, None));
+    }
+
+    #[test]
+    fn report_renders_tiling_and_elasticity_sections() {
+        let s = sample_with_tiling_and_elasticity();
+        let text = s.render_report(&[]);
+        assert!(text.contains("out-of-core: 3 tiles/mode, 36 tile copies"), "{text}");
+        assert!(text.contains("exposed on the timeline"), "{text}");
+        assert!(text.contains("elasticity: 4 devices, 1 loss detections"), "{text}");
+        assert!(text.contains("retired: gpu2@it3"), "{text}");
+        let line: serde_json::Value = serde_json::from_str(&s.report_json_line()).unwrap();
+        assert_eq!(line["tiles"], 3);
+        assert_eq!(line["tile_hidden_s"], s.tiling.as_ref().unwrap().hidden_s());
+        assert_eq!(line["reshards"], 1);
+        assert_eq!(line["devices_retired"], 1);
+        // A clean group renders the short form; a plain run renders neither.
+        let mut clean = s.clone();
+        clean.elasticity.as_mut().unwrap().loss_detections = 0;
+        clean.elasticity.as_mut().unwrap().loss_retries = 0;
+        clean.elasticity.as_mut().unwrap().reshards = 0;
+        clean.elasticity.as_mut().unwrap().retired.clear();
+        assert!(clean.render_report(&[]).contains("clean run (no loss events)"));
+        let plain = sample().render_report(&[]);
+        assert!(!plain.contains("out-of-core:") && !plain.contains("elasticity:"));
     }
 
     #[test]

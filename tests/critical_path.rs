@@ -1,0 +1,332 @@
+//! Critical-path observatory invariants (DESIGN.md §17), over the same
+//! tensor × format matrix as the tiled-equivalence suite:
+//!
+//! * serial, unfaulted runs: the DAG critical path IS the whole record
+//!   stream — `critical_path_s == total_modeled_s` **bit-exactly** (both
+//!   are the same left-to-right fold), with zero stall and zero idle;
+//! * tiled runs: the DAG's per-link raw/exposed accounting reproduces
+//!   `TilingReport.transfer_raw_s` / `transfer_exposed_s` **bitwise**
+//!   (the unification gate for the ad-hoc tiled math);
+//! * sharded runs: critical path <= serial total, every device satisfies
+//!   `busy + stall + idle == span`, and every what-if projection is
+//!   monotonically non-increasing;
+//! * the `cstf critical-path` artifact and output are byte-deterministic
+//!   across runs, and `nvlink=inf` on a 4-GPU run is strictly smaller.
+
+use cstf_core::{Auntf, AuntfConfig, TensorFormat};
+use cstf_device::{analyze, apply_what_ifs, ops_from_records, Device, DeviceSpec, OpSpec, WhatIf};
+use cstf_device::{DeviceGroup, LinkModel};
+use cstf_tensor::SparseTensor;
+use proptest::prelude::*;
+
+/// A random small sparse tensor with 3 or 4 modes and distinct coords.
+fn tensor_strategy() -> impl Strategy<Value = SparseTensor> {
+    (3usize..5, any::<u64>(), 1usize..300).prop_map(|(nmodes, seed, nnz)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let shape: Vec<usize> = (0..nmodes).map(|_| 3 + (next() % 9) as usize).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut idx = vec![Vec::new(); nmodes];
+        let mut vals = Vec::new();
+        for _ in 0..nnz {
+            let c: Vec<u32> = shape.iter().map(|&d| next() % d as u32).collect();
+            if seen.insert(c.clone()) {
+                for (m, &ci) in c.iter().enumerate() {
+                    idx[m].push(ci);
+                }
+                vals.push(f64::from(next() % 100) / 25.0 + 0.04);
+            }
+        }
+        SparseTensor::new(shape, idx, vals)
+    })
+}
+
+fn format_strategy() -> impl Strategy<Value = TensorFormat> {
+    prop_oneof![
+        Just(TensorFormat::Coo),
+        Just(TensorFormat::Csf),
+        Just(TensorFormat::CsfOne),
+        Just(TensorFormat::HiCoo),
+        Just(TensorFormat::Alto),
+        Just(TensorFormat::Blco),
+    ]
+}
+
+fn cfg(rank: usize, seed: u64, format: TensorFormat, tiles: usize) -> AuntfConfig {
+    AuntfConfig { rank, max_iters: 3, seed, format, tiles, ..Default::default() }
+}
+
+mod serial_and_tiled {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Single device, unfaulted: the schedule has one stream, so the
+        /// critical path is the whole stream and equals the serial total
+        /// bit-exactly; stall and idle are exactly zero. For tiled runs
+        /// the DAG's `h2d_tile` link accounting reproduces the engine's
+        /// `TilingReport` folds bitwise.
+        #[test]
+        fn serial_critical_path_is_total_and_tiled_links_match_bitwise(
+            x in tensor_strategy(),
+            format in format_strategy(),
+            rank in 1usize..5,
+            seed in any::<u64>(),
+            kidx in 0usize..4,
+        ) {
+            let tiles = [1usize, 2, 3, 5][kidx];
+            let dev = Device::with_records(DeviceSpec::h100());
+            let result =
+                Auntf::new(x, cfg(rank, seed, format, tiles)).factorize(&dev).unwrap();
+            let capture = dev.take_run();
+            let ops = ops_from_records(0, &capture.records);
+            let dag = analyze(&ops);
+
+            // The whole stream is the critical path — the same fold.
+            prop_assert_eq!(
+                dag.critical_path_s.to_bits(),
+                dag.total_modeled_s.to_bits(),
+                "serial critical path must equal the serial total bit-exactly"
+            );
+            prop_assert_eq!(dag.critical_path.len(), ops.len());
+            prop_assert_eq!(dag.devices.len(), 1);
+            let d = dag.devices[0];
+            prop_assert_eq!(d.stall_s, 0.0);
+            prop_assert_eq!(d.idle_s, 0.0);
+            prop_assert_eq!(d.busy_s.to_bits(), dag.critical_path_s.to_bits());
+            prop_assert!(dag.schedule.iter().all(|s| s.slack_s == 0.0));
+
+            // Satellite: the DAG-derived link accounting IS the tiled
+            // engine's accounting — same values, same fold order.
+            if tiles > 1 {
+                let link = dag.link("h2d_tile").expect("tiled run streams tiles");
+                prop_assert_eq!(link.transfers as u64, result.tiling.tile_transfers);
+                prop_assert_eq!(
+                    link.raw_s.to_bits(),
+                    result.tiling.transfer_raw_s.to_bits(),
+                    "raw fold diverged: {} vs {}", link.raw_s, result.tiling.transfer_raw_s
+                );
+                prop_assert_eq!(
+                    link.exposed_s.to_bits(),
+                    result.tiling.transfer_exposed_s.to_bits(),
+                    "exposed fold diverged: {} vs {}",
+                    link.exposed_s, result.tiling.transfer_exposed_s
+                );
+            } else {
+                prop_assert!(dag.link("h2d_tile").is_none());
+            }
+
+            // Against the per-phase profiler total the identity is only
+            // associative, not bitwise.
+            let profiler_total = capture.total_seconds();
+            prop_assert!(
+                (dag.critical_path_s - profiler_total).abs() <= 1e-12 * profiler_total.max(1e-30),
+                "DAG span {} vs profiler total {}", dag.critical_path_s, profiler_total
+            );
+        }
+    }
+}
+
+mod sharded {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Sharded groups: the critical path is bounded by the serial
+        /// total, attribution partitions the span on every device, and
+        /// zeroing durations (what-ifs) never grows the path.
+        #[test]
+        fn sharded_attribution_partitions_the_span(
+            x in tensor_strategy(),
+            format in format_strategy(),
+            rank in 1usize..4,
+            seed in any::<u64>(),
+            gidx in 0usize..3,
+        ) {
+            let gpus = [2usize, 3, 4][gidx];
+            let devices: Vec<Device> =
+                (0..gpus).map(|_| Device::with_records(DeviceSpec::h100())).collect();
+            let link = LinkModel { bandwidth_gbs: 300.0, latency_us: 10.0 };
+            let group = DeviceGroup::new(devices, link);
+            Auntf::new(x, cfg(rank, seed, format, 1)).factorize_sharded(&group).unwrap();
+
+            let ops: Vec<OpSpec> = group
+                .devices()
+                .iter()
+                .enumerate()
+                .flat_map(|(d, dev)| ops_from_records(d, &dev.take_run().records))
+                .collect();
+            prop_assert!(
+                ops.iter().any(|o| o.collective_seq.is_some()),
+                "a sharded run must record collectives"
+            );
+            let dag = analyze(&ops);
+
+            prop_assert!(
+                dag.critical_path_s <= dag.total_modeled_s * (1.0 + 1e-12),
+                "critical path {} exceeds serial total {}",
+                dag.critical_path_s, dag.total_modeled_s
+            );
+            prop_assert_eq!(dag.devices.len(), gpus);
+            for d in &dag.devices {
+                let span = dag.critical_path_s;
+                // Idle is the exact residual, except that reassociation
+                // dust (within span * 1e-12) snaps to an exact zero.
+                let residual = span - (d.busy_s + d.stall_s);
+                prop_assert!(
+                    d.idle_s.to_bits() == residual.to_bits()
+                        || (d.idle_s == 0.0 && residual.abs() <= 1e-12 * span),
+                    "gpu{}: idle {} vs residual {}", d.device, d.idle_s, residual
+                );
+                // Re-summing the three parts lands back on the span within
+                // fold-reassociation error.
+                prop_assert!(
+                    (d.busy_s + d.stall_s + d.idle_s - span).abs() <= 1e-12 * span.max(1e-30),
+                    "gpu{}: busy {} + stall {} + idle {} != span {}",
+                    d.device, d.busy_s, d.stall_s, d.idle_s, span
+                );
+                prop_assert!(d.stall_s >= 0.0 && d.idle_s >= 0.0);
+            }
+
+            // The makespan is some op's exact finish time (the chain's
+            // last node reaches it, modulo collective representation).
+            let max_finish =
+                dag.schedule.iter().map(|s| s.finish_s).fold(0.0f64, f64::max);
+            prop_assert_eq!(max_finish.to_bits(), dag.critical_path_s.to_bits());
+            // Non-collective chain ops have zero slack. (A collective's
+            // chain representative is the *arrival* that set the
+            // rendezvous start; its own finish may legitimately have
+            // slack — the slowest member's finish is what gates
+            // successors.)
+            for &i in &dag.critical_path {
+                if ops[i].collective_seq.is_none() {
+                    prop_assert_eq!(dag.schedule[i].slack_s, 0.0, "chain op {} has slack", i);
+                }
+            }
+
+            // What-ifs only zero durations: monotonically non-increasing.
+            for w in WhatIf::all() {
+                let projected = analyze(&apply_what_ifs(&ops, &[w])).critical_path_s;
+                prop_assert!(
+                    projected <= dag.critical_path_s,
+                    "{}: projected {} > baseline {}",
+                    w.label(), projected, dag.critical_path_s
+                );
+            }
+            let all = analyze(&apply_what_ifs(&ops, &WhatIf::all())).critical_path_s;
+            prop_assert!(all <= dag.critical_path_s);
+        }
+    }
+}
+
+mod cli_determinism {
+    fn cli(args: &[&str]) -> String {
+        let parsed =
+            cstf_cli::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
+        let mut out = Vec::new();
+        cstf_cli::dispatch(&parsed, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    fn telemetry_dir(tag: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("cstf-critical-path-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    fn factorize(dir: &str, extra: &[&str]) {
+        let mut args = vec![
+            "factorize",
+            "--dataset",
+            "Uber",
+            "--nnz",
+            "2000",
+            "--rank",
+            "4",
+            "--iters",
+            "2",
+            "--seed",
+            "0",
+            "--telemetry",
+            dir,
+        ];
+        args.extend_from_slice(extra);
+        cli(&args);
+    }
+
+    #[test]
+    fn ops_artifact_and_json_output_are_byte_deterministic() {
+        let (d1, d2) = (telemetry_dir("det1"), telemetry_dir("det2"));
+        factorize(&d1, &[]);
+        factorize(&d2, &[]);
+        let ops1 = std::fs::read(std::path::Path::new(&d1).join("ops.jsonl")).unwrap();
+        let ops2 = std::fs::read(std::path::Path::new(&d2).join("ops.jsonl")).unwrap();
+        assert_eq!(ops1, ops2, "ops.jsonl must be byte-identical across reruns");
+        assert!(!ops1.is_empty());
+        let out1 = cli(&["critical-path", &d1, "--json"]);
+        let out2 = cli(&["critical-path", &d2, "--json"]);
+        assert_eq!(out1, out2, "critical-path --json must be byte-deterministic");
+        assert_eq!(cli(&["critical-path", &d1]), cli(&["critical-path", &d2]));
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    #[test]
+    fn serial_json_reports_critical_path_equal_to_total() {
+        let dir = telemetry_dir("serial");
+        factorize(&dir, &[]);
+        let line = cli(&["critical-path", &dir, "--json"]);
+        let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+        let cp = v["critical_path_s"].as_f64().unwrap();
+        let total = v["total_modeled_s"].as_f64().unwrap();
+        assert_eq!(cp.to_bits(), total.to_bits(), "serial: cp {cp} != total {total}");
+        assert_eq!(v["critical_path_ops"], v["ops"]);
+        assert_eq!(v["devices"][0]["idle_fraction"], 0.0);
+        // All three standard projections are present and non-increasing.
+        for key in ["nvlink=inf", "pcie=0", "overlap=perfect"] {
+            let p = v["what_if"][key].as_f64().unwrap();
+            assert!(p <= cp, "{key}: {p} > {cp}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nvlink_inf_is_strictly_smaller_on_a_sharded_run() {
+        let dir = telemetry_dir("g4");
+        factorize(&dir, &["--gpus", "4"]);
+        let line = cli(&["critical-path", &dir, "--json", "--what-if", "nvlink=inf"]);
+        let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+        let cp = v["critical_path_s"].as_f64().unwrap();
+        let nvlink = v["what_if"]["nvlink=inf"].as_f64().unwrap();
+        assert!(
+            nvlink < cp,
+            "infinite NVLink must strictly shrink a sharded critical path: {nvlink} vs {cp}"
+        );
+        assert_eq!(
+            v["requested_what_if"]["critical_path_s"].as_f64().unwrap().to_bits(),
+            nvlink.to_bits()
+        );
+        let total = v["total_modeled_s"].as_f64().unwrap();
+        assert!(cp < total, "4 GPUs must beat the serial bound: {cp} vs {total}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_ops_artifact_reports_a_helpful_error() {
+        let dir = telemetry_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(std::path::Path::new(&dir).join("run.json"), "{}").unwrap();
+        let parsed = cstf_cli::parse(&["critical-path".to_string(), dir.clone()]).unwrap();
+        let mut out = Vec::new();
+        let err = cstf_cli::dispatch(&parsed, &mut out).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("ops.jsonl") && msg.contains("--telemetry"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

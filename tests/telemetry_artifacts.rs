@@ -219,6 +219,186 @@ fn sharded_chaos_run_exports_device_labeled_fault_and_group_counters() {
 }
 
 #[test]
+fn report_tiling_and_elasticity_sections_match_golden_file() {
+    // The sections render from modeled numbers only, so for a fixed
+    // dataset/seed they are byte-stable; the golden file pins them.
+    let tiled_dir = telemetry_dir("golden_tiled");
+    let td = tiled_dir.to_str().unwrap().to_string();
+    cli(&[
+        "factorize",
+        "--dataset",
+        "Uber",
+        "--nnz",
+        "2000",
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--seed",
+        "0",
+        "--tiles",
+        "3",
+        "--telemetry",
+        &td,
+    ]);
+    let tiled_report = cli(&["report", &td]);
+
+    let sharded_dir = telemetry_dir("golden_sharded");
+    let sd = sharded_dir.to_str().unwrap().to_string();
+    cli(&[
+        "factorize",
+        "--dataset",
+        "Uber",
+        "--nnz",
+        "2000",
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--seed",
+        "0",
+        "--gpus",
+        "3",
+        "--telemetry",
+        &sd,
+    ]);
+    let sharded_report = cli(&["report", &sd]);
+
+    // The tiling section is the "out-of-core:" line plus its indented
+    // continuation; the elasticity section is a single line.
+    let mut rendered = String::new();
+    let mut lines = tiled_report.lines();
+    while let Some(l) = lines.next() {
+        if l.starts_with("out-of-core:") {
+            rendered.push_str(l);
+            rendered.push('\n');
+            rendered.push_str(lines.next().expect("continuation line"));
+            rendered.push('\n');
+        }
+    }
+    for l in sharded_report.lines().filter(|l| l.starts_with("elasticity:")) {
+        rendered.push_str(l);
+        rendered.push('\n');
+    }
+    let golden = include_str!("golden/report_sections.txt");
+    assert_eq!(rendered, golden, "report sections drifted from tests/golden/report_sections.txt");
+
+    let _ = std::fs::remove_dir_all(&tiled_dir);
+    let _ = std::fs::remove_dir_all(&sharded_dir);
+}
+
+#[test]
+fn critical_path_gauges_and_ops_artifact_single_device() {
+    let dir = telemetry_dir("critical_path_single");
+    let d = dir.to_str().unwrap().to_string();
+    cli(&[
+        "factorize",
+        "--dataset",
+        "Uber",
+        "--nnz",
+        "2000",
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--seed",
+        "0",
+        "--telemetry",
+        &d,
+    ]);
+
+    // ops.jsonl: the op-DAG artifact exists and round-trips.
+    let ops_text = std::fs::read_to_string(dir.join("ops.jsonl")).expect("ops.jsonl written");
+    let ops = cstf_device::read_ops_jsonl(&ops_text).expect("ops.jsonl parses");
+    assert!(!ops.is_empty());
+    let dag = cstf_device::analyze(&ops);
+
+    // metrics.prom: critical-path and per-device attribution gauges.
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom written");
+    let samples = parse_prometheus(&prom).expect("exposition format parses");
+    let value = |name: &str| {
+        samples.iter().find(|s| s.name == name).map(|s| s.value).expect("metric present")
+    };
+    let labeled = |name: &str, device: &str| {
+        let want = format!("device=\"{device}\"");
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.contains(&want))
+            .map(|s| s.value)
+            .expect("labeled metric present")
+    };
+    assert!(value("cstf_critical_path_seconds") > 0.0, "{prom}");
+    assert_eq!(value("cstf_critical_path_ops"), ops.len() as f64, "{prom}");
+    // One device: the whole stream is the path, so the two bounds agree
+    // and the device is never idle or stalled.
+    assert_eq!(
+        value("cstf_critical_path_seconds"),
+        value("cstf_critical_path_total_modeled_seconds"),
+        "{prom}"
+    );
+    assert_eq!(value("cstf_critical_path_seconds"), dag.critical_path_s);
+    assert!(labeled("cstf_device_busy_seconds", "0") > 0.0, "{prom}");
+    assert_eq!(labeled("cstf_device_stall_seconds", "0"), 0.0, "{prom}");
+    assert_eq!(labeled("cstf_device_idle_seconds", "0"), 0.0, "{prom}");
+    assert_eq!(labeled("cstf_device_idle_fraction", "0"), 0.0, "{prom}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn critical_path_gauges_cover_every_sharded_device() {
+    let dir = telemetry_dir("critical_path_sharded");
+    let d = dir.to_str().unwrap().to_string();
+    cli(&[
+        "factorize",
+        "--dataset",
+        "Uber",
+        "--nnz",
+        "2000",
+        "--rank",
+        "3",
+        "--iters",
+        "2",
+        "--seed",
+        "0",
+        "--gpus",
+        "3",
+        "--telemetry",
+        &d,
+    ]);
+
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("metrics.prom written");
+    let samples = parse_prometheus(&prom).expect("exposition format parses");
+    let value = |name: &str| {
+        samples.iter().find(|s| s.name == name).map(|s| s.value).expect("metric present")
+    };
+    let labeled = |name: &str, device: &str| {
+        let want = format!("device=\"{device}\"");
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.contains(&want))
+            .map(|s| s.value)
+            .expect("labeled metric present")
+    };
+    let cp = value("cstf_critical_path_seconds");
+    let total = value("cstf_critical_path_total_modeled_seconds");
+    assert!(cp > 0.0 && cp < total, "sharding must beat the serial bound: {cp} vs {total}");
+    for dev in ["0", "1", "2"] {
+        let busy = labeled("cstf_device_busy_seconds", dev);
+        let stall = labeled("cstf_device_stall_seconds", dev);
+        let idle = labeled("cstf_device_idle_seconds", dev);
+        let frac = labeled("cstf_device_idle_fraction", dev);
+        assert!(busy > 0.0, "gpu{dev} busy: {prom}");
+        assert!(stall >= 0.0 && idle >= 0.0, "gpu{dev}: {prom}");
+        assert!((0.0..=1.0).contains(&frac), "gpu{dev} idle fraction {frac}");
+        let span = busy + stall + idle;
+        assert!((span - cp).abs() <= 1e-9 * cp, "gpu{dev}: {busy}+{stall}+{idle} != {cp}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn report_renders_and_emits_regression_line() {
     let dir = telemetry_dir("report");
     let d = dir.to_str().unwrap().to_string();
